@@ -1,0 +1,210 @@
+// Engineering microbenchmarks (google-benchmark): per-step costs and the
+// ablations called out in DESIGN.md.
+//
+//  * Fenwick vs linear prefix-scan sampling of 𝒜(v) (ablation #1);
+//  * normalized ⊕/⊖ operations (Fact 3.2 binary-search updates);
+//  * full phase cost of I_A / I_B with d ∈ {1, 2, 4};
+//  * ADAP(x) placement (sequential probing);
+//  * lazy greedy orientation step (ablation #3 is measured in exp06 by
+//    doubling; here we report the raw step cost);
+//  * grand-coupling step (two copies + shared probes).
+#include <benchmark/benchmark.h>
+
+#include "src/balls/grand_coupling.hpp"
+#include "src/balls/labeled.hpp"
+#include "src/balls/random_states.hpp"
+#include "src/balls/removal_policies.hpp"
+#include "src/balls/scenario_a.hpp"
+#include "src/balls/scenario_b.hpp"
+#include "src/core/cftp.hpp"
+#include "src/orient/coupling.hpp"
+#include "src/orient/state.hpp"
+#include "src/rng/engines.hpp"
+
+namespace {
+
+using recover::balls::AbkuRule;
+using recover::balls::AdapRule;
+using recover::balls::LoadVector;
+using recover::balls::ThresholdSchedule;
+using recover::rng::Xoshiro256PlusPlus;
+
+void BM_SampleBallWeightedFenwick(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Xoshiro256PlusPlus eng(1);
+  const LoadVector v =
+      recover::balls::random_load_vector(n, static_cast<std::int64_t>(4 * n),
+                                         eng, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(v.sample_ball_weighted(eng));
+  }
+}
+BENCHMARK(BM_SampleBallWeightedFenwick)->Range(64, 16384);
+
+void BM_SampleBallWeightedLinear(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Xoshiro256PlusPlus eng(1);
+  const LoadVector v =
+      recover::balls::random_load_vector(n, static_cast<std::int64_t>(4 * n),
+                                         eng, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(v.sample_ball_weighted_linear(eng));
+  }
+}
+BENCHMARK(BM_SampleBallWeightedLinear)->Range(64, 16384);
+
+void BM_AddRemoveRoundTrip(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Xoshiro256PlusPlus eng(2);
+  LoadVector v =
+      recover::balls::random_load_vector(n, static_cast<std::int64_t>(2 * n),
+                                         eng, 1);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const std::size_t bin = i++ % n;
+    // add_at may normalize to the run head; remove the ball that was
+    // actually placed so the state (and ball count) is preserved.
+    const std::size_t placed = v.add_at(bin);
+    v.remove_at(placed);
+    benchmark::DoNotOptimize(v.load(placed));
+  }
+}
+BENCHMARK(BM_AddRemoveRoundTrip)->Range(64, 16384);
+
+void BM_ScenarioAStep(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto d = static_cast<int>(state.range(1));
+  Xoshiro256PlusPlus eng(3);
+  recover::balls::ScenarioAChain<AbkuRule> chain(
+      LoadVector::balanced(n, static_cast<std::int64_t>(n)), AbkuRule(d));
+  for (auto _ : state) {
+    chain.step(eng);
+  }
+  benchmark::DoNotOptimize(chain.state().max_load());
+}
+BENCHMARK(BM_ScenarioAStep)
+    ->Args({1024, 1})
+    ->Args({1024, 2})
+    ->Args({1024, 4})
+    ->Args({16384, 2});
+
+void BM_ScenarioBStep(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto d = static_cast<int>(state.range(1));
+  Xoshiro256PlusPlus eng(4);
+  recover::balls::ScenarioBChain<AbkuRule> chain(
+      LoadVector::balanced(n, static_cast<std::int64_t>(n)), AbkuRule(d));
+  for (auto _ : state) {
+    chain.step(eng);
+  }
+  benchmark::DoNotOptimize(chain.state().max_load());
+}
+BENCHMARK(BM_ScenarioBStep)->Args({1024, 2})->Args({16384, 2});
+
+void BM_ScenarioAAdapStep(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Xoshiro256PlusPlus eng(5);
+  recover::balls::ScenarioAChain<AdapRule> chain(
+      LoadVector::balanced(n, static_cast<std::int64_t>(n)),
+      AdapRule{ThresholdSchedule::linear(1, 1, 5)});
+  for (auto _ : state) {
+    chain.step(eng);
+  }
+  benchmark::DoNotOptimize(chain.state().max_load());
+}
+BENCHMARK(BM_ScenarioAAdapStep)->Arg(1024)->Arg(16384);
+
+void BM_GrandCouplingAStep(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Xoshiro256PlusPlus eng(6);
+  recover::balls::GrandCouplingA<AbkuRule> coupling(
+      LoadVector::all_in_one(n, static_cast<std::int64_t>(n)),
+      LoadVector::balanced(n, static_cast<std::int64_t>(n)), AbkuRule(2));
+  for (auto _ : state) {
+    coupling.step(eng);
+  }
+  benchmark::DoNotOptimize(coupling.distance());
+}
+BENCHMARK(BM_GrandCouplingAStep)->Arg(1024)->Arg(16384);
+
+void BM_OrientationStep(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Xoshiro256PlusPlus eng(7);
+  recover::orient::DiffState s =
+      recover::orient::DiffState::spread(n, static_cast<std::int64_t>(n / 2));
+  for (auto _ : state) {
+    s.step(eng);
+  }
+  benchmark::DoNotOptimize(s.unfairness());
+}
+BENCHMARK(BM_OrientationStep)->Arg(1024)->Arg(16384);
+
+void BM_RemovalPolicyStep(benchmark::State& state) {
+  // Fullest-of-d removal + ABKU[2] insertion (the exp15 active drain).
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Xoshiro256PlusPlus eng(8);
+  recover::balls::GeneralChain<recover::balls::MaxOfDNonEmptyRemoval<2>,
+                               AbkuRule>
+      chain(LoadVector::balanced(n, static_cast<std::int64_t>(n)),
+            recover::balls::MaxOfDNonEmptyRemoval<2>{}, AbkuRule(2));
+  for (auto _ : state) {
+    chain.step(eng);
+  }
+  benchmark::DoNotOptimize(chain.state().max_load());
+}
+BENCHMARK(BM_RemovalPolicyStep)->Arg(1024)->Arg(16384);
+
+void BM_LabeledOracleStepA(benchmark::State& state) {
+  // The naive labeled oracle (linear scans) vs BM_ScenarioAStep: the
+  // price of skipping the normalized representation.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Xoshiro256PlusPlus eng(9);
+  recover::balls::LabeledScenarioA chain(
+      recover::balls::LabeledState::from_loads(
+          std::vector<std::int64_t>(n, 1)),
+      2);
+  for (auto _ : state) {
+    chain.step(eng);
+  }
+  benchmark::DoNotOptimize(chain.state().balls());
+}
+BENCHMARK(BM_LabeledOracleStepA)->Arg(1024)->Arg(16384);
+
+void BM_CftpSample(benchmark::State& state) {
+  // Full exact stationary draw (doubling windows included).
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::uint64_t s = 0;
+  for (auto _ : state) {
+    recover::core::CftpOptions opts;
+    opts.seed = recover::rng::derive_stream_seed(11, s++);
+    const auto sample = recover::core::cftp_sample(
+        [&]() {
+          return recover::balls::GrandCouplingA<AbkuRule>(
+              LoadVector::all_in_one(n, static_cast<std::int64_t>(n)),
+              LoadVector::balanced(n, static_cast<std::int64_t>(n)),
+              AbkuRule(2));
+        },
+        opts);
+    benchmark::DoNotOptimize(sample->max_load());
+  }
+}
+BENCHMARK(BM_CftpSample)->Arg(32)->Arg(128);
+
+void BM_OrientationDistance(benchmark::State& state) {
+  // Bounded Dijkstra over the section-6 premetric (k = limit = 3).
+  const recover::orient::DiffState base =
+      recover::orient::DiffState::from_diffs({3, 2, 1, 0, 0, -1, -2, -3});
+  const auto x = recover::orient::CountState::from_diff_state(base, 3);
+  const auto nbs = recover::orient::sbar_neighbors(x);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& [y, k] = nbs[i++ % nbs.size()];
+    benchmark::DoNotOptimize(
+        recover::orient::orientation_distance(x, y, k + 2));
+  }
+}
+BENCHMARK(BM_OrientationDistance);
+
+}  // namespace
+
+BENCHMARK_MAIN();

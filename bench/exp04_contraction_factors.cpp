@@ -1,0 +1,106 @@
+// Experiment E4 — Corollary 4.2 and Claims 5.1/5.2: one-step contraction
+// parameters of the paper's Γ-couplings, measured over sampled Γ-pairs.
+//
+// Columns report, per (scenario, n, m): the worst per-pair mean distance
+// after one coupled phase (β̂, to compare against the theory line
+// 1 − 1/m for scenario A and 1 for scenario B), the smallest per-pair
+// probability that the distance changes (α̂, theory ≥ 1/s ≥ 1/n for
+// scenario B), and the Path Coupling Lemma bounds implied by the
+// *measured* parameters next to the paper's symbolic bounds.
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "src/balls/coupling_a.hpp"
+#include "src/balls/coupling_b.hpp"
+#include "src/balls/random_states.hpp"
+#include "src/core/contraction.hpp"
+#include "src/core/path_coupling.hpp"
+#include "src/util/cli.hpp"
+#include "src/util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace recover;
+
+  util::Cli cli("exp04_contraction_factors",
+                "E4: measured path-coupling parameters vs theory");
+  cli.flag("sizes", "comma-separated n sweep (m = 2n)", "8,16,32,64");
+  cli.flag("d", "ABKU choices", "2");
+  cli.flag("pairs", "sampled Gamma-pairs per point", "12");
+  cli.flag("trials", "coupled steps per pair", "4000");
+  cli.flag("seed", "rng seed", "4");
+  cli.parse(argc, argv);
+
+  const auto sizes = cli.int_list("sizes");
+  const auto d = static_cast<int>(cli.integer("d"));
+  const auto pairs = static_cast<int>(cli.integer("pairs"));
+  const auto trials = static_cast<int>(cli.integer("trials"));
+  const auto seed = static_cast<std::uint64_t>(cli.integer("seed"));
+  const balls::AbkuRule rule(d);
+
+  util::Table table({"scenario", "n", "m", "beta_hat", "beta_theory",
+                     "alpha_hat", "alpha_theory", "bound(meas)",
+                     "bound(paper)"});
+
+  for (const std::int64_t n : sizes) {
+    const std::int64_t m = 2 * n;
+    const auto ns = static_cast<std::size_t>(n);
+
+    const auto est_a = core::estimate_contraction(
+        [&](int p, rng::Xoshiro256PlusPlus& eng) {
+          return balls::random_gamma_pair(ns, m, eng, 1 + p % 3);
+        },
+        [&](std::pair<balls::LoadVector, balls::LoadVector>& pr,
+            rng::Xoshiro256PlusPlus& eng) {
+          return balls::coupled_step_a(pr.first, pr.second, rule, eng);
+        },
+        pairs, trials, seed);
+    const double beta_a = 1.0 - 1.0 / static_cast<double>(m);
+    table.row()
+        .add("A")
+        .integer(n)
+        .integer(m)
+        .num(est_a.beta_hat, 4)
+        .num(beta_a, 4)
+        .num(est_a.alpha_hat, 4)
+        .num(1.0 / static_cast<double>(m), 4)
+        .num(est_a.beta_hat < 1.0
+                 ? core::path_coupling_bound_contractive(
+                       est_a.beta_hat, static_cast<double>(m), 0.25)
+                 : -1.0,
+             0)
+        .num(core::theorem1_bound(m, 0.25), 0);
+
+    const auto est_b = core::estimate_contraction(
+        [&](int p, rng::Xoshiro256PlusPlus& eng) {
+          return balls::random_gamma_pair(ns, m, eng, 1 + p % 3);
+        },
+        [&](std::pair<balls::LoadVector, balls::LoadVector>& pr,
+            rng::Xoshiro256PlusPlus& eng) {
+          return balls::coupled_step_b(pr.first, pr.second, rule, eng);
+        },
+        pairs, trials, seed + 1);
+    table.row()
+        .add("B")
+        .integer(n)
+        .integer(m)
+        .num(est_b.beta_hat, 4)
+        .num(1.0, 4)
+        .num(est_b.alpha_hat, 4)
+        .num(1.0 / static_cast<double>(n), 4)
+        .num(core::path_coupling_bound_martingale(
+                 std::max(est_b.alpha_hat, 1e-9), static_cast<double>(m),
+                 0.25),
+             0)
+        .num(core::claim53_bound(ns, m, 0.25), 0);
+  }
+  table.print(std::cout);
+  std::printf(
+      "\n# Scenario A: beta_hat tracks 1 - 1/m (Corollary 4.2) => "
+      "contractive Lemma case (1).\n"
+      "# Scenario B: beta_hat ~ 1 but alpha_hat >= 1/n (Claims 5.1/5.2) "
+      "=> martingale Lemma case (2), giving the O(n m^2 ln 1/eps) of "
+      "Claim 5.3.\n");
+  return 0;
+}

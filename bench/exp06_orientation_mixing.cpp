@@ -1,0 +1,98 @@
+// Experiment E6 — Corollary 6.4 and Theorem 2: recovery time of the
+// edge-orientation chain.
+//
+// Bounds: τ = O(n³(ln n + ln ε⁻¹)) (Corollary 6.4), improved to
+// τ(1/4) = O(n² ln² n) (Theorem 2), with τ = Ω(n²).  This improves the
+// O(n⁵)-ish bound of Ajtai et al. by roughly n³.  We measure coalescence
+// of the shared-randomness grand coupling from (maximally spread,
+// perfectly fair) starts over an n sweep and compare against all three
+// laws; the fitted log-log slope should sit near 2 (n² up to polylog),
+// far from 3.
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "src/core/coalescence.hpp"
+#include "src/core/path_coupling.hpp"
+#include "src/orient/chain.hpp"
+#include "src/stats/regression.hpp"
+#include "src/util/cli.hpp"
+#include "src/util/table.hpp"
+#include "src/util/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace recover;
+
+  util::Cli cli("exp06_orientation_mixing",
+                "E6/Theorem 2: orientation coalescence vs n^2 ln^2 n");
+  cli.flag("sizes", "comma-separated vertex counts", "8,12,16,24,32,48,64");
+  cli.flag("replicas", "replicas per point", "12");
+  cli.flag("seed", "rng seed", "6");
+  cli.parse(argc, argv);
+
+  const auto sizes = cli.int_list("sizes");
+  const auto replicas = static_cast<int>(cli.integer("replicas"));
+  const auto seed = static_cast<std::uint64_t>(cli.integer("seed"));
+
+  util::Table table({"n", "T_mean", "T_ci95", "T_q95", "T/n^2",
+                     "T/(n^2 ln^2 n)", "T/(n^3 ln n)", "T_staircase",
+                     "cor64_bound(1/4)", "secs"});
+
+  std::vector<double> xs, ys;
+  for (const std::int64_t n : sizes) {
+    util::Timer timer;
+    const auto ns = static_cast<std::size_t>(n);
+    core::CoalescenceOptions opts;
+    opts.replicas = replicas;
+    opts.seed = seed;
+    const double nd = static_cast<double>(n);
+    opts.max_steps = static_cast<std::int64_t>(
+        500.0 * nd * nd * std::log(nd) * std::log(nd));
+    opts.check_interval = std::max<std::int64_t>(1, n * n / 16);
+    // Adversarial start: the full staircase is the worst start within
+    // the reachable space (exp20); the spread state displaces even more
+    // and upper-bounds it.  Both are measured; the table reports spread.
+    const auto stats = core::measure_coalescence(
+        [&](std::uint64_t) {
+          return orient::GrandCouplingOrient(
+              orient::DiffState::spread(ns, n / 2), orient::DiffState(ns));
+        },
+        opts);
+    const auto stats_stair = core::measure_coalescence(
+        [&](std::uint64_t) {
+          return orient::GrandCouplingOrient(
+              orient::DiffState::staircase(ns, n / 2),
+              orient::DiffState(ns));
+        },
+        opts);
+    const double n2 = nd * nd;
+    const double n2ln2 = n2 * std::log(nd) * std::log(nd);
+    const double n3ln = n2 * nd * std::log(nd);
+    table.row()
+        .integer(n)
+        .num(stats.steps.mean(), 1)
+        .num(stats.steps.ci_halfwidth(), 1)
+        .num(stats.q95, 1)
+        .num(stats.steps.mean() / n2, 3)
+        .num(stats.steps.mean() / n2ln2, 4)
+        .num(stats.steps.mean() / n3ln, 5)
+        .num(stats_stair.steps.mean(), 1)
+        .num(core::corollary64_bound(ns, 0.25), 0)
+        .num(timer.seconds(), 2);
+    if (stats.censored == 0) {
+      xs.push_back(nd);
+      ys.push_back(stats.steps.mean());
+    }
+  }
+  table.print(std::cout);
+  if (xs.size() >= 3) {
+    const auto fit = stats::loglog_fit(xs, ys);
+    std::printf(
+        "\n# log-log slope of T vs n: %.3f (R^2 %.4f) - Theorem 2 predicts "
+        "~2 (n^2 up to polylog), Corollary 6.4 would allow 3, the old "
+        "Ajtai et al. analysis 5.\n",
+        fit.slope, fit.r_squared);
+  }
+  return 0;
+}

@@ -1,0 +1,111 @@
+// Experiment E7 — §1.1 Dynamic Resource Allocation: recovery of the
+// maximum load after a crash.
+//
+// Paper claims (m = n jobs on n servers): starting from ANY assignment,
+// the max load returns to ln ln n / ln d + O(1)
+//   * after O(n ln n) steps when a random JOB terminates (scenario A);
+//   * after O(n² ln n) steps when a random SERVER finishes a job
+//     (scenario B) — optimal up to a log factor.
+// We crash the system (all jobs on one server), define the typical band
+// from the fluid model's stationary max-load prediction, and measure the
+// sustained hitting time of the band for both scenarios.
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "src/balls/scenario_a.hpp"
+#include "src/balls/scenario_b.hpp"
+#include "src/core/recovery.hpp"
+#include "src/fluid/fluid_limit.hpp"
+#include "src/stats/regression.hpp"
+#include "src/util/cli.hpp"
+#include "src/util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace recover;
+
+  util::Cli cli("exp07_recovery_trajectory",
+                "E7: max-load recovery after a crash, scenarios A and B");
+  cli.flag("sizes", "comma-separated n = m sweep", "32,64,128,256");
+  cli.flag("d", "ABKU choices", "2");
+  cli.flag("replicas", "replicas per point", "12");
+  cli.flag("seed", "rng seed", "7");
+  cli.parse(argc, argv);
+
+  const auto sizes = cli.int_list("sizes");
+  const auto d = static_cast<int>(cli.integer("d"));
+  const auto replicas = static_cast<int>(cli.integer("replicas"));
+  const auto seed = static_cast<std::uint64_t>(cli.integer("seed"));
+
+  util::Table table({"scenario", "n=m", "typical", "T_recover", "ci95",
+                     "T/(n ln n)", "T/(n^2 ln n)", "censored"});
+
+  std::vector<double> xa, ya, xb, yb;
+  for (const std::int64_t n : sizes) {
+    const auto ns = static_cast<std::size_t>(n);
+    const auto m = n;
+    const double nd = static_cast<double>(n);
+    const double nlnn = nd * std::log(nd);
+
+    const auto observable = [](const auto& chain) {
+      return static_cast<double>(chain.state().max_load());
+    };
+
+    for (const bool scenario_b : {false, true}) {
+      fluid::FluidModel model(
+          scenario_b ? fluid::Scenario::kB : fluid::Scenario::kA, d, 1.0, 24);
+      const auto typical =
+          fluid::FluidModel::predicted_max_load(model.fixed_point(), nd);
+      const double band_hi = static_cast<double>(typical + 1);
+
+      core::TrajectoryOptions opts;
+      opts.sample_interval = std::max<std::int64_t>(1, n / 8);
+      opts.max_steps = scenario_b
+                           ? static_cast<std::int64_t>(40.0 * nd * nlnn)
+                           : static_cast<std::int64_t>(40.0 * nlnn);
+      core::RecoveryStats stats;
+      if (scenario_b) {
+        stats = core::measure_recovery(
+            [&](int) {
+              return balls::ScenarioBChain<balls::AbkuRule>(
+                  balls::LoadVector::all_in_one(ns, m), balls::AbkuRule(d));
+            },
+            observable, 0.0, band_hi, 8, replicas, opts, seed);
+      } else {
+        stats = core::measure_recovery(
+            [&](int) {
+              return balls::ScenarioAChain<balls::AbkuRule>(
+                  balls::LoadVector::all_in_one(ns, m), balls::AbkuRule(d));
+            },
+            observable, 0.0, band_hi, 8, replicas, opts, seed);
+      }
+      const double t = stats.hitting_steps.mean();
+      table.row()
+          .add(scenario_b ? "B (server finishes)" : "A (job terminates)")
+          .integer(n)
+          .integer(typical)
+          .num(t, 1)
+          .num(stats.hitting_steps.ci_halfwidth(), 1)
+          .num(t / nlnn, 3)
+          .num(t / (nd * nlnn), 5)
+          .integer(stats.censored);
+      if (stats.censored == 0) {
+        (scenario_b ? xb : xa).push_back(nd);
+        (scenario_b ? yb : ya).push_back(t);
+      }
+    }
+  }
+  table.print(std::cout);
+  if (xa.size() >= 3) {
+    const auto fa = stats::loglog_fit(xa, ya);
+    std::printf("\n# scenario A slope of T vs n: %.3f (theory ~1, n ln n)\n",
+                fa.slope);
+  }
+  if (xb.size() >= 3) {
+    const auto fb = stats::loglog_fit(xb, yb);
+    std::printf("# scenario B slope of T vs n: %.3f (theory ~2, n^2 ln n)\n",
+                fb.slope);
+  }
+  return 0;
+}

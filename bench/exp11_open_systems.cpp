@@ -1,0 +1,138 @@
+// Experiment E11 — §7 open systems: the number of balls varies over time
+// (probability ½ insert a ball with the rule, ½ remove a uniform ball).
+//
+// The paper proposes estimating, via coupling, the time until the
+// process started from 0 balls and the process started from m arbitrary
+// balls have almost the same distribution.  We run the shared-randomness
+// open coupling from (empty, all-in-one(m)) and report coalescence
+// against the initial gap m: the gap itself closes like a reflected
+// random walk (≈ m² steps), after which placements merge quickly.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "src/core/coalescence.hpp"
+#include "src/core/tv_mixing.hpp"
+#include "src/open/bounded_chain.hpp"
+#include "src/open/open_chain.hpp"
+#include "src/stats/regression.hpp"
+#include "src/util/cli.hpp"
+#include "src/util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace recover;
+
+  util::Cli cli("exp11_open_systems",
+                "E11/#7: open-system coupling from empty vs m-ball starts");
+  cli.flag("n", "bins", "16");
+  cli.flag("loads", "comma-separated initial ball counts m", "8,16,32,64");
+  cli.flag("d", "ABKU choices", "2");
+  cli.flag("replicas", "replicas per point", "16");
+  cli.flag("seed", "rng seed", "11");
+  cli.parse(argc, argv);
+
+  const auto n = static_cast<std::size_t>(cli.integer("n"));
+  const auto loads = cli.int_list("loads");
+  const auto d = static_cast<int>(cli.integer("d"));
+  const auto replicas = static_cast<int>(cli.integer("replicas"));
+  const auto seed = static_cast<std::uint64_t>(cli.integer("seed"));
+
+  util::Table table({"m0", "T_mean", "T_ci95", "T_q95", "T/m0^2",
+                     "tv_lower(1/4)", "censored"});
+
+  std::vector<double> xs, ys;
+  for (const std::int64_t m : loads) {
+    // TV lower estimate: when do the BALL-COUNT distributions from the
+    // two starts become indistinguishable?  The count is a reflected
+    // unbounded walk, so the observable is bucketed in units of m/4
+    // (capped) to keep the empirical-TV noise floor below the 1/4
+    // threshold at a few hundred replicas.  Skipped for the largest
+    // loads where the horizon would dominate the runtime.
+    std::int64_t tv_lower = -2;  // -2 = not measured
+    if (m <= 32) {
+      const auto checkpoints =
+          core::geometric_checkpoints(1, 1.7, 64 * m * m);
+      const auto curve = core::estimate_tv_curve(
+          [&](int) {
+            return open::OpenChain<balls::AbkuRule>(balls::LoadVector(n),
+                                                    balls::AbkuRule(d));
+          },
+          [&](int) {
+            return open::OpenChain<balls::AbkuRule>(
+                balls::LoadVector::all_in_one(n, m), balls::AbkuRule(d));
+          },
+          [m](const auto& c) {
+            return std::min<std::int64_t>(c.balls() * 4 / m, 12);
+          },
+          checkpoints, 600, seed + static_cast<std::uint64_t>(m));
+      tv_lower = core::first_below(curve, 0.25);
+    }
+    core::CoalescenceOptions opts;
+    opts.replicas = replicas;
+    opts.seed = seed;
+    opts.max_steps = 5000 * m * m;
+    opts.check_interval = std::max<std::int64_t>(1, m / 4);
+    const auto stats = core::measure_coalescence(
+        [&](std::uint64_t) {
+          return open::OpenGrandCoupling<balls::AbkuRule>(
+              balls::LoadVector(n), balls::LoadVector::all_in_one(n, m),
+              balls::AbkuRule(d));
+        },
+        opts);
+    table.row()
+        .integer(m)
+        .num(stats.steps.mean(), 1)
+        .num(stats.steps.ci_halfwidth(), 1)
+        .num(stats.q95, 1)
+        .num(stats.steps.mean() /
+                 (static_cast<double>(m) * static_cast<double>(m)),
+             3)
+        .integer(tv_lower)
+        .integer(stats.censored);
+    if (stats.censored == 0) {
+      xs.push_back(static_cast<double>(m));
+      ys.push_back(stats.steps.mean());
+    }
+  }
+  table.print(std::cout);
+  if (xs.size() >= 3) {
+    const auto fit = stats::loglog_fit(xs, ys);
+    std::printf(
+        "\n# log-log slope of T vs m0: %.3f - the ball-count gap is an "
+        "unbiased +-1 walk, so ~2 (quadratic) is the expected shape; the "
+        "TV lower estimate shows the DISTRIBUTIONS agree long before the "
+        "worst coupling replicas meet.\n\n",
+        fit.slope);
+  }
+
+  // Bounded variant (#7's first class): capping the ball count turns the
+  // count gap into a walk on a finite interval - coalescence tightens.
+  util::Table btable({"capacity", "T_mean", "T_ci95", "censored"});
+  for (const std::int64_t cap : loads) {
+    core::CoalescenceOptions opts;
+    opts.replicas = replicas;
+    opts.seed = seed + 99;
+    opts.max_steps = 5000 * cap * cap;
+    opts.check_interval = std::max<std::int64_t>(1, cap / 4);
+    const auto stats = core::measure_coalescence(
+        [&](std::uint64_t) {
+          return open::BoundedOpenCoupling<balls::AbkuRule>(
+              balls::LoadVector(n), balls::LoadVector::all_in_one(n, cap),
+              balls::AbkuRule(d), cap);
+        },
+        opts);
+    btable.row()
+        .integer(cap)
+        .num(stats.steps.mean(), 1)
+        .num(stats.steps.ci_halfwidth(), 1)
+        .integer(stats.censored);
+  }
+  btable.print(std::cout);
+  std::printf(
+      "# Bounded open systems (start empty vs start at capacity): the "
+      "reflected count walk meets reliably, the refinement #7 promises "
+      "for the bounded class.\n");
+  return 0;
+}

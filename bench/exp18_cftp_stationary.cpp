@@ -1,0 +1,142 @@
+// Experiment E18 — perfect stationary sampling via coupling from the
+// past (Propp–Wilson on the majorization sandwich).
+//
+// Part 1 (validation): on small partition spaces, the TV distance
+// between the CFTP output distribution and the exactly computed π must
+// sit at the sampling-noise floor.
+// Part 2 (application): at sizes where the matrix no longer fits, CFTP
+// draws unbiased stationary max-load samples — no burn-in guesswork —
+// and the table compares them against the long-run estimate used by
+// exp10 and the fluid prediction.  The CFTP backward window itself is
+// yet another recovery-time estimate: its median tracks m ln m.
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "src/balls/exact_chain.hpp"
+#include "src/balls/grand_coupling.hpp"
+#include "src/balls/scenario_a.hpp"
+#include "src/core/cftp.hpp"
+#include "src/fluid/fluid_limit.hpp"
+#include "src/rng/engines.hpp"
+#include "src/stats/histogram.hpp"
+#include "src/util/cli.hpp"
+#include "src/util/table.hpp"
+#include "src/util/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace recover;
+
+  util::Cli cli("exp18_cftp_stationary",
+                "E18: exact stationary sampling via CFTP");
+  cli.flag("validate_samples", "CFTP draws for the small-space check",
+           "20000");
+  cli.flag("sizes", "n = m sweep for the application part", "32,64,128,256");
+  cli.flag("samples", "CFTP draws per application point", "200");
+  cli.flag("d", "ABKU choices", "2");
+  cli.flag("seed", "rng seed", "18");
+  cli.parse(argc, argv);
+
+  const auto kval = static_cast<int>(cli.integer("validate_samples"));
+  const auto sizes = cli.int_list("sizes");
+  const auto samples = static_cast<int>(cli.integer("samples"));
+  const auto d = static_cast<int>(cli.integer("d"));
+  const auto seed = static_cast<std::uint64_t>(cli.integer("seed"));
+
+  // ---- Part 1: validation against exact pi -----------------------------
+  {
+    const std::size_t n = 4;
+    const std::int64_t m = 6;
+    balls::PartitionSpace space(n, m);
+    const auto chain = balls::build_exact_chain(
+        space, balls::RemovalKind::kBallWeighted, balls::AbkuRule(d));
+    const auto pi = core::stationary_distribution(chain);
+    stats::IntHistogram hist;
+    for (int s = 0; s < kval; ++s) {
+      core::CftpOptions opts;
+      opts.seed = rng::derive_stream_seed(seed, static_cast<std::uint64_t>(s));
+      const auto sample = core::cftp_sample(
+          [&]() {
+            return balls::GrandCouplingA<balls::AbkuRule>(
+                balls::LoadVector::all_in_one(n, m),
+                balls::LoadVector::balanced(n, m), balls::AbkuRule(d));
+          },
+          opts);
+      hist.add(static_cast<std::int64_t>(space.index_of(*sample)));
+    }
+    double tv = 0;
+    for (std::size_t i = 0; i < space.size(); ++i) {
+      tv += std::abs(hist.frequency(static_cast<std::int64_t>(i)) - pi[i]);
+    }
+    tv /= 2;
+    std::printf(
+        "validation (n=%zu, m=%lld, |Omega|=%zu, %d draws): "
+        "TV(CFTP, exact pi) = %.4f (noise floor ~%.4f)\n\n",
+        n, static_cast<long long>(m), space.size(), kval, tv,
+        std::sqrt(static_cast<double>(space.size()) / kval) / 2);
+  }
+
+  // ---- Part 2: perfect stationary max-load samples ---------------------
+  util::Table table({"n=m", "E[maxload] CFTP", "p95", "E[maxload] long-run",
+                     "fluid", "median backward window", "secs"});
+  for (const std::int64_t m : sizes) {
+    const auto n = static_cast<std::size_t>(m);
+    util::Timer timer;
+    stats::IntHistogram maxload;
+    stats::IntHistogram window_used;
+    for (int s = 0; s < samples; ++s) {
+      core::CftpOptions opts;
+      opts.seed = rng::derive_stream_seed(
+          seed + 1, static_cast<std::uint64_t>(m) * 100000 +
+                        static_cast<std::uint64_t>(s));
+      // Track the window by re-deriving it: cftp doubles until success.
+      std::int64_t window = 1;
+      std::optional<balls::LoadVector> sample;
+      for (; window <= (1 << 26); window *= 2) {
+        balls::GrandCouplingA<balls::AbkuRule> c(
+            balls::LoadVector::all_in_one(n, m),
+            balls::LoadVector::balanced(n, m), balls::AbkuRule(d));
+        for (std::int64_t t = window; t >= 1; --t) {
+          rng::Xoshiro256PlusPlus eng(rng::derive_stream_seed(
+              opts.seed, static_cast<std::uint64_t>(t)));
+          c.step(eng);
+        }
+        if (c.coalesced()) {
+          sample = c.first();
+          break;
+        }
+      }
+      maxload.add(sample->max_load());
+      window_used.add(window);
+    }
+    // Long-run comparison (the exp10 estimator).
+    rng::Xoshiro256PlusPlus eng(seed + 2);
+    balls::ScenarioAChain<balls::AbkuRule> chain(
+        balls::LoadVector::balanced(n, m), balls::AbkuRule(d));
+    for (std::int64_t t = 0; t < 50 * m; ++t) chain.step(eng);
+    stats::IntHistogram longrun;
+    for (int s2 = 0; s2 < 300; ++s2) {
+      for (std::int64_t t = 0; t < m / 2 + 1; ++t) chain.step(eng);
+      longrun.add(chain.state().max_load());
+    }
+    fluid::FluidModel model(fluid::Scenario::kA, d, 1.0, 24);
+    const auto fluid_pred = fluid::FluidModel::predicted_max_load(
+        model.fixed_point(), static_cast<double>(m));
+    table.row()
+        .integer(m)
+        .num(maxload.mean(), 3)
+        .integer(maxload.quantile(0.95))
+        .num(longrun.mean(), 3)
+        .integer(fluid_pred)
+        .integer(window_used.quantile(0.5))
+        .num(timer.seconds(), 2);
+  }
+  table.print(std::cout);
+  std::printf(
+      "\n# CFTP draws need no burn-in heuristics; agreement with the "
+      "long-run column certifies exp10's estimator, and the backward "
+      "window column is one more view of the Theorem 1 recovery time "
+      "(doubling rounds up m ln m).\n");
+  return 0;
+}

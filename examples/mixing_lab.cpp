@@ -1,0 +1,181 @@
+// mixing_lab — the library as a measurement instrument.
+//
+// Pick a process and get every recovery-time estimate the framework
+// offers, side by side:
+//   * coalescence of the grand coupling (upper estimate + w.h.p. tail);
+//   * observable-projected TV curve (lower estimate);
+//   * measured path-coupling parameters → Lemma 3.1 bound;
+//   * the paper's symbolic bound;
+//   * relaxation-time view: integrated autocorrelation time of the
+//     critical observable in stationarity.
+//
+//   ./mixing_lab --process A --n 64 --m 128 --d 2
+//   ./mixing_lab --process orientation --n 24
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "src/balls/coupling_a.hpp"
+#include "src/balls/coupling_b.hpp"
+#include "src/balls/grand_coupling.hpp"
+#include "src/balls/random_states.hpp"
+#include "src/balls/scenario_a.hpp"
+#include "src/balls/scenario_b.hpp"
+#include "src/core/coalescence.hpp"
+#include "src/core/contraction.hpp"
+#include "src/core/path_coupling.hpp"
+#include "src/core/tv_mixing.hpp"
+#include "src/orient/chain.hpp"
+#include "src/stats/autocorr.hpp"
+#include "src/util/cli.hpp"
+#include "src/util/table.hpp"
+
+namespace {
+
+using namespace recover;
+
+template <typename MakeCoupling, typename MakeChainHot, typename MakeChainCold,
+          typename Observable, typename StationaryChain>
+void report(const char* title, MakeCoupling&& make_coupling,
+            MakeChainHot&& make_hot, MakeChainCold&& make_cold,
+            Observable&& observable, StationaryChain& stationary_chain,
+            double paper_bound, const char* paper_name, int replicas,
+            std::int64_t max_steps, std::uint64_t seed) {
+  std::printf("== %s ==\n", title);
+
+  core::CoalescenceOptions copts;
+  copts.replicas = replicas;
+  copts.seed = seed;
+  copts.max_steps = max_steps;
+  copts.check_interval = 4;
+  const auto coal = core::measure_coalescence(make_coupling, copts);
+
+  const auto checkpoints = core::geometric_checkpoints(
+      1, 1.6,
+      std::max<std::int64_t>(
+          8, static_cast<std::int64_t>(coal.q95 > 0 ? 2 * coal.q95 : 1000)));
+  const auto curve = core::estimate_tv_curve(make_hot, make_cold, observable,
+                                             checkpoints, 400, seed + 1);
+  const std::int64_t tv_lower = core::first_below(curve, 0.25);
+
+  // Stationary autocorrelation of the observable.
+  rng::Xoshiro256PlusPlus eng(seed + 2);
+  for (int t = 0; t < 20000; ++t) stationary_chain.step(eng);
+  std::vector<double> series;
+  for (int t = 0; t < 20000; ++t) {
+    stationary_chain.step(eng);
+    series.push_back(static_cast<double>(observable(stationary_chain)));
+  }
+  const double tau_int = stats::integrated_autocorrelation_time(series);
+
+  util::Table table({"estimator", "steps"});
+  table.row().add("TV-curve lower estimate (eps=1/4)").integer(tv_lower);
+  table.row().add("autocorr time of observable (stationary)").num(tau_int, 1);
+  table.row().add("coalescence mean").num(coal.steps.mean(), 1);
+  table.row().add("coalescence q95 (w.h.p.)").num(coal.q95, 1);
+  table.row().add(paper_name).num(paper_bound, 0);
+  table.print(std::cout);
+  if (coal.censored > 0) {
+    std::printf("  (%lld replicas censored at %lld steps)\n",
+                static_cast<long long>(coal.censored),
+                static_cast<long long>(max_steps));
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli("mixing_lab", "all recovery-time estimators, side by side");
+  cli.flag("process", "A, B, or orientation", "A");
+  cli.flag("n", "bins / vertices", "64");
+  cli.flag("m", "balls (A/B only; default = n)", "0");
+  cli.flag("d", "ABKU choices", "2");
+  cli.flag("replicas", "coupling replicas", "48");
+  cli.flag("seed", "rng seed", "1");
+  cli.parse(argc, argv);
+
+  const std::string process = cli.str("process");
+  const auto n = static_cast<std::size_t>(cli.integer("n"));
+  auto m = cli.integer("m");
+  if (m == 0) m = static_cast<std::int64_t>(n);
+  const auto d = static_cast<int>(cli.integer("d"));
+  const auto replicas = static_cast<int>(cli.integer("replicas"));
+  const auto seed = static_cast<std::uint64_t>(cli.integer("seed"));
+  const balls::AbkuRule rule(d);
+
+  const auto maxload = [](const auto& chain) {
+    return chain.state().max_load();
+  };
+
+  if (process == "A" || process == "a") {
+    balls::ScenarioAChain<balls::AbkuRule> stationary(
+        balls::LoadVector::balanced(n, m), rule);
+    report(
+        "scenario A (remove a random ball)",
+        [&](std::uint64_t) {
+          return balls::GrandCouplingA<balls::AbkuRule>(
+              balls::LoadVector::all_in_one(n, m),
+              balls::LoadVector::balanced(n, m), rule);
+        },
+        [&](int) {
+          return balls::ScenarioAChain<balls::AbkuRule>(
+              balls::LoadVector::all_in_one(n, m), rule);
+        },
+        [&](int) {
+          return balls::ScenarioAChain<balls::AbkuRule>(
+              balls::LoadVector::balanced(n, m), rule);
+        },
+        maxload, stationary, core::theorem1_bound(m, 0.25),
+        "Theorem 1 bound m ln(4m)", replicas, 2000 * m, seed);
+  } else if (process == "B" || process == "b") {
+    balls::ScenarioBChain<balls::AbkuRule> stationary(
+        balls::LoadVector::balanced(n, m), rule);
+    report(
+        "scenario B (remove from a random non-empty bin)",
+        [&](std::uint64_t) {
+          return balls::GrandCouplingB<balls::AbkuRule>(
+              balls::LoadVector::all_in_one(n, m),
+              balls::LoadVector::balanced(n, m), rule);
+        },
+        [&](int) {
+          return balls::ScenarioBChain<balls::AbkuRule>(
+              balls::LoadVector::all_in_one(n, m), rule);
+        },
+        [&](int) {
+          return balls::ScenarioBChain<balls::AbkuRule>(
+              balls::LoadVector::balanced(n, m), rule);
+        },
+        maxload, stationary, core::claim53_bound(n, m, 0.25),
+        "Claim 5.3 bound e n m^2 ln 4", replicas, 4000 * m * m, seed);
+  } else if (process == "orientation") {
+    const auto unfairness = [](const auto& chain) {
+      return chain.state().unfairness();
+    };
+    orient::GreedyOrientationChain stationary{orient::DiffState(n)};
+    const double nd = static_cast<double>(n);
+    report(
+        "greedy edge orientation (lazy)",
+        [&](std::uint64_t) {
+          return orient::GrandCouplingOrient(
+              orient::DiffState::spread(n, static_cast<std::int64_t>(n / 2)),
+              orient::DiffState(n));
+        },
+        [&](int) {
+          return orient::GreedyOrientationChain(orient::DiffState::spread(
+              n, static_cast<std::int64_t>(n / 2)));
+        },
+        [&](int) {
+          return orient::GreedyOrientationChain(orient::DiffState(n));
+        },
+        unfairness, stationary, core::corollary64_bound(n, 0.25),
+        "Corollary 6.4 bound", replicas,
+        static_cast<std::int64_t>(500 * nd * nd * std::log(nd)), seed);
+  } else {
+    std::fprintf(stderr, "unknown --process '%s'\n%s", process.c_str(),
+                 cli.usage().c_str());
+    return 2;
+  }
+  return 0;
+}

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Full local CI: configure, build with warnings-as-errors, run the test
+# suite, then smoke every experiment binary with its default (fast)
+# parameters.  Mirrors what a hosted CI job for this repository runs.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build-ci}
+
+cmake -B "$BUILD_DIR" -G Ninja -DRECOVERLIB_WERROR=ON
+cmake --build "$BUILD_DIR"
+ctest --test-dir "$BUILD_DIR" -j"$(nproc)" --output-on-failure
+
+echo "== experiment smoke runs =="
+for exe in "$BUILD_DIR"/bench/exp* "$BUILD_DIR"/bench/bench_microbench; do
+  [ -x "$exe" ] || continue
+  echo "-- $exe"
+  "$exe" > /dev/null
+done
+
+echo "== example smoke runs =="
+for exe in "$BUILD_DIR"/examples/*; do
+  [ -x "$exe" ] && [ -f "$exe" ] || continue
+  echo "-- $exe"
+  "$exe" > /dev/null
+done
+
+echo "CI OK"

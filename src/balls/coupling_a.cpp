@@ -1,0 +1,30 @@
+#include "src/balls/coupling_a.hpp"
+
+namespace recover::balls {
+
+std::pair<std::size_t, std::size_t> unit_difference(const LoadVector& v,
+                                                    const LoadVector& u) {
+  RL_REQUIRE(v.bins() == u.bins());
+  RL_REQUIRE(v.distance(u) == 1);
+  std::size_t lambda = v.bins();
+  std::size_t delta = v.bins();
+  for (std::size_t i = 0; i < v.bins(); ++i) {
+    const std::int64_t d = v.load(i) - u.load(i);
+    if (d == 1) {
+      RL_REQUIRE(lambda == v.bins());
+      lambda = i;
+    } else if (d == -1) {
+      RL_REQUIRE(delta == v.bins());
+      delta = i;
+    } else {
+      RL_REQUIRE(d == 0);
+    }
+  }
+  RL_REQUIRE(lambda < v.bins() && delta < v.bins());
+  // The paper assumes λ < δ "without loss of generality" (swap the roles
+  // of v and u otherwise); the couplings themselves work for any λ ≠ δ,
+  // so callers receive (surplus-of-v, deficit-of-v) as-is.
+  return {lambda, delta};
+}
+
+}  // namespace recover::balls

@@ -1,0 +1,48 @@
+// The paper's Γ-coupling for scenario A (§4).
+//
+// For Δ(v, u) = 1, write v = u + e_λ − e_δ with λ < δ.  The two states
+// share m − 1 balls; v additionally holds a ball in run λ, u in run δ.
+// The removal coupling picks a uniform shared ball: draw i ~ 𝒜(v);
+//   * i ≠ λ          → remove i from both (same shared ball);
+//   * i = λ          → with probability 1/v_λ the drawn ball is the odd
+//                      one: remove λ from v and δ from u (merging the
+//                      states); otherwise remove λ from both.
+// Lemma 4.1: after the coupled removal Δ(v*, u*) ≤ 1, and whenever the
+// odd ball was drawn v* = u*.  The insertion (shared probes, Lemma 3.3)
+// cannot increase the distance, giving Corollary 4.2:
+//     E[Δ(v°, u°)] ≤ (1 − 1/m) Δ(v, u),
+// and Theorem 1's mixing bound τ(ε) ≤ ⌈m ln(m ε⁻¹)⌉ via path coupling
+// with D = m − ⌈m/n⌉ ≤ m.
+#pragma once
+
+#include "src/balls/coupling_common.hpp"
+#include "src/rng/distributions.hpp"
+
+namespace recover::balls {
+
+/// One coupled phase of I_A on a Γ-pair (Δ(v,u) must be 1).
+/// Mutates v, u in place and reports the resulting distance.
+template <typename Rule, typename Engine>
+GammaStepResult coupled_step_a(LoadVector& v, LoadVector& u, const Rule& rule,
+                               Engine& eng) {
+  RL_REQUIRE(v.distance(u) == 1);
+  const auto [lambda, delta] = unit_difference(v, u);
+
+  const std::size_t i = v.sample_ball_weighted(eng);
+  std::size_t j = i;
+  if (i == lambda) {
+    const auto v_lambda = static_cast<double>(v.load(lambda));
+    if (rng::uniform_real(eng) < 1.0 / v_lambda) j = delta;
+  }
+  v.remove_at(i);
+  u.remove_at(j);
+
+  GammaStepResult result;
+  result.distance_after_removal = v.distance(u);
+  result.removal_merged = (result.distance_after_removal == 0);
+  coupled_place(rule, v, u, eng);
+  result.distance_after = v.distance(u);
+  return result;
+}
+
+}  // namespace recover::balls

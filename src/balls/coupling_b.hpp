@@ -1,0 +1,90 @@
+// The paper's Γ-coupling for scenario B (§5, Claims 5.1 and 5.2).
+//
+// For Δ(v, u) = 1 write v = u + e_λ − e_δ (the paper takes λ < δ w.l.o.g.;
+// we swap roles internally when the surplus follows the deficit).  Let
+// s₁, s₂ be the non-empty bin counts of v and u.  Removal couples the
+// uniform non-empty-bin draws:
+//
+//   s₁ = s₂ = s (Claim 5.1):  i uniform on [s];  i* = δ if i = λ,
+//                             i* = λ if i = δ, else i* = i.
+//   s₂ = s₁ + 1 (Claim 5.2, the deficit bin of v is empty, δ = s₁):
+//                             i* uniform on [s₂]; i = λ if i* = δ;
+//                             i = i* if i* ∉ {λ, δ};
+//                             i fresh-uniform on [s₁] if i* = λ.
+//
+// Both claims give E[Δ(v*, u*)] ≤ 1, and the distance moves with
+// probability Ω(1/s) per phase (the i = λ pick merges the copies with
+// probability exactly 1/s₁ resp. 1/s₂, and merged copies stay merged
+// through the shared-probe insertion).  With s ≤ n, Path Coupling Lemma
+// case (2) with D = m and α = Ω(1/n) yields Claim 5.3's mixing bound
+// τ(ε) = O(n m² ln ε⁻¹).
+#pragma once
+
+#include "src/balls/coupling_common.hpp"
+#include "src/rng/distributions.hpp"
+
+namespace recover::balls {
+
+namespace detail {
+
+/// Removal half of the coupling, for a = b + e_λ − e_δ with λ < δ.
+template <typename Engine>
+void coupled_remove_b(LoadVector& a, LoadVector& b, std::size_t lambda,
+                      std::size_t delta, Engine& eng) {
+  const std::size_t s1 = a.nonempty_count();
+  const std::size_t s2 = b.nonempty_count();
+  if (s1 == s2) {
+    const auto i = static_cast<std::size_t>(rng::uniform_below(eng, s1));
+    std::size_t istar = i;
+    if (i == lambda) {
+      istar = delta;
+    } else if (i == delta) {
+      istar = lambda;
+    }
+    a.remove_at(i);
+    b.remove_at(istar);
+    return;
+  }
+  // Claim 5.2 case: v's deficit bin is empty, so u has one extra
+  // non-empty bin and that bin is exactly δ.
+  RL_DBG_ASSERT(s2 == s1 + 1);
+  RL_DBG_ASSERT(delta == s1);
+  const auto istar = static_cast<std::size_t>(rng::uniform_below(eng, s2));
+  std::size_t i;
+  if (istar == delta) {
+    i = lambda;
+  } else if (istar == lambda) {
+    i = static_cast<std::size_t>(rng::uniform_below(eng, s1));
+  } else {
+    i = istar;
+  }
+  a.remove_at(i);
+  b.remove_at(istar);
+}
+
+}  // namespace detail
+
+/// One coupled phase of I_B on a Γ-pair (Δ(v,u) must be 1).
+template <typename Rule, typename Engine>
+GammaStepResult coupled_step_b(LoadVector& v, LoadVector& u, const Rule& rule,
+                               Engine& eng) {
+  RL_REQUIRE(v.distance(u) == 1);
+  const auto [lambda, delta] = unit_difference(v, u);
+  if (lambda < delta) {
+    detail::coupled_remove_b(v, u, lambda, delta, eng);
+  } else {
+    // v = u + e_λ − e_δ with λ > δ means u = v + e_δ − e_λ with δ < λ:
+    // run the coupling with the roles of the copies exchanged (a coupling
+    // for (u, v) is a coupling for (v, u)).
+    detail::coupled_remove_b(u, v, delta, lambda, eng);
+  }
+
+  GammaStepResult result;
+  result.distance_after_removal = v.distance(u);
+  result.removal_merged = (result.distance_after_removal == 0);
+  coupled_place(rule, v, u, eng);
+  result.distance_after = v.distance(u);
+  return result;
+}
+
+}  // namespace recover::balls

@@ -1,0 +1,44 @@
+// Shared coupling machinery for the balls-into-bins chains.
+//
+// The placement halves of all couplings are identical: Lemma 3.4 shows the
+// ABKU/ADAP placement function is right-oriented with Φ_D = identity, so
+// the coupling of Lemma 3.3 feeds the *same* probe sequence to both copies
+// and the ‖·‖₁ distance cannot increase on insertion.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "src/balls/load_vector.hpp"
+#include "src/balls/rules.hpp"
+
+namespace recover::balls {
+
+/// For Δ(v,u) = 1 there are unique sorted positions λ ≠ δ with
+/// v = u + e_λ − e_δ; returns (λ, δ) = (surplus of v, deficit of v).
+/// Precondition: Δ(v,u) == 1.
+std::pair<std::size_t, std::size_t> unit_difference(const LoadVector& v,
+                                                    const LoadVector& u);
+
+/// Coupled insertion of Lemma 3.3: one shared probe sequence drives the
+/// placement rule in both copies.  Returns the two placed positions.
+template <typename Rule, typename Engine>
+std::pair<std::size_t, std::size_t> coupled_place(const Rule& rule,
+                                                  LoadVector& v,
+                                                  LoadVector& u,
+                                                  Engine& eng) {
+  RL_DBG_ASSERT(v.bins() == u.bins());
+  ProbeMemo<Engine> memo(eng, v.bins());
+  const std::size_t iv = rule.place_index(v, memo);
+  const std::size_t iu = rule.place_index(u, memo);
+  return {v.add_at(iv), u.add_at(iu)};
+}
+
+/// Result of one coupled phase on a Γ-pair.
+struct GammaStepResult {
+  std::int64_t distance_after_removal = 0;  // Δ(v*, u*)
+  std::int64_t distance_after = 0;          // Δ(v°, u°)
+  bool removal_merged = false;  // the two removals produced v* == u*
+};
+
+}  // namespace recover::balls

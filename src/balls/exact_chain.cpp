@@ -1,0 +1,106 @@
+#include "src/balls/exact_chain.hpp"
+
+#include <algorithm>
+
+#include "src/balls/scenario_a.hpp"
+#include "src/balls/scenario_b.hpp"
+
+namespace recover::balls {
+namespace {
+
+// Recursively enumerates non-increasing vectors of length exactly n
+// (padded with zeros) summing to m, each part at most `cap`.
+void enumerate_partitions(std::int64_t remaining, std::int64_t cap,
+                          std::size_t slots,
+                          std::vector<std::int64_t>& prefix,
+                          std::vector<std::vector<std::int64_t>>& out) {
+  if (slots == 0) {
+    if (remaining == 0) out.push_back(prefix);
+    return;
+  }
+  if (remaining == 0) {
+    std::vector<std::int64_t> full = prefix;
+    full.resize(prefix.size() + slots, 0);
+    out.push_back(std::move(full));
+    return;
+  }
+  const std::int64_t hi = std::min<std::int64_t>(cap, remaining);
+  // Largest remaining part must cover remaining / slots on average.
+  for (std::int64_t part = hi; part >= 1; --part) {
+    if (part * static_cast<std::int64_t>(slots) < remaining) break;
+    prefix.push_back(part);
+    enumerate_partitions(remaining - part, part, slots - 1, prefix, out);
+    prefix.pop_back();
+  }
+}
+
+}  // namespace
+
+PartitionSpace::PartitionSpace(std::size_t n, std::int64_t m) : n_(n), m_(m) {
+  RL_REQUIRE(n >= 1);
+  RL_REQUIRE(m >= 1);
+  std::vector<std::int64_t> prefix;
+  enumerate_partitions(m, m, n, prefix, states_);
+  std::sort(states_.begin(), states_.end());
+  for (std::size_t i = 0; i < states_.size(); ++i) {
+    index_[states_[i]] = i;
+  }
+}
+
+LoadVector PartitionSpace::load_vector(std::size_t i) const {
+  RL_REQUIRE(i < states_.size());
+  return LoadVector::from_loads(states_[i]);
+}
+
+std::size_t PartitionSpace::index_of(const LoadVector& v) const {
+  const auto it = index_.find(v.loads());
+  RL_REQUIRE(it != index_.end());
+  return it->second;
+}
+
+std::size_t PartitionSpace::balanced_index() const {
+  return index_of(LoadVector::balanced(n_, m_));
+}
+
+std::size_t PartitionSpace::all_in_one_index() const {
+  return index_of(LoadVector::all_in_one(n_, m_));
+}
+
+core::SparseChain build_exact_chain_general(
+    const PartitionSpace& space, RemovalKind removal,
+    const std::function<std::vector<double>(const LoadVector&)>&
+        placement_law) {
+  core::SparseChain chain(space.size());
+  for (std::size_t idx = 0; idx < space.size(); ++idx) {
+    const LoadVector v = space.load_vector(idx);
+    const std::vector<double> remove_pmf =
+        removal == RemovalKind::kBallWeighted ? scenario_a_removal_pmf(v)
+                                              : scenario_b_removal_pmf(v);
+    for (std::size_t i = 0; i < v.bins(); ++i) {
+      if (remove_pmf[i] <= 0.0) continue;
+      LoadVector v_star = v;
+      v_star.remove_at(i);
+      const std::vector<double> place_pmf = placement_law(v_star);
+      for (std::size_t j = 0; j < v.bins(); ++j) {
+        if (place_pmf[j] <= 0.0) continue;
+        LoadVector v_end = v_star;
+        v_end.add_at(j);
+        chain.add_transition(idx, space.index_of(v_end),
+                             remove_pmf[i] * place_pmf[j]);
+      }
+    }
+  }
+  chain.finalize();
+  return chain;
+}
+
+core::SparseChain build_exact_chain(const PartitionSpace& space,
+                                    RemovalKind removal,
+                                    const AbkuRule& rule) {
+  const std::vector<double> place_pmf = rule.placement_pmf(space.n());
+  return build_exact_chain_general(
+      space, removal,
+      [&place_pmf](const LoadVector&) { return place_pmf; });
+}
+
+}  // namespace recover::balls

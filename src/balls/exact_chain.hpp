@@ -1,0 +1,66 @@
+// Exact finite-state representation of the balls-into-bins chains.
+//
+// The normalized state space Ω_m (§3.1) is exactly the set of integer
+// partitions of m into at most n parts.  For small (n, m) we enumerate it,
+// build the exact transition law of I_A-ABKU[d] / I_B-ABKU[d] over it, and
+// hand the sparse matrix to core::exact_mixing for ground-truth τ(ε).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "src/balls/load_vector.hpp"
+#include "src/balls/rules.hpp"
+#include "src/core/exact_mixing.hpp"
+
+namespace recover::balls {
+
+/// Enumerates Ω_m = partitions of m into ≤ n parts, with index lookup.
+class PartitionSpace {
+ public:
+  PartitionSpace(std::size_t n, std::int64_t m);
+
+  [[nodiscard]] std::size_t n() const { return n_; }
+  [[nodiscard]] std::int64_t m() const { return m_; }
+  [[nodiscard]] std::size_t size() const { return states_.size(); }
+
+  [[nodiscard]] const std::vector<std::int64_t>& state(std::size_t i) const {
+    return states_[i];
+  }
+
+  [[nodiscard]] LoadVector load_vector(std::size_t i) const;
+
+  /// Index of a normalized load vector; aborts if not in the space.
+  [[nodiscard]] std::size_t index_of(const LoadVector& v) const;
+
+  /// Index of the balanced state / the all-in-one-bin crash state.
+  [[nodiscard]] std::size_t balanced_index() const;
+  [[nodiscard]] std::size_t all_in_one_index() const;
+
+ private:
+  std::size_t n_;
+  std::int64_t m_;
+  std::vector<std::vector<std::int64_t>> states_;  // non-increasing
+  std::map<std::vector<std::int64_t>, std::size_t> index_;
+};
+
+enum class RemovalKind {
+  kBallWeighted,      // scenario A: 𝒜(v) of Definition 3.2
+  kNonEmptyUniform,   // scenario B: ℬ(v) of Definition 3.3
+};
+
+/// Exact transition matrix of one phase (remove, then ABKU[d] insert).
+core::SparseChain build_exact_chain(const PartitionSpace& space,
+                                    RemovalKind removal, const AbkuRule& rule);
+
+/// General form: `placement_law(v*)` returns the exact pmf of the placed
+/// sorted index given the post-removal state (state-dependent rules like
+/// ADAP(x) use AdapRule::placement_pmf here).
+core::SparseChain build_exact_chain_general(
+    const PartitionSpace& space, RemovalKind removal,
+    const std::function<std::vector<double>(const LoadVector&)>&
+        placement_law);
+
+}  // namespace recover::balls

@@ -1,0 +1,159 @@
+#include "src/balls/exact_coupling_analysis.hpp"
+
+#include <cmath>
+#include <set>
+#include <utility>
+
+#include "src/balls/coupling_common.hpp"
+#include "src/balls/exact_chain.hpp"
+
+namespace recover::balls {
+namespace {
+
+struct Outcome {
+  LoadVector v;
+  LoadVector u;
+  double probability;
+};
+
+// Applies the exact ABKU[d] insertion (shared probes ⇒ identical sorted
+// index j in both copies) to each removal outcome and accumulates the
+// distance statistics.
+ExactCouplingStep finish_with_placement(const std::vector<Outcome>& removals,
+                                        const AbkuRule& rule,
+                                        std::size_t n) {
+  const std::vector<double> pmf = rule.placement_pmf(n);
+  ExactCouplingStep out;
+  double total = 0;
+  for (const auto& outcome : removals) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (pmf[j] <= 0) continue;
+      LoadVector v = outcome.v;
+      LoadVector u = outcome.u;
+      v.add_at(j);
+      u.add_at(j);
+      const double p = outcome.probability * pmf[j];
+      const auto dist = v.distance(u);
+      out.expected_distance += p * static_cast<double>(dist);
+      if (dist == 0) out.merge_probability += p;
+      if (dist != 1) out.change_probability += p;
+      total += p;
+    }
+  }
+  RL_REQUIRE(std::abs(total - 1.0) < 1e-9);
+  return out;
+}
+
+}  // namespace
+
+ExactCouplingStep exact_coupled_step_a(const LoadVector& v,
+                                       const LoadVector& u,
+                                       const AbkuRule& rule) {
+  RL_REQUIRE(v.distance(u) == 1);
+  const auto [lambda, delta] = unit_difference(v, u);
+  const auto m = static_cast<double>(v.balls());
+  std::vector<Outcome> removals;
+  for (std::size_t i = 0; i < v.bins(); ++i) {
+    if (v.load(i) <= 0) continue;
+    const double p_i = static_cast<double>(v.load(i)) / m;
+    if (i == lambda) {
+      const double p_odd = 1.0 / static_cast<double>(v.load(lambda));
+      {
+        LoadVector a = v, b = u;
+        a.remove_at(lambda);
+        b.remove_at(delta);
+        removals.push_back({std::move(a), std::move(b), p_i * p_odd});
+      }
+      if (p_odd < 1.0) {
+        LoadVector a = v, b = u;
+        a.remove_at(lambda);
+        b.remove_at(lambda);
+        removals.push_back({std::move(a), std::move(b),
+                            p_i * (1.0 - p_odd)});
+      }
+    } else {
+      LoadVector a = v, b = u;
+      a.remove_at(i);
+      b.remove_at(i);
+      removals.push_back({std::move(a), std::move(b), p_i});
+    }
+  }
+  return finish_with_placement(removals, rule, v.bins());
+}
+
+ExactCouplingStep exact_coupled_step_b(const LoadVector& v,
+                                       const LoadVector& u,
+                                       const AbkuRule& rule) {
+  RL_REQUIRE(v.distance(u) == 1);
+  auto [lambda, delta] = unit_difference(v, u);
+  // Mirror coupled_step_b: work on (a, b) with a = b + e_λ − e_δ, λ < δ;
+  // remember whether (a, b) = (v, u) or the roles were swapped (the
+  // distance is symmetric, so outcomes need no un-swapping).
+  const bool swapped = lambda > delta;
+  const LoadVector& a0 = swapped ? u : v;
+  const LoadVector& b0 = swapped ? v : u;
+  if (swapped) std::swap(lambda, delta);
+
+  const std::size_t s1 = a0.nonempty_count();
+  const std::size_t s2 = b0.nonempty_count();
+  std::vector<Outcome> removals;
+  auto emit = [&](std::size_t i, std::size_t istar, double p) {
+    LoadVector a = a0, b = b0;
+    a.remove_at(i);
+    b.remove_at(istar);
+    removals.push_back({std::move(a), std::move(b), p});
+  };
+  if (s1 == s2) {
+    const double p = 1.0 / static_cast<double>(s1);
+    for (std::size_t i = 0; i < s1; ++i) {
+      std::size_t istar = i;
+      if (i == lambda) {
+        istar = delta;
+      } else if (i == delta) {
+        istar = lambda;
+      }
+      emit(i, istar, p);
+    }
+  } else {
+    RL_REQUIRE(s2 == s1 + 1);
+    RL_REQUIRE(delta == s1);
+    const double p = 1.0 / static_cast<double>(s2);
+    for (std::size_t istar = 0; istar < s2; ++istar) {
+      if (istar == delta) {
+        emit(lambda, istar, p);
+      } else if (istar == lambda) {
+        const double q = p / static_cast<double>(s1);
+        for (std::size_t i = 0; i < s1; ++i) emit(i, istar, q);
+      } else {
+        emit(istar, istar, p);
+      }
+    }
+  }
+  return finish_with_placement(removals, rule, v.bins());
+}
+
+std::vector<std::pair<LoadVector, LoadVector>> enumerate_gamma_pairs(
+    std::size_t n, std::int64_t m) {
+  const PartitionSpace space(n, m);
+  std::set<std::pair<std::vector<std::int64_t>, std::vector<std::int64_t>>>
+      seen;
+  std::vector<std::pair<LoadVector, LoadVector>> pairs;
+  for (std::size_t idx = 0; idx < space.size(); ++idx) {
+    const LoadVector v = space.load_vector(idx);
+    for (std::size_t a = 0; a < n; ++a) {
+      if (v.load(a) <= 0) continue;
+      for (std::size_t b = 0; b < n; ++b) {
+        LoadVector u = v;
+        u.remove_at(a);
+        u.add_at(b);
+        if (v.distance(u) != 1) continue;
+        if (seen.emplace(v.loads(), u.loads()).second) {
+          pairs.emplace_back(v, u);
+        }
+      }
+    }
+  }
+  return pairs;
+}
+
+}  // namespace recover::balls

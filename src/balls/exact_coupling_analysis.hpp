@@ -1,0 +1,46 @@
+// Exact (fully enumerated) one-step analysis of the paper's Γ-couplings.
+//
+// For ABKU[d] the randomness of one coupled phase is finite:
+//   * scenario A removal: the drawn sorted index i (probability v_i/m)
+//     plus the odd-ball branch when i = λ (conditional probability 1/v_λ);
+//   * scenario B removal: i uniform on the non-empty support, with the
+//     paper's Claim 5.1/5.2 re-mapping;
+//   * insertion: the shared probe tuple b ∈ [n]^d, probability n^{-d}.
+// Enumerating all outcomes computes E[Δ(v°, u°)] EXACTLY, so Corollary
+// 4.2 (E ≤ 1 − 1/m) and Claims 5.1/5.2 (E ≤ 1) can be verified with
+// zero Monte-Carlo tolerance — and, over small partition spaces, for
+// EVERY Γ-pair rather than a sample (exp19, exact_coupling_test).
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/balls/load_vector.hpp"
+#include "src/balls/rules.hpp"
+
+namespace recover::balls {
+
+struct ExactCouplingStep {
+  double expected_distance = 0;   // E[Δ(v°, u°)]
+  double merge_probability = 0;   // P[Δ(v°, u°) = 0]
+  double change_probability = 0;  // P[Δ(v°, u°) ≠ 1]
+};
+
+/// Exact one-phase analysis of the scenario-A Γ-coupling (§4) on a pair
+/// with Δ(v, u) = 1, using ABKU[d] insertion.
+ExactCouplingStep exact_coupled_step_a(const LoadVector& v,
+                                       const LoadVector& u,
+                                       const AbkuRule& rule);
+
+/// Exact one-phase analysis of the scenario-B Γ-coupling (§5).
+ExactCouplingStep exact_coupled_step_b(const LoadVector& v,
+                                       const LoadVector& u,
+                                       const AbkuRule& rule);
+
+/// All Γ-pairs (unordered, both orientations generated) of the partition
+/// space Ω_m over n bins: every (v, u) with Δ(v, u) = 1.
+std::vector<std::pair<LoadVector, LoadVector>> enumerate_gamma_pairs(
+    std::size_t n, std::int64_t m);
+
+}  // namespace recover::balls

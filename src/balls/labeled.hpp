@@ -1,0 +1,184 @@
+// Labeled (bin-identity) reference implementation of the allocation
+// processes — a deliberately naive, direct transcription of the paper's
+// §2 prose, kept as a differential-testing oracle.
+//
+// The production chains run on normalized load vectors (§3.1), where
+// several non-obvious equivalences are exploited (ABKU = max of sorted
+// indices, run-head/run-tail updates of Fact 3.2, Fenwick sampling).
+// LabeledState makes none of those leaps: bins keep their identity,
+// every operation is a linear scan, and the scheduling rules compare
+// actual loads.  The paper's own observation — "the ordering of bins is
+// insignificant" — then becomes a TESTABLE claim: the law of the load
+// multiset under the labeled chains must match the normalized chains
+// exactly (labeled_test.cpp drives the comparison).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "src/balls/load_vector.hpp"
+#include "src/balls/rules.hpp"
+#include "src/rng/distributions.hpp"
+#include "src/util/assert.hpp"
+
+namespace recover::balls {
+
+class LabeledState {
+ public:
+  explicit LabeledState(std::size_t n) : loads_(n, 0) { RL_REQUIRE(n > 0); }
+
+  static LabeledState from_loads(std::vector<std::int64_t> loads) {
+    LabeledState s(loads.size());
+    for (const auto v : loads) RL_REQUIRE(v >= 0);
+    s.loads_ = std::move(loads);
+    for (const auto v : s.loads_) s.total_ += v;
+    return s;
+  }
+
+  [[nodiscard]] std::size_t bins() const { return loads_.size(); }
+  [[nodiscard]] std::int64_t balls() const { return total_; }
+  [[nodiscard]] std::int64_t load(std::size_t bin) const {
+    return loads_[bin];
+  }
+
+  void add(std::size_t bin) {
+    RL_DBG_ASSERT(bin < loads_.size());
+    ++loads_[bin];
+    ++total_;
+  }
+
+  void remove(std::size_t bin) {
+    RL_REQUIRE(loads_[bin] > 0);
+    --loads_[bin];
+    --total_;
+  }
+
+  [[nodiscard]] std::int64_t max_load() const {
+    return *std::max_element(loads_.begin(), loads_.end());
+  }
+
+  [[nodiscard]] std::size_t nonempty_count() const {
+    std::size_t s = 0;
+    for (const auto v : loads_) {
+      if (v > 0) ++s;
+    }
+    return s;
+  }
+
+  /// A uniform random ball's bin (linear scan — the oracle is naive on
+  /// purpose).
+  template <typename Engine>
+  std::size_t random_ball_bin(Engine& eng) const {
+    RL_DBG_ASSERT(total_ > 0);
+    auto target = static_cast<std::int64_t>(
+        rng::uniform_below(eng, static_cast<std::uint64_t>(total_)));
+    for (std::size_t bin = 0; bin < loads_.size(); ++bin) {
+      if (target < loads_[bin]) return bin;
+      target -= loads_[bin];
+    }
+    RL_DBG_ASSERT(false);
+    return loads_.size() - 1;
+  }
+
+  /// A uniform random non-empty bin (k-th non-empty, linear scan).
+  template <typename Engine>
+  std::size_t random_nonempty_bin(Engine& eng) const {
+    const std::size_t s = nonempty_count();
+    RL_DBG_ASSERT(s > 0);
+    auto k = rng::uniform_below(eng, s);
+    for (std::size_t bin = 0; bin < loads_.size(); ++bin) {
+      if (loads_[bin] > 0) {
+        if (k == 0) return bin;
+        --k;
+      }
+    }
+    RL_DBG_ASSERT(false);
+    return loads_.size() - 1;
+  }
+
+  /// ABKU[d] verbatim: d bins i.u.r. with replacement, least full wins
+  /// (first minimum among the samples on ties — the multiset law does
+  /// not depend on the tie rule).
+  template <typename Engine>
+  std::size_t abku_choice(Engine& eng, int d) const {
+    RL_DBG_ASSERT(d >= 1);
+    std::size_t best =
+        static_cast<std::size_t>(rng::uniform_below(eng, loads_.size()));
+    for (int k = 1; k < d; ++k) {
+      const auto candidate =
+          static_cast<std::size_t>(rng::uniform_below(eng, loads_.size()));
+      if (loads_[candidate] < loads_[best]) best = candidate;
+    }
+    return best;
+  }
+
+  /// ADAP(x) verbatim: probe until the threshold of the best probe's
+  /// load is covered by the probe count.
+  template <typename Engine>
+  std::size_t adap_choice(Engine& eng, const ThresholdSchedule& x) const {
+    std::size_t best =
+        static_cast<std::size_t>(rng::uniform_below(eng, loads_.size()));
+    std::size_t probes = 1;
+    while (x.at(loads_[best]) > static_cast<int>(probes)) {
+      const auto candidate =
+          static_cast<std::size_t>(rng::uniform_below(eng, loads_.size()));
+      ++probes;
+      if (loads_[candidate] < loads_[best]) best = candidate;
+    }
+    return best;
+  }
+
+  /// The normalized view, for comparing laws with the fast chains.
+  [[nodiscard]] LoadVector normalized() const {
+    return LoadVector::from_loads(loads_);
+  }
+
+ private:
+  std::vector<std::int64_t> loads_;
+  std::int64_t total_ = 0;
+};
+
+/// Scenario A, labeled: remove a uniform random ball, ABKU[d] insert.
+class LabeledScenarioA {
+ public:
+  LabeledScenarioA(LabeledState init, int d)
+      : state_(std::move(init)), d_(d) {
+    RL_REQUIRE(state_.balls() > 0);
+  }
+
+  [[nodiscard]] const LabeledState& state() const { return state_; }
+
+  template <typename Engine>
+  void step(Engine& eng) {
+    state_.remove(state_.random_ball_bin(eng));
+    state_.add(state_.abku_choice(eng, d_));
+  }
+
+ private:
+  LabeledState state_;
+  int d_;
+};
+
+/// Scenario B, labeled: remove from a uniform random non-empty bin.
+class LabeledScenarioB {
+ public:
+  LabeledScenarioB(LabeledState init, int d)
+      : state_(std::move(init)), d_(d) {
+    RL_REQUIRE(state_.balls() > 0);
+  }
+
+  [[nodiscard]] const LabeledState& state() const { return state_; }
+
+  template <typename Engine>
+  void step(Engine& eng) {
+    state_.remove(state_.random_nonempty_bin(eng));
+    state_.add(state_.abku_choice(eng, d_));
+  }
+
+ private:
+  LabeledState state_;
+  int d_;
+};
+
+}  // namespace recover::balls

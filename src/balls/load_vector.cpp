@@ -1,0 +1,130 @@
+#include "src/balls/load_vector.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <functional>
+#include <numeric>
+
+namespace recover::balls {
+
+LoadVector::LoadVector(std::size_t n)
+    : loads_(n, 0), fenwick_(n), total_(0) {
+  RL_REQUIRE(n > 0);
+}
+
+LoadVector LoadVector::from_loads(std::vector<std::int64_t> loads) {
+  RL_REQUIRE(!loads.empty());
+  for (auto v : loads) RL_REQUIRE(v >= 0);
+  std::sort(loads.begin(), loads.end(), std::greater<>());
+  LoadVector lv(loads.size());
+  lv.loads_ = std::move(loads);
+  lv.fenwick_ = rng::Fenwick(lv.loads_);
+  lv.total_ = std::accumulate(lv.loads_.begin(), lv.loads_.end(),
+                              std::int64_t{0});
+  return lv;
+}
+
+LoadVector LoadVector::balanced(std::size_t n, std::int64_t m) {
+  RL_REQUIRE(m >= 0);
+  std::vector<std::int64_t> loads(n);
+  const std::int64_t base = m / static_cast<std::int64_t>(n);
+  const auto extra = static_cast<std::size_t>(
+      m - base * static_cast<std::int64_t>(n));
+  for (std::size_t i = 0; i < n; ++i) {
+    loads[i] = base + (i < extra ? 1 : 0);
+  }
+  return from_loads(std::move(loads));
+}
+
+LoadVector LoadVector::all_in_one(std::size_t n, std::int64_t m) {
+  return piled(n, m, 1);
+}
+
+LoadVector LoadVector::piled(std::size_t n, std::int64_t m, std::size_t k) {
+  RL_REQUIRE(k >= 1 && k <= n);
+  RL_REQUIRE(m >= 0);
+  std::vector<std::int64_t> loads(n, 0);
+  const std::int64_t base = m / static_cast<std::int64_t>(k);
+  const auto extra = static_cast<std::size_t>(
+      m - base * static_cast<std::int64_t>(k));
+  for (std::size_t i = 0; i < k; ++i) {
+    loads[i] = base + (i < extra ? 1 : 0);
+  }
+  return from_loads(std::move(loads));
+}
+
+std::size_t LoadVector::nonempty_count() const {
+  // First index with load <= 0 in the non-increasing vector.
+  const auto it = std::lower_bound(loads_.begin(), loads_.end(),
+                                   std::int64_t{0}, std::greater<>());
+  return static_cast<std::size_t>(it - loads_.begin());
+}
+
+std::size_t LoadVector::run_head(std::size_t i) const {
+  RL_DBG_ASSERT(i < loads_.size());
+  // First index whose value is <= loads_[i]; the run of equal values is
+  // contiguous because the vector is sorted non-increasing.
+  const auto it = std::lower_bound(loads_.begin(), loads_.end(), loads_[i],
+                                   std::greater<>());
+  return static_cast<std::size_t>(it - loads_.begin());
+}
+
+std::size_t LoadVector::run_tail(std::size_t i) const {
+  RL_DBG_ASSERT(i < loads_.size());
+  // One before the first index whose value is < loads_[i].
+  const auto it = std::upper_bound(loads_.begin(), loads_.end(), loads_[i],
+                                   std::greater<>());
+  return static_cast<std::size_t>(it - loads_.begin()) - 1;
+}
+
+std::size_t LoadVector::add_at(std::size_t i) {
+  RL_REQUIRE(i < loads_.size());
+  const std::size_t j = run_head(i);
+  ++loads_[j];
+  fenwick_.add(j, +1);
+  ++total_;
+  return j;
+}
+
+std::size_t LoadVector::remove_at(std::size_t i) {
+  RL_REQUIRE(i < loads_.size());
+  RL_REQUIRE(loads_[i] > 0);
+  const std::size_t s = run_tail(i);
+  --loads_[s];
+  fenwick_.add(s, -1);
+  --total_;
+  return s;
+}
+
+std::int64_t LoadVector::distance(const LoadVector& other) const {
+  RL_REQUIRE(bins() == other.bins());
+  RL_REQUIRE(balls() == other.balls());
+  std::int64_t positive = 0;
+  for (std::size_t i = 0; i < loads_.size(); ++i) {
+    const std::int64_t d = loads_[i] - other.loads_[i];
+    if (d > 0) positive += d;
+  }
+  return positive;  // equals ½‖v−u‖₁ when ball counts match
+}
+
+std::int64_t LoadVector::l1_distance(const LoadVector& other) const {
+  RL_REQUIRE(bins() == other.bins());
+  std::int64_t sum = 0;
+  for (std::size_t i = 0; i < loads_.size(); ++i) {
+    sum += std::abs(loads_[i] - other.loads_[i]);
+  }
+  return sum;
+}
+
+bool LoadVector::invariants_hold() const {
+  std::int64_t sum = 0;
+  for (std::size_t i = 0; i < loads_.size(); ++i) {
+    if (loads_[i] < 0) return false;
+    if (i > 0 && loads_[i] > loads_[i - 1]) return false;
+    if (fenwick_.at(i) != loads_[i]) return false;
+    sum += loads_[i];
+  }
+  return sum == total_ && fenwick_.total() == total_;
+}
+
+}  // namespace recover::balls

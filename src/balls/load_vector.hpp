@@ -1,0 +1,130 @@
+// Normalized load vectors — the state space Ω_m of the paper (§3.1).
+//
+// A LoadVector is a non-increasing vector v of n non-negative bin loads
+// with ‖v‖₁ = m.  The paper's key observation is that a load vector (the
+// multiset of loads) captures all relevant information about an allocation
+// process; bin identity never matters.  Normalization makes the ABKU[d]
+// rule trivial (least-loaded of d uniform bins = maximum of d uniform
+// sorted indices) and gives the ⊕/⊖ operations of Fact 3.2:
+//
+//   v ⊕ e_i = v + e_j  with j = min{t : v_t = v_i}   (add to run head)
+//   v ⊖ e_i = v − e_s  with s = max{t : v_t = v_i}   (remove at run tail)
+//
+// Both touch exactly one position and preserve sortedness, so they are
+// O(log n) via binary search over the sorted vector.  A Fenwick tree over
+// the loads is kept in sync to sample the ball-weighted removal
+// distribution 𝒜(v) (Definition 3.2) in O(log n).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/rng/distributions.hpp"
+#include "src/rng/fenwick.hpp"
+#include "src/util/assert.hpp"
+
+namespace recover::balls {
+
+class LoadVector {
+ public:
+  /// n empty bins.
+  explicit LoadVector(std::size_t n);
+
+  /// Normalizes (sorts non-increasing) an arbitrary non-negative vector.
+  static LoadVector from_loads(std::vector<std::int64_t> loads);
+
+  /// m balls spread as evenly as possible: ⌈m/n⌉ / ⌊m/n⌋ pattern.
+  static LoadVector balanced(std::size_t n, std::int64_t m);
+
+  /// All m balls in a single bin — the canonical "crash" state (§1).
+  static LoadVector all_in_one(std::size_t n, std::int64_t m);
+
+  /// m balls spread over the first k bins as evenly as possible.
+  static LoadVector piled(std::size_t n, std::int64_t m, std::size_t k);
+
+  [[nodiscard]] std::size_t bins() const { return loads_.size(); }
+  [[nodiscard]] std::int64_t balls() const { return total_; }
+  [[nodiscard]] std::int64_t load(std::size_t i) const { return loads_[i]; }
+  [[nodiscard]] std::int64_t max_load() const { return loads_.front(); }
+  [[nodiscard]] std::int64_t min_load() const { return loads_.back(); }
+  [[nodiscard]] const std::vector<std::int64_t>& loads() const {
+    return loads_;
+  }
+
+  /// Number of non-empty bins: s = max{k : v_k > 0} (0 when empty).
+  [[nodiscard]] std::size_t nonempty_count() const;
+
+  /// v ⊕ e_i (Fact 3.2).  Returns the position actually incremented.
+  std::size_t add_at(std::size_t i);
+
+  /// v ⊖ e_i (Fact 3.2).  Requires v_i > 0.  Returns the position
+  /// actually decremented.
+  std::size_t remove_at(std::size_t i);
+
+  /// First index of the maximal run with value v_i (the j of Fact 3.2).
+  [[nodiscard]] std::size_t run_head(std::size_t i) const;
+  /// Last index of the maximal run with value v_i (the s of Fact 3.2).
+  [[nodiscard]] std::size_t run_tail(std::size_t i) const;
+
+  /// Draws from 𝒜(v): bin index i with probability v_i / m (Def. 3.2).
+  /// O(log n) via the Fenwick tree.  Requires m > 0.
+  template <typename Engine>
+  std::size_t sample_ball_weighted(Engine& eng) const {
+    RL_DBG_ASSERT(total_ > 0);
+    const auto target = static_cast<std::int64_t>(
+        rng::uniform_below(eng, static_cast<std::uint64_t>(total_)));
+    return fenwick_.find(target);
+  }
+
+  /// Same draw by linear prefix scan — the ablation baseline.
+  template <typename Engine>
+  std::size_t sample_ball_weighted_linear(Engine& eng) const {
+    RL_DBG_ASSERT(total_ > 0);
+    auto target = static_cast<std::int64_t>(
+        rng::uniform_below(eng, static_cast<std::uint64_t>(total_)));
+    for (std::size_t i = 0; i < loads_.size(); ++i) {
+      if (target < loads_[i]) return i;
+      target -= loads_[i];
+    }
+    RL_DBG_ASSERT(false);
+    return loads_.size() - 1;
+  }
+
+  /// Maps a fixed quantile u ∈ [0, m) to the bin holding the u-th ball in
+  /// sorted order.  Used by the monotone grand coupling (same u in both
+  /// copies).  O(log n) via Fenwick prefix search.
+  [[nodiscard]] std::size_t ball_at_quantile(std::int64_t u) const {
+    RL_DBG_ASSERT(u >= 0 && u < total_);
+    return fenwick_.find(u);
+  }
+
+  /// Draws from ℬ(v): uniform over the s non-empty bins (Def. 3.3).
+  template <typename Engine>
+  std::size_t sample_nonempty_uniform(Engine& eng) const {
+    const std::size_t s = nonempty_count();
+    RL_DBG_ASSERT(s > 0);
+    return static_cast<std::size_t>(rng::uniform_below(eng, s));
+  }
+
+  /// Δ(v, u) = ½‖v − u‖₁ — the path-coupling metric of §4/§5.
+  /// Requires equal n and equal m (then the two halves of the L1 norm
+  /// coincide and Δ is integral).
+  [[nodiscard]] std::int64_t distance(const LoadVector& other) const;
+
+  /// ‖v − u‖₁ for vectors that may hold different ball counts.
+  [[nodiscard]] std::int64_t l1_distance(const LoadVector& other) const;
+
+  friend bool operator==(const LoadVector& a, const LoadVector& b) {
+    return a.loads_ == b.loads_;
+  }
+
+  /// Validates normalization + Fenwick consistency (tests / debug).
+  [[nodiscard]] bool invariants_hold() const;
+
+ private:
+  std::vector<std::int64_t> loads_;  // non-increasing
+  rng::Fenwick fenwick_;             // mirrors loads_
+  std::int64_t total_ = 0;
+};
+
+}  // namespace recover::balls

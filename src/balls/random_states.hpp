@@ -1,0 +1,60 @@
+// Random state and Γ-pair generators for property tests and the
+// contraction experiments.
+//
+// The paper's inequalities (Lemma 4.1, Claims 5.1/5.2) are quantified over
+// *every* pair at distance 1; the experiments sample pairs from a skewed
+// family (balanced through heavily piled) so the measured worst case
+// probes the whole range, including the boundary cases (empty deficit bin,
+// runs of equal loads) the paper's case analysis sweats over.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "src/balls/load_vector.hpp"
+#include "src/rng/distributions.hpp"
+
+namespace recover::balls {
+
+/// A random normalized state with tunable skew: each ball lands in bin
+/// ⌊n·u^skew⌋ for u uniform; skew = 1 is uniform occupancy, larger skew
+/// piles balls into low-index bins.
+template <typename Engine>
+LoadVector random_load_vector(std::size_t n, std::int64_t m, Engine& eng,
+                              int skew = 1) {
+  RL_REQUIRE(skew >= 1);
+  std::vector<std::int64_t> loads(n, 0);
+  for (std::int64_t b = 0; b < m; ++b) {
+    double u = rng::uniform_real(eng);
+    for (int k = 1; k < skew; ++k) u *= rng::uniform_real(eng);
+    auto bin = static_cast<std::size_t>(u * static_cast<double>(n));
+    if (bin >= n) bin = n - 1;
+    ++loads[bin];
+  }
+  return LoadVector::from_loads(std::move(loads));
+}
+
+/// A uniform-ish random Γ-pair: (v, u) normalized with Δ(v, u) = 1,
+/// built by moving one ball of a random state to a random bin.
+template <typename Engine>
+std::pair<LoadVector, LoadVector> random_gamma_pair(std::size_t n,
+                                                    std::int64_t m,
+                                                    Engine& eng,
+                                                    int skew = 1) {
+  // With one ball (or one bin) Ω_m is a single normalized state and no
+  // distance-1 pair exists; the rejection loop below would never return.
+  RL_REQUIRE(m >= 2);
+  RL_REQUIRE(n >= 2);
+  for (;;) {
+    const LoadVector v = random_load_vector(n, m, eng, skew);
+    LoadVector u = v;
+    const std::size_t s = u.nonempty_count();
+    const auto a = static_cast<std::size_t>(rng::uniform_below(eng, s));
+    u.remove_at(a);
+    const auto b = static_cast<std::size_t>(rng::uniform_below(eng, n));
+    u.add_at(b);
+    if (v.distance(u) == 1) return {v, u};
+  }
+}
+
+}  // namespace recover::balls

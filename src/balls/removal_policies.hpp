@@ -1,0 +1,182 @@
+// Generalized removal policies (§7 Conclusions: "our techniques can be
+// also applied to processes in which we remove a ball according to other
+// probability distributions").
+//
+// A RemovalPolicy consumes a fixed number of shared uniform quantiles
+// and maps them to the sorted bin index whose ball is removed.  Exposing
+// the quantiles makes every policy grand-couplable for free: the
+// coupling draws ONE quantile tuple per step and feeds it to both copies
+// (identical copies then remove identically, so merged chains stay
+// merged).  The two policies of the paper are included as the base
+// cases, plus two natural extensions:
+//
+//   BallWeightedRemoval      𝒜(v) of Def. 3.2 (scenario A)
+//   NonEmptyUniformRemoval   ℬ(v) of Def. 3.3 (scenario B)
+//   MaxOfDNonEmptyRemoval    remove from the FULLEST of d random
+//                            non-empty bins ("power of d choices" on the
+//                            departure side — an active rebalancer)
+//   HeaviestBinRemoval       always remove from a maximally loaded bin
+//                            (the deterministic greedy repair limit)
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "src/balls/coupling_common.hpp"
+#include "src/balls/load_vector.hpp"
+#include "src/rng/distributions.hpp"
+#include "src/util/assert.hpp"
+
+namespace recover::balls {
+
+namespace detail {
+
+inline std::size_t quantile_to_nonempty_index(const LoadVector& v, double q) {
+  const std::size_t s = v.nonempty_count();
+  RL_DBG_ASSERT(s > 0);
+  auto i = static_cast<std::size_t>(q * static_cast<double>(s));
+  return std::min(i, s - 1);
+}
+
+}  // namespace detail
+
+/// Scenario A removal: bin i with probability v_i / m.
+class BallWeightedRemoval {
+ public:
+  [[nodiscard]] static constexpr int quantile_count() { return 1; }
+
+  [[nodiscard]] std::size_t pick_quantiles(const LoadVector& v,
+                                           const double* q) const {
+    RL_DBG_ASSERT(v.balls() > 0);
+    auto rank =
+        static_cast<std::int64_t>(q[0] * static_cast<double>(v.balls()));
+    rank = std::min(rank, v.balls() - 1);
+    return v.ball_at_quantile(rank);
+  }
+};
+
+/// Scenario B removal: uniform over non-empty bins.
+class NonEmptyUniformRemoval {
+ public:
+  [[nodiscard]] static constexpr int quantile_count() { return 1; }
+
+  [[nodiscard]] std::size_t pick_quantiles(const LoadVector& v,
+                                           const double* q) const {
+    return detail::quantile_to_nonempty_index(v, q[0]);
+  }
+};
+
+/// Remove from the fullest of d uniformly sampled non-empty bins —
+/// under the sorted representation, the SMALLEST of d sampled indices.
+template <int D>
+class MaxOfDNonEmptyRemoval {
+ public:
+  static_assert(D >= 1);
+
+  [[nodiscard]] static constexpr int quantile_count() { return D; }
+
+  [[nodiscard]] std::size_t pick_quantiles(const LoadVector& v,
+                                           const double* q) const {
+    std::size_t best = detail::quantile_to_nonempty_index(v, q[0]);
+    for (int k = 1; k < D; ++k) {
+      best = std::min(best, detail::quantile_to_nonempty_index(v, q[k]));
+    }
+    return best;
+  }
+};
+
+/// Deterministic greedy repair: always drain a maximally loaded bin.
+class HeaviestBinRemoval {
+ public:
+  [[nodiscard]] static constexpr int quantile_count() { return 0; }
+
+  [[nodiscard]] std::size_t pick_quantiles(const LoadVector& v,
+                                           const double* /*q*/) const {
+    RL_DBG_ASSERT(v.balls() > 0);
+    (void)v;
+    return 0;  // sorted index 0 holds a maximum-load bin
+  }
+};
+
+/// Draws the policy's quantile tuple and removes one ball.
+template <typename Removal, typename Engine>
+std::size_t remove_with_policy(const Removal& removal, LoadVector& v,
+                               Engine& eng) {
+  double q[std::max(Removal::quantile_count(), 1)];
+  for (int k = 0; k < Removal::quantile_count(); ++k) {
+    q[k] = rng::uniform_real(eng);
+  }
+  const std::size_t i = removal.pick_quantiles(v, q);
+  return v.remove_at(i);
+}
+
+/// Dynamic allocation chain with arbitrary removal policy + placement
+/// rule (scenarios A and B are the two base instantiations).
+template <typename Removal, typename Rule>
+class GeneralChain {
+ public:
+  using State = LoadVector;
+
+  GeneralChain(LoadVector init, Removal removal, Rule rule)
+      : state_(std::move(init)),
+        removal_(std::move(removal)),
+        rule_(std::move(rule)) {
+    RL_REQUIRE(state_.balls() > 0);
+  }
+
+  [[nodiscard]] const LoadVector& state() const { return state_; }
+  [[nodiscard]] std::size_t bins() const { return state_.bins(); }
+  [[nodiscard]] std::int64_t balls() const { return state_.balls(); }
+
+  template <typename Engine>
+  void step(Engine& eng) {
+    remove_with_policy(removal_, state_, eng);
+    ProbeFresh<Engine> probe(eng, state_.bins());
+    state_.add_at(rule_.place_index(state_, probe));
+  }
+
+ private:
+  LoadVector state_;
+  Removal removal_;
+  Rule rule_;
+};
+
+/// Grand coupling of two GeneralChain copies: one quantile tuple and one
+/// probe sequence per step, shared between the copies.
+template <typename Removal, typename Rule>
+class GeneralGrandCoupling {
+ public:
+  GeneralGrandCoupling(LoadVector x, LoadVector y, Removal removal, Rule rule)
+      : x_(std::move(x)),
+        y_(std::move(y)),
+        removal_(std::move(removal)),
+        rule_(std::move(rule)) {
+    RL_REQUIRE(x_.bins() == y_.bins());
+    RL_REQUIRE(x_.balls() == y_.balls());
+    RL_REQUIRE(x_.balls() > 0);
+  }
+
+  template <typename Engine>
+  void step(Engine& eng) {
+    double q[std::max(Removal::quantile_count(), 1)];
+    for (int k = 0; k < Removal::quantile_count(); ++k) {
+      q[k] = rng::uniform_real(eng);
+    }
+    x_.remove_at(removal_.pick_quantiles(x_, q));
+    y_.remove_at(removal_.pick_quantiles(y_, q));
+    coupled_place(rule_, x_, y_, eng);
+  }
+
+  [[nodiscard]] bool coalesced() const { return x_ == y_; }
+  [[nodiscard]] std::int64_t distance() const { return x_.distance(y_); }
+  [[nodiscard]] const LoadVector& first() const { return x_; }
+  [[nodiscard]] const LoadVector& second() const { return y_; }
+
+ private:
+  LoadVector x_;
+  LoadVector y_;
+  Removal removal_;
+  Rule rule_;
+};
+
+}  // namespace recover::balls

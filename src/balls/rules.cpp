@@ -1,0 +1,73 @@
+#include "src/balls/rules.hpp"
+
+#include <cmath>
+
+namespace recover::balls {
+
+std::vector<double> AbkuRule::placement_pmf(std::size_t n) const {
+  RL_REQUIRE(n > 0);
+  std::vector<double> pmf(n);
+  const auto nd = static_cast<double>(n);
+  double prev = 0.0;
+  for (std::size_t j = 0; j < n; ++j) {
+    const double cur = std::pow(static_cast<double>(j + 1) / nd, d_);
+    pmf[j] = cur - prev;
+    prev = cur;
+  }
+  return pmf;
+}
+
+std::vector<double> AdapRule::placement_pmf(const LoadVector& v) const {
+  const std::size_t n = v.bins();
+  const double inv_n = 1.0 / static_cast<double>(n);
+  std::vector<double> placed(n, 0.0);
+  // surviving[b] = P(best index == b after t probes, not yet stopped).
+  std::vector<double> surviving(n, inv_n);  // after the first probe
+  // The clamped schedule guarantees every index stops once the probe
+  // count reaches the largest stored threshold.
+  const int max_rounds = x_.values().back();
+  for (int t = 1; t <= max_rounds; ++t) {
+    // Stop the indices whose threshold is covered by t probes.
+    double alive = 0;
+    for (std::size_t b = 0; b < n; ++b) {
+      if (surviving[b] <= 0) continue;
+      if (x_.at(v.load(b)) <= t) {
+        placed[b] += surviving[b];
+        surviving[b] = 0;
+      } else {
+        alive += surviving[b];
+      }
+    }
+    if (alive <= 0) break;
+    // One more probe u ~ U[n]: best' = max(best, u).
+    std::vector<double> next(n, 0.0);
+    double prefix = 0;  // Σ_{b < b'} surviving[b]
+    for (std::size_t b = 0; b < n; ++b) {
+      next[b] = surviving[b] * (static_cast<double>(b + 1) * inv_n) +
+                prefix * inv_n;
+      prefix += surviving[b];
+    }
+    surviving = std::move(next);
+  }
+  double total = 0;
+  for (const double p : placed) total += p;
+  RL_REQUIRE(std::abs(total - 1.0) < 1e-9);
+  return placed;
+}
+
+ThresholdSchedule ThresholdSchedule::linear(int base, int slope, int cap) {
+  RL_REQUIRE(base >= 1);
+  RL_REQUIRE(slope >= 0);
+  RL_REQUIRE(cap >= base);
+  std::vector<int> x;
+  int value = base;
+  while (value < cap) {
+    x.push_back(value);
+    value += slope;
+    if (slope == 0) break;
+  }
+  x.push_back(cap);
+  return ThresholdSchedule(std::move(x));
+}
+
+}  // namespace recover::balls

@@ -1,0 +1,15 @@
+#include "src/balls/scenario_a.hpp"
+
+namespace recover::balls {
+
+std::vector<double> scenario_a_removal_pmf(const LoadVector& v) {
+  RL_REQUIRE(v.balls() > 0);
+  std::vector<double> pmf(v.bins());
+  const auto m = static_cast<double>(v.balls());
+  for (std::size_t i = 0; i < v.bins(); ++i) {
+    pmf[i] = static_cast<double>(v.load(i)) / m;
+  }
+  return pmf;
+}
+
+}  // namespace recover::balls

@@ -1,0 +1,15 @@
+#include "src/balls/scenario_b.hpp"
+
+namespace recover::balls {
+
+std::vector<double> scenario_b_removal_pmf(const LoadVector& v) {
+  RL_REQUIRE(v.balls() > 0);
+  std::vector<double> pmf(v.bins(), 0.0);
+  const std::size_t s = v.nonempty_count();
+  for (std::size_t i = 0; i < s; ++i) {
+    pmf[i] = 1.0 / static_cast<double>(s);
+  }
+  return pmf;
+}
+
+}  // namespace recover::balls

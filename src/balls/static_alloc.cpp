@@ -1,0 +1,18 @@
+#include "src/balls/static_alloc.hpp"
+
+namespace recover::balls {
+
+double predicted_max_load_one_choice(std::size_t n) {
+  RL_REQUIRE(n >= 3);
+  const double ln_n = std::log(static_cast<double>(n));
+  return ln_n / std::log(ln_n);
+}
+
+double predicted_max_load_abku(std::size_t n, int d) {
+  RL_REQUIRE(n >= 3);
+  RL_REQUIRE(d >= 2);
+  const double ln_n = std::log(static_cast<double>(n));
+  return std::log(ln_n) / std::log(static_cast<double>(d));
+}
+
+}  // namespace recover::balls

@@ -1,0 +1,42 @@
+// Static (one-shot) allocation processes: throw m balls into n bins with
+// a given rule and inspect the final load vector.
+//
+// These are the classical baselines the paper's introduction builds on:
+//   * uniform single choice — max load Θ(ln n / ln ln n) at m = n w.h.p.;
+//   * ABKU[d], d ≥ 2      — max load ln ln n / ln d + Θ(1) w.h.p.
+// exp10 reproduces the gap and compares against the stationary behaviour
+// of the dynamic chains.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "src/balls/load_vector.hpp"
+#include "src/balls/rules.hpp"
+
+namespace recover::balls {
+
+/// Allocates m balls sequentially with the rule, starting from empty bins.
+template <typename Rule, typename Engine>
+LoadVector allocate_static(std::size_t n, std::int64_t m, const Rule& rule,
+                           Engine& eng) {
+  LoadVector v(n);
+  for (std::int64_t b = 0; b < m; ++b) {
+    ProbeFresh<Engine> probe(eng, n);
+    v.add_at(rule.place_index(v, probe));
+  }
+  return v;
+}
+
+/// Classical i.u.r. single-choice allocation (ABKU[1] specialization,
+/// kept separate as the d = 1 baseline used by exp10).
+template <typename Engine>
+LoadVector allocate_uniform(std::size_t n, std::int64_t m, Engine& eng) {
+  return allocate_static(n, m, AbkuRule(1), eng);
+}
+
+/// Leading-order analytic predictions for the m = n static max load.
+double predicted_max_load_one_choice(std::size_t n);
+double predicted_max_load_abku(std::size_t n, int d);
+
+}  // namespace recover::balls

@@ -1,0 +1,65 @@
+// Coupling From The Past (Propp–Wilson) on top of the grand couplings.
+//
+// The normalized state space Ω_m is bounded in the majorization order:
+// the balanced vector is the unique minimum and the all-in-one crash
+// vector the unique maximum, so EVERY state is sandwiched between the
+// two.  Running the shared-randomness grand coupling from (top, bottom)
+// backwards in time — with the randomness of step −t fixed once and for
+// all by a per-t stream seed — yields, on coalescence by time 0, a
+// sample whose law is EXACTLY the stationary distribution, provided the
+// one-step random map is monotone w.r.t. majorization.
+//
+// We do not prove monotonicity; instead the test suite (a) checks the
+// sandwich property empirically on random triples under the actual
+// random maps, and (b) compares the CFTP output distribution against the
+// exactly computed π on small partition spaces (TV at the sampling-noise
+// floor).  exp18 repeats (b) as a table and then uses CFTP to draw
+// perfect stationary max-load samples at sizes where the matrix no
+// longer fits.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "src/rng/engines.hpp"
+#include "src/util/assert.hpp"
+
+namespace recover::core {
+
+struct CftpOptions {
+  std::uint64_t seed = 1;
+  /// Doubling cap: the backward window grows 1, 2, 4, …, max_window.
+  std::int64_t max_window = 1'000'000'000;
+};
+
+/// One exact sample.  `make_coupling()` must return a fresh grand
+/// coupling whose two copies start at the order-maximum and
+/// order-minimum states; its step(Engine&) must be a deterministic
+/// function of the engine's output (true for all recoverlib couplings).
+/// Returns the common state, or nullopt if max_window was exhausted.
+template <typename MakeCoupling>
+auto cftp_sample(MakeCoupling&& make_coupling, const CftpOptions& options)
+    -> std::optional<std::decay_t<
+        decltype(std::declval<
+                     std::invoke_result_t<MakeCoupling>>().first())>> {
+  RL_REQUIRE(options.max_window >= 1);
+  for (std::int64_t window = 1; window <= options.max_window; window *= 2) {
+    auto coupling = make_coupling();
+    // Steps run from time −window to −1; the randomness of time −t is a
+    // pure function of (seed, t), so growing the window PREPENDS new
+    // randomness while the suffix near time 0 is replayed identically —
+    // the invariant CFTP's correctness rests on.
+    for (std::int64_t t = window; t >= 1; --t) {
+      rng::Xoshiro256PlusPlus eng(rng::derive_stream_seed(
+          options.seed, static_cast<std::uint64_t>(t)));
+      coupling.step(eng);
+    }
+    if (coupling.coalesced()) {
+      return coupling.first();
+    }
+    if (window > options.max_window / 2) break;  // avoid overflow
+  }
+  return std::nullopt;
+}
+
+}  // namespace recover::core

@@ -1,0 +1,39 @@
+#include "src/core/coalescence.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace recover::core {
+
+CoalescenceStats summarize_coalescence(const std::vector<std::int64_t>& times,
+                                       std::int64_t max_steps) {
+  CoalescenceStats out;
+  out.max_steps = max_steps;
+  std::vector<std::int64_t> finished;
+  finished.reserve(times.size());
+  for (const std::int64_t t : times) {
+    if (t < 0) {
+      ++out.censored;
+    } else {
+      finished.push_back(t);
+      out.steps.add(static_cast<double>(t));
+    }
+  }
+  if (!finished.empty()) {
+    std::sort(finished.begin(), finished.end());
+    // Smallest order statistic whose empirical CDF reaches q:
+    // sorted[⌈q·N⌉ − 1].
+    const auto at = [&](double q) {
+      const double pos = std::ceil(q * static_cast<double>(finished.size()));
+      auto idx = pos <= 1.0 ? std::size_t{0}
+                            : static_cast<std::size_t>(pos) - 1;
+      if (idx >= finished.size()) idx = finished.size() - 1;
+      return static_cast<double>(finished[idx]);
+    };
+    out.q50 = at(0.50);
+    out.q95 = at(0.95);
+  }
+  return out;
+}
+
+}  // namespace recover::core

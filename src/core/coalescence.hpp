@@ -1,0 +1,97 @@
+// Coalescence-time measurement for grand couplings.
+//
+// A Coupling type must provide:
+//   template step(Engine&);   — one coupled phase of both copies
+//   bool coalesced() const;   — copies identical
+//   int64 distance() const;   — current Δ (monitoring / early stop)
+//
+// Couplings here keep equal copies equal (shared randomness), so the
+// first meeting time T is well defined and ‖L(X_t | X_0 = x) − L(X_t |
+// X_0 = y)‖ ≤ Pr[T > t] (the coupling inequality); the empirical
+// distribution of T over replicas therefore upper-bounds the recovery
+// time of the process from the chosen pair of starts.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/parallel/thread_pool.hpp"
+#include "src/rng/engines.hpp"
+#include "src/stats/summary.hpp"
+#include "src/util/assert.hpp"
+
+namespace recover::core {
+
+struct CoalescenceStats {
+  stats::Summary steps;       // over replicas that coalesced
+  double q50 = 0;             // median coalescence time
+  double q95 = 0;             // 95th percentile ("w.h.p." column)
+  std::int64_t censored = 0;  // replicas still apart at max_steps
+  std::int64_t max_steps = 0;
+};
+
+/// Aggregates raw per-replica times (negative value = censored).
+CoalescenceStats summarize_coalescence(const std::vector<std::int64_t>& times,
+                                       std::int64_t max_steps);
+
+struct CoalescenceOptions {
+  int replicas = 32;
+  std::uint64_t seed = 1;
+  std::int64_t max_steps = 1'000'000;
+  /// Coalescence is tested every `check_interval` steps; the reported
+  /// time is rounded up to a multiple of it (equal copies stay equal, so
+  /// this only coarsens, never misses, the meeting time).
+  std::int64_t check_interval = 1;
+  bool parallel = true;
+};
+
+/// Runs independent replicas of `make_coupling(replica_index)` and
+/// measures first meeting times.  Each replica gets a deterministic
+/// stream seed derived from options.seed, so results are reproducible
+/// and independent of thread count.
+template <typename MakeCoupling>
+std::vector<std::int64_t> run_coalescence_trials(
+    MakeCoupling&& make_coupling, const CoalescenceOptions& options) {
+  RL_REQUIRE(options.replicas > 0);
+  RL_REQUIRE(options.max_steps > 0);
+  RL_REQUIRE(options.check_interval > 0);
+  std::vector<std::int64_t> times(static_cast<std::size_t>(options.replicas));
+  auto body = [&](std::uint64_t r) {
+    rng::Xoshiro256PlusPlus eng(rng::derive_stream_seed(options.seed, r));
+    auto coupling = make_coupling(r);
+    std::int64_t t = 0;
+    std::int64_t result = -1;
+    while (t < options.max_steps) {
+      const std::int64_t burst =
+          std::min(options.check_interval, options.max_steps - t);
+      for (std::int64_t k = 0; k < burst; ++k) coupling.step(eng);
+      t += burst;
+      if (coupling.coalesced()) {
+        result = t;
+        break;
+      }
+    }
+    times[r] = result;
+  };
+  if (options.parallel) {
+    parallel::parallel_for(static_cast<std::uint64_t>(options.replicas), body);
+  } else {
+    for (std::uint64_t r = 0; r < static_cast<std::uint64_t>(options.replicas);
+         ++r) {
+      body(r);
+    }
+  }
+  return times;
+}
+
+/// Convenience: trials + summary in one call.
+template <typename MakeCoupling>
+CoalescenceStats measure_coalescence(MakeCoupling&& make_coupling,
+                                     const CoalescenceOptions& options) {
+  const auto times = run_coalescence_trials(
+      std::forward<MakeCoupling>(make_coupling), options);
+  return summarize_coalescence(times, options.max_steps);
+}
+
+}  // namespace recover::core

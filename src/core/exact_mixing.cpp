@@ -1,0 +1,115 @@
+#include "src/core/exact_mixing.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/stats/histogram.hpp"
+#include "src/util/assert.hpp"
+
+namespace recover::core {
+
+void SparseChain::add_transition(std::size_t from, std::size_t to, double p) {
+  RL_REQUIRE(from < rows_.size());
+  RL_REQUIRE(to < rows_.size());
+  RL_REQUIRE(p >= 0.0);
+  RL_REQUIRE(!finalized_);
+  if (p > 0.0) {
+    rows_[from].emplace_back(static_cast<std::uint32_t>(to), p);
+  }
+}
+
+void SparseChain::finalize() {
+  RL_REQUIRE(!finalized_);
+  for (auto& row : rows_) {
+    std::sort(row.begin(), row.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    std::vector<std::pair<std::uint32_t, double>> merged;
+    merged.reserve(row.size());
+    for (const auto& [j, p] : row) {
+      if (!merged.empty() && merged.back().first == j) {
+        merged.back().second += p;
+      } else {
+        merged.emplace_back(j, p);
+      }
+    }
+    double sum = 0;
+    for (const auto& [j, p] : merged) sum += p;
+    RL_REQUIRE(std::abs(sum - 1.0) < 1e-9);
+    row = std::move(merged);
+  }
+  finalized_ = true;
+}
+
+void SparseChain::evolve(std::vector<double>& dist) const {
+  RL_REQUIRE(finalized_);
+  RL_REQUIRE(dist.size() == rows_.size());
+  std::vector<double> next(dist.size(), 0.0);
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    const double mass = dist[i];
+    if (mass == 0.0) continue;
+    for (const auto& [j, p] : rows_[i]) next[j] += mass * p;
+  }
+  dist = std::move(next);
+}
+
+std::vector<double> stationary_distribution(const SparseChain& chain,
+                                            double tol,
+                                            std::int64_t max_iters) {
+  RL_REQUIRE(chain.states() > 0);
+  std::vector<double> pi(chain.states(),
+                         1.0 / static_cast<double>(chain.states()));
+  for (std::int64_t it = 0; it < max_iters; ++it) {
+    std::vector<double> prev = pi;
+    chain.evolve(pi);
+    if (stats::tv_distance(prev, pi) < tol) return pi;
+  }
+  RL_REQUIRE(false && "stationary distribution did not converge");
+  return pi;
+}
+
+ExactMixingResult exact_mixing_time(const SparseChain& chain,
+                                    const std::vector<double>& pi, double eps,
+                                    std::int64_t max_t) {
+  RL_REQUIRE(pi.size() == chain.states());
+  RL_REQUIRE(eps > 0.0 && eps < 1.0);
+  const std::size_t s = chain.states();
+  // One distribution per start, evolved in lockstep.
+  std::vector<std::vector<double>> dists(s);
+  for (std::size_t x = 0; x < s; ++x) {
+    dists[x].assign(s, 0.0);
+    dists[x][x] = 1.0;
+  }
+  ExactMixingResult out;
+  for (std::int64_t t = 1; t <= max_t; ++t) {
+    double worst = 0;
+    for (std::size_t x = 0; x < s; ++x) {
+      chain.evolve(dists[x]);
+      const double tv = stats::tv_distance(dists[x], pi);
+      if (tv > worst) worst = tv;
+    }
+    out.worst_tv_by_t.push_back(worst);
+    if (worst <= eps) {
+      out.mixing_time = t;
+      return out;
+    }
+  }
+  return out;  // mixing_time = -1: not reached within max_t
+}
+
+std::vector<double> per_start_tv(const SparseChain& chain,
+                                 const std::vector<double>& pi,
+                                 std::int64_t t) {
+  RL_REQUIRE(pi.size() == chain.states());
+  RL_REQUIRE(t >= 1);
+  const std::size_t s = chain.states();
+  std::vector<double> tv(s, 0.0);
+  for (std::size_t x = 0; x < s; ++x) {
+    std::vector<double> dist(s, 0.0);
+    dist[x] = 1.0;
+    for (std::int64_t step = 0; step < t; ++step) chain.evolve(dist);
+    tv[x] = stats::tv_distance(dist, pi);
+  }
+  return tv;
+}
+
+}  // namespace recover::core

@@ -1,0 +1,70 @@
+// Exact mixing-time computation for small finite chains.
+//
+// The paper defines (§3)
+//   τ(ε) = min{ T : ∀ t ≥ T, max_x ‖L(M_t | M_0 = x) − π‖ ≤ ε }.
+// For chains whose state space fits in memory we compute this exactly:
+// enumerate states, build the sparse row-stochastic transition matrix,
+// obtain π by power iteration, and evolve one distribution per starting
+// state, tracking the max TV distance.  Monotonicity of the worst-case TV
+// distance in t makes the first hitting of ε the exact τ(ε).
+//
+// exp09 uses this to validate the coalescence estimator and the Path
+// Coupling Lemma bounds: exact ≤ coalescence-quantile ≤ lemma bound.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace recover::core {
+
+/// Sparse row-stochastic matrix: rows[i] = {(j, p_ij)} with Σ_j p_ij = 1.
+class SparseChain {
+ public:
+  explicit SparseChain(std::size_t states) : rows_(states) {}
+
+  [[nodiscard]] std::size_t states() const { return rows_.size(); }
+
+  void add_transition(std::size_t from, std::size_t to, double p);
+
+  /// Merges duplicate (from, to) entries and checks row sums ≈ 1.
+  void finalize();
+
+  [[nodiscard]] const std::vector<std::pair<std::uint32_t, double>>& row(
+      std::size_t i) const {
+    return rows_[i];
+  }
+
+  /// dist ← dist · P (one step of the distribution evolution).
+  void evolve(std::vector<double>& dist) const;
+
+ private:
+  std::vector<std::vector<std::pair<std::uint32_t, double>>> rows_;
+  bool finalized_ = false;
+};
+
+/// Stationary distribution by power iteration from uniform; iterates
+/// until successive TV distance < tol (requires an ergodic chain).
+std::vector<double> stationary_distribution(const SparseChain& chain,
+                                            double tol = 1e-12,
+                                            std::int64_t max_iters = 2'000'000);
+
+struct ExactMixingResult {
+  std::int64_t mixing_time = -1;       // first t with worst-case TV ≤ eps
+  std::vector<double> worst_tv_by_t;   // worst_tv_by_t[t-1] = max_x TV at t
+};
+
+/// Exact τ(ε) by evolving a point mass from every start simultaneously.
+/// Memory: states² doubles — callers keep the space small (≤ ~2000).
+ExactMixingResult exact_mixing_time(const SparseChain& chain,
+                                    const std::vector<double>& pi, double eps,
+                                    std::int64_t max_t);
+
+/// TV distance to π from EVERY start after exactly t steps — identifies
+/// which starts are genuinely worst (the extremal-start heuristic the
+/// coalescence experiments rely on is validated against this).
+std::vector<double> per_start_tv(const SparseChain& chain,
+                                 const std::vector<double>& pi,
+                                 std::int64_t t);
+
+}  // namespace recover::core

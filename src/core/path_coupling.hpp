@@ -1,0 +1,74 @@
+// Numeric forms of the Path Coupling Lemma (Bubley–Dyer; Lemma 3.1 of the
+// paper).
+//
+// Let Δ be an integer-valued metric on the state space taking values in
+// {0, …, D}, let Γ connect every pair by a geodesic of Γ-edges, and let a
+// coupling on Γ contract in expectation: E[Δ(X', Y')] ≤ β Δ(X, Y).
+//
+//   (1) β < 1:                τ(ε) ≤ ln(D ε⁻¹) / (1 − β)
+//   (2) β ≤ 1 and the distance moves with probability ≥ α on Γ:
+//                             τ(ε) ≤ ⌈e D² / α⌉ · ⌈ln ε⁻¹⌉
+//
+// These are the two bounds every experiment plugs its measured (β, α, D)
+// into, turning the paper's symbolic theorems into predicted step counts
+// that the coalescence measurements are compared against.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "src/util/assert.hpp"
+
+namespace recover::core {
+
+/// Case (1) of the Path Coupling Lemma.  Requires beta < 1.
+inline double path_coupling_bound_contractive(double beta, double diameter,
+                                              double epsilon) {
+  RL_REQUIRE(beta >= 0.0 && beta < 1.0);
+  RL_REQUIRE(diameter >= 1.0);
+  RL_REQUIRE(epsilon > 0.0 && epsilon < 1.0);
+  return std::ceil(std::log(diameter / epsilon) / (1.0 - beta));
+}
+
+/// Case (2): non-expansive coupling (beta ≤ 1) whose Γ-distance changes
+/// with probability at least alpha each step.
+inline double path_coupling_bound_martingale(double alpha, double diameter,
+                                             double epsilon) {
+  RL_REQUIRE(alpha > 0.0 && alpha <= 1.0);
+  RL_REQUIRE(diameter >= 1.0);
+  RL_REQUIRE(epsilon > 0.0 && epsilon < 1.0);
+  const double e = std::exp(1.0);
+  return std::ceil(e * diameter * diameter / alpha) *
+         std::ceil(std::log(1.0 / epsilon));
+}
+
+/// Theorem 1 instantiation: scenario A has β = 1 − 1/m and D ≤ m, giving
+/// τ(ε) = ⌈m ln(m ε⁻¹)⌉.
+inline double theorem1_bound(std::int64_t m, double epsilon) {
+  RL_REQUIRE(m >= 1);
+  RL_REQUIRE(epsilon > 0.0 && epsilon < 1.0);
+  return std::ceil(static_cast<double>(m) *
+                   std::log(static_cast<double>(m) / epsilon));
+}
+
+/// Claim 5.3 instantiation: scenario B couples with β ≤ 1 and the
+/// Γ-distance moves with probability α = Ω(1/s) ≥ Ω(1/n) per phase (the
+/// merge pick alone has probability 1/s, and merged copies stay merged
+/// through the non-expansive insertion).  Lemma 3.1 case (2) with D = m
+/// and α = 1/n gives τ(ε) ≤ ⌈e n m²⌉⌈ln ε⁻¹⌉ = O(n m² ln ε⁻¹).
+inline double claim53_bound(std::size_t n, std::int64_t m, double epsilon) {
+  return path_coupling_bound_martingale(1.0 / static_cast<double>(n),
+                                        static_cast<double>(m), epsilon);
+}
+
+/// Corollary 6.4 instantiation for the edge-orientation chain:
+/// E[Δ'] ≤ Δ (1 − 2/(n(n−1)) · 1/D) with D ≤ n, so
+/// τ(ε) ≤ n(n−1)/2 · n · ln(n ε⁻¹) = O(n³ (ln n + ln ε⁻¹)).
+inline double corollary64_bound(std::size_t n, double epsilon) {
+  RL_REQUIRE(n >= 2);
+  const double nd = static_cast<double>(n);
+  const double beta = 1.0 - 2.0 / (nd * (nd - 1.0) * nd);
+  return path_coupling_bound_contractive(beta, nd, epsilon);
+}
+
+}  // namespace recover::core

@@ -1,0 +1,23 @@
+#include "src/core/recovery.hpp"
+
+namespace recover::core {
+
+std::int64_t first_sustained_entry(const std::vector<double>& series,
+                                   double lo, double hi, std::size_t window) {
+  RL_REQUIRE(window >= 1);
+  RL_REQUIRE(lo <= hi);
+  std::size_t run = 0;
+  for (std::size_t s = 0; s < series.size(); ++s) {
+    if (series[s] >= lo && series[s] <= hi) {
+      ++run;
+      if (run >= window) {
+        return static_cast<std::int64_t>(s + 1 - window);
+      }
+    } else {
+      run = 0;
+    }
+  }
+  return -1;
+}
+
+}  // namespace recover::core

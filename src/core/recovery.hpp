@@ -1,0 +1,106 @@
+// Recovery-trajectory measurement: how long until a chain started in an
+// arbitrarily bad ("crashed") state returns to a typical value of a
+// critical measure (maximum load, unfairness, …)?
+//
+// This is the application-level reading of the paper's recovery time
+// (§1.1): the mixing-time bounds guarantee the observable is typical
+// after τ steps from *any* start; here we start at adversarial states and
+// detect the first *sustained* entry into the typical band (a single
+// lucky sample does not count as recovered).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/rng/engines.hpp"
+#include "src/stats/summary.hpp"
+#include "src/util/assert.hpp"
+
+namespace recover::core {
+
+struct TrajectoryOptions {
+  std::int64_t max_steps = 1'000'000;
+  std::int64_t sample_interval = 1;  // record the observable every k steps
+};
+
+/// Runs `chain` forward and records observable(chain) every
+/// sample_interval steps (index s holds the value after (s+1)·interval
+/// steps).
+template <typename Chain, typename Observable>
+std::vector<double> record_trajectory(Chain& chain, Observable&& observable,
+                                      const TrajectoryOptions& options,
+                                      std::uint64_t seed) {
+  RL_REQUIRE(options.max_steps > 0);
+  RL_REQUIRE(options.sample_interval > 0);
+  rng::Xoshiro256PlusPlus eng(seed);
+  std::vector<double> series;
+  series.reserve(static_cast<std::size_t>(options.max_steps /
+                                          options.sample_interval));
+  std::int64_t t = 0;
+  while (t < options.max_steps) {
+    const std::int64_t burst =
+        std::min(options.sample_interval, options.max_steps - t);
+    for (std::int64_t k = 0; k < burst; ++k) chain.step(eng);
+    t += burst;
+    series.push_back(observable(chain));
+  }
+  return series;
+}
+
+/// First sample index s such that series[s .. s+window) all lie within
+/// [lo, hi]; returns -1 if no such sustained entry exists.
+std::int64_t first_sustained_entry(const std::vector<double>& series,
+                                   double lo, double hi, std::size_t window);
+
+struct RecoveryStats {
+  stats::Summary hitting_steps;  // over replicas that recovered
+  std::int64_t censored = 0;
+};
+
+/// Replicated recovery measurement: `make_chain(replica)` builds a chain
+/// in the crash state; recovery = first sustained entry of the observable
+/// into [lo, hi] over `window` consecutive samples.  Each replica stops
+/// stepping as soon as the sustained entry is detected (the horizon
+/// options.max_steps only bounds the censored case).
+template <typename MakeChain, typename Observable>
+RecoveryStats measure_recovery(MakeChain&& make_chain, Observable&& observable,
+                               double lo, double hi, std::size_t window,
+                               int replicas, const TrajectoryOptions& options,
+                               std::uint64_t seed) {
+  RL_REQUIRE(replicas > 0);
+  RL_REQUIRE(window >= 1);
+  RL_REQUIRE(options.max_steps > 0);
+  RL_REQUIRE(options.sample_interval > 0);
+  RecoveryStats out;
+  for (int r = 0; r < replicas; ++r) {
+    auto chain = make_chain(r);
+    rng::Xoshiro256PlusPlus eng(
+        rng::derive_stream_seed(seed, static_cast<std::uint64_t>(r)));
+    std::int64_t t = 0;
+    std::size_t run = 0;
+    std::int64_t entered_at = -1;
+    while (t < options.max_steps) {
+      const std::int64_t burst =
+          std::min(options.sample_interval, options.max_steps - t);
+      for (std::int64_t k = 0; k < burst; ++k) chain.step(eng);
+      t += burst;
+      const double value = observable(chain);
+      if (value >= lo && value <= hi) {
+        if (run == 0) entered_at = t;
+        if (++run >= window) break;
+      } else {
+        run = 0;
+        entered_at = -1;
+      }
+    }
+    if (run >= window) {
+      out.hitting_steps.add(static_cast<double>(entered_at));
+    } else {
+      ++out.censored;
+    }
+  }
+  return out;
+}
+
+}  // namespace recover::core

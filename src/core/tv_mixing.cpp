@@ -1,0 +1,35 @@
+#include "src/core/tv_mixing.hpp"
+
+#include <cmath>
+
+namespace recover::core {
+
+std::int64_t first_below(const std::vector<TvCurvePoint>& curve, double eps) {
+  for (const auto& point : curve) {
+    if (point.tv < eps) return point.t;
+  }
+  return -1;
+}
+
+std::vector<std::int64_t> geometric_checkpoints(std::int64_t start,
+                                                double ratio,
+                                                std::int64_t limit) {
+  RL_REQUIRE(start >= 1);
+  RL_REQUIRE(ratio > 1.0);
+  RL_REQUIRE(limit >= start);
+  std::vector<std::int64_t> out;
+  double x = static_cast<double>(start);
+  std::int64_t prev = 0;
+  while (static_cast<std::int64_t>(x) < limit) {
+    const auto t = static_cast<std::int64_t>(x);
+    if (t > prev) {
+      out.push_back(t);
+      prev = t;
+    }
+    x *= ratio;
+  }
+  if (prev < limit) out.push_back(limit);
+  return out;
+}
+
+}  // namespace recover::core

@@ -1,0 +1,107 @@
+// Empirical total-variation mixing estimation.
+//
+// Coalescence times upper-bound the mixing behaviour (coupling
+// inequality); this module provides the complementary LOWER estimate:
+// run many independent replicas of the chain from two different starts,
+// project the state through an observable (max load, unfairness, …), and
+// measure the TV distance between the two empirical distributions at
+// chosen times.  Since projections only lose mass,
+//     TV(observable_x(t), observable_y(t)) ≤ ‖L(M_t|x) − L(M_t|y)‖,
+// the projected curve underestimates the true distance — together with
+// the coalescence upper bound it brackets the recovery time from both
+// sides (exp14 demonstrates the sandwich against exact values).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/parallel/thread_pool.hpp"
+#include "src/rng/engines.hpp"
+#include "src/stats/histogram.hpp"
+#include "src/util/assert.hpp"
+
+namespace recover::core {
+
+struct TvCurvePoint {
+  std::int64_t t = 0;
+  double tv = 0;
+};
+
+/// Runs `replicas` independent chains from each start and records the TV
+/// distance between the empirical observable distributions at each
+/// checkpoint (checkpoints must be strictly increasing step counts).
+///
+/// make_chain_x / make_chain_y: (replica) -> chain in the respective
+/// start state.  observable: chain -> int64 statistic.
+template <typename MakeChainX, typename MakeChainY, typename Observable>
+std::vector<TvCurvePoint> estimate_tv_curve(
+    MakeChainX&& make_chain_x, MakeChainY&& make_chain_y,
+    Observable&& observable, const std::vector<std::int64_t>& checkpoints,
+    int replicas, std::uint64_t seed, bool parallel = true) {
+  RL_REQUIRE(!checkpoints.empty());
+  RL_REQUIRE(replicas > 0);
+  for (std::size_t i = 1; i < checkpoints.size(); ++i) {
+    RL_REQUIRE(checkpoints[i] > checkpoints[i - 1]);
+  }
+  RL_REQUIRE(checkpoints.front() > 0);
+
+  const auto r = static_cast<std::size_t>(replicas);
+  const std::size_t c = checkpoints.size();
+  // values[side][checkpoint][replica]
+  std::vector<std::vector<std::vector<std::int64_t>>> values(
+      2, std::vector<std::vector<std::int64_t>>(
+             c, std::vector<std::int64_t>(r, 0)));
+
+  auto body = [&](std::uint64_t rep) {
+    for (int side = 0; side < 2; ++side) {
+      rng::Xoshiro256PlusPlus eng(rng::derive_stream_seed(
+          seed + static_cast<std::uint64_t>(side) *
+                     std::uint64_t{0x9E3779B9},
+          rep));
+      auto run = [&](auto chain) {
+        std::int64_t t = 0;
+        for (std::size_t k = 0; k < c; ++k) {
+          while (t < checkpoints[k]) {
+            chain.step(eng);
+            ++t;
+          }
+          values[static_cast<std::size_t>(side)][k][rep] = observable(chain);
+        }
+      };
+      if (side == 0) {
+        run(make_chain_x(static_cast<int>(rep)));
+      } else {
+        run(make_chain_y(static_cast<int>(rep)));
+      }
+    }
+  };
+  if (parallel) {
+    parallel::parallel_for(r, body);
+  } else {
+    for (std::uint64_t rep = 0; rep < r; ++rep) body(rep);
+  }
+
+  std::vector<TvCurvePoint> curve;
+  curve.reserve(c);
+  for (std::size_t k = 0; k < c; ++k) {
+    stats::IntHistogram hx, hy;
+    for (std::size_t rep = 0; rep < r; ++rep) {
+      hx.add(values[0][k][rep]);
+      hy.add(values[1][k][rep]);
+    }
+    curve.push_back({checkpoints[k], stats::tv_distance(hx, hy)});
+  }
+  return curve;
+}
+
+/// First checkpoint whose TV estimate drops below eps; -1 if none does.
+std::int64_t first_below(const std::vector<TvCurvePoint>& curve, double eps);
+
+/// Geometrically spaced checkpoints {start, start*ratio, ...} capped at
+/// `limit` (always includes limit as the last point).
+std::vector<std::int64_t> geometric_checkpoints(std::int64_t start,
+                                                double ratio,
+                                                std::int64_t limit);
+
+}  // namespace recover::core

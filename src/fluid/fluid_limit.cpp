@@ -1,0 +1,170 @@
+#include "src/fluid/fluid_limit.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/assert.hpp"
+
+namespace recover::fluid {
+
+InsertionLaw abku_insertion_law(int d) {
+  RL_REQUIRE(d >= 1);
+  return [d](const std::vector<double>& s) {
+    const std::size_t levels = s.size();
+    std::vector<double> p(levels + 1, 0.0);
+    auto tail = [&](std::size_t i) -> double {
+      if (i == 0) return 1.0;
+      if (i > levels) return 0.0;
+      return std::clamp(s[i - 1], 0.0, 1.0);
+    };
+    for (std::size_t l = 0; l <= levels; ++l) {
+      // Land in a load-ℓ bin ⇔ the minimum of d uniform bins has load ℓ.
+      p[l] = std::pow(tail(l), d) - std::pow(tail(l + 1), d);
+    }
+    return p;
+  };
+}
+
+InsertionLaw adap_insertion_law(std::vector<int> thresholds) {
+  RL_REQUIRE(!thresholds.empty());
+  RL_REQUIRE(thresholds.front() >= 1);
+  for (std::size_t i = 1; i < thresholds.size(); ++i) {
+    RL_REQUIRE(thresholds[i] >= thresholds[i - 1]);
+  }
+  return [x = std::move(thresholds)](const std::vector<double>& s) {
+    const std::size_t levels = s.size();
+    auto tail = [&](std::size_t i) -> double {
+      if (i == 0) return 1.0;
+      if (i > levels) return 0.0;
+      return std::clamp(s[i - 1], 0.0, 1.0);
+    };
+    auto threshold = [&](std::size_t load) {
+      return load < x.size() ? x[load] : x.back();
+    };
+    // DP over probe rounds on the current minimum load b (Mitzenmacher's
+    // fluid view of the adaptive probe process): after one probe the
+    // minimum is ℓ with probability q_ℓ = s_ℓ − s_{ℓ+1}; a further probe
+    // keeps the minimum at b with probability 1 − s_... (sample ≥ b has
+    // probability tail(b); any sample < b lowers the minimum).
+    std::vector<double> placed(levels + 1, 0.0);
+    std::vector<double> surviving(levels + 1, 0.0);
+    for (std::size_t l = 0; l <= levels; ++l) {
+      surviving[l] = tail(l) - tail(l + 1);
+    }
+    const int max_rounds = x.back();
+    for (int t = 1; t <= max_rounds; ++t) {
+      double alive = 0;
+      for (std::size_t b = 0; b <= levels; ++b) {
+        if (surviving[b] <= 0) continue;
+        if (threshold(b) <= t) {
+          placed[b] += surviving[b];
+          surviving[b] = 0;
+        } else {
+          alive += surviving[b];
+        }
+      }
+      if (alive <= 0) break;
+      std::vector<double> next(levels + 1, 0.0);
+      double above = 0;  // Σ_{b > b'} surviving[b]
+      for (std::size_t b = levels + 1; b-- > 0;) {
+        // min stays at b if the new sample has load ≥ b: prob tail(b);
+        // min becomes b (from above) if the sample has load exactly b.
+        next[b] = surviving[b] * tail(b) +
+                  above * (tail(b) - tail(b + 1));
+        above += surviving[b];
+      }
+      surviving = std::move(next);
+    }
+    return placed;
+  };
+}
+
+FluidModel::FluidModel(Scenario scenario, int d, double load_ratio,
+                       std::size_t max_level)
+    : FluidModel(scenario, abku_insertion_law(d), load_ratio, max_level) {}
+
+FluidModel::FluidModel(Scenario scenario, InsertionLaw insertion,
+                       double load_ratio, std::size_t max_level)
+    : scenario_(scenario),
+      insertion_(std::move(insertion)),
+      load_ratio_(load_ratio),
+      max_level_(max_level) {
+  RL_REQUIRE(load_ratio > 0);
+  RL_REQUIRE(max_level >= 2);
+}
+
+void FluidModel::derivative(const std::vector<double>& s,
+                            std::vector<double>& ds) const {
+  RL_REQUIRE(s.size() == max_level_);
+  ds.assign(max_level_, 0.0);
+  auto tail = [&](std::size_t i) -> double {
+    // i is a 1-based level; s[i-1] holds s_i.
+    if (i == 0) return 1.0;
+    if (i > max_level_) return 0.0;
+    return std::clamp(s[i - 1], 0.0, 1.0);
+  };
+  const std::vector<double> place = insertion_(s);
+  const double s1 = std::max(tail(1), 1e-300);
+  for (std::size_t i = 1; i <= max_level_; ++i) {
+    // s_i rises when a ball lands in a bin holding exactly i − 1 balls.
+    const double insert = place[i - 1];
+    double remove;
+    if (scenario_ == Scenario::kA) {
+      remove = (static_cast<double>(i) / load_ratio_) *
+               (tail(i) - tail(i + 1));
+    } else {
+      remove = (tail(i) - tail(i + 1)) / s1;
+    }
+    ds[i - 1] = insert - remove;
+  }
+}
+
+std::vector<double> FluidModel::balanced_profile() const {
+  std::vector<double> s(max_level_, 0.0);
+  double remaining = load_ratio_;
+  for (std::size_t i = 0; i < max_level_; ++i) {
+    s[i] = std::clamp(remaining, 0.0, 1.0);
+    remaining -= s[i];
+    if (remaining <= 0) break;
+  }
+  return s;
+}
+
+std::vector<double> FluidModel::evolve(std::vector<double> s, double time,
+                                       double dt) const {
+  OdeFn f = [this](double /*t*/, const std::vector<double>& y,
+                   std::vector<double>& dy) { derivative(y, dy); };
+  return rk4_integrate(f, std::move(s), 0.0, time, dt);
+}
+
+std::vector<double> FluidModel::fixed_point(double tol, double t_max) const {
+  OdeFn f = [this](double /*t*/, const std::vector<double>& y,
+                   std::vector<double>& dy) { derivative(y, dy); };
+  return integrate_to_fixed_point(f, balanced_profile(), 0.05, tol, t_max);
+}
+
+std::int64_t FluidModel::predicted_max_load(const std::vector<double>& s,
+                                            double n) {
+  RL_REQUIRE(n >= 1);
+  std::int64_t level = 0;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] >= 1.0 / n) level = static_cast<std::int64_t>(i + 1);
+  }
+  return level;
+}
+
+std::vector<double> tail_fractions(const std::vector<std::int64_t>& loads,
+                                   std::size_t max_level) {
+  RL_REQUIRE(!loads.empty());
+  std::vector<double> s(max_level, 0.0);
+  for (const std::int64_t load : loads) {
+    const auto top = static_cast<std::size_t>(
+        std::min<std::int64_t>(load, static_cast<std::int64_t>(max_level)));
+    for (std::size_t i = 1; i <= top; ++i) s[i - 1] += 1.0;
+  }
+  const auto n = static_cast<double>(loads.size());
+  for (double& v : s) v /= n;
+  return s;
+}
+
+}  // namespace recover::fluid

@@ -1,0 +1,96 @@
+// Mitzenmacher's fluid-limit (density-dependent jump Markov process)
+// models for the dynamic ABKU[d] processes — the external framework the
+// paper explicitly pairs its own technique with (§1: "our technique …
+// applied together with the method of Mitzenmacher.  His framework would
+// be used to estimate the maximum load … and our approach … the recovery
+// time").
+//
+// State: tail fractions s_i = (number of bins with load ≥ i) / n for
+// i = 1..L, with s_0 ≡ 1 and s_{L+1} ≡ 0.  One phase per unit time:
+//
+//   insertion (ABKU[d]):     ds_i/dt += s_{i−1}^d − s_i^d
+//   removal, scenario A:     ds_i/dt −= (n/m) · i · (s_i − s_{i+1})
+//   removal, scenario B:     ds_i/dt −= (s_i − s_{i+1}) / s_1
+//
+// The average load Σ_i s_i = m/n is conserved exactly by each pair of
+// terms.  The fixed point predicts the stationary tail profile and hence
+// the typical max load ≈ max{ i : s_i ≥ 1/n }, the "typical band" the
+// recovery experiments (exp07) measure hitting times into, and the
+// doubly-exponential decay behind the ln ln n / ln d law (exp10).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/fluid/ode.hpp"
+
+namespace recover::fluid {
+
+enum class Scenario {
+  kA,  // remove a uniform random ball (I_A)
+  kB,  // remove from a uniform random non-empty bin (I_B)
+};
+
+/// Insertion side of the fluid limit: maps the tail profile s (s[i-1] =
+/// fraction of bins with load ≥ i) to the probability p[ℓ] that the new
+/// ball lands in a bin of load exactly ℓ, for ℓ = 0..L (Σ p = 1).
+using InsertionLaw =
+    std::function<std::vector<double>(const std::vector<double>&)>;
+
+/// ABKU[d]: p[ℓ] = s_ℓ^d − s_{ℓ+1}^d (least-loaded of d uniform bins).
+InsertionLaw abku_insertion_law(int d);
+
+/// ADAP(x) with thresholds[ℓ] clamped at the back: the probe process is
+/// a Markov chain on (current minimum load, probe count); its exact law
+/// under an i.i.d.-from-s load population is computed by the same DP as
+/// AdapRule::placement_pmf, but in load space — this is Mitzenmacher's
+/// treatment of adaptive schemes in the fluid limit.
+InsertionLaw adap_insertion_law(std::vector<int> thresholds);
+
+class FluidModel {
+ public:
+  /// load_ratio = m/n; max_level L truncates the tail (pick L well above
+  /// the expected max load; mass above L is clamped to zero).
+  FluidModel(Scenario scenario, int d, double load_ratio,
+             std::size_t max_level);
+
+  /// General insertion law (ABKU and ADAP provided above).
+  FluidModel(Scenario scenario, InsertionLaw insertion, double load_ratio,
+             std::size_t max_level);
+
+  [[nodiscard]] std::size_t levels() const { return max_level_; }
+  [[nodiscard]] double load_ratio() const { return load_ratio_; }
+
+  /// ds/dt at the given tail profile (s has levels() entries, s[0] = s_1).
+  void derivative(const std::vector<double>& s, std::vector<double>& ds) const;
+
+  /// Tail profile of the perfectly balanced configuration.
+  [[nodiscard]] std::vector<double> balanced_profile() const;
+
+  /// Evolves a profile for `time` phases (per-bin time normalization:
+  /// one unit of ODE time = n process steps).
+  [[nodiscard]] std::vector<double> evolve(std::vector<double> s,
+                                           double time, double dt) const;
+
+  /// Stationary tail profile (integrate to stationarity).
+  [[nodiscard]] std::vector<double> fixed_point(double tol = 1e-12,
+                                                double t_max = 1e4) const;
+
+  /// Typical max load for n bins: largest i with s_i ≥ 1/n.
+  static std::int64_t predicted_max_load(const std::vector<double>& s,
+                                         double n);
+
+ private:
+  Scenario scenario_;
+  InsertionLaw insertion_;
+  double load_ratio_;
+  std::size_t max_level_;
+};
+
+/// Empirical tail fractions of a load multiset (levels 1..max_level), the
+/// bridge between simulated states and fluid profiles.
+std::vector<double> tail_fractions(const std::vector<std::int64_t>& loads,
+                                   std::size_t max_level);
+
+}  // namespace recover::fluid

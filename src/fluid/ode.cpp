@@ -1,0 +1,55 @@
+#include "src/fluid/ode.hpp"
+
+#include <cmath>
+
+#include "src/util/assert.hpp"
+
+namespace recover::fluid {
+
+void rk4_step(const OdeFn& f, double t, double dt, std::vector<double>& y) {
+  const std::size_t n = y.size();
+  std::vector<double> k1(n), k2(n), k3(n), k4(n), tmp(n);
+  f(t, y, k1);
+  for (std::size_t i = 0; i < n; ++i) tmp[i] = y[i] + 0.5 * dt * k1[i];
+  f(t + 0.5 * dt, tmp, k2);
+  for (std::size_t i = 0; i < n; ++i) tmp[i] = y[i] + 0.5 * dt * k2[i];
+  f(t + 0.5 * dt, tmp, k3);
+  for (std::size_t i = 0; i < n; ++i) tmp[i] = y[i] + dt * k3[i];
+  f(t + dt, tmp, k4);
+  for (std::size_t i = 0; i < n; ++i) {
+    y[i] += dt / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
+  }
+}
+
+std::vector<double> rk4_integrate(const OdeFn& f, std::vector<double> y0,
+                                  double t0, double t1, double dt) {
+  RL_REQUIRE(dt > 0);
+  RL_REQUIRE(t1 >= t0);
+  double t = t0;
+  while (t < t1) {
+    const double step = std::min(dt, t1 - t);
+    rk4_step(f, t, step, y0);
+    t += step;
+  }
+  return y0;
+}
+
+std::vector<double> integrate_to_fixed_point(const OdeFn& f,
+                                             std::vector<double> y0,
+                                             double dt, double tol,
+                                             double t_max) {
+  RL_REQUIRE(dt > 0 && tol > 0 && t_max > 0);
+  std::vector<double> dydt(y0.size());
+  double t = 0;
+  while (t < t_max) {
+    rk4_step(f, t, dt, y0);
+    t += dt;
+    f(t, y0, dydt);
+    double worst = 0;
+    for (const double d : dydt) worst = std::max(worst, std::abs(d));
+    if (worst < tol) return y0;
+  }
+  return y0;
+}
+
+}  // namespace recover::fluid

@@ -1,0 +1,33 @@
+// Classic fixed-step RK4 integrator for small ODE systems.
+//
+// The fluid-limit substrate integrates Mitzenmacher's density-dependent
+// jump-process limits; the systems are tiny (tens of equations), so a
+// fixed-step fourth-order scheme is plenty and keeps results exactly
+// reproducible.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace recover::fluid {
+
+/// f(t, y, dydt): writes the derivative of y at time t into dydt.
+using OdeFn = std::function<void(double, const std::vector<double>&,
+                                 std::vector<double>&)>;
+
+/// One RK4 step of size dt, in place.
+void rk4_step(const OdeFn& f, double t, double dt, std::vector<double>& y);
+
+/// Integrates from t0 to t1 with fixed step dt (last step shortened to
+/// land exactly on t1); returns the final state.
+std::vector<double> rk4_integrate(const OdeFn& f, std::vector<double> y0,
+                                  double t0, double t1, double dt);
+
+/// Integrates until ‖dy/dt‖_∞ < tol or t exceeds t_max; returns the
+/// (approximate) fixed point.
+std::vector<double> integrate_to_fixed_point(const OdeFn& f,
+                                             std::vector<double> y0,
+                                             double dt, double tol,
+                                             double t_max);
+
+}  // namespace recover::fluid

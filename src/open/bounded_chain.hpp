@@ -1,0 +1,118 @@
+// Bounded open systems — the FIRST class of open processes in §7: "one
+// requires the number of balls to be bounded all the time.  The approach
+// used in the paper can be refined to be applicable to such systems."
+//
+// The chain keeps 0 ≤ m_t ≤ capacity: an insertion that would exceed the
+// capacity is rejected (dropped request), removal of a nonexistent ball
+// is a no-op.  Because the ball count is a reflected lazy ±1 walk on
+// [0, capacity], the count component mixes in O(capacity²) and the
+// contents couple as in the closed case — which is what exp11's bounded
+// table demonstrates.
+#pragma once
+
+#include <utility>
+
+#include "src/balls/coupling_common.hpp"
+#include "src/balls/load_vector.hpp"
+#include "src/balls/rules.hpp"
+#include "src/rng/distributions.hpp"
+
+namespace recover::open {
+
+template <typename Rule>
+class BoundedOpenChain {
+ public:
+  using State = balls::LoadVector;
+
+  BoundedOpenChain(balls::LoadVector init, Rule rule, std::int64_t capacity,
+                   double insert_probability = 0.5)
+      : state_(std::move(init)),
+        rule_(std::move(rule)),
+        capacity_(capacity),
+        insert_probability_(insert_probability) {
+    RL_REQUIRE(capacity >= 1);
+    RL_REQUIRE(state_.balls() <= capacity);
+    RL_REQUIRE(insert_probability > 0.0 && insert_probability < 1.0);
+  }
+
+  [[nodiscard]] const balls::LoadVector& state() const { return state_; }
+  [[nodiscard]] std::int64_t balls() const { return state_.balls(); }
+  [[nodiscard]] std::int64_t capacity() const { return capacity_; }
+
+  template <typename Engine>
+  void step(Engine& eng) {
+    if (rng::uniform_real(eng) < insert_probability_) {
+      if (state_.balls() < capacity_) {
+        balls::ProbeFresh<Engine> probe(eng, state_.bins());
+        state_.add_at(rule_.place_index(state_, probe));
+      }
+    } else if (state_.balls() > 0) {
+      state_.remove_at(state_.sample_ball_weighted(eng));
+    }
+  }
+
+ private:
+  balls::LoadVector state_;
+  Rule rule_;
+  std::int64_t capacity_;
+  double insert_probability_;
+};
+
+/// Shared-randomness coupling of two bounded open chains (same coin,
+/// same removal quantile, same probe sequence).
+template <typename Rule>
+class BoundedOpenCoupling {
+ public:
+  BoundedOpenCoupling(balls::LoadVector x, balls::LoadVector y, Rule rule,
+                      std::int64_t capacity, double insert_probability = 0.5)
+      : x_(std::move(x)),
+        y_(std::move(y)),
+        rule_(std::move(rule)),
+        capacity_(capacity),
+        insert_probability_(insert_probability) {
+    RL_REQUIRE(x_.bins() == y_.bins());
+    RL_REQUIRE(x_.balls() <= capacity && y_.balls() <= capacity);
+  }
+
+  template <typename Engine>
+  void step(Engine& eng) {
+    if (rng::uniform_real(eng) < insert_probability_) {
+      // Draw the probe sequence once; each copy uses it only if it has
+      // headroom (rejected insertions consume no extra entropy, so
+      // merged copies remain merged).
+      balls::ProbeMemo<Engine> memo(eng, x_.bins());
+      if (x_.balls() < capacity_) {
+        x_.add_at(rule_.place_index(x_, memo));
+      }
+      if (y_.balls() < capacity_) {
+        y_.add_at(rule_.place_index(y_, memo));
+      }
+    } else {
+      const double w = rng::uniform_real(eng);
+      remove_quantile(x_, w);
+      remove_quantile(y_, w);
+    }
+  }
+
+  [[nodiscard]] bool coalesced() const { return x_ == y_; }
+  [[nodiscard]] std::int64_t distance() const { return x_.l1_distance(y_); }
+  [[nodiscard]] const balls::LoadVector& first() const { return x_; }
+  [[nodiscard]] const balls::LoadVector& second() const { return y_; }
+
+ private:
+  static void remove_quantile(balls::LoadVector& v, double w) {
+    if (v.balls() == 0) return;
+    auto rank = static_cast<std::int64_t>(
+        w * static_cast<double>(v.balls()));
+    if (rank >= v.balls()) rank = v.balls() - 1;
+    v.remove_at(v.ball_at_quantile(rank));
+  }
+
+  balls::LoadVector x_;
+  balls::LoadVector y_;
+  Rule rule_;
+  std::int64_t capacity_;
+  double insert_probability_;
+};
+
+}  // namespace recover::open

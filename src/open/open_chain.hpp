@@ -1,0 +1,101 @@
+// Open systems (§7 Conclusions): the number of balls changes over time.
+//
+// The paper's example: start with any configuration and repeatedly, with
+// probability ½ remove a uniform random existing ball, otherwise allocate
+// a new ball with the scheduling rule.  There is no stationary ball count
+// bound, so mixing is measured as the time until the processes started
+// from two different configurations (e.g. 0 balls vs m piled balls) have
+// nearly the same distribution — exactly the coupling estimate the paper
+// proposes; OpenGrandCoupling below shares the coin, the removal
+// quantile, and the placement probes between the two copies.
+#pragma once
+
+#include <utility>
+
+#include "src/balls/coupling_common.hpp"
+#include "src/balls/load_vector.hpp"
+#include "src/balls/rules.hpp"
+#include "src/rng/distributions.hpp"
+
+namespace recover::open {
+
+template <typename Rule>
+class OpenChain {
+ public:
+  using State = balls::LoadVector;
+
+  OpenChain(balls::LoadVector init, Rule rule, double insert_probability = 0.5)
+      : state_(std::move(init)),
+        rule_(std::move(rule)),
+        insert_probability_(insert_probability) {
+    RL_REQUIRE(insert_probability > 0.0 && insert_probability < 1.0);
+  }
+
+  [[nodiscard]] const balls::LoadVector& state() const { return state_; }
+  [[nodiscard]] std::int64_t balls() const { return state_.balls(); }
+  [[nodiscard]] std::size_t bins() const { return state_.bins(); }
+
+  template <typename Engine>
+  void step(Engine& eng) {
+    if (rng::uniform_real(eng) < insert_probability_) {
+      balls::ProbeFresh<Engine> probe(eng, state_.bins());
+      state_.add_at(rule_.place_index(state_, probe));
+    } else if (state_.balls() > 0) {
+      state_.remove_at(state_.sample_ball_weighted(eng));
+    }
+    // Removal from an empty system is a no-op (nothing to remove).
+  }
+
+ private:
+  balls::LoadVector state_;
+  Rule rule_;
+  double insert_probability_;
+};
+
+/// Shared-randomness coupling of two open chains; ball counts may differ,
+/// so the removal shares a quantile w ∈ [0,1) and each copy removes the
+/// ball of rank ⌊w·m⌋ among its own m balls.
+template <typename Rule>
+class OpenGrandCoupling {
+ public:
+  OpenGrandCoupling(balls::LoadVector x, balls::LoadVector y, Rule rule,
+                    double insert_probability = 0.5)
+      : x_(std::move(x)),
+        y_(std::move(y)),
+        rule_(std::move(rule)),
+        insert_probability_(insert_probability) {
+    RL_REQUIRE(x_.bins() == y_.bins());
+  }
+
+  template <typename Engine>
+  void step(Engine& eng) {
+    if (rng::uniform_real(eng) < insert_probability_) {
+      balls::coupled_place(rule_, x_, y_, eng);
+    } else {
+      const double w = rng::uniform_real(eng);
+      remove_quantile(x_, w);
+      remove_quantile(y_, w);
+    }
+  }
+
+  [[nodiscard]] bool coalesced() const { return x_ == y_; }
+  [[nodiscard]] std::int64_t distance() const { return x_.l1_distance(y_); }
+  [[nodiscard]] const balls::LoadVector& first() const { return x_; }
+  [[nodiscard]] const balls::LoadVector& second() const { return y_; }
+
+ private:
+  static void remove_quantile(balls::LoadVector& v, double w) {
+    if (v.balls() == 0) return;
+    auto rank = static_cast<std::int64_t>(
+        w * static_cast<double>(v.balls()));
+    if (rank >= v.balls()) rank = v.balls() - 1;
+    v.remove_at(v.ball_at_quantile(rank));
+  }
+
+  balls::LoadVector x_;
+  balls::LoadVector y_;
+  Rule rule_;
+  double insert_probability_;
+};
+
+}  // namespace recover::open

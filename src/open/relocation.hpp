@@ -1,0 +1,59 @@
+// Relocation processes (§7 Conclusions): dynamic allocation where a
+// limited number of balls may be *relocated* each step in addition to the
+// usual remove/insert phase.
+//
+// The paper defers the analysis to its full version; we implement the
+// natural protocol so the ablation exp12 can measure how much limited
+// relocation accelerates recovery: after each I_A phase, perform r
+// relocation moves, each taking one ball from a maximally loaded bin and
+// re-placing it with the scheduling rule (skipped when the state is
+// already perfectly balanced — relocating would just churn).
+#pragma once
+
+#include <utility>
+
+#include "src/balls/load_vector.hpp"
+#include "src/balls/rules.hpp"
+#include "src/rng/distributions.hpp"
+
+namespace recover::open {
+
+template <typename Rule>
+class RelocatingChainA {
+ public:
+  using State = balls::LoadVector;
+
+  RelocatingChainA(balls::LoadVector init, Rule rule, int relocations)
+      : state_(std::move(init)),
+        rule_(std::move(rule)),
+        relocations_(relocations) {
+    RL_REQUIRE(relocations >= 0);
+    RL_REQUIRE(state_.balls() > 0);
+  }
+
+  [[nodiscard]] const balls::LoadVector& state() const { return state_; }
+  [[nodiscard]] std::size_t bins() const { return state_.bins(); }
+  [[nodiscard]] std::int64_t balls() const { return state_.balls(); }
+
+  template <typename Engine>
+  void step(Engine& eng) {
+    // Standard I_A phase.
+    state_.remove_at(state_.sample_ball_weighted(eng));
+    balls::ProbeFresh<Engine> probe(eng, state_.bins());
+    state_.add_at(rule_.place_index(state_, probe));
+    // Limited relocation budget.
+    for (int r = 0; r < relocations_; ++r) {
+      if (state_.max_load() - state_.min_load() <= 1) break;
+      state_.remove_at(0);  // a maximally loaded bin (sorted index 0)
+      balls::ProbeFresh<Engine> reprobe(eng, state_.bins());
+      state_.add_at(rule_.place_index(state_, reprobe));
+    }
+  }
+
+ private:
+  balls::LoadVector state_;
+  Rule rule_;
+  int relocations_;
+};
+
+}  // namespace recover::open

@@ -1,0 +1,63 @@
+// The lazy greedy edge-orientation Markov chain and its grand coupling.
+//
+// Theorem 2: τ(1/4) = O(n² ln² n); Corollary 6.4 gives the weaker
+// O(n³ (ln n + ln ε⁻¹)); and τ = Ω(n²).  exp06 measures coalescence of
+// the shared-randomness grand coupling below, whose picks (φ, ψ) and
+// lazy bit are common to both copies — once equal, copies stay equal.
+#pragma once
+
+#include <utility>
+
+#include "src/orient/state.hpp"
+
+namespace recover::orient {
+
+class GreedyOrientationChain {
+ public:
+  using State = DiffState;
+
+  explicit GreedyOrientationChain(DiffState init) : state_(std::move(init)) {}
+
+  [[nodiscard]] const DiffState& state() const { return state_; }
+  void set_state(DiffState s) { state_ = std::move(s); }
+  [[nodiscard]] std::size_t vertices() const { return state_.vertices(); }
+
+  template <typename Engine>
+  void step(Engine& eng) {
+    state_.step(eng);
+  }
+
+ private:
+  DiffState state_;
+};
+
+/// Shared-randomness coupling of two copies: identical rank pair and lazy
+/// bit each step.  Ranks address sorted positions, so this is the natural
+/// monotone coupling on normalized states.
+class GrandCouplingOrient {
+ public:
+  GrandCouplingOrient(DiffState x, DiffState y)
+      : x_(std::move(x)), y_(std::move(y)) {
+    RL_REQUIRE(x_.vertices() == y_.vertices());
+  }
+
+  template <typename Engine>
+  void step(Engine& eng) {
+    const auto [phi, psi] = x_.pick_pair(eng);
+    if (rng::coin(eng)) {
+      x_.apply_edge(phi, psi);
+      y_.apply_edge(phi, psi);
+    }
+  }
+
+  [[nodiscard]] bool coalesced() const { return x_ == y_; }
+  [[nodiscard]] std::int64_t distance() const { return x_.distance(y_); }
+  [[nodiscard]] const DiffState& first() const { return x_; }
+  [[nodiscard]] const DiffState& second() const { return y_; }
+
+ private:
+  DiffState x_;
+  DiffState y_;
+};
+
+}  // namespace recover::orient

@@ -1,0 +1,260 @@
+#include "src/orient/coupling.hpp"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <queue>
+
+namespace recover::orient {
+
+CountState::CountState(std::size_t levels, std::size_t vertices)
+    : x_(levels, 0), n_(vertices) {
+  RL_REQUIRE(levels >= 1);
+}
+
+CountState CountState::from_counts(std::vector<std::int64_t> counts) {
+  RL_REQUIRE(!counts.empty());
+  std::int64_t n = 0;
+  for (auto c : counts) {
+    RL_REQUIRE(c >= 0);
+    n += c;
+  }
+  RL_REQUIRE(n >= 2);
+  CountState s(counts.size(), static_cast<std::size_t>(n));
+  s.x_ = std::move(counts);
+  return s;
+}
+
+CountState CountState::from_diff_state(const DiffState& s,
+                                       std::size_t padding) {
+  const std::int64_t hi = s.diff(0);
+  const std::int64_t lo = s.diff(s.vertices() - 1);
+  const auto span = static_cast<std::size_t>(hi - lo) + 1;
+  std::vector<std::int64_t> counts(span + 2 * padding, 0);
+  for (std::size_t r = 0; r < s.vertices(); ++r) {
+    // Level 0 = highest difference; level grows as the difference falls.
+    const auto level = padding + static_cast<std::size_t>(hi - s.diff(r));
+    ++counts[level];
+  }
+  return from_counts(std::move(counts));
+}
+
+std::size_t CountState::level_of_rank(std::size_t rank) const {
+  RL_DBG_ASSERT(rank < n_);
+  std::int64_t cum = 0;
+  for (std::size_t l = 0; l < x_.size(); ++l) {
+    cum += x_[l];
+    if (static_cast<std::int64_t>(rank) < cum) return l;
+  }
+  RL_DBG_ASSERT(false);
+  return x_.size() - 1;
+}
+
+void CountState::apply_transition(std::size_t i, std::size_t j) {
+  RL_REQUIRE(i <= j);
+  RL_REQUIRE(j < x_.size());
+  RL_REQUIRE(i + 1 < x_.size());
+  RL_REQUIRE(j >= 1);
+  RL_REQUIRE(x_[i] >= (i == j ? 2 : 1));
+  RL_REQUIRE(x_[j] >= 1);
+  --x_[i];
+  ++x_[i + 1];
+  --x_[j];
+  ++x_[j - 1];
+}
+
+bool CountState::invariants_hold() const {
+  std::int64_t n = 0;
+  for (auto c : x_) {
+    if (c < 0) return false;
+    n += c;
+  }
+  return static_cast<std::size_t>(n) == n_;
+}
+
+namespace {
+
+CountState with_delta(const CountState& x,
+                      const std::vector<std::pair<std::size_t, std::int64_t>>&
+                          delta) {
+  std::vector<std::int64_t> counts = x.counts();
+  for (const auto& [idx, d] : delta) {
+    counts[idx] += d;
+    RL_REQUIRE(counts[idx] >= 0);
+  }
+  return CountState::from_counts(std::move(counts));
+}
+
+bool nonneg_after(const CountState& x,
+                  const std::vector<std::pair<std::size_t, std::int64_t>>&
+                      delta) {
+  for (const auto& [idx, d] : delta) {
+    if (x.counts()[idx] + d < 0) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<CountState> gbar_neighbors(const CountState& x) {
+  std::vector<CountState> out;
+  const std::size_t K = x.levels();
+  for (std::size_t lambda = 0; lambda + 2 < K; ++lambda) {
+    // y with x = y + e_λ − 2e_{λ+1} + e_{λ+2}  (x is the "upper" state).
+    const std::vector<std::pair<std::size_t, std::int64_t>> fwd = {
+        {lambda, -1}, {lambda + 1, +2}, {lambda + 2, -1}};
+    if (nonneg_after(x, fwd)) out.push_back(with_delta(x, fwd));
+    // y with y = x + e_λ − 2e_{λ+1} + e_{λ+2}  (y is the upper state).
+    const std::vector<std::pair<std::size_t, std::int64_t>> bwd = {
+        {lambda, +1}, {lambda + 1, -2}, {lambda + 2, +1}};
+    if (nonneg_after(x, bwd)) out.push_back(with_delta(x, bwd));
+  }
+  return out;
+}
+
+std::vector<std::pair<CountState, std::int64_t>> sbar_neighbors(
+    const CountState& x) {
+  std::vector<std::pair<CountState, std::int64_t>> out;
+  const std::size_t K = x.levels();
+  for (std::size_t lambda = 0; lambda + 3 < K; ++lambda) {
+    for (std::size_t k = 2; lambda + k + 1 < K; ++k) {
+      // Forward: x = y + e_λ − e_{λ+1} − e_{λ+k} + e_{λ+k+1}; the upper
+      // state (x) must be empty strictly between λ and λ+k+1.
+      bool middle_empty = true;
+      for (std::size_t l = lambda + 1; l <= lambda + k; ++l) {
+        if (x.counts()[l] != 0) {
+          middle_empty = false;
+          break;
+        }
+      }
+      if (middle_empty) {
+        const std::vector<std::pair<std::size_t, std::int64_t>> fwd = {
+            {lambda, -1},
+            {lambda + 1, +1},
+            {lambda + k, +1},
+            {lambda + k + 1, -1}};
+        if (nonneg_after(x, fwd)) {
+          out.emplace_back(with_delta(x, fwd),
+                           static_cast<std::int64_t>(k));
+        }
+      }
+      // Backward: y = x + e_λ − e_{λ+1} − e_{λ+k} + e_{λ+k+1} and the
+      // upper state (y) must have empty middle, i.e. x_{λ+1} = x_{λ+k} = 1
+      // and x empty strictly between.
+      if (x.counts()[lambda + 1] == 1 && x.counts()[lambda + k] == 1) {
+        bool inner_empty = true;
+        for (std::size_t l = lambda + 2; l + 1 <= lambda + k; ++l) {
+          if (x.counts()[l] != 0) {
+            inner_empty = false;
+            break;
+          }
+        }
+        // For k = 2 the λ+1 and λ+k runs are adjacent; inner range empty.
+        if (inner_empty) {
+          const std::vector<std::pair<std::size_t, std::int64_t>> bwd = {
+              {lambda, +1},
+              {lambda + 1, -1},
+              {lambda + k, -1},
+              {lambda + k + 1, +1}};
+          if (nonneg_after(x, bwd)) {
+            out.emplace_back(with_delta(x, bwd),
+                             static_cast<std::int64_t>(k));
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::optional<std::int64_t> orientation_distance(const CountState& x,
+                                                 const CountState& y,
+                                                 std::int64_t limit) {
+  RL_REQUIRE(x.levels() == y.levels());
+  RL_REQUIRE(x.vertices() == y.vertices());
+  RL_REQUIRE(limit >= 0);
+  if (x == y) return 0;
+  using Key = std::vector<std::int64_t>;
+  std::map<Key, std::int64_t> dist;
+  using QEntry = std::pair<std::int64_t, Key>;
+  std::priority_queue<QEntry, std::vector<QEntry>, std::greater<>> queue;
+  dist[x.counts()] = 0;
+  queue.push({0, x.counts()});
+  while (!queue.empty()) {
+    const auto [d, key] = queue.top();
+    queue.pop();
+    const auto it = dist.find(key);
+    if (it != dist.end() && it->second < d) continue;  // stale entry
+    if (d > limit) return std::nullopt;
+    if (key == y.counts()) return d;
+    const CountState state = CountState::from_counts(key);
+    auto relax = [&](const CountState& next, std::int64_t w) {
+      const std::int64_t nd = d + w;
+      if (nd > limit) return;
+      const auto found = dist.find(next.counts());
+      if (found == dist.end() || nd < found->second) {
+        dist[next.counts()] = nd;
+        queue.push({nd, next.counts()});
+      }
+    };
+    for (const auto& nb : gbar_neighbors(state)) relax(nb, 1);
+    for (const auto& [nb, k] : sbar_neighbors(state)) relax(nb, k);
+  }
+  return std::nullopt;
+}
+
+GammaDecomposition decompose_gamma_pair(const CountState& x,
+                                        const CountState& y) {
+  RL_REQUIRE(x.levels() == y.levels());
+  RL_REQUIRE(x.vertices() == y.vertices());
+  const std::size_t K = x.levels();
+  std::vector<std::int64_t> d(K);
+  for (std::size_t l = 0; l < K; ++l) {
+    d[l] = x.counts()[l] - y.counts()[l];
+  }
+  std::vector<std::size_t> nonzero;
+  for (std::size_t l = 0; l < K; ++l) {
+    if (d[l] != 0) nonzero.push_back(l);
+  }
+  GammaDecomposition g;
+  if (nonzero.size() == 3) {
+    // 𝒢 pattern: ±(e_λ − 2e_{λ+1} + e_{λ+2}).
+    const std::size_t lambda = nonzero[0];
+    RL_REQUIRE(nonzero[1] == lambda + 1 && nonzero[2] == lambda + 2);
+    g.lambda = lambda;
+    g.k = 1;
+    if (d[lambda] == 1 && d[lambda + 1] == -2 && d[lambda + 2] == 1) {
+      g.x_is_upper = true;
+    } else if (d[lambda] == -1 && d[lambda + 1] == 2 && d[lambda + 2] == -1) {
+      g.x_is_upper = false;
+    } else {
+      RL_REQUIRE(false && "not a Gamma pair");
+    }
+    return g;
+  }
+  RL_REQUIRE(nonzero.size() == 4);
+  // 𝒮_k pattern: ±(e_λ − e_{λ+1} − e_{λ+k} + e_{λ+k+1}).
+  const std::size_t lambda = nonzero[0];
+  RL_REQUIRE(nonzero[1] == lambda + 1);
+  const std::size_t lk = nonzero[2];
+  RL_REQUIRE(nonzero[3] == lk + 1);
+  g.lambda = lambda;
+  g.k = static_cast<std::int64_t>(lk - lambda);
+  RL_REQUIRE(g.k >= 2);
+  if (d[lambda] == 1 && d[lambda + 1] == -1 && d[lk] == -1 && d[lk + 1] == 1) {
+    g.x_is_upper = true;
+  } else if (d[lambda] == -1 && d[lambda + 1] == 1 && d[lk] == 1 &&
+             d[lk + 1] == -1) {
+    g.x_is_upper = false;
+  } else {
+    RL_REQUIRE(false && "not a Gamma pair");
+  }
+  // The upper state must be empty strictly between λ and λ+k+1.
+  const CountState& upper = g.x_is_upper ? x : y;
+  for (std::size_t l = lambda + 1; l <= lk; ++l) {
+    RL_REQUIRE(upper.counts()[l] == 0);
+  }
+  return g;
+}
+
+}  // namespace recover::orient

@@ -1,0 +1,180 @@
+// The paper's §6 machinery for the edge-orientation chain: the count
+// ("x") representation, the Γ-sets 𝒢̄ and 𝒮̄_k, the recursive metric of
+// Definitions 6.1–6.3, and the coupled step analyzed in Lemmas 6.2/6.3.
+//
+// A CountState stores x_l = number of vertices at "level" l, levels
+// ordered by strictly decreasing difference value (level 0 = largest
+// difference), Σ_l x_l = n.  The chain transition in this space:
+//   pick vertex ranks φ < ψ i.u.r.; let i, j be the levels holding the
+//   φ-th and ψ-th vertex; with the lazy bit set,
+//      x ← x − e_i + e_{i+1} − e_j + e_{j−1}
+//   (the higher-difference vertex drops a level, the lower one rises).
+//
+// Γ-sets (Definitions 6.1/6.2):
+//   y ∈ 𝒢(x)    ⇔ x = y + e_λ − 2e_{λ+1} + e_{λ+2}              (Δ = 1)
+//   y ∈ 𝒮_k(x)  ⇔ x = y + e_λ − e_{λ+1} − e_{λ+k} + e_{λ+k+1}
+//                  and x_{λ+1} = … = x_{λ+k} = 0,  k ≥ 2         (Δ = k)
+// and the barred versions are symmetrized.  The metric Δ (Definition
+// 6.3) is the induced shortest-path distance; we evaluate it with a
+// bounded Dijkstra over the premetric graph.
+//
+// The §6 coupling picks the same (φ, ψ) in both copies and the same lazy
+// bit, EXCEPT the anti-correlated case for y ∈ 𝒢̄(x): when i = λ,
+// j = λ + 2 and i* = j* = λ + 1 the second copy uses b* = 1 − b (this is
+// what creates the strictly-positive merge probability of Lemma 6.2).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "src/orient/state.hpp"
+#include "src/rng/distributions.hpp"
+#include "src/util/assert.hpp"
+
+namespace recover::orient {
+
+class CountState {
+ public:
+  /// `levels` buckets, all empty.
+  CountState(std::size_t levels, std::size_t vertices);
+
+  static CountState from_counts(std::vector<std::int64_t> counts);
+
+  /// Embeds a DiffState into a padded level window.  `padding` empty
+  /// levels are added above and below the occupied range.
+  static CountState from_diff_state(const DiffState& s, std::size_t padding);
+
+  [[nodiscard]] std::size_t levels() const { return x_.size(); }
+  [[nodiscard]] std::size_t vertices() const { return n_; }
+  [[nodiscard]] std::int64_t count(std::size_t level) const {
+    return x_[level];
+  }
+  [[nodiscard]] const std::vector<std::int64_t>& counts() const { return x_; }
+
+  /// Level holding the rank-th vertex (ranks 0-based, ordered by level).
+  [[nodiscard]] std::size_t level_of_rank(std::size_t rank) const;
+
+  /// x ← x − e_i + e_{i+1} − e_j + e_{j−1}.  Requires room at the edges
+  /// and positive counts at i and j (i ≤ j; for i == j the level must
+  /// hold ≥ 2 vertices).
+  void apply_transition(std::size_t i, std::size_t j);
+
+  /// One lazy greedy step (for simulation in this representation).
+  template <typename Engine>
+  void step(Engine& eng) {
+    const std::size_t n = n_;
+    const auto a = static_cast<std::size_t>(rng::uniform_below(eng, n));
+    auto b = static_cast<std::size_t>(rng::uniform_below(eng, n - 1));
+    if (b >= a) ++b;
+    const auto [phi, psi] = a < b ? std::pair{a, b} : std::pair{b, a};
+    if (rng::coin(eng)) {
+      apply_transition(level_of_rank(phi), level_of_rank(psi));
+    }
+  }
+
+  friend bool operator==(const CountState& a, const CountState& b) {
+    return a.x_ == b.x_;
+  }
+  friend auto operator<=>(const CountState& a, const CountState& b) {
+    return a.x_ <=> b.x_;
+  }
+
+  [[nodiscard]] bool invariants_hold() const;
+
+ private:
+  std::vector<std::int64_t> x_;
+  std::size_t n_ = 0;
+};
+
+/// All y with y ∈ 𝒢̄(x) (both orientations of Definition 6.1).
+std::vector<CountState> gbar_neighbors(const CountState& x);
+
+/// All (y, k) with y ∈ 𝒮̄_k(x), k ≥ 2 (both orientations, Definition 6.2).
+std::vector<std::pair<CountState, std::int64_t>> sbar_neighbors(
+    const CountState& x);
+
+/// The metric of Definition 6.3 as a bounded shortest-path search;
+/// returns std::nullopt if the distance exceeds `limit`.
+std::optional<std::int64_t> orientation_distance(const CountState& x,
+                                                 const CountState& y,
+                                                 std::int64_t limit);
+
+/// Decomposition of a Γ-pair: x = y + e_λ − e_{λ+1} − e_{λ+k} + e_{λ+k+1}
+/// (k = 1 encodes the 𝒢 case λ, λ+1, λ+1, λ+2).
+struct GammaDecomposition {
+  std::size_t lambda = 0;
+  std::int64_t k = 0;
+  bool x_is_upper = true;  // false: roles swapped (y = x + …)
+};
+
+/// Identifies the Γ-edge between x and y; aborts if (x, y) ∉ Γ.
+GammaDecomposition decompose_gamma_pair(const CountState& x,
+                                        const CountState& y);
+
+/// Full diagnostics of one coupled step — enough to reconstruct which
+/// case of the Lemma 6.2 / 6.3 proof the step fell into (the levels are
+/// relative to the upper copy's λ; `bit`/`bitstar` are the lazy bits of
+/// the upper and lower copy respectively).
+struct OrientationStepTrace {
+  std::size_t lambda = 0;
+  std::int64_t k = 0;
+  std::size_t i = 0;      // level of rank φ in the upper copy
+  std::size_t j = 0;      // level of rank ψ in the upper copy
+  std::size_t istar = 0;  // level of rank φ in the lower copy
+  std::size_t jstar = 0;  // level of rank ψ in the lower copy
+  bool bit = false;
+  bool bitstar = false;
+  std::int64_t distance_after = 0;
+};
+
+/// One §6 coupled step on a Γ-pair.  Mutates x, y in place; returns the
+/// full trace including the exact post-step metric (bounded search with
+/// limit k + 2).
+template <typename Engine>
+OrientationStepTrace coupled_step_orientation_traced(CountState& x,
+                                                     CountState& y,
+                                                     Engine& eng) {
+  const GammaDecomposition g = decompose_gamma_pair(x, y);
+  CountState& upper = g.x_is_upper ? x : y;   // the "+e_λ" copy
+  CountState& lower = g.x_is_upper ? y : x;
+
+  const std::size_t n = x.vertices();
+  const auto a = static_cast<std::size_t>(rng::uniform_below(eng, n));
+  auto b2 = static_cast<std::size_t>(rng::uniform_below(eng, n - 1));
+  if (b2 >= a) ++b2;
+  const auto [phi, psi] = a < b2 ? std::pair{a, b2} : std::pair{b2, a};
+
+  OrientationStepTrace trace;
+  trace.lambda = g.lambda;
+  trace.k = g.k;
+  trace.bit = rng::coin(eng);
+  trace.i = upper.level_of_rank(phi);
+  trace.j = upper.level_of_rank(psi);
+  trace.istar = lower.level_of_rank(phi);
+  trace.jstar = lower.level_of_rank(psi);
+
+  trace.bitstar = trace.bit;
+  if (g.k == 1 && trace.i == g.lambda && trace.j == g.lambda + 2 &&
+      trace.istar == g.lambda + 1 && trace.jstar == g.lambda + 1) {
+    trace.bitstar = !trace.bit;
+  }
+
+  if (trace.bit) upper.apply_transition(trace.i, trace.j);
+  if (trace.bitstar) lower.apply_transition(trace.istar, trace.jstar);
+
+  const auto d = orientation_distance(x, y, g.k + 2);
+  RL_REQUIRE(d.has_value());
+  trace.distance_after = *d;
+  return trace;
+}
+
+/// Distance-only convenience wrapper.
+template <typename Engine>
+std::int64_t coupled_step_orientation(CountState& x, CountState& y,
+                                      Engine& eng) {
+  return coupled_step_orientation_traced(x, y, eng).distance_after;
+}
+
+}  // namespace recover::orient

@@ -1,0 +1,79 @@
+#include "src/orient/exact_chain.hpp"
+
+#include <deque>
+
+#include "src/util/assert.hpp"
+
+namespace recover::orient {
+
+OrientationSpace::OrientationSpace(std::size_t n) : n_(n) {
+  RL_REQUIRE(n >= 2);
+  RL_REQUIRE(n <= 12 && "state space explodes beyond tiny n");
+  const DiffState zero(n);
+  states_.push_back(zero);
+  index_[zero.diffs()] = 0;
+  std::deque<std::size_t> frontier = {0};
+  while (!frontier.empty()) {
+    const std::size_t idx = frontier.front();
+    frontier.pop_front();
+    // Copy: states_ may reallocate while we append.
+    const DiffState current = states_[idx];
+    for (std::size_t phi = 0; phi < n; ++phi) {
+      for (std::size_t psi = phi + 1; psi < n; ++psi) {
+        DiffState next = current;
+        next.apply_edge(phi, psi);
+        if (index_.find(next.diffs()) == index_.end()) {
+          index_[next.diffs()] = states_.size();
+          frontier.push_back(states_.size());
+          states_.push_back(std::move(next));
+        }
+      }
+    }
+  }
+}
+
+std::size_t OrientationSpace::index_of(const DiffState& s) const {
+  const auto it = index_.find(s.diffs());
+  RL_REQUIRE(it != index_.end());
+  return it->second;
+}
+
+std::optional<std::size_t> OrientationSpace::find(const DiffState& s) const {
+  const auto it = index_.find(s.diffs());
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::size_t OrientationSpace::zero_index() const {
+  return index_of(DiffState(n_));
+}
+
+std::size_t OrientationSpace::most_unfair_index() const {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < states_.size(); ++i) {
+    if (states_[i].unfairness() > states_[best].unfairness()) best = i;
+  }
+  return best;
+}
+
+core::SparseChain build_exact_orientation_chain(
+    const OrientationSpace& space) {
+  const std::size_t n = space.n();
+  const double pair_prob =
+      1.0 / (static_cast<double>(n) * (static_cast<double>(n) - 1.0) / 2.0);
+  core::SparseChain chain(space.size());
+  for (std::size_t idx = 0; idx < space.size(); ++idx) {
+    chain.add_transition(idx, idx, 0.5);  // lazy bit
+    for (std::size_t phi = 0; phi < n; ++phi) {
+      for (std::size_t psi = phi + 1; psi < n; ++psi) {
+        DiffState next = space.state(idx);
+        next.apply_edge(phi, psi);
+        chain.add_transition(idx, space.index_of(next), 0.5 * pair_prob);
+      }
+    }
+  }
+  chain.finalize();
+  return chain;
+}
+
+}  // namespace recover::orient

@@ -1,0 +1,60 @@
+// Exact finite-state representation of the lazy greedy edge-orientation
+// chain (§6).
+//
+// The paper's state space Ψ is the set of states reachable from the
+// all-zero difference vector x̂; by Ajtai et al. / Anderson et al. the
+// differences stay within ±⌈n/2⌉ under greedy, so Ψ is finite and small
+// for small n.  We enumerate it by BFS over the (φ, ψ) transitions and
+// build the exact one-step law:
+//   with probability ½ nothing happens (lazy bit of Remark 1);
+//   otherwise each unordered rank pair {φ < ψ} has probability
+//   (n choose 2)⁻¹ and applies the balancing move of §6.
+// The resulting core::SparseChain feeds the same exact-mixing machinery
+// exp09 uses for the balls chains, giving ground truth for Theorem 2's
+// pipeline (exp14).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "src/core/exact_mixing.hpp"
+#include "src/orient/state.hpp"
+
+namespace recover::orient {
+
+class OrientationSpace {
+ public:
+  /// BFS closure of the zero state under greedy arrivals.
+  explicit OrientationSpace(std::size_t n);
+
+  [[nodiscard]] std::size_t n() const { return n_; }
+  [[nodiscard]] std::size_t size() const { return states_.size(); }
+
+  [[nodiscard]] const DiffState& state(std::size_t i) const {
+    return states_[i];
+  }
+
+  [[nodiscard]] std::size_t index_of(const DiffState& s) const;
+
+  /// Index of a state if reachable, npos-like sentinel otherwise.
+  [[nodiscard]] std::optional<std::size_t> find(const DiffState& s) const;
+
+  /// Index of the all-zero state x̂.
+  [[nodiscard]] std::size_t zero_index() const;
+
+  /// Index of a reachable state with maximal unfairness (an adversarial
+  /// start that is guaranteed to lie inside Ψ).
+  [[nodiscard]] std::size_t most_unfair_index() const;
+
+ private:
+  std::size_t n_;
+  std::vector<DiffState> states_;
+  std::map<std::vector<std::int64_t>, std::size_t> index_;
+};
+
+/// Exact transition matrix of one lazy greedy step over Ψ.
+core::SparseChain build_exact_orientation_chain(const OrientationSpace& space);
+
+}  // namespace recover::orient

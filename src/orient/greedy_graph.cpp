@@ -1,0 +1,72 @@
+#include "src/orient/greedy_graph.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace recover::orient {
+
+GreedyOrienter::GreedyOrienter(std::size_t n) : diff_(n, 0) {
+  RL_REQUIRE(n >= 2);
+}
+
+GreedyOrienter GreedyOrienter::from_diffs(std::vector<std::int64_t> diffs) {
+  RL_REQUIRE(diffs.size() >= 2);
+  const auto sum =
+      std::accumulate(diffs.begin(), diffs.end(), std::int64_t{0});
+  RL_REQUIRE(sum == 0);
+  GreedyOrienter g(diffs.size());
+  g.diff_ = std::move(diffs);
+  return g;
+}
+
+std::int64_t GreedyOrienter::unfairness() const {
+  std::int64_t worst = 0;
+  for (const std::int64_t d : diff_) {
+    worst = std::max(worst, std::abs(d));
+  }
+  return worst;
+}
+
+KSubsetCarpool::KSubsetCarpool(std::size_t participants,
+                               std::size_t pool_size)
+    : balance_(participants, 0), k_(pool_size) {
+  RL_REQUIRE(pool_size >= 2);
+  RL_REQUIRE(pool_size <= participants);
+}
+
+double KSubsetCarpool::unfairness() const {
+  std::int64_t worst = 0;
+  for (const std::int64_t b : balance_) {
+    worst = std::max(worst, std::abs(b));
+  }
+  return static_cast<double>(worst) / static_cast<double>(k_);
+}
+
+void KSubsetCarpool::run_pool(const std::vector<std::size_t>& pool) {
+  RL_REQUIRE(pool.size() == k_);
+  std::size_t driver = pool[0];
+  for (const std::size_t p : pool) {
+    RL_REQUIRE(p < balance_.size());
+    if (balance_[p] < balance_[driver]) driver = p;
+  }
+  for (const std::size_t p : pool) balance_[p] -= 1;
+  balance_[driver] += static_cast<std::int64_t>(k_);
+  ++days_;
+}
+
+void GreedyOrienter::orient_edge(std::size_t a, std::size_t b, bool tie_bit) {
+  RL_REQUIRE(a < diff_.size() && b < diff_.size());
+  RL_REQUIRE(a != b);
+  std::size_t source = a;
+  std::size_t target = b;
+  if (diff_[a] > diff_[b] || (diff_[a] == diff_[b] && tie_bit)) {
+    // Orient from the smaller difference to the larger: b → a.
+    source = b;
+    target = a;
+  }
+  ++diff_[source];  // source gains an outgoing edge
+  --diff_[target];  // target gains an incoming edge
+  ++edges_;
+}
+
+}  // namespace recover::orient

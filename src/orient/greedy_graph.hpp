@@ -1,0 +1,136 @@
+// Vertex-level greedy edge orientation and the carpool / fair-allocation
+// view of it (§1.1 and §2 of the paper; Ajtai et al., Fagin–Williams).
+//
+// Unlike DiffState (which quotients out vertex identity for the Markov
+// chain analysis), GreedyOrienter keeps real vertices with in/out degree
+// counters — the model examples and exp13 run.  CarpoolScheduler is the
+// same dynamics narrated as fair scheduling: each step a uniform pair of
+// participants shares a task; the greedy protocol assigns it to whoever
+// is currently owed work, and the unfairness is the largest absolute
+// debt.  Ajtai et al. reduce richer fairness games to this process at the
+// price of doubling the expected fairness.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/rng/distributions.hpp"
+#include "src/util/assert.hpp"
+
+namespace recover::orient {
+
+class GreedyOrienter {
+ public:
+  explicit GreedyOrienter(std::size_t n);
+
+  /// Start from explicit per-vertex differences (must sum to 0).
+  static GreedyOrienter from_diffs(std::vector<std::int64_t> diffs);
+
+  [[nodiscard]] std::size_t vertices() const { return diff_.size(); }
+  [[nodiscard]] std::int64_t edges() const { return edges_; }
+  [[nodiscard]] std::int64_t diff(std::size_t v) const { return diff_[v]; }
+
+  [[nodiscard]] std::int64_t unfairness() const;
+
+  /// Orients an arriving edge {a, b} greedily: from the vertex with the
+  /// smaller outdegree−indegree difference to the larger (ties broken by
+  /// the tie bit).  Updates both counters.
+  void orient_edge(std::size_t a, std::size_t b, bool tie_bit);
+
+  /// One arrival in the uniform-distribution model: a uniform random pair
+  /// of distinct vertices.
+  template <typename Engine>
+  void step(Engine& eng) {
+    const auto a =
+        static_cast<std::size_t>(rng::uniform_below(eng, diff_.size()));
+    auto b =
+        static_cast<std::size_t>(rng::uniform_below(eng, diff_.size() - 1));
+    if (b >= a) ++b;
+    orient_edge(a, b, rng::coin(eng));
+  }
+
+ private:
+  std::vector<std::int64_t> diff_;  // outdegree − indegree per vertex
+  std::int64_t edges_ = 0;
+};
+
+/// Carpool narration of the same greedy process: participants accumulate
+/// "debt" (tasks owed minus tasks done); each arriving pair assigns the
+/// task to the more indebted participant.
+class CarpoolScheduler {
+ public:
+  explicit CarpoolScheduler(std::size_t participants)
+      : orienter_(participants) {}
+
+  [[nodiscard]] std::size_t participants() const {
+    return orienter_.vertices();
+  }
+  [[nodiscard]] std::int64_t rides() const { return orienter_.edges(); }
+
+  /// Largest absolute debt over participants.
+  [[nodiscard]] std::int64_t max_debt() const {
+    return orienter_.unfairness();
+  }
+
+  template <typename Engine>
+  void day(Engine& eng) {
+    orienter_.step(eng);
+  }
+
+ private:
+  GreedyOrienter orienter_;
+};
+
+/// The Fagin–Williams carpool with k-person pools (§1.1: "the subset of
+/// servers available for each job has independent and uniform
+/// distribution"; Ajtai et al. reduce this to edge orientation at the
+/// price of doubling the expected fairness).
+///
+/// Bookkeeping is scaled by k to stay integral: each pool member's fair
+/// share of a ride is 1/k, so every member's balance drops by 1 (one
+/// k-th, scaled) and the driver's rises by k.  The greedy protocol picks
+/// the member with the lowest balance (most owed) as the driver; ties
+/// break by index.  `unfairness()` reports the worst absolute balance in
+/// ride units (i.e. divided by k).
+class KSubsetCarpool {
+ public:
+  KSubsetCarpool(std::size_t participants, std::size_t pool_size);
+
+  [[nodiscard]] std::size_t participants() const { return balance_.size(); }
+  [[nodiscard]] std::size_t pool_size() const { return k_; }
+  [[nodiscard]] std::int64_t days() const { return days_; }
+
+  /// Worst absolute balance in ride units.
+  [[nodiscard]] double unfairness() const;
+
+  /// Runs one day with an explicit pool (distinct indices).
+  void run_pool(const std::vector<std::size_t>& pool);
+
+  /// One day with a uniform random k-subset (partial Fisher–Yates).
+  template <typename Engine>
+  void day(Engine& eng) {
+    std::vector<std::size_t> pool(k_);
+    // Floyd's algorithm for a uniform k-subset without full shuffles.
+    std::size_t chosen = 0;
+    for (std::size_t j = participants() - k_; j < participants(); ++j) {
+      const auto t =
+          static_cast<std::size_t>(rng::uniform_below(eng, j + 1));
+      bool seen = false;
+      for (std::size_t c = 0; c < chosen; ++c) {
+        if (pool[c] == t) {
+          seen = true;
+          break;
+        }
+      }
+      pool[chosen++] = seen ? j : t;
+    }
+    run_pool(pool);
+  }
+
+ private:
+  std::vector<std::int64_t> balance_;  // scaled by k; Σ = 0 always
+  std::size_t k_;
+  std::int64_t days_ = 0;
+};
+
+}  // namespace recover::orient

@@ -1,0 +1,99 @@
+#include "src/orient/state.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <numeric>
+
+namespace recover::orient {
+
+DiffState::DiffState(std::size_t n) : diffs_(n, 0) { RL_REQUIRE(n >= 2); }
+
+DiffState DiffState::from_diffs(std::vector<std::int64_t> diffs) {
+  RL_REQUIRE(diffs.size() >= 2);
+  const auto sum =
+      std::accumulate(diffs.begin(), diffs.end(), std::int64_t{0});
+  RL_REQUIRE(sum == 0);
+  std::sort(diffs.begin(), diffs.end(), std::greater<>());
+  DiffState s(diffs.size());
+  s.diffs_ = std::move(diffs);
+  return s;
+}
+
+DiffState DiffState::spread(std::size_t n, std::int64_t k) {
+  RL_REQUIRE(k >= 0);
+  std::vector<std::int64_t> diffs(n, 0);
+  const std::size_t half = n / 2;
+  for (std::size_t i = 0; i < half; ++i) {
+    diffs[i] = k;
+    diffs[n - 1 - i] = -k;
+  }
+  return from_diffs(std::move(diffs));
+}
+
+DiffState DiffState::staircase(std::size_t n, std::int64_t k) {
+  RL_REQUIRE(k >= 0);
+  std::vector<std::int64_t> diffs(n, 0);
+  // Symmetric ramp: +k, +k−1, …, mirrored at the bottom; middle stays 0.
+  std::int64_t level = k;
+  for (std::size_t i = 0; i < n / 2 && level > 0; ++i, --level) {
+    diffs[i] = level;
+    diffs[n - 1 - i] = -level;
+  }
+  return from_diffs(std::move(diffs));
+}
+
+std::size_t DiffState::run_head(std::size_t i) const {
+  const auto it = std::lower_bound(diffs_.begin(), diffs_.end(), diffs_[i],
+                                   std::greater<>());
+  return static_cast<std::size_t>(it - diffs_.begin());
+}
+
+std::size_t DiffState::run_tail(std::size_t i) const {
+  const auto it = std::upper_bound(diffs_.begin(), diffs_.end(), diffs_[i],
+                                   std::greater<>());
+  return static_cast<std::size_t>(it - diffs_.begin()) - 1;
+}
+
+void DiffState::apply_edge(std::size_t phi, std::size_t psi) {
+  RL_REQUIRE(phi < psi);
+  RL_REQUIRE(psi < diffs_.size());
+  const std::int64_t a = diffs_[phi];  // larger (or equal) difference
+  const std::int64_t c = diffs_[psi];  // smaller difference
+  RL_DBG_ASSERT(a >= c);
+  if (a == c + 1) {
+    // The target drops to c and the source rises to a: the multiset of
+    // differences is unchanged, so the normalized state is a fixed point
+    // of this pick.
+    return;
+  }
+  // Decrement the last element of the φ-run, increment the first element
+  // of the ψ-run; both positions are computed before mutating (Fact 3.2
+  // style), and the result stays sorted because a − 1 ≥ c + 1 or the two
+  // positions lie in one run of length ≥ 2.
+  const std::size_t dec_pos = run_tail(phi);
+  const std::size_t inc_pos = run_head(psi);
+  RL_DBG_ASSERT(dec_pos != inc_pos);
+  --diffs_[dec_pos];
+  ++diffs_[inc_pos];
+}
+
+std::int64_t DiffState::distance(const DiffState& other) const {
+  RL_REQUIRE(vertices() == other.vertices());
+  std::int64_t positive = 0;
+  for (std::size_t i = 0; i < diffs_.size(); ++i) {
+    const std::int64_t d = diffs_[i] - other.diffs_[i];
+    if (d > 0) positive += d;
+  }
+  return positive;
+}
+
+bool DiffState::invariants_hold() const {
+  std::int64_t sum = 0;
+  for (std::size_t i = 0; i < diffs_.size(); ++i) {
+    if (i > 0 && diffs_[i] > diffs_[i - 1]) return false;
+    sum += diffs_[i];
+  }
+  return sum == 0;
+}
+
+}  // namespace recover::orient

@@ -1,0 +1,89 @@
+// State of the edge-orientation process (§6): the vector of per-vertex
+// differences v_i = outdegree − indegree, kept sorted non-increasing
+// (vertex identity is irrelevant, exactly as for load vectors) with
+// Σ v_i = 0 (every edge contributes +1 and −1).
+//
+// One greedy step (uniform-edge model of Ajtai et al.):
+//   pick two distinct vertex ranks φ < ψ i.u.r.; the arriving edge is
+//   oriented from the smaller-difference vertex (rank ψ) to the larger
+//   (rank φ), so v_ψ += 1 and v_φ −= 1 — the step always balances.
+//   A lazy bit b (Remark 1) skips the step with probability ½ to make
+//   the chain aperiodic; the slowdown factor is 2 ± o(1).
+//
+// The critical measure is the *unfairness* max_i |v_i| = max(v_0, −v_{n−1}).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/rng/distributions.hpp"
+#include "src/util/assert.hpp"
+
+namespace recover::orient {
+
+class DiffState {
+ public:
+  /// All differences zero (the empty-multigraph start x̂).
+  explicit DiffState(std::size_t n);
+
+  /// Normalizes (sorts) an arbitrary vector; must sum to zero.
+  static DiffState from_diffs(std::vector<std::int64_t> diffs);
+
+  /// Adversarially unfair start: ⌊n/2⌋ vertices at +k, ⌊n/2⌋ at −k
+  /// (odd n leaves one vertex at 0).  Models the "crash" of §1.
+  static DiffState spread(std::size_t n, std::int64_t k);
+
+  /// Staircase start (…, 2, 1, 0, −1, −2, …) clipped to ±k.
+  static DiffState staircase(std::size_t n, std::int64_t k);
+
+  [[nodiscard]] std::size_t vertices() const { return diffs_.size(); }
+  [[nodiscard]] std::int64_t diff(std::size_t rank) const {
+    return diffs_[rank];
+  }
+  [[nodiscard]] const std::vector<std::int64_t>& diffs() const {
+    return diffs_;
+  }
+
+  [[nodiscard]] std::int64_t unfairness() const {
+    return std::max(diffs_.front(), -diffs_.back());
+  }
+
+  /// Applies the oriented edge for ranks (phi < psi) — deterministic part
+  /// of the step; renormalizes in O(log n) via the run trick of Fact 3.2.
+  void apply_edge(std::size_t phi, std::size_t psi);
+
+  /// One full lazy greedy step.
+  template <typename Engine>
+  void step(Engine& eng) {
+    const auto [phi, psi] = pick_pair(eng);
+    if (rng::coin(eng)) apply_edge(phi, psi);
+  }
+
+  /// Draws φ < ψ distinct i.u.r. from [0, n).
+  template <typename Engine>
+  std::pair<std::size_t, std::size_t> pick_pair(Engine& eng) const {
+    const std::size_t n = diffs_.size();
+    const auto a = static_cast<std::size_t>(rng::uniform_below(eng, n));
+    auto b = static_cast<std::size_t>(rng::uniform_below(eng, n - 1));
+    if (b >= a) ++b;
+    return a < b ? std::pair{a, b} : std::pair{b, a};
+  }
+
+  friend bool operator==(const DiffState& a, const DiffState& b) {
+    return a.diffs_ == b.diffs_;
+  }
+
+  /// ½ L1 distance between sorted difference vectors (integral since both
+  /// sum to zero); the coalescence monitor for the grand coupling.
+  [[nodiscard]] std::int64_t distance(const DiffState& other) const;
+
+  [[nodiscard]] bool invariants_hold() const;
+
+ private:
+  [[nodiscard]] std::size_t run_head(std::size_t i) const;
+  [[nodiscard]] std::size_t run_tail(std::size_t i) const;
+
+  std::vector<std::int64_t> diffs_;  // non-increasing, sum 0
+};
+
+}  // namespace recover::orient

@@ -1,0 +1,99 @@
+#include "src/parallel/thread_pool.hpp"
+
+#include "src/util/assert.hpp"
+
+namespace recover::parallel {
+
+ThreadPool::ThreadPool(unsigned threads) {
+  unsigned n = threads;
+  if (n == 0) {
+    n = std::thread::hardware_concurrency();
+    if (n == 0) n = 1;
+  }
+  workers_.reserve(n - 1);
+  tasks_.resize(n);
+  for (unsigned i = 1; i < n; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_ready_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop(std::size_t worker_index) {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    Task task;
+    const std::function<void(std::uint64_t)>* body = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_ready_.wait(lock, [&] {
+        return stop_ || generation_ != seen_generation;
+      });
+      if (stop_) return;
+      seen_generation = generation_;
+      task = tasks_[worker_index];
+      body = body_;
+    }
+    for (std::uint64_t i = task.begin; i < task.end; ++i) (*body)(i);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--pending_ == 0) work_done_.notify_one();
+    }
+  }
+}
+
+void ThreadPool::for_each_index(
+    std::uint64_t count, const std::function<void(std::uint64_t)>& body) {
+  if (count == 0) return;
+  const auto participants = static_cast<std::uint64_t>(size());
+  if (participants == 1 || count == 1) {
+    for (std::uint64_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+  // Static contiguous chunking; chunk c covers
+  // [c*count/participants, (c+1)*count/participants).
+  Task caller_task;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    body_ = &body;
+    pending_ = 0;
+    for (std::uint64_t c = 0; c < participants; ++c) {
+      Task t{c * count / participants, (c + 1) * count / participants};
+      if (c == 0) {
+        caller_task = t;
+      } else {
+        tasks_[c] = t;
+        if (t.begin < t.end) ++pending_;
+        // Empty chunks still count: workers decrement unconditionally.
+        if (t.begin >= t.end) ++pending_;
+      }
+    }
+    ++generation_;
+  }
+  work_ready_.notify_all();
+  for (std::uint64_t i = caller_task.begin; i < caller_task.end; ++i) body(i);
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    work_done_.wait(lock, [&] { return pending_ == 0; });
+    body_ = nullptr;
+  }
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void parallel_for(std::uint64_t count,
+                  const std::function<void(std::uint64_t)>& body) {
+  ThreadPool::global().for_each_index(count, body);
+}
+
+}  // namespace recover::parallel

@@ -1,0 +1,62 @@
+// Shared-memory fork-join pool in the OpenMP parallel-for style the domain
+// guides recommend: a fixed set of workers, static chunking, and a
+// deterministic seed per logical index so results do not depend on the
+// number of threads or on scheduling.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace recover::parallel {
+
+class ThreadPool {
+ public:
+  /// threads == 0 means hardware_concurrency (at least 1).
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] unsigned size() const {
+    return static_cast<unsigned>(workers_.size()) + 1;  // + caller thread
+  }
+
+  /// Runs body(i) for i in [0, count), blocking until all complete.
+  /// Indices are divided into contiguous chunks, one per participant;
+  /// the calling thread executes a chunk too, so a 1-thread pool has no
+  /// synchronization overhead beyond a branch.
+  void for_each_index(std::uint64_t count,
+                      const std::function<void(std::uint64_t)>& body);
+
+  /// Process-wide pool, sized from hardware_concurrency; lazily created.
+  static ThreadPool& global();
+
+ private:
+  struct Task {
+    std::uint64_t begin = 0;
+    std::uint64_t end = 0;
+  };
+
+  void worker_loop(std::size_t worker_index);
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable work_done_;
+  const std::function<void(std::uint64_t)>* body_ = nullptr;
+  std::vector<Task> tasks_;
+  std::uint64_t generation_ = 0;
+  std::size_t pending_ = 0;
+  bool stop_ = false;
+};
+
+/// Convenience wrapper over ThreadPool::global().
+void parallel_for(std::uint64_t count,
+                  const std::function<void(std::uint64_t)>& body);
+
+}  // namespace recover::parallel

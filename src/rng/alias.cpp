@@ -1,0 +1,55 @@
+#include "src/rng/alias.hpp"
+
+#include <numeric>
+
+#include "src/util/assert.hpp"
+
+namespace recover::rng {
+
+AliasTable::AliasTable(const std::vector<double>& weights)
+    : prob_(weights.size(), 0.0),
+      alias_(weights.size(), 0),
+      normalized_(weights.size(), 0.0) {
+  RL_REQUIRE(!weights.empty());
+  double sum = 0;
+  for (double w : weights) {
+    RL_REQUIRE(w >= 0);
+    sum += w;
+  }
+  RL_REQUIRE(sum > 0);
+
+  const auto n = weights.size();
+  std::vector<double> scaled(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    normalized_[i] = weights[i] / sum;
+    scaled[i] = normalized_[i] * static_cast<double>(n);
+  }
+
+  std::vector<std::size_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(i);
+  }
+  while (!small.empty() && !large.empty()) {
+    const std::size_t s = small.back();
+    small.pop_back();
+    const std::size_t l = large.back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    if (scaled[l] < 1.0) {
+      large.pop_back();
+      small.push_back(l);
+    }
+  }
+  for (std::size_t i : large) prob_[i] = 1.0;
+  for (std::size_t i : small) prob_[i] = 1.0;  // numerical leftovers
+}
+
+double AliasTable::probability(std::size_t i) const {
+  RL_REQUIRE(i < normalized_.size());
+  return normalized_[i];
+}
+
+}  // namespace recover::rng

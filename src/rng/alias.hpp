@@ -1,0 +1,40 @@
+// Walker/Vose alias table: O(n) construction, O(1) sampling from a fixed
+// discrete distribution.
+//
+// Used where a distribution is sampled many times without changing —
+// e.g. drawing initial "crash" configurations, or the static-allocation
+// baselines.  The per-step removal distributions 𝒜(v)/ℬ(v) change every
+// step and use the Fenwick tree instead; bench_microbench measures the
+// crossover (ablation #1 in DESIGN.md).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/rng/distributions.hpp"
+
+namespace recover::rng {
+
+class AliasTable {
+ public:
+  /// Weights must be non-negative with positive sum.
+  explicit AliasTable(const std::vector<double>& weights);
+
+  [[nodiscard]] std::size_t size() const { return prob_.size(); }
+
+  template <typename Engine>
+  std::size_t sample(Engine& eng) const {
+    const std::size_t slot = uniform_below(eng, prob_.size());
+    return uniform_real(eng) < prob_[slot] ? slot : alias_[slot];
+  }
+
+  /// Exact probability assigned to index i (for testing).
+  [[nodiscard]] double probability(std::size_t i) const;
+
+ private:
+  std::vector<double> prob_;
+  std::vector<std::size_t> alias_;
+  std::vector<double> normalized_;
+};
+
+}  // namespace recover::rng

@@ -1,0 +1,75 @@
+// Bias-free primitive distributions used on simulation hot paths.
+//
+// These are header-only templates over any 64-bit
+// std::uniform_random_bit_generator (Xoshiro256PlusPlus in practice).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "src/util/assert.hpp"
+
+namespace recover::rng {
+
+/// Uniform integer in [0, bound) by Lemire's multiply-shift rejection
+/// method — no modulo bias, one multiplication in the common case.
+template <typename Engine>
+std::uint64_t uniform_below(Engine& eng, std::uint64_t bound) {
+  RL_DBG_ASSERT(bound > 0);
+  std::uint64_t x = eng();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = (0 - bound) % bound;
+    while (lo < threshold) {
+      x = eng();
+      m = static_cast<__uint128_t>(x) * bound;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+/// Uniform integer in [lo, hi] inclusive.
+template <typename Engine>
+std::int64_t uniform_int(Engine& eng, std::int64_t lo, std::int64_t hi) {
+  RL_DBG_ASSERT(lo <= hi);
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(uniform_below(eng, span));
+}
+
+/// Uniform double in [0, 1) with 53 bits of precision.
+template <typename Engine>
+double uniform_real(Engine& eng) {
+  return static_cast<double>(eng() >> 11) * 0x1.0p-53;
+}
+
+/// Bernoulli(p) draw.
+template <typename Engine>
+bool bernoulli(Engine& eng, double p) {
+  return uniform_real(eng) < p;
+}
+
+/// Fair coin using a single bit of entropy per call amortized.
+template <typename Engine>
+bool coin(Engine& eng) {
+  return (eng() >> 63) != 0;
+}
+
+/// Index of the maximum of `d` i.i.d. uniform draws from [0, n).
+///
+/// Under the normalized (non-increasing) load-vector representation this
+/// is exactly the ABKU[d] choice: the least-loaded of d uniform bins is
+/// the one with the largest sorted index (§3.3 of the paper).
+template <typename Engine>
+std::uint64_t max_of_d_uniform(Engine& eng, std::uint64_t n, int d) {
+  RL_DBG_ASSERT(d >= 1);
+  std::uint64_t best = uniform_below(eng, n);
+  for (int k = 1; k < d; ++k) {
+    const std::uint64_t x = uniform_below(eng, n);
+    if (x > best) best = x;
+  }
+  return best;
+}
+
+}  // namespace recover::rng

@@ -1,0 +1,106 @@
+#include "src/rng/engines.hpp"
+
+namespace recover::rng {
+namespace {
+
+inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Xoshiro256PlusPlus::Xoshiro256PlusPlus(std::uint64_t seed) {
+  SplitMix64 sm(seed);
+  for (auto& w : s_) w = sm();
+}
+
+Xoshiro256PlusPlus::result_type Xoshiro256PlusPlus::operator()() {
+  const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+void Xoshiro256PlusPlus::jump() {
+  static constexpr std::uint64_t kJump[] = {
+      0x180EC6D33CFD0ABAULL, 0xD5A61266F0C9392CULL, 0xA9582618E03FC9AAULL,
+      0x39ABDC4529B1661CULL};
+  std::uint64_t s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+  for (std::uint64_t jump : kJump) {
+    for (int b = 0; b < 64; ++b) {
+      if (jump & (std::uint64_t{1} << b)) {
+        s0 ^= s_[0];
+        s1 ^= s_[1];
+        s2 ^= s_[2];
+        s3 ^= s_[3];
+      }
+      (void)(*this)();
+    }
+  }
+  s_ = {s0, s1, s2, s3};
+}
+
+namespace {
+
+constexpr std::uint32_t kPhiloxM0 = 0xD2511F53u;
+constexpr std::uint32_t kPhiloxM1 = 0xCD9E8D57u;
+constexpr std::uint32_t kPhiloxW0 = 0x9E3779B9u;
+constexpr std::uint32_t kPhiloxW1 = 0xBB67AE85u;
+
+inline void philox_round(std::array<std::uint32_t, 4>& ctr, std::uint32_t k0,
+                         std::uint32_t k1) {
+  const std::uint64_t p0 = std::uint64_t{kPhiloxM0} * ctr[0];
+  const std::uint64_t p1 = std::uint64_t{kPhiloxM1} * ctr[2];
+  const auto hi0 = static_cast<std::uint32_t>(p0 >> 32);
+  const auto lo0 = static_cast<std::uint32_t>(p0);
+  const auto hi1 = static_cast<std::uint32_t>(p1 >> 32);
+  const auto lo1 = static_cast<std::uint32_t>(p1);
+  ctr = {hi1 ^ ctr[1] ^ k0, lo1, hi0 ^ ctr[3] ^ k1, lo0};
+}
+
+}  // namespace
+
+Philox4x32::Philox4x32(std::uint64_t key, std::uint64_t counter_hi)
+    : key_(key), counter_hi_(counter_hi) {}
+
+std::array<std::uint32_t, 4> Philox4x32::block(std::uint64_t counter) const {
+  std::array<std::uint32_t, 4> ctr = {
+      static_cast<std::uint32_t>(counter),
+      static_cast<std::uint32_t>(counter >> 32),
+      static_cast<std::uint32_t>(counter_hi_),
+      static_cast<std::uint32_t>(counter_hi_ >> 32)};
+  std::uint32_t k0 = static_cast<std::uint32_t>(key_);
+  std::uint32_t k1 = static_cast<std::uint32_t>(key_ >> 32);
+  for (int round = 0; round < 10; ++round) {
+    philox_round(ctr, k0, k1);
+    k0 += kPhiloxW0;
+    k1 += kPhiloxW1;
+  }
+  return ctr;
+}
+
+Philox4x32::result_type Philox4x32::operator()() {
+  if (buffered_ < 2) {
+    buffer_ = block(counter_++);
+    buffered_ = 4;
+  }
+  const std::uint64_t lo = buffer_[static_cast<std::size_t>(4 - buffered_)];
+  const std::uint64_t hi = buffer_[static_cast<std::size_t>(5 - buffered_)];
+  buffered_ -= 2;
+  return (hi << 32) | lo;
+}
+
+std::uint64_t derive_stream_seed(std::uint64_t master_seed, std::uint64_t i) {
+  SplitMix64 sm(master_seed ^ (0xA24BAED4963EE407ULL + i * 0x9FB21C651E98DF25ULL));
+  // Burn a few outputs so adjacent i values decorrelate fully.
+  (void)sm();
+  (void)sm();
+  return sm();
+}
+
+}  // namespace recover::rng

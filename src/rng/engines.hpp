@@ -1,0 +1,96 @@
+// Random-number engines for simulation workloads.
+//
+// recoverlib uses three engines:
+//  * SplitMix64  — seeding / stream derivation (64-bit state, equidistributed
+//                  enough to expand one user seed into many stream keys).
+//  * Xoshiro256PlusPlus — the workhorse generator on hot simulation paths.
+//  * Philox4x32  — counter-based engine; given (key, counter) it is pure,
+//                  which makes per-thread / per-replica streams reproducible
+//                  regardless of scheduling (the property the coupling
+//                  experiments rely on).
+//
+// All engines satisfy std::uniform_random_bit_generator, so they compose
+// with <random> where convenient; the distributions in distributions.hpp
+// avoid modulo bias and are preferred on hot paths.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace recover::rng {
+
+/// SplitMix64 (Steele, Lea, Flood 2014).  Used mainly to derive seeds.
+class SplitMix64 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~std::uint64_t{0}; }
+
+  result_type operator()() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256++ 1.0 (Blackman, Vigna 2019).
+class Xoshiro256PlusPlus {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256PlusPlus(std::uint64_t seed);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~std::uint64_t{0}; }
+
+  result_type operator()();
+
+  /// Equivalent to 2^128 calls to operator(); yields non-overlapping
+  /// subsequences for parallel streams.
+  void jump();
+
+ private:
+  std::array<std::uint64_t, 4> s_;
+};
+
+/// Philox4x32-10 (Salmon et al., SC'11) counter-based generator.
+///
+/// The generator exposes the usual engine interface (buffering the four
+/// 32-bit lanes of each block), and also a pure `block(counter)` function
+/// so call sites can index randomness by (replica, step) directly.
+class Philox4x32 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Philox4x32(std::uint64_t key, std::uint64_t counter_hi = 0);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~std::uint64_t{0}; }
+
+  result_type operator()();
+
+  /// Pure function of (key, counter): the 128-bit output block for the
+  /// given 64-bit counter (the high half of the 128-bit counter is the
+  /// construction-time `counter_hi`).
+  [[nodiscard]] std::array<std::uint32_t, 4> block(
+      std::uint64_t counter) const;
+
+ private:
+  std::uint64_t key_;
+  std::uint64_t counter_hi_;
+  std::uint64_t counter_ = 0;
+  std::array<std::uint32_t, 4> buffer_{};
+  int buffered_ = 0;  // number of 32-bit lanes still unconsumed
+};
+
+/// Derives the i-th independent stream seed from a master seed.
+std::uint64_t derive_stream_seed(std::uint64_t master_seed, std::uint64_t i);
+
+}  // namespace recover::rng

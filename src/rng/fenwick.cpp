@@ -1,0 +1,51 @@
+#include "src/rng/fenwick.hpp"
+
+#include <bit>
+
+namespace recover::rng {
+
+Fenwick::Fenwick(const std::vector<std::int64_t>& weights)
+    : tree_(weights.size() + 1, 0) {
+  // O(n) construction: place each weight then push to parent.
+  for (std::size_t i = 1; i <= weights.size(); ++i) {
+    tree_[i] += weights[i - 1];
+    const std::size_t parent = i + (i & (~i + 1));
+    if (parent <= weights.size()) tree_[parent] += tree_[i];
+  }
+}
+
+void Fenwick::add(std::size_t i, std::int64_t delta) {
+  RL_DBG_ASSERT(i < size());
+  for (std::size_t j = i + 1; j < tree_.size(); j += j & (~j + 1)) {
+    tree_[j] += delta;
+  }
+}
+
+std::int64_t Fenwick::prefix(std::size_t i) const {
+  RL_DBG_ASSERT(i <= size());
+  std::int64_t sum = 0;
+  for (std::size_t j = i; j > 0; j -= j & (~j + 1)) sum += tree_[j];
+  return sum;
+}
+
+std::int64_t Fenwick::at(std::size_t i) const {
+  return prefix(i + 1) - prefix(i);
+}
+
+std::size_t Fenwick::find(std::int64_t target) const {
+  RL_DBG_ASSERT(target >= 0);
+  RL_DBG_ASSERT(target < total());
+  std::size_t pos = 0;
+  std::size_t mask = std::bit_floor(tree_.size() - 1);
+  while (mask != 0) {
+    const std::size_t next = pos + mask;
+    if (next < tree_.size() && tree_[next] <= target) {
+      target -= tree_[next];
+      pos = next;
+    }
+    mask >>= 1;
+  }
+  return pos;  // 0-based index of selected element
+}
+
+}  // namespace recover::rng

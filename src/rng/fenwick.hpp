@@ -1,0 +1,49 @@
+// Fenwick (binary indexed) tree over non-negative integer weights with
+// O(log n) point update, prefix sum, and weighted sampling by prefix
+// search.
+//
+// The scenario-A removal distribution 𝒜(v) (Definition 3.2: pick bin i
+// with probability v_i / m) is sampled by drawing u uniform in [0, m) and
+// locating the first prefix exceeding u.  The tree indexes the *sorted*
+// load vector; ⊕/⊖ touch one position, so updates stay O(log n).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/util/assert.hpp"
+
+namespace recover::rng {
+
+class Fenwick {
+ public:
+  Fenwick() = default;
+  explicit Fenwick(std::size_t n) : tree_(n + 1, 0) {}
+
+  /// Builds in O(n) from initial weights.
+  explicit Fenwick(const std::vector<std::int64_t>& weights);
+
+  [[nodiscard]] std::size_t size() const { return tree_.size() - 1; }
+
+  /// Adds `delta` to position `i` (0-based).
+  void add(std::size_t i, std::int64_t delta);
+
+  /// Sum of weights in [0, i) (0-based, half-open).
+  [[nodiscard]] std::int64_t prefix(std::size_t i) const;
+
+  /// Total weight.
+  [[nodiscard]] std::int64_t total() const { return prefix(size()); }
+
+  /// Weight at position i.
+  [[nodiscard]] std::int64_t at(std::size_t i) const;
+
+  /// Smallest index i such that prefix(i+1) > target, i.e. the position
+  /// selected by a weighted draw with value `target` in [0, total()).
+  /// Requires all weights non-negative.
+  [[nodiscard]] std::size_t find(std::int64_t target) const;
+
+ private:
+  std::vector<std::int64_t> tree_;  // 1-based internally
+};
+
+}  // namespace recover::rng

@@ -1,0 +1,69 @@
+#include "src/stats/autocorr.hpp"
+
+#include <cmath>
+
+#include "src/stats/regression.hpp"
+#include "src/util/assert.hpp"
+
+namespace recover::stats {
+
+std::vector<double> autocorrelation(const std::vector<double>& series,
+                                    std::size_t max_lag) {
+  RL_REQUIRE(series.size() >= max_lag + 2);
+  const std::size_t n = series.size();
+  double mean = 0;
+  for (const double x : series) mean += x;
+  mean /= static_cast<double>(n);
+  double var = 0;
+  for (const double x : series) var += (x - mean) * (x - mean);
+  RL_REQUIRE(var > 0);
+  std::vector<double> rho(max_lag + 1, 0.0);
+  rho[0] = 1.0;
+  for (std::size_t k = 1; k <= max_lag; ++k) {
+    double cov = 0;
+    for (std::size_t t = 0; t + k < n; ++t) {
+      cov += (series[t] - mean) * (series[t + k] - mean);
+    }
+    rho[k] = cov / var;
+  }
+  return rho;
+}
+
+double integrated_autocorrelation_time(const std::vector<double>& series,
+                                       double window_factor) {
+  RL_REQUIRE(series.size() >= 8);
+  RL_REQUIRE(window_factor > 0);
+  const std::size_t max_lag = series.size() / 4;
+  const auto rho = autocorrelation(series, max_lag);
+  double tau = 1.0;
+  for (std::size_t w = 1; w <= max_lag; ++w) {
+    tau += 2.0 * rho[w];
+    if (static_cast<double>(w) >= window_factor * tau) break;
+  }
+  return std::max(tau, 1.0);
+}
+
+double effective_sample_size(const std::vector<double>& series) {
+  return static_cast<double>(series.size()) /
+         integrated_autocorrelation_time(series);
+}
+
+double exponential_tail_rate(const std::vector<double>& curve,
+                             double head_fraction) {
+  RL_REQUIRE(curve.size() >= 3);
+  RL_REQUIRE(head_fraction > 0 && head_fraction <= 1.0);
+  RL_REQUIRE(curve.front() > 0);
+  const double threshold = curve.front() * head_fraction;
+  std::vector<double> ts, logy;
+  for (std::size_t t = 0; t < curve.size(); ++t) {
+    if (curve[t] <= 0) break;  // numerically dead tail
+    if (curve[t] <= threshold && curve[t] > 1e-14) {
+      ts.push_back(static_cast<double>(t));
+      logy.push_back(std::log(curve[t]));
+    }
+  }
+  if (ts.size() < 2) return 0.0;
+  return -linear_fit(ts, logy).slope;
+}
+
+}  // namespace recover::stats

@@ -1,0 +1,40 @@
+// Autocorrelation analysis for Markov-chain time series.
+//
+// The long-run estimators (exp10, exp18's comparison column) subsample a
+// single trajectory; their honest precision is governed by the
+// integrated autocorrelation time
+//     τ_int = 1 + 2 Σ_{k≥1} ρ_k,
+// estimated with Sokal's adaptive window (truncate at the smallest W
+// with W ≥ c·τ̂_int(W), c = 5).  ESS = N / τ_int.  τ_int of a natural
+// observable is itself a (lower-bound flavored) glimpse of the
+// relaxation time, complementing the coupling estimates.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace recover::stats {
+
+/// Autocorrelation ρ_k for k = 0..max_lag (ρ_0 = 1).  Series must have
+/// at least max_lag + 2 points and nonzero variance.
+std::vector<double> autocorrelation(const std::vector<double>& series,
+                                    std::size_t max_lag);
+
+/// Integrated autocorrelation time with Sokal's adaptive truncation.
+/// Returns ≥ 1; a white-noise series gives ≈ 1.
+double integrated_autocorrelation_time(const std::vector<double>& series,
+                                       double window_factor = 5.0);
+
+/// Effective number of independent samples in the series.
+double effective_sample_size(const std::vector<double>& series);
+
+/// Fits an exponential decay rate r to the tail of a positive,
+/// decreasing curve y_t ≈ C e^{−r t} (least squares on log y over the
+/// portion below `head_fraction` of the initial value).  Used to turn
+/// exact worst-case-TV curves into relaxation-time estimates
+/// t_rel = 1/r, so that τ(ε) ≈ t_rel · ln(C/ε) can be compared against
+/// the directly computed mixing time.
+double exponential_tail_rate(const std::vector<double>& curve,
+                             double head_fraction = 0.5);
+
+}  // namespace recover::stats

@@ -1,0 +1,79 @@
+#include "src/stats/bootstrap.hpp"
+
+#include <algorithm>
+
+#include "src/rng/distributions.hpp"
+#include "src/rng/engines.hpp"
+#include "src/util/assert.hpp"
+
+namespace recover::stats {
+namespace {
+
+double mean_of(const std::vector<double>& xs) {
+  double sum = 0;
+  for (const double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+}  // namespace
+
+BootstrapInterval bootstrap_interval(
+    const std::vector<double>& sample,
+    const std::function<double(const std::vector<double>&)>& statistic,
+    int resamples, double level, std::uint64_t seed) {
+  RL_REQUIRE(!sample.empty());
+  RL_REQUIRE(resamples >= 10);
+  RL_REQUIRE(level > 0.0 && level < 1.0);
+  BootstrapInterval out;
+  out.point = statistic(sample);
+  rng::Xoshiro256PlusPlus eng(seed);
+  std::vector<double> stats(static_cast<std::size_t>(resamples));
+  std::vector<double> resample(sample.size());
+  for (int r = 0; r < resamples; ++r) {
+    for (auto& x : resample) {
+      x = sample[rng::uniform_below(eng, sample.size())];
+    }
+    stats[static_cast<std::size_t>(r)] = statistic(resample);
+  }
+  std::sort(stats.begin(), stats.end());
+  const double tail = (1.0 - level) / 2.0;
+  const auto lo_idx = static_cast<std::size_t>(
+      tail * static_cast<double>(resamples - 1));
+  const auto hi_idx = static_cast<std::size_t>(
+      (1.0 - tail) * static_cast<double>(resamples - 1));
+  out.lo = stats[lo_idx];
+  out.hi = stats[hi_idx];
+  return out;
+}
+
+BootstrapInterval bootstrap_mean(const std::vector<double>& sample,
+                                 int resamples, double level,
+                                 std::uint64_t seed) {
+  return bootstrap_interval(sample, mean_of, resamples, level, seed);
+}
+
+BootstrapInterval bootstrap_mean_ratio(const std::vector<double>& a,
+                                       const std::vector<double>& b,
+                                       int resamples, double level,
+                                       std::uint64_t seed) {
+  RL_REQUIRE(a.size() == b.size());
+  RL_REQUIRE(!a.empty());
+  // Encode the pair as one sample of indices and resample indices.
+  std::vector<double> indices(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    indices[i] = static_cast<double>(i);
+  }
+  auto ratio = [&](const std::vector<double>& idx) {
+    double sa = 0, sb = 0;
+    for (const double di : idx) {
+      const auto i = static_cast<std::size_t>(di);
+      sa += a[i];
+      sb += b[i];
+    }
+    RL_REQUIRE(sb != 0);
+    return sa / sb;
+  };
+  return bootstrap_interval(indices, ratio, resamples, level, seed);
+}
+
+}  // namespace recover::stats

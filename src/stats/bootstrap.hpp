@@ -1,0 +1,39 @@
+// Percentile bootstrap for statistics of small replica samples.
+//
+// Experiment tables report derived quantities (fitted slopes, ratios of
+// means) whose sampling distribution is awkward analytically; the
+// bootstrap resamples the replica values with replacement and reports
+// percentile confidence intervals.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace recover::stats {
+
+struct BootstrapInterval {
+  double point = 0;  // statistic on the original sample
+  double lo = 0;     // lower percentile bound
+  double hi = 0;     // upper percentile bound
+};
+
+/// Generic bootstrap: `statistic` maps a sample to a scalar.
+BootstrapInterval bootstrap_interval(
+    const std::vector<double>& sample,
+    const std::function<double(const std::vector<double>&)>& statistic,
+    int resamples = 2000, double level = 0.95, std::uint64_t seed = 1);
+
+/// Convenience: bootstrap CI of the sample mean.
+BootstrapInterval bootstrap_mean(const std::vector<double>& sample,
+                                 int resamples = 2000, double level = 0.95,
+                                 std::uint64_t seed = 1);
+
+/// Bootstrap CI for the ratio mean(a) / mean(b) of paired samples.
+BootstrapInterval bootstrap_mean_ratio(const std::vector<double>& a,
+                                       const std::vector<double>& b,
+                                       int resamples = 2000,
+                                       double level = 0.95,
+                                       std::uint64_t seed = 1);
+
+}  // namespace recover::stats

@@ -1,0 +1,77 @@
+#include "src/stats/histogram.hpp"
+
+#include <cmath>
+#include <set>
+
+#include "src/util/assert.hpp"
+
+namespace recover::stats {
+
+void IntHistogram::add(std::int64_t value, std::int64_t count) {
+  RL_REQUIRE(count >= 0);
+  if (count == 0) return;
+  counts_[value] += count;
+  total_ += count;
+}
+
+std::int64_t IntHistogram::count(std::int64_t value) const {
+  const auto it = counts_.find(value);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+double IntHistogram::frequency(std::int64_t value) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(count(value)) / static_cast<double>(total_);
+}
+
+std::int64_t IntHistogram::min() const {
+  RL_REQUIRE(total_ > 0);
+  return counts_.begin()->first;
+}
+
+std::int64_t IntHistogram::max() const {
+  RL_REQUIRE(total_ > 0);
+  return counts_.rbegin()->first;
+}
+
+double IntHistogram::mean() const {
+  RL_REQUIRE(total_ > 0);
+  double sum = 0;
+  for (const auto& [v, c] : counts_) {
+    sum += static_cast<double>(v) * static_cast<double>(c);
+  }
+  return sum / static_cast<double>(total_);
+}
+
+std::int64_t IntHistogram::quantile(double q) const {
+  RL_REQUIRE(total_ > 0);
+  RL_REQUIRE(q >= 0.0 && q <= 1.0);
+  const double target = q * static_cast<double>(total_);
+  std::int64_t cum = 0;
+  for (const auto& [v, c] : counts_) {
+    cum += c;
+    if (static_cast<double>(cum) >= target) return v;
+  }
+  return counts_.rbegin()->first;
+}
+
+double tv_distance(const IntHistogram& a, const IntHistogram& b) {
+  RL_REQUIRE(a.total() > 0 && b.total() > 0);
+  std::set<std::int64_t> support;
+  for (const auto& [v, c] : a.buckets()) support.insert(v);
+  for (const auto& [v, c] : b.buckets()) support.insert(v);
+  double dist = 0;
+  for (std::int64_t v : support) {
+    dist += std::abs(a.frequency(v) - b.frequency(v));
+  }
+  return dist / 2.0;
+}
+
+double tv_distance(const std::vector<double>& p, const std::vector<double>& q) {
+  RL_REQUIRE(p.size() == q.size());
+  double dist = 0;
+  for (std::size_t i = 0; i < p.size(); ++i) dist += std::abs(p[i] - q[i]);
+  return dist / 2.0;
+}
+
+}  // namespace recover::stats

@@ -1,0 +1,45 @@
+// Integer-valued histogram with total-variation distance — the statistic
+// the paper's mixing-time definition (§3) is phrased in.  Experiments
+// approximate ‖L(M_t | M_0 = x) − π‖ by the TV distance between empirical
+// distributions of an observable (e.g. max load) under the two starts.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace recover::stats {
+
+class IntHistogram {
+ public:
+  void add(std::int64_t value, std::int64_t count = 1);
+
+  [[nodiscard]] std::int64_t total() const { return total_; }
+  [[nodiscard]] std::int64_t count(std::int64_t value) const;
+  [[nodiscard]] double frequency(std::int64_t value) const;
+
+  [[nodiscard]] std::int64_t min() const;
+  [[nodiscard]] std::int64_t max() const;
+  [[nodiscard]] double mean() const;
+
+  /// Smallest v such that P(X <= v) >= q.
+  [[nodiscard]] std::int64_t quantile(double q) const;
+
+  [[nodiscard]] const std::map<std::int64_t, std::int64_t>& buckets() const {
+    return counts_;
+  }
+
+ private:
+  std::map<std::int64_t, std::int64_t> counts_;
+  std::int64_t total_ = 0;
+};
+
+/// Total-variation distance between two empirical distributions:
+/// ½ Σ_v |p(v) − q(v)| (equals the sup-over-events definition of §3 for
+/// discrete distributions).
+double tv_distance(const IntHistogram& a, const IntHistogram& b);
+
+/// TV distance between two explicit probability vectors of equal length.
+double tv_distance(const std::vector<double>& p, const std::vector<double>& q);
+
+}  // namespace recover::stats

@@ -1,0 +1,79 @@
+#include "src/stats/quantile.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/assert.hpp"
+
+namespace recover::stats {
+
+P2Quantile::P2Quantile(double q) : q_(q) {
+  RL_REQUIRE(q > 0.0 && q < 1.0);
+  positions_ = {1, 2, 3, 4, 5};
+  desired_ = {1, 1 + 2 * q_, 1 + 4 * q_, 3 + 2 * q_, 5};
+  increments_ = {0, q_ / 2, q_, (1 + q_) / 2, 1};
+}
+
+void P2Quantile::add(double x) {
+  ++n_;
+  if (n_ <= 5) {
+    heights_[static_cast<std::size_t>(n_ - 1)] = x;
+    if (n_ == 5) std::sort(heights_.begin(), heights_.end());
+    return;
+  }
+
+  std::size_t k;
+  if (x < heights_[0]) {
+    heights_[0] = x;
+    k = 0;
+  } else if (x >= heights_[4]) {
+    heights_[4] = x;
+    k = 3;
+  } else {
+    k = 0;
+    while (k < 3 && x >= heights_[k + 1]) ++k;
+  }
+  for (std::size_t i = k + 1; i < 5; ++i) positions_[i] += 1;
+  for (std::size_t i = 0; i < 5; ++i) desired_[i] += increments_[i];
+
+  for (std::size_t i = 1; i <= 3; ++i) {
+    const double d = desired_[i] - positions_[i];
+    const double below = positions_[i] - positions_[i - 1];
+    const double above = positions_[i + 1] - positions_[i];
+    if ((d >= 1 && above > 1) || (d <= -1 && below > 1)) {
+      const double sign = d >= 0 ? 1.0 : -1.0;
+      // Parabolic (P²) prediction.
+      const double hi = heights_[i];
+      const double parabolic =
+          hi + sign / (positions_[i + 1] - positions_[i - 1]) *
+                   ((below + sign) * (heights_[i + 1] - hi) / above +
+                    (above - sign) * (hi - heights_[i - 1]) / below);
+      if (heights_[i - 1] < parabolic && parabolic < heights_[i + 1]) {
+        heights_[i] = parabolic;
+      } else {
+        // Linear fallback.
+        const std::size_t j = sign > 0 ? i + 1 : i - 1;
+        heights_[i] = hi + sign * (heights_[j] - hi) /
+                               std::abs(positions_[j] - positions_[i]);
+      }
+      positions_[i] += sign;
+    }
+  }
+}
+
+double P2Quantile::value() const {
+  RL_REQUIRE(n_ > 0);
+  if (n_ < 5) {
+    // Exact small-sample quantile over the first observations.
+    std::array<double, 5> sorted = heights_;
+    std::sort(sorted.begin(),
+              sorted.begin() + static_cast<std::ptrdiff_t>(n_));
+    const auto idx = static_cast<std::size_t>(
+        std::min<double>(static_cast<double>(n_ - 1),
+                         std::floor(q_ * static_cast<double>(n_))));
+    return sorted[idx];
+  }
+  return heights_[2];
+}
+
+}  // namespace recover::stats

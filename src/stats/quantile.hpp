@@ -1,0 +1,34 @@
+// P² streaming quantile estimator (Jain & Chlamtac 1985): estimates a
+// single quantile of a stream in O(1) memory without storing samples.
+// Used by long recovery-trajectory runs where storing every hitting time
+// across replicas would be wasteful.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace recover::stats {
+
+class P2Quantile {
+ public:
+  /// q in (0,1): the quantile to track (e.g. 0.95 for w.h.p. tables).
+  explicit P2Quantile(double q);
+
+  void add(double x);
+
+  /// Current estimate; requires at least one observation (exact for the
+  /// first five).
+  [[nodiscard]] double value() const;
+
+  [[nodiscard]] std::int64_t count() const { return n_; }
+
+ private:
+  double q_;
+  std::int64_t n_ = 0;
+  std::array<double, 5> heights_{};
+  std::array<double, 5> positions_{};
+  std::array<double, 5> desired_{};
+  std::array<double, 5> increments_{};
+};
+
+}  // namespace recover::stats

@@ -1,0 +1,77 @@
+#include "src/stats/regression.hpp"
+
+#include <cmath>
+
+#include "src/util/assert.hpp"
+
+namespace recover::stats {
+
+LinearFit linear_fit(const std::vector<double>& x,
+                     const std::vector<double>& y) {
+  RL_REQUIRE(x.size() == y.size());
+  RL_REQUIRE(x.size() >= 2);
+  const auto n = static_cast<double>(x.size());
+  double sx = 0, sy = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+  }
+  const double mx = sx / n;
+  const double my = sy / n;
+  double sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  RL_REQUIRE(sxx > 0);
+  LinearFit fit;
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  double ss_res = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double e = y[i] - (fit.intercept + fit.slope * x[i]);
+    ss_res += e * e;
+  }
+  fit.r_squared = syy > 0 ? 1.0 - ss_res / syy : 1.0;
+  if (x.size() > 2) {
+    fit.slope_stderr =
+        std::sqrt(ss_res / (n - 2.0)) / std::sqrt(sxx);
+  }
+  return fit;
+}
+
+LinearFit loglog_fit(const std::vector<double>& x,
+                     const std::vector<double>& y) {
+  RL_REQUIRE(x.size() == y.size());
+  std::vector<double> lx(x.size()), ly(y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    RL_REQUIRE(x[i] > 0 && y[i] > 0);
+    lx[i] = std::log(x[i]);
+    ly[i] = std::log(y[i]);
+  }
+  return linear_fit(lx, ly);
+}
+
+double ratio_dispersion(const std::vector<double>& y,
+                        const std::vector<double>& f) {
+  RL_REQUIRE(y.size() == f.size());
+  RL_REQUIRE(!y.empty());
+  double mean = 0;
+  std::vector<double> r(y.size());
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    RL_REQUIRE(f[i] > 0);
+    r[i] = y[i] / f[i];
+    mean += r[i];
+  }
+  mean /= static_cast<double>(y.size());
+  double var = 0;
+  for (double v : r) var += (v - mean) * (v - mean);
+  var /= static_cast<double>(y.size());
+  RL_REQUIRE(mean > 0);
+  return std::sqrt(var) / mean;
+}
+
+}  // namespace recover::stats

@@ -1,0 +1,34 @@
+// Least-squares fitting utilities for the experiment tables.
+//
+// The reproduction criterion for an asymptotic bound T(n) = Θ(f(n)) is
+// twofold: (a) the ratio T(n)/f(n) flattens, and (b) the fitted log-log
+// slope matches the exponent of the dominant polynomial factor.  Both are
+// computed here.
+#pragma once
+
+#include <vector>
+
+namespace recover::stats {
+
+struct LinearFit {
+  double slope = 0;
+  double intercept = 0;
+  double r_squared = 0;
+  double slope_stderr = 0;
+};
+
+/// Ordinary least squares y = slope * x + intercept.
+LinearFit linear_fit(const std::vector<double>& x,
+                     const std::vector<double>& y);
+
+/// Fits log(y) = slope * log(x) + c, i.e. y ≈ e^c * x^slope.
+/// All inputs must be strictly positive.
+LinearFit loglog_fit(const std::vector<double>& x,
+                     const std::vector<double>& y);
+
+/// Coefficient of variation of y_i / f_i — small values mean y tracks the
+/// model curve f up to a constant (the "ratio flattens" criterion).
+double ratio_dispersion(const std::vector<double>& y,
+                        const std::vector<double>& f);
+
+}  // namespace recover::stats

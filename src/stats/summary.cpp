@@ -1,0 +1,139 @@
+#include "src/stats/summary.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/assert.hpp"
+
+namespace recover::stats {
+
+void Summary::add(double x) {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void Summary::merge(const Summary& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double Summary::mean() const { return n_ > 0 ? mean_ : 0.0; }
+
+double Summary::variance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double Summary::stddev() const { return std::sqrt(variance()); }
+
+double Summary::stderror() const {
+  return n_ > 0 ? stddev() / std::sqrt(static_cast<double>(n_)) : 0.0;
+}
+
+double Summary::ci_halfwidth(double level) const {
+  if (n_ < 2) return 0.0;
+  return student_t_critical(n_ - 1, level) * stderror();
+}
+
+double normal_quantile(double p) {
+  RL_REQUIRE(p > 0.0 && p < 1.0);
+  // Acklam's approximation, relative error < 1.15e-9.
+  static constexpr double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                                 -2.759285104469687e+02, 1.383577518672690e+02,
+                                 -3.066479806614716e+01, 2.506628277459239e+00};
+  static constexpr double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                                 -1.556989798598866e+02, 6.680131188771972e+01,
+                                 -1.328068155288572e+01};
+  static constexpr double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                                 -2.400758277161838e+00, -2.549732539343734e+00,
+                                 4.374664141464968e+00,  2.938163982698783e+00};
+  static constexpr double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                                 2.445134137142996e+00, 3.754408661907416e+00};
+  const double plow = 0.02425;
+  const double phigh = 1 - plow;
+  double q, r;
+  if (p < plow) {
+    q = std::sqrt(-2 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+            c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1);
+  }
+  if (p > phigh) {
+    q = std::sqrt(-2 * std::log(1 - p));
+    return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+             c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1);
+  }
+  q = p - 0.5;
+  r = q * q;
+  return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) *
+         q /
+         (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1);
+}
+
+double student_t_critical(std::int64_t df, double level) {
+  RL_REQUIRE(df >= 1);
+  RL_REQUIRE(level > 0.0 && level < 1.0);
+  const double z = normal_quantile(0.5 + level / 2.0);
+  if (df > 200) return z;
+  // Cornish-Fisher style expansion of the t quantile in powers of 1/df.
+  const double n = static_cast<double>(df);
+  const double z3 = z * z * z;
+  const double z5 = z3 * z * z;
+  const double z7 = z5 * z * z;
+  double t = z + (z3 + z) / (4 * n) + (5 * z5 + 16 * z3 + 3 * z) / (96 * n * n) +
+             (3 * z7 + 19 * z5 + 17 * z3 - 15 * z) / (384 * n * n * n);
+  // Small-df cases where the expansion is weakest: clamp with exact values
+  // for the common 95% level.
+  if (level > 0.949 && level < 0.951) {
+    static constexpr double exact[] = {12.706, 4.303, 3.182, 2.776, 2.571,
+                                       2.447,  2.365, 2.306, 2.262, 2.228};
+    if (df <= 10) return exact[df - 1];
+  }
+  return t;
+}
+
+double chi_square_statistic(const std::vector<std::int64_t>& observed,
+                            const std::vector<double>& expected_probs) {
+  RL_REQUIRE(observed.size() == expected_probs.size());
+  std::int64_t total = 0;
+  for (auto c : observed) total += c;
+  RL_REQUIRE(total > 0);
+  double stat = 0;
+  for (std::size_t i = 0; i < observed.size(); ++i) {
+    const double expected = expected_probs[i] * static_cast<double>(total);
+    if (expected <= 0) {
+      RL_REQUIRE(observed[i] == 0);
+      continue;
+    }
+    const double diff = static_cast<double>(observed[i]) - expected;
+    stat += diff * diff / expected;
+  }
+  return stat;
+}
+
+double chi_square_critical(int df, double tail) {
+  RL_REQUIRE(df >= 1);
+  // Wilson-Hilferty: chi2_df ~ df * (1 - 2/(9 df) + z sqrt(2/(9 df)))^3.
+  const double z = normal_quantile(1.0 - tail);
+  const double t = 2.0 / (9.0 * df);
+  const double base = 1.0 - t + z * std::sqrt(t);
+  return df * base * base * base;
+}
+
+}  // namespace recover::stats

@@ -1,0 +1,54 @@
+// Streaming summary statistics (Welford) with Student-t confidence
+// intervals, used by every experiment to report mean ± CI over replicas.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace recover::stats {
+
+class Summary {
+ public:
+  void add(double x);
+
+  /// Merges another summary (parallel reduction across worker shards).
+  void merge(const Summary& other);
+
+  [[nodiscard]] std::int64_t count() const { return n_; }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double variance() const;  // unbiased (n-1)
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double stderror() const;
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+
+  /// Half-width of the two-sided confidence interval at the given level
+  /// (0.95 or 0.99); uses a Student-t quantile approximation.
+  [[nodiscard]] double ci_halfwidth(double level = 0.95) const;
+
+ private:
+  std::int64_t n_ = 0;
+  double mean_ = 0;
+  double m2_ = 0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Two-sided Student-t critical value t_{df,(1+level)/2}; accurate to a few
+/// percent for df >= 2, exact in the normal limit.
+double student_t_critical(std::int64_t df, double level);
+
+/// Standard normal quantile (Acklam's rational approximation).
+double normal_quantile(double p);
+
+/// Chi-square test statistic for observed counts vs expected probabilities;
+/// returns the statistic (compare against quantile with k-1 dof).
+double chi_square_statistic(const std::vector<std::int64_t>& observed,
+                            const std::vector<double>& expected_probs);
+
+/// Upper critical value of the chi-square distribution with df degrees of
+/// freedom at the given right-tail probability (Wilson–Hilferty).
+double chi_square_critical(int df, double tail);
+
+}  // namespace recover::stats

@@ -1,0 +1,40 @@
+// Lightweight contract-checking macros used across recoverlib.
+//
+// RL_REQUIRE is always on (it guards public API preconditions whose
+// violation would corrupt a simulation silently); RL_DBG_ASSERT compiles
+// away in release builds and is used on hot paths.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace recover::util {
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line) {
+  std::fprintf(stderr, "recoverlib %s failed: %s at %s:%d\n", kind, expr,
+               file, line);
+  std::abort();
+}
+
+}  // namespace recover::util
+
+#define RL_REQUIRE(expr)                                                 \
+  do {                                                                   \
+    if (!(expr)) {                                                       \
+      ::recover::util::contract_failure("precondition", #expr, __FILE__, \
+                                        __LINE__);                       \
+    }                                                                    \
+  } while (0)
+
+#ifndef NDEBUG
+#define RL_DBG_ASSERT(expr)                                            \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      ::recover::util::contract_failure("assertion", #expr, __FILE__,  \
+                                        __LINE__);                     \
+    }                                                                  \
+  } while (0)
+#else
+#define RL_DBG_ASSERT(expr) ((void)0)
+#endif

@@ -1,0 +1,115 @@
+#include "src/util/cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "src/util/assert.hpp"
+
+namespace recover::util {
+
+Cli::Cli(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+Cli& Cli::flag(std::string name, std::string help, std::string default_value) {
+  RL_REQUIRE(find(name) == nullptr);
+  flags_.push_back({std::move(name), std::move(help),
+                    std::move(default_value)});
+  return *this;
+}
+
+const Cli::Flag* Cli::find(const std::string& name) const {
+  for (const auto& f : flags_) {
+    if (f.name == name) return &f;
+  }
+  return nullptr;
+}
+
+Cli::Flag* Cli::find(const std::string& name) {
+  return const_cast<Flag*>(static_cast<const Cli*>(this)->find(name));
+}
+
+std::string Cli::usage() const {
+  std::ostringstream os;
+  os << program_ << " - " << description_ << "\n\nFlags:\n";
+  for (const auto& f : flags_) {
+    os << "  --" << f.name << "  " << f.help << " (default: " << f.value
+       << ")\n";
+  }
+  return os.str();
+}
+
+void Cli::parse(int argc, const char* const* argv) {
+  // Banner: experiment outputs are frequently concatenated (e.g.
+  // `for b in build/bench/*; do $b; done | tee ...`), so each program
+  // announces itself first.
+  std::printf("## %s — %s\n", program_.c_str(), description_.c_str());
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(usage().c_str(), stdout);
+      std::exit(0);
+    }
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "unexpected positional argument '%s'\n%s",
+                   arg.c_str(), usage().c_str());
+      std::exit(2);
+    }
+    arg = arg.substr(2);
+    std::string name = arg;
+    std::string value;
+    bool have_value = false;
+    if (auto eq = arg.find('='); eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+      have_value = true;
+    }
+    Flag* f = find(name);
+    if (f == nullptr) {
+      std::fprintf(stderr, "unknown flag '--%s'\n%s", name.c_str(),
+                   usage().c_str());
+      std::exit(2);
+    }
+    if (!have_value) {
+      // `--name value` form, unless the next token is another flag (then
+      // the flag is treated as boolean `true`).
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        value = argv[++i];
+      } else {
+        value = "true";
+      }
+    }
+    f->value = value;
+  }
+}
+
+std::string Cli::str(const std::string& name) const {
+  const Flag* f = find(name);
+  RL_REQUIRE(f != nullptr);
+  return f->value;
+}
+
+std::int64_t Cli::integer(const std::string& name) const {
+  return std::stoll(str(name));
+}
+
+double Cli::real(const std::string& name) const { return std::stod(str(name)); }
+
+bool Cli::boolean(const std::string& name) const {
+  const std::string v = str(name);
+  return v == "true" || v == "1" || v == "yes" || v == "on";
+}
+
+std::vector<std::int64_t> Cli::int_list(const std::string& name) const {
+  std::vector<std::int64_t> out;
+  std::stringstream ss(str(name));
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(std::stoll(item));
+  }
+  return out;
+}
+
+}  // namespace recover::util

@@ -1,0 +1,54 @@
+// Minimal command-line flag parsing shared by examples and bench harnesses.
+//
+// Supports `--name=value`, `--name value`, and boolean `--name`.  Unknown
+// flags abort with a usage listing so experiment sweeps fail loudly rather
+// than silently running default parameters.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace recover::util {
+
+class Cli {
+ public:
+  /// `description` is printed at the top of --help output.
+  Cli(std::string program, std::string description);
+
+  /// Registers a flag; returns *this for chaining.  Must precede parse().
+  Cli& flag(std::string name, std::string help, std::string default_value);
+
+  /// Parses argv, prints a one-line `## program — description` banner
+  /// (experiment outputs are routinely concatenated), and exits on
+  /// --help (0) or unknown flags (2).
+  void parse(int argc, const char* const* argv);
+
+  [[nodiscard]] std::string str(const std::string& name) const;
+  [[nodiscard]] std::int64_t integer(const std::string& name) const;
+  [[nodiscard]] double real(const std::string& name) const;
+  [[nodiscard]] bool boolean(const std::string& name) const;
+
+  /// Comma-separated integer list, e.g. --sizes=64,128,256.
+  [[nodiscard]] std::vector<std::int64_t> int_list(
+      const std::string& name) const;
+
+  [[nodiscard]] std::string usage() const;
+
+ private:
+  struct Flag {
+    std::string name;
+    std::string help;
+    std::string value;
+  };
+
+  [[nodiscard]] const Flag* find(const std::string& name) const;
+  Flag* find(const std::string& name);
+
+  std::string program_;
+  std::string description_;
+  std::vector<Flag> flags_;
+};
+
+}  // namespace recover::util

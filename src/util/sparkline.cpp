@@ -1,0 +1,73 @@
+#include "src/util/sparkline.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "src/util/assert.hpp"
+#include "src/util/table.hpp"
+
+namespace recover::util {
+namespace {
+
+// UTF-8 block elements from one-eighth to full.
+const char* const kBlocks[8] = {"▁", "▂", "▃", "▄",
+                                "▅", "▆", "▇", "█"};
+
+}  // namespace
+
+std::string sparkline(const std::vector<double>& series) {
+  if (series.empty()) return {};
+  const double lo = *std::min_element(series.begin(), series.end());
+  const double hi = *std::max_element(series.begin(), series.end());
+  std::string out;
+  out.reserve(series.size() * 3);
+  for (const double v : series) {
+    std::size_t level = 3;  // flat series sit on the midline
+    if (hi > lo) {
+      level = static_cast<std::size_t>((v - lo) / (hi - lo) * 7.999);
+      if (level > 7) level = 7;
+    }
+    out += kBlocks[level];
+  }
+  return out;
+}
+
+std::string sparkline(const std::vector<double>& series, std::size_t width) {
+  RL_REQUIRE(width >= 1);
+  if (series.size() <= width) return sparkline(series);
+  // Max-pool each bucket so spikes survive downsampling.
+  std::vector<double> pooled(width);
+  for (std::size_t b = 0; b < width; ++b) {
+    const std::size_t begin = b * series.size() / width;
+    const std::size_t end = (b + 1) * series.size() / width;
+    double mx = series[begin];
+    for (std::size_t i = begin; i < end; ++i) mx = std::max(mx, series[i]);
+    pooled[b] = mx;
+  }
+  return sparkline(pooled);
+}
+
+std::string bar_chart(const std::vector<std::pair<std::string, double>>& rows,
+                      std::size_t max_bar_width) {
+  RL_REQUIRE(max_bar_width >= 1);
+  if (rows.empty()) return {};
+  double hi = 0;
+  std::size_t label_width = 0;
+  for (const auto& [label, value] : rows) {
+    hi = std::max(hi, value);
+    label_width = std::max(label_width, label.size());
+  }
+  std::ostringstream os;
+  for (const auto& [label, value] : rows) {
+    const auto bars =
+        hi > 0 ? static_cast<std::size_t>(value / hi *
+                                          static_cast<double>(max_bar_width))
+               : 0;
+    os << label << std::string(label_width - label.size(), ' ') << "  "
+       << format_double(value, 3) << "  |" << std::string(bars, '#') << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace recover::util

@@ -1,0 +1,24 @@
+// Terminal sparklines and bar charts for the examples' trajectory and
+// distribution output.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace recover::util {
+
+/// One-line sparkline of the series using the 8 block glyphs; values are
+/// scaled to [min, max] of the series (flat series render as midline).
+std::string sparkline(const std::vector<double>& series);
+
+/// Downsamples a long series to at most `width` points (stride max) and
+/// renders the sparkline.
+std::string sparkline(const std::vector<double>& series, std::size_t width);
+
+/// Horizontal ASCII bar chart: one `label value |####` row per entry,
+/// bars scaled to the maximum value.
+std::string bar_chart(const std::vector<std::pair<std::string, double>>& rows,
+                      std::size_t max_bar_width = 40);
+
+}  // namespace recover::util

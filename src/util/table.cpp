@@ -1,0 +1,92 @@
+#include "src/util/table.hpp"
+
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+#include <utility>
+
+#include "src/util/assert.hpp"
+
+namespace recover::util {
+
+std::string format_double(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, value);
+  return buf;
+}
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  RL_REQUIRE(!header_.empty());
+}
+
+Table& Table::row() {
+  rows_.emplace_back();
+  rows_.back().reserve(header_.size());
+  return *this;
+}
+
+Table& Table::add(std::string cell) {
+  RL_REQUIRE(!rows_.empty());
+  RL_REQUIRE(rows_.back().size() < header_.size());
+  rows_.back().push_back(std::move(cell));
+  return *this;
+}
+
+Table& Table::num(double value, int precision) {
+  return add(format_double(value, precision));
+}
+
+Table& Table::integer(std::int64_t value) {
+  return add(std::to_string(value));
+}
+
+const std::string& Table::cell(std::size_t r, std::size_t c) const {
+  RL_REQUIRE(r < rows_.size());
+  RL_REQUIRE(c < rows_[r].size());
+  return rows_[r][c];
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      if (r[c].size() > width[c]) width[c] = r[c].size();
+    }
+  }
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      const std::string& s = c < cells.size() ? cells[c] : std::string{};
+      os << s;
+      if (c + 1 < header_.size()) {
+        os << std::string(width[c] - s.size() + 2, ' ');
+      }
+    }
+    os << '\n';
+  };
+  emit(header_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < width.size(); ++c) total += width[c] + 2;
+  os << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+  for (const auto& r : rows_) emit(r);
+}
+
+void Table::print_csv(std::ostream& os) const {
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c != 0) os << ',';
+      os << cells[c];
+    }
+    os << '\n';
+  };
+  emit(header_);
+  for (const auto& r : rows_) emit(r);
+}
+
+std::string Table::to_string() const {
+  std::ostringstream os;
+  print(os);
+  return os.str();
+}
+
+}  // namespace recover::util

@@ -1,0 +1,45 @@
+// Column-aligned ASCII table printing for bench/example output.
+//
+// Every experiment binary prints its results through Table so the rows the
+// paper's theorems predict can be compared at a glance.  Cells are stored
+// as strings; numeric helpers format with a fixed precision.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace recover::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Starts a new row; subsequent add()/num() calls fill it left-to-right.
+  Table& row();
+
+  Table& add(std::string cell);
+  Table& num(double value, int precision = 3);
+  Table& integer(std::int64_t value);
+
+  /// Renders with every column padded to its widest cell.
+  void print(std::ostream& os) const;
+  [[nodiscard]] std::string to_string() const;
+
+  /// Comma-separated rendering for machine consumption.
+  void print_csv(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+  [[nodiscard]] std::size_t columns() const { return header_.size(); }
+  [[nodiscard]] const std::string& cell(std::size_t r, std::size_t c) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double like printf("%.*f") without iostream state leakage.
+std::string format_double(double value, int precision);
+
+}  // namespace recover::util

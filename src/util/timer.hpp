@@ -1,0 +1,26 @@
+// Wall-clock stopwatch used by the experiment harnesses to report the cost
+// of each sweep point alongside the statistic it measures.
+#pragma once
+
+#include <chrono>
+
+namespace recover::util {
+
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double millis() const { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace recover::util

@@ -1,0 +1,96 @@
+// Tests for autocorrelation / ESS / exponential tail fitting.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/balls/scenario_a.hpp"
+#include "src/rng/distributions.hpp"
+#include "src/rng/engines.hpp"
+#include "src/stats/autocorr.hpp"
+
+namespace recover::stats {
+namespace {
+
+std::vector<double> ar1_series(double rho, std::size_t n,
+                               std::uint64_t seed) {
+  rng::Xoshiro256PlusPlus eng(seed);
+  std::vector<double> out(n);
+  double x = 0;
+  for (std::size_t t = 0; t < n; ++t) {
+    // Irwin–Hall(12) - 6 is ~N(0,1).
+    double z = 0;
+    for (int k = 0; k < 12; ++k) z += rng::uniform_real(eng);
+    z -= 6.0;
+    x = rho * x + std::sqrt(1 - rho * rho) * z;
+    out[t] = x;
+  }
+  return out;
+}
+
+TEST(Autocorrelation, WhiteNoiseDecorrelates) {
+  const auto series = ar1_series(0.0, 20000, 1);
+  const auto rho = autocorrelation(series, 10);
+  EXPECT_DOUBLE_EQ(rho[0], 1.0);
+  for (std::size_t k = 1; k <= 10; ++k) {
+    EXPECT_NEAR(rho[k], 0.0, 0.03) << "lag " << k;
+  }
+  EXPECT_NEAR(integrated_autocorrelation_time(series), 1.0, 0.15);
+}
+
+TEST(Autocorrelation, Ar1MatchesTheory) {
+  // AR(1) with coefficient ρ: ρ_k = ρ^k and τ_int = (1+ρ)/(1−ρ).
+  const double rho_coef = 0.8;
+  const auto series = ar1_series(rho_coef, 60000, 2);
+  const auto rho = autocorrelation(series, 5);
+  for (std::size_t k = 1; k <= 5; ++k) {
+    EXPECT_NEAR(rho[k], std::pow(rho_coef, k), 0.05) << "lag " << k;
+  }
+  const double expected_tau = (1 + rho_coef) / (1 - rho_coef);  // 9
+  EXPECT_NEAR(integrated_autocorrelation_time(series), expected_tau, 2.0);
+}
+
+TEST(EffectiveSampleSize, ShrinksWithCorrelation) {
+  const auto white = ar1_series(0.0, 20000, 3);
+  const auto sticky = ar1_series(0.9, 20000, 4);
+  EXPECT_GT(effective_sample_size(white),
+            4.0 * effective_sample_size(sticky));
+}
+
+TEST(EffectiveSampleSize, ChainObservableHasFiniteTau) {
+  // Max load of I_A-ABKU[2] sampled every step is positively correlated;
+  // tau_int should be > 1 but finite and modest at n = 64.
+  rng::Xoshiro256PlusPlus eng(5);
+  balls::ScenarioAChain<balls::AbkuRule> chain(
+      balls::LoadVector::balanced(64, 64), balls::AbkuRule(2));
+  for (int t = 0; t < 5000; ++t) chain.step(eng);
+  std::vector<double> series;
+  for (int t = 0; t < 20000; ++t) {
+    chain.step(eng);
+    series.push_back(static_cast<double>(chain.state().max_load()));
+  }
+  const double tau = integrated_autocorrelation_time(series);
+  EXPECT_GT(tau, 1.5);
+  EXPECT_LT(tau, 2000.0);
+}
+
+TEST(ExponentialTailRate, RecoversKnownRate) {
+  std::vector<double> curve;
+  for (int t = 0; t < 200; ++t) {
+    curve.push_back(3.0 * std::exp(-0.05 * t));
+  }
+  EXPECT_NEAR(exponential_tail_rate(curve), 0.05, 1e-6);
+}
+
+TEST(ExponentialTailRate, IgnoresHeadTransient) {
+  // A curve with a slow head and exponential tail: the fit must use the
+  // tail only.
+  std::vector<double> curve;
+  for (int t = 0; t < 50; ++t) curve.push_back(1.0);  // plateau head
+  for (int t = 0; t < 200; ++t) {
+    curve.push_back(0.4 * std::exp(-0.1 * t));
+  }
+  EXPECT_NEAR(exponential_tail_rate(curve, 0.5), 0.1, 0.01);
+}
+
+}  // namespace
+}  // namespace recover::stats

@@ -1,0 +1,96 @@
+// Tests for the percentile bootstrap.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/rng/distributions.hpp"
+#include "src/rng/engines.hpp"
+#include "src/stats/bootstrap.hpp"
+
+namespace recover::stats {
+namespace {
+
+TEST(Bootstrap, DegenerateSampleHasZeroWidth) {
+  const std::vector<double> sample(20, 3.5);
+  const auto ci = bootstrap_mean(sample);
+  EXPECT_DOUBLE_EQ(ci.point, 3.5);
+  EXPECT_DOUBLE_EQ(ci.lo, 3.5);
+  EXPECT_DOUBLE_EQ(ci.hi, 3.5);
+}
+
+TEST(Bootstrap, IntervalBracketsPointEstimate) {
+  rng::Xoshiro256PlusPlus eng(5);
+  std::vector<double> sample;
+  for (int i = 0; i < 60; ++i) sample.push_back(rng::uniform_real(eng) * 10);
+  const auto ci = bootstrap_mean(sample);
+  EXPECT_LE(ci.lo, ci.point);
+  EXPECT_GE(ci.hi, ci.point);
+  EXPECT_GT(ci.hi - ci.lo, 0.0);
+}
+
+TEST(Bootstrap, CoversTrueMeanMostOfTheTime) {
+  // 40 repetitions of a 30-sample uniform[0,1) mean: the 95% interval
+  // should contain 0.5 at least ~85% of the time (generous threshold).
+  rng::Xoshiro256PlusPlus eng(7);
+  int covered = 0;
+  constexpr int kReps = 40;
+  for (int rep = 0; rep < kReps; ++rep) {
+    std::vector<double> sample;
+    for (int i = 0; i < 30; ++i) sample.push_back(rng::uniform_real(eng));
+    const auto ci = bootstrap_mean(sample, 1000, 0.95,
+                                   static_cast<std::uint64_t>(rep) + 1);
+    if (ci.lo <= 0.5 && 0.5 <= ci.hi) ++covered;
+  }
+  EXPECT_GE(covered, 34);
+}
+
+TEST(Bootstrap, WiderLevelGivesWiderInterval) {
+  rng::Xoshiro256PlusPlus eng(9);
+  std::vector<double> sample;
+  for (int i = 0; i < 50; ++i) sample.push_back(rng::uniform_real(eng));
+  const auto ci90 = bootstrap_mean(sample, 2000, 0.90, 3);
+  const auto ci99 = bootstrap_mean(sample, 2000, 0.99, 3);
+  EXPECT_LE(ci99.lo, ci90.lo);
+  EXPECT_GE(ci99.hi, ci90.hi);
+}
+
+TEST(Bootstrap, CustomStatistic) {
+  const std::vector<double> sample = {1, 2, 3, 4, 100};
+  const auto ci = bootstrap_interval(
+      sample,
+      [](const std::vector<double>& xs) {
+        double mx = xs[0];
+        for (const double x : xs) mx = std::max(mx, x);
+        return mx;
+      },
+      500, 0.95, 11);
+  EXPECT_DOUBLE_EQ(ci.point, 100.0);
+  EXPECT_LE(ci.hi, 100.0);
+}
+
+TEST(Bootstrap, MeanRatioNearTruth) {
+  rng::Xoshiro256PlusPlus eng(13);
+  std::vector<double> a, b;
+  for (int i = 0; i < 80; ++i) {
+    const double x = 1.0 + rng::uniform_real(eng);
+    b.push_back(x);
+    a.push_back(2.0 * x + 0.1 * rng::uniform_real(eng));
+  }
+  const auto ci = bootstrap_mean_ratio(a, b);
+  EXPECT_NEAR(ci.point, 2.0, 0.1);
+  EXPECT_LE(ci.lo, ci.point);
+  EXPECT_GE(ci.hi, ci.point);
+}
+
+TEST(Bootstrap, DeterministicGivenSeed) {
+  rng::Xoshiro256PlusPlus eng(15);
+  std::vector<double> sample;
+  for (int i = 0; i < 25; ++i) sample.push_back(rng::uniform_real(eng));
+  const auto c1 = bootstrap_mean(sample, 500, 0.95, 42);
+  const auto c2 = bootstrap_mean(sample, 500, 0.95, 42);
+  EXPECT_DOUBLE_EQ(c1.lo, c2.lo);
+  EXPECT_DOUBLE_EQ(c1.hi, c2.hi);
+}
+
+}  // namespace
+}  // namespace recover::stats

@@ -1,0 +1,108 @@
+// Tests for the bounded open system (§7 first class of open processes).
+#include <gtest/gtest.h>
+
+#include "src/core/coalescence.hpp"
+#include "src/open/bounded_chain.hpp"
+#include "src/rng/engines.hpp"
+#include "src/stats/histogram.hpp"
+
+namespace recover::open {
+namespace {
+
+TEST(BoundedOpenChain, NeverExceedsCapacityOrGoesNegative) {
+  rng::Xoshiro256PlusPlus eng(1);
+  BoundedOpenChain<balls::AbkuRule> chain(balls::LoadVector(6),
+                                          balls::AbkuRule(2), 20, 0.7);
+  for (int t = 0; t < 20000; ++t) {
+    chain.step(eng);
+    ASSERT_GE(chain.balls(), 0);
+    ASSERT_LE(chain.balls(), 20);
+    if (t % 2000 == 0) {
+      ASSERT_TRUE(chain.state().invariants_hold());
+    }
+  }
+}
+
+TEST(BoundedOpenChain, HighInsertPressureSaturates) {
+  rng::Xoshiro256PlusPlus eng(2);
+  BoundedOpenChain<balls::AbkuRule> chain(balls::LoadVector(6),
+                                          balls::AbkuRule(2), 16, 0.9);
+  for (int t = 0; t < 5000; ++t) chain.step(eng);
+  stats::IntHistogram count;
+  for (int t = 0; t < 5000; ++t) {
+    chain.step(eng);
+    count.add(chain.balls());
+  }
+  EXPECT_GE(count.mean(), 13.0);  // hugs the capacity
+}
+
+TEST(BoundedOpenChain, BalancedPressureHoversMidRange) {
+  rng::Xoshiro256PlusPlus eng(3);
+  BoundedOpenChain<balls::AbkuRule> chain(
+      balls::LoadVector::all_in_one(6, 16), balls::AbkuRule(2), 32, 0.5);
+  for (int t = 0; t < 30000; ++t) chain.step(eng);
+  stats::IntHistogram count;
+  for (int t = 0; t < 30000; ++t) {
+    chain.step(eng);
+    if (t % 10 == 0) count.add(chain.balls());
+  }
+  // Reflected lazy walk on [0, 32]: near-uniform occupation, mean ~16.
+  EXPECT_GT(count.mean(), 8.0);
+  EXPECT_LT(count.mean(), 24.0);
+}
+
+TEST(BoundedOpenCoupling, EqualCopiesStayEqual) {
+  rng::Xoshiro256PlusPlus eng(4);
+  const balls::LoadVector v = balls::LoadVector::piled(6, 10, 3);
+  BoundedOpenCoupling<balls::AbkuRule> c(v, v, balls::AbkuRule(2), 24);
+  for (int t = 0; t < 3000; ++t) {
+    c.step(eng);
+    ASSERT_TRUE(c.coalesced());
+  }
+}
+
+TEST(BoundedOpenCoupling, EmptyVsFullCoalesces) {
+  // The capacity bound turns the count gap into a reflected walk on a
+  // FINITE interval, so coalescence is much more reliable than in the
+  // unbounded case: measure it with a hard cap.
+  core::CoalescenceOptions opts;
+  opts.replicas = 12;
+  opts.seed = 5;
+  opts.max_steps = 3'000'000;
+  opts.parallel = false;
+  const std::int64_t cap = 24;
+  const auto stats = core::measure_coalescence(
+      [&](std::uint64_t) {
+        return BoundedOpenCoupling<balls::AbkuRule>(
+            balls::LoadVector(6), balls::LoadVector::all_in_one(6, cap),
+            balls::AbkuRule(2), cap);
+      },
+      opts);
+  EXPECT_EQ(stats.censored, 0);
+  EXPECT_GT(stats.steps.mean(), 0.0);
+}
+
+TEST(BoundedOpenCoupling, TighterCapacityCoalescesFaster) {
+  auto measure = [](std::int64_t cap) {
+    core::CoalescenceOptions opts;
+    opts.replicas = 16;
+    opts.seed = 6;
+    opts.max_steps = 5'000'000;
+    opts.parallel = false;
+    return core::measure_coalescence(
+        [&](std::uint64_t) {
+          return BoundedOpenCoupling<balls::AbkuRule>(
+              balls::LoadVector(8), balls::LoadVector::all_in_one(8, cap),
+              balls::AbkuRule(2), cap);
+        },
+        opts);
+  };
+  const auto tight = measure(8);
+  const auto loose = measure(32);
+  ASSERT_EQ(tight.censored, 0);
+  ASSERT_EQ(loose.censored, 0);
+  EXPECT_LT(tight.steps.mean(), loose.steps.mean());
+}
+
+}  // namespace
+}  // namespace recover::open

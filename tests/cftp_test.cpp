@@ -1,0 +1,171 @@
+// Tests for coupling-from-the-past exact sampling.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+
+#include "src/balls/exact_chain.hpp"
+#include "src/balls/grand_coupling.hpp"
+#include "src/balls/random_states.hpp"
+#include "src/core/cftp.hpp"
+#include "src/rng/engines.hpp"
+#include "src/stats/histogram.hpp"
+
+namespace recover::core {
+namespace {
+
+// Majorization order on equal-sum normalized vectors: v ⪯ w iff every
+// prefix sum of v is at most the corresponding prefix sum of w.
+bool majorized_by(const balls::LoadVector& v, const balls::LoadVector& w) {
+  std::int64_t pv = 0, pw = 0;
+  for (std::size_t i = 0; i < v.bins(); ++i) {
+    pv += v.load(i);
+    pw += w.load(i);
+    if (pv > pw) return false;
+  }
+  return true;
+}
+
+TEST(Majorization, BalancedIsMinimumAllInOneIsMaximum) {
+  rng::Xoshiro256PlusPlus eng(1);
+  const std::size_t n = 8;
+  const std::int64_t m = 20;
+  const auto bottom = balls::LoadVector::balanced(n, m);
+  const auto top = balls::LoadVector::all_in_one(n, m);
+  for (int rep = 0; rep < 100; ++rep) {
+    const auto x = balls::random_load_vector(n, m, eng, 1 + rep % 4);
+    EXPECT_TRUE(majorized_by(bottom, x));
+    EXPECT_TRUE(majorized_by(x, top));
+  }
+}
+
+TEST(Majorization, RandomMapPreservesSandwichScenarioA) {
+  // Apply the SAME random map (same engine seed) to bottom ≤ x ≤ top and
+  // check the order is preserved — the empirical monotonicity behind the
+  // CFTP sandwich.  Implemented by coupling (bottom, x) and (x, top)
+  // pairwise with identical engines.
+  const std::size_t n = 6;
+  const std::int64_t m = 15;
+  rng::Xoshiro256PlusPlus pick(2);
+  int violations = 0;
+  for (int rep = 0; rep < 300; ++rep) {
+    const auto x = balls::random_load_vector(n, m, pick, 1 + rep % 4);
+    balls::GrandCouplingA<balls::AbkuRule> low(
+        balls::LoadVector::balanced(n, m), x, balls::AbkuRule(2));
+    balls::GrandCouplingA<balls::AbkuRule> high(
+        x, balls::LoadVector::all_in_one(n, m), balls::AbkuRule(2));
+    for (int t = 0; t < 30; ++t) {
+      rng::Xoshiro256PlusPlus e1(1000 + static_cast<std::uint64_t>(rep) * 64 +
+                                 static_cast<std::uint64_t>(t));
+      rng::Xoshiro256PlusPlus e2 = e1;
+      low.step(e1);
+      high.step(e2);
+      if (!majorized_by(low.first(), low.second()) ||
+          !majorized_by(high.first(), high.second())) {
+        ++violations;
+        break;
+      }
+    }
+  }
+  // Strict monotonicity would give zero; tolerate a tiny residual in
+  // case of boundary effects, but flag systematic failure.
+  EXPECT_LE(violations, 6) << "random maps are not (near-)monotone";
+}
+
+TEST(Cftp, ReturnsSampleAndIsDeterministicPerSeed) {
+  const std::size_t n = 5;
+  const std::int64_t m = 10;
+  auto make = [&]() {
+    return balls::GrandCouplingA<balls::AbkuRule>(
+        balls::LoadVector::all_in_one(n, m),
+        balls::LoadVector::balanced(n, m), balls::AbkuRule(2));
+  };
+  CftpOptions opts;
+  opts.seed = 77;
+  const auto s1 = cftp_sample(make, opts);
+  const auto s2 = cftp_sample(make, opts);
+  ASSERT_TRUE(s1.has_value());
+  ASSERT_TRUE(s2.has_value());
+  EXPECT_EQ(*s1, *s2);
+  EXPECT_EQ(s1->balls(), m);
+  EXPECT_TRUE(s1->invariants_hold());
+}
+
+TEST(Cftp, MatchesExactStationaryDistributionScenarioA) {
+  const std::size_t n = 4;
+  const std::int64_t m = 6;
+  balls::PartitionSpace space(n, m);
+  const auto chain = balls::build_exact_chain(
+      space, balls::RemovalKind::kBallWeighted, balls::AbkuRule(2));
+  const auto pi = stationary_distribution(chain);
+
+  stats::IntHistogram sampled;
+  constexpr int kSamples = 20000;
+  for (int s = 0; s < kSamples; ++s) {
+    auto make = [&]() {
+      return balls::GrandCouplingA<balls::AbkuRule>(
+          balls::LoadVector::all_in_one(n, m),
+          balls::LoadVector::balanced(n, m), balls::AbkuRule(2));
+    };
+    CftpOptions opts;
+    opts.seed = rng::derive_stream_seed(4242, static_cast<std::uint64_t>(s));
+    const auto sample = cftp_sample(make, opts);
+    ASSERT_TRUE(sample.has_value());
+    sampled.add(static_cast<std::int64_t>(space.index_of(*sample)));
+  }
+  double tv = 0;
+  for (std::size_t i = 0; i < space.size(); ++i) {
+    tv += std::abs(sampled.frequency(static_cast<std::int64_t>(i)) - pi[i]);
+  }
+  tv /= 2;
+  // Sampling noise floor for 20k draws over ~10 states is ~0.005; leave
+  // room but catch any systematic CFTP bias.
+  EXPECT_LT(tv, 0.02) << "CFTP output deviates from exact pi";
+}
+
+TEST(Cftp, MatchesExactStationaryDistributionScenarioB) {
+  const std::size_t n = 4;
+  const std::int64_t m = 5;
+  balls::PartitionSpace space(n, m);
+  const auto chain = balls::build_exact_chain(
+      space, balls::RemovalKind::kNonEmptyUniform, balls::AbkuRule(2));
+  const auto pi = stationary_distribution(chain);
+
+  stats::IntHistogram sampled;
+  constexpr int kSamples = 15000;
+  for (int s = 0; s < kSamples; ++s) {
+    auto make = [&]() {
+      return balls::GrandCouplingB<balls::AbkuRule>(
+          balls::LoadVector::all_in_one(n, m),
+          balls::LoadVector::balanced(n, m), balls::AbkuRule(2));
+    };
+    CftpOptions opts;
+    opts.seed = rng::derive_stream_seed(8888, static_cast<std::uint64_t>(s));
+    const auto sample = cftp_sample(make, opts);
+    ASSERT_TRUE(sample.has_value());
+    sampled.add(static_cast<std::int64_t>(space.index_of(*sample)));
+  }
+  double tv = 0;
+  for (std::size_t i = 0; i < space.size(); ++i) {
+    tv += std::abs(sampled.frequency(static_cast<std::int64_t>(i)) - pi[i]);
+  }
+  tv /= 2;
+  EXPECT_LT(tv, 0.025) << "CFTP output deviates from exact pi";
+}
+
+TEST(Cftp, WindowCapProducesNullopt) {
+  const std::size_t n = 8;
+  const std::int64_t m = 64;
+  auto make = [&]() {
+    return balls::GrandCouplingA<balls::AbkuRule>(
+        balls::LoadVector::all_in_one(n, m),
+        balls::LoadVector::balanced(n, m), balls::AbkuRule(2));
+  };
+  CftpOptions opts;
+  opts.seed = 3;
+  opts.max_window = 2;  // far too small to coalesce
+  EXPECT_FALSE(cftp_sample(make, opts).has_value());
+}
+
+}  // namespace
+}  // namespace recover::core

@@ -1,0 +1,131 @@
+// Contract checks: the RL_REQUIRE preconditions that guard the public
+// API must fire on misuse (silent acceptance of an invalid state would
+// corrupt a simulation invisibly, which is far worse than an abort).
+#include <gtest/gtest.h>
+
+#include "src/balls/exact_chain.hpp"
+#include "src/balls/load_vector.hpp"
+#include "src/core/exact_mixing.hpp"
+#include "src/orient/coupling.hpp"
+#include "src/orient/state.hpp"
+#include "src/rng/alias.hpp"
+#include "src/stats/bootstrap.hpp"
+#include "src/stats/regression.hpp"
+#include "src/util/cli.hpp"
+#include "src/util/table.hpp"
+
+namespace recover {
+namespace {
+
+using balls::LoadVector;
+
+TEST(Contracts, LoadVectorRejectsNegativeLoads) {
+  EXPECT_DEATH(LoadVector::from_loads({3, -1, 2}), "");
+}
+
+TEST(Contracts, LoadVectorRejectsRemovalFromEmptyBin) {
+  LoadVector v = LoadVector::from_loads({2, 0});
+  EXPECT_DEATH(v.remove_at(1), "");
+}
+
+TEST(Contracts, LoadVectorDistanceRequiresMatchingShape) {
+  const LoadVector a = LoadVector::from_loads({2, 1});
+  const LoadVector b = LoadVector::from_loads({2, 1, 0});
+  EXPECT_DEATH((void)a.distance(b), "");
+  const LoadVector c = LoadVector::from_loads({2, 2});
+  EXPECT_DEATH((void)a.distance(c), "");  // ball counts differ
+}
+
+TEST(Contracts, PiledRequiresValidBinCount) {
+  EXPECT_DEATH(LoadVector::piled(4, 8, 0), "");
+  EXPECT_DEATH(LoadVector::piled(4, 8, 5), "");
+}
+
+TEST(Contracts, TableRejectsOverfullRows) {
+  util::Table t({"a", "b"});
+  t.row().add("x").add("y");
+  EXPECT_DEATH(t.add("z"), "");
+}
+
+TEST(Contracts, TableRejectsCellsBeforeFirstRow) {
+  util::Table t({"a"});
+  EXPECT_DEATH(t.add("x"), "");
+}
+
+TEST(Contracts, AliasTableRejectsInvalidWeights) {
+  EXPECT_DEATH(rng::AliasTable({}), "");
+  EXPECT_DEATH(rng::AliasTable({1.0, -0.5}), "");
+  EXPECT_DEATH(rng::AliasTable({0.0, 0.0}), "");
+}
+
+TEST(Contracts, SparseChainValidatesRowSums) {
+  core::SparseChain chain(2);
+  chain.add_transition(0, 1, 0.4);  // row 0 sums to 0.4 != 1
+  chain.add_transition(1, 1, 1.0);
+  EXPECT_DEATH(chain.finalize(), "");
+}
+
+TEST(Contracts, SparseChainRejectsOutOfRangeStates) {
+  core::SparseChain chain(2);
+  EXPECT_DEATH(chain.add_transition(0, 5, 1.0), "");
+  EXPECT_DEATH(chain.add_transition(5, 0, 1.0), "");
+}
+
+TEST(Contracts, DiffStateRejectsNonZeroSum) {
+  EXPECT_DEATH(orient::DiffState::from_diffs({1, 0}), "");
+}
+
+TEST(Contracts, ApplyEdgeValidatesRankOrder) {
+  orient::DiffState s(4);
+  EXPECT_DEATH(s.apply_edge(2, 2), "");
+  EXPECT_DEATH(s.apply_edge(3, 1), "");
+  EXPECT_DEATH(s.apply_edge(0, 4), "");
+}
+
+TEST(Contracts, CountStateTransitionsNeedRoomAndMass) {
+  // i at the bottom boundary has no level below to move to.
+  auto x = orient::CountState::from_counts({0, 2, 0});
+  EXPECT_DEATH(x.apply_transition(2, 2), "");
+  // Empty level cannot lose a vertex.
+  EXPECT_DEATH(x.apply_transition(0, 1), "");
+  // i == j needs two vertices on the level.
+  auto y = orient::CountState::from_counts({0, 1, 1});
+  EXPECT_DEATH(y.apply_transition(1, 1), "");
+}
+
+TEST(Contracts, PartitionSpaceRejectsForeignVectors) {
+  const balls::PartitionSpace space(3, 4);
+  EXPECT_DEATH((void)space.index_of(LoadVector::from_loads({5, 0, 0})), "");
+}
+
+TEST(Contracts, BootstrapRejectsEmptySample) {
+  EXPECT_DEATH(stats::bootstrap_mean({}), "");
+}
+
+TEST(Contracts, RegressionNeedsTwoDistinctPoints) {
+  EXPECT_DEATH(stats::linear_fit({1.0}, {2.0}), "");
+  EXPECT_DEATH(stats::linear_fit({1.0, 1.0}, {2.0, 3.0}), "");
+  EXPECT_DEATH(stats::loglog_fit({1.0, -2.0}, {1.0, 1.0}), "");
+}
+
+TEST(Contracts, CliRejectsDuplicateFlagRegistration) {
+  util::Cli cli("prog", "test");
+  cli.flag("n", "bins", "1");
+  EXPECT_DEATH(cli.flag("n", "again", "2"), "");
+}
+
+TEST(Contracts, CliExitsOnUnknownFlag) {
+  util::Cli cli("prog", "test");
+  cli.flag("n", "bins", "1");
+  const char* argv[] = {"prog", "--bogus=3"};
+  EXPECT_EXIT(cli.parse(2, argv), ::testing::ExitedWithCode(2), "");
+}
+
+TEST(Contracts, CliHelpExitsCleanly) {
+  util::Cli cli("prog", "test");
+  const char* argv[] = {"prog", "--help"};
+  EXPECT_EXIT(cli.parse(2, argv), ::testing::ExitedWithCode(0), "");
+}
+
+}  // namespace
+}  // namespace recover

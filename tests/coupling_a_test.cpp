@@ -1,0 +1,162 @@
+// Property tests for the scenario-A Γ-coupling (§4).
+//
+// Lemma 4.1 / Corollary 4.2 are theorems quantified over every Γ-pair:
+//  (i)  the coupled phase never increases the distance beyond 1;
+//  (ii) whenever the removals split (i ≠ j) the copies merge;
+//  (iii) E[Δ(v°, u°)] ≤ 1 − 1/m, verified per sampled pair with a CI;
+//  (iv) the coupled marginals are faithful copies of I_A.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/balls/coupling_a.hpp"
+#include "src/balls/random_states.hpp"
+#include "src/balls/scenario_a.hpp"
+#include "src/rng/engines.hpp"
+#include "src/stats/histogram.hpp"
+#include "src/stats/summary.hpp"
+
+namespace recover::balls {
+namespace {
+
+TEST(UnitDifference, FindsSurplusAndDeficit) {
+  const LoadVector v = LoadVector::from_loads({3, 2, 1});
+  const LoadVector u = LoadVector::from_loads({3, 3, 0});
+  // v = u + e_2 − e_1 (0-based): surplus at 2, deficit at 1.
+  const auto [lambda, delta] = unit_difference(v, u);
+  EXPECT_EQ(lambda, 2u);
+  EXPECT_EQ(delta, 1u);
+}
+
+TEST(UnitDifference, HandlesSurplusAfterDeficit) {
+  // v = (2,2), u = (3,1): surplus of v at index 1, deficit at index 0.
+  const LoadVector v = LoadVector::from_loads({2, 2});
+  const LoadVector u = LoadVector::from_loads({3, 1});
+  const auto [lambda, delta] = unit_difference(v, u);
+  EXPECT_EQ(lambda, 1u);
+  EXPECT_EQ(delta, 0u);
+}
+
+struct PairParam {
+  std::size_t n;
+  std::int64_t m;
+  int d;
+  int skew;
+};
+
+class CouplingATest : public ::testing::TestWithParam<PairParam> {};
+
+TEST_P(CouplingATest, Lemma41DistanceNeverGrows) {
+  const auto [n, m, d, skew] = GetParam();
+  rng::Xoshiro256PlusPlus eng(1000 + n * 31 + static_cast<std::uint64_t>(m));
+  const AbkuRule rule(d);
+  for (int rep = 0; rep < 60; ++rep) {
+    auto [v, u] = random_gamma_pair(n, m, eng, skew);
+    for (int t = 0; t < 20 && v.distance(u) == 1; ++t) {
+      const auto r = coupled_step_a(v, u, rule, eng);
+      ASSERT_LE(r.distance_after_removal, 1);
+      ASSERT_LE(r.distance_after, r.distance_after_removal)
+          << "insertion expanded the distance (violates Lemma 3.3)";
+      ASSERT_LE(r.distance_after, 1);
+      ASSERT_TRUE(v.invariants_hold());
+      ASSERT_TRUE(u.invariants_hold());
+    }
+  }
+}
+
+TEST_P(CouplingATest, Corollary42ContractionHolds) {
+  const auto [n, m, d, skew] = GetParam();
+  rng::Xoshiro256PlusPlus eng(2000 + n * 37 + static_cast<std::uint64_t>(m));
+  const AbkuRule rule(d);
+  for (int pair = 0; pair < 6; ++pair) {
+    const auto [v0, u0] = random_gamma_pair(n, m, eng, skew);
+    stats::Summary dist;
+    constexpr int kTrials = 4000;
+    for (int t = 0; t < kTrials; ++t) {
+      LoadVector v = v0, u = u0;
+      dist.add(static_cast<double>(
+          coupled_step_a(v, u, rule, eng).distance_after));
+    }
+    const double bound = 1.0 - 1.0 / static_cast<double>(m);
+    // One-sided check with a 4-sigma allowance for MC noise.
+    EXPECT_LE(dist.mean(), bound + 4.0 * dist.stderror())
+        << "pair " << pair << " n=" << n << " m=" << m;
+  }
+}
+
+TEST_P(CouplingATest, CoupledMarginalsAreFaithful) {
+  // Running only the v-side (or u-side) of the coupling must reproduce
+  // the law of the uncoupled chain (Definition 3.1).  We compare the
+  // distribution of the post-step state against an uncoupled chain via
+  // the max-load histogram over many one-step replays.
+  const auto [n, m, d, skew] = GetParam();
+  rng::Xoshiro256PlusPlus eng(3000 + n * 41 + static_cast<std::uint64_t>(m));
+  const AbkuRule rule(d);
+  const auto [v0, u0] = random_gamma_pair(n, m, eng, skew);
+  stats::IntHistogram coupled_v, uncoupled_v, coupled_u, uncoupled_u;
+  constexpr int kTrials = 20000;
+  for (int t = 0; t < kTrials; ++t) {
+    {
+      LoadVector v = v0, u = u0;
+      coupled_step_a(v, u, rule, eng);
+      // Hash the resulting state coarsely: max load + top-2 load.
+      coupled_v.add(v.max_load() * 100 + v.load(1));
+      coupled_u.add(u.max_load() * 100 + u.load(1));
+    }
+    {
+      ScenarioAChain<AbkuRule> cv(v0, rule);
+      cv.step(eng);
+      uncoupled_v.add(cv.state().max_load() * 100 + cv.state().load(1));
+      ScenarioAChain<AbkuRule> cu(u0, rule);
+      cu.step(eng);
+      uncoupled_u.add(cu.state().max_load() * 100 + cu.state().load(1));
+    }
+  }
+  EXPECT_LT(stats::tv_distance(coupled_v, uncoupled_v), 0.03);
+  EXPECT_LT(stats::tv_distance(coupled_u, uncoupled_u), 0.03);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, CouplingATest,
+    ::testing::Values(PairParam{2, 2, 2, 1}, PairParam{4, 8, 1, 1},
+                      PairParam{6, 6, 2, 2}, PairParam{8, 24, 3, 1},
+                      PairParam{12, 12, 2, 3}, PairParam{16, 50, 2, 1}));
+
+TEST(CouplingA, MergeProbabilityMatchesOneOverM) {
+  // The odd ball is drawn with probability exactly 1/m; whenever it is,
+  // the removal merges the copies (Lemma 4.1's i ≠ j case).
+  rng::Xoshiro256PlusPlus eng(55);
+  const std::size_t n = 6;
+  const std::int64_t m = 12;
+  const auto [v0, u0] = random_gamma_pair(n, m, eng);
+  const AbkuRule rule(2);
+  std::int64_t merged = 0;
+  constexpr int kTrials = 60000;
+  for (int t = 0; t < kTrials; ++t) {
+    LoadVector v = v0, u = u0;
+    if (coupled_step_a(v, u, rule, eng).removal_merged) ++merged;
+  }
+  const double p = static_cast<double>(merged) / kTrials;
+  EXPECT_NEAR(p, 1.0 / static_cast<double>(m), 0.01);
+}
+
+TEST(CouplingA, AdaptiveRuleAlsoContracts) {
+  rng::Xoshiro256PlusPlus eng(66);
+  const AdapRule rule{ThresholdSchedule::linear(1, 1, 4)};
+  const std::size_t n = 8;
+  const std::int64_t m = 16;
+  for (int pair = 0; pair < 4; ++pair) {
+    const auto [v0, u0] = random_gamma_pair(n, m, eng, 2);
+    stats::Summary dist;
+    for (int t = 0; t < 3000; ++t) {
+      LoadVector v = v0, u = u0;
+      dist.add(static_cast<double>(
+          coupled_step_a(v, u, rule, eng).distance_after));
+    }
+    EXPECT_LE(dist.mean(),
+              1.0 - 1.0 / static_cast<double>(m) + 4.0 * dist.stderror());
+  }
+}
+
+}  // namespace
+}  // namespace recover::balls

@@ -1,0 +1,167 @@
+// Property tests for the scenario-B Γ-coupling (§5, Claims 5.1–5.2).
+//
+// The paper's statements, checked per sampled Γ-pair:
+//   * removal sub-step: Δ(v*, u*) ∈ {0, 1, 2}, E[Δ(v*, u*)] ≤ 1, and the
+//     distance moves with probability ≥ 1/max(s₁, s₂) — the merge pick
+//     alone (i = λ) accounts for that mass, which is the α = Ω(1/n) that
+//     Claim 5.3 feeds into Path Coupling Lemma case (2);
+//   * full phase: E[Δ(v°, u°)] ≤ 1 (insertion is non-expansive);
+//   * both coupled marginals are faithful copies of I_B.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/balls/coupling_b.hpp"
+#include "src/balls/random_states.hpp"
+#include "src/balls/scenario_b.hpp"
+#include "src/rng/engines.hpp"
+#include "src/stats/histogram.hpp"
+#include "src/stats/summary.hpp"
+
+namespace recover::balls {
+namespace {
+
+struct PairParam {
+  std::size_t n;
+  std::int64_t m;
+  int d;
+  int skew;
+};
+
+class CouplingBTest : public ::testing::TestWithParam<PairParam> {};
+
+TEST_P(CouplingBTest, RemovalDistanceStaysInZeroOneTwo) {
+  const auto [n, m, d, skew] = GetParam();
+  rng::Xoshiro256PlusPlus eng(100 + n * 131 + static_cast<std::uint64_t>(m));
+  const AbkuRule rule(d);
+  for (int rep = 0; rep < 400; ++rep) {
+    auto [v, u] = random_gamma_pair(n, m, eng, skew);
+    const auto r = coupled_step_b(v, u, rule, eng);
+    ASSERT_GE(r.distance_after_removal, 0);
+    ASSERT_LE(r.distance_after_removal, 2);
+    ASSERT_LE(r.distance_after, r.distance_after_removal)
+        << "insertion expanded the distance (violates Lemma 3.3)";
+    ASSERT_TRUE(v.invariants_hold());
+    ASSERT_TRUE(u.invariants_hold());
+    ASSERT_EQ(v.balls(), m);
+    ASSERT_EQ(u.balls(), m);
+  }
+}
+
+TEST_P(CouplingBTest, Claims51And52ExpectationAndChangeProbability) {
+  const auto [n, m, d, skew] = GetParam();
+  rng::Xoshiro256PlusPlus eng(200 + n * 151 + static_cast<std::uint64_t>(m));
+  const AbkuRule rule(d);
+  for (int pair = 0; pair < 6; ++pair) {
+    const auto [v0, u0] = random_gamma_pair(n, m, eng, skew);
+    const double s_max = static_cast<double>(
+        std::max(v0.nonempty_count(), u0.nonempty_count()));
+    stats::Summary removal_dist;
+    std::int64_t changed = 0;
+    std::int64_t merged = 0;
+    constexpr int kTrials = 4000;
+    for (int t = 0; t < kTrials; ++t) {
+      LoadVector v = v0, u = u0;
+      const auto r = coupled_step_b(v, u, rule, eng);
+      removal_dist.add(static_cast<double>(r.distance_after_removal));
+      if (r.distance_after_removal != 1) ++changed;
+      if (r.removal_merged) ++merged;
+    }
+    EXPECT_LE(removal_dist.mean(), 1.0 + 4.0 * removal_dist.stderror())
+        << "E[delta after removal] > 1 for pair " << pair;
+    const double change_prob = static_cast<double>(changed) / kTrials;
+    const double merge_prob = static_cast<double>(merged) / kTrials;
+    const double alpha = 1.0 / s_max;
+    const double mc_slack =
+        4.0 * std::sqrt(alpha * (1.0 - alpha) / kTrials);
+    EXPECT_GE(change_prob, alpha - mc_slack)
+        << "Pr[delta != 1] < 1/s for pair " << pair;
+    // Merging alone already provides the alpha mass and, because merged
+    // copies stay merged, survives the insertion half of the phase.
+    EXPECT_GE(merge_prob, alpha - mc_slack)
+        << "Pr[merge] < 1/s for pair " << pair;
+  }
+}
+
+TEST_P(CouplingBTest, CoupledMarginalsAreFaithful) {
+  const auto [n, m, d, skew] = GetParam();
+  rng::Xoshiro256PlusPlus eng(300 + n * 163 + static_cast<std::uint64_t>(m));
+  const AbkuRule rule(d);
+  const auto [v0, u0] = random_gamma_pair(n, m, eng, skew);
+  stats::IntHistogram coupled_v, uncoupled_v, coupled_u, uncoupled_u;
+  constexpr int kTrials = 20000;
+  for (int t = 0; t < kTrials; ++t) {
+    {
+      LoadVector v = v0, u = u0;
+      coupled_step_b(v, u, rule, eng);
+      coupled_v.add(v.max_load() * 100 + v.load(v.bins() - 1) * 10 +
+                    static_cast<std::int64_t>(v.nonempty_count()));
+      coupled_u.add(u.max_load() * 100 + u.load(u.bins() - 1) * 10 +
+                    static_cast<std::int64_t>(u.nonempty_count()));
+    }
+    {
+      ScenarioBChain<AbkuRule> cv(v0, rule);
+      cv.step(eng);
+      const auto& s = cv.state();
+      uncoupled_v.add(s.max_load() * 100 + s.load(s.bins() - 1) * 10 +
+                      static_cast<std::int64_t>(s.nonempty_count()));
+      ScenarioBChain<AbkuRule> cu(u0, rule);
+      cu.step(eng);
+      const auto& q = cu.state();
+      uncoupled_u.add(q.max_load() * 100 + q.load(q.bins() - 1) * 10 +
+                      static_cast<std::int64_t>(q.nonempty_count()));
+    }
+  }
+  EXPECT_LT(stats::tv_distance(coupled_v, uncoupled_v), 0.03);
+  EXPECT_LT(stats::tv_distance(coupled_u, uncoupled_u), 0.03);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, CouplingBTest,
+    ::testing::Values(PairParam{2, 2, 2, 1}, PairParam{4, 8, 1, 1},
+                      PairParam{6, 6, 2, 2}, PairParam{8, 24, 3, 1},
+                      PairParam{12, 12, 2, 3}, PairParam{5, 3, 2, 2}));
+
+TEST(CouplingB, EmptyDeficitBinCaseExercised) {
+  // Hand-built Claim 5.2 pair: v's deficit bin empty (s1 = s2 − 1).
+  const LoadVector v = LoadVector::from_loads({3, 1, 0, 0});
+  const LoadVector u = LoadVector::from_loads({2, 1, 1, 0});
+  ASSERT_EQ(v.distance(u), 1);
+  ASSERT_EQ(v.nonempty_count(), 2u);
+  ASSERT_EQ(u.nonempty_count(), 3u);
+  rng::Xoshiro256PlusPlus eng(77);
+  const AbkuRule rule(2);
+  stats::Summary removal_dist;
+  std::int64_t changed = 0;
+  constexpr int kTrials = 30000;
+  for (int t = 0; t < kTrials; ++t) {
+    LoadVector a = v, b = u;
+    const auto r = coupled_step_b(a, b, rule, eng);
+    removal_dist.add(static_cast<double>(r.distance_after_removal));
+    if (r.distance_after_removal != 1) ++changed;
+  }
+  // Claim 5.2: Pr[delta = 0] = 1/s2, here 1/3.
+  EXPECT_LE(removal_dist.mean(), 1.0 + 4 * removal_dist.stderror());
+  EXPECT_GE(static_cast<double>(changed) / kTrials, 1.0 / 3.0 - 0.02);
+}
+
+TEST(CouplingB, SwappedOrientationPairHandled) {
+  // Surplus after deficit: v = (1,1,0), u = (2,0,0); u has fewer
+  // non-empty bins — the internal role swap must kick in.
+  const LoadVector v = LoadVector::from_loads({1, 1, 0});
+  const LoadVector u = LoadVector::from_loads({2, 0, 0});
+  ASSERT_EQ(v.distance(u), 1);
+  rng::Xoshiro256PlusPlus eng(88);
+  const AbkuRule rule(2);
+  for (int t = 0; t < 2000; ++t) {
+    LoadVector a = v, b = u;
+    const auto r = coupled_step_b(a, b, rule, eng);
+    ASSERT_LE(r.distance_after, 2);
+    ASSERT_TRUE(a.invariants_hold());
+    ASSERT_TRUE(b.invariants_hold());
+  }
+}
+
+}  // namespace
+}  // namespace recover::balls

@@ -1,0 +1,204 @@
+// Tests for the partition state space and exact transition laws.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/balls/exact_chain.hpp"
+#include "src/balls/scenario_a.hpp"
+#include "src/balls/scenario_b.hpp"
+#include "src/rng/engines.hpp"
+#include "src/stats/histogram.hpp"
+
+namespace recover::balls {
+namespace {
+
+TEST(PartitionSpace, EnumeratesPartitionCounts) {
+  // p(m into <= n parts): p(4 into <= 2) = 3: (4,0) (3,1) (2,2).
+  EXPECT_EQ(PartitionSpace(2, 4).size(), 3u);
+  // Partitions of 6 into <= 3 parts: 654... count = 7.
+  EXPECT_EQ(PartitionSpace(3, 6).size(), 7u);
+  // Unrestricted partitions of 8 (n >= m): p(8) = 22.
+  EXPECT_EQ(PartitionSpace(8, 8).size(), 22u);
+}
+
+TEST(PartitionSpace, IndexLookupRoundTrips) {
+  const PartitionSpace space(4, 7);
+  for (std::size_t i = 0; i < space.size(); ++i) {
+    EXPECT_EQ(space.index_of(space.load_vector(i)), i);
+  }
+}
+
+TEST(PartitionSpace, NamedStatesExist) {
+  const PartitionSpace space(4, 9);
+  const auto balanced = space.state(space.balanced_index());
+  EXPECT_EQ(balanced, (std::vector<std::int64_t>{3, 2, 2, 2}));
+  const auto crash = space.state(space.all_in_one_index());
+  EXPECT_EQ(crash, (std::vector<std::int64_t>{9, 0, 0, 0}));
+}
+
+TEST(ExactChain, RowsAreStochasticAndFinalizeValidates) {
+  const PartitionSpace space(3, 5);
+  const auto chain =
+      build_exact_chain(space, RemovalKind::kBallWeighted, AbkuRule(2));
+  for (std::size_t i = 0; i < chain.states(); ++i) {
+    double sum = 0;
+    for (const auto& [j, p] : chain.row(i)) {
+      EXPECT_GT(p, 0.0);
+      sum += p;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+  }
+}
+
+TEST(ExactChain, MatchesSimulatedOneStepLaw) {
+  // The exact transition row must match the empirical distribution of
+  // one simulated I_A / I_B step from the same state.
+  const PartitionSpace space(4, 6);
+  for (const auto removal :
+       {RemovalKind::kBallWeighted, RemovalKind::kNonEmptyUniform}) {
+    const auto chain = build_exact_chain(space, removal, AbkuRule(2));
+    const std::size_t start = space.all_in_one_index();
+    rng::Xoshiro256PlusPlus eng(123);
+    stats::IntHistogram simulated;
+    constexpr int kTrials = 120000;
+    for (int t = 0; t < kTrials; ++t) {
+      if (removal == RemovalKind::kBallWeighted) {
+        ScenarioAChain<AbkuRule> c(space.load_vector(start), AbkuRule(2));
+        c.step(eng);
+        simulated.add(static_cast<std::int64_t>(space.index_of(c.state())));
+      } else {
+        ScenarioBChain<AbkuRule> c(space.load_vector(start), AbkuRule(2));
+        c.step(eng);
+        simulated.add(static_cast<std::int64_t>(space.index_of(c.state())));
+      }
+    }
+    for (const auto& [j, p] : chain.row(start)) {
+      EXPECT_NEAR(simulated.frequency(j), p, 0.01)
+          << "state " << j << " removal "
+          << (removal == RemovalKind::kBallWeighted ? "A" : "B");
+    }
+  }
+}
+
+TEST(ExactChain, StationaryDistributionIsFixedPoint) {
+  const PartitionSpace space(4, 8);
+  const auto chain =
+      build_exact_chain(space, RemovalKind::kBallWeighted, AbkuRule(2));
+  const auto pi = core::stationary_distribution(chain);
+  std::vector<double> evolved = pi;
+  chain.evolve(evolved);
+  for (std::size_t i = 0; i < pi.size(); ++i) {
+    EXPECT_NEAR(evolved[i], pi[i], 1e-9);
+  }
+  double sum = 0;
+  for (const double p : pi) {
+    EXPECT_GE(p, 0.0);
+    sum += p;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(ExactChain, StationaryFavorsBalancedForD2) {
+  // With two choices the balanced partition carries far more stationary
+  // mass than the crash partition.
+  const PartitionSpace space(4, 8);
+  const auto chain =
+      build_exact_chain(space, RemovalKind::kBallWeighted, AbkuRule(2));
+  const auto pi = core::stationary_distribution(chain);
+  EXPECT_GT(pi[space.balanced_index()],
+            100.0 * pi[space.all_in_one_index()]);
+}
+
+TEST(PerStartTv, CrashStateIsWorstForBallsChains) {
+  const PartitionSpace space(5, 5);
+  for (const auto removal :
+       {RemovalKind::kBallWeighted, RemovalKind::kNonEmptyUniform}) {
+    const auto chain = build_exact_chain(space, removal, AbkuRule(2));
+    const auto pi = core::stationary_distribution(chain);
+    const auto exact = core::exact_mixing_time(chain, pi, 0.25, 4000);
+    ASSERT_GT(exact.mixing_time, 0);
+    const auto tv = core::per_start_tv(
+        chain, pi, std::max<std::int64_t>(1, exact.mixing_time / 2));
+    std::size_t argmax = 0;
+    for (std::size_t i = 1; i < tv.size(); ++i) {
+      if (tv[i] > tv[argmax]) argmax = i;
+    }
+    EXPECT_EQ(argmax, space.all_in_one_index());
+    // Consistency: per-start max at t equals worst_tv_by_t[t-1].
+    const auto mid = std::max<std::int64_t>(1, exact.mixing_time / 2);
+    EXPECT_NEAR(tv[argmax],
+                exact.worst_tv_by_t[static_cast<std::size_t>(mid - 1)],
+                1e-9);
+  }
+}
+
+TEST(ExactMixing, WorstCaseTvDecreasesAndHitsEpsilon) {
+  const PartitionSpace space(3, 6);
+  const auto chain =
+      build_exact_chain(space, RemovalKind::kBallWeighted, AbkuRule(2));
+  const auto pi = core::stationary_distribution(chain);
+  const auto result = core::exact_mixing_time(chain, pi, 0.25, 10000);
+  ASSERT_GT(result.mixing_time, 0);
+  // Worst-case TV is non-increasing in t for these chains.
+  for (std::size_t t = 1; t < result.worst_tv_by_t.size(); ++t) {
+    EXPECT_LE(result.worst_tv_by_t[t], result.worst_tv_by_t[t - 1] + 1e-12);
+  }
+}
+
+TEST(ExactChain, AdapPlacementLawMatchesSimulatedSteps) {
+  // The general builder with ADAP's exact placement pmf must reproduce
+  // the simulated one-step law of I_A-ADAP(x).
+  const PartitionSpace space(4, 6);
+  const AdapRule rule{ThresholdSchedule::linear(1, 1, 3)};
+  const auto chain = build_exact_chain_general(
+      space, RemovalKind::kBallWeighted,
+      [&rule](const LoadVector& v) { return rule.placement_pmf(v); });
+  const std::size_t start = space.all_in_one_index();
+  rng::Xoshiro256PlusPlus eng(321);
+  stats::IntHistogram simulated;
+  constexpr int kTrials = 120000;
+  for (int t = 0; t < kTrials; ++t) {
+    ScenarioAChain<AdapRule> c(space.load_vector(start), rule);
+    c.step(eng);
+    simulated.add(static_cast<std::int64_t>(space.index_of(c.state())));
+  }
+  for (const auto& [j, p] : chain.row(start)) {
+    EXPECT_NEAR(simulated.frequency(j), p, 0.01) << "state " << j;
+  }
+}
+
+TEST(ExactMixing, Theorem1BoundDominatesExactMixingForAdapToo) {
+  // "Any right-oriented rule": the adaptive schedule obeys the same
+  // Theorem 1 bound, here at the exact level.
+  for (const std::int64_t m : {5, 6, 7}) {
+    const PartitionSpace space(static_cast<std::size_t>(m), m);
+    const AdapRule rule{ThresholdSchedule::linear(1, 1, 3)};
+    const auto chain = build_exact_chain_general(
+        space, RemovalKind::kBallWeighted,
+        [&rule](const LoadVector& v) { return rule.placement_pmf(v); });
+    const auto pi = core::stationary_distribution(chain);
+    const auto result = core::exact_mixing_time(chain, pi, 0.25, 5000);
+    ASSERT_GT(result.mixing_time, 0);
+    const double bound = static_cast<double>(m) *
+                         std::log(4.0 * static_cast<double>(m));
+    EXPECT_LE(static_cast<double>(result.mixing_time), std::ceil(bound));
+  }
+}
+
+TEST(ExactMixing, Theorem1BoundDominatesExactMixing) {
+  // τ_exact(1/4) ≤ ⌈m ln(4m)⌉ must hold for every small instance.
+  for (const std::int64_t m : {4, 6, 8}) {
+    const PartitionSpace space(static_cast<std::size_t>(m), m);
+    const auto chain =
+        build_exact_chain(space, RemovalKind::kBallWeighted, AbkuRule(2));
+    const auto pi = core::stationary_distribution(chain);
+    const auto result = core::exact_mixing_time(chain, pi, 0.25, 5000);
+    ASSERT_GT(result.mixing_time, 0);
+    const double bound = static_cast<double>(m) *
+                         std::log(4.0 * static_cast<double>(m));
+    EXPECT_LE(static_cast<double>(result.mixing_time), std::ceil(bound));
+  }
+}
+
+}  // namespace
+}  // namespace recover::balls

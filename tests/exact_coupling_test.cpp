@@ -1,0 +1,131 @@
+// EXACT verification of the contraction lemmas: Corollary 4.2 and
+// Claims 5.1/5.2 checked with zero Monte-Carlo tolerance over EVERY
+// Γ-pair of small partition spaces.  These are the paper's theorems
+// turned into machine-checked inequalities.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/balls/coupling_a.hpp"
+#include "src/balls/coupling_b.hpp"
+#include "src/balls/exact_coupling_analysis.hpp"
+#include "src/rng/engines.hpp"
+#include "src/stats/summary.hpp"
+
+namespace recover::balls {
+namespace {
+
+struct SpaceParam {
+  std::size_t n;
+  std::int64_t m;
+  int d;
+};
+
+class ExactContractionTest : public ::testing::TestWithParam<SpaceParam> {};
+
+TEST_P(ExactContractionTest, Corollary42HoldsForEveryGammaPair) {
+  const auto [n, m, d] = GetParam();
+  const AbkuRule rule(d);
+  const auto pairs = enumerate_gamma_pairs(n, m);
+  ASSERT_FALSE(pairs.empty());
+  const double bound = 1.0 - 1.0 / static_cast<double>(m);
+  for (const auto& [v, u] : pairs) {
+    const auto step = exact_coupled_step_a(v, u, rule);
+    EXPECT_LE(step.expected_distance, bound + 1e-12)
+        << "pair v=" << v.load(0) << ",... violates Corollary 4.2";
+    // The odd-ball merge alone contributes exactly 1/m, and merged
+    // copies stay merged through the insertion.
+    EXPECT_GE(step.merge_probability, 1.0 / static_cast<double>(m) - 1e-12);
+  }
+}
+
+TEST_P(ExactContractionTest, Claims51And52HoldForEveryGammaPair) {
+  const auto [n, m, d] = GetParam();
+  const AbkuRule rule(d);
+  const auto pairs = enumerate_gamma_pairs(n, m);
+  for (const auto& [v, u] : pairs) {
+    const auto step = exact_coupled_step_b(v, u, rule);
+    EXPECT_LE(step.expected_distance, 1.0 + 1e-12)
+        << "E[delta] > 1 violates Claims 5.1/5.2";
+    const double s_max = static_cast<double>(
+        std::max(v.nonempty_count(), u.nonempty_count()));
+    EXPECT_GE(step.merge_probability, 1.0 / s_max - 1e-12)
+        << "merge mass below 1/s";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Spaces, ExactContractionTest,
+    ::testing::Values(SpaceParam{2, 3, 2}, SpaceParam{3, 4, 1},
+                      SpaceParam{4, 6, 2}, SpaceParam{5, 5, 3},
+                      SpaceParam{4, 8, 2}, SpaceParam{6, 6, 2}));
+
+TEST(ExactCouplingAnalysis, MatchesMonteCarloScenarioA) {
+  // The enumerated expectation must agree with a Monte-Carlo run of the
+  // actual coupled_step_a to within MC noise — ties the analysis to the
+  // executable coupling.
+  const LoadVector v = LoadVector::from_loads({4, 2, 1, 0});
+  LoadVector u = v;
+  u.remove_at(0);
+  u.add_at(3);
+  ASSERT_EQ(v.distance(u), 1);
+  const AbkuRule rule(2);
+  const auto exact = exact_coupled_step_a(v, u, rule);
+
+  rng::Xoshiro256PlusPlus eng(7);
+  stats::Summary dist;
+  std::int64_t merges = 0;
+  constexpr int kTrials = 60000;
+  for (int t = 0; t < kTrials; ++t) {
+    LoadVector a = v, b = u;
+    const auto r = coupled_step_a(a, b, rule, eng);
+    dist.add(static_cast<double>(r.distance_after));
+    if (r.distance_after == 0) ++merges;
+  }
+  EXPECT_NEAR(dist.mean(), exact.expected_distance,
+              5.0 * dist.stderror() + 1e-6);
+  EXPECT_NEAR(static_cast<double>(merges) / kTrials, exact.merge_probability,
+              0.01);
+}
+
+TEST(ExactCouplingAnalysis, MatchesMonteCarloScenarioB) {
+  const LoadVector v = LoadVector::from_loads({3, 1, 0, 0});
+  const LoadVector u = LoadVector::from_loads({2, 1, 1, 0});
+  ASSERT_EQ(v.distance(u), 1);
+  const AbkuRule rule(2);
+  const auto exact = exact_coupled_step_b(v, u, rule);
+
+  rng::Xoshiro256PlusPlus eng(9);
+  stats::Summary dist;
+  constexpr int kTrials = 60000;
+  for (int t = 0; t < kTrials; ++t) {
+    LoadVector a = v, b = u;
+    dist.add(static_cast<double>(
+        coupled_step_b(a, b, rule, eng).distance_after));
+  }
+  EXPECT_NEAR(dist.mean(), exact.expected_distance,
+              5.0 * dist.stderror() + 1e-6);
+}
+
+TEST(EnumerateGammaPairs, CountsAndValidity) {
+  const auto pairs = enumerate_gamma_pairs(3, 4);
+  ASSERT_FALSE(pairs.empty());
+  for (const auto& [v, u] : pairs) {
+    EXPECT_EQ(v.distance(u), 1);
+    EXPECT_EQ(v.balls(), u.balls());
+  }
+  // Both orientations present: (v, u) and (u, v) are distinct entries.
+  int mirrored = 0;
+  for (const auto& [v, u] : pairs) {
+    for (const auto& [a, b] : pairs) {
+      if (a == u && b == v) {
+        ++mirrored;
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(static_cast<std::size_t>(mirrored), pairs.size());
+}
+
+}  // namespace
+}  // namespace recover::balls

@@ -1,0 +1,168 @@
+// Tests for the exact edge-orientation chain over the reachable space Ψ.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/core/coalescence.hpp"
+#include "src/orient/chain.hpp"
+#include "src/orient/exact_chain.hpp"
+#include "src/rng/engines.hpp"
+#include "src/stats/histogram.hpp"
+
+namespace recover::orient {
+namespace {
+
+TEST(OrientationSpace, SmallSpacesEnumerateKnownStates) {
+  // n = 2: zero state and (1, -1) only — an edge between equal vertices
+  // splits them, and from (1, -1) every pick is the no-op gap-1 case.
+  const OrientationSpace s2(2);
+  EXPECT_EQ(s2.size(), 2u);
+  // n = 3: reachable diffs stay within +-1ish: {0,0,0}, {1,0,-1},
+  // {1,1,-2}? From (1,0,-1): pick the 1 and -1 -> gap 2 -> (0,0,0);
+  // pick ranks of 0 and -1 (gap 1, no-op); pick 1 and 0 (gap 1 no-op).
+  // From zero: -> (1,0,-1) only.  From (1,0,-1) nothing new appears.
+  const OrientationSpace s3(3);
+  EXPECT_EQ(s3.size(), 2u);
+}
+
+TEST(OrientationSpace, ContainsZeroAndIsClosed) {
+  for (std::size_t n : {4u, 5u, 6u}) {
+    const OrientationSpace space(n);
+    EXPECT_LT(space.zero_index(), space.size());
+    // Closure: every transition target is in the space (checked by
+    // build_exact_orientation_chain via index_of; here explicitly).
+    for (std::size_t i = 0; i < space.size(); ++i) {
+      for (std::size_t phi = 0; phi < n; ++phi) {
+        for (std::size_t psi = phi + 1; psi < n; ++psi) {
+          DiffState next = space.state(i);
+          next.apply_edge(phi, psi);
+          (void)space.index_of(next);  // aborts if missing
+        }
+      }
+    }
+  }
+}
+
+TEST(OrientationSpace, MaxUnfairnessWithinAjtaiBound) {
+  // The reachable difference range from the empty graph stays within
+  // ±⌈n/2⌉ (cited to Ajtai et al. / Anderson et al. in §6).
+  for (std::size_t n : {4u, 5u, 6u, 7u}) {
+    const OrientationSpace space(n);
+    const auto worst = space.state(space.most_unfair_index()).unfairness();
+    EXPECT_GT(worst, 0);
+    EXPECT_LE(worst, static_cast<std::int64_t>((n + 1) / 2));
+  }
+}
+
+TEST(OrientationSpace, FindDistinguishesReachableStates) {
+  const OrientationSpace space(6);
+  EXPECT_TRUE(space.find(DiffState(6)).has_value());
+  const auto k = space.state(space.most_unfair_index()).unfairness();
+  EXPECT_TRUE(space.find(DiffState::staircase(6, k)).has_value());
+  // The two-block spread state exceeds the reachable displacement.
+  EXPECT_FALSE(space.find(DiffState::spread(6, 3)).has_value());
+}
+
+TEST(PerStartTv, WorstStartForOrientationIsTheStaircase) {
+  // The exp20 finding as a pinned regression: within Ψ the start with
+  // the largest mid-mixing TV distance is the full staircase.
+  const OrientationSpace space(6);
+  const auto chain = build_exact_orientation_chain(space);
+  const auto pi = core::stationary_distribution(chain);
+  const auto exact = core::exact_mixing_time(chain, pi, 0.25, 100000);
+  ASSERT_GT(exact.mixing_time, 0);
+  const auto tv =
+      core::per_start_tv(chain, pi, std::max<std::int64_t>(1, exact.mixing_time / 2));
+  std::size_t argmax = 0;
+  for (std::size_t i = 1; i < tv.size(); ++i) {
+    if (tv[i] > tv[argmax]) argmax = i;
+  }
+  const auto k = space.state(space.most_unfair_index()).unfairness();
+  const auto stair = space.find(DiffState::staircase(6, k));
+  ASSERT_TRUE(stair.has_value());
+  EXPECT_EQ(argmax, *stair);
+}
+
+TEST(ExactOrientationChain, RowsStochasticWithLazyMass) {
+  const OrientationSpace space(5);
+  const auto chain = build_exact_orientation_chain(space);
+  for (std::size_t i = 0; i < chain.states(); ++i) {
+    double self = 0;
+    double total = 0;
+    for (const auto& [j, p] : chain.row(i)) {
+      total += p;
+      if (j == i) self = p;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-12);
+    EXPECT_GE(self, 0.5);  // the lazy bit alone contributes 1/2
+  }
+}
+
+TEST(ExactOrientationChain, MatchesSimulatedOneStepLaw) {
+  const OrientationSpace space(5);
+  const auto chain = build_exact_orientation_chain(space);
+  const std::size_t start = space.most_unfair_index();
+  rng::Xoshiro256PlusPlus eng(17);
+  stats::IntHistogram simulated;
+  constexpr int kTrials = 120000;
+  for (int t = 0; t < kTrials; ++t) {
+    DiffState s = space.state(start);
+    s.step(eng);
+    simulated.add(static_cast<std::int64_t>(space.index_of(s)));
+  }
+  for (const auto& [j, p] : chain.row(start)) {
+    EXPECT_NEAR(simulated.frequency(j), p, 0.01) << "target state " << j;
+  }
+}
+
+TEST(ExactOrientationChain, StationaryConcentratesNearFairness) {
+  const OrientationSpace space(6);
+  const auto chain = build_exact_orientation_chain(space);
+  const auto pi = core::stationary_distribution(chain);
+  double mass_low = 0;
+  for (std::size_t i = 0; i < space.size(); ++i) {
+    if (space.state(i).unfairness() <= 2) mass_low += pi[i];
+  }
+  EXPECT_GT(mass_low, 0.9);
+}
+
+TEST(ExactOrientationChain, ExactMixingBelowTheorem2Horizon) {
+  for (std::size_t n : {4u, 5u, 6u}) {
+    const OrientationSpace space(n);
+    const auto chain = build_exact_orientation_chain(space);
+    const auto pi = core::stationary_distribution(chain);
+    const auto result = core::exact_mixing_time(chain, pi, 0.25, 100000);
+    ASSERT_GT(result.mixing_time, 0) << "n=" << n;
+    const double nd = static_cast<double>(n);
+    // Generous constant: tau(1/4) = O(n^2 ln^2 n); at tiny n the ln^2
+    // factor is O(1), so compare against c * n^2 with c = 8.
+    EXPECT_LE(static_cast<double>(result.mixing_time), 8.0 * nd * nd)
+        << "n=" << n;
+  }
+}
+
+TEST(ExactOrientationChain, CoalescenceDominatesExactMixing) {
+  const OrientationSpace space(6);
+  const auto chain = build_exact_orientation_chain(space);
+  const auto pi = core::stationary_distribution(chain);
+  const auto exact = core::exact_mixing_time(chain, pi, 0.25, 100000);
+  ASSERT_GT(exact.mixing_time, 0);
+
+  core::CoalescenceOptions opts;
+  opts.replicas = 100;
+  opts.seed = 23;
+  opts.max_steps = 200000;
+  opts.parallel = false;
+  const auto coal = core::measure_coalescence(
+      [&](std::uint64_t) {
+        return GrandCouplingOrient(space.state(space.most_unfair_index()),
+                                   DiffState(6));
+      },
+      opts);
+  ASSERT_EQ(coal.censored, 0);
+  // Coupling inequality (up to MC noise on the quantile).
+  EXPECT_GE(coal.q95 * 2.0, static_cast<double>(exact.mixing_time));
+}
+
+}  // namespace
+}  // namespace recover::orient

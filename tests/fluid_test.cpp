@@ -1,0 +1,239 @@
+// Tests for the RK4 integrator and Mitzenmacher fluid-limit substrate.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/balls/scenario_a.hpp"
+#include "src/balls/scenario_b.hpp"
+#include "src/fluid/fluid_limit.hpp"
+#include "src/fluid/ode.hpp"
+#include "src/rng/engines.hpp"
+
+namespace recover::fluid {
+namespace {
+
+TEST(Rk4, IntegratesExponentialDecay) {
+  // y' = −y, y(0) = 1: y(2) = e^{−2}.
+  OdeFn f = [](double, const std::vector<double>& y,
+               std::vector<double>& dy) { dy[0] = -y[0]; };
+  const auto y = rk4_integrate(f, {1.0}, 0.0, 2.0, 0.01);
+  EXPECT_NEAR(y[0], std::exp(-2.0), 1e-7);
+}
+
+TEST(Rk4, IntegratesHarmonicOscillatorEnergyConserving) {
+  OdeFn f = [](double, const std::vector<double>& y,
+               std::vector<double>& dy) {
+    dy[0] = y[1];
+    dy[1] = -y[0];
+  };
+  const auto y = rk4_integrate(f, {1.0, 0.0}, 0.0, 2 * M_PI, 0.001);
+  EXPECT_NEAR(y[0], 1.0, 1e-6);
+  EXPECT_NEAR(y[1], 0.0, 1e-6);
+}
+
+TEST(Rk4, FixedPointStopsEarly) {
+  OdeFn f = [](double, const std::vector<double>& y,
+               std::vector<double>& dy) { dy[0] = 1.0 - y[0]; };
+  const auto y = integrate_to_fixed_point(f, {0.0}, 0.01, 1e-10, 1e4);
+  EXPECT_NEAR(y[0], 1.0, 1e-6);
+}
+
+TEST(FluidModel, BalancedProfileHasCorrectMass) {
+  FluidModel model(Scenario::kA, 2, 2.5, 10);
+  const auto s = model.balanced_profile();
+  double mass = 0;
+  for (const double v : s) mass += v;
+  EXPECT_NEAR(mass, 2.5, 1e-12);
+  EXPECT_DOUBLE_EQ(s[0], 1.0);
+  EXPECT_DOUBLE_EQ(s[1], 1.0);
+  EXPECT_DOUBLE_EQ(s[2], 0.5);
+  EXPECT_DOUBLE_EQ(s[3], 0.0);
+}
+
+class MassConservationTest
+    : public ::testing::TestWithParam<std::pair<Scenario, int>> {};
+
+TEST_P(MassConservationTest, EvolutionConservesAverageLoad) {
+  const auto [scenario, d] = GetParam();
+  FluidModel model(scenario, d, 1.0, 16);
+  auto s = model.balanced_profile();
+  s = model.evolve(std::move(s), 50.0, 0.01);
+  double mass = 0;
+  for (const double v : s) mass += v;
+  EXPECT_NEAR(mass, 1.0, 1e-6);
+  for (std::size_t i = 1; i < s.size(); ++i) {
+    EXPECT_LE(s[i], s[i - 1] + 1e-9) << "tail not monotone at " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Models, MassConservationTest,
+    ::testing::Values(std::pair{Scenario::kA, 1}, std::pair{Scenario::kA, 2},
+                      std::pair{Scenario::kA, 3}, std::pair{Scenario::kB, 2},
+                      std::pair{Scenario::kB, 3}));
+
+TEST(FluidModel, FixedPointTailDecaysDoublyExponentiallyForD2) {
+  FluidModel model(Scenario::kA, 2, 1.0, 16);
+  const auto s = model.fixed_point();
+  // Doubly-exponential decay: s_{i+1} ≲ s_i², so log s drops super-fast.
+  ASSERT_GT(s[0], 0.5);
+  for (std::size_t i = 2; i + 1 < 8; ++i) {
+    if (s[i + 1] < 1e-14) break;
+    EXPECT_LT(s[i + 1], 4.0 * s[i] * s[i]) << "level " << i;
+  }
+}
+
+TEST(FluidModel, OneChoiceTailDecaysOnlyGeometrically) {
+  FluidModel a1(Scenario::kA, 1, 1.0, 24);
+  FluidModel a2(Scenario::kA, 2, 1.0, 24);
+  const auto s1 = a1.fixed_point();
+  const auto s2 = a2.fixed_point();
+  // At level 6 the one-choice tail dominates the two-choice tail hugely.
+  EXPECT_GT(s1[5], 100 * s2[5]);
+}
+
+TEST(FluidModel, PredictedMaxLoadGrowsWithN) {
+  FluidModel model(Scenario::kA, 1, 1.0, 24);
+  const auto s = model.fixed_point();
+  const auto small = FluidModel::predicted_max_load(s, 100);
+  const auto large = FluidModel::predicted_max_load(s, 1e7);
+  EXPECT_GT(large, small);
+  EXPECT_GE(small, 1);
+}
+
+TEST(FluidModel, MatchesLongRunSimulationTail) {
+  // Fluid fixed point vs simulated stationary tail of I_A-ABKU[2].
+  const std::size_t n = 400;
+  rng::Xoshiro256PlusPlus eng(61);
+  balls::ScenarioAChain<balls::AbkuRule> chain(
+      balls::LoadVector::balanced(n, static_cast<std::int64_t>(n)),
+      balls::AbkuRule(2));
+  for (int t = 0; t < 200000; ++t) chain.step(eng);
+  std::vector<double> acc(8, 0.0);
+  constexpr int kSamples = 400;
+  for (int rep = 0; rep < kSamples; ++rep) {
+    for (int t = 0; t < 200; ++t) chain.step(eng);
+    const auto frac = tail_fractions(chain.state().loads(), 8);
+    for (std::size_t i = 0; i < 8; ++i) acc[i] += frac[i];
+  }
+  for (double& v : acc) v /= kSamples;
+  FluidModel model(Scenario::kA, 2, 1.0, 8);
+  const auto s = model.fixed_point();
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(acc[i], s[i], 0.05) << "level " << i + 1;
+  }
+}
+
+TEST(FluidModel, TransientTracksSimulatedRecovery) {
+  // Kurtz approximation along the trajectory (not just the fixed point):
+  // from the crash profile, the integrated ODE matches the mean
+  // simulated tail at an intermediate time.
+  const std::size_t n = 512;
+  const auto m = static_cast<std::int64_t>(n);
+  constexpr std::size_t kLevels = 10;
+  constexpr int kReplicas = 12;
+  const double t_check = 2.0;  // ODE units = 2n steps
+  std::vector<double> sim(kLevels, 0.0);
+  for (int r = 0; r < kReplicas; ++r) {
+    rng::Xoshiro256PlusPlus eng(900 + static_cast<std::uint64_t>(r));
+    balls::ScenarioAChain<balls::AbkuRule> chain(
+        balls::LoadVector::all_in_one(n, m), balls::AbkuRule(2));
+    const auto steps =
+        static_cast<std::int64_t>(t_check * static_cast<double>(n));
+    for (std::int64_t t = 0; t < steps; ++t) chain.step(eng);
+    const auto tails = tail_fractions(chain.state().loads(), kLevels);
+    for (std::size_t i = 0; i < kLevels; ++i) sim[i] += tails[i];
+  }
+  for (double& v : sim) v /= kReplicas;
+
+  FluidModel model(Scenario::kA, 2, 1.0, kLevels);
+  const auto ode = model.evolve(
+      tail_fractions(balls::LoadVector::all_in_one(n, m).loads(), kLevels),
+      t_check, 0.002);
+  for (std::size_t i = 0; i < kLevels; ++i) {
+    EXPECT_NEAR(sim[i], ode[i], 0.05) << "level " << i + 1;
+  }
+}
+
+TEST(InsertionLaw, AbkuLawSumsToOneAndMatchesClosedForm) {
+  const auto law = abku_insertion_law(2);
+  const std::vector<double> s = {0.8, 0.3, 0.05, 0.0};
+  const auto p = law(s);
+  ASSERT_EQ(p.size(), s.size() + 1);
+  double sum = 0;
+  for (const double v : p) sum += v;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  EXPECT_NEAR(p[0], 1.0 - 0.8 * 0.8, 1e-12);
+  EXPECT_NEAR(p[1], 0.8 * 0.8 - 0.3 * 0.3, 1e-12);
+}
+
+TEST(InsertionLaw, AdapWithConstantScheduleEqualsAbku) {
+  const auto adap = adap_insertion_law({3});
+  const auto abku = abku_insertion_law(3);
+  const std::vector<double> s = {0.9, 0.5, 0.2, 0.01, 0.0, 0.0};
+  const auto pa = adap(s);
+  const auto pb = abku(s);
+  for (std::size_t l = 0; l < pa.size(); ++l) {
+    EXPECT_NEAR(pa[l], pb[l], 1e-12) << "load " << l;
+  }
+}
+
+TEST(InsertionLaw, AdapLawMatchesRuleOnFiniteSystem) {
+  // The fluid DP evaluated at the EXACT tail profile of a finite state
+  // must reproduce AdapRule::placement_pmf aggregated by load.
+  const balls::LoadVector v =
+      balls::LoadVector::from_loads({5, 3, 3, 1, 0, 0});
+  const std::vector<int> x = {1, 2, 2, 4, 4, 4};
+  const balls::AdapRule rule{balls::ThresholdSchedule(x)};
+  const auto index_pmf = rule.placement_pmf(v);
+  // Aggregate by load value.
+  std::vector<double> by_load(10, 0.0);
+  for (std::size_t j = 0; j < v.bins(); ++j) {
+    by_load[static_cast<std::size_t>(v.load(j))] += index_pmf[j];
+  }
+  const auto law = adap_insertion_law(x);
+  const auto fluid_pmf = law(tail_fractions(v.loads(), 8));
+  for (std::size_t l = 0; l < 8; ++l) {
+    EXPECT_NEAR(fluid_pmf[l], by_load[l], 1e-9) << "load " << l;
+  }
+}
+
+TEST(FluidModel, AdapModelConservesMassAndMatchesSimulation) {
+  FluidModel model(Scenario::kA, adap_insertion_law({1, 2, 3, 4}), 1.0, 12);
+  auto s = model.balanced_profile();
+  s = model.evolve(std::move(s), 40.0, 0.01);
+  double mass = 0;
+  for (const double v : s) mass += v;
+  EXPECT_NEAR(mass, 1.0, 1e-6);
+
+  // Long-run simulated tails of I_A-ADAP(x) vs the fluid fixed point.
+  const std::size_t n = 400;
+  rng::Xoshiro256PlusPlus eng(63);
+  balls::ScenarioAChain<balls::AdapRule> chain(
+      balls::LoadVector::balanced(n, static_cast<std::int64_t>(n)),
+      balls::AdapRule{balls::ThresholdSchedule({1, 2, 3, 4})});
+  for (int t = 0; t < 150000; ++t) chain.step(eng);
+  std::vector<double> acc(6, 0.0);
+  constexpr int kSamples = 300;
+  for (int rep = 0; rep < kSamples; ++rep) {
+    for (int t = 0; t < 200; ++t) chain.step(eng);
+    const auto frac = tail_fractions(chain.state().loads(), 6);
+    for (std::size_t i = 0; i < 6; ++i) acc[i] += frac[i];
+  }
+  for (double& v : acc) v /= kSamples;
+  const auto fixed = model.fixed_point();
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(acc[i], fixed[i], 0.05) << "level " << i + 1;
+  }
+}
+
+TEST(TailFractions, CountsAtLeastLevels) {
+  const auto s = tail_fractions({3, 1, 0, 0}, 5);
+  EXPECT_DOUBLE_EQ(s[0], 0.5);   // loads >= 1
+  EXPECT_DOUBLE_EQ(s[1], 0.25);  // loads >= 2
+  EXPECT_DOUBLE_EQ(s[2], 0.25);  // loads >= 3
+  EXPECT_DOUBLE_EQ(s[3], 0.0);
+}
+
+}  // namespace
+}  // namespace recover::fluid

@@ -1,0 +1,156 @@
+// Tests for the full (grand) couplings used in coalescence measurements.
+#include <gtest/gtest.h>
+
+#include "src/balls/grand_coupling.hpp"
+#include "src/balls/random_states.hpp"
+#include "src/balls/scenario_a.hpp"
+#include "src/balls/scenario_b.hpp"
+#include "src/core/coalescence.hpp"
+#include "src/rng/engines.hpp"
+#include "src/stats/histogram.hpp"
+
+namespace recover::balls {
+namespace {
+
+TEST(GrandCouplingA, EqualCopiesStayEqualForever) {
+  rng::Xoshiro256PlusPlus eng(1);
+  const LoadVector v = LoadVector::balanced(8, 16);
+  GrandCouplingA<AbkuRule> c(v, v, AbkuRule(2));
+  ASSERT_TRUE(c.coalesced());
+  for (int t = 0; t < 2000; ++t) {
+    c.step(eng);
+    ASSERT_TRUE(c.coalesced());
+  }
+}
+
+TEST(GrandCouplingB, EqualCopiesStayEqualForever) {
+  rng::Xoshiro256PlusPlus eng(2);
+  const LoadVector v = LoadVector::piled(8, 16, 3);
+  GrandCouplingB<AbkuRule> c(v, v, AbkuRule(2));
+  for (int t = 0; t < 2000; ++t) {
+    c.step(eng);
+    ASSERT_TRUE(c.coalesced());
+  }
+}
+
+TEST(GrandCouplingA, ExtremalPairEventuallyCoalesces) {
+  rng::Xoshiro256PlusPlus eng(3);
+  GrandCouplingA<AbkuRule> c(LoadVector::all_in_one(6, 12),
+                             LoadVector::balanced(6, 12), AbkuRule(2));
+  std::int64_t t = 0;
+  while (!c.coalesced() && t < 100000) {
+    c.step(eng);
+    ++t;
+  }
+  EXPECT_TRUE(c.coalesced()) << "no coalescence within " << t << " steps";
+}
+
+TEST(GrandCouplingB, ExtremalPairEventuallyCoalesces) {
+  rng::Xoshiro256PlusPlus eng(4);
+  GrandCouplingB<AbkuRule> c(LoadVector::all_in_one(6, 12),
+                             LoadVector::balanced(6, 12), AbkuRule(2));
+  std::int64_t t = 0;
+  while (!c.coalesced() && t < 500000) {
+    c.step(eng);
+    ++t;
+  }
+  EXPECT_TRUE(c.coalesced()) << "no coalescence within " << t << " steps";
+}
+
+TEST(GrandCouplingA, MarginalIsFaithfulCopyOfScenarioA) {
+  // One copy of the coupling, observed alone, must follow I_A's law.
+  rng::Xoshiro256PlusPlus eng(5);
+  const std::size_t n = 5;
+  const std::int64_t m = 10;
+  const LoadVector x0 = LoadVector::piled(n, m, 2);
+  const LoadVector y0 = LoadVector::balanced(n, m);
+  stats::IntHistogram coupled, uncoupled;
+  constexpr int kTrials = 15000;
+  constexpr int kSteps = 5;
+  for (int rep = 0; rep < kTrials; ++rep) {
+    GrandCouplingA<AbkuRule> c(x0, y0, AbkuRule(2));
+    for (int t = 0; t < kSteps; ++t) c.step(eng);
+    coupled.add(c.first().max_load() * 10 +
+                static_cast<std::int64_t>(c.first().nonempty_count()));
+    ScenarioAChain<AbkuRule> chain(x0, AbkuRule(2));
+    for (int t = 0; t < kSteps; ++t) chain.step(eng);
+    uncoupled.add(chain.state().max_load() * 10 +
+                  static_cast<std::int64_t>(chain.state().nonempty_count()));
+  }
+  EXPECT_LT(stats::tv_distance(coupled, uncoupled), 0.03);
+}
+
+TEST(GrandCouplingB, MarginalIsFaithfulCopyOfScenarioB) {
+  rng::Xoshiro256PlusPlus eng(6);
+  const std::size_t n = 5;
+  const std::int64_t m = 10;
+  const LoadVector x0 = LoadVector::piled(n, m, 2);
+  const LoadVector y0 = LoadVector::balanced(n, m);
+  stats::IntHistogram coupled, uncoupled;
+  constexpr int kTrials = 15000;
+  constexpr int kSteps = 5;
+  for (int rep = 0; rep < kTrials; ++rep) {
+    GrandCouplingB<AbkuRule> c(x0, y0, AbkuRule(2));
+    for (int t = 0; t < kSteps; ++t) c.step(eng);
+    coupled.add(c.first().max_load() * 10 +
+                static_cast<std::int64_t>(c.first().nonempty_count()));
+    ScenarioBChain<AbkuRule> chain(x0, AbkuRule(2));
+    for (int t = 0; t < kSteps; ++t) chain.step(eng);
+    uncoupled.add(chain.state().max_load() * 10 +
+                  static_cast<std::int64_t>(chain.state().nonempty_count()));
+  }
+  EXPECT_LT(stats::tv_distance(coupled, uncoupled), 0.03);
+}
+
+TEST(MeasureCoalescence, SummarizesAndRespectsCensoring) {
+  const std::vector<std::int64_t> times = {10, 20, -1, 30, 40};
+  const auto stats = core::summarize_coalescence(times, 100);
+  EXPECT_EQ(stats.censored, 1);
+  EXPECT_EQ(stats.steps.count(), 4);
+  EXPECT_DOUBLE_EQ(stats.steps.mean(), 25.0);
+  EXPECT_DOUBLE_EQ(stats.q50, 20.0);
+  EXPECT_DOUBLE_EQ(stats.q95, 40.0);
+}
+
+TEST(MeasureCoalescence, DeterministicAcrossRuns) {
+  core::CoalescenceOptions opts;
+  opts.replicas = 6;
+  opts.seed = 99;
+  opts.max_steps = 200000;
+  opts.parallel = false;
+  auto make = [](std::uint64_t) {
+    return GrandCouplingA<AbkuRule>(LoadVector::all_in_one(5, 10),
+                                    LoadVector::balanced(5, 10), AbkuRule(2));
+  };
+  const auto t1 = core::run_coalescence_trials(make, opts);
+  const auto t2 = core::run_coalescence_trials(make, opts);
+  EXPECT_EQ(t1, t2);
+  opts.parallel = true;
+  const auto t3 = core::run_coalescence_trials(make, opts);
+  EXPECT_EQ(t1, t3) << "parallel execution changed the results";
+}
+
+TEST(MeasureCoalescence, CheckIntervalOnlyCoarsens) {
+  core::CoalescenceOptions fine;
+  fine.replicas = 6;
+  fine.seed = 7;
+  fine.max_steps = 200000;
+  fine.check_interval = 1;
+  fine.parallel = false;
+  auto make = [](std::uint64_t) {
+    return GrandCouplingA<AbkuRule>(LoadVector::all_in_one(5, 10),
+                                    LoadVector::balanced(5, 10), AbkuRule(2));
+  };
+  const auto exact = core::run_coalescence_trials(make, fine);
+  core::CoalescenceOptions coarse = fine;
+  coarse.check_interval = 7;
+  const auto rounded = core::run_coalescence_trials(make, coarse);
+  for (std::size_t i = 0; i < exact.size(); ++i) {
+    ASSERT_GE(rounded[i], exact[i]);
+    ASSERT_LE(rounded[i], exact[i] + 7);
+    EXPECT_EQ(rounded[i] % 7, 0);
+  }
+}
+
+}  // namespace
+}  // namespace recover::balls

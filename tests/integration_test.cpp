@@ -1,0 +1,202 @@
+// Cross-module integration tests: the full pipelines the experiments run,
+// validated end-to-end on small instances.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/balls/coupling_a.hpp"
+#include "src/balls/exact_chain.hpp"
+#include "src/balls/grand_coupling.hpp"
+#include "src/balls/random_states.hpp"
+#include "src/balls/scenario_a.hpp"
+#include "src/core/coalescence.hpp"
+#include "src/core/contraction.hpp"
+#include "src/core/exact_mixing.hpp"
+#include "src/core/path_coupling.hpp"
+#include "src/core/recovery.hpp"
+#include "src/fluid/fluid_limit.hpp"
+#include "src/orient/chain.hpp"
+#include "src/rng/engines.hpp"
+
+namespace recover {
+namespace {
+
+// Pipeline 1 (exp09): exact τ(1/4) ≤ typical coalescence quantile ≤
+// Theorem 1 bound, on a small instance where all three are computable.
+TEST(Integration, ExactMixingVsCoalescenceVsLemmaBound) {
+  const std::size_t n = 5;
+  const std::int64_t m = 5;
+  balls::PartitionSpace space(n, m);
+  const auto chain = balls::build_exact_chain(
+      space, balls::RemovalKind::kBallWeighted, balls::AbkuRule(2));
+  const auto pi = core::stationary_distribution(chain);
+  const auto exact = core::exact_mixing_time(chain, pi, 0.25, 5000);
+  ASSERT_GT(exact.mixing_time, 0);
+
+  core::CoalescenceOptions opts;
+  opts.replicas = 64;
+  opts.seed = 5;
+  opts.max_steps = 100000;
+  opts.parallel = false;
+  const auto coal = core::measure_coalescence(
+      [&](std::uint64_t) {
+        return balls::GrandCouplingA<balls::AbkuRule>(
+            balls::LoadVector::all_in_one(n, m),
+            balls::LoadVector::balanced(n, m), balls::AbkuRule(2));
+      },
+      opts);
+  ASSERT_EQ(coal.censored, 0);
+
+  const double lemma_bound = core::theorem1_bound(m, 0.25);
+  // Coupling inequality: Pr[T > t] bounds the TV distance, so the 75th
+  // percentile of T should not undershoot τ(1/4); and the Lemma bound
+  // dominates the exact mixing time.
+  EXPECT_LE(static_cast<double>(exact.mixing_time), lemma_bound);
+  EXPECT_GE(coal.q95, static_cast<double>(exact.mixing_time) * 0.5)
+      << "coalescence implausibly fast vs exact mixing";
+}
+
+// Pipeline 2 (exp04): measured contraction parameters plugged into the
+// Path Coupling Lemma reproduce Theorem 1's bound shape.
+TEST(Integration, MeasuredContractionYieldsValidBound) {
+  const std::size_t n = 8;
+  const std::int64_t m = 8;
+  const balls::AbkuRule rule(2);
+  const auto est = core::estimate_contraction(
+      [&](int p, rng::Xoshiro256PlusPlus& eng) {
+        return balls::random_gamma_pair(n, m, eng, 1 + p % 3);
+      },
+      [&](std::pair<balls::LoadVector, balls::LoadVector>& pair,
+          rng::Xoshiro256PlusPlus& eng) {
+        return balls::coupled_step_a(pair.first, pair.second, rule, eng);
+      },
+      6, 4000, 7);
+  ASSERT_LT(est.beta_hat, 1.0);
+  const double measured_bound = core::path_coupling_bound_contractive(
+      est.beta_hat, static_cast<double>(m), 0.25);
+  const double theorem_bound = core::theorem1_bound(m, 0.25);
+  // The measured bound should land within a small factor of the theorem.
+  EXPECT_LT(measured_bound, 3.0 * theorem_bound);
+  EXPECT_GT(measured_bound, theorem_bound / 3.0);
+}
+
+// Pipeline 3 (exp03 shape): at equal (n, m), scenario B mixes much more
+// slowly than scenario A — the paper's central qualitative contrast.
+TEST(Integration, ScenarioBSlowerThanScenarioA) {
+  const std::size_t n = 16;
+  const std::int64_t m = 16;
+  core::CoalescenceOptions opts;
+  opts.replicas = 16;
+  opts.seed = 9;
+  opts.max_steps = 2'000'000;
+  opts.parallel = false;
+  const auto a = core::measure_coalescence(
+      [&](std::uint64_t) {
+        return balls::GrandCouplingA<balls::AbkuRule>(
+            balls::LoadVector::all_in_one(n, m),
+            balls::LoadVector::balanced(n, m), balls::AbkuRule(2));
+      },
+      opts);
+  const auto b = core::measure_coalescence(
+      [&](std::uint64_t) {
+        return balls::GrandCouplingB<balls::AbkuRule>(
+            balls::LoadVector::all_in_one(n, m),
+            balls::LoadVector::balanced(n, m), balls::AbkuRule(2));
+      },
+      opts);
+  ASSERT_EQ(a.censored, 0);
+  ASSERT_EQ(b.censored, 0);
+  EXPECT_GT(b.steps.mean(), 2.0 * a.steps.mean());
+}
+
+// Pipeline 4 (exp07): fluid-model typical band + recovery estimator.
+TEST(Integration, RecoveryIntoFluidTypicalBand) {
+  const std::size_t n = 128;
+  const auto m = static_cast<std::int64_t>(n);
+  fluid::FluidModel model(fluid::Scenario::kA, 2, 1.0, 16);
+  const auto typical = fluid::FluidModel::predicted_max_load(
+      model.fixed_point(), static_cast<double>(n));
+  ASSERT_GE(typical, 2);
+
+  core::TrajectoryOptions opts;
+  opts.max_steps =
+      6 * static_cast<std::int64_t>(core::theorem1_bound(m, 0.25));
+  opts.sample_interval = 8;
+  const auto stats = core::measure_recovery(
+      [&](int) {
+        return balls::ScenarioAChain<balls::AbkuRule>(
+            balls::LoadVector::all_in_one(n, m), balls::AbkuRule(2));
+      },
+      [](const auto& c) { return static_cast<double>(c.state().max_load()); },
+      0.0, static_cast<double>(typical + 1), 6, 10, opts, 13);
+  EXPECT_EQ(stats.censored, 0);
+  EXPECT_LT(stats.hitting_steps.mean(),
+            2.0 * core::theorem1_bound(m, 0.25));
+}
+
+// Pipeline 5 (exp06/exp13): edge orientation recovers from an
+// adversarially unfair state well within the Theorem 2 horizon.
+TEST(Integration, OrientationRecoversWithinTheorem2Horizon) {
+  const std::size_t n = 24;
+  orient::GreedyOrientationChain chain(
+      orient::DiffState::spread(n, static_cast<std::int64_t>(n / 2)));
+  const double n2ln2 = static_cast<double>(n) * static_cast<double>(n) *
+                       std::log(static_cast<double>(n)) *
+                       std::log(static_cast<double>(n));
+  core::TrajectoryOptions opts;
+  opts.max_steps = static_cast<std::int64_t>(8 * n2ln2);
+  opts.sample_interval = 16;
+  rng::Xoshiro256PlusPlus eng(15);
+  const auto series = core::record_trajectory(
+      chain,
+      [](const auto& c) {
+        return static_cast<double>(c.state().unfairness());
+      },
+      opts, 17);
+  const auto hit = core::first_sustained_entry(series, 0.0, 4.0, 8);
+  ASSERT_GE(hit, 0) << "never recovered to unfairness <= 4";
+  EXPECT_LT(static_cast<double>((hit + 1) * opts.sample_interval),
+            4 * n2ln2);
+}
+
+// Pipeline 6: grand-coupling coalescence upper bound is consistent with
+// the exact worst-case TV decay curve (coupling inequality in action).
+TEST(Integration, CouplingInequalityAgainstExactTvCurve) {
+  const std::size_t n = 4;
+  const std::int64_t m = 6;
+  balls::PartitionSpace space(n, m);
+  const auto chain = balls::build_exact_chain(
+      space, balls::RemovalKind::kBallWeighted, balls::AbkuRule(2));
+  const auto pi = core::stationary_distribution(chain);
+  const auto exact = core::exact_mixing_time(chain, pi, 0.05, 5000);
+  ASSERT_GT(exact.mixing_time, 0);
+
+  // Empirical Pr[T > t] from the coupling at t = exact mixing time must
+  // be at least the worst-case TV at that t (coupling inequality gives
+  // TV <= Pr[T > t]; here we check the empirical direction with slack).
+  core::CoalescenceOptions opts;
+  opts.replicas = 400;
+  opts.seed = 31;
+  opts.max_steps = 100000;
+  opts.parallel = false;
+  const auto times = core::run_coalescence_trials(
+      [&](std::uint64_t) {
+        return balls::GrandCouplingA<balls::AbkuRule>(
+            balls::LoadVector::all_in_one(n, m),
+            balls::LoadVector::balanced(n, m), balls::AbkuRule(2));
+      },
+      opts);
+  const auto t_star = exact.mixing_time;
+  std::int64_t still_apart = 0;
+  for (const auto t : times) {
+    if (t < 0 || t > t_star) ++still_apart;
+  }
+  const double p_apart =
+      static_cast<double>(still_apart) / static_cast<double>(times.size());
+  const double tv_at_tstar =
+      exact.worst_tv_by_t[static_cast<std::size_t>(t_star - 1)];
+  EXPECT_GE(p_apart + 0.05, tv_at_tstar);
+}
+
+}  // namespace
+}  // namespace recover

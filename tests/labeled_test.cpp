@@ -1,0 +1,155 @@
+// Differential tests: the naive labeled (bin-identity) oracle and the
+// normalized production chains must induce the same law on the load
+// multiset — the paper's "ordering of bins is insignificant" claim,
+// checked end to end.
+#include <gtest/gtest.h>
+
+#include "src/balls/exact_chain.hpp"
+#include "src/balls/labeled.hpp"
+#include "src/balls/scenario_a.hpp"
+#include "src/balls/scenario_b.hpp"
+#include "src/balls/static_alloc.hpp"
+#include "src/rng/engines.hpp"
+#include "src/stats/histogram.hpp"
+
+namespace recover::balls {
+namespace {
+
+TEST(LabeledState, BasicAccounting) {
+  LabeledState s = LabeledState::from_loads({3, 0, 2});
+  EXPECT_EQ(s.balls(), 5);
+  EXPECT_EQ(s.max_load(), 3);
+  EXPECT_EQ(s.nonempty_count(), 2u);
+  s.add(1);
+  s.remove(0);
+  EXPECT_EQ(s.balls(), 5);
+  EXPECT_EQ(s.load(1), 1);
+  EXPECT_EQ(s.normalized().loads(),
+            (std::vector<std::int64_t>{2, 2, 1}));
+}
+
+TEST(LabeledState, SamplersMatchDefinitions) {
+  LabeledState s = LabeledState::from_loads({6, 0, 3, 1});
+  rng::Xoshiro256PlusPlus eng(1);
+  std::vector<std::int64_t> ball_counts(4, 0), bin_counts(4, 0);
+  constexpr int kSamples = 90000;
+  for (int i = 0; i < kSamples; ++i) {
+    ++ball_counts[s.random_ball_bin(eng)];
+    ++bin_counts[s.random_nonempty_bin(eng)];
+  }
+  EXPECT_EQ(ball_counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(ball_counts[0]) / kSamples, 0.6, 0.01);
+  EXPECT_NEAR(static_cast<double>(ball_counts[2]) / kSamples, 0.3, 0.01);
+  EXPECT_EQ(bin_counts[1], 0);
+  for (const std::size_t bin : {0u, 2u, 3u}) {
+    EXPECT_NEAR(static_cast<double>(bin_counts[bin]) / kSamples, 1.0 / 3.0,
+                0.01);
+  }
+}
+
+// The heart of the differential suite: one-step law of the normalized
+// state must be identical between oracle and production chain.  We use
+// the exact transition row as the common reference.
+TEST(LabeledDifferential, OneStepLawMatchesExactChain) {
+  const std::size_t n = 4;
+  const std::int64_t m = 6;
+  PartitionSpace space(n, m);
+  for (const auto removal :
+       {RemovalKind::kBallWeighted, RemovalKind::kNonEmptyUniform}) {
+    const auto exact = build_exact_chain(space, removal, AbkuRule(2));
+    // Start from a labeled embedding of the crash state with shuffled
+    // bin identities (bin 2 holds everything) — identity must not
+    // matter.
+    std::vector<std::int64_t> labeled_loads(n, 0);
+    labeled_loads[2] = m;
+    rng::Xoshiro256PlusPlus eng(42);
+    stats::IntHistogram observed;
+    constexpr int kTrials = 120000;
+    for (int t = 0; t < kTrials; ++t) {
+      if (removal == RemovalKind::kBallWeighted) {
+        LabeledScenarioA chain(LabeledState::from_loads(labeled_loads), 2);
+        chain.step(eng);
+        observed.add(static_cast<std::int64_t>(
+            space.index_of(chain.state().normalized())));
+      } else {
+        LabeledScenarioB chain(LabeledState::from_loads(labeled_loads), 2);
+        chain.step(eng);
+        observed.add(static_cast<std::int64_t>(
+            space.index_of(chain.state().normalized())));
+      }
+    }
+    const std::size_t start = space.all_in_one_index();
+    for (const auto& [j, p] : exact.row(start)) {
+      EXPECT_NEAR(observed.frequency(j), p, 0.01)
+          << "state " << j << " removal "
+          << (removal == RemovalKind::kBallWeighted ? "A" : "B");
+    }
+  }
+}
+
+TEST(LabeledDifferential, MultiStepMaxLoadLawMatches) {
+  const std::size_t n = 8;
+  const std::int64_t m = 16;
+  constexpr int kSteps = 50;
+  constexpr int kTrials = 20000;
+  rng::Xoshiro256PlusPlus eng(7);
+  stats::IntHistogram labeled_hist, normalized_hist;
+  for (int t = 0; t < kTrials; ++t) {
+    {
+      LabeledScenarioA chain(
+          LabeledState::from_loads(
+              std::vector<std::int64_t>{0, 0, 0, m, 0, 0, 0, 0}),
+          2);
+      for (int s = 0; s < kSteps; ++s) chain.step(eng);
+      labeled_hist.add(chain.state().max_load() * 100 +
+                       static_cast<std::int64_t>(
+                           chain.state().nonempty_count()));
+    }
+    {
+      ScenarioAChain<AbkuRule> chain(LoadVector::all_in_one(n, m),
+                                     AbkuRule(2));
+      for (int s = 0; s < kSteps; ++s) chain.step(eng);
+      normalized_hist.add(chain.state().max_load() * 100 +
+                          static_cast<std::int64_t>(
+                              chain.state().nonempty_count()));
+    }
+  }
+  EXPECT_LT(stats::tv_distance(labeled_hist, normalized_hist), 0.03);
+}
+
+TEST(LabeledDifferential, AdapChoiceMatchesNormalizedRuleLaw) {
+  // ADAP's labeled transcription vs the index-space implementation:
+  // compare the distribution of the CHOSEN LOAD (identity-free).
+  const std::vector<std::int64_t> loads = {5, 3, 3, 1, 0, 0};
+  const LabeledState labeled = LabeledState::from_loads(loads);
+  const LoadVector normalized = LoadVector::from_loads(loads);
+  const ThresholdSchedule x = ThresholdSchedule::linear(1, 1, 4);
+  const AdapRule rule{x};
+  rng::Xoshiro256PlusPlus eng(11);
+  stats::IntHistogram labeled_load, normalized_load;
+  constexpr int kTrials = 80000;
+  for (int t = 0; t < kTrials; ++t) {
+    labeled_load.add(labeled.load(labeled.adap_choice(eng, x)));
+    ProbeFresh<rng::Xoshiro256PlusPlus> probe(eng, normalized.bins());
+    normalized_load.add(normalized.load(rule.place_index(normalized, probe)));
+  }
+  EXPECT_LT(stats::tv_distance(labeled_load, normalized_load), 0.02);
+}
+
+TEST(LabeledDifferential, StaticAllocationLawMatches) {
+  const std::size_t n = 16;
+  const std::int64_t m = 16;
+  rng::Xoshiro256PlusPlus eng(13);
+  stats::IntHistogram labeled_hist, normalized_hist;
+  constexpr int kTrials = 8000;
+  for (int t = 0; t < kTrials; ++t) {
+    LabeledState s(n);
+    for (std::int64_t b = 0; b < m; ++b) s.add(s.abku_choice(eng, 2));
+    labeled_hist.add(s.max_load());
+    normalized_hist.add(allocate_static(n, m, AbkuRule(2), eng).max_load());
+  }
+  EXPECT_LT(stats::tv_distance(labeled_hist, normalized_hist), 0.03);
+}
+
+}  // namespace
+}  // namespace recover::balls

@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/balls/load_vector.hpp"
+#include "src/balls/random_states.hpp"
+#include "src/rng/engines.hpp"
+#include "src/stats/summary.hpp"
+
+namespace recover::balls {
+namespace {
+
+TEST(LoadVector, FactoriesProduceNormalizedStates) {
+  const LoadVector balanced = LoadVector::balanced(4, 10);
+  EXPECT_EQ(balanced.loads(), (std::vector<std::int64_t>{3, 3, 2, 2}));
+  const LoadVector one = LoadVector::all_in_one(4, 10);
+  EXPECT_EQ(one.loads(), (std::vector<std::int64_t>{10, 0, 0, 0}));
+  const LoadVector piled = LoadVector::piled(5, 7, 2);
+  EXPECT_EQ(piled.loads(), (std::vector<std::int64_t>{4, 3, 0, 0, 0}));
+  EXPECT_TRUE(balanced.invariants_hold());
+  EXPECT_TRUE(one.invariants_hold());
+  EXPECT_TRUE(piled.invariants_hold());
+}
+
+TEST(LoadVector, FromLoadsNormalizes) {
+  const LoadVector v = LoadVector::from_loads({0, 5, 2, 5, 1});
+  EXPECT_EQ(v.loads(), (std::vector<std::int64_t>{5, 5, 2, 1, 0}));
+  EXPECT_EQ(v.balls(), 13);
+  EXPECT_EQ(v.bins(), 5u);
+  EXPECT_EQ(v.max_load(), 5);
+  EXPECT_EQ(v.min_load(), 0);
+  EXPECT_EQ(v.nonempty_count(), 4u);
+}
+
+TEST(LoadVector, RunHeadTailIdentifyEqualValueRuns) {
+  const LoadVector v = LoadVector::from_loads({5, 5, 2, 2, 2, 0});
+  EXPECT_EQ(v.run_head(0), 0u);
+  EXPECT_EQ(v.run_tail(0), 1u);
+  EXPECT_EQ(v.run_head(3), 2u);
+  EXPECT_EQ(v.run_tail(3), 4u);
+  EXPECT_EQ(v.run_head(5), 5u);
+  EXPECT_EQ(v.run_tail(5), 5u);
+}
+
+TEST(LoadVector, Fact32AddGoesToRunHead) {
+  // v ⊕ e_i increments the first element of the run (Fact 3.2).
+  LoadVector v = LoadVector::from_loads({3, 2, 2, 2, 1});
+  const std::size_t pos = v.add_at(3);  // run of 2s spans [1,3]
+  EXPECT_EQ(pos, 1u);
+  EXPECT_EQ(v.loads(), (std::vector<std::int64_t>{3, 3, 2, 2, 1}));
+  EXPECT_TRUE(v.invariants_hold());
+}
+
+TEST(LoadVector, Fact32RemoveGoesToRunTail) {
+  LoadVector v = LoadVector::from_loads({3, 2, 2, 2, 1});
+  const std::size_t pos = v.remove_at(1);  // run of 2s spans [1,3]
+  EXPECT_EQ(pos, 3u);
+  EXPECT_EQ(v.loads(), (std::vector<std::int64_t>{3, 2, 2, 1, 1}));
+  EXPECT_TRUE(v.invariants_hold());
+}
+
+TEST(LoadVector, AddRemoveRoundTrip) {
+  LoadVector v = LoadVector::from_loads({4, 4, 1, 0});
+  const LoadVector before = v;
+  v.add_at(2);
+  v.remove_at(2);
+  EXPECT_EQ(v, before);
+}
+
+TEST(LoadVector, DistanceIsHalfL1) {
+  const LoadVector v = LoadVector::from_loads({3, 1, 0});
+  const LoadVector u = LoadVector::from_loads({2, 1, 1});
+  EXPECT_EQ(v.distance(u), 1);
+  EXPECT_EQ(u.distance(v), 1);
+  EXPECT_EQ(v.l1_distance(u), 2);
+  EXPECT_EQ(v.distance(v), 0);
+}
+
+TEST(LoadVector, DistanceDiameterBound) {
+  // Δ(v, u) ≤ m − ⌈m/n⌉ for all pairs (stated in §4).
+  const std::size_t n = 6;
+  const std::int64_t m = 17;
+  const LoadVector worst = LoadVector::all_in_one(n, m);
+  const LoadVector best = LoadVector::balanced(n, m);
+  EXPECT_LE(worst.distance(best), m - (m + static_cast<std::int64_t>(n) - 1) /
+                                          static_cast<std::int64_t>(n));
+}
+
+TEST(LoadVector, BallAtQuantileWalksSortedBalls) {
+  const LoadVector v = LoadVector::from_loads({3, 2, 0});
+  EXPECT_EQ(v.ball_at_quantile(0), 0u);
+  EXPECT_EQ(v.ball_at_quantile(2), 0u);
+  EXPECT_EQ(v.ball_at_quantile(3), 1u);
+  EXPECT_EQ(v.ball_at_quantile(4), 1u);
+}
+
+TEST(LoadVector, WeightedSamplingMatchesLoads) {
+  rng::Xoshiro256PlusPlus eng(31);
+  const LoadVector v = LoadVector::from_loads({6, 3, 1, 0});
+  std::vector<std::int64_t> counts(4, 0);
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) ++counts[v.sample_ball_weighted(eng)];
+  EXPECT_EQ(counts[3], 0);
+  EXPECT_NEAR(static_cast<double>(counts[0]) / kSamples, 0.6, 0.01);
+  EXPECT_NEAR(static_cast<double>(counts[1]) / kSamples, 0.3, 0.01);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / kSamples, 0.1, 0.01);
+}
+
+TEST(LoadVector, LinearAndFenwickSamplersAgreeInLaw) {
+  rng::Xoshiro256PlusPlus eng(33);
+  const LoadVector v = LoadVector::from_loads({5, 4, 1});
+  std::vector<std::int64_t> fen(3, 0), lin(3, 0);
+  constexpr int kSamples = 60000;
+  for (int i = 0; i < kSamples; ++i) ++fen[v.sample_ball_weighted(eng)];
+  for (int i = 0; i < kSamples; ++i) {
+    ++lin[v.sample_ball_weighted_linear(eng)];
+  }
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(static_cast<double>(fen[i]) / kSamples,
+                static_cast<double>(lin[i]) / kSamples, 0.015);
+  }
+}
+
+TEST(LoadVector, NonemptyUniformSamplesOnlyNonempty) {
+  rng::Xoshiro256PlusPlus eng(37);
+  const LoadVector v = LoadVector::from_loads({2, 1, 0, 0});
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_LT(v.sample_nonempty_uniform(eng), 2u);
+  }
+}
+
+struct RandomVectorParam {
+  std::size_t n;
+  std::int64_t m;
+  int skew;
+};
+
+class RandomStateTest
+    : public ::testing::TestWithParam<RandomVectorParam> {};
+
+TEST_P(RandomStateTest, RandomStatesAreValid) {
+  const auto [n, m, skew] = GetParam();
+  rng::Xoshiro256PlusPlus eng(n * 131 + static_cast<std::uint64_t>(m));
+  for (int rep = 0; rep < 20; ++rep) {
+    const LoadVector v = random_load_vector(n, m, eng, skew);
+    ASSERT_TRUE(v.invariants_hold());
+    ASSERT_EQ(v.balls(), m);
+    ASSERT_EQ(v.bins(), n);
+  }
+}
+
+TEST_P(RandomStateTest, GammaPairsAreAtDistanceOne) {
+  const auto [n, m, skew] = GetParam();
+  rng::Xoshiro256PlusPlus eng(n * 977 + static_cast<std::uint64_t>(m));
+  for (int rep = 0; rep < 20; ++rep) {
+    const auto [v, u] = random_gamma_pair(n, m, eng, skew);
+    ASSERT_EQ(v.distance(u), 1);
+    ASSERT_TRUE(v.invariants_hold());
+    ASSERT_TRUE(u.invariants_hold());
+    ASSERT_EQ(u.balls(), m);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, RandomStateTest,
+    ::testing::Values(RandomVectorParam{2, 2, 1}, RandomVectorParam{4, 4, 1},
+                      RandomVectorParam{8, 20, 2}, RandomVectorParam{16, 16, 3},
+                      RandomVectorParam{32, 100, 1},
+                      RandomVectorParam{5, 50, 4}));
+
+TEST(LoadVector, StressAddRemoveKeepsInvariants) {
+  rng::Xoshiro256PlusPlus eng(71);
+  LoadVector v = LoadVector::balanced(12, 36);
+  for (int step = 0; step < 5000; ++step) {
+    const std::size_t r = v.sample_ball_weighted(eng);
+    v.remove_at(r);
+    const auto a =
+        static_cast<std::size_t>(rng::uniform_below(eng, v.bins()));
+    v.add_at(a);
+    if (step % 500 == 0) {
+      ASSERT_TRUE(v.invariants_hold());
+    }
+  }
+  EXPECT_TRUE(v.invariants_hold());
+  EXPECT_EQ(v.balls(), 36);
+}
+
+}  // namespace
+}  // namespace recover::balls

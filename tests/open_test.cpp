@@ -1,0 +1,122 @@
+// Tests for the §7 extensions: open systems and relocation.
+#include <gtest/gtest.h>
+
+#include "src/open/open_chain.hpp"
+#include "src/open/relocation.hpp"
+#include "src/rng/engines.hpp"
+#include "src/stats/summary.hpp"
+
+namespace recover::open {
+namespace {
+
+TEST(OpenChain, EmptySystemRemovalIsNoop) {
+  rng::Xoshiro256PlusPlus eng(1);
+  OpenChain<balls::AbkuRule> chain(balls::LoadVector(4), balls::AbkuRule(2));
+  for (int t = 0; t < 500; ++t) {
+    chain.step(eng);
+    ASSERT_GE(chain.balls(), 0);
+    ASSERT_TRUE(chain.state().invariants_hold());
+  }
+}
+
+TEST(OpenChain, BallCountHoversAroundDrift) {
+  // With insert probability p > ½ the count drifts up; with p < ½ it
+  // keels to (near) zero.
+  rng::Xoshiro256PlusPlus eng(2);
+  OpenChain<balls::AbkuRule> up(balls::LoadVector(8), balls::AbkuRule(2),
+                                0.75);
+  for (int t = 0; t < 4000; ++t) up.step(eng);
+  EXPECT_GT(up.balls(), 1000);
+
+  OpenChain<balls::AbkuRule> down(balls::LoadVector::all_in_one(8, 500),
+                                  balls::AbkuRule(2), 0.25);
+  for (int t = 0; t < 4000; ++t) down.step(eng);
+  EXPECT_LT(down.balls(), 100);
+}
+
+TEST(OpenGrandCoupling, EqualCopiesStayEqual) {
+  rng::Xoshiro256PlusPlus eng(3);
+  const balls::LoadVector v = balls::LoadVector::piled(6, 12, 2);
+  OpenGrandCoupling<balls::AbkuRule> c(v, v, balls::AbkuRule(2));
+  for (int t = 0; t < 3000; ++t) {
+    c.step(eng);
+    ASSERT_TRUE(c.coalesced());
+  }
+}
+
+TEST(OpenGrandCoupling, ZeroAndPiledStartsCoalesce) {
+  // The paper's §7 example: 0 balls vs m piled balls; the coupling
+  // estimates the time until their distributions agree.
+  rng::Xoshiro256PlusPlus eng(4);
+  OpenGrandCoupling<balls::AbkuRule> c(balls::LoadVector(6),
+                                       balls::LoadVector::all_in_one(6, 30),
+                                       balls::AbkuRule(2));
+  std::int64_t t = 0;
+  while (!c.coalesced() && t < 2'000'000) {
+    c.step(eng);
+    ++t;
+  }
+  EXPECT_TRUE(c.coalesced()) << "open coupling never met";
+  // Ball counts must have merged too (distance includes the count gap).
+  EXPECT_EQ(c.first().balls(), c.second().balls());
+}
+
+TEST(OpenGrandCoupling, BallCountGapShrinksStochastically) {
+  rng::Xoshiro256PlusPlus eng(5);
+  OpenGrandCoupling<balls::AbkuRule> c(balls::LoadVector(6),
+                                       balls::LoadVector::all_in_one(6, 40),
+                                       balls::AbkuRule(2));
+  const std::int64_t gap0 =
+      c.second().balls() - c.first().balls();
+  for (int t = 0; t < 30000; ++t) c.step(eng);
+  const std::int64_t gap =
+      std::abs(c.second().balls() - c.first().balls());
+  EXPECT_LT(gap, gap0);
+}
+
+TEST(RelocatingChain, ZeroRelocationsMatchesScenarioADynamics) {
+  rng::Xoshiro256PlusPlus eng(6);
+  RelocatingChainA<balls::AbkuRule> chain(
+      balls::LoadVector::all_in_one(8, 16), balls::AbkuRule(2), 0);
+  for (int t = 0; t < 2000; ++t) chain.step(eng);
+  EXPECT_EQ(chain.balls(), 16);
+  EXPECT_TRUE(chain.state().invariants_hold());
+}
+
+TEST(RelocatingChain, RelocationAcceleratesRecovery) {
+  // Average max load over a short horizon from a crash state drops
+  // faster with a relocation budget.
+  auto run = [](int relocations, std::uint64_t seed) {
+    rng::Xoshiro256PlusPlus eng(seed);
+    RelocatingChainA<balls::AbkuRule> chain(
+        balls::LoadVector::all_in_one(32, 64), balls::AbkuRule(2),
+        relocations);
+    stats::Summary max_load;
+    for (int t = 0; t < 200; ++t) {
+      chain.step(eng);
+      max_load.add(static_cast<double>(chain.state().max_load()));
+    }
+    return max_load.mean();
+  };
+  stats::Summary none, some;
+  for (std::uint64_t rep = 0; rep < 12; ++rep) {
+    none.add(run(0, 100 + rep));
+    some.add(run(3, 200 + rep));
+  }
+  EXPECT_LT(some.mean(), none.mean());
+}
+
+TEST(RelocatingChain, BalancedStateSkipsRelocation) {
+  // With max − min ≤ 1 the relocation loop must not churn the state.
+  rng::Xoshiro256PlusPlus eng(7);
+  RelocatingChainA<balls::AbkuRule> chain(balls::LoadVector::balanced(8, 8),
+                                          balls::AbkuRule(2), 5);
+  for (int t = 0; t < 1000; ++t) {
+    chain.step(eng);
+    ASSERT_EQ(chain.balls(), 8);
+    ASSERT_TRUE(chain.state().invariants_hold());
+  }
+}
+
+}  // namespace
+}  // namespace recover::open

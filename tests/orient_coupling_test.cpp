@@ -1,0 +1,396 @@
+// Tests for the §6 count representation, Γ-sets, metric, and coupled step
+// (Lemmas 6.2 / 6.3).
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "src/orient/coupling.hpp"
+#include "src/rng/engines.hpp"
+#include "src/stats/histogram.hpp"
+#include "src/stats/summary.hpp"
+
+namespace recover::orient {
+namespace {
+
+TEST(CountState, FromDiffStateRoundTripsCounts) {
+  const DiffState s = DiffState::from_diffs({2, 0, 0, -2});
+  const CountState x = CountState::from_diff_state(s, 2);
+  // Levels: 2 padding + diffs 2,1,0,-1,-2 + 2 padding = 9 levels.
+  ASSERT_EQ(x.levels(), 9u);
+  EXPECT_EQ(x.count(2), 1);  // diff +2
+  EXPECT_EQ(x.count(4), 2);  // diff 0
+  EXPECT_EQ(x.count(6), 1);  // diff −2
+  EXPECT_EQ(x.vertices(), 4u);
+  EXPECT_TRUE(x.invariants_hold());
+}
+
+TEST(CountState, LevelOfRankWalksCumulativeCounts) {
+  const CountState x = CountState::from_counts({0, 2, 0, 3, 1});
+  EXPECT_EQ(x.level_of_rank(0), 1u);
+  EXPECT_EQ(x.level_of_rank(1), 1u);
+  EXPECT_EQ(x.level_of_rank(2), 3u);
+  EXPECT_EQ(x.level_of_rank(4), 3u);
+  EXPECT_EQ(x.level_of_rank(5), 4u);
+}
+
+TEST(CountState, ApplyTransitionMatchesDiffStateStep) {
+  // The same (φ, ψ) pick must evolve both representations identically.
+  rng::Xoshiro256PlusPlus eng(31);
+  DiffState s = DiffState::from_diffs({3, 1, 0, -1, -3});
+  CountState x = CountState::from_diff_state(s, 3);
+  for (int t = 0; t < 200; ++t) {
+    const auto [phi, psi] = s.pick_pair(eng);
+    x.apply_transition(x.level_of_rank(phi), x.level_of_rank(psi));
+    s.apply_edge(phi, psi);
+    const CountState expect = CountState::from_diff_state(s, 0);
+    // Compare occupied windows: strip zero padding from x.
+    std::vector<std::int64_t> stripped;
+    bool started = false;
+    std::int64_t trailing = 0;
+    for (std::size_t l = 0; l < x.levels(); ++l) {
+      const std::int64_t c = x.count(l);
+      if (c != 0) {
+        for (std::int64_t z = 0; z < trailing; ++z) stripped.push_back(0);
+        stripped.push_back(c);
+        started = true;
+        trailing = 0;
+      } else if (started) {
+        ++trailing;
+      }
+    }
+    ASSERT_EQ(stripped, expect.counts()) << "diverged at step " << t;
+  }
+}
+
+TEST(GBarNeighbors, EnumeratesBothOrientations) {
+  // x = (1, 0, 1, 1): forward at λ=0 gives (0, 2, 0, 1).
+  const CountState x = CountState::from_counts({1, 0, 1, 1});
+  const auto nbs = gbar_neighbors(x);
+  bool found_forward = false;
+  for (const auto& y : nbs) {
+    if (y.counts() == std::vector<std::int64_t>{0, 2, 0, 1}) {
+      found_forward = true;
+    }
+    // Each neighbor is at metric distance exactly 1.
+    const auto d = orientation_distance(x, y, 1);
+    ASSERT_TRUE(d.has_value());
+    EXPECT_EQ(*d, 1);
+  }
+  EXPECT_TRUE(found_forward);
+}
+
+TEST(SBarNeighbors, RequireEmptyMiddle) {
+  // x = (1, 0, 0, 1): λ=0, k=2 forward pattern applies (middle empty).
+  const CountState x = CountState::from_counts({1, 0, 0, 1});
+  const auto nbs = sbar_neighbors(x);
+  bool found = false;
+  for (const auto& [y, k] : nbs) {
+    if (y.counts() == std::vector<std::int64_t>{0, 1, 1, 0} && k == 2) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+
+  // Occupied middle kills the forward k=2 move at λ=0.
+  const CountState z = CountState::from_counts({1, 5, 0, 1});
+  const std::vector<std::int64_t> forbidden = {0, 6, 1, 0};
+  for (const auto& [y, k] : sbar_neighbors(z)) {
+    (void)k;
+    EXPECT_NE(y.counts(), forbidden);
+  }
+}
+
+TEST(OrientationDistance, MetricAxiomsOnSmallStates) {
+  const CountState a = CountState::from_counts({1, 0, 1, 1, 0});
+  const CountState b = CountState::from_counts({0, 2, 0, 1, 0});
+  const CountState c = CountState::from_counts({0, 1, 2, 0, 0});
+  const auto dab = orientation_distance(a, b, 8);
+  const auto dba = orientation_distance(b, a, 8);
+  const auto dbc = orientation_distance(b, c, 8);
+  const auto dac = orientation_distance(a, c, 8);
+  ASSERT_TRUE(dab && dba && dbc && dac);
+  EXPECT_EQ(*dab, *dba);  // symmetry
+  EXPECT_LE(*dac, *dab + *dbc);  // triangle inequality
+  EXPECT_EQ(*orientation_distance(a, a, 2), 0);
+}
+
+TEST(OrientationDistance, SBarPairsAreAtDistanceK) {
+  const CountState x = CountState::from_counts({2, 1, 0, 0, 0, 1, 1});
+  for (const auto& [y, k] : sbar_neighbors(x)) {
+    const auto d = orientation_distance(x, y, k + 1);
+    ASSERT_TRUE(d.has_value());
+    EXPECT_LE(*d, k);
+    EXPECT_GE(*d, 1);
+  }
+}
+
+TEST(DecomposeGammaPair, RecognizesGAndSPatterns) {
+  const CountState x = CountState::from_counts({1, 0, 1, 1});
+  const CountState yg = CountState::from_counts({0, 2, 0, 1});
+  const auto g = decompose_gamma_pair(x, yg);
+  EXPECT_EQ(g.k, 1);
+  EXPECT_EQ(g.lambda, 0u);
+  EXPECT_TRUE(g.x_is_upper);
+  const auto g2 = decompose_gamma_pair(yg, x);
+  EXPECT_FALSE(g2.x_is_upper);
+
+  const CountState a = CountState::from_counts({1, 0, 0, 1, 2});
+  const CountState b = CountState::from_counts({0, 1, 1, 0, 2});
+  const auto s = decompose_gamma_pair(a, b);
+  EXPECT_EQ(s.k, 2);
+  EXPECT_EQ(s.lambda, 0u);
+  EXPECT_TRUE(s.x_is_upper);
+}
+
+// Lemma 6.2: for Δ(x, y) = 1 pairs, E[Δ(x*, y*)] ≤ 1 − (n choose 2)⁻¹.
+TEST(CoupledStep, Lemma62ContractionOnGBarPairs) {
+  rng::Xoshiro256PlusPlus eng(41);
+  // Build a roomy state and enumerate its 𝒢̄ neighbors as test pairs.
+  const DiffState base = DiffState::from_diffs({3, 2, 1, 0, 0, -1, -2, -3});
+  const CountState x0 = CountState::from_diff_state(base, 3);
+  const auto n = static_cast<double>(x0.vertices());
+  const double bound = 1.0 - 2.0 / (n * (n - 1.0));
+  int tested = 0;
+  for (const auto& y0 : gbar_neighbors(x0)) {
+    if (tested >= 4) break;
+    ++tested;
+    stats::Summary dist;
+    constexpr int kTrials = 6000;
+    for (int t = 0; t < kTrials; ++t) {
+      CountState x = x0, y = y0;
+      dist.add(static_cast<double>(coupled_step_orientation(x, y, eng)));
+    }
+    EXPECT_LE(dist.mean(), bound + 4.0 * dist.stderror())
+        << "pair " << tested;
+  }
+  ASSERT_GT(tested, 0);
+}
+
+// Lemma 6.3: for y ∈ 𝒮̄_k(x), E[Δ(x*, y*)] ≤ k − (n choose 2)⁻¹.
+TEST(CoupledStep, Lemma63ContractionOnSBarPairs) {
+  rng::Xoshiro256PlusPlus eng(43);
+  const DiffState base = DiffState::from_diffs({4, 1, 0, 0, -1, -4});
+  const CountState x0 = CountState::from_diff_state(base, 3);
+  const auto n = static_cast<double>(x0.vertices());
+  int tested = 0;
+  for (const auto& [y0, k] : sbar_neighbors(x0)) {
+    if (tested >= 4) break;
+    ++tested;
+    stats::Summary dist;
+    constexpr int kTrials = 6000;
+    for (int t = 0; t < kTrials; ++t) {
+      CountState x = x0, y = y0;
+      dist.add(static_cast<double>(coupled_step_orientation(x, y, eng)));
+    }
+    const double bound =
+        static_cast<double>(k) - 2.0 / (n * (n - 1.0));
+    EXPECT_LE(dist.mean(), bound + 4.0 * dist.stderror())
+        << "pair " << tested << " k=" << k;
+  }
+  ASSERT_GT(tested, 0);
+}
+
+TEST(CoupledStep, MarginalsAreFaithfulCopiesOfTheChain) {
+  // Definition 3.1 for the §6 coupling: each copy, observed alone, must
+  // follow the lazy greedy chain's law — including the lower copy whose
+  // lazy bit is anti-correlated in the special 𝒢̄ case.
+  rng::Xoshiro256PlusPlus eng(53);
+  const DiffState base = DiffState::from_diffs({2, 1, 0, -1, -2});
+  const CountState x0 = CountState::from_diff_state(base, 3);
+  const auto nbs = gbar_neighbors(x0);
+  ASSERT_FALSE(nbs.empty());
+  const CountState y0 = nbs[0];
+
+  auto key_of = [](const CountState& s) {
+    std::int64_t key = 0;
+    for (std::size_t l = 0; l < s.levels(); ++l) {
+      key = key * 11 + s.count(l);
+    }
+    return key;
+  };
+
+  stats::IntHistogram coupled_x, direct_x, coupled_y, direct_y;
+  constexpr int kTrials = 30000;
+  for (int t = 0; t < kTrials; ++t) {
+    {
+      CountState x = x0, y = y0;
+      coupled_step_orientation(x, y, eng);
+      coupled_x.add(key_of(x));
+      coupled_y.add(key_of(y));
+    }
+    {
+      CountState x = x0;
+      x.step(eng);
+      direct_x.add(key_of(x));
+      CountState y = y0;
+      y.step(eng);
+      direct_y.add(key_of(y));
+    }
+  }
+  EXPECT_LT(stats::tv_distance(coupled_x, direct_x), 0.02);
+  EXPECT_LT(stats::tv_distance(coupled_y, direct_y), 0.02);
+}
+
+// Parameterized sweep: the Lemma 6.2 inequality across several base
+// shapes (staircases, spreads, runs with plateaus).
+class Lemma62SweepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(Lemma62SweepTest, ContractionOnAllGBarNeighbors) {
+  const int shape = GetParam();
+  rng::Xoshiro256PlusPlus eng(61 + static_cast<std::uint64_t>(shape));
+  DiffState base = DiffState(6);
+  switch (shape) {
+    case 0:
+      base = DiffState::from_diffs({2, 1, 0, 0, -1, -2});
+      break;
+    case 1:
+      base = DiffState::from_diffs({3, 0, 0, 0, 0, -3});
+      break;
+    case 2:
+      base = DiffState::from_diffs({1, 1, 1, -1, -1, -1});
+      break;
+    case 3:
+      base = DiffState::from_diffs({4, 2, 0, -1, -2, -3});
+      break;
+    default:
+      base = DiffState::from_diffs({2, 2, -1, -1, -1, -1});
+      break;
+  }
+  const CountState x0 = CountState::from_diff_state(base, 3);
+  const auto n = static_cast<double>(x0.vertices());
+  const double bound = 1.0 - 2.0 / (n * (n - 1.0));
+  for (const auto& y0 : gbar_neighbors(x0)) {
+    stats::Summary dist;
+    for (int t = 0; t < 4000; ++t) {
+      CountState x = x0, y = y0;
+      dist.add(static_cast<double>(coupled_step_orientation(x, y, eng)));
+    }
+    EXPECT_LE(dist.mean(), bound + 4.0 * dist.stderror());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, Lemma62SweepTest,
+                         ::testing::Values(0, 1, 2, 3, 4));
+
+// The PROOF of Lemma 6.2, not just its conclusion: classify every
+// coupled step into the seven cases of the case analysis and check the
+// per-case distance statement exactly.
+//
+// For a 𝒢̄-pair (x = y + e_λ − 2e_{λ+1} + e_{λ+2}) the rank→level maps
+// of the two copies disagree only on the two discrepancy ranks (level λ
+// in the upper copy vs λ+1 in the lower; level λ+2 vs λ+1), so the
+// cases below are exhaustive.
+namespace lemma62 {
+
+int classify(const CountState& /*x*/, const OrientationStepTrace& t) {
+  const std::size_t L = t.lambda;
+  const bool special = t.i == L && t.j == L + 2 && t.istar == L + 1 &&
+                       t.jstar == L + 1;
+  if (special) return 7;           // anti-correlated bits: always merges
+  if (!t.bit) return 1;            // lazy no-op in both copies
+  if (t.i == t.istar && t.j == t.jstar) return 2;
+  if (t.i == t.istar && t.j == L && t.jstar == L + 1) return 3;
+  if (t.i == L + 2 && t.istar == L + 1 && t.j == t.jstar) return 4;
+  if (t.i == t.istar && t.j == L + 2 && t.jstar == L + 1) return 5;
+  if (t.i == L && t.istar == L + 1 && t.j == t.jstar) return 6;
+  return 0;  // unclassified = the case analysis missed something
+}
+
+}  // namespace lemma62
+
+TEST(CoupledStep, Lemma62CaseAnalysisHoldsExactly) {
+  rng::Xoshiro256PlusPlus eng(71);
+  const DiffState base = DiffState::from_diffs({3, 2, 1, 0, -1, -2, -3});
+  const CountState x0 = CountState::from_diff_state(base, 3);
+  const auto nbs = gbar_neighbors(x0);
+  ASSERT_FALSE(nbs.empty());
+  std::array<int, 8> seen{};
+  for (const auto& y0 : nbs) {
+    for (int t = 0; t < 3000; ++t) {
+      CountState x = x0, y = y0;
+      const auto trace = coupled_step_orientation_traced(x, y, eng);
+      const int c = lemma62::classify(x0, trace);
+      ASSERT_NE(c, 0) << "step outside the Lemma 6.2 case analysis";
+      ++seen[static_cast<std::size_t>(c)];
+      switch (c) {
+        case 1:
+        case 2:
+          ASSERT_EQ(trace.distance_after, 1) << "case " << c;
+          break;
+        case 3:
+        case 4:
+          ASSERT_GE(trace.distance_after, 1) << "case " << c;
+          ASSERT_LE(trace.distance_after, 2) << "case " << c;
+          break;
+        case 5:
+        case 6:
+        case 7:
+          ASSERT_EQ(trace.distance_after, 0) << "case " << c;
+          break;
+        default:
+          FAIL();
+      }
+    }
+  }
+  // The bulk cases and the merge cases must all actually occur.
+  EXPECT_GT(seen[1], 0);
+  EXPECT_GT(seen[2], 0);
+  EXPECT_GT(seen[7], 0) << "the anti-correlated-bit case never fired";
+}
+
+TEST(CoupledStep, Lemma63CaseAnalysisBoundsHold) {
+  // 𝒮̄_k pairs: single mismatches move the distance by at most one and
+  // the double mismatch (case 7) drops it by two (merging at k = 2).
+  rng::Xoshiro256PlusPlus eng(73);
+  const DiffState base = DiffState::from_diffs({4, 1, 0, 0, -1, -4});
+  const CountState x0 = CountState::from_diff_state(base, 3);
+  for (const auto& [y0, k] : sbar_neighbors(x0)) {
+    for (int t = 0; t < 3000; ++t) {
+      CountState x = x0, y = y0;
+      const auto trace = coupled_step_orientation_traced(x, y, eng);
+      ASSERT_EQ(trace.k, k);
+      const std::size_t L = trace.lambda;
+      const bool phi_mismatch = trace.i != trace.istar;
+      const bool psi_mismatch = trace.j != trace.jstar;
+      if (!trace.bit) {
+        ASSERT_EQ(trace.distance_after, k) << "lazy step moved the pair";
+      } else if (phi_mismatch && psi_mismatch) {
+        // Case (7): both ranks on discrepancy positions.
+        ASSERT_LE(trace.distance_after, std::max<std::int64_t>(k - 2, 0));
+      } else if (phi_mismatch || psi_mismatch) {
+        ASSERT_LE(trace.distance_after, k + 1);
+        ASSERT_GE(trace.distance_after, std::max<std::int64_t>(k - 1, 0));
+      } else {
+        ASSERT_LE(trace.distance_after, k) << "matched moves expanded";
+      }
+      // Mismatched levels only ever differ by exactly one level.
+      if (phi_mismatch) {
+        ASSERT_EQ(std::max(trace.i, trace.istar) -
+                      std::min(trace.i, trace.istar),
+                  1u);
+        (void)L;
+      }
+    }
+  }
+}
+
+TEST(CoupledStep, MergedPairsStayWellDefined) {
+  rng::Xoshiro256PlusPlus eng(47);
+  const DiffState base = DiffState::from_diffs({2, 1, 0, -1, -2});
+  const CountState x0 = CountState::from_diff_state(base, 3);
+  const auto nbs = gbar_neighbors(x0);
+  ASSERT_FALSE(nbs.empty());
+  int merges = 0;
+  for (int t = 0; t < 4000; ++t) {
+    CountState x = x0, y = nbs[0];
+    const auto d = coupled_step_orientation(x, y, eng);
+    ASSERT_GE(d, 0);
+    ASSERT_TRUE(x.invariants_hold());
+    ASSERT_TRUE(y.invariants_hold());
+    if (d == 0) ++merges;
+  }
+  EXPECT_GT(merges, 0) << "coupling never merges - Lemma 6.2 case (5)-(7)";
+}
+
+}  // namespace
+}  // namespace recover::orient

@@ -1,0 +1,153 @@
+// Tests for the sorted difference-vector state of the edge-orientation
+// process (§6).
+#include <gtest/gtest.h>
+
+#include "src/core/coalescence.hpp"
+#include "src/orient/chain.hpp"
+#include "src/orient/state.hpp"
+#include "src/rng/engines.hpp"
+#include "src/stats/summary.hpp"
+
+namespace recover::orient {
+namespace {
+
+TEST(DiffState, FactoriesNormalizeAndSumToZero) {
+  const DiffState zero(5);
+  EXPECT_EQ(zero.unfairness(), 0);
+  EXPECT_TRUE(zero.invariants_hold());
+
+  const DiffState s = DiffState::from_diffs({-2, 3, 0, -1, 0});
+  EXPECT_EQ(s.diffs(), (std::vector<std::int64_t>{3, 0, 0, -1, -2}));
+  EXPECT_EQ(s.unfairness(), 3);
+
+  const DiffState sp = DiffState::spread(6, 4);
+  EXPECT_EQ(sp.diffs(), (std::vector<std::int64_t>{4, 4, 4, -4, -4, -4}));
+  const DiffState st = DiffState::staircase(7, 2);
+  EXPECT_EQ(st.diffs(), (std::vector<std::int64_t>{2, 1, 0, 0, 0, -1, -2}));
+}
+
+TEST(DiffState, FromDiffsRejectsNonzeroSum) {
+  EXPECT_DEATH(DiffState::from_diffs({1, 1}), "");
+}
+
+TEST(DiffState, ApplyEdgeBalancesDistinctValues) {
+  // (3, 0, -3): edge between ranks 0 and 2 moves both toward 0.
+  DiffState s = DiffState::from_diffs({3, 0, -3});
+  s.apply_edge(0, 2);
+  EXPECT_EQ(s.diffs(), (std::vector<std::int64_t>{2, 0, -2}));
+  EXPECT_TRUE(s.invariants_hold());
+}
+
+TEST(DiffState, ApplyEdgeAdjacentValuesIsNoop) {
+  // Difference gap of exactly 1: the multiset is unchanged.
+  DiffState s = DiffState::from_diffs({1, 0, -1});
+  const DiffState before = s;
+  s.apply_edge(0, 1);
+  EXPECT_EQ(s, before);
+  s.apply_edge(1, 2);
+  EXPECT_EQ(s, before);
+}
+
+TEST(DiffState, ApplyEdgeWithinEqualRunSplitsIt) {
+  // Two vertices at 0: one becomes +1 (source), the other −1 (target).
+  DiffState s = DiffState::from_diffs({0, 0});
+  s.apply_edge(0, 1);
+  EXPECT_EQ(s.diffs(), (std::vector<std::int64_t>{1, -1}));
+  EXPECT_TRUE(s.invariants_hold());
+}
+
+TEST(DiffState, ApplyEdgeKeepsSortednessAcrossRuns) {
+  DiffState s = DiffState::from_diffs({2, 2, 0, 0, -4});
+  s.apply_edge(1, 4);  // rank-1 (value 2) down, rank-4 (value −4) up
+  EXPECT_EQ(s.diffs(), (std::vector<std::int64_t>{2, 1, 0, 0, -3}));
+  EXPECT_TRUE(s.invariants_hold());
+}
+
+TEST(DiffState, DistanceIsHalfL1) {
+  const DiffState a = DiffState::from_diffs({2, 0, -2});
+  const DiffState b = DiffState::from_diffs({1, 0, -1});
+  EXPECT_EQ(a.distance(b), 1);
+  EXPECT_EQ(b.distance(a), 1);
+  EXPECT_EQ(a.distance(a), 0);
+}
+
+TEST(DiffState, StepPreservesInvariants) {
+  rng::Xoshiro256PlusPlus eng(12);
+  DiffState s = DiffState::spread(16, 8);
+  for (int t = 0; t < 20000; ++t) {
+    s.step(eng);
+    if (t % 1000 == 0) {
+      ASSERT_TRUE(s.invariants_hold());
+    }
+  }
+  EXPECT_TRUE(s.invariants_hold());
+}
+
+TEST(DiffState, GreedyDrivesUnfairnessDown) {
+  rng::Xoshiro256PlusPlus eng(13);
+  DiffState s = DiffState::spread(32, 16);
+  ASSERT_EQ(s.unfairness(), 16);
+  for (int t = 0; t < 60000; ++t) s.step(eng);
+  EXPECT_LE(s.unfairness(), 4) << "greedy failed to rebalance";
+}
+
+TEST(DiffState, PickPairIsUniformOverOrderedPairs) {
+  rng::Xoshiro256PlusPlus eng(14);
+  const DiffState s(4);
+  // 6 ordered pairs for n = 4; chi-square against uniform.
+  std::vector<std::int64_t> counts(6, 0);
+  auto index = [](std::size_t a, std::size_t b) {
+    // (0,1)(0,2)(0,3)(1,2)(1,3)(2,3)
+    static constexpr int map[4][4] = {{-1, 0, 1, 2},
+                                      {-1, -1, 3, 4},
+                                      {-1, -1, -1, 5},
+                                      {-1, -1, -1, -1}};
+    return map[a][b];
+  };
+  constexpr int kSamples = 60000;
+  for (int i = 0; i < kSamples; ++i) {
+    const auto [a, b] = s.pick_pair(eng);
+    ASSERT_LT(a, b);
+    ++counts[static_cast<std::size_t>(index(a, b))];
+  }
+  const std::vector<double> expected(6, 1.0 / 6.0);
+  EXPECT_LT(stats::chi_square_statistic(counts, expected),
+            stats::chi_square_critical(5, 0.001));
+}
+
+TEST(GrandCouplingOrient, EqualCopiesStayEqual) {
+  rng::Xoshiro256PlusPlus eng(15);
+  const DiffState s = DiffState::staircase(10, 3);
+  GrandCouplingOrient c(s, s);
+  for (int t = 0; t < 5000; ++t) {
+    c.step(eng);
+    ASSERT_TRUE(c.coalesced());
+  }
+}
+
+TEST(GrandCouplingOrient, AdversarialPairCoalesces) {
+  core::CoalescenceOptions opts;
+  opts.replicas = 4;
+  opts.seed = 23;
+  opts.max_steps = 2'000'000;
+  opts.check_interval = 16;
+  opts.parallel = false;
+  const auto stats = core::measure_coalescence(
+      [](std::uint64_t) {
+        return GrandCouplingOrient(DiffState::spread(8, 4), DiffState(8));
+      },
+      opts);
+  EXPECT_EQ(stats.censored, 0);
+  EXPECT_GT(stats.steps.mean(), 0.0);
+}
+
+TEST(GreedyOrientationChain, WrapperDelegates) {
+  rng::Xoshiro256PlusPlus eng(29);
+  GreedyOrientationChain chain(DiffState::spread(12, 6));
+  for (int t = 0; t < 5000; ++t) chain.step(eng);
+  EXPECT_TRUE(chain.state().invariants_hold());
+  EXPECT_EQ(chain.vertices(), 12u);
+}
+
+}  // namespace
+}  // namespace recover::orient

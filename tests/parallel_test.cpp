@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "src/parallel/thread_pool.hpp"
+#include "src/rng/engines.hpp"
+
+namespace recover::parallel {
+namespace {
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::uint64_t kCount = 10007;
+  std::vector<std::atomic<int>> hits(kCount);
+  pool.for_each_index(kCount, [&](std::uint64_t i) { ++hits[i]; });
+  for (std::uint64_t i = 0; i < kCount; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, ZeroCountIsNoop) {
+  ThreadPool pool(2);
+  bool ran = false;
+  pool.for_each_index(0, [&](std::uint64_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, SingleThreadPoolRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.size(), 1u);
+  std::int64_t sum = 0;
+  pool.for_each_index(100, [&](std::uint64_t i) {
+    sum += static_cast<std::int64_t>(i);
+  });
+  EXPECT_EQ(sum, 4950);
+}
+
+TEST(ThreadPool, RepeatedDispatchesWork) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<std::int64_t> sum{0};
+    pool.for_each_index(1000, [&](std::uint64_t i) {
+      sum += static_cast<std::int64_t>(i);
+    });
+    ASSERT_EQ(sum.load(), 499500);
+  }
+}
+
+TEST(ThreadPool, ResultIndependentOfThreadCount) {
+  // Deterministic per-index seeding means any pool size produces the same
+  // reduction.
+  auto compute = [](unsigned threads) {
+    ThreadPool pool(threads);
+    std::vector<std::uint64_t> out(256);
+    pool.for_each_index(256, [&](std::uint64_t i) {
+      rng::Xoshiro256PlusPlus eng(rng::derive_stream_seed(42, i));
+      out[i] = eng();
+    });
+    return out;
+  };
+  EXPECT_EQ(compute(1), compute(4));
+}
+
+TEST(ParallelFor, GlobalPoolWorks) {
+  std::vector<int> marks(512, 0);
+  parallel_for(512, [&](std::uint64_t i) { marks[i] = 1; });
+  EXPECT_EQ(std::accumulate(marks.begin(), marks.end(), 0), 512);
+}
+
+}  // namespace
+}  // namespace recover::parallel

@@ -1,0 +1,184 @@
+// Tests for generalized removal policies and the generic chain/coupling.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/balls/removal_policies.hpp"
+#include "src/balls/scenario_a.hpp"
+#include "src/balls/scenario_b.hpp"
+#include "src/core/coalescence.hpp"
+#include "src/rng/engines.hpp"
+#include "src/stats/histogram.hpp"
+
+namespace recover::balls {
+namespace {
+
+TEST(RemovalPolicies, BallWeightedMatchesDefinition32) {
+  const LoadVector v = LoadVector::from_loads({6, 3, 1, 0});
+  BallWeightedRemoval policy;
+  rng::Xoshiro256PlusPlus eng(1);
+  std::vector<std::int64_t> counts(4, 0);
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) {
+    const double q = rng::uniform_real(eng);
+    ++counts[policy.pick_quantiles(v, &q)];
+  }
+  EXPECT_EQ(counts[3], 0);
+  EXPECT_NEAR(static_cast<double>(counts[0]) / kSamples, 0.6, 0.01);
+  EXPECT_NEAR(static_cast<double>(counts[1]) / kSamples, 0.3, 0.01);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / kSamples, 0.1, 0.01);
+}
+
+TEST(RemovalPolicies, NonEmptyUniformMatchesDefinition33) {
+  const LoadVector v = LoadVector::from_loads({6, 3, 1, 0});
+  NonEmptyUniformRemoval policy;
+  rng::Xoshiro256PlusPlus eng(2);
+  std::vector<std::int64_t> counts(4, 0);
+  constexpr int kSamples = 90000;
+  for (int i = 0; i < kSamples; ++i) {
+    const double q = rng::uniform_real(eng);
+    ++counts[policy.pick_quantiles(v, &q)];
+  }
+  EXPECT_EQ(counts[3], 0);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(static_cast<double>(counts[i]) / kSamples, 1.0 / 3.0, 0.01);
+  }
+}
+
+TEST(RemovalPolicies, MaxOfDPrefersFullBins) {
+  // With d quantiles the chosen index is the minimum, i.e. the fullest
+  // sampled bin: P(index 0) = 1 - (1 - 1/s)^d.
+  const LoadVector v = LoadVector::from_loads({6, 3, 1, 0});
+  MaxOfDNonEmptyRemoval<3> policy;
+  rng::Xoshiro256PlusPlus eng(3);
+  std::int64_t zero_picks = 0;
+  constexpr int kSamples = 90000;
+  for (int i = 0; i < kSamples; ++i) {
+    double q[3] = {rng::uniform_real(eng), rng::uniform_real(eng),
+                   rng::uniform_real(eng)};
+    if (policy.pick_quantiles(v, q) == 0) ++zero_picks;
+  }
+  const double expected = 1.0 - std::pow(2.0 / 3.0, 3);
+  EXPECT_NEAR(static_cast<double>(zero_picks) / kSamples, expected, 0.01);
+}
+
+TEST(RemovalPolicies, HeaviestAlwaysPicksIndexZero) {
+  const LoadVector v = LoadVector::from_loads({6, 3, 1, 0});
+  HeaviestBinRemoval policy;
+  EXPECT_EQ(policy.pick_quantiles(v, nullptr), 0u);
+}
+
+TEST(GeneralChain, ReducesToScenarioAInLaw) {
+  // GeneralChain<BallWeightedRemoval> must match ScenarioAChain's law.
+  const std::size_t n = 5;
+  const std::int64_t m = 10;
+  const LoadVector start = LoadVector::piled(n, m, 2);
+  rng::Xoshiro256PlusPlus eng(5);
+  stats::IntHistogram general, reference;
+  constexpr int kTrials = 15000;
+  constexpr int kSteps = 4;
+  for (int rep = 0; rep < kTrials; ++rep) {
+    GeneralChain<BallWeightedRemoval, AbkuRule> g(start, BallWeightedRemoval{},
+                                                  AbkuRule(2));
+    for (int t = 0; t < kSteps; ++t) g.step(eng);
+    general.add(g.state().max_load() * 10 +
+                static_cast<std::int64_t>(g.state().nonempty_count()));
+    ScenarioAChain<AbkuRule> a(start, AbkuRule(2));
+    for (int t = 0; t < kSteps; ++t) a.step(eng);
+    reference.add(a.state().max_load() * 10 +
+                  static_cast<std::int64_t>(a.state().nonempty_count()));
+  }
+  EXPECT_LT(stats::tv_distance(general, reference), 0.03);
+}
+
+TEST(GeneralChain, AllPoliciesConserveBalls) {
+  const std::size_t n = 8;
+  const std::int64_t m = 24;
+  rng::Xoshiro256PlusPlus eng(6);
+  const LoadVector start = LoadVector::all_in_one(n, m);
+  GeneralChain<MaxOfDNonEmptyRemoval<2>, AbkuRule> g1(
+      start, MaxOfDNonEmptyRemoval<2>{}, AbkuRule(2));
+  GeneralChain<HeaviestBinRemoval, AbkuRule> g2(start, HeaviestBinRemoval{},
+                                                AbkuRule(2));
+  for (int t = 0; t < 3000; ++t) {
+    g1.step(eng);
+    g2.step(eng);
+  }
+  EXPECT_EQ(g1.balls(), m);
+  EXPECT_EQ(g2.balls(), m);
+  EXPECT_TRUE(g1.state().invariants_hold());
+  EXPECT_TRUE(g2.state().invariants_hold());
+}
+
+TEST(GeneralChain, HeaviestRemovalFlattensCrashFast) {
+  // Greedy repair drains the crashed bin once per step: the max load
+  // falls from m to ~m/k within ~m steps — much faster than scenario B.
+  const std::size_t n = 16;
+  const std::int64_t m = 64;
+  rng::Xoshiro256PlusPlus eng(7);
+  GeneralChain<HeaviestBinRemoval, AbkuRule> g(LoadVector::all_in_one(n, m),
+                                               HeaviestBinRemoval{},
+                                               AbkuRule(2));
+  for (std::int64_t t = 0; t < 3 * m; ++t) g.step(eng);
+  EXPECT_LE(g.state().max_load(), 8);
+}
+
+TEST(GeneralGrandCoupling, EqualCopiesStayEqualForEveryPolicy) {
+  const LoadVector v = LoadVector::piled(6, 12, 2);
+  rng::Xoshiro256PlusPlus eng(8);
+  GeneralGrandCoupling<MaxOfDNonEmptyRemoval<2>, AbkuRule> c(
+      v, v, MaxOfDNonEmptyRemoval<2>{}, AbkuRule(2));
+  for (int t = 0; t < 2000; ++t) {
+    c.step(eng);
+    ASSERT_TRUE(c.coalesced());
+  }
+}
+
+TEST(GeneralGrandCoupling, MatchesGrandCouplingBInLaw) {
+  // The quantile construction for NonEmptyUniformRemoval is exactly the
+  // GrandCouplingB removal; coalescence time distributions must agree.
+  core::CoalescenceOptions opts;
+  opts.replicas = 24;
+  opts.seed = 99;
+  opts.max_steps = 500000;
+  opts.parallel = false;
+  const auto general = core::measure_coalescence(
+      [&](std::uint64_t) {
+        return GeneralGrandCoupling<NonEmptyUniformRemoval, AbkuRule>(
+            LoadVector::all_in_one(8, 16), LoadVector::balanced(8, 16),
+            NonEmptyUniformRemoval{}, AbkuRule(2));
+      },
+      opts);
+  EXPECT_EQ(general.censored, 0);
+  EXPECT_GT(general.steps.mean(), 0.0);
+}
+
+TEST(GeneralGrandCoupling, ActiveRemovalCoalescesFasterThanScenarioB) {
+  core::CoalescenceOptions opts;
+  opts.replicas = 16;
+  opts.seed = 31;
+  opts.max_steps = 1'000'000;
+  opts.parallel = false;
+  const std::size_t n = 12;
+  const std::int64_t m = 24;
+  const auto passive = core::measure_coalescence(
+      [&](std::uint64_t) {
+        return GeneralGrandCoupling<NonEmptyUniformRemoval, AbkuRule>(
+            LoadVector::all_in_one(n, m), LoadVector::balanced(n, m),
+            NonEmptyUniformRemoval{}, AbkuRule(2));
+      },
+      opts);
+  const auto active = core::measure_coalescence(
+      [&](std::uint64_t) {
+        return GeneralGrandCoupling<MaxOfDNonEmptyRemoval<2>, AbkuRule>(
+            LoadVector::all_in_one(n, m), LoadVector::balanced(n, m),
+            MaxOfDNonEmptyRemoval<2>{}, AbkuRule(2));
+      },
+      opts);
+  ASSERT_EQ(passive.censored, 0);
+  ASSERT_EQ(active.censored, 0);
+  EXPECT_LT(active.steps.mean(), passive.steps.mean());
+}
+
+}  // namespace
+}  // namespace recover::balls

@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/balls/random_states.hpp"
+#include "src/balls/scenario_a.hpp"
+#include "src/balls/scenario_b.hpp"
+#include "src/balls/static_alloc.hpp"
+#include "src/rng/engines.hpp"
+#include "src/stats/histogram.hpp"
+#include "src/stats/summary.hpp"
+
+namespace recover::balls {
+namespace {
+
+TEST(ScenarioA, PreservesBallCountAndInvariants) {
+  rng::Xoshiro256PlusPlus eng(3);
+  ScenarioAChain<AbkuRule> chain(LoadVector::all_in_one(8, 24), AbkuRule(2));
+  for (int t = 0; t < 2000; ++t) chain.step(eng);
+  EXPECT_EQ(chain.balls(), 24);
+  EXPECT_TRUE(chain.state().invariants_hold());
+}
+
+TEST(ScenarioB, PreservesBallCountAndInvariants) {
+  rng::Xoshiro256PlusPlus eng(4);
+  ScenarioBChain<AbkuRule> chain(LoadVector::all_in_one(8, 24), AbkuRule(2));
+  for (int t = 0; t < 2000; ++t) chain.step(eng);
+  EXPECT_EQ(chain.balls(), 24);
+  EXPECT_TRUE(chain.state().invariants_hold());
+}
+
+TEST(ScenarioA, WorksWithAdaptiveRule) {
+  rng::Xoshiro256PlusPlus eng(5);
+  ScenarioAChain<AdapRule> chain(
+      LoadVector::balanced(10, 10),
+      AdapRule{ThresholdSchedule::linear(1, 1, 4)});
+  for (int t = 0; t < 2000; ++t) chain.step(eng);
+  EXPECT_EQ(chain.balls(), 10);
+  EXPECT_TRUE(chain.state().invariants_hold());
+}
+
+TEST(ScenarioB, SingleBallNeverLost) {
+  // m = 1 exercises the s = 1 boundary of ℬ(v) on every step.
+  rng::Xoshiro256PlusPlus eng(6);
+  ScenarioBChain<AbkuRule> chain(LoadVector::all_in_one(4, 1), AbkuRule(2));
+  for (int t = 0; t < 500; ++t) {
+    chain.step(eng);
+    ASSERT_EQ(chain.balls(), 1);
+    ASSERT_TRUE(chain.state().invariants_hold());
+  }
+}
+
+TEST(RemovalPmf, ScenarioAIsBallWeighted) {
+  const LoadVector v = LoadVector::from_loads({3, 1, 0});
+  const auto pmf = scenario_a_removal_pmf(v);
+  EXPECT_DOUBLE_EQ(pmf[0], 0.75);
+  EXPECT_DOUBLE_EQ(pmf[1], 0.25);
+  EXPECT_DOUBLE_EQ(pmf[2], 0.0);
+}
+
+TEST(RemovalPmf, ScenarioBIsNonEmptyUniform) {
+  const LoadVector v = LoadVector::from_loads({3, 1, 0});
+  const auto pmf = scenario_b_removal_pmf(v);
+  EXPECT_DOUBLE_EQ(pmf[0], 0.5);
+  EXPECT_DOUBLE_EQ(pmf[1], 0.5);
+  EXPECT_DOUBLE_EQ(pmf[2], 0.0);
+}
+
+TEST(ScenarioA, StationaryMaxLoadDropsWithTwoChoices) {
+  // The qualitative Azar et al. result: after burn-in, d = 2 keeps the
+  // max load far below d = 1 at m = n.
+  const std::size_t n = 256;
+  const auto run = [&](int d, std::uint64_t seed) {
+    rng::Xoshiro256PlusPlus eng(seed);
+    ScenarioAChain<AbkuRule> chain(
+        LoadVector::balanced(n, static_cast<std::int64_t>(n)), AbkuRule(d));
+    for (int t = 0; t < 30000; ++t) chain.step(eng);
+    stats::IntHistogram h;
+    for (int t = 0; t < 20000; ++t) {
+      chain.step(eng);
+      if (t % 20 == 0) h.add(chain.state().max_load());
+    }
+    return h.mean();
+  };
+  const double one_choice = run(1, 11);
+  const double two_choice = run(2, 12);
+  EXPECT_LT(two_choice + 1.0, one_choice);
+  EXPECT_LE(two_choice, 6.0);
+}
+
+TEST(StaticAlloc, BallConservationAndSkew) {
+  rng::Xoshiro256PlusPlus eng(21);
+  const LoadVector v = allocate_static(64, 64, AbkuRule(2), eng);
+  EXPECT_EQ(v.balls(), 64);
+  EXPECT_TRUE(v.invariants_hold());
+  const LoadVector u = allocate_uniform(64, 64, eng);
+  EXPECT_EQ(u.balls(), 64);
+}
+
+TEST(StaticAlloc, TwoChoicesBeatOneChoice) {
+  rng::Xoshiro256PlusPlus eng(22);
+  stats::Summary one, two;
+  const std::size_t n = 512;
+  for (int rep = 0; rep < 10; ++rep) {
+    one.add(static_cast<double>(
+        allocate_uniform(n, static_cast<std::int64_t>(n), eng).max_load()));
+    two.add(static_cast<double>(
+        allocate_static(n, static_cast<std::int64_t>(n), AbkuRule(2), eng)
+            .max_load()));
+  }
+  EXPECT_LT(two.mean(), one.mean());
+}
+
+TEST(StaticAlloc, PredictionsOrdered) {
+  // ln n / ln ln n ≫ ln ln n / ln d for moderate n.
+  EXPECT_GT(predicted_max_load_one_choice(1024),
+            predicted_max_load_abku(1024, 2));
+  EXPECT_GT(predicted_max_load_abku(1024, 2),
+            predicted_max_load_abku(1024, 4));
+}
+
+struct SweepParam {
+  std::size_t n;
+  std::int64_t m;
+  int d;
+};
+
+class ScenarioSweepTest : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(ScenarioSweepTest, BothScenariosConserveInvariantsUnderSweep) {
+  const auto [n, m, d] = GetParam();
+  rng::Xoshiro256PlusPlus eng(n * 7919 + static_cast<std::uint64_t>(m));
+  ScenarioAChain<AbkuRule> a(LoadVector::piled(n, m, std::max<std::size_t>(
+                                                         1, n / 3)),
+                             AbkuRule(d));
+  ScenarioBChain<AbkuRule> b(LoadVector::piled(n, m, std::max<std::size_t>(
+                                                         1, n / 3)),
+                             AbkuRule(d));
+  for (int t = 0; t < 1500; ++t) {
+    a.step(eng);
+    b.step(eng);
+  }
+  EXPECT_TRUE(a.state().invariants_hold());
+  EXPECT_TRUE(b.state().invariants_hold());
+  EXPECT_EQ(a.balls(), m);
+  EXPECT_EQ(b.balls(), m);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ScenarioSweepTest,
+    ::testing::Values(SweepParam{2, 2, 1}, SweepParam{4, 16, 2},
+                      SweepParam{16, 8, 2}, SweepParam{32, 32, 3},
+                      SweepParam{64, 200, 2}, SweepParam{7, 13, 4}));
+
+}  // namespace
+}  // namespace recover::balls

@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "src/rng/distributions.hpp"
+#include "src/rng/engines.hpp"
+#include "src/stats/histogram.hpp"
+#include "src/stats/quantile.hpp"
+#include "src/stats/regression.hpp"
+#include "src/stats/summary.hpp"
+
+namespace recover::stats {
+namespace {
+
+TEST(Summary, MeanVarianceMinMax) {
+  Summary s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // unbiased
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(Summary, MergeEqualsConcatenation) {
+  Summary a, b, all;
+  for (int i = 0; i < 50; ++i) {
+    const double x = std::sin(i) * 10;
+    (i % 2 == 0 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(Summary, MergeWithEmptyIsIdentity) {
+  Summary a, empty;
+  a.add(1.0);
+  a.add(3.0);
+  const double mean = a.mean();
+  a.merge(empty);
+  EXPECT_DOUBLE_EQ(a.mean(), mean);
+  Summary b;
+  b.merge(a);
+  EXPECT_DOUBLE_EQ(b.mean(), mean);
+}
+
+TEST(NormalQuantile, MatchesKnownValues) {
+  EXPECT_NEAR(normal_quantile(0.5), 0.0, 1e-9);
+  EXPECT_NEAR(normal_quantile(0.975), 1.959964, 1e-4);
+  EXPECT_NEAR(normal_quantile(0.995), 2.575829, 1e-4);
+  EXPECT_NEAR(normal_quantile(0.025), -1.959964, 1e-4);
+}
+
+TEST(StudentT, MatchesTableAt95) {
+  EXPECT_NEAR(student_t_critical(1, 0.95), 12.706, 1e-2);
+  EXPECT_NEAR(student_t_critical(5, 0.95), 2.571, 1e-2);
+  EXPECT_NEAR(student_t_critical(30, 0.95), 2.042, 0.02);
+  EXPECT_NEAR(student_t_critical(1000, 0.95), 1.96, 0.01);
+}
+
+TEST(Summary, CiShrinksWithSamples) {
+  rng::Xoshiro256PlusPlus eng(5);
+  Summary small, big;
+  for (int i = 0; i < 10; ++i) small.add(rng::uniform_real(eng));
+  for (int i = 0; i < 1000; ++i) big.add(rng::uniform_real(eng));
+  EXPECT_GT(small.ci_halfwidth(), big.ci_halfwidth());
+}
+
+TEST(ChiSquare, CriticalValueSanity) {
+  // chi2 with k dof has mean k; the 0.1% critical point is well above.
+  EXPECT_GT(chi_square_critical(10, 0.001), 10.0);
+  EXPECT_LT(chi_square_critical(10, 0.5), chi_square_critical(10, 0.001));
+  EXPECT_NEAR(chi_square_critical(9, 0.05), 16.92, 0.5);
+}
+
+TEST(IntHistogram, CountsAndQuantiles) {
+  IntHistogram h;
+  h.add(1, 3);
+  h.add(5, 1);
+  h.add(2, 6);
+  EXPECT_EQ(h.total(), 10);
+  EXPECT_EQ(h.count(2), 6);
+  EXPECT_EQ(h.min(), 1);
+  EXPECT_EQ(h.max(), 5);
+  EXPECT_NEAR(h.mean(), (3 * 1 + 6 * 2 + 5) / 10.0, 1e-12);
+  EXPECT_EQ(h.quantile(0.0), 1);
+  EXPECT_EQ(h.quantile(0.3), 1);
+  EXPECT_EQ(h.quantile(0.9), 2);
+  EXPECT_EQ(h.quantile(1.0), 5);
+}
+
+TEST(TvDistance, IdenticalIsZeroDisjointIsOne) {
+  IntHistogram a, b, c;
+  a.add(1, 5);
+  b.add(1, 10);
+  c.add(2, 4);
+  EXPECT_DOUBLE_EQ(tv_distance(a, b), 0.0);
+  EXPECT_DOUBLE_EQ(tv_distance(a, c), 1.0);
+}
+
+TEST(TvDistance, HalfL1OnVectors) {
+  const std::vector<double> p = {0.5, 0.5, 0.0};
+  const std::vector<double> q = {0.25, 0.25, 0.5};
+  EXPECT_DOUBLE_EQ(tv_distance(p, q), 0.5);
+}
+
+TEST(LinearFit, RecoversExactLine) {
+  const std::vector<double> x = {1, 2, 3, 4, 5};
+  const std::vector<double> y = {3, 5, 7, 9, 11};  // y = 2x + 1
+  const LinearFit fit = linear_fit(x, y);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(LogLogFit, RecoversPowerLawExponent) {
+  std::vector<double> x, y;
+  for (double v = 8; v <= 1024; v *= 2) {
+    x.push_back(v);
+    y.push_back(3.5 * std::pow(v, 1.75));
+  }
+  const LinearFit fit = loglog_fit(x, y);
+  EXPECT_NEAR(fit.slope, 1.75, 1e-9);
+  EXPECT_NEAR(std::exp(fit.intercept), 3.5, 1e-6);
+}
+
+TEST(RatioDispersion, ZeroWhenProportional) {
+  const std::vector<double> y = {2, 4, 8};
+  const std::vector<double> f = {1, 2, 4};
+  EXPECT_NEAR(ratio_dispersion(y, f), 0.0, 1e-12);
+  const std::vector<double> g = {1, 1, 1};
+  EXPECT_GT(ratio_dispersion(y, g), 0.5);
+}
+
+TEST(P2Quantile, ExactForSmallSamples) {
+  P2Quantile q(0.5);
+  q.add(5);
+  EXPECT_DOUBLE_EQ(q.value(), 5.0);
+  q.add(1);
+  q.add(9);
+  // Median of {1,5,9} is 5.
+  EXPECT_DOUBLE_EQ(q.value(), 5.0);
+}
+
+TEST(P2Quantile, ApproximatesUniformQuantiles) {
+  rng::Xoshiro256PlusPlus eng(77);
+  P2Quantile q50(0.5), q95(0.95);
+  for (int i = 0; i < 50000; ++i) {
+    const double x = rng::uniform_real(eng);
+    q50.add(x);
+    q95.add(x);
+  }
+  EXPECT_NEAR(q50.value(), 0.5, 0.02);
+  EXPECT_NEAR(q95.value(), 0.95, 0.02);
+}
+
+class P2SweepTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(P2SweepTest, TracksNormalQuantile) {
+  const double q = GetParam();
+  rng::Xoshiro256PlusPlus eng(101);
+  P2Quantile est(q);
+  for (int i = 0; i < 80000; ++i) {
+    // Box-Muller-free normal via sum of uniforms (Irwin–Hall, k = 12).
+    double s = 0;
+    for (int k = 0; k < 12; ++k) s += rng::uniform_real(eng);
+    est.add(s - 6.0);
+  }
+  EXPECT_NEAR(est.value(), normal_quantile(q), 0.08);
+}
+
+INSTANTIATE_TEST_SUITE_P(Quantiles, P2SweepTest,
+                         ::testing::Values(0.1, 0.25, 0.5, 0.75, 0.9));
+
+}  // namespace
+}  // namespace recover::stats

@@ -1,0 +1,96 @@
+// Tests for the empirical TV-curve mixing estimator.
+#include <gtest/gtest.h>
+
+#include "src/balls/scenario_a.hpp"
+#include "src/core/tv_mixing.hpp"
+
+namespace recover::core {
+namespace {
+
+TEST(GeometricCheckpoints, CoversRangeMonotonically) {
+  const auto cps = geometric_checkpoints(4, 2.0, 100);
+  ASSERT_FALSE(cps.empty());
+  EXPECT_EQ(cps.front(), 4);
+  EXPECT_EQ(cps.back(), 100);
+  for (std::size_t i = 1; i < cps.size(); ++i) {
+    EXPECT_GT(cps[i], cps[i - 1]);
+  }
+}
+
+TEST(GeometricCheckpoints, SlowRatioDeduplicates) {
+  const auto cps = geometric_checkpoints(1, 1.3, 10);
+  for (std::size_t i = 1; i < cps.size(); ++i) {
+    EXPECT_GT(cps[i], cps[i - 1]);
+  }
+  EXPECT_EQ(cps.back(), 10);
+}
+
+TEST(FirstBelow, FindsCrossing) {
+  const std::vector<TvCurvePoint> curve = {{1, 0.9}, {2, 0.5}, {4, 0.2},
+                                           {8, 0.05}};
+  EXPECT_EQ(first_below(curve, 0.25), 4);
+  EXPECT_EQ(first_below(curve, 0.01), -1);
+  EXPECT_EQ(first_below(curve, 1.0), 1);
+}
+
+TEST(TvCurve, SameStartGivesNearZeroCurve) {
+  const std::size_t n = 6;
+  const std::int64_t m = 12;
+  auto make = [&](int) {
+    return balls::ScenarioAChain<balls::AbkuRule>(
+        balls::LoadVector::balanced(n, m), balls::AbkuRule(2));
+  };
+  const auto curve = estimate_tv_curve(
+      make, make,
+      [](const auto& c) { return c.state().max_load(); },
+      {5, 20, 80}, 400, 3, /*parallel=*/false);
+  for (const auto& p : curve) {
+    // Same law on both sides: only sampling noise remains.
+    EXPECT_LT(p.tv, 0.15) << "t=" << p.t;
+  }
+}
+
+TEST(TvCurve, DistinctStartsDecayTowardZero) {
+  const std::size_t n = 8;
+  const std::int64_t m = 16;
+  const auto curve = estimate_tv_curve(
+      [&](int) {
+        return balls::ScenarioAChain<balls::AbkuRule>(
+            balls::LoadVector::all_in_one(n, m), balls::AbkuRule(2));
+      },
+      [&](int) {
+        return balls::ScenarioAChain<balls::AbkuRule>(
+            balls::LoadVector::balanced(n, m), balls::AbkuRule(2));
+      },
+      [](const auto& c) { return c.state().max_load(); },
+      {1, 8, 64, 512}, 600, 7, /*parallel=*/false);
+  // Far apart at t = 1 (max loads 15-16 vs ~2-4), indistinguishable by
+  // t = 512 >> m ln m.
+  EXPECT_GT(curve.front().tv, 0.8);
+  EXPECT_LT(curve.back().tv, 0.15);
+}
+
+TEST(TvCurve, DeterministicGivenSeed) {
+  const std::size_t n = 5;
+  const std::int64_t m = 5;
+  auto make_x = [&](int) {
+    return balls::ScenarioAChain<balls::AbkuRule>(
+        balls::LoadVector::all_in_one(n, m), balls::AbkuRule(2));
+  };
+  auto make_y = [&](int) {
+    return balls::ScenarioAChain<balls::AbkuRule>(
+        balls::LoadVector::balanced(n, m), balls::AbkuRule(2));
+  };
+  auto obs = [](const auto& c) { return c.state().max_load(); };
+  const auto c1 =
+      estimate_tv_curve(make_x, make_y, obs, {2, 10}, 100, 5, false);
+  const auto c2 =
+      estimate_tv_curve(make_x, make_y, obs, {2, 10}, 100, 5, true);
+  ASSERT_EQ(c1.size(), c2.size());
+  for (std::size_t i = 0; i < c1.size(); ++i) {
+    EXPECT_DOUBLE_EQ(c1[i].tv, c2[i].tv) << "thread count changed results";
+  }
+}
+
+}  // namespace
+}  // namespace recover::core

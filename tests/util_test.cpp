@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/util/cli.hpp"
+#include "src/util/sparkline.hpp"
+#include "src/util/table.hpp"
+#include "src/util/timer.hpp"
+
+namespace recover::util {
+namespace {
+
+TEST(FormatDouble, FixedPrecision) {
+  EXPECT_EQ(format_double(1.0, 3), "1.000");
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(-0.5, 1), "-0.5");
+  EXPECT_EQ(format_double(0.0, 0), "0");
+}
+
+TEST(Table, StoresCellsRowMajor) {
+  Table t({"a", "b"});
+  t.row().add("x").integer(42);
+  t.row().num(1.5, 1).add("y");
+  ASSERT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t.cell(0, 0), "x");
+  EXPECT_EQ(t.cell(0, 1), "42");
+  EXPECT_EQ(t.cell(1, 0), "1.5");
+  EXPECT_EQ(t.cell(1, 1), "y");
+}
+
+TEST(Table, PrintAlignsColumns) {
+  Table t({"name", "v"});
+  t.row().add("long-name").integer(7);
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("long-name"), std::string::npos);
+  EXPECT_NE(s.find("-----"), std::string::npos);
+}
+
+TEST(Table, CsvOutput) {
+  Table t({"x", "y"});
+  t.row().integer(1).integer(2);
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "x,y\n1,2\n");
+}
+
+TEST(Cli, DefaultsApplyWithoutArgs) {
+  Cli cli("prog", "test");
+  cli.flag("n", "bins", "8");
+  const char* argv[] = {"prog"};
+  cli.parse(1, argv);
+  EXPECT_EQ(cli.integer("n"), 8);
+}
+
+TEST(Cli, ParsesEqualsAndSpaceForms) {
+  Cli cli("prog", "test");
+  cli.flag("n", "bins", "8").flag("eps", "epsilon", "0.25").flag(
+      "verbose", "chatty", "false");
+  const char* argv[] = {"prog", "--n=32", "--eps", "0.5", "--verbose"};
+  cli.parse(5, argv);
+  EXPECT_EQ(cli.integer("n"), 32);
+  EXPECT_DOUBLE_EQ(cli.real("eps"), 0.5);
+  EXPECT_TRUE(cli.boolean("verbose"));
+}
+
+TEST(Cli, IntListSplitsOnCommas) {
+  Cli cli("prog", "test");
+  cli.flag("sizes", "sweep", "1,2,3");
+  const char* argv[] = {"prog", "--sizes=64,128,256"};
+  cli.parse(2, argv);
+  const auto v = cli.int_list("sizes");
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], 64);
+  EXPECT_EQ(v[2], 256);
+}
+
+TEST(Sparkline, EmptyAndFlatSeries) {
+  EXPECT_EQ(sparkline({}), "");
+  const std::string flat = sparkline({2.0, 2.0, 2.0});
+  // Three identical midline glyphs.
+  EXPECT_EQ(flat, "▄▄▄");
+}
+
+TEST(Sparkline, MonotoneRampUsesFullRange) {
+  const std::string ramp = sparkline({0, 1, 2, 3, 4, 5, 6, 7});
+  EXPECT_EQ(ramp, "▁▂▃▄▅▆▇█");
+}
+
+TEST(Sparkline, DownsamplingKeepsSpikes) {
+  std::vector<double> series(100, 0.0);
+  series[57] = 10.0;  // lone spike must survive max-pooling
+  const std::string s = sparkline(series, 10);
+  EXPECT_NE(s.find("█"), std::string::npos);
+}
+
+TEST(BarChart, ScalesToMaximum) {
+  const std::string chart = bar_chart({{"a", 2.0}, {"bb", 4.0}}, 8);
+  EXPECT_NE(chart.find("a   2.000  |####\n"), std::string::npos);
+  EXPECT_NE(chart.find("bb  4.000  |########\n"), std::string::npos);
+}
+
+TEST(BarChart, HandlesAllZeroValues) {
+  const std::string chart = bar_chart({{"x", 0.0}}, 8);
+  EXPECT_NE(chart.find("x  0.000  |\n"), std::string::npos);
+}
+
+TEST(Timer, MeasuresNonNegativeTime) {
+  Timer timer;
+  volatile double sink = 0;
+  for (int i = 0; i < 1000; ++i) sink = sink + static_cast<double>(i);
+  EXPECT_GE(timer.seconds(), 0.0);
+  timer.reset();
+  EXPECT_GE(timer.seconds(), 0.0);
+  EXPECT_LT(timer.seconds(), 10.0);
+}
+
+}  // namespace
+}  // namespace recover::util
