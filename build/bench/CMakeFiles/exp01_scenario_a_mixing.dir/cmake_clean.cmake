@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp01_scenario_a_mixing.dir/exp01_scenario_a_mixing.cpp.o"
+  "CMakeFiles/exp01_scenario_a_mixing.dir/exp01_scenario_a_mixing.cpp.o.d"
+  "exp01_scenario_a_mixing"
+  "exp01_scenario_a_mixing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp01_scenario_a_mixing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

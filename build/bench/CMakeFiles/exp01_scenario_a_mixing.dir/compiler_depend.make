@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for exp01_scenario_a_mixing.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp02_scenario_a_tightness.dir/exp02_scenario_a_tightness.cpp.o"
+  "CMakeFiles/exp02_scenario_a_tightness.dir/exp02_scenario_a_tightness.cpp.o.d"
+  "exp02_scenario_a_tightness"
+  "exp02_scenario_a_tightness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp02_scenario_a_tightness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

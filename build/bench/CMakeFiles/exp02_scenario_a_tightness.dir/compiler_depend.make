@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for exp02_scenario_a_tightness.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for exp02_scenario_a_tightness.
+# This may be replaced when dependencies are built.

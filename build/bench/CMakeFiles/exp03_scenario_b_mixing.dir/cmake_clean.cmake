@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp03_scenario_b_mixing.dir/exp03_scenario_b_mixing.cpp.o"
+  "CMakeFiles/exp03_scenario_b_mixing.dir/exp03_scenario_b_mixing.cpp.o.d"
+  "exp03_scenario_b_mixing"
+  "exp03_scenario_b_mixing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp03_scenario_b_mixing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

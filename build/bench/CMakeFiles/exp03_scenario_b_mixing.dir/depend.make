@@ -1,0 +1,2 @@
+# Empty dependencies file for exp03_scenario_b_mixing.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp04_contraction_factors.dir/exp04_contraction_factors.cpp.o"
+  "CMakeFiles/exp04_contraction_factors.dir/exp04_contraction_factors.cpp.o.d"
+  "exp04_contraction_factors"
+  "exp04_contraction_factors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp04_contraction_factors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for exp04_contraction_factors.
+# This may be replaced when dependencies are built.

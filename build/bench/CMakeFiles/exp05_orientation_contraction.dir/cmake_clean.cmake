@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp05_orientation_contraction.dir/exp05_orientation_contraction.cpp.o"
+  "CMakeFiles/exp05_orientation_contraction.dir/exp05_orientation_contraction.cpp.o.d"
+  "exp05_orientation_contraction"
+  "exp05_orientation_contraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp05_orientation_contraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

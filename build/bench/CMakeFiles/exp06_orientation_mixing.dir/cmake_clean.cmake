@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp06_orientation_mixing.dir/exp06_orientation_mixing.cpp.o"
+  "CMakeFiles/exp06_orientation_mixing.dir/exp06_orientation_mixing.cpp.o.d"
+  "exp06_orientation_mixing"
+  "exp06_orientation_mixing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp06_orientation_mixing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

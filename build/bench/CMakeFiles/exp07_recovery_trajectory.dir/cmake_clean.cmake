@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp07_recovery_trajectory.dir/exp07_recovery_trajectory.cpp.o"
+  "CMakeFiles/exp07_recovery_trajectory.dir/exp07_recovery_trajectory.cpp.o.d"
+  "exp07_recovery_trajectory"
+  "exp07_recovery_trajectory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp07_recovery_trajectory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

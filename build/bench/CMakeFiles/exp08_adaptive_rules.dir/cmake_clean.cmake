@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp08_adaptive_rules.dir/exp08_adaptive_rules.cpp.o"
+  "CMakeFiles/exp08_adaptive_rules.dir/exp08_adaptive_rules.cpp.o.d"
+  "exp08_adaptive_rules"
+  "exp08_adaptive_rules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp08_adaptive_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for exp08_adaptive_rules.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp09_exact_small_chains.dir/exp09_exact_small_chains.cpp.o"
+  "CMakeFiles/exp09_exact_small_chains.dir/exp09_exact_small_chains.cpp.o.d"
+  "exp09_exact_small_chains"
+  "exp09_exact_small_chains.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp09_exact_small_chains.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for exp09_exact_small_chains.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp10_stationary_maxload.dir/exp10_stationary_maxload.cpp.o"
+  "CMakeFiles/exp10_stationary_maxload.dir/exp10_stationary_maxload.cpp.o.d"
+  "exp10_stationary_maxload"
+  "exp10_stationary_maxload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp10_stationary_maxload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

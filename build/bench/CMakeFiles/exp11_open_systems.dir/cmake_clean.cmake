@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp11_open_systems.dir/exp11_open_systems.cpp.o"
+  "CMakeFiles/exp11_open_systems.dir/exp11_open_systems.cpp.o.d"
+  "exp11_open_systems"
+  "exp11_open_systems.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp11_open_systems.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

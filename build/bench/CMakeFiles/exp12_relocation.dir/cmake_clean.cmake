@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp12_relocation.dir/exp12_relocation.cpp.o"
+  "CMakeFiles/exp12_relocation.dir/exp12_relocation.cpp.o.d"
+  "exp12_relocation"
+  "exp12_relocation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp12_relocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

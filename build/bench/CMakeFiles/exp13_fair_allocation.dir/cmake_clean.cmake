@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp13_fair_allocation.dir/exp13_fair_allocation.cpp.o"
+  "CMakeFiles/exp13_fair_allocation.dir/exp13_fair_allocation.cpp.o.d"
+  "exp13_fair_allocation"
+  "exp13_fair_allocation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp13_fair_allocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

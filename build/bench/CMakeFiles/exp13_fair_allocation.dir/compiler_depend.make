@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for exp13_fair_allocation.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp14_exact_orientation.dir/exp14_exact_orientation.cpp.o"
+  "CMakeFiles/exp14_exact_orientation.dir/exp14_exact_orientation.cpp.o.d"
+  "exp14_exact_orientation"
+  "exp14_exact_orientation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp14_exact_orientation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp15_removal_policies.dir/exp15_removal_policies.cpp.o"
+  "CMakeFiles/exp15_removal_policies.dir/exp15_removal_policies.cpp.o.d"
+  "exp15_removal_policies"
+  "exp15_removal_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp15_removal_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

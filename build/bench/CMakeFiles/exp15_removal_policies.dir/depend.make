@@ -1,0 +1,2 @@
+# Empty dependencies file for exp15_removal_policies.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp16_coupling_ablation.dir/exp16_coupling_ablation.cpp.o"
+  "CMakeFiles/exp16_coupling_ablation.dir/exp16_coupling_ablation.cpp.o.d"
+  "exp16_coupling_ablation"
+  "exp16_coupling_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp16_coupling_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp17_fluid_transient.dir/exp17_fluid_transient.cpp.o"
+  "CMakeFiles/exp17_fluid_transient.dir/exp17_fluid_transient.cpp.o.d"
+  "exp17_fluid_transient"
+  "exp17_fluid_transient.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp17_fluid_transient.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp18_cftp_stationary.dir/exp18_cftp_stationary.cpp.o"
+  "CMakeFiles/exp18_cftp_stationary.dir/exp18_cftp_stationary.cpp.o.d"
+  "exp18_cftp_stationary"
+  "exp18_cftp_stationary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp18_cftp_stationary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for exp18_cftp_stationary.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp19_exact_contraction.dir/exp19_exact_contraction.cpp.o"
+  "CMakeFiles/exp19_exact_contraction.dir/exp19_exact_contraction.cpp.o.d"
+  "exp19_exact_contraction"
+  "exp19_exact_contraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp19_exact_contraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for exp19_exact_contraction.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp20_worst_start.dir/exp20_worst_start.cpp.o"
+  "CMakeFiles/exp20_worst_start.dir/exp20_worst_start.cpp.o.d"
+  "exp20_worst_start"
+  "exp20_worst_start.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp20_worst_start.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for exp20_worst_start.
+# This may be replaced when dependencies are built.

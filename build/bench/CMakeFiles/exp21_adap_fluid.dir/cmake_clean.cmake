@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp21_adap_fluid.dir/exp21_adap_fluid.cpp.o"
+  "CMakeFiles/exp21_adap_fluid.dir/exp21_adap_fluid.cpp.o.d"
+  "exp21_adap_fluid"
+  "exp21_adap_fluid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp21_adap_fluid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

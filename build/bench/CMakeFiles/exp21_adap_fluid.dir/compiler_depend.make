@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for exp21_adap_fluid.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for exp21_adap_fluid.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/carpool_fairness.dir/carpool_fairness.cpp.o"
+  "CMakeFiles/carpool_fairness.dir/carpool_fairness.cpp.o.d"
+  "carpool_fairness"
+  "carpool_fairness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/carpool_fairness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

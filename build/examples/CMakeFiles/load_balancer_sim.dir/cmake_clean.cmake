@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/load_balancer_sim.dir/load_balancer_sim.cpp.o"
+  "CMakeFiles/load_balancer_sim.dir/load_balancer_sim.cpp.o.d"
+  "load_balancer_sim"
+  "load_balancer_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/load_balancer_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

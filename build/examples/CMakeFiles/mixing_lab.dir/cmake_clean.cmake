@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mixing_lab.dir/mixing_lab.cpp.o"
+  "CMakeFiles/mixing_lab.dir/mixing_lab.cpp.o.d"
+  "mixing_lab"
+  "mixing_lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mixing_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

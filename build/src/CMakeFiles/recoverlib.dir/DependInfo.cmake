@@ -1,0 +1,49 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/balls/coupling_a.cpp" "src/CMakeFiles/recoverlib.dir/balls/coupling_a.cpp.o" "gcc" "src/CMakeFiles/recoverlib.dir/balls/coupling_a.cpp.o.d"
+  "/root/repo/src/balls/exact_chain.cpp" "src/CMakeFiles/recoverlib.dir/balls/exact_chain.cpp.o" "gcc" "src/CMakeFiles/recoverlib.dir/balls/exact_chain.cpp.o.d"
+  "/root/repo/src/balls/exact_coupling_analysis.cpp" "src/CMakeFiles/recoverlib.dir/balls/exact_coupling_analysis.cpp.o" "gcc" "src/CMakeFiles/recoverlib.dir/balls/exact_coupling_analysis.cpp.o.d"
+  "/root/repo/src/balls/load_vector.cpp" "src/CMakeFiles/recoverlib.dir/balls/load_vector.cpp.o" "gcc" "src/CMakeFiles/recoverlib.dir/balls/load_vector.cpp.o.d"
+  "/root/repo/src/balls/rules.cpp" "src/CMakeFiles/recoverlib.dir/balls/rules.cpp.o" "gcc" "src/CMakeFiles/recoverlib.dir/balls/rules.cpp.o.d"
+  "/root/repo/src/balls/scenario_a.cpp" "src/CMakeFiles/recoverlib.dir/balls/scenario_a.cpp.o" "gcc" "src/CMakeFiles/recoverlib.dir/balls/scenario_a.cpp.o.d"
+  "/root/repo/src/balls/scenario_b.cpp" "src/CMakeFiles/recoverlib.dir/balls/scenario_b.cpp.o" "gcc" "src/CMakeFiles/recoverlib.dir/balls/scenario_b.cpp.o.d"
+  "/root/repo/src/balls/static_alloc.cpp" "src/CMakeFiles/recoverlib.dir/balls/static_alloc.cpp.o" "gcc" "src/CMakeFiles/recoverlib.dir/balls/static_alloc.cpp.o.d"
+  "/root/repo/src/core/coalescence.cpp" "src/CMakeFiles/recoverlib.dir/core/coalescence.cpp.o" "gcc" "src/CMakeFiles/recoverlib.dir/core/coalescence.cpp.o.d"
+  "/root/repo/src/core/exact_mixing.cpp" "src/CMakeFiles/recoverlib.dir/core/exact_mixing.cpp.o" "gcc" "src/CMakeFiles/recoverlib.dir/core/exact_mixing.cpp.o.d"
+  "/root/repo/src/core/recovery.cpp" "src/CMakeFiles/recoverlib.dir/core/recovery.cpp.o" "gcc" "src/CMakeFiles/recoverlib.dir/core/recovery.cpp.o.d"
+  "/root/repo/src/core/tv_mixing.cpp" "src/CMakeFiles/recoverlib.dir/core/tv_mixing.cpp.o" "gcc" "src/CMakeFiles/recoverlib.dir/core/tv_mixing.cpp.o.d"
+  "/root/repo/src/fluid/fluid_limit.cpp" "src/CMakeFiles/recoverlib.dir/fluid/fluid_limit.cpp.o" "gcc" "src/CMakeFiles/recoverlib.dir/fluid/fluid_limit.cpp.o.d"
+  "/root/repo/src/fluid/ode.cpp" "src/CMakeFiles/recoverlib.dir/fluid/ode.cpp.o" "gcc" "src/CMakeFiles/recoverlib.dir/fluid/ode.cpp.o.d"
+  "/root/repo/src/orient/coupling.cpp" "src/CMakeFiles/recoverlib.dir/orient/coupling.cpp.o" "gcc" "src/CMakeFiles/recoverlib.dir/orient/coupling.cpp.o.d"
+  "/root/repo/src/orient/exact_chain.cpp" "src/CMakeFiles/recoverlib.dir/orient/exact_chain.cpp.o" "gcc" "src/CMakeFiles/recoverlib.dir/orient/exact_chain.cpp.o.d"
+  "/root/repo/src/orient/greedy_graph.cpp" "src/CMakeFiles/recoverlib.dir/orient/greedy_graph.cpp.o" "gcc" "src/CMakeFiles/recoverlib.dir/orient/greedy_graph.cpp.o.d"
+  "/root/repo/src/orient/state.cpp" "src/CMakeFiles/recoverlib.dir/orient/state.cpp.o" "gcc" "src/CMakeFiles/recoverlib.dir/orient/state.cpp.o.d"
+  "/root/repo/src/parallel/thread_pool.cpp" "src/CMakeFiles/recoverlib.dir/parallel/thread_pool.cpp.o" "gcc" "src/CMakeFiles/recoverlib.dir/parallel/thread_pool.cpp.o.d"
+  "/root/repo/src/rng/alias.cpp" "src/CMakeFiles/recoverlib.dir/rng/alias.cpp.o" "gcc" "src/CMakeFiles/recoverlib.dir/rng/alias.cpp.o.d"
+  "/root/repo/src/rng/engines.cpp" "src/CMakeFiles/recoverlib.dir/rng/engines.cpp.o" "gcc" "src/CMakeFiles/recoverlib.dir/rng/engines.cpp.o.d"
+  "/root/repo/src/rng/fenwick.cpp" "src/CMakeFiles/recoverlib.dir/rng/fenwick.cpp.o" "gcc" "src/CMakeFiles/recoverlib.dir/rng/fenwick.cpp.o.d"
+  "/root/repo/src/stats/autocorr.cpp" "src/CMakeFiles/recoverlib.dir/stats/autocorr.cpp.o" "gcc" "src/CMakeFiles/recoverlib.dir/stats/autocorr.cpp.o.d"
+  "/root/repo/src/stats/bootstrap.cpp" "src/CMakeFiles/recoverlib.dir/stats/bootstrap.cpp.o" "gcc" "src/CMakeFiles/recoverlib.dir/stats/bootstrap.cpp.o.d"
+  "/root/repo/src/stats/histogram.cpp" "src/CMakeFiles/recoverlib.dir/stats/histogram.cpp.o" "gcc" "src/CMakeFiles/recoverlib.dir/stats/histogram.cpp.o.d"
+  "/root/repo/src/stats/quantile.cpp" "src/CMakeFiles/recoverlib.dir/stats/quantile.cpp.o" "gcc" "src/CMakeFiles/recoverlib.dir/stats/quantile.cpp.o.d"
+  "/root/repo/src/stats/regression.cpp" "src/CMakeFiles/recoverlib.dir/stats/regression.cpp.o" "gcc" "src/CMakeFiles/recoverlib.dir/stats/regression.cpp.o.d"
+  "/root/repo/src/stats/summary.cpp" "src/CMakeFiles/recoverlib.dir/stats/summary.cpp.o" "gcc" "src/CMakeFiles/recoverlib.dir/stats/summary.cpp.o.d"
+  "/root/repo/src/util/cli.cpp" "src/CMakeFiles/recoverlib.dir/util/cli.cpp.o" "gcc" "src/CMakeFiles/recoverlib.dir/util/cli.cpp.o.d"
+  "/root/repo/src/util/sparkline.cpp" "src/CMakeFiles/recoverlib.dir/util/sparkline.cpp.o" "gcc" "src/CMakeFiles/recoverlib.dir/util/sparkline.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/recoverlib.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/recoverlib.dir/util/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

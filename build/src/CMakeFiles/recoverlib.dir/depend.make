@@ -1,0 +1,2 @@
+# Empty dependencies file for recoverlib.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autocorr_test.dir/autocorr_test.cpp.o"
+  "CMakeFiles/autocorr_test.dir/autocorr_test.cpp.o.d"
+  "autocorr_test"
+  "autocorr_test.pdb"
+  "autocorr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autocorr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cftp_test.dir/cftp_test.cpp.o"
+  "CMakeFiles/cftp_test.dir/cftp_test.cpp.o.d"
+  "cftp_test"
+  "cftp_test.pdb"
+  "cftp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cftp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coupling_b_test.dir/coupling_b_test.cpp.o"
+  "CMakeFiles/coupling_b_test.dir/coupling_b_test.cpp.o.d"
+  "coupling_b_test"
+  "coupling_b_test.pdb"
+  "coupling_b_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coupling_b_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

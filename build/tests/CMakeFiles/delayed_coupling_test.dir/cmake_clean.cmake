@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delayed_coupling_test.dir/delayed_coupling_test.cpp.o"
+  "CMakeFiles/delayed_coupling_test.dir/delayed_coupling_test.cpp.o.d"
+  "delayed_coupling_test"
+  "delayed_coupling_test.pdb"
+  "delayed_coupling_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delayed_coupling_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

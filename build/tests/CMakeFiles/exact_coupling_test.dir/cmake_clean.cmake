@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exact_coupling_test.dir/exact_coupling_test.cpp.o"
+  "CMakeFiles/exact_coupling_test.dir/exact_coupling_test.cpp.o.d"
+  "exact_coupling_test"
+  "exact_coupling_test.pdb"
+  "exact_coupling_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exact_coupling_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exact_orientation_test.dir/exact_orientation_test.cpp.o"
+  "CMakeFiles/exact_orientation_test.dir/exact_orientation_test.cpp.o.d"
+  "exact_orientation_test"
+  "exact_orientation_test.pdb"
+  "exact_orientation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exact_orientation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

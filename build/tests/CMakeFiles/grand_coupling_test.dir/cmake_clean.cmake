@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grand_coupling_test.dir/grand_coupling_test.cpp.o"
+  "CMakeFiles/grand_coupling_test.dir/grand_coupling_test.cpp.o.d"
+  "grand_coupling_test"
+  "grand_coupling_test.pdb"
+  "grand_coupling_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grand_coupling_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

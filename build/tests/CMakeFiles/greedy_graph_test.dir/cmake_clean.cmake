@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/greedy_graph_test.dir/greedy_graph_test.cpp.o"
+  "CMakeFiles/greedy_graph_test.dir/greedy_graph_test.cpp.o.d"
+  "greedy_graph_test"
+  "greedy_graph_test.pdb"
+  "greedy_graph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/greedy_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

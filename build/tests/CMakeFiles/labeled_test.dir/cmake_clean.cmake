@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/labeled_test.dir/labeled_test.cpp.o"
+  "CMakeFiles/labeled_test.dir/labeled_test.cpp.o.d"
+  "labeled_test"
+  "labeled_test.pdb"
+  "labeled_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/labeled_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

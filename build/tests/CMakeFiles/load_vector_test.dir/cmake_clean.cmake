@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/load_vector_test.dir/load_vector_test.cpp.o"
+  "CMakeFiles/load_vector_test.dir/load_vector_test.cpp.o.d"
+  "load_vector_test"
+  "load_vector_test.pdb"
+  "load_vector_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/load_vector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

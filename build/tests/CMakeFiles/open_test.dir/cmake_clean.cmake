@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/open_test.dir/open_test.cpp.o"
+  "CMakeFiles/open_test.dir/open_test.cpp.o.d"
+  "open_test"
+  "open_test.pdb"
+  "open_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/open_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

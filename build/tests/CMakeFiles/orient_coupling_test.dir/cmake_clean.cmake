@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orient_coupling_test.dir/orient_coupling_test.cpp.o"
+  "CMakeFiles/orient_coupling_test.dir/orient_coupling_test.cpp.o.d"
+  "orient_coupling_test"
+  "orient_coupling_test.pdb"
+  "orient_coupling_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orient_coupling_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for orient_coupling_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orient_state_test.dir/orient_state_test.cpp.o"
+  "CMakeFiles/orient_state_test.dir/orient_state_test.cpp.o.d"
+  "orient_state_test"
+  "orient_state_test.pdb"
+  "orient_state_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orient_state_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/removal_policies_test.dir/removal_policies_test.cpp.o"
+  "CMakeFiles/removal_policies_test.dir/removal_policies_test.cpp.o.d"
+  "removal_policies_test"
+  "removal_policies_test.pdb"
+  "removal_policies_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/removal_policies_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

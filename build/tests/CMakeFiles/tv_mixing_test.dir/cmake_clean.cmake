@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tv_mixing_test.dir/tv_mixing_test.cpp.o"
+  "CMakeFiles/tv_mixing_test.dir/tv_mixing_test.cpp.o.d"
+  "tv_mixing_test"
+  "tv_mixing_test.pdb"
+  "tv_mixing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tv_mixing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
