@@ -9,6 +9,10 @@
 //    doubling; here we report the raw step cost);
 //  * grand-coupling step (two copies + shared probes).
 #include <benchmark/benchmark.h>
+#include <unistd.h>
+
+#include <string>
+#include <vector>
 
 #include "src/balls/grand_coupling.hpp"
 #include "src/balls/labeled.hpp"
@@ -17,9 +21,12 @@
 #include "src/balls/scenario_a.hpp"
 #include "src/balls/scenario_b.hpp"
 #include "src/core/cftp.hpp"
+#include "src/obs/run_record.hpp"
 #include "src/orient/coupling.hpp"
 #include "src/orient/state.hpp"
 #include "src/rng/engines.hpp"
+#include "src/util/cli.hpp"
+#include "src/util/table.hpp"
 
 namespace {
 
@@ -205,6 +212,62 @@ void BM_OrientationDistance(benchmark::State& state) {
 }
 BENCHMARK(BM_OrientationDistance);
 
+// Console reporter that also captures every finished benchmark into a
+// util::Table, so the run record holds exactly the rows that were
+// printed (name, iterations, adjusted real/cpu ns per iteration).
+class CapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  // Default OO_Defaults forces color codes even into pipes; only color
+  // when stdout is actually a terminal.
+  explicit CapturingReporter(recover::util::Table& table)
+      : benchmark::ConsoleReporter(isatty(fileno(stdout)) != 0
+                                       ? OO_ColorTabular
+                                       : OO_Tabular),
+        table_(table) {}
+
+  void ReportRuns(const std::vector<Run>& reports) override {
+    benchmark::ConsoleReporter::ReportRuns(reports);
+    for (const auto& r : reports) {
+      if (r.error_occurred) continue;
+      table_.row()
+          .add(r.benchmark_name())
+          .integer(static_cast<std::int64_t>(r.iterations))
+          .num(r.GetAdjustedRealTime(), 2)
+          .num(r.GetAdjustedCPUTime(), 2);
+    }
+  }
+
+ private:
+  recover::util::Table& table_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): the obs flags (--json-out,
+// --metrics, --progress) are split off first and every remaining
+// --benchmark_* token is forwarded to google-benchmark untouched.
+int main(int argc, char** argv) {
+  using namespace recover;
+
+  util::Cli cli("bench_microbench",
+                "google-benchmark micro suite: per-step costs + ablations");
+  obs::register_cli_flags(cli);
+  auto leftovers = cli.parse_known(argc, argv);
+  obs::Run run(cli);
+
+  std::string prog = cli.program();
+  std::vector<char*> bench_argv;
+  bench_argv.push_back(prog.data());
+  for (auto& token : leftovers) bench_argv.push_back(token.data());
+  int bench_argc = static_cast<int>(bench_argv.size());
+  benchmark::Initialize(&bench_argc, bench_argv.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, bench_argv.data())) {
+    return 1;
+  }
+
+  util::Table table({"benchmark", "iterations", "real_ns", "cpu_ns"});
+  CapturingReporter reporter(table);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  run.add_table("microbench", table);
+  return 0;
+}

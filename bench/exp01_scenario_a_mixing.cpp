@@ -15,6 +15,7 @@
 #include "src/balls/grand_coupling.hpp"
 #include "src/core/coalescence.hpp"
 #include "src/core/path_coupling.hpp"
+#include "src/obs/run_record.hpp"
 #include "src/stats/regression.hpp"
 #include "src/util/cli.hpp"
 #include "src/util/table.hpp"
@@ -32,7 +33,9 @@ int main(int argc, char** argv) {
   cli.flag("replicas", "coupling replicas per point", "24");
   cli.flag("seed", "rng seed", "1");
   cli.flag("csv", "emit CSV instead of a table", "false");
+  obs::register_cli_flags(cli);
   cli.parse(argc, argv);
+  obs::Run run(cli);
 
   const auto sizes = cli.int_list("sizes");
   const auto ds = cli.int_list("ds");
@@ -82,6 +85,8 @@ int main(int argc, char** argv) {
     const auto fit = stats::loglog_fit(xs, ys);
     std::printf("# d=%lld  log-log slope of T vs m: %.3f (R^2 %.4f)\n",
                 static_cast<long long>(d), fit.slope, fit.r_squared);
+    run.note("loglog_slope_d" + std::to_string(d), fit.slope);
+    run.note("loglog_r2_d" + std::to_string(d), fit.r_squared);
   }
 
   if (cli.boolean("csv")) {
@@ -89,5 +94,6 @@ int main(int argc, char** argv) {
   } else {
     table.print(std::cout);
   }
+  run.add_table("coalescence_scaling", table);
   return 0;
 }

@@ -14,6 +14,7 @@
 
 #include "src/balls/grand_coupling.hpp"
 #include "src/core/coalescence.hpp"
+#include "src/obs/run_record.hpp"
 #include "src/rng/engines.hpp"
 #include "src/stats/regression.hpp"
 #include "src/stats/summary.hpp"
@@ -29,7 +30,9 @@ int main(int argc, char** argv) {
   cli.flag("d", "ABKU choices", "2");
   cli.flag("replicas", "replicas per point", "16");
   cli.flag("seed", "rng seed", "2");
+  obs::register_cli_flags(cli);
   cli.parse(argc, argv);
+  obs::Run run(cli);
 
   const auto sizes = cli.int_list("sizes");
   const auto d = static_cast<int>(cli.integer("d"));
@@ -96,6 +99,7 @@ int main(int argc, char** argv) {
         .num(std::log(2.0) / (rate * static_cast<double>(m)), 3);
   }
   table.print(std::cout);
+  run.add_table("distance_decay", table);
   std::printf(
       "\n# Tightness: decay_rate*m ~ const and T/(m ln m) bounded away "
       "from 0 => Theorem 1 is tight up to lower-order terms.\n");

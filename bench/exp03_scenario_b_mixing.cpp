@@ -15,6 +15,7 @@
 #include "src/balls/grand_coupling.hpp"
 #include "src/core/coalescence.hpp"
 #include "src/core/path_coupling.hpp"
+#include "src/obs/run_record.hpp"
 #include "src/stats/regression.hpp"
 #include "src/util/cli.hpp"
 #include "src/util/table.hpp"
@@ -30,7 +31,9 @@ int main(int argc, char** argv) {
   cli.flag("d", "ABKU choices", "2");
   cli.flag("replicas", "replicas per point", "16");
   cli.flag("seed", "rng seed", "3");
+  obs::register_cli_flags(cli);
   cli.parse(argc, argv);
+  obs::Run run(cli);
 
   const auto sizes = cli.int_list("sizes");
   const auto densities = cli.int_list("densities");
@@ -82,9 +85,11 @@ int main(int argc, char** argv) {
       const auto fit = stats::loglog_fit(xs, ys);
       std::printf("# m/n=%lld  log-log slope of T vs m: %.3f (R^2 %.4f)\n",
                   static_cast<long long>(c), fit.slope, fit.r_squared);
+      run.note("loglog_slope_c" + std::to_string(c), fit.slope);
     }
   }
   table.print(std::cout);
+  run.add_table("coalescence_scaling", table);
   std::printf(
       "\n# Shape check: T/m^2 roughly flat (refined O~(m^2) law), far below "
       "the Claim 5.3 worst-case bound; scenario B is polynomially slower "

@@ -17,6 +17,7 @@
 #include "src/balls/random_states.hpp"
 #include "src/core/contraction.hpp"
 #include "src/core/path_coupling.hpp"
+#include "src/obs/run_record.hpp"
 #include "src/util/cli.hpp"
 #include "src/util/table.hpp"
 
@@ -30,7 +31,9 @@ int main(int argc, char** argv) {
   cli.flag("pairs", "sampled Gamma-pairs per point", "12");
   cli.flag("trials", "coupled steps per pair", "4000");
   cli.flag("seed", "rng seed", "4");
+  obs::register_cli_flags(cli);
   cli.parse(argc, argv);
+  obs::Run run(cli);
 
   const auto sizes = cli.int_list("sizes");
   const auto d = static_cast<int>(cli.integer("d"));
@@ -96,6 +99,7 @@ int main(int argc, char** argv) {
         .num(core::claim53_bound(ns, m, 0.25), 0);
   }
   table.print(std::cout);
+  run.add_table("contraction_parameters", table);
   std::printf(
       "\n# Scenario A: beta_hat tracks 1 - 1/m (Corollary 4.2) => "
       "contractive Lemma case (1).\n"

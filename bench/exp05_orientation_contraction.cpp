@@ -13,6 +13,7 @@
 #include <tuple>
 #include <vector>
 
+#include "src/obs/run_record.hpp"
 #include "src/orient/coupling.hpp"
 #include "src/rng/engines.hpp"
 #include "src/stats/summary.hpp"
@@ -28,7 +29,9 @@ int main(int argc, char** argv) {
   cli.flag("trials", "coupled steps per pair", "6000");
   cli.flag("max_pairs", "Gamma-pairs tested per state", "6");
   cli.flag("seed", "rng seed", "5");
+  obs::register_cli_flags(cli);
   cli.parse(argc, argv);
+  obs::Run run(cli);
 
   const auto sizes = cli.int_list("sizes");
   const auto trials = static_cast<int>(cli.integer("trials"));
@@ -107,6 +110,7 @@ int main(int argc, char** argv) {
     run_pairs(spairs, "Sbar");
   }
   table.print(std::cout);
+  run.add_table("coupled_step_slack", table);
   std::printf(
       "\n# Lemmas 6.2/6.3 hold iff the worst slack column is <= 0 within "
       "its 4-sigma allowance for every row.\n");

@@ -15,6 +15,7 @@
 
 #include "src/core/coalescence.hpp"
 #include "src/core/path_coupling.hpp"
+#include "src/obs/run_record.hpp"
 #include "src/orient/chain.hpp"
 #include "src/stats/regression.hpp"
 #include "src/util/cli.hpp"
@@ -29,7 +30,9 @@ int main(int argc, char** argv) {
   cli.flag("sizes", "comma-separated vertex counts", "8,12,16,24,32,48,64");
   cli.flag("replicas", "replicas per point", "12");
   cli.flag("seed", "rng seed", "6");
+  obs::register_cli_flags(cli);
   cli.parse(argc, argv);
+  obs::Run run(cli);
 
   const auto sizes = cli.int_list("sizes");
   const auto replicas = static_cast<int>(cli.integer("replicas"));
@@ -86,6 +89,7 @@ int main(int argc, char** argv) {
     }
   }
   table.print(std::cout);
+  run.add_table("coalescence_scaling", table);
   if (xs.size() >= 3) {
     const auto fit = stats::loglog_fit(xs, ys);
     std::printf(
@@ -93,6 +97,8 @@ int main(int argc, char** argv) {
         "~2 (n^2 up to polylog), Corollary 6.4 would allow 3, the old "
         "Ajtai et al. analysis 5.\n",
         fit.slope, fit.r_squared);
+    run.note("loglog_slope", fit.slope);
+    run.note("loglog_r2", fit.r_squared);
   }
   return 0;
 }

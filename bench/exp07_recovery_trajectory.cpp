@@ -18,6 +18,7 @@
 #include "src/balls/scenario_b.hpp"
 #include "src/core/recovery.hpp"
 #include "src/fluid/fluid_limit.hpp"
+#include "src/obs/run_record.hpp"
 #include "src/stats/regression.hpp"
 #include "src/util/cli.hpp"
 #include "src/util/table.hpp"
@@ -31,7 +32,9 @@ int main(int argc, char** argv) {
   cli.flag("d", "ABKU choices", "2");
   cli.flag("replicas", "replicas per point", "12");
   cli.flag("seed", "rng seed", "7");
+  obs::register_cli_flags(cli);
   cli.parse(argc, argv);
+  obs::Run run(cli);
 
   const auto sizes = cli.int_list("sizes");
   const auto d = static_cast<int>(cli.integer("d"));
@@ -97,15 +100,18 @@ int main(int argc, char** argv) {
     }
   }
   table.print(std::cout);
+  run.add_table("recovery_times", table);
   if (xa.size() >= 3) {
     const auto fa = stats::loglog_fit(xa, ya);
     std::printf("\n# scenario A slope of T vs n: %.3f (theory ~1, n ln n)\n",
                 fa.slope);
+    run.note("slope_scenario_a", fa.slope);
   }
   if (xb.size() >= 3) {
     const auto fb = stats::loglog_fit(xb, yb);
     std::printf("# scenario B slope of T vs n: %.3f (theory ~2, n^2 ln n)\n",
                 fb.slope);
+    run.note("slope_scenario_b", fb.slope);
   }
   return 0;
 }

@@ -15,6 +15,7 @@
 #include "src/balls/grand_coupling.hpp"
 #include "src/balls/scenario_a.hpp"
 #include "src/core/coalescence.hpp"
+#include "src/obs/run_record.hpp"
 #include "src/rng/engines.hpp"
 #include "src/util/cli.hpp"
 #include "src/util/table.hpp"
@@ -56,7 +57,9 @@ int main(int argc, char** argv) {
   cli.flag("sizes", "comma-separated m = n sweep", "32,64,128,256");
   cli.flag("replicas", "replicas per point", "16");
   cli.flag("seed", "rng seed", "8");
+  obs::register_cli_flags(cli);
   cli.parse(argc, argv);
+  obs::Run run(cli);
 
   const auto sizes = cli.int_list("sizes");
   const auto replicas = static_cast<int>(cli.integer("replicas"));
@@ -105,6 +108,7 @@ int main(int argc, char** argv) {
     }
   }
   table.print(std::cout);
+  run.add_table("adaptive_rules", table);
   std::printf(
       "\n# All schedules show T/(m ln m) ~ const: the recovery law depends "
       "only on right-orientedness (Lemma 3.4), not on the schedule; the "

@@ -15,6 +15,7 @@
 #include "src/balls/grand_coupling.hpp"
 #include "src/core/coalescence.hpp"
 #include "src/core/path_coupling.hpp"
+#include "src/obs/run_record.hpp"
 #include "src/util/cli.hpp"
 #include "src/util/table.hpp"
 #include "src/util/timer.hpp"
@@ -29,7 +30,9 @@ int main(int argc, char** argv) {
   cli.flag("eps", "mixing threshold", "0.25");
   cli.flag("replicas", "coupling replicas", "200");
   cli.flag("seed", "rng seed", "9");
+  obs::register_cli_flags(cli);
   cli.parse(argc, argv);
+  obs::Run run(cli);
 
   const auto sizes = cli.int_list("sizes");
   const auto d = static_cast<int>(cli.integer("d"));
@@ -92,6 +95,7 @@ int main(int argc, char** argv) {
     }
   }
   table.print(std::cout);
+  run.add_table("exact_vs_estimates", table);
   std::printf(
       "\n# Validity: exact_tau <= paper_bound on every row, and the "
       "coalescence quantiles bracket exact_tau from above (the coupling "

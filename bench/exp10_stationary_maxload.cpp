@@ -15,6 +15,7 @@
 #include "src/balls/scenario_b.hpp"
 #include "src/balls/static_alloc.hpp"
 #include "src/fluid/fluid_limit.hpp"
+#include "src/obs/run_record.hpp"
 #include "src/rng/engines.hpp"
 #include "src/stats/autocorr.hpp"
 #include "src/stats/histogram.hpp"
@@ -68,7 +69,9 @@ int main(int argc, char** argv) {
   cli.flag("ds", "comma-separated d values", "1,2,3");
   cli.flag("samples", "stationary samples per point", "300");
   cli.flag("seed", "rng seed", "10");
+  obs::register_cli_flags(cli);
   cli.parse(argc, argv);
+  obs::Run run(cli);
 
   const auto sizes = cli.int_list("sizes");
   const auto ds = cli.int_list("ds");
@@ -126,6 +129,7 @@ int main(int argc, char** argv) {
     }
   }
   table.print(std::cout);
+  run.add_table("stationary_maxload", table);
   std::printf(
       "\n# Shape: d=1 max load grows ~ln n/lnln n; d>=2 stays within O(1) "
       "of lnln n/ln d (near-flat in n) and the fluid column tracks the "

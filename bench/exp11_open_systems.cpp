@@ -15,6 +15,7 @@
 
 #include "src/core/coalescence.hpp"
 #include "src/core/tv_mixing.hpp"
+#include "src/obs/run_record.hpp"
 #include "src/open/bounded_chain.hpp"
 #include "src/open/open_chain.hpp"
 #include "src/stats/regression.hpp"
@@ -31,7 +32,9 @@ int main(int argc, char** argv) {
   cli.flag("d", "ABKU choices", "2");
   cli.flag("replicas", "replicas per point", "16");
   cli.flag("seed", "rng seed", "11");
+  obs::register_cli_flags(cli);
   cli.parse(argc, argv);
+  obs::Run run(cli);
 
   const auto n = static_cast<std::size_t>(cli.integer("n"));
   const auto loads = cli.int_list("loads");
@@ -97,6 +100,7 @@ int main(int argc, char** argv) {
     }
   }
   table.print(std::cout);
+  run.add_table("open_coupling", table);
   if (xs.size() >= 3) {
     const auto fit = stats::loglog_fit(xs, ys);
     std::printf(
@@ -105,6 +109,7 @@ int main(int argc, char** argv) {
         "TV lower estimate shows the DISTRIBUTIONS agree long before the "
         "worst coupling replicas meet.\n\n",
         fit.slope);
+    run.note("loglog_slope", fit.slope);
   }
 
   // Bounded variant (#7's first class): capping the ball count turns the
@@ -130,6 +135,7 @@ int main(int argc, char** argv) {
         .integer(stats.censored);
   }
   btable.print(std::cout);
+  run.add_table("bounded_open_coupling", btable);
   std::printf(
       "# Bounded open systems (start empty vs start at capacity): the "
       "reflected count walk meets reliably, the refinement #7 promises "

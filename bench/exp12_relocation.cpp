@@ -11,6 +11,7 @@
 
 #include "src/core/recovery.hpp"
 #include "src/fluid/fluid_limit.hpp"
+#include "src/obs/run_record.hpp"
 #include "src/open/relocation.hpp"
 #include "src/rng/engines.hpp"
 #include "src/stats/histogram.hpp"
@@ -27,7 +28,9 @@ int main(int argc, char** argv) {
   cli.flag("d", "ABKU choices", "2");
   cli.flag("replicas", "replicas per point", "12");
   cli.flag("seed", "rng seed", "12");
+  obs::register_cli_flags(cli);
   cli.parse(argc, argv);
+  obs::Run run(cli);
 
   const auto n = static_cast<std::size_t>(cli.integer("n"));
   const auto m = static_cast<std::int64_t>(n);
@@ -83,6 +86,7 @@ int main(int argc, char** argv) {
         .integer(stats.censored);
   }
   table.print(std::cout);
+  run.add_table("relocation_speedup", table);
   std::printf(
       "\n# Each unit of relocation budget multiplies the per-step repair "
       "work, so the crash-recovery time drops roughly proportionally while "

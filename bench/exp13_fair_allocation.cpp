@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "src/core/recovery.hpp"
+#include "src/obs/run_record.hpp"
 #include "src/orient/chain.hpp"
 #include "src/orient/greedy_graph.hpp"
 #include "src/rng/engines.hpp"
@@ -27,7 +28,9 @@ int main(int argc, char** argv) {
   cli.flag("sizes", "comma-separated participant counts", "16,64,256,1024");
   cli.flag("replicas", "replicas per point", "8");
   cli.flag("seed", "rng seed", "13");
+  obs::register_cli_flags(cli);
   cli.parse(argc, argv);
+  obs::Run run(cli);
 
   const auto sizes = cli.int_list("sizes");
   const auto replicas = static_cast<int>(cli.integer("replicas"));
@@ -83,6 +86,7 @@ int main(int argc, char** argv) {
         .integer(rec.censored);
   }
   table.print(std::cout);
+  run.add_table("carpool_fairness", table);
   std::printf(
       "\n# Fairness column grows like lnln(n) (nearly flat), far below "
       "ln(n); recovery lands well inside the Theorem 2 horizon "
@@ -112,6 +116,7 @@ int main(int argc, char** argv) {
     }
   }
   ktable.print(std::cout);
+  run.add_table("ksubset_fairness", ktable);
   std::printf(
       "# Larger pools give the greedy rule more slack per arrival; "
       "unfairness stays O(1) across k, as the Ajtai et al. reduction "

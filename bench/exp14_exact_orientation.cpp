@@ -16,6 +16,7 @@
 
 #include "src/core/coalescence.hpp"
 #include "src/core/tv_mixing.hpp"
+#include "src/obs/run_record.hpp"
 #include "src/orient/chain.hpp"
 #include "src/orient/exact_chain.hpp"
 #include "src/util/cli.hpp"
@@ -31,7 +32,9 @@ int main(int argc, char** argv) {
   cli.flag("eps", "mixing threshold", "0.25");
   cli.flag("replicas", "coupling/TV replicas", "400");
   cli.flag("seed", "rng seed", "14");
+  obs::register_cli_flags(cli);
   cli.parse(argc, argv);
+  obs::Run run(cli);
 
   const auto sizes = cli.int_list("sizes");
   const double eps = cli.real("eps");
@@ -85,6 +88,7 @@ int main(int argc, char** argv) {
         .num(timer.seconds(), 2);
   }
   table.print(std::cout);
+  run.add_table("tv_sandwich", table);
   std::printf(
       "\n# Sandwich: tv_lower <= exact_tau <= ~coal_q95 on every row, and "
       "exact_tau stays under the c*n^2 Theorem 2 scale (ln^2 n ~ O(1) at "

@@ -16,6 +16,7 @@
 
 #include "src/balls/removal_policies.hpp"
 #include "src/core/coalescence.hpp"
+#include "src/obs/run_record.hpp"
 #include "src/stats/regression.hpp"
 #include "src/util/cli.hpp"
 #include "src/util/table.hpp"
@@ -76,7 +77,9 @@ int main(int argc, char** argv) {
   cli.flag("sizes", "comma-separated m = n sweep", "16,24,32,48,64");
   cli.flag("replicas", "replicas per point", "16");
   cli.flag("seed", "rng seed", "15");
+  obs::register_cli_flags(cli);
   cli.parse(argc, argv);
+  obs::Run run(cli);
 
   const auto sizes = cli.int_list("sizes");
   const auto replicas = static_cast<int>(cli.integer("replicas"));
@@ -93,6 +96,7 @@ int main(int argc, char** argv) {
   sweep("fullest-of-4", balls::MaxOfDNonEmptyRemoval<4>{}, sizes, replicas,
         seed, table);
   table.print(std::cout);
+  run.add_table("removal_policies", table);
   std::printf(
       "\n# Active drains (fullest-of-d) interpolate between scenario B's "
       "~m^2 law and scenario A's ~m ln m; the framework itself (coupled "

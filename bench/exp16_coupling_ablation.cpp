@@ -22,6 +22,7 @@
 #include "src/balls/random_states.hpp"
 #include "src/core/coalescence.hpp"
 #include "src/core/delayed_coupling.hpp"
+#include "src/obs/run_record.hpp"
 #include "src/orient/chain.hpp"
 #include "src/rng/engines.hpp"
 #include "src/stats/summary.hpp"
@@ -63,7 +64,9 @@ int main(int argc, char** argv) {
   cli.flag("orient_n", "vertices for parts (b)/(c)", "24");
   cli.flag("replicas", "replicas per configuration", "300");
   cli.flag("seed", "rng seed", "16");
+  obs::register_cli_flags(cli);
   cli.parse(argc, argv);
+  obs::Run run(cli);
 
   const auto n = static_cast<std::size_t>(cli.integer("n"));
   const auto m = cli.integer("m");
@@ -110,6 +113,7 @@ int main(int argc, char** argv) {
     std::printf("(a) scenario A, n=%zu m=%lld: expected merge ~ m = %lld\n",
                 n, static_cast<long long>(m), static_cast<long long>(m));
     table.print(std::cout);
+    run.add_table("gamma_vs_grand", table);
     std::printf("\n");
   }
 
@@ -150,6 +154,7 @@ int main(int argc, char** argv) {
                 static_cast<long long>(
                     static_cast<std::int64_t>(nd * nd * std::log(nd))));
     table.print(std::cout);
+    run.add_table("delayed_coupling", table);
     std::printf(
         "    coupled-phase time shrinks as the free phase grows: the "
         "Theorem 2 proof structure in action.\n\n");
@@ -186,8 +191,10 @@ int main(int argc, char** argv) {
         eager.steps.mean(), 1).num(eager.steps.ci_halfwidth(), 1);
     std::printf("(c) lazy-bit slowdown, orientation n=%zu\n", on);
     table.print(std::cout);
+    run.add_table("lazy_slowdown", table);
     std::printf("    ratio = %.2f (Remark 1 predicts ~2)\n",
                 lazy.steps.mean() / eager.steps.mean());
+    run.note("lazy_eager_ratio", lazy.steps.mean() / eager.steps.mean());
   }
   return 0;
 }

@@ -17,6 +17,7 @@
 
 #include "src/balls/scenario_a.hpp"
 #include "src/fluid/fluid_limit.hpp"
+#include "src/obs/run_record.hpp"
 #include "src/rng/engines.hpp"
 #include "src/util/cli.hpp"
 #include "src/util/table.hpp"
@@ -31,7 +32,9 @@ int main(int argc, char** argv) {
   cli.flag("replicas", "simulation replicas", "24");
   cli.flag("levels", "tail levels tracked", "12");
   cli.flag("seed", "rng seed", "17");
+  obs::register_cli_flags(cli);
   cli.parse(argc, argv);
+  obs::Run run(cli);
 
   const auto n = static_cast<std::size_t>(cli.integer("n"));
   const auto m = static_cast<std::int64_t>(n);
@@ -95,6 +98,7 @@ int main(int argc, char** argv) {
         .num(worst, 4);
   }
   table.print(std::cout);
+  run.add_table("fluid_vs_simulation", table);
   std::printf(
       "\n# Kurtz approximation: the deviation column stays at the O(n^-1/2) "
       "noise floor through the entire recovery, so the fluid model "

@@ -19,6 +19,7 @@
 #include "src/balls/scenario_a.hpp"
 #include "src/core/cftp.hpp"
 #include "src/fluid/fluid_limit.hpp"
+#include "src/obs/run_record.hpp"
 #include "src/rng/engines.hpp"
 #include "src/stats/histogram.hpp"
 #include "src/util/cli.hpp"
@@ -36,7 +37,9 @@ int main(int argc, char** argv) {
   cli.flag("samples", "CFTP draws per application point", "200");
   cli.flag("d", "ABKU choices", "2");
   cli.flag("seed", "rng seed", "18");
+  obs::register_cli_flags(cli);
   cli.parse(argc, argv);
+  obs::Run run(cli);
 
   const auto kval = static_cast<int>(cli.integer("validate_samples"));
   const auto sizes = cli.int_list("sizes");
@@ -75,6 +78,9 @@ int main(int argc, char** argv) {
         "TV(CFTP, exact pi) = %.4f (noise floor ~%.4f)\n\n",
         n, static_cast<long long>(m), space.size(), kval, tv,
         std::sqrt(static_cast<double>(space.size()) / kval) / 2);
+    run.note("validation_tv", tv);
+    run.note("validation_noise_floor",
+             std::sqrt(static_cast<double>(space.size()) / kval) / 2);
   }
 
   // ---- Part 2: perfect stationary max-load samples ---------------------
@@ -133,6 +139,7 @@ int main(int argc, char** argv) {
         .num(timer.seconds(), 2);
   }
   table.print(std::cout);
+  run.add_table("cftp_maxload", table);
   std::printf(
       "\n# CFTP draws need no burn-in heuristics; agreement with the "
       "long-run column certifies exp10's estimator, and the backward "

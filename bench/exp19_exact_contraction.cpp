@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "src/balls/exact_coupling_analysis.hpp"
+#include "src/obs/run_record.hpp"
 #include "src/util/cli.hpp"
 #include "src/util/table.hpp"
 #include "src/util/timer.hpp"
@@ -20,7 +21,9 @@ int main(int argc, char** argv) {
                 "E19: exact worst-pair contraction over whole spaces");
   cli.flag("sizes", "comma-separated m values (n = m)", "4,5,6,7,8");
   cli.flag("d", "ABKU choices", "2");
+  obs::register_cli_flags(cli);
   cli.parse(argc, argv);
+  obs::Run run(cli);
 
   const auto sizes = cli.int_list("sizes");
   const auto d = static_cast<int>(cli.integer("d"));
@@ -74,6 +77,7 @@ int main(int argc, char** argv) {
         .num(secs / 2, 2);
   }
   table.print(std::cout);
+  run.add_table("exact_contraction", table);
   std::printf(
       "\n# Every margin is >= 0 and every min P[merge] >= its bound "
       "column: Corollary 4.2 and Claims 5.1/5.2 hold EXACTLY on every "

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "src/balls/exact_chain.hpp"
+#include "src/obs/run_record.hpp"
 #include "src/orient/exact_chain.hpp"
 #include "src/stats/autocorr.hpp"
 #include "src/util/cli.hpp"
@@ -50,7 +51,9 @@ int main(int argc, char** argv) {
                 "E20: is the crash state really the worst start?");
   cli.flag("sizes", "comma-separated m = n (balls chains)", "5,6,7,8");
   cli.flag("orient_sizes", "comma-separated n (orientation)", "4,5,6,7");
+  obs::register_cli_flags(cli);
   cli.parse(argc, argv);
+  obs::Run run(cli);
 
   util::Table table({"chain", "n", "|space|", "tau(1/4)", "t_rel=1/rate",
                      "crash TV@tau/2", "worst TV@tau/2", "crash rank"});
@@ -110,6 +113,7 @@ int main(int argc, char** argv) {
         .integer(ranked.crash_rank);
   }
   table.print(std::cout);
+  run.add_table("worst_start_ranking", table);
   std::printf(
       "\n# Finding: for the balls chains the all-in-one crash IS the worst "
       "start (rank 1 everywhere).  For the orientation chain the worst "

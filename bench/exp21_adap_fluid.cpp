@@ -12,6 +12,7 @@
 
 #include "src/balls/scenario_a.hpp"
 #include "src/fluid/fluid_limit.hpp"
+#include "src/obs/run_record.hpp"
 #include "src/rng/engines.hpp"
 #include "src/stats/histogram.hpp"
 #include "src/util/cli.hpp"
@@ -24,7 +25,9 @@ int main(int argc, char** argv) {
                 "E21: ADAP(x) fluid fixed point vs simulation");
   cli.flag("n", "bins = balls", "2048");
   cli.flag("seed", "rng seed", "21");
+  obs::register_cli_flags(cli);
   cli.parse(argc, argv);
+  obs::Run run(cli);
 
   const auto n = static_cast<std::size_t>(cli.integer("n"));
   const auto m = static_cast<std::int64_t>(n);
@@ -89,6 +92,7 @@ int main(int argc, char** argv) {
         .num(static_cast<double>(probes) / kSamples, 2);
   }
   table.print(std::cout);
+  run.add_table("adap_fluid", table);
   std::printf(
       "\n# The adaptive fluid DP tracks the simulated tails for every "
       "schedule; gentler ramps buy lower max load for more probes - the "

@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Validate recover.run/1 JSON records emitted by the experiment binaries.
+
+Checks, per file:
+  * the document parses and carries schema == "recover.run/1";
+  * run.binary is a non-empty string;
+  * every table has a name, a non-empty column list, and rows whose
+    arity matches the column count;
+  * the record holds at least one row in total (a silently-empty run is
+    a CI failure, not a success).
+
+With --aggregate OUT, a compact summary document (one entry per input
+record: binary, wall seconds, per-table row counts, notes) is written to
+OUT — the commit-friendly benchmark trajectory snapshot.
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA = "recover.run/1"
+
+
+def fail(path, message):
+    print(f"check_bench_json: {path}: {message}", file=sys.stderr)
+    return False
+
+
+def check_record(path, doc):
+    if doc.get("schema") != SCHEMA:
+        return fail(path, f"schema is {doc.get('schema')!r}, want {SCHEMA!r}")
+    run = doc.get("run")
+    if not isinstance(run, dict):
+        return fail(path, "missing run object")
+    if not run.get("binary") or not isinstance(run["binary"], str):
+        return fail(path, "run.binary missing or empty")
+    tables = doc.get("tables")
+    if not isinstance(tables, list):
+        return fail(path, "tables is not a list")
+    total_rows = 0
+    for i, table in enumerate(tables):
+        name = table.get("name")
+        if not name:
+            return fail(path, f"tables[{i}] has no name")
+        columns = table.get("columns")
+        if not isinstance(columns, list) or not columns:
+            return fail(path, f"table {name!r} has no columns")
+        rows = table.get("rows")
+        if not isinstance(rows, list):
+            return fail(path, f"table {name!r} has no rows list")
+        for j, row in enumerate(rows):
+            if not isinstance(row, list) or len(row) != len(columns):
+                return fail(
+                    path,
+                    f"table {name!r} row {j} has {len(row)} cells, "
+                    f"want {len(columns)}",
+                )
+        total_rows += len(rows)
+    if total_rows == 0:
+        return fail(path, "record holds zero rows across all tables")
+    return True
+
+
+def summarize(doc):
+    run = doc["run"]
+    return {
+        "binary": run["binary"],
+        "git": run.get("git", "unknown"),
+        "wall_seconds": run.get("wall_seconds"),
+        "tables": {
+            t["name"]: len(t["rows"]) for t in doc.get("tables", [])
+        },
+        "notes": doc.get("notes", {}),
+    }
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("files", nargs="+", help="recover.run/1 JSON files")
+    parser.add_argument(
+        "--aggregate",
+        metavar="OUT",
+        help="write a one-entry-per-record summary document to OUT",
+    )
+    args = parser.parse_args()
+
+    ok = True
+    summaries = []
+    for path in args.files:
+        try:
+            with open(path, encoding="utf-8") as f:
+                doc = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            ok = fail(path, f"unreadable or invalid JSON: {e}")
+            continue
+        if check_record(path, doc):
+            summaries.append(summarize(doc))
+            rows = sum(len(t["rows"]) for t in doc["tables"])
+            print(f"check_bench_json: {path}: OK ({rows} rows)")
+        else:
+            ok = False
+
+    if not ok:
+        return 1
+
+    if args.aggregate:
+        summaries.sort(key=lambda s: s["binary"])
+        out = {
+            "schema": "recover.bench_summary/1",
+            "records": summaries,
+        }
+        with open(args.aggregate, "w", encoding="utf-8") as f:
+            json.dump(out, f, indent=2, sort_keys=False)
+            f.write("\n")
+        print(
+            f"check_bench_json: wrote {args.aggregate} "
+            f"({len(summaries)} records)"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,7 +1,15 @@
 #!/usr/bin/env bash
 # Full local CI: configure, build with warnings-as-errors, run the test
-# suite, then smoke every experiment binary with its default (fast)
-# parameters.  Mirrors what a hosted CI job for this repository runs.
+# suite, smoke every experiment binary (each writing a recover.run/1
+# JSON record), validate the records, and aggregate them into
+# BENCH_smoke.json.  Mirrors what a hosted CI job for this repository
+# runs.
+#
+# Env hooks:
+#   BUILD_DIR=dir   build directory (default build-ci)
+#   TSAN=1          additionally build parallel_test + obs_test with
+#                   -DRECOVERLIB_TSAN=ON and run them under
+#                   ThreadSanitizer (separate build tree build-tsan)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -11,12 +19,26 @@ cmake -B "$BUILD_DIR" -G Ninja -DRECOVERLIB_WERROR=ON
 cmake --build "$BUILD_DIR"
 ctest --test-dir "$BUILD_DIR" -j"$(nproc)" --output-on-failure
 
-echo "== experiment smoke runs =="
-for exe in "$BUILD_DIR"/bench/exp* "$BUILD_DIR"/bench/bench_microbench; do
+JSON_DIR="$BUILD_DIR/bench-json"
+rm -rf "$JSON_DIR"
+mkdir -p "$JSON_DIR"
+
+echo "== experiment smoke runs (with JSON records) =="
+for exe in "$BUILD_DIR"/bench/exp*; do
   [ -x "$exe" ] || continue
-  echo "-- $exe"
-  "$exe" > /dev/null
+  name=$(basename "$exe")
+  echo "-- $name"
+  "$exe" --metrics --json-out="$JSON_DIR/$name.json" > /dev/null
 done
+
+echo "-- bench_microbench"
+"$BUILD_DIR"/bench/bench_microbench --metrics \
+  --json-out="$JSON_DIR/bench_microbench.json" \
+  --benchmark_min_time=0.01 > /dev/null
+
+echo "== validating JSON records =="
+python3 scripts/check_bench_json.py "$JSON_DIR"/*.json \
+  --aggregate BENCH_smoke.json
 
 echo "== example smoke runs =="
 for exe in "$BUILD_DIR"/examples/*; do
@@ -24,5 +46,14 @@ for exe in "$BUILD_DIR"/examples/*; do
   echo "-- $exe"
   "$exe" > /dev/null
 done
+
+if [ "${TSAN:-0}" = "1" ]; then
+  echo "== ThreadSanitizer (parallel_test + obs_test) =="
+  cmake -B build-tsan -G Ninja -DRECOVERLIB_TSAN=ON \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build build-tsan --target parallel_test obs_test
+  ./build-tsan/tests/parallel_test
+  ./build-tsan/tests/obs_test
+fi
 
 echo "CI OK"

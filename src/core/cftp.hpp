@@ -21,6 +21,8 @@
 #include <cstdint>
 #include <optional>
 
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
 #include "src/rng/engines.hpp"
 #include "src/util/assert.hpp"
 
@@ -43,6 +45,17 @@ auto cftp_sample(MakeCoupling&& make_coupling, const CftpOptions& options)
         decltype(std::declval<
                      std::invoke_result_t<MakeCoupling>>().first())>> {
   RL_REQUIRE(options.max_window >= 1);
+  static obs::Counter& samples_drawn =
+      obs::Registry::global().counter("cftp.samples");
+  static obs::Counter& samples_exhausted =
+      obs::Registry::global().counter("cftp.exhausted");
+  static obs::Counter& steps_total =
+      obs::Registry::global().counter("cftp.steps");
+  static obs::Histogram& window_hist =
+      obs::Registry::global().histogram("cftp.window");
+  static obs::Histogram& sample_ns =
+      obs::Registry::global().histogram("cftp.sample_ns");
+  obs::ScopedSpan span(sample_ns);
   for (std::int64_t window = 1; window <= options.max_window; window *= 2) {
     auto coupling = make_coupling();
     // Steps run from time −window to −1; the randomness of time −t is a
@@ -54,11 +67,15 @@ auto cftp_sample(MakeCoupling&& make_coupling, const CftpOptions& options)
           options.seed, static_cast<std::uint64_t>(t)));
       coupling.step(eng);
     }
+    steps_total.add(static_cast<std::uint64_t>(window));
     if (coupling.coalesced()) {
+      samples_drawn.add();
+      window_hist.record(static_cast<std::uint64_t>(window));
       return coupling.first();
     }
     if (window > options.max_window / 2) break;  // avoid overflow
   }
+  samples_exhausted.add();
   return std::nullopt;
 }
 

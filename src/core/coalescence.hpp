@@ -16,6 +16,9 @@
 #include <functional>
 #include <vector>
 
+#include "src/obs/metrics.hpp"
+#include "src/obs/progress.hpp"
+#include "src/obs/trace.hpp"
 #include "src/parallel/thread_pool.hpp"
 #include "src/rng/engines.hpp"
 #include "src/stats/summary.hpp"
@@ -56,8 +59,21 @@ std::vector<std::int64_t> run_coalescence_trials(
   RL_REQUIRE(options.replicas > 0);
   RL_REQUIRE(options.max_steps > 0);
   RL_REQUIRE(options.check_interval > 0);
+  static obs::Counter& replicas_run =
+      obs::Registry::global().counter("coalescence.replicas");
+  static obs::Counter& replicas_censored =
+      obs::Registry::global().counter("coalescence.censored");
+  static obs::Counter& steps_total =
+      obs::Registry::global().counter("coalescence.steps");
+  static obs::Histogram& steps_hist =
+      obs::Registry::global().histogram("coalescence.meeting_steps");
+  static obs::Histogram& replica_ns =
+      obs::Registry::global().histogram("coalescence.replica_ns");
+  obs::Progress progress("coalescence",
+                         static_cast<std::uint64_t>(options.replicas));
   std::vector<std::int64_t> times(static_cast<std::size_t>(options.replicas));
   auto body = [&](std::uint64_t r) {
+    obs::ScopedSpan span(replica_ns);
     rng::Xoshiro256PlusPlus eng(rng::derive_stream_seed(options.seed, r));
     auto coupling = make_coupling(r);
     std::int64_t t = 0;
@@ -73,6 +89,15 @@ std::vector<std::int64_t> run_coalescence_trials(
       }
     }
     times[r] = result;
+    replicas_run.add();
+    steps_total.add(static_cast<std::uint64_t>(t));
+    if (result >= 0) {
+      steps_hist.record(static_cast<std::uint64_t>(result));
+      progress.tick(1, 0);
+    } else {
+      replicas_censored.add();
+      progress.tick(1, 1);
+    }
   };
   if (options.parallel) {
     parallel::parallel_for(static_cast<std::uint64_t>(options.replicas), body);

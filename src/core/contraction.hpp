@@ -12,6 +12,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/obs/metrics.hpp"
+#include "src/obs/progress.hpp"
 #include "src/rng/engines.hpp"
 #include "src/stats/summary.hpp"
 #include "src/util/assert.hpp"
@@ -41,6 +43,12 @@ ContractionEstimate estimate_contraction(MakePair&& make_pair,
                                          std::uint64_t seed) {
   RL_REQUIRE(num_pairs > 0);
   RL_REQUIRE(trials_per_pair > 1);
+  static obs::Counter& pairs_tested =
+      obs::Registry::global().counter("contraction.pairs");
+  static obs::Counter& trials_run =
+      obs::Registry::global().counter("contraction.trials");
+  obs::Progress progress("contraction",
+                         static_cast<std::uint64_t>(num_pairs));
   ContractionEstimate out;
   out.pairs.reserve(static_cast<std::size_t>(num_pairs));
   for (int p = 0; p < num_pairs; ++p) {
@@ -61,6 +69,9 @@ ContractionEstimate estimate_contraction(MakePair&& make_pair,
     pc.change_probability =
         static_cast<double>(changed) / static_cast<double>(trials_per_pair);
     out.pairs.push_back(pc);
+    pairs_tested.add();
+    trials_run.add(static_cast<std::uint64_t>(trials_per_pair));
+    progress.tick();
   }
   out.beta_hat = 0;
   out.alpha_hat = 1;

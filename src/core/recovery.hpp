@@ -13,6 +13,9 @@
 #include <functional>
 #include <vector>
 
+#include "src/obs/metrics.hpp"
+#include "src/obs/progress.hpp"
+#include "src/obs/trace.hpp"
 #include "src/rng/engines.hpp"
 #include "src/stats/summary.hpp"
 #include "src/util/assert.hpp"
@@ -72,8 +75,18 @@ RecoveryStats measure_recovery(MakeChain&& make_chain, Observable&& observable,
   RL_REQUIRE(window >= 1);
   RL_REQUIRE(options.max_steps > 0);
   RL_REQUIRE(options.sample_interval > 0);
+  static obs::Counter& replicas_run =
+      obs::Registry::global().counter("recovery.replicas");
+  static obs::Counter& replicas_censored =
+      obs::Registry::global().counter("recovery.censored");
+  static obs::Histogram& hitting_hist =
+      obs::Registry::global().histogram("recovery.hitting_steps");
+  static obs::Histogram& replica_ns =
+      obs::Registry::global().histogram("recovery.replica_ns");
+  obs::Progress progress("recovery", static_cast<std::uint64_t>(replicas));
   RecoveryStats out;
   for (int r = 0; r < replicas; ++r) {
+    obs::ScopedSpan span(replica_ns);
     auto chain = make_chain(r);
     rng::Xoshiro256PlusPlus eng(
         rng::derive_stream_seed(seed, static_cast<std::uint64_t>(r)));
@@ -94,10 +107,15 @@ RecoveryStats measure_recovery(MakeChain&& make_chain, Observable&& observable,
         entered_at = -1;
       }
     }
+    replicas_run.add();
     if (run >= window) {
       out.hitting_steps.add(static_cast<double>(entered_at));
+      hitting_hist.record(static_cast<std::uint64_t>(entered_at));
+      progress.tick(1, 0);
     } else {
       ++out.censored;
+      replicas_censored.add();
+      progress.tick(1, 1);
     }
   }
   return out;

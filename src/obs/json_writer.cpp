@@ -1,0 +1,175 @@
+#include "src/obs/json_writer.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+#include "src/util/assert.hpp"
+
+namespace recover::obs {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char ch : s) {
+    const auto byte = static_cast<unsigned char>(ch);
+    switch (ch) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      default:
+        if (byte < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", byte);
+          out += buf;
+        } else {
+          out += ch;  // UTF-8 continuation bytes included
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double value) {
+  if (!std::isfinite(value)) return "null";
+  char buf[64];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, value);
+  RL_REQUIRE(ec == std::errc());
+  return std::string(buf, ptr);
+}
+
+JsonWriter::JsonWriter(std::ostream& os) : os_(os) {}
+
+void JsonWriter::newline_indent() {
+  os_ << '\n';
+  for (std::size_t i = 0; i < stack_.size(); ++i) os_ << "  ";
+}
+
+void JsonWriter::before_value() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;
+  }
+  RL_REQUIRE(stack_.empty() || stack_.back() == Scope::kArray);
+  RL_REQUIRE(!(stack_.empty() && wrote_));  // one top-level value only
+  if (!stack_.empty()) {
+    if (!first_in_scope_.back()) os_ << ',';
+    first_in_scope_.back() = false;
+    newline_indent();
+  }
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  before_value();
+  os_ << '{';
+  stack_.push_back(Scope::kObject);
+  first_in_scope_.push_back(true);
+  wrote_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  RL_REQUIRE(!stack_.empty() && stack_.back() == Scope::kObject);
+  RL_REQUIRE(!pending_key_);
+  const bool empty = first_in_scope_.back();
+  stack_.pop_back();
+  first_in_scope_.pop_back();
+  if (!empty) newline_indent();
+  os_ << '}';
+  if (stack_.empty()) os_ << '\n';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  before_value();
+  os_ << '[';
+  stack_.push_back(Scope::kArray);
+  first_in_scope_.push_back(true);
+  wrote_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  RL_REQUIRE(!stack_.empty() && stack_.back() == Scope::kArray);
+  const bool empty = first_in_scope_.back();
+  stack_.pop_back();
+  first_in_scope_.pop_back();
+  if (!empty) newline_indent();
+  os_ << ']';
+  if (stack_.empty()) os_ << '\n';
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+  RL_REQUIRE(!stack_.empty() && stack_.back() == Scope::kObject);
+  RL_REQUIRE(!pending_key_);
+  if (!first_in_scope_.back()) os_ << ',';
+  first_in_scope_.back() = false;
+  newline_indent();
+  os_ << '"' << json_escape(k) << "\": ";
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view v) {
+  before_value();
+  os_ << '"' << json_escape(v) << '"';
+  wrote_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  before_value();
+  os_ << json_number(v);
+  wrote_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  before_value();
+  os_ << v;
+  wrote_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  before_value();
+  os_ << v;
+  wrote_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  before_value();
+  os_ << (v ? "true" : "false");
+  wrote_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  before_value();
+  os_ << "null";
+  wrote_ = true;
+  return *this;
+}
+
+}  // namespace recover::obs

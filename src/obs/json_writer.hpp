@@ -1,0 +1,69 @@
+// Minimal streaming JSON writer used by the run recorder.
+//
+// Emits a stable, diffable encoding: 2-space indentation, keys in the
+// order the caller provides them, and a fixed numeric policy — integers
+// verbatim, doubles via shortest round-trip (std::to_chars), and
+// non-finite doubles as null (JSON has no NaN/Inf; null keeps the cell
+// count intact so downstream column alignment survives).
+//
+// String escaping: `"` and `\` are escaped, control characters < 0x20 use
+// the \n \t \r \b \f shortcuts or \u00XX, and all other bytes pass
+// through untouched — valid UTF-8 input stays valid UTF-8 output.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace recover::obs {
+
+/// Escapes `s` for inclusion inside a JSON string literal (no quotes).
+std::string json_escape(std::string_view s);
+
+/// Formats a double under the writer's numeric policy ("null" when
+/// non-finite, shortest round-trip decimal otherwise).
+std::string json_number(double value);
+
+class JsonWriter {
+ public:
+  /// Writes to `os`; the stream must outlive the writer.
+  explicit JsonWriter(std::ostream& os);
+
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Object member key; must be followed by exactly one value or
+  /// container.
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(double v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(bool v);
+  JsonWriter& null();
+
+  /// True once every opened container has been closed.
+  [[nodiscard]] bool complete() const { return stack_.empty() && wrote_; }
+
+ private:
+  enum class Scope : std::uint8_t { kObject, kArray };
+  void before_value();
+  void newline_indent();
+
+  std::ostream& os_;
+  std::vector<Scope> stack_;
+  std::vector<bool> first_in_scope_;
+  bool pending_key_ = false;
+  bool wrote_ = false;
+};
+
+}  // namespace recover::obs

@@ -1,0 +1,115 @@
+#include "src/obs/metrics.hpp"
+
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace recover::obs {
+
+namespace detail {
+
+std::atomic<bool> g_metrics_enabled{false};
+
+std::size_t this_thread_shard() noexcept {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t shard =
+      next.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return shard;
+}
+
+}  // namespace detail
+
+void set_metrics_enabled(bool enabled) noexcept {
+  detail::g_metrics_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+// std::map keeps snapshots name-sorted; unique_ptr keeps metric addresses
+// stable across rehash-free inserts.
+struct Registry::Impl {
+  std::mutex mutex;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms;
+};
+
+Registry& Registry::global() {
+  static Registry registry;
+  return registry;
+}
+
+Registry::Impl* Registry::impl() {
+  // Lazily allocated so a never-used registry costs one pointer.  The
+  // first call always happens under Registry::global()'s magic-static
+  // init or a metric lookup; races are excluded by the static-local
+  // guarantee plus the mutex taken before any map access.
+  if (impl_ == nullptr) impl_ = new Impl();
+  return impl_;
+}
+
+const Registry::Impl* Registry::impl() const {
+  return const_cast<Registry*>(this)->impl();
+}
+
+Registry::~Registry() { delete impl_; }
+
+namespace {
+
+template <typename Map, typename Metric>
+Metric& get_or_create(std::mutex& mutex, Map& map, std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex);
+  auto it = map.find(name);
+  if (it == map.end()) {
+    it = map.emplace(std::string(name),
+                     std::make_unique<Metric>(std::string(name)))
+             .first;
+  }
+  return *it->second;
+}
+
+}  // namespace
+
+Counter& Registry::counter(std::string_view name) {
+  Impl* i = impl();
+  return get_or_create<decltype(i->counters), Counter>(i->mutex, i->counters,
+                                                       name);
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  Impl* i = impl();
+  return get_or_create<decltype(i->gauges), Gauge>(i->mutex, i->gauges, name);
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  Impl* i = impl();
+  return get_or_create<decltype(i->histograms), Histogram>(
+      i->mutex, i->histograms, name);
+}
+
+Registry::Snapshot Registry::snapshot() const {
+  const Impl* i = impl();
+  Snapshot out;
+  std::lock_guard<std::mutex> lock(const_cast<std::mutex&>(i->mutex));
+  out.counters.reserve(i->counters.size());
+  for (const auto& [name, c] : i->counters) {
+    out.counters.emplace_back(name, c->value());
+  }
+  out.gauges.reserve(i->gauges.size());
+  for (const auto& [name, g] : i->gauges) {
+    out.gauges.emplace_back(name, g->value());
+  }
+  out.histograms.reserve(i->histograms.size());
+  for (const auto& [name, h] : i->histograms) {
+    out.histograms.emplace_back(name, h->snapshot());
+  }
+  return out;
+}
+
+void Registry::reset_values() {
+  Impl* i = impl();
+  std::lock_guard<std::mutex> lock(i->mutex);
+  for (auto& [name, c] : i->counters) c->reset();
+  for (auto& [name, g] : i->gauges) g->reset();
+  for (auto& [name, h] : i->histograms) h->reset();
+}
+
+}  // namespace recover::obs

@@ -1,0 +1,228 @@
+// Process-wide metrics registry: named counters, gauges, and log-bucketed
+// histograms shared by every estimator and experiment binary.
+//
+// Design constraints (DESIGN.md-grade invariants):
+//  * Near-zero cost when disabled — every record path is a single relaxed
+//    atomic load plus a predicted branch, so instrumentation can live on
+//    per-draw RNG paths without distorting the microbenchmarks.
+//  * Thread-safe without contention — each metric keeps a small array of
+//    cache-line-padded shards; a thread picks its shard once (thread_local)
+//    and only ever does relaxed fetch_adds on it.  Readers merge shards,
+//    which is exact because addition commutes: the merged value is
+//    independent of scheduling.
+//  * Stable addresses — Registry::counter() et al. return references that
+//    stay valid for the process lifetime, so hot call sites cache them in
+//    function-local statics.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace recover::obs {
+
+namespace detail {
+
+extern std::atomic<bool> g_metrics_enabled;
+
+/// Shard index for the calling thread (stable per thread, < kShards).
+std::size_t this_thread_shard() noexcept;
+
+inline constexpr std::size_t kShards = 8;  // power of two
+
+}  // namespace detail
+
+/// Global on/off switch.  Off by default: binaries flip it on for
+/// --metrics runs; the disabled path is the pay-nothing fast path.
+inline bool metrics_enabled() noexcept {
+  return detail::g_metrics_enabled.load(std::memory_order_relaxed);
+}
+void set_metrics_enabled(bool enabled) noexcept;
+
+/// Monotone event counter.
+class Counter {
+ public:
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void add(std::uint64_t delta = 1) noexcept {
+    if (!metrics_enabled()) return;
+    shards_[detail::this_thread_shard()].value.fetch_add(
+        delta, std::memory_order_relaxed);
+  }
+
+  /// Merged total across shards (exact: addition commutes).
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    std::uint64_t total = 0;
+    for (const auto& s : shards_) {
+      total += s.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  void reset() noexcept {
+    for (auto& s : shards_) s.value.store(0, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> value{0};
+  };
+  std::string name_;
+  std::array<Shard, detail::kShards> shards_;
+};
+
+/// Last-writer-wins scalar (e.g. pool size, current sweep point).
+class Gauge {
+ public:
+  explicit Gauge(std::string name) : name_(std::move(name)) {}
+
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void set(double v) noexcept {
+    if (!metrics_enabled()) return;
+    value_.store(v, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+  void reset() noexcept { value_.store(0.0, std::memory_order_relaxed); }
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+  std::atomic<double> value_{0.0};
+};
+
+/// Log₂-bucketed histogram of non-negative integer samples (latencies in
+/// ns, step counts, window sizes, …).
+///
+/// Bucket 0 holds the value 0; bucket i ≥ 1 holds values v with
+/// 2^(i−1) ≤ v < 2^i (i.e. i = bit_width(v)).  65 buckets cover the full
+/// uint64 range, so record() never clips.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 65;
+
+  explicit Histogram(std::string name) : name_(std::move(name)) {}
+
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  /// Bucket index a value lands in (exposed for tests / readers).
+  static constexpr std::size_t bucket_index(std::uint64_t v) noexcept {
+    std::size_t i = 0;
+    while (v != 0) {
+      v >>= 1;
+      ++i;
+    }
+    return i;
+  }
+
+  /// Inclusive upper bound of bucket i (0, 1, 3, 7, …, 2^i − 1).
+  static constexpr std::uint64_t bucket_upper(std::size_t i) noexcept {
+    return i >= 64 ? ~std::uint64_t{0}
+                   : (std::uint64_t{1} << i) - std::uint64_t{1};
+  }
+
+  void record(std::uint64_t v) noexcept {
+    if (!metrics_enabled()) return;
+    auto& shard = shards_[detail::this_thread_shard()];
+    shard.buckets[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+    shard.count.fetch_add(1, std::memory_order_relaxed);
+    shard.sum.fetch_add(v, std::memory_order_relaxed);
+  }
+
+  struct Snapshot {
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    std::array<std::uint64_t, kBuckets> buckets{};
+
+    [[nodiscard]] double mean() const {
+      return count == 0 ? 0.0
+                        : static_cast<double>(sum) /
+                              static_cast<double>(count);
+    }
+  };
+
+  /// Merged view across shards (exact for the same reason as Counter).
+  [[nodiscard]] Snapshot snapshot() const noexcept {
+    Snapshot out;
+    for (const auto& s : shards_) {
+      out.count += s.count.load(std::memory_order_relaxed);
+      out.sum += s.sum.load(std::memory_order_relaxed);
+      for (std::size_t i = 0; i < kBuckets; ++i) {
+        out.buckets[i] += s.buckets[i].load(std::memory_order_relaxed);
+      }
+    }
+    return out;
+  }
+
+  void reset() noexcept {
+    for (auto& s : shards_) {
+      s.count.store(0, std::memory_order_relaxed);
+      s.sum.store(0, std::memory_order_relaxed);
+      for (auto& b : s.buckets) b.store(0, std::memory_order_relaxed);
+    }
+  }
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+ private:
+  struct alignas(64) Shard {
+    std::array<std::atomic<std::uint64_t>, kBuckets> buckets{};
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<std::uint64_t> sum{0};
+  };
+  std::string name_;
+  std::array<Shard, detail::kShards> shards_;
+};
+
+/// Name → metric registry.  get-or-create is mutex-guarded (cold path);
+/// returned references are stable, so hot paths cache them once:
+///
+///   static obs::Counter& draws =
+///       obs::Registry::global().counter("rng.xoshiro.draws");
+///   draws.add();
+class Registry {
+ public:
+  static Registry& global();
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  struct Snapshot {
+    std::vector<std::pair<std::string, std::uint64_t>> counters;
+    std::vector<std::pair<std::string, double>> gauges;
+    std::vector<std::pair<std::string, Histogram::Snapshot>> histograms;
+  };
+
+  /// Merged, name-sorted view of every registered metric.
+  [[nodiscard]] Snapshot snapshot() const;
+
+  /// Zeroes every metric (registrations and cached references survive).
+  void reset_values();
+
+  ~Registry();
+
+ private:
+  Registry() = default;
+  struct Impl;
+  Impl* impl();
+  const Impl* impl() const;
+  mutable Impl* impl_ = nullptr;
+};
+
+}  // namespace recover::obs

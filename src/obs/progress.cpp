@@ -1,0 +1,77 @@
+#include "src/obs/progress.hpp"
+
+#include <cstdio>
+
+namespace recover::obs {
+
+namespace {
+
+std::atomic<bool> g_progress_enabled{false};
+
+constexpr std::int64_t kHeartbeatMs = 1000;
+
+}  // namespace
+
+bool progress_enabled() noexcept {
+  return g_progress_enabled.load(std::memory_order_relaxed);
+}
+
+void set_progress_enabled(bool enabled) noexcept {
+  g_progress_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+Progress::Progress(std::string label, std::uint64_t total)
+    : label_(std::move(label)),
+      total_(total),
+      enabled_(progress_enabled()),
+      start_(std::chrono::steady_clock::now()) {}
+
+Progress::~Progress() {
+  if (enabled_ && printed_.load(std::memory_order_relaxed)) {
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start_)
+            .count();
+    print_line(elapsed, /*final_line=*/true);
+  }
+}
+
+void Progress::tick(std::uint64_t done_delta, std::uint64_t censored_delta) {
+  done_.fetch_add(done_delta, std::memory_order_relaxed);
+  if (censored_delta != 0) {
+    censored_.fetch_add(censored_delta, std::memory_order_relaxed);
+  }
+  if (!enabled_) return;
+  const auto now = std::chrono::steady_clock::now();
+  const auto elapsed_ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(now - start_)
+          .count();
+  // One thread wins the right to print per heartbeat interval; losers
+  // skip — a heartbeat is advisory, not a log.
+  std::int64_t last = last_print_ms_.load(std::memory_order_relaxed);
+  if (elapsed_ms - last < kHeartbeatMs) return;
+  if (!last_print_ms_.compare_exchange_strong(last, elapsed_ms,
+                                              std::memory_order_relaxed)) {
+    return;
+  }
+  print_line(static_cast<double>(elapsed_ms) / 1e3, /*final_line=*/false);
+}
+
+void Progress::print_line(double elapsed_s, bool final_line) {
+  printed_.store(true, std::memory_order_relaxed);
+  const std::uint64_t done = done_.load(std::memory_order_relaxed);
+  const std::uint64_t censored = censored_.load(std::memory_order_relaxed);
+  char eta[32] = "";
+  if (!final_line && total_ > 0 && done > 0 && done < total_) {
+    const double rate = static_cast<double>(done) / elapsed_s;
+    std::snprintf(eta, sizeof eta, ", eta %.0fs",
+                  static_cast<double>(total_ - done) / rate);
+  }
+  std::fprintf(stderr, "[%s] %llu/%llu done, %llu censored, %.1fs%s%s\n",
+               label_.c_str(), static_cast<unsigned long long>(done),
+               static_cast<unsigned long long>(total_),
+               static_cast<unsigned long long>(censored), elapsed_s, eta,
+               final_line ? " (finished)" : "");
+}
+
+}  // namespace recover::obs

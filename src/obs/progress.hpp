@@ -1,0 +1,54 @@
+// Stderr heartbeat for long sweeps: replicas done, censored count, ETA.
+//
+// Estimators construct a Progress with the number of work units they are
+// about to run and tick() it as units finish (from any thread).  When
+// progress reporting is disabled — the default — construction and ticks
+// are branch-only no-ops, so the estimators stay instrumented
+// unconditionally and binaries opt in with --progress.
+//
+// Output goes to stderr so it never contaminates the stdout tables or
+// the --json-out records, and is throttled to one line per second.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace recover::obs {
+
+/// Global opt-in switch (mirrors the metrics switch; set by obs::Run
+/// from the shared --progress flag).
+bool progress_enabled() noexcept;
+void set_progress_enabled(bool enabled) noexcept;
+
+class Progress {
+ public:
+  /// `label` names the estimator ("coalescence", "recovery", …);
+  /// `total` is the number of units (0 = unknown, ETA suppressed).
+  Progress(std::string label, std::uint64_t total);
+
+  Progress(const Progress&) = delete;
+  Progress& operator=(const Progress&) = delete;
+
+  /// Emits a final summary line if any heartbeat was printed.
+  ~Progress();
+
+  /// Marks `done_delta` units finished, `censored_delta` of which hit
+  /// their step horizon without resolving.  Thread-safe.
+  void tick(std::uint64_t done_delta = 1, std::uint64_t censored_delta = 0);
+
+ private:
+  void print_line(double elapsed_s, bool final_line);
+
+  std::string label_;
+  std::uint64_t total_;
+  bool enabled_;
+  std::atomic<std::uint64_t> done_{0};
+  std::atomic<std::uint64_t> censored_{0};
+  std::atomic<std::int64_t> last_print_ms_{-1'000'000};
+  std::atomic<bool> printed_{false};
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace recover::obs

@@ -1,0 +1,252 @@
+#include "src/obs/run_record.hpp"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <ostream>
+
+#include "src/obs/json_writer.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/progress.hpp"
+#include "src/util/assert.hpp"
+#include "src/util/cli.hpp"
+#include "src/util/table.hpp"
+
+namespace recover::obs {
+
+namespace {
+
+std::int64_t unix_millis_now() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+double steady_seconds_now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::string hostname() {
+  char buf[256] = {};
+  if (::gethostname(buf, sizeof buf - 1) == 0 && buf[0] != '\0') {
+    return buf;
+  }
+  const char* env = std::getenv("HOSTNAME");
+  return env != nullptr ? env : "unknown";
+}
+
+std::string git_describe() {
+#ifdef RECOVERLIB_GIT_DESCRIBE
+  return RECOVERLIB_GIT_DESCRIBE;
+#else
+  return "unknown";
+#endif
+}
+
+}  // namespace
+
+void register_cli_flags(util::Cli& cli) {
+  cli.flag("json-out", "write a recover.run/1 JSON record to this path", "");
+  cli.flag("metrics", "enable the metrics registry and embed a snapshot",
+           "false");
+  cli.flag("progress", "stderr heartbeat for long sweeps", "false");
+}
+
+RunRecord::RunRecord(std::string binary, std::string description)
+    : binary_(std::move(binary)),
+      description_(std::move(description)),
+      started_unix_ms_(unix_millis_now()) {}
+
+void RunRecord::set_flags(
+    std::vector<std::pair<std::string, std::string>> flags) {
+  flags_ = std::move(flags);
+}
+
+void RunRecord::add_table(std::string name, const util::Table& table) {
+  TableSection section;
+  section.name = std::move(name);
+  for (std::size_t c = 0; c < table.columns(); ++c) {
+    section.columns.push_back(table.header(c));
+  }
+  for (std::size_t r = 0; r < table.rows(); ++r) {
+    std::vector<std::string> row;
+    row.reserve(table.columns());
+    for (std::size_t c = 0; c < table.columns(); ++c) {
+      row.push_back(table.cell(r, c));
+    }
+    section.rows.push_back(std::move(row));
+  }
+  tables_.push_back(std::move(section));
+}
+
+void RunRecord::note(std::string key, double value) {
+  Note n;
+  n.key = std::move(key);
+  n.numeric = true;
+  n.number = value;
+  notes_.push_back(std::move(n));
+}
+
+void RunRecord::note(std::string key, std::string value) {
+  Note n;
+  n.key = std::move(key);
+  n.text = std::move(value);
+  notes_.push_back(std::move(n));
+}
+
+std::size_t RunRecord::total_rows() const {
+  std::size_t total = 0;
+  for (const auto& t : tables_) total += t.rows.size();
+  return total;
+}
+
+void RunRecord::write_json(std::ostream& os, double wall_seconds,
+                           bool include_metrics) const {
+  JsonWriter w(os);
+  w.begin_object();
+  w.key("schema").value("recover.run/1");
+
+  w.key("run").begin_object();
+  w.key("binary").value(binary_);
+  w.key("description").value(description_);
+  w.key("started_unix_ms").value(started_unix_ms_);
+  w.key("wall_seconds").value(wall_seconds);
+  w.key("hostname").value(hostname());
+  w.key("git").value(git_describe());
+  w.key("flags").begin_object();
+  for (const auto& [name, value] : flags_) {
+    w.key(name).value(value);
+  }
+  w.end_object();
+  w.end_object();
+
+  w.key("tables").begin_array();
+  for (const auto& t : tables_) {
+    w.begin_object();
+    w.key("name").value(t.name);
+    w.key("columns").begin_array();
+    for (const auto& c : t.columns) w.value(c);
+    w.end_array();
+    w.key("rows").begin_array();
+    for (const auto& row : t.rows) {
+      w.begin_array();
+      for (const auto& cell : row) {
+        // Typed cell: whole-string finite number → number, NaN/Inf →
+        // null, otherwise string.
+        errno = 0;
+        char* end = nullptr;
+        const double parsed =
+            cell.empty() ? 0.0 : std::strtod(cell.c_str(), &end);
+        const bool fully_numeric =
+            !cell.empty() && end == cell.c_str() + cell.size() && errno == 0;
+        if (!fully_numeric) {
+          w.value(cell);
+        } else if (!std::isfinite(parsed)) {
+          w.null();
+        } else {
+          const bool integral =
+              cell.find_first_not_of("0123456789",
+                                     cell[0] == '-' ? 1 : 0) ==
+                  std::string::npos &&
+              cell != "-" && cell.size() <= 19;
+          if (integral) {
+            w.value(static_cast<std::int64_t>(std::strtoll(
+                cell.c_str(), nullptr, 10)));
+          } else {
+            w.value(parsed);
+          }
+        }
+      }
+      w.end_array();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("notes").begin_object();
+  for (const auto& n : notes_) {
+    w.key(n.key);
+    if (n.numeric) {
+      w.value(n.number);
+    } else {
+      w.value(n.text);
+    }
+  }
+  w.end_object();
+
+  if (include_metrics) {
+    const auto snap = Registry::global().snapshot();
+    w.key("metrics").begin_object();
+    w.key("counters").begin_object();
+    for (const auto& [name, v] : snap.counters) w.key(name).value(v);
+    w.end_object();
+    w.key("gauges").begin_object();
+    for (const auto& [name, v] : snap.gauges) w.key(name).value(v);
+    w.end_object();
+    w.key("histograms").begin_object();
+    for (const auto& [name, h] : snap.histograms) {
+      w.key(name).begin_object();
+      w.key("count").value(h.count);
+      w.key("sum").value(h.sum);
+      w.key("mean").value(h.mean());
+      w.key("buckets").begin_array();
+      for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+        if (h.buckets[i] == 0) continue;  // sparse: only occupied buckets
+        w.begin_object();
+        w.key("le").value(Histogram::bucket_upper(i));
+        w.key("count").value(h.buckets[i]);
+        w.end_object();
+      }
+      w.end_array();
+      w.end_object();
+    }
+    w.end_object();
+    w.end_object();
+  }
+
+  w.end_object();
+  RL_REQUIRE(w.complete());
+}
+
+Run::Run(const util::Cli& cli)
+    : record_(cli.program(), cli.description()),
+      json_path_(cli.str("json-out")),
+      metrics_(cli.boolean("metrics")),
+      start_seconds_(steady_seconds_now()) {
+  record_.set_flags(cli.entries());
+  set_metrics_enabled(metrics_);
+  set_progress_enabled(cli.boolean("progress"));
+}
+
+void Run::finish() {
+  if (finished_) return;
+  finished_ = true;
+  if (json_path_.empty()) return;
+  const double wall = steady_seconds_now() - start_seconds_;
+  std::ofstream out(json_path_);
+  if (!out) {
+    std::fprintf(stderr, "obs: cannot open --json-out path '%s'\n",
+                 json_path_.c_str());
+    std::exit(2);
+  }
+  record_.write_json(out, wall, metrics_);
+  out.flush();
+  if (!out) {
+    std::fprintf(stderr, "obs: failed writing '%s'\n", json_path_.c_str());
+    std::exit(2);
+  }
+  std::fprintf(stderr, "obs: run record written to %s\n", json_path_.c_str());
+}
+
+Run::~Run() { finish(); }
+
+}  // namespace recover::obs

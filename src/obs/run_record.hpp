@@ -1,0 +1,120 @@
+// Structured run records: everything an experiment binary prints as an
+// ASCII table, captured as typed rows plus run metadata, and emitted as
+// a stable JSON document (schema `recover.run/1`).
+//
+// Schema (docs/OBSERVABILITY.md documents it with a worked example):
+//
+//   {
+//     "schema": "recover.run/1",
+//     "run": { "binary", "description", "started_unix_ms",
+//              "wall_seconds", "hostname", "git", "flags": {…} },
+//     "tables": [ { "name", "columns": […], "rows": [[…], …] }, … ],
+//     "notes": { … scalar findings (fit slopes, TV floors, …) … },
+//     "metrics": { "counters": {…}, "gauges": {…},
+//                  "histograms": { name: { "count", "sum", "mean",
+//                                          "buckets": [{"le","count"},…] } } }
+//   }
+//
+// Cells are typed on capture: a cell whose full text parses as a finite
+// number is emitted as a JSON number (integer-looking cells verbatim),
+// NaN/Inf parse to null, anything else stays a string.  The source of
+// every row is the very util::Table the binary prints, so the ASCII
+// table and the JSON record can never disagree.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace recover::util {
+class Cli;
+class Table;
+}  // namespace recover::util
+
+namespace recover::obs {
+
+/// Registers the shared observability flags (--json-out, --metrics,
+/// --progress) on a Cli.  Call before parse(); obs::Run reads them.
+void register_cli_flags(util::Cli& cli);
+
+class RunRecord {
+ public:
+  RunRecord(std::string binary, std::string description);
+
+  /// Flag name/value pairs recorded under run.flags.
+  void set_flags(std::vector<std::pair<std::string, std::string>> flags);
+
+  /// Captures a printed table as a named typed-row section.
+  void add_table(std::string name, const util::Table& table);
+
+  /// Scalar findings that live outside any table (fit slopes, ratios…).
+  void note(std::string key, double value);
+  void note(std::string key, std::string value);
+
+  /// Rows across all captured tables (CI fails a run with zero rows).
+  [[nodiscard]] std::size_t total_rows() const;
+
+  /// Writes the full document; include_metrics adds the merged registry
+  /// snapshot.  wall_seconds is stamped by the caller (obs::Run).
+  void write_json(std::ostream& os, double wall_seconds,
+                  bool include_metrics) const;
+
+ private:
+  struct TableSection {
+    std::string name;
+    std::vector<std::string> columns;
+    std::vector<std::vector<std::string>> rows;
+  };
+  struct Note {
+    std::string key;
+    bool numeric = false;
+    double number = 0;
+    std::string text;
+  };
+
+  std::string binary_;
+  std::string description_;
+  std::int64_t started_unix_ms_ = 0;
+  std::vector<std::pair<std::string, std::string>> flags_;
+  std::vector<TableSection> tables_;
+  std::vector<Note> notes_;
+};
+
+/// Per-binary harness tying the shared flags to the registry, the
+/// progress switch, and a RunRecord.  Construct once right after
+/// cli.parse(); the destructor writes the JSON file when --json-out was
+/// given (and prints where it wrote to stderr).
+class Run {
+ public:
+  explicit Run(const util::Cli& cli);
+  ~Run();
+
+  Run(const Run&) = delete;
+  Run& operator=(const Run&) = delete;
+
+  RunRecord& record() { return record_; }
+
+  void add_table(std::string name, const util::Table& table) {
+    record_.add_table(std::move(name), table);
+  }
+  void note(std::string key, double value) {
+    record_.note(std::move(key), value);
+  }
+  void note(std::string key, std::string value) {
+    record_.note(std::move(key), std::move(value));
+  }
+
+  /// Writes now instead of at destruction (idempotent).
+  void finish();
+
+ private:
+  RunRecord record_;
+  std::string json_path_;
+  bool metrics_;
+  bool finished_ = false;
+  double start_seconds_;
+};
+
+}  // namespace recover::obs

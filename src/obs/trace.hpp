@@ -1,0 +1,49 @@
+// RAII span timers: wall-clock durations recorded into the metrics
+// registry's log₂ histograms.
+//
+// Usage on a hot loop:
+//
+//   static obs::Histogram& h =
+//       obs::Registry::global().histogram("coalescence.replica_ns");
+//   {
+//     obs::ScopedSpan span(h);
+//     ... replica body ...
+//   }   // duration recorded here (ns)
+//
+// When metrics are disabled the constructor is a relaxed load plus a
+// branch and the destructor a branch — the clock is never read.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+#include "src/obs/metrics.hpp"
+
+namespace recover::obs {
+
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(Histogram& sink) noexcept
+      : sink_(sink), active_(metrics_enabled()) {
+    if (active_) start_ = std::chrono::steady_clock::now();
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  ~ScopedSpan() {
+    if (active_) {
+      const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                          std::chrono::steady_clock::now() - start_)
+                          .count();
+      sink_.record(ns > 0 ? static_cast<std::uint64_t>(ns) : 0);
+    }
+  }
+
+ private:
+  Histogram& sink_;
+  bool active_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace recover::obs

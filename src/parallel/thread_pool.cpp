@@ -1,8 +1,38 @@
 #include "src/parallel/thread_pool.hpp"
 
+#include <chrono>
+
+#include "src/obs/metrics.hpp"
 #include "src/util/assert.hpp"
 
 namespace recover::parallel {
+
+namespace {
+
+// Chunk-level telemetry: per-participant busy time (the counter's
+// per-thread shards make it per-worker for free) and a duration
+// histogram whose bucket spread exposes static-chunking imbalance.
+void record_chunk(std::uint64_t items,
+                  std::chrono::steady_clock::time_point begin) {
+  static obs::Counter& busy_ns =
+      obs::Registry::global().counter("pool.busy_ns");
+  static obs::Counter& chunks =
+      obs::Registry::global().counter("pool.chunks");
+  static obs::Counter& items_done =
+      obs::Registry::global().counter("pool.items");
+  static obs::Histogram& chunk_ns =
+      obs::Registry::global().histogram("pool.chunk_ns");
+  const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      std::chrono::steady_clock::now() - begin)
+                      .count();
+  const auto uns = ns > 0 ? static_cast<std::uint64_t>(ns) : 0;
+  busy_ns.add(uns);
+  chunks.add();
+  items_done.add(items);
+  chunk_ns.record(uns);
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(unsigned threads) {
   unsigned n = threads;
@@ -41,7 +71,13 @@ void ThreadPool::worker_loop(std::size_t worker_index) {
       task = tasks_[worker_index];
       body = body_;
     }
-    for (std::uint64_t i = task.begin; i < task.end; ++i) (*body)(i);
+    if (obs::metrics_enabled() && task.begin < task.end) {
+      const auto begin = std::chrono::steady_clock::now();
+      for (std::uint64_t i = task.begin; i < task.end; ++i) (*body)(i);
+      record_chunk(task.end - task.begin, begin);
+    } else {
+      for (std::uint64_t i = task.begin; i < task.end; ++i) (*body)(i);
+    }
     {
       std::lock_guard<std::mutex> lock(mutex_);
       if (--pending_ == 0) work_done_.notify_one();
@@ -52,9 +88,20 @@ void ThreadPool::worker_loop(std::size_t worker_index) {
 void ThreadPool::for_each_index(
     std::uint64_t count, const std::function<void(std::uint64_t)>& body) {
   if (count == 0) return;
+  static obs::Counter& calls =
+      obs::Registry::global().counter("pool.parallel_calls");
+  static obs::Gauge& threads = obs::Registry::global().gauge("pool.threads");
+  calls.add();
+  threads.set(static_cast<double>(size()));
   const auto participants = static_cast<std::uint64_t>(size());
   if (participants == 1 || count == 1) {
-    for (std::uint64_t i = 0; i < count; ++i) body(i);
+    if (obs::metrics_enabled()) {
+      const auto begin = std::chrono::steady_clock::now();
+      for (std::uint64_t i = 0; i < count; ++i) body(i);
+      record_chunk(count, begin);
+    } else {
+      for (std::uint64_t i = 0; i < count; ++i) body(i);
+    }
     return;
   }
   // Static contiguous chunking; chunk c covers
@@ -78,7 +125,17 @@ void ThreadPool::for_each_index(
     ++generation_;
   }
   work_ready_.notify_all();
-  for (std::uint64_t i = caller_task.begin; i < caller_task.end; ++i) body(i);
+  if (obs::metrics_enabled() && caller_task.begin < caller_task.end) {
+    const auto begin = std::chrono::steady_clock::now();
+    for (std::uint64_t i = caller_task.begin; i < caller_task.end; ++i) {
+      body(i);
+    }
+    record_chunk(caller_task.end - caller_task.begin, begin);
+  } else {
+    for (std::uint64_t i = caller_task.begin; i < caller_task.end; ++i) {
+      body(i);
+    }
+  }
   {
     std::unique_lock<std::mutex> lock(mutex_);
     work_done_.wait(lock, [&] { return pending_ == 0; });

@@ -1,11 +1,28 @@
 #include "src/rng/engines.hpp"
 
+#include "src/obs/metrics.hpp"
+
 namespace recover::rng {
 namespace {
 
 inline std::uint64_t rotl(std::uint64_t x, int k) {
   return (x << k) | (x >> (64 - k));
 }
+
+// Draw counters, registered at load time (no function-local static
+// guard on the flush path).  Engines accumulate draws in a private
+// member and flush every kDrawFlush draws / on destruction, so the
+// per-draw cost is an increment on the engine's own cache line — no
+// global load at all.  Per-draw granularity is what makes replica cost
+// differences between rules/schedules visible in run records.
+obs::Counter& g_xoshiro_draws =
+    obs::Registry::global().counter("rng.xoshiro.draws");
+obs::Counter& g_philox_draws =
+    obs::Registry::global().counter("rng.philox.draws");
+obs::Counter& g_philox_blocks =
+    obs::Registry::global().counter("rng.philox.blocks");
+obs::Counter& g_stream_seeds =
+    obs::Registry::global().counter("rng.stream_seeds");
 
 }  // namespace
 
@@ -14,7 +31,17 @@ Xoshiro256PlusPlus::Xoshiro256PlusPlus(std::uint64_t seed) {
   for (auto& w : s_) w = sm();
 }
 
+Xoshiro256PlusPlus::~Xoshiro256PlusPlus() {
+  g_xoshiro_draws.add(pending_draws_ & (detail::kDrawFlush - 1));
+}
+
 Xoshiro256PlusPlus::result_type Xoshiro256PlusPlus::operator()() {
+  // Draw accounting stays on the engine's own cache line: a member
+  // increment plus a never-taken branch, flushed to the global counter
+  // every kDrawFlush draws and on destruction.
+  if ((++pending_draws_ & (detail::kDrawFlush - 1)) == 0) {
+    g_xoshiro_draws.add(detail::kDrawFlush);
+  }
   const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
   const std::uint64_t t = s_[1] << 17;
   s_[2] ^= s_[0];
@@ -84,8 +111,19 @@ std::array<std::uint32_t, 4> Philox4x32::block(std::uint64_t counter) const {
   return ctr;
 }
 
+Philox4x32::~Philox4x32() {
+  g_philox_draws.add(pending_draws_ & (detail::kDrawFlush - 1));
+  g_philox_blocks.add(pending_blocks_);
+}
+
 Philox4x32::result_type Philox4x32::operator()() {
+  if ((++pending_draws_ & (detail::kDrawFlush - 1)) == 0) {
+    g_philox_draws.add(detail::kDrawFlush);
+    g_philox_blocks.add(pending_blocks_);
+    pending_blocks_ = 0;
+  }
   if (buffered_ < 2) {
+    ++pending_blocks_;
     buffer_ = block(counter_++);
     buffered_ = 4;
   }
@@ -96,6 +134,7 @@ Philox4x32::result_type Philox4x32::operator()() {
 }
 
 std::uint64_t derive_stream_seed(std::uint64_t master_seed, std::uint64_t i) {
+  g_stream_seeds.add();
   SplitMix64 sm(master_seed ^ (0xA24BAED4963EE407ULL + i * 0x9FB21C651E98DF25ULL));
   // Burn a few outputs so adjacent i values decorrelate fully.
   (void)sm();

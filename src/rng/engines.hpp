@@ -40,12 +40,31 @@ class SplitMix64 {
   std::uint64_t state_;
 };
 
+namespace detail {
+
+/// Draws between flushes of a per-engine pending count into the global
+/// obs counter.  Power of two: the flush test compiles to a mask +
+/// never-taken branch, so draw accounting stays off the global bus —
+/// no shared cache line is touched on the common path.
+inline constexpr std::uint64_t kDrawFlush = 1u << 16;
+
+}  // namespace detail
+
 /// xoshiro256++ 1.0 (Blackman, Vigna 2019).
 class Xoshiro256PlusPlus {
  public:
   using result_type = std::uint64_t;
 
   explicit Xoshiro256PlusPlus(std::uint64_t seed);
+
+  // Copies restart draw accounting at zero so every draw is flushed to
+  // the global counter exactly once (by the engine that made it).
+  Xoshiro256PlusPlus(const Xoshiro256PlusPlus& other) : s_(other.s_) {}
+  Xoshiro256PlusPlus& operator=(const Xoshiro256PlusPlus& other) {
+    s_ = other.s_;
+    return *this;
+  }
+  ~Xoshiro256PlusPlus();
 
   static constexpr result_type min() { return 0; }
   static constexpr result_type max() { return ~std::uint64_t{0}; }
@@ -58,6 +77,7 @@ class Xoshiro256PlusPlus {
 
  private:
   std::array<std::uint64_t, 4> s_;
+  std::uint64_t pending_draws_ = 0;
 };
 
 /// Philox4x32-10 (Salmon et al., SC'11) counter-based generator.
@@ -70,6 +90,24 @@ class Philox4x32 {
   using result_type = std::uint64_t;
 
   explicit Philox4x32(std::uint64_t key, std::uint64_t counter_hi = 0);
+
+  // Same copy policy as Xoshiro256PlusPlus: the copy restarts draw
+  // accounting so each draw is flushed exactly once.
+  Philox4x32(const Philox4x32& other)
+      : key_(other.key_),
+        counter_hi_(other.counter_hi_),
+        counter_(other.counter_),
+        buffer_(other.buffer_),
+        buffered_(other.buffered_) {}
+  Philox4x32& operator=(const Philox4x32& other) {
+    key_ = other.key_;
+    counter_hi_ = other.counter_hi_;
+    counter_ = other.counter_;
+    buffer_ = other.buffer_;
+    buffered_ = other.buffered_;
+    return *this;
+  }
+  ~Philox4x32();
 
   static constexpr result_type min() { return 0; }
   static constexpr result_type max() { return ~std::uint64_t{0}; }
@@ -88,6 +126,8 @@ class Philox4x32 {
   std::uint64_t counter_ = 0;
   std::array<std::uint32_t, 4> buffer_{};
   int buffered_ = 0;  // number of 32-bit lanes still unconsumed
+  std::uint64_t pending_draws_ = 0;
+  std::uint64_t pending_blocks_ = 0;
 };
 
 /// Derives the i-th independent stream seed from a master seed.

@@ -41,11 +41,13 @@ std::string Cli::usage() const {
   return os.str();
 }
 
-void Cli::parse(int argc, const char* const* argv) {
+std::vector<std::string> Cli::parse_impl(int argc, const char* const* argv,
+                                         bool collect_unknown) {
   // Banner: experiment outputs are frequently concatenated (e.g.
   // `for b in build/bench/*; do $b; done | tee ...`), so each program
   // announces itself first.
   std::printf("## %s — %s\n", program_.c_str(), description_.c_str());
+  std::vector<std::string> unknown;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--help" || arg == "-h") {
@@ -53,6 +55,10 @@ void Cli::parse(int argc, const char* const* argv) {
       std::exit(0);
     }
     if (arg.rfind("--", 0) != 0) {
+      if (collect_unknown) {
+        unknown.push_back(arg);
+        continue;
+      }
       std::fprintf(stderr, "unexpected positional argument '%s'\n%s",
                    arg.c_str(), usage().c_str());
       std::exit(2);
@@ -68,6 +74,12 @@ void Cli::parse(int argc, const char* const* argv) {
     }
     Flag* f = find(name);
     if (f == nullptr) {
+      if (collect_unknown) {
+        // Forwarded parsers use the --name=value form; the token is
+        // passed through untouched.
+        unknown.push_back(argv[i]);
+        continue;
+      }
       std::fprintf(stderr, "unknown flag '--%s'\n%s", name.c_str(),
                    usage().c_str());
       std::exit(2);
@@ -83,6 +95,22 @@ void Cli::parse(int argc, const char* const* argv) {
     }
     f->value = value;
   }
+  return unknown;
+}
+
+void Cli::parse(int argc, const char* const* argv) {
+  (void)parse_impl(argc, argv, /*collect_unknown=*/false);
+}
+
+std::vector<std::string> Cli::parse_known(int argc, const char* const* argv) {
+  return parse_impl(argc, argv, /*collect_unknown=*/true);
+}
+
+std::vector<std::pair<std::string, std::string>> Cli::entries() const {
+  std::vector<std::pair<std::string, std::string>> out;
+  out.reserve(flags_.size());
+  for (const auto& f : flags_) out.emplace_back(f.name, f.value);
+  return out;
 }
 
 std::string Cli::str(const std::string& name) const {

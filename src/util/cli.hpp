@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace recover::util {
@@ -25,6 +26,11 @@ class Cli {
   /// --help (0) or unknown flags (2).
   void parse(int argc, const char* const* argv);
 
+  /// Like parse(), but unknown `--flag[=value]` tokens are collected and
+  /// returned instead of aborting — for binaries that forward leftovers
+  /// to another flag parser (bench_microbench → google-benchmark).
+  std::vector<std::string> parse_known(int argc, const char* const* argv);
+
   [[nodiscard]] std::string str(const std::string& name) const;
   [[nodiscard]] std::int64_t integer(const std::string& name) const;
   [[nodiscard]] double real(const std::string& name) const;
@@ -36,6 +42,16 @@ class Cli {
 
   [[nodiscard]] std::string usage() const;
 
+  [[nodiscard]] const std::string& program() const { return program_; }
+  [[nodiscard]] const std::string& description() const {
+    return description_;
+  }
+
+  /// Every registered flag with its current (post-parse) value, in
+  /// registration order — recorded verbatim by the obs run recorder.
+  [[nodiscard]] std::vector<std::pair<std::string, std::string>> entries()
+      const;
+
  private:
   struct Flag {
     std::string name;
@@ -45,6 +61,8 @@ class Cli {
 
   [[nodiscard]] const Flag* find(const std::string& name) const;
   Flag* find(const std::string& name);
+  std::vector<std::string> parse_impl(int argc, const char* const* argv,
+                                      bool collect_unknown);
 
   std::string program_;
   std::string description_;

@@ -46,6 +46,11 @@ const std::string& Table::cell(std::size_t r, std::size_t c) const {
   return rows_[r][c];
 }
 
+const std::string& Table::header(std::size_t c) const {
+  RL_REQUIRE(c < header_.size());
+  return header_[c];
+}
+
 void Table::print(std::ostream& os) const {
   std::vector<std::size_t> width(header_.size());
   for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();

@@ -33,6 +33,7 @@ class Table {
   [[nodiscard]] std::size_t rows() const { return rows_.size(); }
   [[nodiscard]] std::size_t columns() const { return header_.size(); }
   [[nodiscard]] const std::string& cell(std::size_t r, std::size_t c) const;
+  [[nodiscard]] const std::string& header(std::size_t c) const;
 
  private:
   std::vector<std::string> header_;
