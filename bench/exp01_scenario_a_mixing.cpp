@@ -7,16 +7,20 @@
 // d ∈ {1, 2, 3}.  Reproduction criterion: the ratio T / (m ln m) is flat
 // in m (constant within noise) and the fitted log-log slope of T vs m is
 // ≈ 1 (the ln factor biases it slightly above 1).
+//
+// The per-point body is the registered "exp01" SweepCell (src/sweep/),
+// shared with bench/sweep_runner: the same grid and --seed produce the
+// same numbers here, under the sweep engine, and from checkpoint resume.
 #include <cmath>
 #include <cstdio>
 #include <iostream>
+#include <map>
 #include <vector>
 
-#include "src/balls/grand_coupling.hpp"
-#include "src/core/coalescence.hpp"
-#include "src/core/path_coupling.hpp"
 #include "src/obs/run_record.hpp"
+#include "src/rng/engines.hpp"
 #include "src/stats/regression.hpp"
+#include "src/sweep/registry.hpp"
 #include "src/util/cli.hpp"
 #include "src/util/table.hpp"
 #include "src/util/timer.hpp"
@@ -37,52 +41,53 @@ int main(int argc, char** argv) {
   cli.parse(argc, argv);
   obs::Run run(cli);
 
-  const auto sizes = cli.int_list("sizes");
-  const auto ds = cli.int_list("ds");
   const auto density = cli.integer("density");
-  const auto replicas = static_cast<int>(cli.integer("replicas"));
   const auto seed = static_cast<std::uint64_t>(cli.integer("seed"));
+
+  // Same axis order as the sweep_runner default grid, so cell indices
+  // (hence per-cell substream seeds) line up with a sweep over this grid.
+  sweep::GridSpec grid;
+  grid.add_axis("d", cli.int_list("ds"));
+  grid.add_axis("m", cli.int_list("sizes"));
+  grid.add_axis("density", {density});
+  grid.add_axis("replicas", {cli.integer("replicas")});
+  const auto* exp = sweep::Registry::global().find("exp01");
 
   util::Table table({"d", "n", "m", "T_mean", "T_ci95", "T_q95", "m*ln(m)",
                      "ratio", "thm1_bound(1/4)", "secs"});
+  std::map<std::int64_t, std::pair<std::vector<double>, std::vector<double>>>
+      fits;  // d -> (log xs, ys)
 
-  for (const std::int64_t d : ds) {
-    std::vector<double> xs, ys;
-    for (const std::int64_t m : sizes) {
-      const auto n = static_cast<std::size_t>(
-          std::max<std::int64_t>(2, m / density));
-      util::Timer timer;
-      core::CoalescenceOptions opts;
-      opts.replicas = replicas;
-      opts.seed = seed + static_cast<std::uint64_t>(d) * 1000003;
-      opts.max_steps = 200 * m * (1 + static_cast<std::int64_t>(
-                                          std::log(static_cast<double>(m))));
-      opts.check_interval = std::max<std::int64_t>(1, m / 8);
-      const auto stats = core::measure_coalescence(
-          [&](std::uint64_t) {
-            return balls::GrandCouplingA<balls::AbkuRule>(
-                balls::LoadVector::all_in_one(n, m),
-                balls::LoadVector::balanced(n, m),
-                balls::AbkuRule(static_cast<int>(d)));
-          },
-          opts);
-      const double mlnm =
-          static_cast<double>(m) * std::log(static_cast<double>(m));
-      table.row()
-          .integer(d)
-          .integer(static_cast<std::int64_t>(n))
-          .integer(m)
-          .num(stats.steps.mean(), 1)
-          .num(stats.steps.ci_halfwidth(), 1)
-          .num(stats.q95, 1)
-          .num(mlnm, 1)
-          .num(stats.steps.mean() / mlnm, 3)
-          .integer(static_cast<std::int64_t>(core::theorem1_bound(m, 0.25)))
-          .num(timer.seconds(), 2);
-      xs.push_back(static_cast<double>(m));
-      ys.push_back(stats.steps.mean());
-    }
-    const auto fit = stats::loglog_fit(xs, ys);
+  for (std::uint64_t index = 0; index < grid.cells(); ++index) {
+    const auto cell = grid.cell(index);
+    const std::int64_t m = cell.at("m");
+    const std::int64_t d = cell.at("d");
+    const auto n = static_cast<std::size_t>(
+        std::max<std::int64_t>(2, m / density));
+    util::Timer timer;
+    sweep::CellContext ctx;
+    ctx.seed = rng::substream(seed, index);
+    ctx.parallel_within_cell = true;  // one cell at a time owns the pool
+    const auto result = exp->run(cell, ctx);
+    const double mlnm =
+        static_cast<double>(m) * std::log(static_cast<double>(m));
+    table.row()
+        .integer(d)
+        .integer(static_cast<std::int64_t>(n))
+        .integer(m)
+        .num(result.at("T_mean"), 1)
+        .num(result.at("T_ci95"), 1)
+        .num(result.at("T_q95"), 1)
+        .num(mlnm, 1)
+        .num(result.at("ratio_mlnm"), 3)
+        .integer(static_cast<std::int64_t>(result.at("thm1_bound")))
+        .num(timer.seconds(), 2);
+    fits[d].first.push_back(static_cast<double>(m));
+    fits[d].second.push_back(result.at("T_mean"));
+  }
+
+  for (const auto& [d, xy] : fits) {
+    const auto fit = stats::loglog_fit(xy.first, xy.second);
     std::printf("# d=%lld  log-log slope of T vs m: %.3f (R^2 %.4f)\n",
                 static_cast<long long>(d), fit.slope, fit.r_squared);
     run.note("loglog_slope_d" + std::to_string(d), fit.slope);

@@ -7,16 +7,19 @@
 // ratios against the candidate laws plus the fitted log-log slope in m.
 // Expected shape: T/m² roughly flat in m at fixed c (the Õ(m²) law),
 // orders of magnitude below the Claim 5.3 worst-case bound.
+//
+// The per-point body is the registered "exp03" SweepCell (src/sweep/),
+// shared with bench/sweep_runner.
 #include <cmath>
 #include <cstdio>
 #include <iostream>
+#include <map>
 #include <vector>
 
-#include "src/balls/grand_coupling.hpp"
-#include "src/core/coalescence.hpp"
-#include "src/core/path_coupling.hpp"
 #include "src/obs/run_record.hpp"
+#include "src/rng/engines.hpp"
 #include "src/stats/regression.hpp"
+#include "src/sweep/registry.hpp"
 #include "src/util/cli.hpp"
 #include "src/util/table.hpp"
 #include "src/util/timer.hpp"
@@ -35,58 +38,53 @@ int main(int argc, char** argv) {
   cli.parse(argc, argv);
   obs::Run run(cli);
 
-  const auto sizes = cli.int_list("sizes");
-  const auto densities = cli.int_list("densities");
-  const auto d = static_cast<int>(cli.integer("d"));
-  const auto replicas = static_cast<int>(cli.integer("replicas"));
   const auto seed = static_cast<std::uint64_t>(cli.integer("seed"));
+
+  sweep::GridSpec grid;
+  grid.add_axis("density", cli.int_list("densities"));
+  grid.add_axis("n", cli.int_list("sizes"));
+  grid.add_axis("d", {cli.integer("d")});
+  grid.add_axis("replicas", {cli.integer("replicas")});
+  const auto* exp = sweep::Registry::global().find("exp03");
 
   util::Table table({"m/n", "n", "m", "T_mean", "T_ci95", "T_q95", "T/m^2",
                      "T/(n*m)", "claim53_bound(1/4)", "secs"});
+  std::map<std::int64_t, std::pair<std::vector<double>, std::vector<double>>>
+      fits;  // density -> (m, T_mean)
 
-  for (const std::int64_t c : densities) {
-    std::vector<double> xs, ys;
-    for (const std::int64_t n : sizes) {
-      const std::int64_t m = c * n;
-      util::Timer timer;
-      core::CoalescenceOptions opts;
-      opts.replicas = replicas;
-      opts.seed = seed + static_cast<std::uint64_t>(c) * 7777;
-      opts.max_steps = 2000 * m * m;
-      opts.check_interval = std::max<std::int64_t>(1, m * m / 64);
-      const auto stats = core::measure_coalescence(
-          [&](std::uint64_t) {
-            return balls::GrandCouplingB<balls::AbkuRule>(
-                balls::LoadVector::all_in_one(static_cast<std::size_t>(n), m),
-                balls::LoadVector::balanced(static_cast<std::size_t>(n), m),
-                balls::AbkuRule(d));
-          },
-          opts);
-      const double m2 = static_cast<double>(m) * static_cast<double>(m);
-      table.row()
-          .add(std::to_string(c))
-          .integer(n)
-          .integer(m)
-          .num(stats.steps.mean(), 1)
-          .num(stats.steps.ci_halfwidth(), 1)
-          .num(stats.q95, 1)
-          .num(stats.steps.mean() / m2, 3)
-          .num(stats.steps.mean() /
-                   (static_cast<double>(n) * static_cast<double>(m)),
-               3)
-          .num(core::claim53_bound(static_cast<std::size_t>(n), m, 0.25), 0)
-          .num(timer.seconds(), 2);
-      if (stats.censored == 0) {
-        xs.push_back(static_cast<double>(m));
-        ys.push_back(stats.steps.mean());
-      }
+  for (std::uint64_t index = 0; index < grid.cells(); ++index) {
+    const auto cell = grid.cell(index);
+    const std::int64_t c = cell.at("density");
+    const std::int64_t n = cell.at("n");
+    const std::int64_t m = c * n;
+    util::Timer timer;
+    sweep::CellContext ctx;
+    ctx.seed = rng::substream(seed, index);
+    ctx.parallel_within_cell = true;
+    const auto result = exp->run(cell, ctx);
+    table.row()
+        .add(std::to_string(c))
+        .integer(n)
+        .integer(m)
+        .num(result.at("T_mean"), 1)
+        .num(result.at("T_ci95"), 1)
+        .num(result.at("T_q95"), 1)
+        .num(result.at("T_m2"), 3)
+        .num(result.at("T_nm"), 3)
+        .num(result.at("claim53_bound"), 0)
+        .num(timer.seconds(), 2);
+    if (result.at("censored") == 0) {
+      fits[c].first.push_back(static_cast<double>(m));
+      fits[c].second.push_back(result.at("T_mean"));
     }
-    if (xs.size() >= 3) {
-      const auto fit = stats::loglog_fit(xs, ys);
-      std::printf("# m/n=%lld  log-log slope of T vs m: %.3f (R^2 %.4f)\n",
-                  static_cast<long long>(c), fit.slope, fit.r_squared);
-      run.note("loglog_slope_c" + std::to_string(c), fit.slope);
-    }
+  }
+
+  for (const auto& [c, xy] : fits) {
+    if (xy.first.size() < 3) continue;
+    const auto fit = stats::loglog_fit(xy.first, xy.second);
+    std::printf("# m/n=%lld  log-log slope of T vs m: %.3f (R^2 %.4f)\n",
+                static_cast<long long>(c), fit.slope, fit.r_squared);
+    run.note("loglog_slope_c" + std::to_string(c), fit.slope);
   }
   table.print(std::cout);
   run.add_table("coalescence_scaling", table);

@@ -8,16 +8,19 @@
 // perfectly fair) starts over an n sweep and compare against all three
 // laws; the fitted log-log slope should sit near 2 (n² up to polylog),
 // far from 3.
+//
+// The per-point body is the registered "exp06" SweepCell (src/sweep/),
+// shared with bench/sweep_runner: the adversarial staircase start
+// (exp20) is measured alongside the spread start inside the cell.
 #include <cmath>
 #include <cstdio>
 #include <iostream>
 #include <vector>
 
-#include "src/core/coalescence.hpp"
-#include "src/core/path_coupling.hpp"
 #include "src/obs/run_record.hpp"
-#include "src/orient/chain.hpp"
+#include "src/rng/engines.hpp"
 #include "src/stats/regression.hpp"
+#include "src/sweep/registry.hpp"
 #include "src/util/cli.hpp"
 #include "src/util/table.hpp"
 #include "src/util/timer.hpp"
@@ -34,58 +37,44 @@ int main(int argc, char** argv) {
   cli.parse(argc, argv);
   obs::Run run(cli);
 
-  const auto sizes = cli.int_list("sizes");
-  const auto replicas = static_cast<int>(cli.integer("replicas"));
   const auto seed = static_cast<std::uint64_t>(cli.integer("seed"));
+
+  sweep::GridSpec grid;
+  grid.add_axis("n", cli.int_list("sizes"));
+  grid.add_axis("replicas", {cli.integer("replicas")});
+  const auto* exp = sweep::Registry::global().find("exp06");
 
   util::Table table({"n", "T_mean", "T_ci95", "T_q95", "T/n^2",
                      "T/(n^2 ln^2 n)", "T/(n^3 ln n)", "T_staircase",
                      "cor64_bound(1/4)", "secs"});
 
   std::vector<double> xs, ys;
-  for (const std::int64_t n : sizes) {
-    util::Timer timer;
-    const auto ns = static_cast<std::size_t>(n);
-    core::CoalescenceOptions opts;
-    opts.replicas = replicas;
-    opts.seed = seed;
+  for (std::uint64_t index = 0; index < grid.cells(); ++index) {
+    const auto cell = grid.cell(index);
+    const std::int64_t n = cell.at("n");
     const double nd = static_cast<double>(n);
-    opts.max_steps = static_cast<std::int64_t>(
-        500.0 * nd * nd * std::log(nd) * std::log(nd));
-    opts.check_interval = std::max<std::int64_t>(1, n * n / 16);
-    // Adversarial start: the full staircase is the worst start within
-    // the reachable space (exp20); the spread state displaces even more
-    // and upper-bounds it.  Both are measured; the table reports spread.
-    const auto stats = core::measure_coalescence(
-        [&](std::uint64_t) {
-          return orient::GrandCouplingOrient(
-              orient::DiffState::spread(ns, n / 2), orient::DiffState(ns));
-        },
-        opts);
-    const auto stats_stair = core::measure_coalescence(
-        [&](std::uint64_t) {
-          return orient::GrandCouplingOrient(
-              orient::DiffState::staircase(ns, n / 2),
-              orient::DiffState(ns));
-        },
-        opts);
+    util::Timer timer;
+    sweep::CellContext ctx;
+    ctx.seed = rng::substream(seed, index);
+    ctx.parallel_within_cell = true;
+    const auto result = exp->run(cell, ctx);
     const double n2 = nd * nd;
     const double n2ln2 = n2 * std::log(nd) * std::log(nd);
     const double n3ln = n2 * nd * std::log(nd);
     table.row()
         .integer(n)
-        .num(stats.steps.mean(), 1)
-        .num(stats.steps.ci_halfwidth(), 1)
-        .num(stats.q95, 1)
-        .num(stats.steps.mean() / n2, 3)
-        .num(stats.steps.mean() / n2ln2, 4)
-        .num(stats.steps.mean() / n3ln, 5)
-        .num(stats_stair.steps.mean(), 1)
-        .num(core::corollary64_bound(ns, 0.25), 0)
+        .num(result.at("T_mean"), 1)
+        .num(result.at("T_ci95"), 1)
+        .num(result.at("T_q95"), 1)
+        .num(result.at("T_mean") / n2, 3)
+        .num(result.at("T_mean") / n2ln2, 4)
+        .num(result.at("T_mean") / n3ln, 5)
+        .num(result.at("T_stair_mean"), 1)
+        .num(result.at("cor64_bound"), 0)
         .num(timer.seconds(), 2);
-    if (stats.censored == 0) {
+    if (result.at("censored") == 0) {
       xs.push_back(nd);
-      ys.push_back(stats.steps.mean());
+      ys.push_back(result.at("T_mean"));
     }
   }
   table.print(std::cout);

@@ -6,59 +6,18 @@
 // ln ln n / ln d + O(1) for d ≥ 2 in both scenarios, versus
 // Θ(ln n / ln ln n) for d = 1; the fluid model's fixed-point prediction
 // should agree with the simulated value within O(1).
+//
+// The per-point body is the registered "exp10" SweepCell (src/sweep/),
+// shared with bench/sweep_runner.
 #include <cmath>
 #include <cstdio>
 #include <iostream>
-#include <vector>
 
-#include "src/balls/scenario_a.hpp"
-#include "src/balls/scenario_b.hpp"
-#include "src/balls/static_alloc.hpp"
-#include "src/fluid/fluid_limit.hpp"
 #include "src/obs/run_record.hpp"
 #include "src/rng/engines.hpp"
-#include "src/stats/autocorr.hpp"
-#include "src/stats/histogram.hpp"
+#include "src/sweep/registry.hpp"
 #include "src/util/cli.hpp"
 #include "src/util/table.hpp"
-
-namespace {
-
-struct StationaryEstimate {
-  double mean_max_load = 0;
-  double ess = 0;  // effective sample size of the spaced series
-};
-
-template <typename Chain>
-StationaryEstimate stationary_mean_max_load(
-    Chain& chain, std::int64_t burn_in, std::int64_t samples,
-    std::int64_t spacing, recover::rng::Xoshiro256PlusPlus& eng) {
-  for (std::int64_t t = 0; t < burn_in; ++t) chain.step(eng);
-  recover::stats::IntHistogram hist;
-  std::vector<double> series;
-  series.reserve(static_cast<std::size_t>(samples));
-  for (std::int64_t s = 0; s < samples; ++s) {
-    for (std::int64_t t = 0; t < spacing; ++t) chain.step(eng);
-    hist.add(chain.state().max_load());
-    series.push_back(static_cast<double>(chain.state().max_load()));
-  }
-  StationaryEstimate out;
-  out.mean_max_load = hist.mean();
-  // A constant series (common at small n, d >= 2) has zero variance;
-  // every sample is then trivially independent.
-  bool varies = false;
-  for (const double v : series) {
-    if (v != series.front()) {
-      varies = true;
-      break;
-    }
-  }
-  out.ess = varies ? recover::stats::effective_sample_size(series)
-                   : static_cast<double>(samples);
-  return out;
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   using namespace recover;
@@ -73,60 +32,34 @@ int main(int argc, char** argv) {
   cli.parse(argc, argv);
   obs::Run run(cli);
 
-  const auto sizes = cli.int_list("sizes");
-  const auto ds = cli.int_list("ds");
-  const auto samples = cli.integer("samples");
   const auto seed = static_cast<std::uint64_t>(cli.integer("seed"));
+
+  sweep::GridSpec grid;
+  grid.add_axis("d", cli.int_list("ds"));
+  grid.add_axis("n", cli.int_list("sizes"));
+  grid.add_axis("samples", {cli.integer("samples")});
+  const auto* exp = sweep::Registry::global().find("exp10");
 
   util::Table table({"d", "n=m", "maxload_A", "maxload_B", "fluid_A",
                      "fluid_B", "ln(n)/lnln(n)", "lnln(n)/ln(d)",
                      "ESS_A"});
 
-  for (const std::int64_t d : ds) {
-    for (const std::int64_t n : sizes) {
-      const auto ns = static_cast<std::size_t>(n);
-      const double nd = static_cast<double>(n);
-      rng::Xoshiro256PlusPlus eng(
-          rng::derive_stream_seed(seed, static_cast<std::uint64_t>(d * 100000 +
-                                                                   n)));
-      const std::int64_t burn_in = 40 * n;
-      const std::int64_t spacing = std::max<std::int64_t>(1, n / 4);
-
-      balls::ScenarioAChain<balls::AbkuRule> ca(
-          balls::LoadVector::balanced(ns, n),
-          balls::AbkuRule(static_cast<int>(d)));
-      const auto est_a =
-          stationary_mean_max_load(ca, burn_in, samples, spacing, eng);
-      const double max_a = est_a.mean_max_load;
-      balls::ScenarioBChain<balls::AbkuRule> cb(
-          balls::LoadVector::balanced(ns, n),
-          balls::AbkuRule(static_cast<int>(d)));
-      const double max_b =
-          stationary_mean_max_load(cb, burn_in, samples, spacing, eng)
-              .mean_max_load;
-
-      fluid::FluidModel fa(fluid::Scenario::kA, static_cast<int>(d), 1.0, 40);
-      fluid::FluidModel fb(fluid::Scenario::kB, static_cast<int>(d), 1.0, 40);
-      const auto fluid_a =
-          fluid::FluidModel::predicted_max_load(fa.fixed_point(), nd);
-      const auto fluid_b =
-          fluid::FluidModel::predicted_max_load(fb.fixed_point(), nd);
-
-      const double one_choice = std::log(nd) / std::log(std::log(nd));
-      const double two_choice =
-          d >= 2 ? std::log(std::log(nd)) / std::log(static_cast<double>(d))
-                 : 0.0;
-      table.row()
-          .integer(d)
-          .integer(n)
-          .num(max_a, 2)
-          .num(max_b, 2)
-          .integer(fluid_a)
-          .integer(fluid_b)
-          .num(one_choice, 2)
-          .num(two_choice, 2)
-          .num(est_a.ess, 0);
-    }
+  for (std::uint64_t index = 0; index < grid.cells(); ++index) {
+    const auto cell = grid.cell(index);
+    sweep::CellContext ctx;
+    ctx.seed = rng::substream(seed, index);
+    ctx.parallel_within_cell = true;
+    const auto result = exp->run(cell, ctx);
+    table.row()
+        .integer(cell.at("d"))
+        .integer(cell.at("n"))
+        .num(result.at("maxload_A"), 2)
+        .num(result.at("maxload_B"), 2)
+        .integer(static_cast<std::int64_t>(result.at("fluid_A")))
+        .integer(static_cast<std::int64_t>(result.at("fluid_B")))
+        .num(result.at("law_one_choice"), 2)
+        .num(result.at("law_d_choice"), 2)
+        .num(result.at("ess_A"), 0);
   }
   table.print(std::cout);
   run.add_table("stationary_maxload", table);

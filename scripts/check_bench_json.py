@@ -12,6 +12,12 @@ Checks, per file:
 With --aggregate OUT, a compact summary document (one entry per input
 record: binary, wall seconds, per-table row counts, notes) is written to
 OUT — the commit-friendly benchmark trajectory snapshot.
+
+With --sweep-checkpoint, the inputs are instead validated as
+recover.sweep_cell/1 JSONL checkpoints written by bench/sweep_runner
+(docs/SWEEPS.md): every line must be a complete record whose stored hash
+matches this script's independent FNV-1a of "<exp>|<key>" — a
+cross-language guard on the checkpoint content-hash format.
 """
 
 import argparse
@@ -19,6 +25,73 @@ import json
 import sys
 
 SCHEMA = "recover.run/1"
+SWEEP_SCHEMA = "recover.sweep_cell/1"
+
+# Mirrors recover::sweep::fnv1a64 (src/sweep/grid.cpp); frozen format.
+FNV_OFFSET = 0xCBF29CE484222325
+FNV_PRIME = 0x100000001B3
+
+
+def fnv1a64(text):
+    h = FNV_OFFSET
+    for byte in text.encode("utf-8"):
+        h ^= byte
+        h = (h * FNV_PRIME) & 0xFFFFFFFFFFFFFFFF
+    return h
+
+
+def check_sweep_line(path, lineno, line):
+    where = f"line {lineno}"
+    try:
+        doc = json.loads(line)
+    except json.JSONDecodeError as e:
+        return fail(path, f"{where}: invalid JSON: {e}")
+    if doc.get("schema") != SWEEP_SCHEMA:
+        return fail(
+            path,
+            f"{where}: schema is {doc.get('schema')!r}, want {SWEEP_SCHEMA!r}",
+        )
+    exp = doc.get("exp")
+    key = doc.get("key")
+    if not exp or not isinstance(exp, str):
+        return fail(path, f"{where}: exp missing or empty")
+    if not key or not isinstance(key, str):
+        return fail(path, f"{where}: key missing or empty")
+    stored = doc.get("hash")
+    if not isinstance(stored, str) or len(stored) != 16:
+        return fail(path, f"{where}: hash must be 16 hex chars")
+    want = format(fnv1a64(f"{exp}|{key}"), "016x")
+    if stored != want:
+        return fail(path, f"{where}: hash {stored} != fnv1a64(exp|key) {want}")
+    index = doc.get("index")
+    if not isinstance(index, int) or isinstance(index, bool) or index < 0:
+        return fail(path, f"{where}: index must be an integer >= 0")
+    values = doc.get("values")
+    if not isinstance(values, dict) or not values:
+        return fail(path, f"{where}: values must be a non-empty object")
+    for name, value in values.items():
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            return fail(path, f"{where}: values[{name!r}] is not a number")
+    return True
+
+
+def check_sweep_checkpoint(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            lines = f.read().splitlines()
+    except OSError as e:
+        return fail(path, f"unreadable: {e}")
+    if not lines:
+        return fail(path, "checkpoint holds zero records")
+    ok = True
+    for lineno, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        if not check_sweep_line(path, lineno, line):
+            ok = False
+    if ok:
+        print(f"check_bench_json: {path}: OK ({len(lines)} checkpoint lines)")
+    return ok
 
 
 def fail(path, message):
@@ -82,7 +155,19 @@ def main():
         metavar="OUT",
         help="write a one-entry-per-record summary document to OUT",
     )
+    parser.add_argument(
+        "--sweep-checkpoint",
+        action="store_true",
+        help="validate inputs as recover.sweep_cell/1 JSONL checkpoints",
+    )
     args = parser.parse_args()
+
+    if args.sweep_checkpoint:
+        ok = True
+        for path in args.files:
+            if not check_sweep_checkpoint(path):
+                ok = False
+        return 0 if ok else 1
 
     ok = True
     summaries = []

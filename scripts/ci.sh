@@ -36,6 +36,25 @@ echo "-- bench_microbench"
   --json-out="$JSON_DIR/bench_microbench.json" \
   --benchmark_min_time=0.01 > /dev/null
 
+echo "== sweep engine: checkpoint + resume =="
+SWEEP_CKPT="$JSON_DIR/sweep_exp01.ckpt.jsonl"
+SWEEP_GRID="d=1..2;m=16..32:x2;density=1;replicas=4"
+"$BUILD_DIR"/bench/sweep_runner --exp exp01 --grid "$SWEEP_GRID" \
+  --checkpoint "$SWEEP_CKPT" --metrics \
+  --json-out="$JSON_DIR/sweep_runner.json" > /dev/null
+# A second run over the finished checkpoint must recompute nothing.
+resume_line=$("$BUILD_DIR"/bench/sweep_runner --exp exp01 \
+  --grid "$SWEEP_GRID" --checkpoint "$SWEEP_CKPT" | grep '^# sweep:')
+echo "$resume_line"
+case "$resume_line" in
+  *" run=0 "*) ;;
+  *)
+    echo "ci.sh: sweep resume recomputed cells: $resume_line" >&2
+    exit 1
+    ;;
+esac
+python3 scripts/check_bench_json.py --sweep-checkpoint "$SWEEP_CKPT"
+
 echo "== validating JSON records =="
 python3 scripts/check_bench_json.py "$JSON_DIR"/*.json \
   --aggregate BENCH_smoke.json

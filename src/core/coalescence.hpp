@@ -74,7 +74,11 @@ std::vector<std::int64_t> run_coalescence_trials(
   std::vector<std::int64_t> times(static_cast<std::size_t>(options.replicas));
   auto body = [&](std::uint64_t r) {
     obs::ScopedSpan span(replica_ns);
-    rng::Xoshiro256PlusPlus eng(rng::derive_stream_seed(options.seed, r));
+    // substream (not derive_stream_seed): the trial seed is a pure
+    // function of (options.seed, r), so the r-th replica draws the same
+    // stream under any schedule, and nested substreams (sweep cell seed
+    // -> trial seed) stay independent.
+    rng::Xoshiro256PlusPlus eng(rng::substream(options.seed, r));
     auto coupling = make_coupling(r);
     std::int64_t t = 0;
     std::int64_t result = -1;

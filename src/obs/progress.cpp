@@ -36,6 +36,12 @@ Progress::~Progress() {
   }
 }
 
+void Progress::set_detail(const std::string& detail) {
+  if (!enabled_) return;
+  std::lock_guard<std::mutex> lock(detail_mutex_);
+  detail_ = detail;
+}
+
 void Progress::tick(std::uint64_t done_delta, std::uint64_t censored_delta) {
   done_.fetch_add(done_delta, std::memory_order_relaxed);
   if (censored_delta != 0) {
@@ -67,11 +73,16 @@ void Progress::print_line(double elapsed_s, bool final_line) {
     std::snprintf(eta, sizeof eta, ", eta %.0fs",
                   static_cast<double>(total_ - done) / rate);
   }
-  std::fprintf(stderr, "[%s] %llu/%llu done, %llu censored, %.1fs%s%s\n",
+  std::string detail;
+  {
+    std::lock_guard<std::mutex> lock(detail_mutex_);
+    if (!detail_.empty()) detail = " [" + detail_ + "]";
+  }
+  std::fprintf(stderr, "[%s] %llu/%llu done, %llu censored, %.1fs%s%s%s\n",
                label_.c_str(), static_cast<unsigned long long>(done),
                static_cast<unsigned long long>(total_),
                static_cast<unsigned long long>(censored), elapsed_s, eta,
-               final_line ? " (finished)" : "");
+               detail.c_str(), final_line ? " (finished)" : "");
 }
 
 }  // namespace recover::obs

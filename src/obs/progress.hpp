@@ -13,6 +13,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <mutex>
 #include <string>
 
 namespace recover::obs {
@@ -38,12 +39,20 @@ class Progress {
   /// their step horizon without resolving.  Thread-safe.
   void tick(std::uint64_t done_delta = 1, std::uint64_t censored_delta = 0);
 
+  /// Names the unit most recently completed (e.g. a sweep cell's
+  /// "m=512,d=3"); shown in subsequent heartbeat lines so a stalled grid
+  /// point is identifiable from the terminal.  Thread-safe; no-op when
+  /// progress reporting is disabled.
+  void set_detail(const std::string& detail);
+
  private:
   void print_line(double elapsed_s, bool final_line);
 
   std::string label_;
   std::uint64_t total_;
   bool enabled_;
+  std::mutex detail_mutex_;
+  std::string detail_;
   std::atomic<std::uint64_t> done_{0};
   std::atomic<std::uint64_t> censored_{0};
   std::atomic<std::int64_t> last_print_ms_{-1'000'000};

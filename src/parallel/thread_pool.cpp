@@ -9,6 +9,28 @@ namespace recover::parallel {
 
 namespace {
 
+// The pool this thread is currently executing a chunk for, if any.  A
+// body that re-enters for_each_index on the same pool is run inline
+// (see the header); comparing pointers keeps independent pools (e.g. a
+// sweep scheduler pool over the global pool) fully parallel.
+thread_local const ThreadPool* t_active_pool = nullptr;
+
+// RAII marker so chunk bodies that throw (or nest further) cannot leave
+// a stale active-pool pointer behind.
+class ActivePoolScope {
+ public:
+  explicit ActivePoolScope(const ThreadPool* pool) noexcept
+      : previous_(t_active_pool) {
+    t_active_pool = pool;
+  }
+  ~ActivePoolScope() { t_active_pool = previous_; }
+  ActivePoolScope(const ActivePoolScope&) = delete;
+  ActivePoolScope& operator=(const ActivePoolScope&) = delete;
+
+ private:
+  const ThreadPool* previous_;
+};
+
 // Chunk-level telemetry: per-participant busy time (the counter's
 // per-thread shards make it per-worker for free) and a duration
 // histogram whose bucket spread exposes static-chunking imbalance.
@@ -71,12 +93,15 @@ void ThreadPool::worker_loop(std::size_t worker_index) {
       task = tasks_[worker_index];
       body = body_;
     }
-    if (obs::metrics_enabled() && task.begin < task.end) {
-      const auto begin = std::chrono::steady_clock::now();
-      for (std::uint64_t i = task.begin; i < task.end; ++i) (*body)(i);
-      record_chunk(task.end - task.begin, begin);
-    } else {
-      for (std::uint64_t i = task.begin; i < task.end; ++i) (*body)(i);
+    {
+      ActivePoolScope active(this);
+      if (obs::metrics_enabled() && task.begin < task.end) {
+        const auto begin = std::chrono::steady_clock::now();
+        for (std::uint64_t i = task.begin; i < task.end; ++i) (*body)(i);
+        record_chunk(task.end - task.begin, begin);
+      } else {
+        for (std::uint64_t i = task.begin; i < task.end; ++i) (*body)(i);
+      }
     }
     {
       std::lock_guard<std::mutex> lock(mutex_);
@@ -90,11 +115,16 @@ void ThreadPool::for_each_index(
   if (count == 0) return;
   static obs::Counter& calls =
       obs::Registry::global().counter("pool.parallel_calls");
+  static obs::Counter& nested_inline =
+      obs::Registry::global().counter("pool.nested_inline");
   static obs::Gauge& threads = obs::Registry::global().gauge("pool.threads");
   calls.add();
   threads.set(static_cast<double>(size()));
-  const auto participants = static_cast<std::uint64_t>(size());
-  if (participants == 1 || count == 1) {
+  if (t_active_pool == this) {
+    // Nested submission from inside one of this pool's own parallel
+    // regions: the workers are already busy with the outer region, so
+    // run inline and serially (see the header contract).
+    nested_inline.add();
     if (obs::metrics_enabled()) {
       const auto begin = std::chrono::steady_clock::now();
       for (std::uint64_t i = 0; i < count; ++i) body(i);
@@ -104,6 +134,22 @@ void ThreadPool::for_each_index(
     }
     return;
   }
+  const auto participants = static_cast<std::uint64_t>(size());
+  if (participants == 1 || count == 1) {
+    ActivePoolScope active(this);
+    if (obs::metrics_enabled()) {
+      const auto begin = std::chrono::steady_clock::now();
+      for (std::uint64_t i = 0; i < count; ++i) body(i);
+      record_chunk(count, begin);
+    } else {
+      for (std::uint64_t i = 0; i < count; ++i) body(i);
+    }
+    return;
+  }
+  // One whole dispatch at a time: generation_/pending_/tasks_ describe a
+  // single parallel region, so a second external dispatcher must wait
+  // for this one to drain before it may reuse them.
+  std::lock_guard<std::mutex> dispatch(dispatch_mutex_);
   // Static contiguous chunking; chunk c covers
   // [c*count/participants, (c+1)*count/participants).
   Task caller_task;
@@ -125,15 +171,18 @@ void ThreadPool::for_each_index(
     ++generation_;
   }
   work_ready_.notify_all();
-  if (obs::metrics_enabled() && caller_task.begin < caller_task.end) {
-    const auto begin = std::chrono::steady_clock::now();
-    for (std::uint64_t i = caller_task.begin; i < caller_task.end; ++i) {
-      body(i);
-    }
-    record_chunk(caller_task.end - caller_task.begin, begin);
-  } else {
-    for (std::uint64_t i = caller_task.begin; i < caller_task.end; ++i) {
-      body(i);
+  {
+    ActivePoolScope active(this);
+    if (obs::metrics_enabled() && caller_task.begin < caller_task.end) {
+      const auto begin = std::chrono::steady_clock::now();
+      for (std::uint64_t i = caller_task.begin; i < caller_task.end; ++i) {
+        body(i);
+      }
+      record_chunk(caller_task.end - caller_task.begin, begin);
+    } else {
+      for (std::uint64_t i = caller_task.begin; i < caller_task.end; ++i) {
+        body(i);
+      }
     }
   }
   {

@@ -30,6 +30,15 @@ class ThreadPool {
   /// Indices are divided into contiguous chunks, one per participant;
   /// the calling thread executes a chunk too, so a 1-thread pool has no
   /// synchronization overhead beyond a branch.
+  ///
+  /// Reentrancy: a body that calls for_each_index on the SAME pool (the
+  /// sweep scheduler's nested-submission pattern — cells running on pool
+  /// workers that themselves parallelize replicas) is detected via a
+  /// thread-local marker and executed inline, serially, on the calling
+  /// thread.  That keeps results deterministic and cannot deadlock; the
+  /// outer parallel region already owns the workers.  Distinct threads
+  /// dispatching concurrently on one pool are serialized by a dispatch
+  /// mutex, so overlapping external parallel regions are safe too.
   void for_each_index(std::uint64_t count,
                       const std::function<void(std::uint64_t)>& body);
 
@@ -45,6 +54,10 @@ class ThreadPool {
   void worker_loop(std::size_t worker_index);
 
   std::vector<std::thread> workers_;
+  /// Serializes whole dispatches (setup, chunk execution, completion
+  /// wait) issued by distinct external threads; nested same-pool calls
+  /// never reach it (they run inline).
+  std::mutex dispatch_mutex_;
   std::mutex mutex_;
   std::condition_variable work_ready_;
   std::condition_variable work_done_;

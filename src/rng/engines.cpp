@@ -142,4 +142,16 @@ std::uint64_t derive_stream_seed(std::uint64_t master_seed, std::uint64_t i) {
   return sm();
 }
 
+std::uint64_t substream(std::uint64_t master_seed, std::uint64_t i) {
+  g_stream_seeds.add();
+  // Mix the master first so it occupies the full 64-bit space before the
+  // stream index perturbs it; the golden-gamma multiple keeps adjacent
+  // indices maximally far apart in SplitMix64's state sequence.
+  SplitMix64 master(master_seed);
+  const std::uint64_t mixed = master();
+  SplitMix64 child(mixed ^ ((i + 1) * 0x9E3779B97F4A7C15ULL));
+  (void)child();
+  return child();
+}
+
 }  // namespace recover::rng

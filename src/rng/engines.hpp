@@ -133,4 +133,15 @@ class Philox4x32 {
 /// Derives the i-th independent stream seed from a master seed.
 std::uint64_t derive_stream_seed(std::uint64_t master_seed, std::uint64_t i);
 
+/// SplitMix-style substream derivation: the seed of child stream `i` of
+/// `master_seed`, a pure function of (master_seed, i) alone.  Callers
+/// key `i` on a logical index (sweep cell index, replica index), never on
+/// iteration order, so the derived streams are identical under any
+/// thread count, schedule, shard split, or checkpoint resume.  Unlike
+/// derive_stream_seed, the master seed is first mixed through SplitMix64
+/// before the stream index is folded in, so structured master seeds
+/// (0, 1, 2, ...) and structured indices cannot interact; substreams
+/// nest safely: substream(substream(s, cell), trial).
+std::uint64_t substream(std::uint64_t master_seed, std::uint64_t i);
+
 }  // namespace recover::rng

@@ -1,0 +1,255 @@
+// Built-in SweepCell bodies: the per-grid-point cores of exp01, exp03,
+// exp06, and exp10, extracted from their bench binaries so the sweep
+// engine, the binaries, and checkpoint resume all execute the same code.
+//
+// Grid parameter conventions shared by the balls cells: `m` is the ball
+// count, `density` is balls per bin (n = max(2, m/density) for exp01;
+// m = density*n for exp03), `d` the number of ABKU choices, `replicas`
+// the coupling replica count.
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "src/balls/grand_coupling.hpp"
+#include "src/balls/scenario_a.hpp"
+#include "src/balls/scenario_b.hpp"
+#include "src/core/coalescence.hpp"
+#include "src/core/path_coupling.hpp"
+#include "src/fluid/fluid_limit.hpp"
+#include "src/orient/chain.hpp"
+#include "src/rng/engines.hpp"
+#include "src/stats/autocorr.hpp"
+#include "src/stats/histogram.hpp"
+#include "src/sweep/registry.hpp"
+
+namespace recover::sweep {
+namespace {
+
+core::CoalescenceOptions cell_coalescence_options(const CellContext& ctx,
+                                                  int replicas,
+                                                  std::int64_t max_steps,
+                                                  std::int64_t check_interval) {
+  core::CoalescenceOptions opts;
+  opts.replicas = replicas;
+  opts.seed = ctx.seed;
+  opts.max_steps = max_steps;
+  opts.check_interval = check_interval;
+  opts.parallel = ctx.parallel_within_cell;
+  return opts;
+}
+
+// E1 / Theorem 1: coalescence of the scenario-A grand coupling from the
+// extremal pair, one (m, d) point.
+CellResult exp01_cell(const Cell& cell, const CellContext& ctx) {
+  const std::int64_t m = cell.at("m");
+  const auto d = static_cast<int>(cell.at("d"));
+  const std::int64_t density = cell.get("density", 1);
+  const auto replicas = static_cast<int>(cell.get("replicas", 8));
+  const auto n =
+      static_cast<std::size_t>(std::max<std::int64_t>(2, m / density));
+  const auto opts = cell_coalescence_options(
+      ctx, replicas,
+      200 * m *
+          (1 + static_cast<std::int64_t>(std::log(static_cast<double>(m)))),
+      std::max<std::int64_t>(1, m / 8));
+  const auto stats = core::measure_coalescence(
+      [&](std::uint64_t) {
+        return balls::GrandCouplingA<balls::AbkuRule>(
+            balls::LoadVector::all_in_one(n, m),
+            balls::LoadVector::balanced(n, m), balls::AbkuRule(d));
+      },
+      opts);
+  const double mlnm =
+      static_cast<double>(m) * std::log(static_cast<double>(m));
+  CellResult out;
+  out.set("T_mean", stats.steps.mean());
+  out.set("T_ci95", stats.steps.ci_halfwidth());
+  out.set("T_q50", stats.q50);
+  out.set("T_q95", stats.q95);
+  out.set("censored", static_cast<double>(stats.censored));
+  out.set("ratio_mlnm", stats.steps.mean() / mlnm);
+  out.set("thm1_bound", core::theorem1_bound(m, 0.25));
+  return out;
+}
+
+// E3 / Claim 5.3: coalescence of the scenario-B grand coupling, one
+// (n, density, d) point with m = density * n.
+CellResult exp03_cell(const Cell& cell, const CellContext& ctx) {
+  const std::int64_t n = cell.at("n");
+  const std::int64_t density = cell.get("density", 1);
+  const auto d = static_cast<int>(cell.get("d", 2));
+  const auto replicas = static_cast<int>(cell.get("replicas", 8));
+  const std::int64_t m = density * n;
+  const auto opts = cell_coalescence_options(
+      ctx, replicas, 2000 * m * m, std::max<std::int64_t>(1, m * m / 64));
+  const auto stats = core::measure_coalescence(
+      [&](std::uint64_t) {
+        return balls::GrandCouplingB<balls::AbkuRule>(
+            balls::LoadVector::all_in_one(static_cast<std::size_t>(n), m),
+            balls::LoadVector::balanced(static_cast<std::size_t>(n), m),
+            balls::AbkuRule(d));
+      },
+      opts);
+  const double m2 = static_cast<double>(m) * static_cast<double>(m);
+  CellResult out;
+  out.set("T_mean", stats.steps.mean());
+  out.set("T_ci95", stats.steps.ci_halfwidth());
+  out.set("T_q50", stats.q50);
+  out.set("T_q95", stats.q95);
+  out.set("censored", static_cast<double>(stats.censored));
+  out.set("T_m2", stats.steps.mean() / m2);
+  out.set("T_nm",
+          stats.steps.mean() /
+              (static_cast<double>(n) * static_cast<double>(m)));
+  out.set("claim53_bound",
+          core::claim53_bound(static_cast<std::size_t>(n), m, 0.25));
+  return out;
+}
+
+// E6 / Theorem 2: orientation-chain coalescence from the spread and
+// staircase adversarial starts, one n point.  Both starts share ctx.seed
+// (hence replica streams), as the original binary did.
+CellResult exp06_cell(const Cell& cell, const CellContext& ctx) {
+  const std::int64_t n = cell.at("n");
+  const auto replicas = static_cast<int>(cell.get("replicas", 8));
+  const auto ns = static_cast<std::size_t>(n);
+  const double nd = static_cast<double>(n);
+  const auto opts = cell_coalescence_options(
+      ctx, replicas,
+      static_cast<std::int64_t>(500.0 * nd * nd * std::log(nd) *
+                                std::log(nd)),
+      std::max<std::int64_t>(1, n * n / 16));
+  const auto stats = core::measure_coalescence(
+      [&](std::uint64_t) {
+        return orient::GrandCouplingOrient(orient::DiffState::spread(ns, n / 2),
+                                           orient::DiffState(ns));
+      },
+      opts);
+  const auto stats_stair = core::measure_coalescence(
+      [&](std::uint64_t) {
+        return orient::GrandCouplingOrient(
+            orient::DiffState::staircase(ns, n / 2), orient::DiffState(ns));
+      },
+      opts);
+  CellResult out;
+  out.set("T_mean", stats.steps.mean());
+  out.set("T_ci95", stats.steps.ci_halfwidth());
+  out.set("T_q50", stats.q50);
+  out.set("T_q95", stats.q95);
+  out.set("censored", static_cast<double>(stats.censored));
+  out.set("T_stair_mean", stats_stair.steps.mean());
+  out.set("cor64_bound", core::corollary64_bound(ns, 0.25));
+  return out;
+}
+
+struct StationaryEstimate {
+  double mean_max_load = 0;
+  double ess = 0;  // effective sample size of the spaced series
+};
+
+template <typename Chain>
+StationaryEstimate stationary_mean_max_load(Chain& chain, std::int64_t burn_in,
+                                            std::int64_t samples,
+                                            std::int64_t spacing,
+                                            rng::Xoshiro256PlusPlus& eng) {
+  for (std::int64_t t = 0; t < burn_in; ++t) chain.step(eng);
+  stats::IntHistogram hist;
+  std::vector<double> series;
+  series.reserve(static_cast<std::size_t>(samples));
+  for (std::int64_t s = 0; s < samples; ++s) {
+    for (std::int64_t t = 0; t < spacing; ++t) chain.step(eng);
+    hist.add(chain.state().max_load());
+    series.push_back(static_cast<double>(chain.state().max_load()));
+  }
+  StationaryEstimate out;
+  out.mean_max_load = hist.mean();
+  // A constant series (common at small n, d >= 2) has zero variance;
+  // every sample is then trivially independent.
+  bool varies = false;
+  for (const double v : series) {
+    if (v != series.front()) {
+      varies = true;
+      break;
+    }
+  }
+  out.ess = varies ? stats::effective_sample_size(series)
+                   : static_cast<double>(samples);
+  return out;
+}
+
+// E10: stationary max load of both scenarios vs the Azar-et-al. laws and
+// the fluid fixed point, one (n, d) point (m = n).
+CellResult exp10_cell(const Cell& cell, const CellContext& ctx) {
+  const std::int64_t n = cell.at("n");
+  const auto d = static_cast<int>(cell.at("d"));
+  const std::int64_t samples = cell.get("samples", 300);
+  const auto ns = static_cast<std::size_t>(n);
+  const double nd = static_cast<double>(n);
+  rng::Xoshiro256PlusPlus eng(ctx.seed);
+  const std::int64_t burn_in = 40 * n;
+  const std::int64_t spacing = std::max<std::int64_t>(1, n / 4);
+
+  balls::ScenarioAChain<balls::AbkuRule> ca(balls::LoadVector::balanced(ns, n),
+                                            balls::AbkuRule(d));
+  const auto est_a = stationary_mean_max_load(ca, burn_in, samples, spacing,
+                                              eng);
+  balls::ScenarioBChain<balls::AbkuRule> cb(balls::LoadVector::balanced(ns, n),
+                                            balls::AbkuRule(d));
+  const auto est_b = stationary_mean_max_load(cb, burn_in, samples, spacing,
+                                              eng);
+
+  fluid::FluidModel fa(fluid::Scenario::kA, d, 1.0, 40);
+  fluid::FluidModel fb(fluid::Scenario::kB, d, 1.0, 40);
+
+  CellResult out;
+  out.set("maxload_A", est_a.mean_max_load);
+  out.set("maxload_B", est_b.mean_max_load);
+  out.set("fluid_A", static_cast<double>(fluid::FluidModel::predicted_max_load(
+                         fa.fixed_point(), nd)));
+  out.set("fluid_B", static_cast<double>(fluid::FluidModel::predicted_max_load(
+                         fb.fixed_point(), nd)));
+  out.set("law_one_choice", std::log(nd) / std::log(std::log(nd)));
+  out.set("law_d_choice",
+          d >= 2 ? std::log(std::log(nd)) / std::log(static_cast<double>(d))
+                 : 0.0);
+  out.set("ess_A", est_a.ess);
+  return out;
+}
+
+}  // namespace
+
+namespace detail {
+
+void register_builtin(Registry& registry) {
+  registry.add(Experiment{
+      "exp01",
+      "Theorem 1: scenario-A grand-coupling coalescence vs m ln m",
+      "d=1..3;m=32..512:x2;density=1;replicas=8",
+      {"T_mean", "T_ci95", "T_q50", "T_q95", "censored", "ratio_mlnm",
+       "thm1_bound"},
+      exp01_cell});
+  registry.add(Experiment{
+      "exp03",
+      "Claim 5.3: scenario-B grand-coupling coalescence vs m^2 laws",
+      "density=1,2;n=8..48:x2;d=2;replicas=8",
+      {"T_mean", "T_ci95", "T_q50", "T_q95", "censored", "T_m2", "T_nm",
+       "claim53_bound"},
+      exp03_cell});
+  registry.add(Experiment{
+      "exp06",
+      "Theorem 2: orientation-chain coalescence vs n^2 polylog laws",
+      "n=8..64:x2;replicas=8",
+      {"T_mean", "T_ci95", "T_q50", "T_q95", "censored", "T_stair_mean",
+       "cor64_bound"},
+      exp06_cell});
+  registry.add(Experiment{
+      "exp10",
+      "Stationary max load of ABKU[d] vs lnln(n)/ln(d) and fluid model",
+      "d=1..3;n=64..1024:x4;samples=300",
+      {"maxload_A", "maxload_B", "fluid_A", "fluid_B", "law_one_choice",
+       "law_d_choice", "ess_A"},
+      exp10_cell});
+}
+
+}  // namespace detail
+}  // namespace recover::sweep

@@ -1,0 +1,70 @@
+// Crash-safe sweep checkpoints: one JSON object per line, appended and
+// fsync'd as each cell completes, so a killed sweep loses at most the
+// cells that were still in flight.
+//
+// Line schema (`recover.sweep_cell/1`):
+//
+//   {"schema":"recover.sweep_cell/1","exp":"exp01","key":"m=64,d=1",
+//    "hash":"<fnv1a64 of exp|key, 16 hex>","index":3,
+//    "values":{"T_mean":123.5,...},"wall_seconds":0.12}
+//
+// Loading is tolerant by construction: a line that does not parse as a
+// complete, schema-valid record (the torn tail of an interrupted append,
+// or garbage) is counted and skipped, never fatal — resume keeps every
+// intact record and recomputes the rest.  Records are keyed by the
+// content hash of "<exp>|<key>", so a checkpoint survives re-ordering,
+// sharding, and concatenation of shard files; when the same cell appears
+// twice the last record wins.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace recover::sweep {
+
+struct CellRecord {
+  std::string exp;
+  std::string key;        // canonical cell key, e.g. "m=64,d=1"
+  std::uint64_t hash = 0; // fnv1a64("<exp>|<key>")
+  std::uint64_t index = 0;
+  std::vector<std::pair<std::string, double>> values;
+  double wall_seconds = 0;
+};
+
+/// Serializes one record as a single compact JSON line (no newline).
+std::string to_json_line(const CellRecord& record);
+
+/// Append-only writer; every append() is flushed and fsync'd before it
+/// returns, so a completed cell is durable even through SIGKILL.
+class CheckpointWriter {
+ public:
+  /// Opens `path` in append mode (created if absent); aborts the process
+  /// if the file cannot be opened — a sweep that silently cannot
+  /// checkpoint is worse than one that fails loudly.
+  explicit CheckpointWriter(const std::string& path);
+  ~CheckpointWriter();
+
+  CheckpointWriter(const CheckpointWriter&) = delete;
+  CheckpointWriter& operator=(const CheckpointWriter&) = delete;
+
+  /// Not thread-safe; the sweep engine serializes appends.
+  void append(const CellRecord& record);
+
+ private:
+  std::FILE* file_ = nullptr;
+};
+
+struct CheckpointLoad {
+  std::vector<CellRecord> records;  // intact records, file order
+  std::size_t skipped_lines = 0;    // torn / corrupt / foreign-schema lines
+};
+
+/// Loads every intact record from `path`; a missing file is an empty
+/// checkpoint.  Records whose stored hash does not match the recomputed
+/// content hash are treated as corrupt and skipped.
+CheckpointLoad load_checkpoint(const std::string& path);
+
+}  // namespace recover::sweep

@@ -1,0 +1,211 @@
+#include "src/sweep/grid.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "src/util/assert.hpp"
+
+namespace recover::sweep {
+
+namespace {
+
+[[noreturn]] void bad_spec(const std::string& what, const std::string& token) {
+  throw std::invalid_argument("grid spec: " + what + " in '" + token + "'");
+}
+
+std::int64_t parse_int(const std::string& token, const std::string& context) {
+  if (token.empty()) bad_spec("empty integer", context);
+  char* end = nullptr;
+  errno = 0;
+  const long long v = std::strtoll(token.c_str(), &end, 10);
+  if (errno != 0 || end != token.c_str() + token.size()) {
+    bad_spec("bad integer '" + token + "'", context);
+  }
+  return v;
+}
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::size_t begin = 0;
+  for (;;) {
+    const std::size_t pos = s.find(sep, begin);
+    if (pos == std::string::npos) {
+      out.push_back(s.substr(begin));
+      return out;
+    }
+    out.push_back(s.substr(begin, pos - begin));
+    begin = pos + 1;
+  }
+}
+
+std::vector<std::int64_t> parse_values(const std::string& text,
+                                       const std::string& axis) {
+  const std::size_t dots = text.find("..");
+  if (dots == std::string::npos) {
+    std::vector<std::int64_t> values;
+    for (const auto& item : split(text, ',')) {
+      values.push_back(parse_int(item, axis));
+    }
+    return values;
+  }
+  // Inclusive range with an optional step suffix.
+  const std::string start_text = text.substr(0, dots);
+  std::string end_text = text.substr(dots + 2);
+  char step_kind = '+';
+  std::int64_t step = 1;
+  const std::size_t colon = end_text.find(':');
+  if (colon != std::string::npos) {
+    const std::string step_text = end_text.substr(colon + 1);
+    end_text = end_text.substr(0, colon);
+    if (step_text.size() < 2 ||
+        (step_text[0] != 'x' && step_text[0] != '+')) {
+      bad_spec("step must be x<k> or +<k>", axis);
+    }
+    step_kind = step_text[0];
+    step = parse_int(step_text.substr(1), axis);
+  }
+  const std::int64_t start = parse_int(start_text, axis);
+  const std::int64_t end = parse_int(end_text, axis);
+  if (start > end) bad_spec("descending range", axis);
+  if (step_kind == 'x' && step < 2) bad_spec("geometric step needs k >= 2", axis);
+  if (step_kind == '+' && step < 1) bad_spec("arithmetic step needs k >= 1", axis);
+  if (step_kind == 'x' && start <= 0) {
+    bad_spec("geometric range needs a positive start", axis);
+  }
+  std::vector<std::int64_t> values;
+  for (std::int64_t v = start; v <= end;
+       v = step_kind == 'x' ? v * step : v + step) {
+    values.push_back(v);
+  }
+  return values;
+}
+
+}  // namespace
+
+std::int64_t Cell::at(const std::string& name) const {
+  for (const auto& [k, v] : params) {
+    if (k == name) return v;
+  }
+  std::fprintf(stderr, "sweep: cell '%s' has no parameter '%s'\n",
+               key().c_str(), name.c_str());
+  std::abort();
+}
+
+std::int64_t Cell::get(const std::string& name, std::int64_t fallback) const {
+  for (const auto& [k, v] : params) {
+    if (k == name) return v;
+  }
+  return fallback;
+}
+
+std::string Cell::key() const {
+  std::string out;
+  for (const auto& [k, v] : params) {
+    if (!out.empty()) out += ',';
+    out += k;
+    out += '=';
+    out += std::to_string(v);
+  }
+  return out;
+}
+
+GridSpec GridSpec::parse(const std::string& spec) {
+  GridSpec grid;
+  if (spec.empty()) throw std::invalid_argument("grid spec: empty");
+  for (const auto& axis_text : split(spec, ';')) {
+    const std::size_t eq = axis_text.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      bad_spec("axis must be name=values", axis_text);
+    }
+    grid.add_axis(axis_text.substr(0, eq),
+                  parse_values(axis_text.substr(eq + 1), axis_text));
+  }
+  return grid;
+}
+
+void GridSpec::add_axis(std::string name, std::vector<std::int64_t> values) {
+  if (name.empty()) throw std::invalid_argument("grid spec: empty axis name");
+  if (values.empty()) {
+    throw std::invalid_argument("grid spec: axis '" + name + "' has no values");
+  }
+  for (const auto& axis : axes_) {
+    if (axis.name == name) {
+      throw std::invalid_argument("grid spec: duplicate axis '" + name + "'");
+    }
+  }
+  axes_.push_back(Axis{std::move(name), std::move(values)});
+}
+
+std::uint64_t GridSpec::cells() const {
+  if (axes_.empty()) return 0;
+  std::uint64_t total = 1;
+  for (const auto& axis : axes_) total *= axis.values.size();
+  return total;
+}
+
+Cell GridSpec::cell(std::uint64_t index) const {
+  RL_REQUIRE(index < cells());
+  Cell out;
+  out.index = index;
+  out.params.reserve(axes_.size());
+  // Row-major: peel from the fastest (last) axis and reverse into place.
+  std::uint64_t rest = index;
+  std::vector<std::size_t> coordinate(axes_.size());
+  for (std::size_t a = axes_.size(); a-- > 0;) {
+    const auto size = static_cast<std::uint64_t>(axes_[a].values.size());
+    coordinate[a] = static_cast<std::size_t>(rest % size);
+    rest /= size;
+  }
+  for (std::size_t a = 0; a < axes_.size(); ++a) {
+    out.params.emplace_back(axes_[a].name, axes_[a].values[coordinate[a]]);
+  }
+  return out;
+}
+
+std::string GridSpec::to_string() const {
+  std::string out;
+  for (const auto& axis : axes_) {
+    if (!out.empty()) out += ';';
+    out += axis.name;
+    out += '=';
+    for (std::size_t i = 0; i < axis.values.size(); ++i) {
+      if (i != 0) out += ',';
+      out += std::to_string(axis.values[i]);
+    }
+  }
+  return out;
+}
+
+std::uint64_t fnv1a64(const std::string& s) {
+  std::uint64_t h = 14695981039346656037ULL;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::string hash_hex(std::uint64_t h) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (std::size_t i = 16; i-- > 0;) {
+    out[i] = kDigits[h & 0xF];
+    h >>= 4;
+  }
+  return out;
+}
+
+std::uint64_t cell_hash(const std::string& exp, const Cell& cell) {
+  return fnv1a64(exp + "|" + cell.key());
+}
+
+bool in_shard(std::uint64_t index, int shard_index, int shard_count) {
+  RL_REQUIRE(shard_count >= 1);
+  RL_REQUIRE(shard_index >= 0 && shard_index < shard_count);
+  return index % static_cast<std::uint64_t>(shard_count) ==
+         static_cast<std::uint64_t>(shard_index);
+}
+
+}  // namespace recover::sweep

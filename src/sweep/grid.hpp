@@ -1,0 +1,96 @@
+// Declarative parameter grids for experiment sweeps.
+//
+// A GridSpec is an ordered list of named integer axes; its cartesian
+// product is expanded lazily into Cells in row-major order (first axis
+// slowest), so cell index i is a stable coordinate: the same spec always
+// yields the same (index, parameters) pairs regardless of how, where, or
+// in how many shards the sweep executes.  That stability is what the
+// checkpoint format, the per-cell RNG substreams, and the --shard
+// partition all key off.
+//
+// Text syntax (docs/SWEEPS.md):
+//
+//   grid   := axis (';' axis)*
+//   axis   := name '=' (list | range)
+//   list   := int (',' int)*
+//   range  := start '..' end [':' step]      -- inclusive of end if hit
+//   step   := 'x'k  (geometric, k >= 2)  |  '+'k  (arithmetic, k >= 1)
+//
+// e.g.  "m=64..4096:x2;d=1..3;replicas=8".  Parse errors throw
+// std::invalid_argument with the offending token in the message.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace recover::sweep {
+
+/// One grid point: the full-grid index plus (name, value) parameters in
+/// axis order.
+struct Cell {
+  std::uint64_t index = 0;
+  std::vector<std::pair<std::string, std::int64_t>> params;
+
+  /// Value of a required parameter; aborts if the axis is absent.
+  [[nodiscard]] std::int64_t at(const std::string& name) const;
+
+  /// Value of an optional parameter with a fallback default.
+  [[nodiscard]] std::int64_t get(const std::string& name,
+                                 std::int64_t fallback) const;
+
+  /// Canonical key, e.g. "m=64,d=2" (axis order, so it is stable for a
+  /// given spec).  Checkpoint records are keyed by fnv1a64 of
+  /// "<exp>|<key>".
+  [[nodiscard]] std::string key() const;
+};
+
+struct Axis {
+  std::string name;
+  std::vector<std::int64_t> values;
+};
+
+class GridSpec {
+ public:
+  /// Parses the text syntax above; throws std::invalid_argument.
+  static GridSpec parse(const std::string& spec);
+
+  /// Programmatic construction (the exp binaries build grids from their
+  /// own CLI flags).  Throws std::invalid_argument on duplicate names or
+  /// empty value lists.
+  void add_axis(std::string name, std::vector<std::int64_t> values);
+
+  [[nodiscard]] std::size_t axis_count() const { return axes_.size(); }
+  [[nodiscard]] const Axis& axis(std::size_t i) const { return axes_[i]; }
+
+  /// Total number of cells (product of axis sizes; 0 when no axes).
+  [[nodiscard]] std::uint64_t cells() const;
+
+  /// Cell at row-major index (first axis slowest); aborts when out of
+  /// range.
+  [[nodiscard]] Cell cell(std::uint64_t index) const;
+
+  /// Canonical round-trippable spec string (every axis as a list).
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<Axis> axes_;
+};
+
+/// FNV-1a 64-bit (the checkpoint content hash; scripts/check_bench_json.py
+/// re-implements it, so the constants are frozen).
+std::uint64_t fnv1a64(const std::string& s);
+
+/// 16-digit lowercase hex rendering of a 64-bit hash.
+std::string hash_hex(std::uint64_t h);
+
+/// Content hash of a cell within an experiment: fnv1a64("<exp>|<key>").
+std::uint64_t cell_hash(const std::string& exp, const Cell& cell);
+
+/// True when `index` belongs to shard `shard_index` of `shard_count`
+/// (round-robin: index % shard_count == shard_index).  Shards are
+/// disjoint and cover the grid.
+bool in_shard(std::uint64_t index, int shard_index, int shard_count);
+
+}  // namespace recover::sweep

@@ -1,0 +1,54 @@
+#include "src/sweep/registry.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace recover::sweep {
+
+double CellResult::at(const std::string& name) const {
+  for (const auto& [k, v] : values) {
+    if (k == name) return v;
+  }
+  std::fprintf(stderr, "sweep: cell result has no value '%s'\n", name.c_str());
+  std::abort();
+}
+
+Registry& Registry::global() {
+  static Registry* registry = [] {
+    auto* r = new Registry();
+    detail::register_builtin(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+void Registry::add(Experiment experiment) {
+  if (experiment.name.empty() || !experiment.run ||
+      experiment.result_columns.empty()) {
+    std::fprintf(stderr, "sweep: malformed experiment registration '%s'\n",
+                 experiment.name.c_str());
+    std::abort();
+  }
+  if (find(experiment.name) != nullptr) {
+    std::fprintf(stderr, "sweep: duplicate experiment '%s'\n",
+                 experiment.name.c_str());
+    std::abort();
+  }
+  experiments_.push_back(std::move(experiment));
+}
+
+const Experiment* Registry::find(const std::string& name) const {
+  for (const auto& e : experiments_) {
+    if (e.name == name) return &e;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> Registry::names() const {
+  std::vector<std::string> out;
+  out.reserve(experiments_.size());
+  for (const auto& e : experiments_) out.push_back(e.name);
+  return out;
+}
+
+}  // namespace recover::sweep

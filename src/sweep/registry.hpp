@@ -1,0 +1,82 @@
+// Registry of sweepable experiment cells.
+//
+// A SweepCell is the per-grid-point body of an experiment, extracted from
+// its bench binary: a pure-ish callable from (Cell parameters, seed) to a
+// flat list of named numeric results.  Registering it here lets the same
+// body run three ways with bit-identical results:
+//
+//   * inside its original exp* binary (one cell at a time, replicas
+//     parallel within the cell),
+//   * under bench/sweep_runner (cells parallel across the grid via the
+//     work-stealing scheduler, replicas serial within each cell),
+//   * resumed from a checkpoint (not run at all).
+//
+// Determinism contract: a cell may use randomness only through
+// ctx.seed (derived as rng::substream(master_seed, cell.index)), must not
+// read global mutable state, and must emit every result through the
+// returned CellResult in result_columns order.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/sweep/grid.hpp"
+
+namespace recover::sweep {
+
+struct CellContext {
+  /// Per-cell RNG substream root; trial streams derive from it by index.
+  std::uint64_t seed = 1;
+  /// True when the cell owns the machine (exp binaries); false under the
+  /// sweep scheduler, which parallelizes across cells instead.
+  bool parallel_within_cell = false;
+};
+
+struct CellResult {
+  std::vector<std::pair<std::string, double>> values;
+
+  void set(std::string name, double value) {
+    values.emplace_back(std::move(name), value);
+  }
+  /// Value by name; aborts if absent (a cell that forgot a registered
+  /// column would otherwise silently misalign the aggregate table).
+  [[nodiscard]] double at(const std::string& name) const;
+};
+
+using CellFn = std::function<CellResult(const Cell&, const CellContext&)>;
+
+struct Experiment {
+  std::string name;          // registry key, e.g. "exp01"
+  std::string description;   // one line, shown by sweep_runner --list
+  std::string default_grid;  // used when --grid is omitted
+  std::vector<std::string> result_columns;  // order of CellResult values
+  CellFn run;
+};
+
+class Registry {
+ public:
+  /// Process-wide registry; the built-in experiment cells (exp01, exp03,
+  /// exp06, exp10) are registered on first access.
+  static Registry& global();
+
+  /// Aborts on duplicate names: two bodies claiming the same experiment
+  /// would make checkpoints ambiguous.
+  void add(Experiment experiment);
+
+  [[nodiscard]] const Experiment* find(const std::string& name) const;
+  [[nodiscard]] std::vector<std::string> names() const;
+
+ private:
+  Registry() = default;
+  std::vector<Experiment> experiments_;
+};
+
+namespace detail {
+/// Defined in cells_builtin.cpp; called once by Registry::global().
+void register_builtin(Registry& registry);
+}  // namespace detail
+
+}  // namespace recover::sweep

@@ -1,0 +1,236 @@
+#include "src/sweep/scheduler.hpp"
+
+#include <chrono>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "src/obs/json_writer.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/progress.hpp"
+#include "src/obs/trace.hpp"
+#include "src/rng/engines.hpp"
+#include "src/sweep/checkpoint.hpp"
+#include "src/sweep/registry.hpp"
+#include "src/util/assert.hpp"
+
+namespace recover::sweep {
+
+namespace {
+
+struct alignas(64) WorkQueue {
+  std::mutex mutex;
+  std::deque<std::uint64_t> items;
+};
+
+}  // namespace
+
+void run_work_stealing(const std::vector<std::uint64_t>& items,
+                       const std::function<void(std::uint64_t)>& fn,
+                       parallel::ThreadPool& pool) {
+  if (items.empty()) return;
+  static obs::Counter& steals =
+      obs::Registry::global().counter("sweep.steals");
+  const std::size_t workers = pool.size();
+  std::vector<std::unique_ptr<WorkQueue>> queues;
+  queues.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    queues.push_back(std::make_unique<WorkQueue>());
+  }
+  // Round-robin seeding spreads a sharded grid's (already strided) cell
+  // indices evenly; stealing corrects whatever imbalance remains.
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    queues[i % workers]->items.push_back(items[i]);
+  }
+  pool.for_each_index(static_cast<std::uint64_t>(workers), [&](std::uint64_t w) {
+    auto& own = *queues[w];
+    for (;;) {
+      std::uint64_t item = 0;
+      bool got = false;
+      {
+        std::lock_guard<std::mutex> lock(own.mutex);
+        if (!own.items.empty()) {
+          item = own.items.front();
+          own.items.pop_front();
+          got = true;
+        }
+      }
+      if (!got) {
+        // Steal the bigger half from the back of the fullest victim,
+        // into a local buffer first so no two queue locks are ever held
+        // together (trivially deadlock-free).  Two scan passes before
+        // giving up: a one-pass scan can miss items that are mid-flight
+        // between queues during a concurrent steal.
+        for (int pass = 0; pass < 2 && !got; ++pass) {
+          std::size_t victim = workers;
+          std::size_t victim_size = 0;
+          for (std::size_t v = 0; v < workers; ++v) {
+            if (v == w) continue;
+            std::lock_guard<std::mutex> lock(queues[v]->mutex);
+            if (queues[v]->items.size() > victim_size) {
+              victim = v;
+              victim_size = queues[v]->items.size();
+            }
+          }
+          if (victim == workers) continue;
+          std::vector<std::uint64_t> batch;
+          {
+            std::lock_guard<std::mutex> lock(queues[victim]->mutex);
+            auto& from = queues[victim]->items;
+            const std::size_t take = (from.size() + 1) / 2;
+            for (std::size_t k = 0; k < take; ++k) {
+              batch.push_back(from.back());
+              from.pop_back();
+            }
+          }
+          if (batch.empty()) continue;  // drained between scan and steal
+          item = batch.back();
+          batch.pop_back();
+          if (!batch.empty()) {
+            std::lock_guard<std::mutex> lock(own.mutex);
+            for (const std::uint64_t b : batch) own.items.push_back(b);
+          }
+          got = true;
+          steals.add();
+        }
+      }
+      if (!got) return;  // every queue empty: the sweep spawns no new work
+      fn(item);
+    }
+  });
+}
+
+SweepReport run_sweep(const GridSpec& grid, const SweepOptions& options) {
+  const Experiment* exp = Registry::global().find(options.exp);
+  if (exp == nullptr) {
+    throw std::invalid_argument("sweep: unknown experiment '" + options.exp +
+                                "'");
+  }
+  if (grid.cells() == 0) {
+    throw std::invalid_argument("sweep: empty grid");
+  }
+  RL_REQUIRE(options.shard_count >= 1);
+  RL_REQUIRE(options.shard_index >= 0 &&
+             options.shard_index < options.shard_count);
+
+  static obs::Counter& cells_run_counter =
+      obs::Registry::global().counter("sweep.cells_run");
+  static obs::Counter& checkpoint_hits_counter =
+      obs::Registry::global().counter("sweep.checkpoint_hits");
+  static obs::Histogram& cell_ns =
+      obs::Registry::global().histogram("sweep.cell_ns");
+
+  SweepReport report;
+  report.cells_total = grid.cells();
+
+  // Previously completed cells, keyed by content hash (exp|key), last
+  // record wins so concatenated shard files and re-appends are fine.
+  std::unordered_map<std::uint64_t, CellRecord> done;
+  if (!options.checkpoint_path.empty()) {
+    auto load = load_checkpoint(options.checkpoint_path);
+    report.checkpoint_lines_skipped = load.skipped_lines;
+    for (auto& record : load.records) {
+      if (record.exp != options.exp) continue;  // shared file across exps
+      done[record.hash] = std::move(record);
+    }
+  }
+
+  // Partition the grid: this shard's cells, and within them the subset
+  // that still needs computing.
+  std::vector<std::uint64_t> mine;
+  std::vector<std::uint64_t> to_run;
+  for (std::uint64_t index = 0; index < report.cells_total; ++index) {
+    if (!in_shard(index, options.shard_index, options.shard_count)) continue;
+    mine.push_back(index);
+    const Cell cell = grid.cell(index);
+    const auto it = done.find(cell_hash(options.exp, cell));
+    if (it == done.end()) {
+      to_run.push_back(index);
+    } else {
+      ++report.checkpoint_hits;
+    }
+  }
+  report.cells_in_shard = mine.size();
+  report.cells_run = to_run.size();
+  checkpoint_hits_counter.add(report.checkpoint_hits);
+
+  // Execute what's left; each completed cell is appended to the
+  // checkpoint (fsync'd) before it counts as done.
+  std::unique_ptr<CheckpointWriter> writer;
+  if (!options.checkpoint_path.empty() && !to_run.empty()) {
+    writer = std::make_unique<CheckpointWriter>(options.checkpoint_path);
+  }
+  std::mutex writer_mutex;
+  std::unordered_map<std::uint64_t, std::size_t> slot_of;
+  slot_of.reserve(to_run.size());
+  for (std::size_t s = 0; s < to_run.size(); ++s) slot_of[to_run[s]] = s;
+  std::vector<CellRecord> fresh(to_run.size());
+  obs::Progress progress("sweep",
+                         static_cast<std::uint64_t>(to_run.size()));
+  auto& pool = options.pool != nullptr ? *options.pool
+                                       : parallel::ThreadPool::global();
+  run_work_stealing(
+      to_run,
+      [&](std::uint64_t index) {
+        obs::ScopedSpan span(cell_ns);
+        const Cell cell = grid.cell(index);
+        CellContext ctx;
+        ctx.seed = rng::substream(options.seed, index);
+        ctx.parallel_within_cell = false;  // cells are the parallel unit
+        const auto begin = std::chrono::steady_clock::now();
+        CellResult result = exp->run(cell, ctx);
+        CellRecord record;
+        record.exp = options.exp;
+        record.key = cell.key();
+        record.hash = cell_hash(options.exp, cell);
+        record.index = index;
+        record.values = std::move(result.values);
+        record.wall_seconds =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          begin)
+                .count();
+        if (writer != nullptr) {
+          std::lock_guard<std::mutex> lock(writer_mutex);
+          writer->append(record);
+        }
+        progress.set_detail(record.key);
+        fresh[slot_of.at(index)] = std::move(record);
+        cells_run_counter.add();
+        progress.tick();
+      },
+      pool);
+
+  // Aggregate table in grid order: fresh results by slot, the rest from
+  // the checkpoint.  Result cells use the shortest round-trip rendering
+  // so resumed values (JSON double round trip is exact) match fresh ones
+  // byte for byte.
+  std::vector<std::string> columns;
+  for (std::size_t a = 0; a < grid.axis_count(); ++a) {
+    columns.push_back(grid.axis(a).name);
+  }
+  for (const auto& c : exp->result_columns) columns.push_back(c);
+  util::Table table(columns);
+  for (const std::uint64_t index : mine) {
+    const Cell cell = grid.cell(index);
+    const auto slot = slot_of.find(index);
+    const CellRecord& record = slot != slot_of.end()
+                                   ? fresh[slot->second]
+                                   : done.at(cell_hash(options.exp, cell));
+    auto& row = table.row();
+    for (const auto& [name, value] : cell.params) {
+      (void)name;
+      row.integer(value);
+    }
+    CellResult as_result;
+    as_result.values = record.values;
+    for (const auto& c : exp->result_columns) {
+      row.add(obs::json_number(as_result.at(c)));
+    }
+  }
+  report.table = std::move(table);
+  return report;
+}
+
+}  // namespace recover::sweep

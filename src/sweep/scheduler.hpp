@@ -1,0 +1,58 @@
+// Sweep execution: a work-stealing cell scheduler on top of the
+// recover::parallel fork-join pool, and the engine that ties grid,
+// registry, and checkpoint together.
+//
+// Scheduling never influences results: every cell draws randomness only
+// from rng::substream(master_seed, cell.index), and the aggregate table
+// is assembled in grid order from a per-cell slot, so a 1-thread run, an
+// 8-thread run, a sharded run, and a checkpoint-resumed run are
+// byte-identical.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/parallel/thread_pool.hpp"
+#include "src/sweep/grid.hpp"
+#include "src/util/table.hpp"
+
+namespace recover::sweep {
+
+/// Executes fn(item) once for every entry of `items`, dynamically load
+/// balanced: each pool participant owns a deque seeded round-robin and
+/// steals the bigger half from the fullest victim when it runs dry.
+/// Dynamic balancing (unlike the pool's static chunking) is what keeps
+/// the hardware saturated when cell costs vary by orders of magnitude
+/// across a grid.  fn must be safe to call concurrently.
+void run_work_stealing(const std::vector<std::uint64_t>& items,
+                       const std::function<void(std::uint64_t)>& fn,
+                       parallel::ThreadPool& pool);
+
+struct SweepOptions {
+  std::string exp;                  // registry name, e.g. "exp01"
+  std::uint64_t seed = 1;           // master seed (cells use substreams)
+  std::string checkpoint_path;      // empty = no checkpointing
+  int shard_index = 0;              // this process runs cells with
+  int shard_count = 1;              //   index % shard_count == shard_index
+  parallel::ThreadPool* pool = nullptr;  // nullptr = global pool
+};
+
+struct SweepReport {
+  /// One row per cell of this shard, in grid order: axis columns then the
+  /// experiment's result columns (values formatted via the shortest
+  /// round-trip policy, so resumed and fresh rows are byte-identical).
+  util::Table table{std::vector<std::string>{"key"}};
+  std::uint64_t cells_total = 0;     // full grid
+  std::uint64_t cells_in_shard = 0;  // this shard's share
+  std::uint64_t checkpoint_hits = 0; // skipped: already in the checkpoint
+  std::uint64_t cells_run = 0;       // freshly executed
+  std::size_t checkpoint_lines_skipped = 0;  // torn/corrupt lines ignored
+};
+
+/// Runs (or resumes) one sweep.  Throws std::invalid_argument for an
+/// unknown experiment or an empty grid.
+SweepReport run_sweep(const GridSpec& grid, const SweepOptions& options);
+
+}  // namespace recover::sweep

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 #include "src/parallel/thread_pool.hpp"
@@ -61,6 +62,72 @@ TEST(ThreadPool, ResultIndependentOfThreadCount) {
     return out;
   };
   EXPECT_EQ(compute(1), compute(4));
+}
+
+TEST(ThreadPool, NestedDispatchFromWorkerRunsInline) {
+  // A task that itself calls for_each_index on the same pool must not
+  // deadlock (workers waiting on workers); the nested call runs inline,
+  // serially, on the submitting worker.
+  ThreadPool pool(4);
+  constexpr std::uint64_t kOuter = 32;
+  constexpr std::uint64_t kInner = 64;
+  std::vector<std::atomic<std::uint64_t>> sums(kOuter);
+  pool.for_each_index(kOuter, [&](std::uint64_t o) {
+    pool.for_each_index(kInner, [&](std::uint64_t i) { sums[o] += i; });
+  });
+  for (std::uint64_t o = 0; o < kOuter; ++o) {
+    ASSERT_EQ(sums[o].load(), kInner * (kInner - 1) / 2) << "outer " << o;
+  }
+}
+
+TEST(ThreadPool, DeeplyNestedDispatchStillCompletes) {
+  ThreadPool pool(2);
+  std::atomic<std::uint64_t> leaves{0};
+  pool.for_each_index(4, [&](std::uint64_t) {
+    pool.for_each_index(4, [&](std::uint64_t) {
+      pool.for_each_index(4, [&](std::uint64_t) { ++leaves; });
+    });
+  });
+  EXPECT_EQ(leaves.load(), 64u);
+}
+
+TEST(ThreadPool, SweepSchedulerPatternDoesNotDeadlock) {
+  // The sweep engine's shape: a long-lived task on each worker that
+  // repeatedly grabs work, where the work itself may re-enter the pool.
+  // Guards the historical hazard of tasks submitting tasks.
+  ThreadPool pool(4);
+  std::atomic<int> work{200};
+  std::atomic<int> done{0};
+  pool.for_each_index(pool.size(), [&](std::uint64_t) {
+    while (work.fetch_sub(1) > 0) {
+      pool.for_each_index(8, [&](std::uint64_t) {});
+      ++done;
+    }
+  });
+  EXPECT_EQ(done.load(), 200);
+}
+
+TEST(ThreadPool, ConcurrentExternalDispatchesAreSerialized) {
+  // Two plain threads (not pool workers) dispatching onto one pool at
+  // once: each dispatch must see exactly its own work, not the other's.
+  ThreadPool pool(4);
+  constexpr int kRounds = 50;
+  std::atomic<std::int64_t> total{0};
+  auto hammer = [&] {
+    for (int r = 0; r < kRounds; ++r) {
+      std::atomic<std::int64_t> local{0};
+      pool.for_each_index(257, [&](std::uint64_t i) {
+        local += static_cast<std::int64_t>(i);
+      });
+      ASSERT_EQ(local.load(), 257 * 256 / 2);
+      total += local.load();
+    }
+  };
+  std::thread a(hammer);
+  std::thread b(hammer);
+  a.join();
+  b.join();
+  EXPECT_EQ(total.load(), 2 * kRounds * (257 * 256 / 2));
 }
 
 TEST(ParallelFor, GlobalPoolWorks) {
