@@ -22,6 +22,8 @@
 #include "src/balls/scenario_b.hpp"
 #include "src/core/cftp.hpp"
 #include "src/obs/run_record.hpp"
+#include "src/obs/trace.hpp"
+#include "src/obs/trace_buffer.hpp"
 #include "src/orient/coupling.hpp"
 #include "src/orient/state.hpp"
 #include "src/rng/engines.hpp"
@@ -211,6 +213,90 @@ void BM_OrientationDistance(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_OrientationDistance);
+
+// ---- observability overhead (BENCH_trace.json tracks these) ----------
+//
+// The cost of one obs::ScopedSpan construct/destruct pair under each
+// switch state.  "Off" is the price every instrumented hot loop pays
+// unconditionally (two relaxed loads + branches, no clock read); the
+// enabled variants add the clock reads plus the histogram fetch_add
+// and/or two ring pushes.
+
+// Restores the metrics/trace switches around a benchmark so the span
+// suite composes with the rest of the binary in any order.
+class SwitchGuard {
+ public:
+  SwitchGuard(bool metrics, bool trace)
+      : metrics_was_(recover::obs::metrics_enabled()),
+        trace_was_(recover::obs::trace_enabled()) {
+    recover::obs::set_metrics_enabled(metrics);
+    recover::obs::set_trace_enabled(trace);
+  }
+  ~SwitchGuard() {
+    recover::obs::set_metrics_enabled(metrics_was_);
+    recover::obs::set_trace_enabled(trace_was_);
+  }
+
+ private:
+  bool metrics_was_;
+  bool trace_was_;
+};
+
+recover::obs::Histogram& span_bench_histogram() {
+  static recover::obs::Histogram& h =
+      recover::obs::Registry::global().histogram("bench.span_ns");
+  return h;
+}
+
+void BM_SpanRecordOff(benchmark::State& state) {
+  SwitchGuard guard(false, false);
+  auto& h = span_bench_histogram();
+  for (auto _ : state) {
+    recover::obs::ScopedSpan span(h);
+    benchmark::DoNotOptimize(&span);
+  }
+}
+BENCHMARK(BM_SpanRecordOff);
+
+void BM_SpanRecordMetrics(benchmark::State& state) {
+  SwitchGuard guard(true, false);
+  auto& h = span_bench_histogram();
+  for (auto _ : state) {
+    recover::obs::ScopedSpan span(h);
+    benchmark::DoNotOptimize(&span);
+  }
+}
+BENCHMARK(BM_SpanRecordMetrics);
+
+void BM_SpanRecordTrace(benchmark::State& state) {
+  // Rings overwrite their oldest events, so a long benchmark run stays
+  // within the fixed per-thread footprint.
+  SwitchGuard guard(false, true);
+  auto& h = span_bench_histogram();
+  for (auto _ : state) {
+    recover::obs::ScopedSpan span(h);
+    benchmark::DoNotOptimize(&span);
+  }
+}
+BENCHMARK(BM_SpanRecordTrace);
+
+void BM_SpanRecordBoth(benchmark::State& state) {
+  SwitchGuard guard(true, true);
+  auto& h = span_bench_histogram();
+  for (auto _ : state) {
+    recover::obs::ScopedSpan span(h);
+    benchmark::DoNotOptimize(&span);
+  }
+}
+BENCHMARK(BM_SpanRecordBoth);
+
+void BM_TraceInstant(benchmark::State& state) {
+  SwitchGuard guard(false, true);
+  for (auto _ : state) {
+    recover::obs::trace::instant("bench.instant", "k", 1);
+  }
+}
+BENCHMARK(BM_TraceInstant);
 
 // Console reporter that also captures every finished benchmark into a
 // util::Table, so the run record holds exactly the rows that were

@@ -18,6 +18,13 @@ recover.sweep_cell/1 JSONL checkpoints written by bench/sweep_runner
 (docs/SWEEPS.md): every line must be a complete record whose stored hash
 matches this script's independent FNV-1a of "<exp>|<key>" — a
 cross-language guard on the checkpoint content-hash format.
+
+With --trace, the inputs are instead validated as recover.trace/1
+Chrome trace-event JSON written by --trace=FILE (docs/OBSERVABILITY.md):
+the document must parse, every event must carry a `ph`, every non-
+metadata event must carry numeric `ts` and `tid`, and span begins and
+ends must balance per thread (the exporter repairs ring-drop imbalance,
+so any surviving imbalance is an exporter bug).
 """
 
 import argparse
@@ -99,6 +106,55 @@ def fail(path, message):
     return False
 
 
+TRACE_SCHEMA = "recover.trace/1"
+TRACE_PHASES = {"M", "B", "E", "i", "C"}
+
+
+def check_trace(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return fail(path, f"unreadable or invalid JSON: {e}")
+    events = doc if isinstance(doc, list) else doc.get("traceEvents")
+    if not isinstance(events, list):
+        return fail(path, "traceEvents is not a list")
+    if isinstance(doc, dict):
+        schema = doc.get("otherData", {}).get("schema")
+        if schema != TRACE_SCHEMA:
+            return fail(path, f"otherData.schema is {schema!r}, "
+                              f"want {TRACE_SCHEMA!r}")
+    open_per_tid = {}
+    for i, e in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(e, dict):
+            return fail(path, f"{where}: not an object")
+        ph = e.get("ph")
+        if ph not in TRACE_PHASES:
+            return fail(path, f"{where}: ph is {ph!r}, "
+                              f"want one of {sorted(TRACE_PHASES)}")
+        if ph == "M":
+            continue
+        ts = e.get("ts")
+        if not isinstance(ts, (int, float)) or isinstance(ts, bool):
+            return fail(path, f"{where}: ts missing or non-numeric")
+        tid = e.get("tid")
+        if not isinstance(tid, int) or isinstance(tid, bool):
+            return fail(path, f"{where}: tid missing or non-integer")
+        if ph == "B":
+            open_per_tid[tid] = open_per_tid.get(tid, 0) + 1
+        elif ph == "E":
+            if open_per_tid.get(tid, 0) == 0:
+                return fail(path, f"{where}: span end with no open "
+                                  f"begin on tid {tid}")
+            open_per_tid[tid] -= 1
+    unbalanced = {t: n for t, n in open_per_tid.items() if n}
+    if unbalanced:
+        return fail(path, f"unclosed span begins per tid: {unbalanced}")
+    print(f"check_bench_json: {path}: OK ({len(events)} trace events)")
+    return True
+
+
 def check_record(path, doc):
     if doc.get("schema") != SCHEMA:
         return fail(path, f"schema is {doc.get('schema')!r}, want {SCHEMA!r}")
@@ -160,7 +216,19 @@ def main():
         action="store_true",
         help="validate inputs as recover.sweep_cell/1 JSONL checkpoints",
     )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="validate inputs as recover.trace/1 Chrome trace JSON",
+    )
     args = parser.parse_args()
+
+    if args.trace:
+        ok = True
+        for path in args.files:
+            if not check_trace(path):
+                ok = False
+        return 0 if ok else 1
 
     if args.sweep_checkpoint:
         ok = True

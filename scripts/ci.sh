@@ -55,6 +55,14 @@ case "$resume_line" in
 esac
 python3 scripts/check_bench_json.py --sweep-checkpoint "$SWEEP_CKPT"
 
+echo "== tracing: record, validate, analyze =="
+# Outside JSON_DIR: the *.json glob below expects recover.run/1 records.
+TRACE_FILE="$BUILD_DIR/sweep_exp01.trace.json"
+"$BUILD_DIR"/bench/sweep_runner --exp exp01 --grid "$SWEEP_GRID" \
+  --threads 2 --trace="$TRACE_FILE" > /dev/null
+python3 scripts/check_bench_json.py --trace "$TRACE_FILE"
+python3 scripts/trace_stats.py "$TRACE_FILE"
+
 echo "== validating JSON records =="
 python3 scripts/check_bench_json.py "$JSON_DIR"/*.json \
   --aggregate BENCH_smoke.json

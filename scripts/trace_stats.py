@@ -1,0 +1,198 @@
+#!/usr/bin/env python3
+"""Offline analyzer for recover.trace/1 Chrome trace-event JSON files
+(written by any binary's --trace=FILE flag; see docs/OBSERVABILITY.md).
+
+Prints, from one trace:
+  * per-worker utilization — top-level span time per thread over the
+    trace's wall-clock extent, with event and steal counts;
+  * per-label span statistics — count, total, p50/p95/max durations
+    (exact, from the individual spans, unlike the log2-bucketed
+    run-record quantiles);
+  * steal totals — how many sweep.steal instants fired and how many
+    items they moved (victim/count args);
+  * the straggler report — the top N longest spans with their labels
+    (e.g. a sweep cell's grid key), start times, and owning threads.
+
+Durations attribute to the span itself (self time is not subtracted):
+the tool answers "where did the wall clock go", Perfetto answers the
+zoomed-in questions.
+"""
+
+import argparse
+import json
+import math
+import sys
+from collections import defaultdict
+
+
+def fail(message):
+    print(f"trace_stats: {message}", file=sys.stderr)
+    return 1
+
+
+def load_events(path):
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    if isinstance(doc, list):  # JSON Array Format is also legal
+        return doc, {}
+    return doc.get("traceEvents", []), doc.get("otherData", {})
+
+
+def pair_spans(events):
+    """Chrome B/E pairing per tid; returns (spans, thread_names, instants,
+    wall_extent).  Spans: dict with tid/name/detail/args/start/dur/depth."""
+    thread_names = {}
+    per_tid = defaultdict(list)
+    min_ts = None
+    max_ts = None
+    for e in events:
+        ph = e.get("ph")
+        if ph == "M":
+            if e.get("name") == "thread_name":
+                thread_names[e.get("tid")] = e.get("args", {}).get("name", "")
+            continue
+        ts = e.get("ts")
+        if ts is None:
+            continue
+        min_ts = ts if min_ts is None else min(min_ts, ts)
+        max_ts = ts if max_ts is None else max(max_ts, ts)
+        per_tid[e.get("tid")].append(e)
+
+    spans = []
+    instants = []
+    for tid, tid_events in per_tid.items():
+        tid_events.sort(key=lambda e: e["ts"])
+        stack = []
+        for e in tid_events:
+            ph = e["ph"]
+            if ph == "B":
+                stack.append(e)
+            elif ph == "E":
+                if not stack:
+                    continue  # tolerated: ring dropped the begin
+                begin = stack.pop()
+                args = begin.get("args", {})
+                spans.append(
+                    {
+                        "tid": tid,
+                        "name": begin.get("name", "(unnamed)"),
+                        "detail": args.get("detail", ""),
+                        "args": args,
+                        "start": begin["ts"],
+                        "dur": e["ts"] - begin["ts"],
+                        "depth": len(stack),
+                    }
+                )
+            elif ph == "i":
+                instants.append(e)
+    wall = 0.0 if min_ts is None else max_ts - min_ts
+    return spans, thread_names, instants, wall
+
+
+def quantile(sorted_values, q):
+    if not sorted_values:
+        return 0.0
+    rank = max(1, min(len(sorted_values), math.ceil(q * len(sorted_values))))
+    return sorted_values[rank - 1]
+
+
+def fmt_ms(us):
+    return f"{us / 1000.0:.3f}"
+
+
+def print_utilization(spans, thread_names, instants, wall):
+    print("== per-worker utilization ==")
+    busy = defaultdict(float)   # top-level span time only: nested spans
+    counts = defaultdict(int)   # overlap their parents
+    for s in spans:
+        counts[s["tid"]] += 1
+        if s["depth"] == 0:
+            busy[s["tid"]] += s["dur"]
+    steals = defaultdict(int)
+    for e in instants:
+        if e.get("name") == "sweep.steal":
+            steals[e.get("tid")] += 1
+    tids = sorted(set(busy) | set(counts) | set(thread_names) | set(steals))
+    print(f"{'tid':>4} {'thread':<16} {'spans':>6} {'steals':>6} "
+          f"{'busy_ms':>10} {'util%':>6}")
+    for tid in tids:
+        util = 100.0 * busy[tid] / wall if wall > 0 else 0.0
+        print(
+            f"{tid:>4} {thread_names.get(tid, ''):<16} {counts[tid]:>6} "
+            f"{steals[tid]:>6} {fmt_ms(busy[tid]):>10} {util:>6.1f}"
+        )
+    print(f"wall extent: {fmt_ms(wall)} ms over {len(tids)} thread(s)")
+
+
+def print_label_stats(spans):
+    print("\n== span statistics by label ==")
+    by_name = defaultdict(list)
+    for s in spans:
+        by_name[s["name"]].append(s["dur"])
+    print(f"{'label':<28} {'count':>7} {'total_ms':>10} {'p50_ms':>9} "
+          f"{'p95_ms':>9} {'max_ms':>9}")
+    for name in sorted(by_name, key=lambda n: -sum(by_name[n])):
+        durs = sorted(by_name[name])
+        print(
+            f"{name:<28} {len(durs):>7} {fmt_ms(sum(durs)):>10} "
+            f"{fmt_ms(quantile(durs, 0.50)):>9} "
+            f"{fmt_ms(quantile(durs, 0.95)):>9} {fmt_ms(durs[-1]):>9}"
+        )
+
+
+def print_steals(instants):
+    steal_events = [e for e in instants if e.get("name") == "sweep.steal"]
+    if not steal_events:
+        return
+    moved = sum(e.get("args", {}).get("count", 0) for e in steal_events)
+    victims = defaultdict(int)
+    for e in steal_events:
+        victims[e.get("args", {}).get("victim")] += 1
+    victim_list = ", ".join(
+        f"tid{v}:{n}" for v, n in sorted(victims.items(), key=lambda kv: -kv[1])
+    )
+    print(f"\n== steals ==\n{len(steal_events)} steal(s) moved {moved} "
+          f"item(s); victims: {victim_list}")
+
+
+def print_stragglers(spans, top):
+    print(f"\n== top {top} longest spans (stragglers) ==")
+    print(f"{'dur_ms':>10} {'tid':>4} {'start_ms':>10} {'label':<24} detail")
+    for s in sorted(spans, key=lambda s: -s["dur"])[:top]:
+        print(
+            f"{fmt_ms(s['dur']):>10} {s['tid']:>4} {fmt_ms(s['start']):>10} "
+            f"{s['name']:<24} {s['detail']}"
+        )
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", help="Chrome trace JSON from --trace=FILE")
+    parser.add_argument(
+        "--top", type=int, default=10,
+        help="straggler rows to print (default 10)",
+    )
+    args = parser.parse_args()
+
+    try:
+        events, other = load_events(args.trace)
+    except (OSError, json.JSONDecodeError) as e:
+        return fail(f"{args.trace}: unreadable or invalid JSON: {e}")
+    if not events:
+        return fail(f"{args.trace}: no trace events")
+
+    spans, thread_names, instants, wall = pair_spans(events)
+    print(f"# {args.trace}: {len(events)} events, {len(spans)} spans, "
+          f"{len(instants)} instants, "
+          f"{other.get('dropped', 0)} dropped at record time")
+    print_utilization(spans, thread_names, instants, wall)
+    if spans:
+        print_label_stats(spans)
+    print_steals(instants)
+    if spans:
+        print_stragglers(spans, args.top)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -57,6 +57,9 @@ auto cftp_sample(MakeCoupling&& make_coupling, const CftpOptions& options)
       obs::Registry::global().histogram("cftp.sample_ns");
   obs::ScopedSpan span(sample_ns);
   for (std::int64_t window = 1; window <= options.max_window; window *= 2) {
+    // One trace span per doubling round, annotated with the backward
+    // window, so a timeline shows exactly which doubling dominates.
+    obs::TraceSpan round_span("cftp.round", "window", window);
     auto coupling = make_coupling();
     // Steps run from time −window to −1; the randomness of time −t is a
     // pure function of (seed, t), so growing the window PREPENDS new

@@ -36,6 +36,9 @@ std::vector<double> record_trajectory(Chain& chain, Observable&& observable,
                                       std::uint64_t seed) {
   RL_REQUIRE(options.max_steps > 0);
   RL_REQUIRE(options.sample_interval > 0);
+  static obs::Histogram& trajectory_ns =
+      obs::Registry::global().histogram("recovery.trajectory_ns");
+  obs::ScopedSpan span(trajectory_ns);
   rng::Xoshiro256PlusPlus eng(seed);
   std::vector<double> series;
   series.reserve(static_cast<std::size_t>(options.max_steps /

@@ -17,6 +17,7 @@
 
 #include <array>
 #include <atomic>
+#include <cmath>
 #include <cstdint>
 #include <string>
 #include <string_view>
@@ -153,6 +154,28 @@ class Histogram {
       return count == 0 ? 0.0
                         : static_cast<double>(sum) /
                               static_cast<double>(count);
+    }
+
+    /// Quantile estimate at q ∈ [0, 1]: the midpoint of the log₂ bucket
+    /// containing the ⌈q·count⌉-th smallest sample (bucket 0 — the
+    /// value 0 — reports 0).  Bucketed, so exact to within a factor of
+    /// √2; good enough to separate microseconds from milliseconds in a
+    /// latency dump.
+    [[nodiscard]] double quantile(double q) const {
+      if (count == 0) return 0.0;
+      double rank = std::ceil(q * static_cast<double>(count));
+      if (rank < 1.0) rank = 1.0;
+      std::uint64_t cumulative = 0;
+      for (std::size_t i = 0; i < kBuckets; ++i) {
+        cumulative += buckets[i];
+        if (static_cast<double>(cumulative) >= rank && buckets[i] != 0) {
+          if (i == 0) return 0.0;
+          const double lo = std::ldexp(1.0, static_cast<int>(i) - 1);
+          const double hi = std::ldexp(1.0, static_cast<int>(i)) - 1.0;
+          return (lo + hi) / 2.0;
+        }
+      }
+      return 0.0;  // unreachable: cumulative reaches count
     }
   };
 

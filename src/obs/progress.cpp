@@ -27,7 +27,11 @@ Progress::Progress(std::string label, std::uint64_t total)
       start_(std::chrono::steady_clock::now()) {}
 
 Progress::~Progress() {
-  if (enabled_ && printed_.load(std::memory_order_relaxed)) {
+  // Flush the final summary even when the whole run finished inside the
+  // 1 s throttle window and no heartbeat was ever printed: a --progress
+  // run with a known total must always end with its "N/N done" line.
+  if (enabled_ &&
+      (printed_.load(std::memory_order_relaxed) || total_ > 0)) {
     const double elapsed =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       start_)

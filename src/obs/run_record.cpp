@@ -14,6 +14,8 @@
 #include "src/obs/json_writer.hpp"
 #include "src/obs/metrics.hpp"
 #include "src/obs/progress.hpp"
+#include "src/obs/trace_buffer.hpp"
+#include "src/obs/trace_export.hpp"
 #include "src/util/assert.hpp"
 #include "src/util/cli.hpp"
 #include "src/util/table.hpp"
@@ -58,6 +60,10 @@ void register_cli_flags(util::Cli& cli) {
   cli.flag("metrics", "enable the metrics registry and embed a snapshot",
            "false");
   cli.flag("progress", "stderr heartbeat for long sweeps", "false");
+  cli.flag("trace",
+           "record per-thread event timelines and write a Perfetto-loadable "
+           "Chrome trace JSON to this path",
+           "");
 }
 
 RunRecord::RunRecord(std::string binary, std::string description)
@@ -198,6 +204,11 @@ void RunRecord::write_json(std::ostream& os, double wall_seconds,
       w.key("count").value(h.count);
       w.key("sum").value(h.sum);
       w.key("mean").value(h.mean());
+      // Log₂-bucket-midpoint quantiles (√2-accurate); see
+      // Histogram::Snapshot::quantile.
+      w.key("p50").value(h.quantile(0.50));
+      w.key("p95").value(h.quantile(0.95));
+      w.key("p99").value(h.quantile(0.99));
       w.key("buckets").begin_array();
       for (std::size_t i = 0; i < h.buckets.size(); ++i) {
         if (h.buckets[i] == 0) continue;  // sparse: only occupied buckets
@@ -220,16 +231,32 @@ void RunRecord::write_json(std::ostream& os, double wall_seconds,
 Run::Run(const util::Cli& cli)
     : record_(cli.program(), cli.description()),
       json_path_(cli.str("json-out")),
+      trace_path_(cli.str("trace")),
       metrics_(cli.boolean("metrics")),
       start_seconds_(steady_seconds_now()) {
   record_.set_flags(cli.entries());
   set_metrics_enabled(metrics_);
   set_progress_enabled(cli.boolean("progress"));
+  set_trace_enabled(!trace_path_.empty());
+  if (!trace_path_.empty()) trace::set_thread_name("main");
 }
 
 void Run::finish() {
   if (finished_) return;
   finished_ = true;
+  if (!trace_path_.empty()) {
+    // Stop recording before draining the rings: the exporter's SPSC
+    // read side requires quiescent producers (idle pool workers stay
+    // idle once the switch is off).
+    set_trace_enabled(false);
+    if (!export_trace_file(trace_path_)) std::exit(2);
+    auto& collector = TraceCollector::global();
+    std::fprintf(stderr,
+                 "obs: trace written to %s (%llu events, %llu dropped)\n",
+                 trace_path_.c_str(),
+                 static_cast<unsigned long long>(collector.total_recorded()),
+                 static_cast<unsigned long long>(collector.total_dropped()));
+  }
   if (json_path_.empty()) return;
   const double wall = steady_seconds_now() - start_seconds_;
   std::ofstream out(json_path_);

@@ -36,7 +36,8 @@ class Table;
 namespace recover::obs {
 
 /// Registers the shared observability flags (--json-out, --metrics,
-/// --progress) on a Cli.  Call before parse(); obs::Run reads them.
+/// --progress, --trace) on a Cli.  Call before parse(); obs::Run reads
+/// them.
 void register_cli_flags(util::Cli& cli);
 
 class RunRecord {
@@ -112,6 +113,7 @@ class Run {
  private:
   RunRecord record_;
   std::string json_path_;
+  std::string trace_path_;
   bool metrics_;
   bool finished_ = false;
   double start_seconds_;

@@ -1,49 +1,65 @@
 // RAII span timers: wall-clock durations recorded into the metrics
-// registry's log₂ histograms.
+// registry's log₂ histograms AND, when --trace is active, as begin/end
+// events in the per-thread trace ring (src/obs/trace_buffer.hpp) — one
+// call site, two sinks, sharing a single clock read per edge.
 //
 // Usage on a hot loop:
 //
 //   static obs::Histogram& h =
 //       obs::Registry::global().histogram("coalescence.replica_ns");
 //   {
-//     obs::ScopedSpan span(h);
+//     obs::ScopedSpan span(h);            // or (h, cell.key()) to label
 //     ... replica body ...
-//   }   // duration recorded here (ns)
+//   }   // duration recorded here (ns); trace gets a matching end event
 //
-// When metrics are disabled the constructor is a relaxed load plus a
-// branch and the destructor a branch — the clock is never read.
+// The histogram's registered name doubles as the trace span label — its
+// address is stable for the process lifetime (Registry contract), which
+// is exactly what the ring's static-string event format requires.
+//
+// When both metrics and tracing are disabled the constructor is two
+// relaxed loads plus a branch and the destructor a branch — the clock is
+// never read.
 #pragma once
 
 #include <chrono>
 #include <cstdint>
+#include <string_view>
 
 #include "src/obs/metrics.hpp"
+#include "src/obs/trace_buffer.hpp"
 
 namespace recover::obs {
 
 class ScopedSpan {
  public:
-  explicit ScopedSpan(Histogram& sink) noexcept
-      : sink_(sink), active_(metrics_enabled()) {
-    if (active_) start_ = std::chrono::steady_clock::now();
+  explicit ScopedSpan(Histogram& sink) noexcept : ScopedSpan(sink, {}) {}
+
+  /// `detail` (a sweep cell's grid key, a replica tag, …) is copied into
+  /// the trace begin event; it is ignored — not even read — unless
+  /// tracing is enabled.
+  ScopedSpan(Histogram& sink, std::string_view detail) noexcept
+      : sink_(sink), metrics_(metrics_enabled()), trace_(trace_enabled()) {
+    if (metrics_ || trace_) start_ns_ = trace::now_ns();
+    if (trace_) trace::begin_at(sink_.name().c_str(), start_ns_, detail);
   }
 
   ScopedSpan(const ScopedSpan&) = delete;
   ScopedSpan& operator=(const ScopedSpan&) = delete;
 
   ~ScopedSpan() {
-    if (active_) {
-      const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
-                          std::chrono::steady_clock::now() - start_)
-                          .count();
-      sink_.record(ns > 0 ? static_cast<std::uint64_t>(ns) : 0);
+    if (!metrics_ && !trace_) return;
+    const std::uint64_t end_ns = trace::now_ns();
+    if (metrics_) {
+      sink_.record(end_ns > start_ns_ ? end_ns - start_ns_ : 0);
     }
+    if (trace_) trace::end_at(sink_.name().c_str(), end_ns);
   }
 
  private:
   Histogram& sink_;
-  bool active_;
-  std::chrono::steady_clock::time_point start_;
+  bool metrics_;
+  bool trace_;
+  std::uint64_t start_ns_ = 0;
 };
 
 }  // namespace recover::obs

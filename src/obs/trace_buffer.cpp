@@ -1,0 +1,200 @@
+#include "src/obs/trace_buffer.hpp"
+
+#include <mutex>
+
+namespace recover::obs {
+
+namespace {
+
+std::atomic<bool> g_trace_enabled{false};
+
+// Name a thread asked for before its buffer existed (set_thread_name
+// while tracing was disabled); applied at buffer creation.
+thread_local std::string t_pending_name;
+
+// The calling thread's ring, cached after the first (mutex-guarded)
+// registration.  A raw pointer is safe: buffers live until process exit.
+thread_local TraceBuffer* t_buffer = nullptr;
+
+}  // namespace
+
+bool trace_enabled() noexcept {
+  return g_trace_enabled.load(std::memory_order_relaxed);
+}
+
+void set_trace_enabled(bool enabled) noexcept {
+  if (enabled) TraceCollector::global().mark_epoch();
+  g_trace_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+TraceBuffer::TraceBuffer(std::uint32_t tid, std::string thread_name,
+                         std::size_t capacity)
+    : tid_(tid),
+      thread_name_(std::move(thread_name)),
+      capacity_(capacity > 0 ? capacity : 1),
+      events_(std::make_unique<TraceEvent[]>(capacity_)) {}
+
+std::vector<TraceEvent> TraceBuffer::snapshot() const {
+  const std::uint64_t head = head_.load(std::memory_order_acquire);
+  const std::uint64_t first = head > capacity_ ? head - capacity_ : 0;
+  std::vector<TraceEvent> out;
+  out.reserve(static_cast<std::size_t>(head - first));
+  for (std::uint64_t i = first; i < head; ++i) {
+    out.push_back(events_[i % capacity_]);
+  }
+  return out;
+}
+
+struct TraceCollector::Impl {
+  mutable std::mutex mutex;
+  std::vector<std::unique_ptr<TraceBuffer>> buffers;  // tid order
+  std::atomic<std::uint64_t> epoch_ns{0};
+};
+
+TraceCollector& TraceCollector::global() {
+  static TraceCollector collector;
+  return collector;
+}
+
+TraceCollector::Impl& TraceCollector::impl() const {
+  Impl* existing = impl_.load(std::memory_order_acquire);
+  if (existing != nullptr) return *existing;
+  auto* fresh = new Impl();
+  if (impl_.compare_exchange_strong(existing, fresh,
+                                    std::memory_order_acq_rel)) {
+    return *fresh;
+  }
+  delete fresh;  // another thread won the race
+  return *existing;
+}
+
+TraceBuffer& TraceCollector::this_thread_buffer() {
+  if (t_buffer != nullptr) return *t_buffer;
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mutex);
+  const auto tid = static_cast<std::uint32_t>(i.buffers.size());
+  std::string name = t_pending_name.empty()
+                         ? "thread-" + std::to_string(tid)
+                         : t_pending_name;
+  i.buffers.push_back(std::make_unique<TraceBuffer>(tid, std::move(name)));
+  t_buffer = i.buffers.back().get();
+  return *t_buffer;
+}
+
+void TraceCollector::set_this_thread_name(std::string name) {
+  t_pending_name = name;
+  if (t_buffer == nullptr) return;  // applied when the buffer is created
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mutex);
+  t_buffer->rename(std::move(name));
+}
+
+std::vector<TraceCollector::ThreadTrace> TraceCollector::collect() const {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mutex);
+  std::vector<ThreadTrace> out;
+  out.reserve(i.buffers.size());
+  for (const auto& buffer : i.buffers) {
+    ThreadTrace t;
+    t.tid = buffer->tid();
+    t.name = buffer->thread_name();
+    t.recorded = buffer->recorded();
+    t.dropped = buffer->dropped();
+    t.events = buffer->snapshot();
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+std::uint64_t TraceCollector::total_recorded() const {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mutex);
+  std::uint64_t total = 0;
+  for (const auto& buffer : i.buffers) total += buffer->recorded();
+  return total;
+}
+
+std::uint64_t TraceCollector::total_dropped() const {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mutex);
+  std::uint64_t total = 0;
+  for (const auto& buffer : i.buffers) total += buffer->dropped();
+  return total;
+}
+
+std::uint64_t TraceCollector::epoch_ns() const noexcept {
+  return impl().epoch_ns.load(std::memory_order_relaxed);
+}
+
+void TraceCollector::mark_epoch() noexcept {
+  Impl& i = impl();
+  std::uint64_t expected = 0;
+  i.epoch_ns.compare_exchange_strong(expected, trace::now_ns(),
+                                     std::memory_order_relaxed);
+}
+
+void TraceCollector::reset_for_tests() {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mutex);
+  i.buffers.clear();
+  i.epoch_ns.store(0, std::memory_order_relaxed);
+  t_buffer = nullptr;  // only resets the CALLING thread's cache; the
+  // contract (header) is that no other thread is recording, and any
+  // other thread's stale cache would dangle — which is why this is
+  // test-only and the tests re-register threads afresh.
+}
+
+namespace trace {
+
+void begin_at(const char* name, std::uint64_t ts_ns,
+              std::string_view detail) noexcept {
+  if (!trace_enabled()) return;
+  TraceEvent e;
+  e.ts_ns = ts_ns;
+  e.name = name;
+  e.type = TraceEvent::Type::kBegin;
+  if (!detail.empty()) e.set_detail(detail);
+  TraceCollector::global().this_thread_buffer().push(e);
+}
+
+void end_at(const char* name, std::uint64_t ts_ns) noexcept {
+  if (!trace_enabled()) return;
+  TraceEvent e;
+  e.ts_ns = ts_ns;
+  e.name = name;
+  e.type = TraceEvent::Type::kEnd;
+  TraceCollector::global().this_thread_buffer().push(e);
+}
+
+void instant(const char* name, const char* arg1_name, std::int64_t arg1,
+             const char* arg2_name, std::int64_t arg2) noexcept {
+  if (!trace_enabled()) return;
+  TraceEvent e;
+  e.ts_ns = now_ns();
+  e.name = name;
+  e.type = TraceEvent::Type::kInstant;
+  e.arg1_name = arg1_name;
+  e.arg1 = arg1;
+  e.arg2_name = arg2_name;
+  e.arg2 = arg2;
+  TraceCollector::global().this_thread_buffer().push(e);
+}
+
+void counter(const char* name, std::int64_t value) noexcept {
+  if (!trace_enabled()) return;
+  TraceEvent e;
+  e.ts_ns = now_ns();
+  e.name = name;
+  e.type = TraceEvent::Type::kCounter;
+  e.arg1_name = "value";
+  e.arg1 = value;
+  TraceCollector::global().this_thread_buffer().push(e);
+}
+
+void set_thread_name(std::string name) {
+  TraceCollector::global().set_this_thread_name(std::move(name));
+}
+
+}  // namespace trace
+
+}  // namespace recover::obs

@@ -1,0 +1,234 @@
+// Event-level tracing: per-thread ring buffers of span/instant/counter
+// events with steady-clock timestamps, exported as Chrome trace-event
+// JSON (src/obs/trace_export.hpp) loadable in Perfetto or
+// chrome://tracing.
+//
+// Design constraints (mirrors the metrics registry, docs/OBSERVABILITY.md):
+//  * Pay-nothing when disabled — every record path is one relaxed atomic
+//    load plus a predicted branch; the clock is never read and no buffer
+//    is ever allocated unless --trace enabled the global switch.
+//  * No cross-thread contention when enabled — each thread records into
+//    its own fixed-capacity SPSC ring (producer: the owning thread;
+//    consumer: the exporter, which runs while producers are quiescent).
+//    Publication is a release store of the write head; the exporter
+//    acquire-loads it, so every published slot is safely readable.
+//  * Bounded memory — rings drop the OLDEST events on overflow (the tail
+//    of a run is what a straggler hunt needs) and count what they
+//    dropped; capacity is fixed at construction.
+//
+// Event labels (`name`, arg names) must be pointers with static storage
+// duration — string literals or metric names out of the Registry (whose
+// addresses are stable for the process lifetime).  Dynamic labels (a
+// sweep cell's grid key) travel in the fixed-size inline `detail` copy.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace recover::obs {
+
+/// Global opt-in switch (mirrors metrics_enabled; set by obs::Run from
+/// the shared --trace flag).
+bool trace_enabled() noexcept;
+void set_trace_enabled(bool enabled) noexcept;
+
+/// One fixed-size trace event (POD; copied whole into the ring).
+struct TraceEvent {
+  enum class Type : std::uint8_t {
+    kBegin,    // span opens on this thread
+    kEnd,      // span closes (LIFO per thread)
+    kInstant,  // point event, optional integer args
+    kCounter,  // sampled value (arg1 = sample)
+  };
+
+  static constexpr std::size_t kDetailCapacity = 47;
+
+  std::uint64_t ts_ns = 0;          // steady_clock ns since clock epoch
+  const char* name = nullptr;       // static-duration label
+  const char* arg1_name = nullptr;  // optional integer args (instants,
+  const char* arg2_name = nullptr;  //   counters, span annotations)
+  std::int64_t arg1 = 0;
+  std::int64_t arg2 = 0;
+  Type type = Type::kInstant;
+  char detail[kDetailCapacity + 1] = {};  // truncated inline copy
+
+  void set_detail(std::string_view d) noexcept {
+    const std::size_t n = d.size() < kDetailCapacity ? d.size()
+                                                     : kDetailCapacity;
+    std::memcpy(detail, d.data(), n);
+    detail[n] = '\0';
+  }
+};
+
+/// Per-thread ring.  Single producer (the owning thread, via push),
+/// single consumer (the exporter, via snapshot/recorded/dropped, which
+/// must run while the producer is quiescent — process exit, joined
+/// threads, or an idle pool).
+class TraceBuffer {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 1 << 14;  // 16384 events
+
+  TraceBuffer(std::uint32_t tid, std::string thread_name,
+              std::size_t capacity = kDefaultCapacity);
+
+  TraceBuffer(const TraceBuffer&) = delete;
+  TraceBuffer& operator=(const TraceBuffer&) = delete;
+
+  /// Records `e`, overwriting the oldest surviving event when full.
+  void push(const TraceEvent& e) noexcept {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    events_[head % capacity_] = e;
+    head_.store(head + 1, std::memory_order_release);
+  }
+
+  /// Total events ever pushed (monotone).
+  [[nodiscard]] std::uint64_t recorded() const noexcept {
+    return head_.load(std::memory_order_acquire);
+  }
+
+  /// Events lost to overwrite: max(0, recorded − capacity).
+  [[nodiscard]] std::uint64_t dropped() const noexcept {
+    const std::uint64_t n = recorded();
+    return n > capacity_ ? n - capacity_ : 0;
+  }
+
+  /// Surviving events, oldest first.
+  [[nodiscard]] std::vector<TraceEvent> snapshot() const;
+
+  [[nodiscard]] std::uint32_t tid() const noexcept { return tid_; }
+  [[nodiscard]] const std::string& thread_name() const {
+    return thread_name_;
+  }
+  void rename(std::string name) { thread_name_ = std::move(name); }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  std::uint32_t tid_;
+  std::string thread_name_;
+  std::size_t capacity_;
+  std::unique_ptr<TraceEvent[]> events_;
+  std::atomic<std::uint64_t> head_{0};
+};
+
+/// Process-wide collector: owns one TraceBuffer per thread that ever
+/// recorded while tracing was enabled.  Buffers live until process exit
+/// (threads may die; their events are still exported).
+class TraceCollector {
+ public:
+  static TraceCollector& global();
+
+  /// The calling thread's ring, created and registered on first use
+  /// (cold path: one mutex acquisition per thread lifetime).
+  TraceBuffer& this_thread_buffer();
+
+  /// Names the calling thread in exported traces ("main",
+  /// "pool.worker-3", …).  Cheap and allowed while tracing is disabled:
+  /// the name is remembered and applied when (if) the buffer is created.
+  void set_this_thread_name(std::string name);
+
+  struct ThreadTrace {
+    std::uint32_t tid = 0;
+    std::string name;
+    std::uint64_t recorded = 0;
+    std::uint64_t dropped = 0;
+    std::vector<TraceEvent> events;  // oldest first
+  };
+
+  /// Snapshot of every registered ring, tid order.  Call while all
+  /// producers are quiescent (the SPSC contract).
+  [[nodiscard]] std::vector<ThreadTrace> collect() const;
+
+  [[nodiscard]] std::uint64_t total_recorded() const;
+  [[nodiscard]] std::uint64_t total_dropped() const;
+
+  /// steady_clock ns at the moment tracing was first enabled; exported
+  /// timestamps are relative to it.  0 until then.
+  [[nodiscard]] std::uint64_t epoch_ns() const noexcept;
+  void mark_epoch() noexcept;  // idempotent; called by set_trace_enabled
+
+  /// Drops every buffer and re-arms the epoch.  Only for tests, and only
+  /// while no other thread is recording: threads re-register on next use.
+  void reset_for_tests();
+
+ private:
+  TraceCollector() = default;
+  struct Impl;
+  Impl& impl() const;
+  mutable std::atomic<Impl*> impl_{nullptr};
+};
+
+namespace trace {
+
+/// steady_clock now, as the uint64 ns the ring stores.
+inline std::uint64_t now_ns() noexcept {
+  const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      std::chrono::steady_clock::now().time_since_epoch())
+                      .count();
+  return ns > 0 ? static_cast<std::uint64_t>(ns) : 0;
+}
+
+/// Span open/close with a caller-supplied timestamp — for call sites
+/// (obs::ScopedSpan) that already read the clock for a histogram and
+/// must not read it twice.
+void begin_at(const char* name, std::uint64_t ts_ns,
+              std::string_view detail = {}) noexcept;
+void end_at(const char* name, std::uint64_t ts_ns) noexcept;
+
+/// Point event with up to two named integer args (e.g. a steal's
+/// victim/count).  Arg names must have static storage duration.
+void instant(const char* name, const char* arg1_name = nullptr,
+             std::int64_t arg1 = 0, const char* arg2_name = nullptr,
+             std::int64_t arg2 = 0) noexcept;
+
+/// Sampled counter track (rendered as a graph in Perfetto).
+void counter(const char* name, std::int64_t value) noexcept;
+
+/// Convenience forward to TraceCollector::set_this_thread_name.
+void set_thread_name(std::string name);
+
+}  // namespace trace
+
+/// Trace-only RAII span for sites with no histogram sink (CFTP doubling
+/// rounds, checkpoint fsyncs in cold code).  Costs one relaxed load +
+/// branch when tracing is disabled.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name) noexcept
+      : name_(name), active_(trace_enabled()) {
+    if (active_) trace::begin_at(name_, trace::now_ns());
+  }
+
+  /// Annotates the span's begin event with one named integer arg
+  /// (e.g. {"window", 1024}).
+  TraceSpan(const char* name, const char* arg_name,
+            std::int64_t arg) noexcept
+      : name_(name), active_(trace_enabled()) {
+    if (!active_) return;
+    TraceEvent e;
+    e.ts_ns = trace::now_ns();
+    e.name = name_;
+    e.type = TraceEvent::Type::kBegin;
+    e.arg1_name = arg_name;
+    e.arg1 = arg;
+    TraceCollector::global().this_thread_buffer().push(e);
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  ~TraceSpan() {
+    if (active_) trace::end_at(name_, trace::now_ns());
+  }
+
+ private:
+  const char* name_;
+  bool active_;
+};
+
+}  // namespace recover::obs

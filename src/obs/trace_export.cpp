@@ -1,0 +1,150 @@
+#include "src/obs/trace_export.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "src/obs/json_writer.hpp"
+#include "src/obs/trace_buffer.hpp"
+
+namespace recover::obs {
+
+namespace {
+
+// Chrome wants microseconds; keep the ns in the fraction.
+std::string micros(std::uint64_t ts_ns, std::uint64_t epoch_ns) {
+  const std::uint64_t rel = ts_ns > epoch_ns ? ts_ns - epoch_ns : 0;
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%" PRIu64 ".%03" PRIu64, rel / 1000,
+                rel % 1000);
+  return buf;
+}
+
+void write_event_prefix(std::ostream& os, char ph, std::uint32_t tid) {
+  os << "    {\"ph\":\"" << ph << "\",\"pid\":1,\"tid\":" << tid;
+}
+
+void write_args_open(std::ostream& os, bool& opened) {
+  os << (opened ? "," : ",\"args\":{");
+  opened = true;
+}
+
+void write_event(std::ostream& os, const TraceEvent& e, std::uint32_t tid,
+                 std::uint64_t epoch_ns) {
+  char ph = 'i';
+  switch (e.type) {
+    case TraceEvent::Type::kBegin:
+      ph = 'B';
+      break;
+    case TraceEvent::Type::kEnd:
+      ph = 'E';
+      break;
+    case TraceEvent::Type::kInstant:
+      ph = 'i';
+      break;
+    case TraceEvent::Type::kCounter:
+      ph = 'C';
+      break;
+  }
+  write_event_prefix(os, ph, tid);
+  os << ",\"ts\":" << micros(e.ts_ns, epoch_ns);
+  if (ph == 'i') os << ",\"s\":\"t\"";  // thread-scoped instant
+  os << ",\"name\":\""
+     << json_escape(e.name != nullptr ? e.name : "(unnamed)") << '"';
+  bool args = false;
+  if (e.detail[0] != '\0') {
+    write_args_open(os, args);
+    os << "\"detail\":\"" << json_escape(e.detail) << '"';
+  }
+  if (e.arg1_name != nullptr) {
+    write_args_open(os, args);
+    os << '"' << json_escape(e.arg1_name) << "\":" << e.arg1;
+  }
+  if (e.arg2_name != nullptr) {
+    write_args_open(os, args);
+    os << '"' << json_escape(e.arg2_name) << "\":" << e.arg2;
+  }
+  if (args) os << '}';
+  os << '}';
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& os) {
+  const auto threads = TraceCollector::global().collect();
+  const std::uint64_t epoch_ns = TraceCollector::global().epoch_ns();
+
+  std::uint64_t recorded = 0;
+  std::uint64_t dropped = 0;
+  os << "{\n  \"traceEvents\": [";
+  bool first = true;
+  const auto sep = [&]() -> std::ostream& {
+    if (!first) os << ',';
+    first = false;
+    os << '\n';
+    return os;
+  };
+
+  for (const auto& t : threads) {
+    recorded += t.recorded;
+    dropped += t.dropped;
+    sep();
+    write_event_prefix(os, 'M', t.tid);
+    os << ",\"name\":\"thread_name\",\"args\":{\"name\":\""
+       << json_escape(t.name) << "\"}}";
+  }
+
+  for (const auto& t : threads) {
+    // Balance repair (see the header): orphan ends — their begins were
+    // dropped from the ring — are skipped; begins left open at export
+    // get synthetic ends at the thread's last timestamp, closed in LIFO
+    // order so nesting stays well formed.
+    std::vector<const TraceEvent*> open;
+    std::uint64_t last_ts = epoch_ns;
+    for (const auto& e : t.events) {
+      if (e.ts_ns > last_ts) last_ts = e.ts_ns;
+      if (e.type == TraceEvent::Type::kEnd) {
+        if (open.empty()) continue;  // orphan: begin was dropped
+        open.pop_back();
+      } else if (e.type == TraceEvent::Type::kBegin) {
+        open.push_back(&e);
+      }
+      sep();
+      write_event(os, e, t.tid, epoch_ns);
+    }
+    while (!open.empty()) {
+      TraceEvent closer;
+      closer.type = TraceEvent::Type::kEnd;
+      closer.name = open.back()->name;
+      closer.ts_ns = last_ts;
+      open.pop_back();
+      sep();
+      write_event(os, closer, t.tid, epoch_ns);
+    }
+  }
+
+  os << "\n  ],\n  \"displayTimeUnit\": \"ms\",\n  \"otherData\": {"
+     << "\"schema\":\"recover.trace/1\",\"recorded\":" << recorded
+     << ",\"dropped\":" << dropped << "}\n}\n";
+}
+
+bool export_trace_file(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "obs: cannot open --trace path '%s'\n",
+                 path.c_str());
+    return false;
+  }
+  write_chrome_trace(out);
+  out.flush();
+  if (!out) {
+    std::fprintf(stderr, "obs: failed writing trace '%s'\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace recover::obs

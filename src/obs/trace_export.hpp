@@ -1,0 +1,46 @@
+// Chrome trace-event JSON export of the TraceCollector's rings, loadable
+// in Perfetto (ui.perfetto.dev) and chrome://tracing.
+//
+// Emitted document (JSON Object Format, one event per line):
+//
+//   {
+//     "traceEvents": [
+//       {"ph":"M","pid":1,"tid":0,"name":"thread_name",
+//        "args":{"name":"main"}},
+//       {"ph":"B","pid":1,"tid":1,"ts":12.345,"name":"sweep.cell_ns",
+//        "args":{"detail":"d=1,m=64,density=1,replicas=4"}},
+//       {"ph":"E","pid":1,"tid":1,"ts":842.107,"name":"sweep.cell_ns"},
+//       {"ph":"i","pid":1,"tid":1,"ts":400.0,"s":"t","name":"sweep.steal",
+//        "args":{"victim":2,"count":3}},
+//       {"ph":"C","pid":1,"tid":0,"ts":10.0,"name":"queue_depth",
+//        "args":{"value":7}}
+//     ],
+//     "displayTimeUnit": "ms",
+//     "otherData": {"schema":"recover.trace/1","recorded":N,"dropped":D}
+//   }
+//
+// Timestamps are microseconds (Chrome's unit) relative to the moment
+// tracing was enabled, with ns precision kept in the fraction.  Because
+// rings drop their OLDEST events, a surviving kEnd may have lost its
+// kBegin (and a span still open at export has no kEnd); the writer
+// repairs both per thread — orphan ends are skipped, unclosed begins get
+// a synthetic end at the thread's last timestamp — so the exported
+// stream is always begin/end balanced (scripts/check_bench_json.py
+// --trace verifies exactly that).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+namespace recover::obs {
+
+/// Writes the full trace document for TraceCollector::global().  Call
+/// while producers are quiescent (the SPSC contract; obs::Run::finish
+/// runs it after all parallel regions have drained).
+void write_chrome_trace(std::ostream& os);
+
+/// write_chrome_trace into `path`.  Returns false (with a message on
+/// stderr) when the file cannot be written.
+bool export_trace_file(const std::string& path);
+
+}  // namespace recover::obs

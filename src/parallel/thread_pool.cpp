@@ -1,8 +1,10 @@
 #include "src/parallel/thread_pool.hpp"
 
 #include <chrono>
+#include <string>
 
 #include "src/obs/metrics.hpp"
+#include "src/obs/trace_buffer.hpp"
 #include "src/util/assert.hpp"
 
 namespace recover::parallel {
@@ -79,6 +81,10 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::worker_loop(std::size_t worker_index) {
+  // Label the thread for exported traces; cheap, once per thread, and
+  // remembered even if --trace flips the switch on later.
+  obs::trace::set_thread_name("pool.worker-" +
+                              std::to_string(worker_index));
   std::uint64_t seen_generation = 0;
   for (;;) {
     Task task;
@@ -95,12 +101,16 @@ void ThreadPool::worker_loop(std::size_t worker_index) {
     }
     {
       ActivePoolScope active(this);
-      if (obs::metrics_enabled() && task.begin < task.end) {
-        const auto begin = std::chrono::steady_clock::now();
-        for (std::uint64_t i = task.begin; i < task.end; ++i) (*body)(i);
-        record_chunk(task.end - task.begin, begin);
-      } else {
-        for (std::uint64_t i = task.begin; i < task.end; ++i) (*body)(i);
+      if (task.begin < task.end) {
+        obs::TraceSpan span("pool.chunk", "items",
+                            static_cast<std::int64_t>(task.end - task.begin));
+        if (obs::metrics_enabled()) {
+          const auto begin = std::chrono::steady_clock::now();
+          for (std::uint64_t i = task.begin; i < task.end; ++i) (*body)(i);
+          record_chunk(task.end - task.begin, begin);
+        } else {
+          for (std::uint64_t i = task.begin; i < task.end; ++i) (*body)(i);
+        }
       }
     }
     {
@@ -125,6 +135,8 @@ void ThreadPool::for_each_index(
     // regions: the workers are already busy with the outer region, so
     // run inline and serially (see the header contract).
     nested_inline.add();
+    obs::TraceSpan span("pool.inline", "items",
+                        static_cast<std::int64_t>(count));
     if (obs::metrics_enabled()) {
       const auto begin = std::chrono::steady_clock::now();
       for (std::uint64_t i = 0; i < count; ++i) body(i);
@@ -137,6 +149,8 @@ void ThreadPool::for_each_index(
   const auto participants = static_cast<std::uint64_t>(size());
   if (participants == 1 || count == 1) {
     ActivePoolScope active(this);
+    obs::TraceSpan span("pool.chunk", "items",
+                        static_cast<std::int64_t>(count));
     if (obs::metrics_enabled()) {
       const auto begin = std::chrono::steady_clock::now();
       for (std::uint64_t i = 0; i < count; ++i) body(i);
@@ -173,15 +187,20 @@ void ThreadPool::for_each_index(
   work_ready_.notify_all();
   {
     ActivePoolScope active(this);
-    if (obs::metrics_enabled() && caller_task.begin < caller_task.end) {
-      const auto begin = std::chrono::steady_clock::now();
-      for (std::uint64_t i = caller_task.begin; i < caller_task.end; ++i) {
-        body(i);
-      }
-      record_chunk(caller_task.end - caller_task.begin, begin);
-    } else {
-      for (std::uint64_t i = caller_task.begin; i < caller_task.end; ++i) {
-        body(i);
+    if (caller_task.begin < caller_task.end) {
+      obs::TraceSpan span(
+          "pool.chunk", "items",
+          static_cast<std::int64_t>(caller_task.end - caller_task.begin));
+      if (obs::metrics_enabled()) {
+        const auto begin = std::chrono::steady_clock::now();
+        for (std::uint64_t i = caller_task.begin; i < caller_task.end; ++i) {
+          body(i);
+        }
+        record_chunk(caller_task.end - caller_task.begin, begin);
+      } else {
+        for (std::uint64_t i = caller_task.begin; i < caller_task.end; ++i) {
+          body(i);
+        }
       }
     }
   }

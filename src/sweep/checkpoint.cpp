@@ -8,6 +8,7 @@
 #include <fstream>
 
 #include "src/obs/json_writer.hpp"
+#include "src/obs/trace.hpp"
 #include "src/sweep/grid.hpp"
 #include "src/util/assert.hpp"
 
@@ -312,6 +313,11 @@ CheckpointWriter::~CheckpointWriter() {
 }
 
 void CheckpointWriter::append(const CellRecord& record) {
+  // Spans the write + fsync: on slow disks the durability tax is a real
+  // slice of a sweep's wall clock, and the trace makes it visible.
+  static obs::Histogram& fsync_ns =
+      obs::Registry::global().histogram("sweep.fsync_ns");
+  obs::ScopedSpan span(fsync_ns);
   const std::string line = to_json_line(record) + "\n";
   RL_REQUIRE(std::fwrite(line.data(), 1, line.size(), file_) == line.size());
   RL_REQUIRE(std::fflush(file_) == 0);

@@ -86,6 +86,9 @@ void run_work_stealing(const std::vector<std::uint64_t>& items,
             }
           }
           if (batch.empty()) continue;  // drained between scan and steal
+          obs::trace::instant("sweep.steal", "victim",
+                              static_cast<std::int64_t>(victim), "count",
+                              static_cast<std::int64_t>(batch.size()));
           item = batch.back();
           batch.pop_back();
           if (!batch.empty()) {
@@ -174,8 +177,11 @@ SweepReport run_sweep(const GridSpec& grid, const SweepOptions& options) {
   run_work_stealing(
       to_run,
       [&](std::uint64_t index) {
-        obs::ScopedSpan span(cell_ns);
         const Cell cell = grid.cell(index);
+        // The grid key labels the cell's trace span, so a Perfetto
+        // timeline (or trace_stats.py's straggler table) names the
+        // exact grid point a worker spent its time on.
+        obs::ScopedSpan span(cell_ns, cell.key());
         CellContext ctx;
         ctx.seed = rng::substream(options.seed, index);
         ctx.parallel_within_cell = false;  // cells are the parallel unit

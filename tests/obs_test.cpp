@@ -1,6 +1,7 @@
 // Tests for the observability subsystem: JSON writer policy, histogram
 // bucketing, registry semantics (merge across threads, disabled fast
-// path), and run-record row typing.
+// path), run-record row typing, trace ring buffers + Chrome export, and
+// progress heartbeat flushing.
 #include <gtest/gtest.h>
 
 #include <cmath>
@@ -13,7 +14,11 @@
 
 #include "src/obs/json_writer.hpp"
 #include "src/obs/metrics.hpp"
+#include "src/obs/progress.hpp"
 #include "src/obs/run_record.hpp"
+#include "src/obs/trace.hpp"
+#include "src/obs/trace_buffer.hpp"
+#include "src/obs/trace_export.hpp"
 #include "src/util/table.hpp"
 
 namespace {
@@ -27,6 +32,34 @@ class MetricsGuard {
  public:
   MetricsGuard() : was_(obs::metrics_enabled()) {}
   ~MetricsGuard() { obs::set_metrics_enabled(was_); }
+
+ private:
+  bool was_;
+};
+
+// Same for the trace switch; also wipes the collector so each trace
+// test starts from empty rings (and leaves none behind for the metrics
+// tests sharing this binary).
+class TraceGuard {
+ public:
+  TraceGuard() : was_(obs::trace_enabled()) {
+    obs::set_trace_enabled(false);
+    obs::TraceCollector::global().reset_for_tests();
+  }
+  ~TraceGuard() {
+    obs::set_trace_enabled(was_);
+    obs::TraceCollector::global().reset_for_tests();
+  }
+
+ private:
+  bool was_;
+};
+
+// Same for the progress switch.
+class ProgressGuard {
+ public:
+  ProgressGuard() : was_(obs::progress_enabled()) {}
+  ~ProgressGuard() { obs::set_progress_enabled(was_); }
 
  private:
   bool was_;
@@ -275,6 +308,288 @@ TEST(RunRecord, JsonIsMachineParseable) {
   }
   EXPECT_EQ(depth, 0);
   EXPECT_FALSE(in_string);
+}
+
+// ---- Histogram quantiles ---------------------------------------------
+
+TEST(Histogram, QuantilesFromBucketMidpoints) {
+  MetricsGuard guard;
+  obs::set_metrics_enabled(true);
+  obs::Histogram h("obs_test.quantiles");
+  for (int i = 0; i < 4; ++i) h.record(1);  // bucket 1 (midpoint 1)
+  h.record(100);                            // bucket 7: 64..127, mid 95.5
+  const auto snap = h.snapshot();
+  EXPECT_DOUBLE_EQ(snap.quantile(0.50), 1.0);
+  EXPECT_DOUBLE_EQ(snap.quantile(0.99), 95.5);
+  EXPECT_DOUBLE_EQ(snap.quantile(1.0), 95.5);
+}
+
+TEST(Histogram, QuantileEdgeCases) {
+  MetricsGuard guard;
+  obs::set_metrics_enabled(true);
+  obs::Histogram empty("obs_test.quantile_empty");
+  EXPECT_DOUBLE_EQ(empty.snapshot().quantile(0.5), 0.0);
+  obs::Histogram zeros("obs_test.quantile_zeros");
+  zeros.record(0);
+  zeros.record(0);
+  EXPECT_DOUBLE_EQ(zeros.snapshot().quantile(0.95), 0.0);
+}
+
+TEST(RunRecord, MetricsSectionCarriesQuantiles) {
+  MetricsGuard guard;
+  obs::set_metrics_enabled(true);
+  obs::Registry::global().histogram("obs_test.record_quant").record(100);
+  util::Table table({"a"});
+  table.row().integer(1);
+  obs::RunRecord rec("unit_test", "quantile dump");
+  rec.add_table("t", table);
+  std::ostringstream os;
+  rec.write_json(os, 0.0, /*include_metrics=*/true);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("\"p50\": 95.5"), std::string::npos);
+  EXPECT_NE(text.find("\"p95\": 95.5"), std::string::npos);
+  EXPECT_NE(text.find("\"p99\": 95.5"), std::string::npos);
+}
+
+// ---- Progress ---------------------------------------------------------
+
+TEST(Progress, FlushesFinalLineEvenWithoutHeartbeat) {
+  // Regression: a --progress run with a known total that never printed a
+  // heartbeat (zero ticks — the work collapsed to nothing) must still
+  // flush the "done ... (finished)" summary from the destructor.
+  ProgressGuard guard;
+  obs::set_progress_enabled(true);
+  testing::internal::CaptureStderr();
+  { obs::Progress progress("unit", 3); }
+  const std::string err = testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("[unit] 0/3 done"), std::string::npos);
+  EXPECT_NE(err.find("(finished)"), std::string::npos);
+}
+
+TEST(Progress, KnownTotalAlwaysEndsWithFinishedLine) {
+  // The ticked path: heartbeat(s) may or may not fire inside the 1 s
+  // throttle window, but the final "N/N done ... (finished)" line is
+  // unconditional for total > 0.
+  ProgressGuard guard;
+  obs::set_progress_enabled(true);
+  testing::internal::CaptureStderr();
+  {
+    obs::Progress progress("unit", 3);
+    progress.tick();
+    progress.tick();
+    progress.tick();
+  }
+  const std::string err = testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("[unit] 3/3 done"), std::string::npos);
+  EXPECT_NE(err.find("(finished)"), std::string::npos);
+}
+
+TEST(Progress, UnknownTotalStaysSilentWithoutHeartbeat) {
+  // total == 0 (unknown) and no heartbeat printed: no final line either,
+  // so ad-hoc Progress objects cannot spam stderr at destruction.
+  ProgressGuard guard;
+  obs::set_progress_enabled(true);
+  testing::internal::CaptureStderr();
+  { obs::Progress progress("unit", 0); }
+  EXPECT_EQ(testing::internal::GetCapturedStderr(), "");
+}
+
+// ---- Trace ring buffer ------------------------------------------------
+
+TEST(TraceBuffer, DisabledPathRecordsNothing) {
+  TraceGuard guard;
+  // Switch is off: spans, instants, and counters must not register a
+  // buffer, let alone events.
+  {
+    obs::TraceSpan span("obs_test.disabled_span");
+    obs::trace::instant("obs_test.disabled_instant");
+    obs::trace::counter("obs_test.disabled_counter", 7);
+  }
+  EXPECT_EQ(obs::TraceCollector::global().total_recorded(), 0u);
+  EXPECT_TRUE(obs::TraceCollector::global().collect().empty());
+}
+
+TEST(TraceBuffer, OverflowDropsOldestAndCounts) {
+  obs::TraceBuffer buffer(0, "unit", /*capacity=*/4);
+  for (std::uint64_t i = 1; i <= 10; ++i) {
+    obs::TraceEvent e;
+    e.ts_ns = i;
+    e.name = "evt";
+    e.type = obs::TraceEvent::Type::kInstant;
+    e.arg1_name = "i";
+    e.arg1 = static_cast<std::int64_t>(i);
+    buffer.push(e);
+  }
+  EXPECT_EQ(buffer.recorded(), 10u);
+  EXPECT_EQ(buffer.dropped(), 6u);
+  const auto events = buffer.snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  // The NEWEST four survive, oldest-first, uncorrupted.
+  for (std::size_t k = 0; k < 4; ++k) {
+    EXPECT_EQ(events[k].ts_ns, 7 + k);
+    EXPECT_EQ(events[k].arg1, static_cast<std::int64_t>(7 + k));
+    EXPECT_STREQ(events[k].name, "evt");
+  }
+}
+
+TEST(TraceBuffer, DetailIsTruncatedSafely) {
+  obs::TraceEvent e;
+  e.set_detail(std::string(200, 'x'));
+  EXPECT_EQ(std::string(e.detail).size(), obs::TraceEvent::kDetailCapacity);
+  e.set_detail("short");
+  EXPECT_STREQ(e.detail, "short");
+}
+
+TEST(TraceSpan, ScopedSpanFeedsBothSinks) {
+  MetricsGuard mguard;
+  TraceGuard tguard;
+  obs::set_metrics_enabled(true);
+  obs::set_trace_enabled(true);
+  obs::Histogram h("obs_test.dual_sink");
+  { obs::ScopedSpan span(h, "cell=1"); }
+  EXPECT_EQ(h.snapshot().count, 1u);  // histogram sink
+  obs::set_trace_enabled(false);
+  const auto threads = obs::TraceCollector::global().collect();
+  ASSERT_EQ(threads.size(), 1u);
+  ASSERT_EQ(threads[0].events.size(), 2u);  // trace sink: begin + end
+  const auto& begin = threads[0].events[0];
+  const auto& end = threads[0].events[1];
+  EXPECT_EQ(begin.type, obs::TraceEvent::Type::kBegin);
+  EXPECT_STREQ(begin.name, "obs_test.dual_sink");
+  EXPECT_STREQ(begin.detail, "cell=1");
+  EXPECT_EQ(end.type, obs::TraceEvent::Type::kEnd);
+  EXPECT_GE(end.ts_ns, begin.ts_ns);
+}
+
+TEST(TraceCollector, SpansNestPerThread) {
+  TraceGuard guard;
+  obs::set_trace_enabled(true);
+  const auto emit_nested = [] {
+    obs::TraceSpan outer("outer");
+    {
+      obs::TraceSpan inner("inner");
+      obs::trace::instant("tick", "k", 1);
+    }
+    { obs::TraceSpan inner2("inner2"); }
+  };
+  emit_nested();                      // main thread
+  std::thread t(emit_nested);        // plus one worker
+  t.join();
+  obs::set_trace_enabled(false);
+  const auto threads = obs::TraceCollector::global().collect();
+  ASSERT_EQ(threads.size(), 2u);
+  for (const auto& thread : threads) {
+    EXPECT_EQ(thread.dropped, 0u);
+    std::vector<const char*> stack;
+    std::uint64_t last_ts = 0;
+    for (const auto& e : thread.events) {
+      EXPECT_GE(e.ts_ns, last_ts);  // per-thread timestamps are monotone
+      last_ts = e.ts_ns;
+      switch (e.type) {
+        case obs::TraceEvent::Type::kBegin:
+          stack.push_back(e.name);
+          break;
+        case obs::TraceEvent::Type::kEnd:
+          ASSERT_FALSE(stack.empty());
+          EXPECT_STREQ(stack.back(), e.name);  // LIFO: ends match begins
+          stack.pop_back();
+          break;
+        default:
+          EXPECT_FALSE(stack.empty());  // instant fired inside "inner"
+          break;
+      }
+    }
+    EXPECT_TRUE(stack.empty());
+  }
+}
+
+// ---- Chrome trace export ---------------------------------------------
+
+namespace {
+
+std::size_t count_occurrences(const std::string& text,
+                              const std::string& needle) {
+  std::size_t count = 0;
+  for (std::size_t pos = text.find(needle); pos != std::string::npos;
+       pos = text.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+// Structural JSON sanity without a parser: balanced braces/brackets
+// outside strings.
+void expect_balanced_json(const std::string& text) {
+  ASSERT_FALSE(text.empty());
+  int depth = 0;
+  bool in_string = false;
+  bool escaped = false;
+  for (const char ch : text) {
+    if (escaped) {
+      escaped = false;
+      continue;
+    }
+    if (in_string) {
+      if (ch == '\\') escaped = true;
+      if (ch == '"') in_string = false;
+      continue;
+    }
+    if (ch == '"') in_string = true;
+    if (ch == '{' || ch == '[') ++depth;
+    if (ch == '}' || ch == ']') --depth;
+    EXPECT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_FALSE(in_string);
+}
+
+}  // namespace
+
+TEST(TraceExport, WritesParseableBalancedChromeJson) {
+  TraceGuard guard;
+  obs::set_trace_enabled(true);
+  obs::trace::set_thread_name("main");
+  {
+    obs::TraceSpan outer("export.outer");
+    { obs::TraceSpan inner("export.inner"); }
+    obs::trace::instant("export.steal", "victim", 2, "count", 3);
+    obs::trace::counter("export.queue", 7);
+  }
+  obs::set_trace_enabled(false);
+  std::ostringstream os;
+  obs::write_chrome_trace(os);
+  const std::string text = os.str();
+  expect_balanced_json(text);
+  EXPECT_NE(text.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(text.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(text.find("\"main\""), std::string::npos);
+  EXPECT_NE(text.find("\"export.outer\""), std::string::npos);
+  EXPECT_NE(text.find("\"s\":\"t\""), std::string::npos);  // instant scope
+  EXPECT_NE(text.find("\"victim\":2"), std::string::npos);
+  EXPECT_NE(text.find("\"count\":3"), std::string::npos);
+  EXPECT_NE(text.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(text.find("recover.trace/1"), std::string::npos);
+  EXPECT_EQ(count_occurrences(text, "\"ph\":\"B\""),
+            count_occurrences(text, "\"ph\":\"E\""));
+}
+
+TEST(TraceExport, RepairsUnbalancedSpans) {
+  TraceGuard guard;
+  obs::set_trace_enabled(true);
+  // An orphan end (its begin was dropped from the ring) and a span still
+  // open at export: the writer must skip the former and synthesize an
+  // end for the latter, so B/E counts always balance.
+  obs::trace::end_at("orphan", obs::trace::now_ns());
+  obs::trace::begin_at("unclosed", obs::trace::now_ns());
+  obs::set_trace_enabled(false);
+  std::ostringstream os;
+  obs::write_chrome_trace(os);
+  const std::string text = os.str();
+  expect_balanced_json(text);
+  EXPECT_EQ(count_occurrences(text, "\"orphan\""), 0u);
+  EXPECT_EQ(count_occurrences(text, "\"unclosed\""), 2u);  // B + synthetic E
+  EXPECT_EQ(count_occurrences(text, "\"ph\":\"B\""),
+            count_occurrences(text, "\"ph\":\"E\""));
 }
 
 }  // namespace
