@@ -1,0 +1,448 @@
+// serve_loadgen — open-loop load generator for recover_serve
+// (docs/SERVING.md).
+//
+//   serve_loadgen --port 9000 --qps 200 --conns 8 --duration 2s
+//       --mix "ping=3,run_cell=1"
+//
+// Open loop: request k is sent at start + k/qps, no matter how slow the
+// replies are — so an overloaded server shows up as shed requests and
+// latency inflation instead of a silently throttled generator.
+// Requests round-robin across --conns connections, each with a writer
+// thread (paced sends) and a reader thread (matches replies to send
+// timestamps by id).  Prints p50/p95/p99 latency (exact, from the full
+// sample set), throughput, and shed rate; exits 1 if any reply failed to
+// parse (a protocol error is a bug, not load).  With --json-out the run
+// record is the committed BENCH_serve.json baseline, validated by
+// scripts/check_bench_json.py --serve.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/obs/json_reader.hpp"
+#include "src/obs/run_record.hpp"
+#include "src/rng/engines.hpp"
+#include "src/serve/protocol.hpp"
+#include "src/util/cli.hpp"
+#include "src/util/table.hpp"
+
+namespace {
+
+using namespace recover;
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+struct Mix {
+  std::vector<std::string> methods;  // weighted, expanded (method repeated
+                                     // `weight` times); indexed by rng
+};
+
+bool parse_mix(const std::string& text, Mix& out) {
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const std::size_t comma = text.find(',', pos);
+    const std::string part =
+        text.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    pos = comma == std::string::npos ? text.size() : comma + 1;
+    const std::size_t eq = part.find('=');
+    const std::string name = eq == std::string::npos ? part
+                                                     : part.substr(0, eq);
+    long weight = 1;
+    if (eq != std::string::npos) {
+      try {
+        weight = std::stol(part.substr(eq + 1));
+      } catch (const std::exception&) {
+        return false;
+      }
+    }
+    if (name.empty() || weight < 0 || weight > 64) return false;
+    if (name != "ping" && name != "run_cell" && name != "list_cells" &&
+        name != "stats") {
+      return false;
+    }
+    for (long w = 0; w < weight; ++w) out.methods.push_back(name);
+  }
+  return !out.methods.empty();
+}
+
+struct Tally {
+  std::uint64_t sent = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t deadline = 0;
+  std::uint64_t shutting_down = 0;
+  std::uint64_t other_errors = 0;
+  std::uint64_t protocol_errors = 0;
+  std::vector<double> latencies_us;  // completed requests only
+};
+
+struct Connection {
+  int fd = -1;
+  std::vector<std::uint64_t> request_ids;  // this connection's ids, in order
+  Tally tally;
+};
+
+/// One request line.  The id doubles as the index into `send_ns`.
+std::string request_line(std::uint64_t id, const std::string& method,
+                         std::uint64_t seed, std::int64_t deadline_ms) {
+  std::string line = "{\"schema\":\"recover.req/1\",\"id\":";
+  line += std::to_string(id);
+  line += ",\"method\":\"";
+  line += method;
+  line += '"';
+  if (method == "run_cell") {
+    // A deliberately small cell (exp01 at m=16): the point of the mix is
+    // to exercise admission and the pool hand-off, not to benchmark the
+    // estimator itself.  The per-request seed varies so replies are not
+    // all byte-identical.
+    line += ",\"params\":{\"exp\":\"exp01\",\"seed\":";
+    line += std::to_string(seed);
+    line +=
+        ",\"params\":{\"m\":16,\"d\":2,\"density\":1,\"replicas\":2}}";
+  }
+  if (deadline_ms >= 0) {
+    line += ",\"deadline_ms\":";
+    line += std::to_string(deadline_ms);
+  }
+  line += "}\n";
+  return line;
+}
+
+bool send_all(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Parses one response line into the tally; updates latency via send_ns.
+void account_response(const std::string& line,
+                      const std::vector<std::uint64_t>& send_ns,
+                      Tally& tally) {
+  obs::JsonValue doc;
+  if (!obs::parse_json(line, doc) || !doc.is_object()) {
+    ++tally.protocol_errors;
+    return;
+  }
+  const auto* schema = doc.find("schema");
+  const auto* id = doc.find("id");
+  const auto* ok = doc.find("ok");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->text != serve::kResponseSchema || id == nullptr ||
+      ok == nullptr) {
+    ++tally.protocol_errors;
+    return;
+  }
+  if (id->is_number()) {
+    const auto idx = static_cast<std::uint64_t>(id->number);
+    if (idx < send_ns.size() && send_ns[idx] != 0) {
+      tally.latencies_us.push_back(
+          static_cast<double>(now_ns() - send_ns[idx]) / 1000.0);
+    } else {
+      ++tally.protocol_errors;  // reply to an id we never sent
+      return;
+    }
+  } else {
+    ++tally.protocol_errors;  // we only ever send numeric ids
+    return;
+  }
+  if (ok->kind == obs::JsonValue::Kind::kBool && ok->boolean) {
+    ++tally.ok;
+    return;
+  }
+  const auto* error = doc.find("error");
+  const auto* code = error != nullptr ? error->find("code") : nullptr;
+  if (code == nullptr || !code->is_string()) {
+    ++tally.protocol_errors;
+    return;
+  }
+  if (code->text == "overloaded") {
+    ++tally.shed;
+  } else if (code->text == "deadline_exceeded") {
+    ++tally.deadline;
+  } else if (code->text == "shutting_down") {
+    ++tally.shutting_down;
+  } else {
+    ++tally.other_errors;
+  }
+}
+
+double quantile_us(std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double pos = q * static_cast<double>(sorted.size());
+  auto idx = pos <= 1.0 ? std::size_t{0}
+                        : static_cast<std::size_t>(std::ceil(pos)) - 1;
+  if (idx >= sorted.size()) idx = sorted.size() - 1;
+  return sorted[idx];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli("serve_loadgen",
+                "open-loop load generator for the recover_serve TCP "
+                "service");
+  cli.flag("host", "server address", "127.0.0.1");
+  cli.flag("port", "server port (required)", "0");
+  cli.flag("qps", "open-loop request rate, all connections combined", "200");
+  cli.flag("conns", "concurrent connections", "8");
+  cli.flag("duration", "send window (500ms/2s/1m)", "2s");
+  cli.flag("mix",
+           "method weights, e.g. ping=3,run_cell=1 (ping, run_cell, "
+           "list_cells, stats)",
+           "ping=3,run_cell=1");
+  cli.flag("deadline",
+           "per-request deadline_ms to attach (0 = expire immediately; "
+           "empty = none)",
+           "");
+  cli.flag("seed", "seed for the method/cell-seed stream", "1");
+  cli.flag("grace",
+           "how long to wait for in-flight replies after the send window",
+           "2s");
+  obs::register_cli_flags(cli);
+  cli.parse(argc, argv);
+  obs::Run run(cli);
+
+  const int port = static_cast<int>(cli.integer("port"));
+  if (port <= 0) {
+    std::fprintf(stderr, "serve_loadgen: --port is required\n");
+    return 2;
+  }
+  const double qps = cli.real("qps");
+  const auto conns = static_cast<std::size_t>(cli.integer("conns"));
+  const std::int64_t duration_ms = cli.duration_ms("duration");
+  const std::int64_t grace_ms = cli.duration_ms("grace");
+  const auto seed = static_cast<std::uint64_t>(cli.integer("seed"));
+  std::int64_t deadline_ms = -1;
+  if (!cli.str("deadline").empty() &&
+      !util::parse_duration_ms(cli.str("deadline"), deadline_ms)) {
+    std::fprintf(stderr, "serve_loadgen: bad --deadline\n");
+    return 2;
+  }
+  Mix mix;
+  if (qps <= 0 || conns == 0 || duration_ms <= 0 ||
+      !parse_mix(cli.str("mix"), mix)) {
+    std::fprintf(stderr, "serve_loadgen: bad --qps/--conns/--duration/--mix\n");
+    return 2;
+  }
+
+  const auto total_requests = static_cast<std::uint64_t>(
+      qps * static_cast<double>(duration_ms) / 1000.0);
+  if (total_requests == 0) {
+    std::fprintf(stderr, "serve_loadgen: window too short for one request\n");
+    return 2;
+  }
+
+  // Connect everything up front; a connect failure is fatal, not load.
+  std::vector<Connection> connections(conns);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, cli.str("host").c_str(), &addr.sin_addr) != 1) {
+    std::fprintf(stderr, "serve_loadgen: bad host\n");
+    return 2;
+  }
+  for (auto& conn : connections) {
+    conn.fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (conn.fd < 0 ||
+        ::connect(conn.fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof addr) != 0) {
+      std::fprintf(stderr, "serve_loadgen: connect %s:%d: %s\n",
+                   cli.str("host").c_str(), port, std::strerror(errno));
+      return 2;
+    }
+    const int one = 1;
+    ::setsockopt(conn.fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  }
+
+  // Send timestamps indexed by request id; 0 = never sent.  Writers fill
+  // a slot strictly before the server can echo the id back, and the
+  // matching reader only loads it after receiving that echo, so the
+  // happens-before chain runs through the socket.
+  std::vector<std::uint64_t> send_ns(total_requests, 0);
+
+  // Pre-compute the schedule: request k goes out at start + k/qps on
+  // connection k % conns, with method and cell seed drawn from a
+  // substream so the mix is reproducible.
+  for (std::uint64_t k = 0; k < total_requests; ++k) {
+    connections[k % conns].request_ids.push_back(k);
+  }
+
+  std::atomic<bool> stop_readers{false};
+  std::vector<std::thread> threads;
+  const std::uint64_t start_ns = now_ns() + 10'000'000;  // 10ms lead-in
+  const double ns_per_request = 1e9 / qps;
+
+  for (std::size_t c = 0; c < conns; ++c) {
+    Connection& conn = connections[c];
+    // Writer: paced open-loop sends.
+    threads.emplace_back([&conn, &send_ns, &mix, start_ns, ns_per_request,
+                          seed, deadline_ms] {
+      for (const std::uint64_t k : conn.request_ids) {
+        const std::uint64_t due =
+            start_ns + static_cast<std::uint64_t>(
+                           static_cast<double>(k) * ns_per_request);
+        while (now_ns() < due) {
+          const std::uint64_t gap = due - now_ns();
+          if (gap > 2'000'000) {
+            std::this_thread::sleep_for(
+                std::chrono::nanoseconds(gap - 1'000'000));
+          } else {
+            std::this_thread::yield();
+          }
+        }
+        const std::uint64_t draw = rng::substream(seed, k);
+        const std::string& method =
+            mix.methods[draw % mix.methods.size()];
+        // Seed stays within the protocol's [0, 2^53] integer range.
+        const std::string line = request_line(
+            k, method, /*seed=*/(draw >> 8) & ((1ULL << 53) - 1),
+            deadline_ms);
+        send_ns[k] = now_ns();
+        if (!send_all(conn.fd, line)) break;
+        ++conn.tally.sent;
+      }
+      // Half-close: tells the server this connection is done sending;
+      // replies still flow back until the reader has them all.
+      ::shutdown(conn.fd, SHUT_WR);
+    });
+    // Reader: match replies to ids, accumulate latency.
+    threads.emplace_back([&conn, &send_ns, &stop_readers] {
+      serve::LineReader framer;
+      char buf[4096];
+      std::string line;
+      while (!stop_readers.load(std::memory_order_acquire)) {
+        const ssize_t n = ::recv(conn.fd, buf, sizeof buf, 0);
+        if (n == 0) break;  // server closed after drain
+        if (n < 0) {
+          if (errno == EINTR) continue;
+          break;
+        }
+        framer.feed(buf, static_cast<std::size_t>(n));
+        while (framer.next_line(line) == serve::LineReader::Next::kLine) {
+          account_response(line, send_ns, conn.tally);
+        }
+        const Tally& t = conn.tally;
+        if (t.sent > 0 &&
+            t.ok + t.shed + t.deadline + t.shutting_down + t.other_errors +
+                    t.protocol_errors >=
+                conn.request_ids.size()) {
+          break;  // every reply for this connection accounted for
+        }
+      }
+    });
+  }
+
+  // Join writers and readers; readers get a grace window after the send
+  // window closes, then are cut loose (unanswered requests stay pending).
+  const auto window_deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(duration_ms + grace_ms + 500);
+  std::thread watchdog([&stop_readers, window_deadline, &connections] {
+    std::this_thread::sleep_until(window_deadline);
+    stop_readers.store(true, std::memory_order_release);
+    for (auto& conn : connections) ::shutdown(conn.fd, SHUT_RD);
+  });
+  for (auto& t : threads) t.join();
+  stop_readers.store(true, std::memory_order_release);
+  watchdog.join();
+  for (auto& conn : connections) ::close(conn.fd);
+
+  // Merge tallies.
+  Tally total;
+  for (const auto& conn : connections) {
+    const Tally& t = conn.tally;
+    total.sent += t.sent;
+    total.ok += t.ok;
+    total.shed += t.shed;
+    total.deadline += t.deadline;
+    total.shutting_down += t.shutting_down;
+    total.other_errors += t.other_errors;
+    total.protocol_errors += t.protocol_errors;
+    total.latencies_us.insert(total.latencies_us.end(),
+                              t.latencies_us.begin(), t.latencies_us.end());
+  }
+  std::sort(total.latencies_us.begin(), total.latencies_us.end());
+  const double p50 = quantile_us(total.latencies_us, 0.50);
+  const double p95 = quantile_us(total.latencies_us, 0.95);
+  const double p99 = quantile_us(total.latencies_us, 0.99);
+  const auto answered = static_cast<std::uint64_t>(total.latencies_us.size());
+  const double shed_rate =
+      total.sent == 0 ? 0.0
+                      : static_cast<double>(total.shed) /
+                            static_cast<double>(total.sent);
+  const double throughput =
+      static_cast<double>(answered) /
+      (static_cast<double>(duration_ms) / 1000.0);
+
+  util::Table table({"sent", "answered", "ok", "shed", "deadline",
+                     "shutting_down", "other_errors", "protocol_errors",
+                     "p50_us", "p95_us", "p99_us", "throughput_rps",
+                     "shed_rate"});
+  table.row()
+      .integer(static_cast<std::int64_t>(total.sent))
+      .integer(static_cast<std::int64_t>(answered))
+      .integer(static_cast<std::int64_t>(total.ok))
+      .integer(static_cast<std::int64_t>(total.shed))
+      .integer(static_cast<std::int64_t>(total.deadline))
+      .integer(static_cast<std::int64_t>(total.shutting_down))
+      .integer(static_cast<std::int64_t>(total.other_errors))
+      .integer(static_cast<std::int64_t>(total.protocol_errors))
+      .num(p50, 1)
+      .num(p95, 1)
+      .num(p99, 1)
+      .num(throughput, 1)
+      .num(shed_rate, 4);
+  table.print(std::cout);
+  run.add_table("summary", table);
+  run.note("qps_target", qps);
+  run.note("conns", static_cast<double>(conns));
+  run.note("duration_ms", static_cast<double>(duration_ms));
+  run.note("mix", cli.str("mix"));
+
+  std::printf("# loadgen: sent=%llu ok=%llu shed=%llu deadline=%llu "
+              "proto_errors=%llu p50_us=%.1f p95_us=%.1f p99_us=%.1f\n",
+              static_cast<unsigned long long>(total.sent),
+              static_cast<unsigned long long>(total.ok),
+              static_cast<unsigned long long>(total.shed),
+              static_cast<unsigned long long>(total.deadline),
+              static_cast<unsigned long long>(total.protocol_errors), p50,
+              p95, p99);
+
+  if (total.protocol_errors > 0) {
+    std::fprintf(stderr,
+                 "serve_loadgen: %llu protocol errors (a bug, not load)\n",
+                 static_cast<unsigned long long>(total.protocol_errors));
+    return 1;
+  }
+  if (total.sent == 0) {
+    std::fprintf(stderr, "serve_loadgen: nothing was sent\n");
+    return 1;
+  }
+  return 0;
+}

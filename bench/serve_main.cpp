@@ -1,0 +1,108 @@
+// recover_serve — the networked simulation service (docs/SERVING.md).
+//
+//   recover_serve --port 0 --workers 4 --queue-cap 128 --deadline 10s
+//
+// Listens for newline-delimited recover.req/1 JSON requests (ping,
+// list_cells, run_cell, stats, shutdown) and answers on the same
+// connection.  Prints a machine-parseable line once the socket is bound:
+//
+//   # serve: listening on 127.0.0.1:PORT workers=N queue=C
+//
+// (scripts/ci.sh reads the PORT when it boots the server on an
+// ephemeral port).  SIGTERM/SIGINT — or a `shutdown` request — starts a
+// graceful drain: stop accepting, finish in-flight requests, flush the
+// obs run record, exit 0.
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <iostream>
+#include <thread>
+
+#include "src/obs/run_record.hpp"
+#include "src/serve/server.hpp"
+#include "src/util/cli.hpp"
+#include "src/util/table.hpp"
+
+namespace {
+
+// Async-signal-safe drain request: the handler only flips the flag; the
+// main loop does the actual drain.
+volatile std::sig_atomic_t g_shutdown_requested = 0;
+
+void on_signal(int) { g_shutdown_requested = 1; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace recover;
+
+  util::Cli cli("recover_serve",
+                "TCP service answering recover.req/1 queries over "
+                "registered experiment cells");
+  cli.flag("host", "listen address", "127.0.0.1");
+  cli.flag("port", "listen port (0 = ephemeral, printed at startup)", "0");
+  cli.flag("workers", "request executor threads", "2");
+  cli.flag("queue-cap",
+           "admission queue bound; excess requests are shed with "
+           "'overloaded'",
+           "128");
+  cli.flag("deadline",
+           "default per-request deadline (500ms/2s/1m; 0 = none), applied "
+           "when a request carries no deadline_ms",
+           "0");
+  cli.flag("serial-cells",
+           "run cell replicas serially instead of on the thread pool",
+           "false");
+  obs::register_cli_flags(cli);
+  cli.parse(argc, argv);
+  obs::Run run(cli);
+
+  serve::ServerOptions options;
+  options.host = cli.str("host");
+  options.port = static_cast<int>(cli.integer("port"));
+  options.workers = static_cast<int>(cli.integer("workers"));
+  options.queue_capacity =
+      static_cast<std::size_t>(cli.integer("queue-cap"));
+  options.default_deadline_ms = cli.duration_ms("deadline");
+  options.cells_parallel = !cli.boolean("serial-cells");
+
+  serve::Server server(options);
+  if (!server.start()) return 2;
+
+  std::signal(SIGTERM, on_signal);
+  std::signal(SIGINT, on_signal);
+
+  std::printf("# serve: listening on %s:%d workers=%d queue=%zu\n",
+              options.host.c_str(), server.port(), options.workers,
+              options.queue_capacity);
+  std::fflush(stdout);
+
+  // Serve until a signal or a `shutdown` request starts the drain.
+  while (g_shutdown_requested == 0 && !server.draining()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  server.request_drain();
+  server.wait_drained();
+  server.stop();
+
+  const serve::ServerSnapshot snap = server.snapshot();
+  util::Table table({"requests", "ok", "shed", "deadline_exceeded",
+                     "protocol_errors", "connections"});
+  table.row()
+      .integer(static_cast<std::int64_t>(snap.requests_total))
+      .integer(static_cast<std::int64_t>(snap.responses_ok))
+      .integer(static_cast<std::int64_t>(snap.shed_total))
+      .integer(static_cast<std::int64_t>(snap.deadline_exceeded_total))
+      .integer(static_cast<std::int64_t>(snap.protocol_errors_total))
+      .integer(static_cast<std::int64_t>(snap.connections_total));
+  table.print(std::cout);
+  run.add_table("serve", table);
+  std::printf("# serve: drained requests=%llu ok=%llu shed=%llu "
+              "deadline=%llu proto_errors=%llu\n",
+              static_cast<unsigned long long>(snap.requests_total),
+              static_cast<unsigned long long>(snap.responses_ok),
+              static_cast<unsigned long long>(snap.shed_total),
+              static_cast<unsigned long long>(snap.deadline_exceeded_total),
+              static_cast<unsigned long long>(snap.protocol_errors_total));
+  return 0;
+}

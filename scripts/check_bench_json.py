@@ -19,6 +19,12 @@ recover.sweep_cell/1 JSONL checkpoints written by bench/sweep_runner
 matches this script's independent FNV-1a of "<exp>|<key>" — a
 cross-language guard on the checkpoint content-hash format.
 
+With --serve, the inputs are additionally validated as serve_loadgen
+records (docs/SERVING.md): run.binary must be serve_loadgen, the
+summary table must hold exactly one row with sent > 0, zero protocol
+errors, and latency quantiles ordered p50 <= p95 <= p99 — the loopback
+CI gate on the recover_serve service.
+
 With --trace, the inputs are instead validated as recover.trace/1
 Chrome trace-event JSON written by --trace=FILE (docs/OBSERVABILITY.md):
 the document must parse, every event must carry a `ph`, every non-
@@ -190,6 +196,39 @@ def check_record(path, doc):
     return True
 
 
+def check_serve_record(path, doc):
+    """Gate on a serve_loadgen record: the summary row must show a run
+    with traffic, no protocol errors, and sane latency quantiles."""
+    binary = doc.get("run", {}).get("binary")
+    if binary != "serve_loadgen":
+        return fail(path, f"run.binary is {binary!r}, want 'serve_loadgen'")
+    summary = next(
+        (t for t in doc.get("tables", []) if t.get("name") == "summary"),
+        None,
+    )
+    if summary is None:
+        return fail(path, "no 'summary' table")
+    if len(summary.get("rows", [])) != 1:
+        return fail(path, "summary table must hold exactly one row")
+    row = dict(zip(summary["columns"], summary["rows"][0]))
+    for column in ("sent", "ok", "shed", "protocol_errors", "p50_us",
+                   "p95_us", "p99_us"):
+        value = row.get(column)
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            return fail(path, f"summary column {column!r} missing or "
+                              f"non-numeric (got {value!r})")
+    if row["sent"] <= 0:
+        return fail(path, "summary.sent is 0 — the load run sent nothing")
+    if row["protocol_errors"] != 0:
+        return fail(path, f"{row['protocol_errors']} protocol errors — "
+                          f"a serve wire bug, not load")
+    if not row["p50_us"] <= row["p95_us"] <= row["p99_us"]:
+        return fail(path, f"latency quantiles unordered: "
+                          f"p50={row['p50_us']} p95={row['p95_us']} "
+                          f"p99={row['p99_us']}")
+    return True
+
+
 def summarize(doc):
     run = doc["run"]
     return {
@@ -221,6 +260,12 @@ def main():
         action="store_true",
         help="validate inputs as recover.trace/1 Chrome trace JSON",
     )
+    parser.add_argument(
+        "--serve",
+        action="store_true",
+        help="additionally gate inputs as serve_loadgen records "
+             "(zero protocol errors, ordered latency quantiles)",
+    )
     args = parser.parse_args()
 
     if args.trace:
@@ -246,7 +291,9 @@ def main():
         except (OSError, json.JSONDecodeError) as e:
             ok = fail(path, f"unreadable or invalid JSON: {e}")
             continue
-        if check_record(path, doc):
+        if check_record(path, doc) and (
+            not args.serve or check_serve_record(path, doc)
+        ):
             summaries.append(summarize(doc))
             rows = sum(len(t["rows"]) for t in doc["tables"])
             print(f"check_bench_json: {path}: OK ({rows} rows)")

@@ -7,9 +7,9 @@
 #
 # Env hooks:
 #   BUILD_DIR=dir   build directory (default build-ci)
-#   TSAN=1          additionally build parallel_test + obs_test with
-#                   -DRECOVERLIB_TSAN=ON and run them under
-#                   ThreadSanitizer (separate build tree build-tsan)
+#   TSAN=1          additionally build parallel_test + obs_test +
+#                   serve_test with -DRECOVERLIB_TSAN=ON and run them
+#                   under ThreadSanitizer (separate build tree build-tsan)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -63,6 +63,37 @@ TRACE_FILE="$BUILD_DIR/sweep_exp01.trace.json"
 python3 scripts/check_bench_json.py --trace "$TRACE_FILE"
 python3 scripts/trace_stats.py "$TRACE_FILE"
 
+echo "== serve: boot, load, drain =="
+# Boot the TCP service on an ephemeral port, drive it with the open-loop
+# generator for ~2s, and require zero protocol errors plus a clean
+# SIGTERM drain (exit 0).  The loadgen record joins the aggregate below.
+SERVE_LOG="$BUILD_DIR/serve_ci.log"
+"$BUILD_DIR"/bench/recover_serve --port 0 --workers 4 > "$SERVE_LOG" 2>&1 &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+  grep -q '^# serve: listening' "$SERVE_LOG" 2>/dev/null && break
+  sleep 0.1
+done
+SERVE_PORT=$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' "$SERVE_LOG")
+if [ -z "$SERVE_PORT" ]; then
+  echo "ci.sh: recover_serve never reported a port" >&2
+  kill "$SERVE_PID" 2>/dev/null || true
+  exit 1
+fi
+"$BUILD_DIR"/bench/serve_loadgen --port "$SERVE_PORT" --qps 200 --conns 8 \
+  --duration 2s --mix "ping=3,run_cell=1" --metrics \
+  --json-out="$JSON_DIR/serve_loadgen.json"
+kill -TERM "$SERVE_PID"
+if ! wait "$SERVE_PID"; then
+  echo "ci.sh: recover_serve did not drain cleanly on SIGTERM" >&2
+  cat "$SERVE_LOG" >&2
+  exit 1
+fi
+grep '^# serve: drained' "$SERVE_LOG"
+python3 scripts/check_bench_json.py --serve "$JSON_DIR/serve_loadgen.json"
+# The committed baseline must satisfy the same gate.
+python3 scripts/check_bench_json.py --serve BENCH_serve.json
+
 echo "== validating JSON records =="
 python3 scripts/check_bench_json.py "$JSON_DIR"/*.json \
   --aggregate BENCH_smoke.json
@@ -75,12 +106,13 @@ for exe in "$BUILD_DIR"/examples/*; do
 done
 
 if [ "${TSAN:-0}" = "1" ]; then
-  echo "== ThreadSanitizer (parallel_test + obs_test) =="
+  echo "== ThreadSanitizer (parallel_test + obs_test + serve_test) =="
   cmake -B build-tsan -G Ninja -DRECOVERLIB_TSAN=ON \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
-  cmake --build build-tsan --target parallel_test obs_test
+  cmake --build build-tsan --target parallel_test obs_test serve_test
   ./build-tsan/tests/parallel_test
   ./build-tsan/tests/obs_test
+  ./build-tsan/tests/serve_test
 fi
 
 echo "CI OK"

@@ -47,6 +47,11 @@ struct CoalescenceOptions {
   /// this only coarsens, never misses, the meeting time).
   std::int64_t check_interval = 1;
   bool parallel = true;
+  /// Cooperative cancellation, polled once per check-interval burst
+  /// (empty = never).  A cancelled replica stops early and reports as
+  /// censored; callers that cancel (the serve deadline path) discard the
+  /// whole result, so an uncancelled run's output is never affected.
+  std::function<bool()> cancelled;
 };
 
 /// Runs independent replicas of `make_coupling(replica_index)` and
@@ -83,6 +88,7 @@ std::vector<std::int64_t> run_coalescence_trials(
     std::int64_t t = 0;
     std::int64_t result = -1;
     while (t < options.max_steps) {
+      if (options.cancelled && options.cancelled()) break;
       const std::int64_t burst =
           std::min(options.check_interval, options.max_steps - t);
       for (std::int64_t k = 0; k < burst; ++k) coupling.step(eng);

@@ -1,0 +1,203 @@
+#include "src/obs/json_reader.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+namespace recover::obs {
+
+namespace {
+
+class JsonReader {
+ public:
+  explicit JsonReader(const std::string& text) : text_(text) {}
+
+  bool parse(JsonValue& out) {
+    skip_ws();
+    if (!parse_value(out)) return false;
+    skip_ws();
+    return pos_ == text_.size();  // trailing garbage = torn input
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\r' ||
+            text_[pos_] == '\n')) {
+      ++pos_;
+    }
+  }
+
+  bool literal(const char* word) {
+    const std::size_t len = std::strlen(word);
+    if (text_.compare(pos_, len, word) != 0) return false;
+    pos_ += len;
+    return true;
+  }
+
+  bool parse_value(JsonValue& out) {
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{':
+        return parse_object(out);
+      case '[':
+        return parse_array(out);
+      case '"':
+        out.kind = JsonValue::Kind::kString;
+        return parse_string(out.text);
+      case 't':
+        out.kind = JsonValue::Kind::kBool;
+        out.boolean = true;
+        return literal("true");
+      case 'f':
+        out.kind = JsonValue::Kind::kBool;
+        out.boolean = false;
+        return literal("false");
+      case 'n':
+        out.kind = JsonValue::Kind::kNull;
+        return literal("null");
+      default:
+        return parse_number(out);
+    }
+  }
+
+  bool parse_string(std::string& out) {
+    if (text_[pos_] != '"') return false;
+    ++pos_;
+    out.clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) return false;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'n': out.push_back('\n'); break;
+        case 't': out.push_back('\t'); break;
+        case 'r': out.push_back('\r'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return false;
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return false;
+            }
+          }
+          // The repo's writers only emit \u00XX for control bytes;
+          // anything wider is foreign input — reject rather than
+          // mis-decode.
+          if (code > 0xFF) return false;
+          out.push_back(static_cast<char>(code));
+          break;
+        }
+        default:
+          return false;
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool parse_number(JsonValue& out) {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::strchr("+-.eE0123456789", text_[pos_]) != nullptr)) {
+      ++pos_;
+    }
+    if (pos_ == start) return false;
+    const std::string token = text_.substr(start, pos_ - start);
+    errno = 0;
+    char* end = nullptr;
+    const double v = std::strtod(token.c_str(), &end);
+    if (errno != 0 || end != token.c_str() + token.size()) return false;
+    out.kind = JsonValue::Kind::kNumber;
+    out.number = v;
+    return true;
+  }
+
+  bool parse_array(JsonValue& out) {
+    out.kind = JsonValue::Kind::kArray;
+    ++pos_;  // '['
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      JsonValue item;
+      skip_ws();
+      if (!parse_value(item)) return false;
+      out.items.push_back(std::move(item));
+      skip_ws();
+      if (pos_ >= text_.size()) return false;
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool parse_object(JsonValue& out) {
+    out.kind = JsonValue::Kind::kObject;
+    ++pos_;  // '{'
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      skip_ws();
+      std::string key;
+      if (pos_ >= text_.size() || !parse_string(key)) return false;
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != ':') return false;
+      ++pos_;
+      skip_ws();
+      JsonValue value;
+      if (!parse_value(value)) return false;
+      out.members.emplace_back(std::move(key), std::move(value));
+      skip_ws();
+      if (pos_ >= text_.size()) return false;
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool parse_json(const std::string& text, JsonValue& out) {
+  return JsonReader(text).parse(out);
+}
+
+}  // namespace recover::obs

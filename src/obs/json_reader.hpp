@@ -1,0 +1,46 @@
+// Minimal recursive-descent JSON reader: the decode-side counterpart of
+// json_writer.hpp, shared by the sweep checkpoint loader and the serve
+// wire protocol.
+//
+// Scope: the subset the repo's writers emit (objects, arrays, strings
+// with \u00XX-style escapes for control bytes, numbers, booleans, null),
+// but it parses general well-formed JSON so hand-edited checkpoints and
+// hand-typed `nc` requests do not wedge it.  Any syntax error — including
+// trailing garbage after the document, which is how a torn checkpoint
+// line or a torn wire frame presents — surfaces as a false return, never
+// as a partial value the caller might trust.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace recover::obs {
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string text;
+  std::vector<JsonValue> items;
+  std::vector<std::pair<std::string, JsonValue>> members;
+
+  /// First member with the given key (objects only); nullptr if absent.
+  [[nodiscard]] const JsonValue* find(const std::string& key) const {
+    for (const auto& [k, v] : members) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+
+  [[nodiscard]] bool is_string() const { return kind == Kind::kString; }
+  [[nodiscard]] bool is_number() const { return kind == Kind::kNumber; }
+  [[nodiscard]] bool is_object() const { return kind == Kind::kObject; }
+};
+
+/// Parses `text` as one complete JSON document into `out`.  False on any
+/// syntax error or trailing non-whitespace; `out` is unspecified then.
+bool parse_json(const std::string& text, JsonValue& out);
+
+}  // namespace recover::obs

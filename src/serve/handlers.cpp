@@ -1,0 +1,191 @@
+#include "src/serve/handlers.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "src/obs/json_writer.hpp"
+#include "src/rng/engines.hpp"
+#include "src/sweep/grid.hpp"
+#include "src/sweep/registry.hpp"
+
+namespace recover::serve {
+
+namespace {
+
+HandlerResult error(ErrorCode code, std::string message) {
+  HandlerResult out;
+  out.ok = false;
+  out.code = code;
+  out.message = std::move(message);
+  return out;
+}
+
+HandlerResult result(std::string json) {
+  HandlerResult out;
+  out.ok = true;
+  out.result_json = std::move(json);
+  return out;
+}
+
+/// Axis count cap for run_cell: bounds the canonical key length (and
+/// thus the reply size) no matter what the peer sends.
+constexpr std::size_t kMaxCellParams = 16;
+
+HandlerResult run_cell(const Request& req, const HandlerContext& ctx) {
+  const auto* exp_field = req.params.find("exp");
+  if (exp_field == nullptr || !exp_field->is_string()) {
+    return error(ErrorCode::kInvalidParams, "params.exp must be a string");
+  }
+  const auto* exp = sweep::Registry::global().find(exp_field->text);
+  if (exp == nullptr) {
+    return error(ErrorCode::kInvalidParams,
+                 "unknown experiment '" + exp_field->text +
+                     "' (see list_cells)");
+  }
+  std::uint64_t seed = 1;
+  if (const auto* s = req.params.find("seed"); s != nullptr) {
+    if (!s->is_number() || s->number < 0 ||
+        s->number != std::floor(s->number) || s->number > 9.007199254740992e15) {
+      return error(ErrorCode::kInvalidParams,
+                   "params.seed must be an integer in [0, 2^53]");
+    }
+    seed = static_cast<std::uint64_t>(s->number);
+  }
+  const auto* cell_params = req.params.find("params");
+  if (cell_params == nullptr || !cell_params->is_object() ||
+      cell_params->members.empty()) {
+    return error(ErrorCode::kInvalidParams,
+                 "params.params must be a non-empty object of integer axes");
+  }
+  if (cell_params->members.size() > kMaxCellParams) {
+    return error(ErrorCode::kInvalidParams, "too many cell parameters");
+  }
+  sweep::Cell cell;
+  for (const auto& [name, value] : cell_params->members) {
+    if (name.empty() || !value.is_number() ||
+        value.number != std::floor(value.number) ||
+        std::abs(value.number) > 9.007199254740992e15) {
+      return error(ErrorCode::kInvalidParams,
+                   "cell parameter '" + name + "' must be an integer");
+    }
+    cell.params.emplace_back(name, static_cast<std::int64_t>(value.number));
+  }
+
+  sweep::CellContext cell_ctx;
+  // Pure function of the request content: the cell's canonical key folds
+  // the parameters in, so (exp, params, seed) → stream, independent of
+  // which worker or pool size executes it.  That is what makes replies
+  // byte-deterministic across runs and thread counts.
+  cell_ctx.seed = rng::substream(seed, sweep::cell_hash(exp->name, cell));
+  cell_ctx.parallel_within_cell = ctx.cells_parallel;
+  cell_ctx.cancelled = ctx.cancelled;
+
+  sweep::CellResult values;
+  try {
+    values = exp->run(cell, cell_ctx);
+  } catch (const std::exception& e) {
+    // A cell body that rejects its parameters (bad axis combination)
+    // surfaces as invalid_params, never as a dropped connection.
+    return error(ErrorCode::kInvalidParams, e.what());
+  }
+  if (ctx.cancelled && ctx.cancelled()) {
+    // The body returned, but only because cancellation truncated it; its
+    // values are not the real cell result and must not be sent.
+    return error(ErrorCode::kDeadlineExceeded,
+                 "deadline expired while the cell was running");
+  }
+
+  std::string json = "{\"exp\":\"";
+  json += obs::json_escape(exp->name);
+  json += "\",\"key\":\"";
+  json += obs::json_escape(cell.key());
+  json += "\",\"values\":{";
+  // result_columns order (the registry's canonical order), not set()
+  // order, so the reply layout is part of the experiment's contract.
+  for (std::size_t i = 0; i < exp->result_columns.size(); ++i) {
+    if (i != 0) json += ',';
+    json += '"';
+    json += obs::json_escape(exp->result_columns[i]);
+    json += "\":";
+    json += obs::json_number(values.at(exp->result_columns[i]));
+  }
+  json += "}}";
+  return result(std::move(json));
+}
+
+HandlerResult list_cells() {
+  std::string json = "{\"experiments\":[";
+  bool first_exp = true;
+  auto& registry = sweep::Registry::global();
+  for (const auto& name : registry.names()) {
+    const auto* exp = registry.find(name);
+    if (!first_exp) json += ',';
+    first_exp = false;
+    json += "{\"name\":\"";
+    json += obs::json_escape(exp->name);
+    json += "\",\"description\":\"";
+    json += obs::json_escape(exp->description);
+    json += "\",\"default_grid\":\"";
+    json += obs::json_escape(exp->default_grid);
+    json += "\",\"columns\":[";
+    for (std::size_t i = 0; i < exp->result_columns.size(); ++i) {
+      if (i != 0) json += ',';
+      json += '"';
+      json += obs::json_escape(exp->result_columns[i]);
+      json += '"';
+    }
+    json += "]}";
+  }
+  json += "]}";
+  return result(std::move(json));
+}
+
+HandlerResult stats(const HandlerContext& ctx) {
+  const ServerSnapshot snap =
+      ctx.snapshot ? ctx.snapshot() : ServerSnapshot{};
+  std::string json = "{";
+  const auto field = [&json](const char* name, std::uint64_t v,
+                             bool last = false) {
+    json += '"';
+    json += name;
+    json += "\":";
+    json += std::to_string(v);
+    if (!last) json += ',';
+  };
+  field("connections_total", snap.connections_total);
+  field("connections_open", snap.connections_open);
+  field("requests_total", snap.requests_total);
+  field("responses_ok", snap.responses_ok);
+  field("shed_total", snap.shed_total);
+  field("deadline_exceeded_total", snap.deadline_exceeded_total);
+  field("protocol_errors_total", snap.protocol_errors_total);
+  field("queue_depth", snap.queue_depth);
+  field("queue_capacity", snap.queue_capacity);
+  field("in_flight", snap.in_flight);
+  json += "\"draining\":";
+  json += snap.draining ? "true" : "false";
+  json += '}';
+  return result(std::move(json));
+}
+
+}  // namespace
+
+HandlerResult dispatch(const Request& req, const HandlerContext& ctx) {
+  if (req.method == "ping") {
+    return result("{\"pong\":true}");
+  }
+  if (req.method == "list_cells") {
+    return list_cells();
+  }
+  if (req.method == "run_cell") {
+    return run_cell(req, ctx);
+  }
+  if (req.method == "stats") {
+    return stats(ctx);
+  }
+  return error(ErrorCode::kUnknownMethod,
+               "unknown method '" + req.method +
+                   "' (ping, list_cells, run_cell, stats, shutdown)");
+}
+
+}  // namespace recover::serve

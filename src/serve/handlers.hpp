@@ -1,0 +1,63 @@
+// Method handlers for the recover::serve service: the pure
+// request-to-result layer, independent of sockets and threads so the
+// loopback tests can drive it directly.
+//
+// Methods (docs/SERVING.md):
+//   ping       → {"pong":true}
+//   list_cells → every registered sweep experiment with its columns
+//   run_cell   → one sweep-registry cell, seeded via rng::substream so
+//                the reply is byte-deterministic per request
+//   stats      → server snapshot (queue depth, shed count, …)
+//
+// `shutdown` is intercepted by the server itself (it must trigger the
+// drain), not dispatched here.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "src/serve/protocol.hpp"
+
+namespace recover::serve {
+
+/// Point-in-time server counters, embedded in `stats` replies.  All
+/// fields are maintained unconditionally (plain atomics on the server),
+/// so `stats` works whether or not --metrics is on.
+struct ServerSnapshot {
+  std::uint64_t connections_total = 0;
+  std::uint64_t connections_open = 0;
+  std::uint64_t requests_total = 0;
+  std::uint64_t responses_ok = 0;
+  std::uint64_t shed_total = 0;
+  std::uint64_t deadline_exceeded_total = 0;
+  std::uint64_t protocol_errors_total = 0;
+  std::uint64_t queue_depth = 0;
+  std::uint64_t queue_capacity = 0;
+  std::uint64_t in_flight = 0;
+  bool draining = false;
+};
+
+struct HandlerContext {
+  /// Deadline check forwarded into cell bodies (empty = no deadline).
+  std::function<bool()> cancelled;
+  /// Provider of the `stats` snapshot; empty = zeros (unit tests).
+  std::function<ServerSnapshot()> snapshot;
+  /// True: run_cell bodies parallelize replicas on the shared ThreadPool
+  /// (byte-identical results for any pool size — the pool contract).
+  bool cells_parallel = true;
+};
+
+struct HandlerResult {
+  bool ok = false;
+  std::string result_json;  // compact JSON value when ok
+  ErrorCode code = ErrorCode::kUnknownMethod;
+  std::string message;
+};
+
+/// Executes `req.method`.  Never throws; anything unusable comes back as
+/// a typed error.  A run that was cancelled mid-cell reports
+/// deadline_exceeded (its truncated values are never sent).
+HandlerResult dispatch(const Request& req, const HandlerContext& ctx);
+
+}  // namespace recover::serve

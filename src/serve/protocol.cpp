@@ -1,0 +1,160 @@
+#include "src/serve/protocol.hpp"
+
+#include <cmath>
+
+#include "src/obs/json_writer.hpp"
+
+namespace recover::serve {
+
+namespace {
+
+/// Re-renders a parsed id value as the JSON token echoed in replies.
+/// Only numbers and strings are accepted as ids (see parse_request);
+/// both round-trip deterministically: json_number is shortest
+/// round-trip, json_escape is canonical.
+std::string id_token_of(const obs::JsonValue& id) {
+  if (id.is_string()) {
+    return '"' + obs::json_escape(id.text) + '"';
+  }
+  return obs::json_number(id.number);
+}
+
+ParseOutcome fail(std::string message) {
+  ParseOutcome out;
+  out.ok = false;
+  out.code = ErrorCode::kParseError;
+  out.message = std::move(message);
+  return out;
+}
+
+}  // namespace
+
+std::string_view error_code_name(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kParseError: return "parse_error";
+    case ErrorCode::kUnknownMethod: return "unknown_method";
+    case ErrorCode::kInvalidParams: return "invalid_params";
+    case ErrorCode::kOverloaded: return "overloaded";
+    case ErrorCode::kDeadlineExceeded: return "deadline_exceeded";
+    case ErrorCode::kShuttingDown: return "shutting_down";
+  }
+  return "parse_error";  // unreachable
+}
+
+ParseOutcome parse_request(const std::string& line, Request& out) {
+  obs::JsonValue doc;
+  if (!obs::parse_json(line, doc)) {
+    return fail("request is not valid JSON");
+  }
+  if (!doc.is_object()) {
+    return fail("request must be a JSON object");
+  }
+  // Recover the id first so even a malformed request gets a correlated
+  // error reply.
+  if (const auto* id = doc.find("id"); id != nullptr) {
+    if (id->is_string() || id->is_number()) {
+      out.id = id_token_of(*id);
+    } else {
+      return fail("id must be a number or a string");
+    }
+  } else {
+    return fail("id is required");
+  }
+  const auto* schema = doc.find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->text != kRequestSchema) {
+    return fail("schema must be \"recover.req/1\"");
+  }
+  const auto* method = doc.find("method");
+  if (method == nullptr || !method->is_string() || method->text.empty()) {
+    return fail("method must be a non-empty string");
+  }
+  out.method = method->text;
+  if (const auto* params = doc.find("params"); params != nullptr) {
+    if (!params->is_object()) {
+      return fail("params must be an object");
+    }
+    out.params = *params;
+  } else {
+    out.params.kind = obs::JsonValue::Kind::kObject;
+  }
+  if (const auto* deadline = doc.find("deadline_ms"); deadline != nullptr) {
+    if (!deadline->is_number() || deadline->number < 0 ||
+        deadline->number != std::floor(deadline->number)) {
+      return fail("deadline_ms must be a non-negative integer");
+    }
+    out.deadline_ms = static_cast<std::int64_t>(deadline->number);
+  }
+  ParseOutcome ok;
+  ok.ok = true;
+  return ok;
+}
+
+std::string make_result(std::string_view id_token,
+                        std::string_view result_json) {
+  std::string out = "{\"schema\":\"";
+  out += kResponseSchema;
+  out += "\",\"id\":";
+  out += id_token;
+  out += ",\"ok\":true,\"result\":";
+  out += result_json;
+  out += '}';
+  return out;
+}
+
+std::string make_error(std::string_view id_token, ErrorCode code,
+                       std::string_view message) {
+  std::string out = "{\"schema\":\"";
+  out += kResponseSchema;
+  out += "\",\"id\":";
+  out += id_token;
+  out += ",\"ok\":false,\"error\":{\"code\":\"";
+  out += error_code_name(code);
+  out += "\",\"message\":\"";
+  out += obs::json_escape(message);
+  out += "\"}}";
+  return out;
+}
+
+void LineReader::feed(const char* data, std::size_t size) {
+  buffer_.append(data, size);
+}
+
+LineReader::Next LineReader::next_line(std::string& out) {
+  for (;;) {
+    const std::size_t newline = buffer_.find('\n');
+    if (discarding_) {
+      if (newline == std::string::npos) {
+        buffer_.clear();  // keep discarding; memory stays bounded
+        return Next::kNeedMore;
+      }
+      buffer_.erase(0, newline + 1);
+      discarding_ = false;
+      oversize_reported_ = false;
+      continue;
+    }
+    if (newline == std::string::npos) {
+      if (buffer_.size() > max_line_bytes_) {
+        discarding_ = true;
+        buffer_.clear();
+        if (!oversize_reported_) {
+          oversize_reported_ = true;
+          return Next::kOversized;
+        }
+        return Next::kNeedMore;
+      }
+      return Next::kNeedMore;
+    }
+    if (newline > max_line_bytes_) {
+      buffer_.erase(0, newline + 1);
+      return Next::kOversized;
+    }
+    out.assign(buffer_, 0, newline);
+    buffer_.erase(0, newline + 1);
+    if (!out.empty() && out.back() == '\r') out.pop_back();  // nc -C / CRLF
+    if (out.empty()) continue;  // blank lines are keep-alive no-ops
+    return Next::kLine;
+  }
+}
+
+}  // namespace recover::serve

@@ -1,0 +1,111 @@
+// Wire protocol for the recover::serve TCP service: newline-delimited
+// JSON frames, one request or response per line (docs/SERVING.md).
+//
+// Request (`recover.req/1`):
+//
+//   {"schema":"recover.req/1","id":1,"method":"run_cell",
+//    "params":{...},"deadline_ms":2000}
+//
+// `id` (number or string) is echoed verbatim in the reply so clients can
+// pipeline; `params` and `deadline_ms` are optional.  `deadline_ms` is a
+// per-request budget relative to arrival: 0 means "already expired" (a
+// cheap way to exercise the cancellation path), absence means the
+// server's default applies.
+//
+// Response (`recover.resp/1`), always a single line:
+//
+//   {"schema":"recover.resp/1","id":1,"ok":true,"result":{...}}
+//   {"schema":"recover.resp/1","id":1,"ok":false,
+//    "error":{"code":"overloaded","message":"..."}}
+//
+// The error taxonomy is closed: parse_error, unknown_method,
+// invalid_params, overloaded, deadline_exceeded, shutting_down.  Framing
+// is torn-input tolerant — a half-written trailing line is ignored at
+// EOF, an over-long line is answered with parse_error and discarded up
+// to the next newline, and the connection stays usable afterwards.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/obs/json_reader.hpp"
+
+namespace recover::serve {
+
+inline constexpr std::string_view kRequestSchema = "recover.req/1";
+inline constexpr std::string_view kResponseSchema = "recover.resp/1";
+
+/// Framing cap: a request line longer than this is a protocol error
+/// (bounded memory per connection, no matter what the peer sends).
+inline constexpr std::size_t kMaxLineBytes = 64 * 1024;
+
+enum class ErrorCode {
+  kParseError,        // not JSON / not a recover.req/1 / bad field types
+  kUnknownMethod,     // method not registered
+  kInvalidParams,     // method known, params unusable
+  kOverloaded,        // admission queue full — request was shed
+  kDeadlineExceeded,  // deadline passed before or during execution
+  kShuttingDown,      // server is draining; no new work accepted
+};
+
+/// Stable wire name, e.g. "parse_error" (docs/SERVING.md taxonomy).
+std::string_view error_code_name(ErrorCode code);
+
+struct Request {
+  /// The id as a raw JSON token ("42" or "\"abc\""), echoed verbatim into
+  /// the response; "null" when the request never parsed far enough.
+  std::string id = "null";
+  std::string method;
+  obs::JsonValue params;          // kObject (possibly empty)
+  std::int64_t deadline_ms = -1;  // relative budget; -1 = not given
+};
+
+struct ParseOutcome {
+  bool ok = false;
+  ErrorCode code = ErrorCode::kParseError;
+  std::string message;
+};
+
+/// Parses one request line.  On failure `out.id` still carries the id
+/// token when one was recoverable, so the error reply can be correlated.
+ParseOutcome parse_request(const std::string& line, Request& out);
+
+/// Single-line responses (no trailing newline).  `result_json` must be a
+/// complete compact JSON value (the handlers build objects with
+/// obs::json_escape / obs::json_number, which keeps replies
+/// byte-deterministic).
+std::string make_result(std::string_view id_token,
+                        std::string_view result_json);
+std::string make_error(std::string_view id_token, ErrorCode code,
+                       std::string_view message);
+
+/// Incremental newline framer with a line-length cap.  Feed raw bytes as
+/// they arrive; complete lines come out one at a time.  A line that
+/// exceeds the cap is reported once as kOversized and its remainder is
+/// silently discarded up to the next newline; bytes after that flow
+/// normally.  A trailing fragment with no newline is never surfaced —
+/// torn input at connection close is dropped, matching the checkpoint
+/// loader's torn-line policy.
+class LineReader {
+ public:
+  explicit LineReader(std::size_t max_line_bytes = kMaxLineBytes)
+      : max_line_bytes_(max_line_bytes) {}
+
+  void feed(const char* data, std::size_t size);
+
+  enum class Next { kLine, kNeedMore, kOversized };
+
+  /// Extracts the next complete line (CR stripped) into `out`, or
+  /// reports that the pending line overflowed the cap (once per
+  /// oversized line), or that more bytes are needed.
+  Next next_line(std::string& out);
+
+ private:
+  std::size_t max_line_bytes_;
+  std::string buffer_;
+  bool discarding_ = false;  // inside an oversized line, seeking '\n'
+  bool oversize_reported_ = false;
+};
+
+}  // namespace recover::serve

@@ -1,0 +1,417 @@
+#include "src/serve/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
+
+namespace recover::serve {
+
+namespace {
+
+/// Poll tick: the latency with which blocked reader/accept threads
+/// notice a drain or stop request.
+constexpr int kPollTimeoutMs = 100;
+
+obs::Counter& requests_counter() {
+  static obs::Counter& c = obs::Registry::global().counter("serve.requests");
+  return c;
+}
+obs::Counter& shed_counter() {
+  static obs::Counter& c = obs::Registry::global().counter("serve.shed");
+  return c;
+}
+obs::Counter& deadline_counter() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("serve.deadline_exceeded");
+  return c;
+}
+obs::Counter& protocol_error_counter() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("serve.protocol_errors");
+  return c;
+}
+obs::Gauge& queue_depth_gauge() {
+  static obs::Gauge& g = obs::Registry::global().gauge("serve.queue_depth");
+  return g;
+}
+obs::Gauge& connections_gauge() {
+  static obs::Gauge& g = obs::Registry::global().gauge("serve.connections");
+  return g;
+}
+obs::Histogram& request_ns_histogram() {
+  static obs::Histogram& h =
+      obs::Registry::global().histogram("serve.request_ns");
+  return h;
+}
+
+}  // namespace
+
+Server::Connection::~Connection() {
+  if (fd >= 0) ::close(fd);
+}
+
+Server::Server(ServerOptions options) : options_(std::move(options)) {
+  if (options_.workers < 1) options_.workers = 1;
+  if (options_.queue_capacity < 1) options_.queue_capacity = 1;
+}
+
+Server::~Server() { stop(); }
+
+bool Server::start() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    std::fprintf(stderr, "serve: socket: %s\n", std::strerror(errno));
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(options_.port));
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    std::fprintf(stderr, "serve: bad host '%s'\n", options_.host.c_str());
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) != 0) {
+    std::fprintf(stderr, "serve: bind %s:%d: %s\n", options_.host.c_str(),
+                 options_.port, std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    std::fprintf(stderr, "serve: listen: %s\n", std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof bound;
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) == 0) {
+    port_ = static_cast<int>(ntohs(bound.sin_port));
+  }
+
+  started_ = true;
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  workers_.reserve(static_cast<std::size_t>(options_.workers));
+  for (int w = 0; w < options_.workers; ++w) {
+    workers_.emplace_back([this, w] {
+      obs::trace::set_thread_name("serve.worker-" + std::to_string(w));
+      worker_loop();
+    });
+  }
+  return true;
+}
+
+void Server::accept_loop() {
+  obs::trace::set_thread_name("serve.accept");
+  while (!draining_.load(std::memory_order_acquire) &&
+         !stop_.load(std::memory_order_acquire)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, kPollTimeoutMs);
+    if (ready <= 0) {
+      reap_readers(/*join_all=*/false);
+      continue;
+    }
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == ECONNABORTED) {
+        continue;
+      }
+      break;  // listen socket gone
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+
+    connections_total_.fetch_add(1, std::memory_order_relaxed);
+    connections_open_.fetch_add(1, std::memory_order_relaxed);
+    connections_gauge().set(
+        static_cast<double>(connections_open_.load(std::memory_order_relaxed)));
+
+    auto conn = std::make_shared<Connection>();
+    conn->fd = fd;
+    auto done = std::make_shared<std::atomic<bool>>(false);
+    std::lock_guard<std::mutex> lock(readers_mutex_);
+    readers_.push_back(Reader{
+        std::thread([this, conn, done] { reader_loop(conn, done); }), done});
+  }
+  // Stop accepting the moment drain begins: close the listening socket
+  // so new connects are refused, not queued.
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void Server::reap_readers(bool join_all) {
+  std::vector<std::thread> joinable;
+  {
+    std::lock_guard<std::mutex> lock(readers_mutex_);
+    for (auto it = readers_.begin(); it != readers_.end();) {
+      if (join_all || it->done->load(std::memory_order_acquire)) {
+        joinable.push_back(std::move(it->thread));
+        it = readers_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (auto& t : joinable) t.join();
+}
+
+void Server::reader_loop(std::shared_ptr<Connection> conn,
+                         std::shared_ptr<std::atomic<bool>> done) {
+  obs::trace::set_thread_name("serve.conn");
+  LineReader framer(options_.max_line_bytes);
+  char buf[4096];
+  while (!stop_.load(std::memory_order_acquire)) {
+    pollfd pfd{conn->fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, kPollTimeoutMs);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (ready == 0) continue;
+    const ssize_t n = ::recv(conn->fd, buf, sizeof buf, 0);
+    if (n == 0) break;  // peer closed (half-close: replies still flush)
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN) continue;
+      break;
+    }
+    framer.feed(buf, static_cast<std::size_t>(n));
+    std::string line;
+    for (;;) {
+      const LineReader::Next next = framer.next_line(line);
+      if (next == LineReader::Next::kNeedMore) break;
+      if (next == LineReader::Next::kOversized) {
+        protocol_errors_total_.fetch_add(1, std::memory_order_relaxed);
+        protocol_error_counter().add();
+        send_line(conn,
+                  make_error("null", ErrorCode::kParseError,
+                             "request line exceeds the size cap"));
+        continue;
+      }
+      handle_line(conn, line);
+    }
+  }
+  connections_open_.fetch_sub(1, std::memory_order_relaxed);
+  connections_gauge().set(
+      static_cast<double>(connections_open_.load(std::memory_order_relaxed)));
+  done->store(true, std::memory_order_release);
+}
+
+void Server::handle_line(const std::shared_ptr<Connection>& conn,
+                         const std::string& line) {
+  requests_total_.fetch_add(1, std::memory_order_relaxed);
+  requests_counter().add();
+
+  Request request;
+  const ParseOutcome outcome = parse_request(line, request);
+  if (!outcome.ok) {
+    protocol_errors_total_.fetch_add(1, std::memory_order_relaxed);
+    protocol_error_counter().add();
+    send_line(conn, make_error(request.id, outcome.code, outcome.message));
+    return;
+  }
+
+  if (request.method == "shutdown") {
+    // Reply before draining so the initiator always sees the ack.
+    send_line(conn, make_result(request.id, "{\"draining\":true}"));
+    request_drain();
+    return;
+  }
+
+  const std::uint64_t now = obs::trace::now_ns();
+  std::uint64_t deadline_ns = 0;
+  if (request.deadline_ms >= 0) {
+    deadline_ns =
+        now + static_cast<std::uint64_t>(request.deadline_ms) * 1'000'000u;
+  } else if (options_.default_deadline_ms > 0) {
+    deadline_ns =
+        now +
+        static_cast<std::uint64_t>(options_.default_deadline_ms) * 1'000'000u;
+  }
+
+  // Admission: the one bounded queue.  Shedding happens here, on the
+  // reader thread, so an overloaded server's cost per excess request is
+  // one error line — memory stays bounded by capacity, not load.
+  {
+    std::unique_lock<std::mutex> lock(queue_mutex_);
+    if (draining_.load(std::memory_order_acquire)) {
+      lock.unlock();
+      send_line(conn, make_error(request.id, ErrorCode::kShuttingDown,
+                                 "server is draining"));
+      return;
+    }
+    if (queue_.size() >= options_.queue_capacity) {
+      lock.unlock();
+      shed_total_.fetch_add(1, std::memory_order_relaxed);
+      shed_counter().add();
+      send_line(conn, make_error(request.id, ErrorCode::kOverloaded,
+                                 "admission queue is full"));
+      return;
+    }
+    queue_.push_back(Work{conn, std::move(request), deadline_ns});
+    queue_depth_gauge().set(static_cast<double>(queue_.size()));
+  }
+  queue_cv_.notify_one();
+}
+
+void Server::worker_loop() {
+  for (;;) {
+    Work work;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait(lock,
+                     [this] { return stop_workers_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stop_workers_) return;
+        continue;
+      }
+      work = std::move(queue_.front());
+      queue_.pop_front();
+      ++in_flight_;
+      queue_depth_gauge().set(static_cast<double>(queue_.size()));
+    }
+    process(work);
+    {
+      std::lock_guard<std::mutex> lock(queue_mutex_);
+      --in_flight_;
+      if (queue_.empty() && in_flight_ == 0) drained_cv_.notify_all();
+    }
+  }
+}
+
+void Server::process(Work& work) {
+  // One span per request: the histogram feeds p50/p95/p99 in run
+  // records, the matching trace span (detail = method) lets
+  // trace_stats.py attribute stragglers to a method.
+  obs::ScopedSpan span(request_ns_histogram(), work.request.method);
+
+  if (work.deadline_ns != 0 && obs::trace::now_ns() > work.deadline_ns) {
+    // Expired while queued: answer without running (the cheap half of
+    // deadline enforcement).
+    deadline_exceeded_total_.fetch_add(1, std::memory_order_relaxed);
+    deadline_counter().add();
+    send_line(work.conn, make_error(work.request.id,
+                                    ErrorCode::kDeadlineExceeded,
+                                    "deadline expired while queued"));
+    return;
+  }
+
+  HandlerContext ctx;
+  ctx.cells_parallel = options_.cells_parallel;
+  ctx.snapshot = [this] { return snapshot(); };
+  if (work.deadline_ns != 0) {
+    const std::uint64_t deadline_ns = work.deadline_ns;
+    ctx.cancelled = [deadline_ns] {
+      return obs::trace::now_ns() > deadline_ns;
+    };
+  }
+
+  HandlerResult result = dispatch(work.request, ctx);
+  if (result.ok) {
+    responses_ok_.fetch_add(1, std::memory_order_relaxed);
+    send_line(work.conn, make_result(work.request.id, result.result_json));
+    return;
+  }
+  if (result.code == ErrorCode::kDeadlineExceeded) {
+    deadline_exceeded_total_.fetch_add(1, std::memory_order_relaxed);
+    deadline_counter().add();
+  }
+  send_line(work.conn, make_error(work.request.id, result.code,
+                                  result.message));
+}
+
+void Server::send_line(const std::shared_ptr<Connection>& conn,
+                       std::string line) {
+  if (conn->dead.load(std::memory_order_acquire)) return;
+  line += '\n';
+  std::lock_guard<std::mutex> lock(conn->write_mutex);
+  std::size_t sent = 0;
+  while (sent < line.size()) {
+    const ssize_t n = ::send(conn->fd, line.data() + sent, line.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      // Peer gone (EPIPE/ECONNRESET): drop the reply and any later ones.
+      conn->dead.store(true, std::memory_order_release);
+      return;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+void Server::request_drain() {
+  // The queue mutex orders this against admission: after the flag is
+  // visible no reader can enqueue, so "finish in-flight" is a stable
+  // set, not a race.
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    draining_.store(true, std::memory_order_release);
+  }
+  queue_cv_.notify_all();
+}
+
+void Server::wait_drained() {
+  if (!started_) return;
+  std::unique_lock<std::mutex> lock(queue_mutex_);
+  drained_cv_.wait(lock,
+                   [this] { return queue_.empty() && in_flight_ == 0; });
+}
+
+void Server::stop() {
+  if (!started_) return;
+  request_drain();
+  wait_drained();
+  stop_.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    stop_workers_ = true;
+  }
+  queue_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+  workers_.clear();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  reap_readers(/*join_all=*/true);
+  started_ = false;
+}
+
+ServerSnapshot Server::snapshot() const {
+  ServerSnapshot snap;
+  snap.connections_total = connections_total_.load(std::memory_order_relaxed);
+  snap.connections_open = connections_open_.load(std::memory_order_relaxed);
+  snap.requests_total = requests_total_.load(std::memory_order_relaxed);
+  snap.responses_ok = responses_ok_.load(std::memory_order_relaxed);
+  snap.shed_total = shed_total_.load(std::memory_order_relaxed);
+  snap.deadline_exceeded_total =
+      deadline_exceeded_total_.load(std::memory_order_relaxed);
+  snap.protocol_errors_total =
+      protocol_errors_total_.load(std::memory_order_relaxed);
+  snap.queue_capacity = options_.queue_capacity;
+  snap.draining = draining_.load(std::memory_order_acquire);
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    snap.queue_depth = queue_.size();
+    snap.in_flight = in_flight_;
+  }
+  return snap;
+}
+
+}  // namespace recover::serve

@@ -1,0 +1,151 @@
+// recover::serve — a dependency-free POSIX TCP service that runs sweep-
+// registry cells and estimator queries over the newline-delimited JSON
+// protocol of protocol.hpp (docs/SERVING.md).
+//
+// Architecture (one box per thread kind):
+//
+//   accept loop ──► per-connection reader threads ──► bounded admission
+//   (poll, 100ms      (poll + recv + LineReader;          queue
+//    tick)             parse, shed, or enqueue)            │
+//                                                          ▼
+//                                              worker threads (dispatch;
+//                                              cells parallelize replicas
+//                                              on the shared ThreadPool)
+//
+// Capacity model: admission is the only queue, and it is bounded — when
+// it is full a request is answered `overloaded` immediately by the
+// reader (backpressure costs one reply line, never unbounded memory).
+// Per-request deadlines are enforced twice: lazily at dequeue (a request
+// whose deadline passed while queued is answered without running) and
+// cooperatively inside cell bodies via CellContext::cancelled.
+//
+// Graceful drain (SIGTERM in the binary, or the `shutdown` method):
+// stop accepting connections, answer new requests `shutting_down`,
+// finish everything already admitted, then wake and join every thread.
+// Results never depend on scheduling: run_cell seeds are a pure function
+// of request content (handlers.cpp), so any worker count, pool size, or
+// admission order produces byte-identical replies.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/serve/handlers.hpp"
+#include "src/serve/protocol.hpp"
+
+namespace recover::serve {
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  int port = 0;                    // 0 = ephemeral (read back via port())
+  int workers = 2;                 // request executor threads
+  std::size_t queue_capacity = 128;  // admission queue bound (≥ 1)
+  std::int64_t default_deadline_ms = 0;  // applied when a request has no
+                                         // deadline_ms; 0 = unlimited
+  std::size_t max_line_bytes = kMaxLineBytes;
+  bool cells_parallel = true;  // run_cell replicas on the shared pool
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions options);
+  ~Server();  // stop()
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens, and starts the accept/worker threads.  False (with
+  /// a stderr diagnostic) if the socket cannot be set up.
+  bool start();
+
+  /// Bound port (after start(); resolves port 0 to the ephemeral pick).
+  [[nodiscard]] int port() const { return port_; }
+
+  /// Begins graceful drain: stop accepting, answer new requests
+  /// shutting_down, keep executing what was admitted.  Idempotent,
+  /// callable from any thread (including a request handler).
+  void request_drain();
+
+  [[nodiscard]] bool draining() const {
+    return draining_.load(std::memory_order_acquire);
+  }
+
+  /// Blocks until the admission queue is empty and no request is in
+  /// flight.  Meaningful after request_drain(); returns immediately if
+  /// the server never started.
+  void wait_drained();
+
+  /// Full shutdown: drain, then join every thread and close every
+  /// socket.  Idempotent.
+  void stop();
+
+  [[nodiscard]] ServerSnapshot snapshot() const;
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::mutex write_mutex;
+    std::atomic<bool> dead{false};  // peer gone; drop further writes
+
+    ~Connection();
+  };
+
+  struct Work {
+    std::shared_ptr<Connection> conn;
+    Request request;
+    std::uint64_t deadline_ns = 0;  // steady-clock ns; 0 = none
+  };
+
+  void accept_loop();
+  void reader_loop(std::shared_ptr<Connection> conn,
+                   std::shared_ptr<std::atomic<bool>> done);
+  void worker_loop();
+  void handle_line(const std::shared_ptr<Connection>& conn,
+                   const std::string& line);
+  void process(Work& work);
+  void send_line(const std::shared_ptr<Connection>& conn,
+                 std::string line);
+  void reap_readers(bool join_all);
+
+  ServerOptions options_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  bool started_ = false;
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> stop_{false};
+
+  std::thread accept_thread_;
+  std::vector<std::thread> workers_;
+
+  struct Reader {
+    std::thread thread;
+    std::shared_ptr<std::atomic<bool>> done;
+  };
+  std::mutex readers_mutex_;
+  std::vector<Reader> readers_;
+
+  mutable std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;    // workers wait for work
+  std::condition_variable drained_cv_;  // wait_drained waits for idle
+  std::deque<Work> queue_;
+  std::uint64_t in_flight_ = 0;
+  bool stop_workers_ = false;
+
+  // Always-on counters (stats replies work without --metrics).
+  std::atomic<std::uint64_t> connections_total_{0};
+  std::atomic<std::uint64_t> connections_open_{0};
+  std::atomic<std::uint64_t> requests_total_{0};
+  std::atomic<std::uint64_t> responses_ok_{0};
+  std::atomic<std::uint64_t> shed_total_{0};
+  std::atomic<std::uint64_t> deadline_exceeded_total_{0};
+  std::atomic<std::uint64_t> protocol_errors_total_{0};
+};
+
+}  // namespace recover::serve

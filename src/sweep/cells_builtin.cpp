@@ -35,6 +35,7 @@ core::CoalescenceOptions cell_coalescence_options(const CellContext& ctx,
   opts.max_steps = max_steps;
   opts.check_interval = check_interval;
   opts.parallel = ctx.parallel_within_cell;
+  opts.cancelled = ctx.cancelled;
   return opts;
 }
 
@@ -151,15 +152,26 @@ template <typename Chain>
 StationaryEstimate stationary_mean_max_load(Chain& chain, std::int64_t burn_in,
                                             std::int64_t samples,
                                             std::int64_t spacing,
-                                            rng::Xoshiro256PlusPlus& eng) {
-  for (std::int64_t t = 0; t < burn_in; ++t) chain.step(eng);
+                                            rng::Xoshiro256PlusPlus& eng,
+                                            const CellContext& ctx) {
+  // Cancellation polls sit on sample boundaries (and every 4096 burn-in
+  // steps): cheap relative to a chain step, and a cancelled cell's
+  // truncated estimate is discarded by the caller anyway.
+  for (std::int64_t t = 0; t < burn_in; ++t) {
+    if ((t & 4095) == 0 && ctx.cancelled && ctx.cancelled()) break;
+    chain.step(eng);
+  }
   stats::IntHistogram hist;
   std::vector<double> series;
   series.reserve(static_cast<std::size_t>(samples));
   for (std::int64_t s = 0; s < samples; ++s) {
+    if (ctx.cancelled && ctx.cancelled()) break;
     for (std::int64_t t = 0; t < spacing; ++t) chain.step(eng);
     hist.add(chain.state().max_load());
     series.push_back(static_cast<double>(chain.state().max_load()));
+  }
+  if (series.empty()) {  // cancelled before the first sample
+    return StationaryEstimate{};
   }
   StationaryEstimate out;
   out.mean_max_load = hist.mean();
@@ -192,11 +204,11 @@ CellResult exp10_cell(const Cell& cell, const CellContext& ctx) {
   balls::ScenarioAChain<balls::AbkuRule> ca(balls::LoadVector::balanced(ns, n),
                                             balls::AbkuRule(d));
   const auto est_a = stationary_mean_max_load(ca, burn_in, samples, spacing,
-                                              eng);
+                                              eng, ctx);
   balls::ScenarioBChain<balls::AbkuRule> cb(balls::LoadVector::balanced(ns, n),
                                             balls::AbkuRule(d));
   const auto est_b = stationary_mean_max_load(cb, burn_in, samples, spacing,
-                                              eng);
+                                              eng, ctx);
 
   fluid::FluidModel fa(fluid::Scenario::kA, d, 1.0, 40);
   fluid::FluidModel fb(fluid::Scenario::kB, d, 1.0, 40);

@@ -50,11 +50,15 @@ class CheckpointWriter {
   CheckpointWriter(const CheckpointWriter&) = delete;
   CheckpointWriter& operator=(const CheckpointWriter&) = delete;
 
-  /// Not thread-safe; the sweep engine serializes appends.
+  /// Not thread-safe; the sweep engine serializes appends.  Write and
+  /// flush failures abort (counted in the `sweep.checkpoint.io_failures`
+  /// counter first); an fsync target that cannot sync (pipe, pseudo-fs)
+  /// degrades to a one-time warning instead.
   void append(const CellRecord& record);
 
  private:
   std::FILE* file_ = nullptr;
+  bool fsync_unsupported_ = false;
 };
 
 struct CheckpointLoad {

@@ -33,6 +33,12 @@ struct CellContext {
   /// True when the cell owns the machine (exp binaries); false under the
   /// sweep scheduler, which parallelizes across cells instead.
   bool parallel_within_cell = false;
+  /// Cooperative cancellation (empty = never): long-running bodies poll
+  /// it at natural checkpoints and return early when it fires.  Used by
+  /// the serve deadline path (docs/SERVING.md); a cancelled cell's
+  /// result is discarded by the caller, so polling can never change the
+  /// values of a run that completes.
+  std::function<bool()> cancelled;
 };
 
 struct CellResult {

@@ -1,5 +1,6 @@
 #include "src/util/cli.hpp"
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <sstream>
@@ -128,6 +129,44 @@ double Cli::real(const std::string& name) const { return std::stod(str(name)); }
 bool Cli::boolean(const std::string& name) const {
   const std::string v = str(name);
   return v == "true" || v == "1" || v == "yes" || v == "on";
+}
+
+std::int64_t Cli::duration_ms(const std::string& name) const {
+  std::int64_t out = 0;
+  if (!parse_duration_ms(str(name), out)) {
+    std::fprintf(stderr,
+                 "bad duration '%s' for --%s (want e.g. 500ms, 2s, 1m)\n%s",
+                 str(name).c_str(), name.c_str(), usage().c_str());
+    std::exit(2);
+  }
+  return out;
+}
+
+bool parse_duration_ms(const std::string& text, std::int64_t& out) {
+  if (text.empty()) return false;
+  std::size_t suffix_start = text.size();
+  double scale = 1.0;  // bare number = ms
+  if (text.size() >= 2 && text.compare(text.size() - 2, 2, "ms") == 0) {
+    suffix_start = text.size() - 2;
+    scale = 1.0;
+  } else if (text.back() == 's') {
+    suffix_start = text.size() - 1;
+    scale = 1000.0;
+  } else if (text.back() == 'm') {
+    suffix_start = text.size() - 1;
+    scale = 60'000.0;
+  }
+  const std::string number = text.substr(0, suffix_start);
+  if (number.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(number.c_str(), &end);
+  if (errno != 0 || end != number.c_str() + number.size()) return false;
+  if (value < 0.0 || !(value == value)) return false;  // negative or NaN
+  const double ms = value * scale;
+  if (ms > 9.2e18) return false;  // would overflow int64 ns-free math
+  out = static_cast<std::int64_t>(ms + 0.5);
+  return true;
 }
 
 std::vector<std::int64_t> Cli::int_list(const std::string& name) const {

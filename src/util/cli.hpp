@@ -36,6 +36,11 @@ class Cli {
   [[nodiscard]] double real(const std::string& name) const;
   [[nodiscard]] bool boolean(const std::string& name) const;
 
+  /// Duration flag in milliseconds: `500ms`, `2s`, `1.5s`, `1m`, or a
+  /// bare number (taken as ms).  Exits with usage (2) on a malformed
+  /// value so --deadline/--duration typos fail loudly before a run.
+  [[nodiscard]] std::int64_t duration_ms(const std::string& name) const;
+
   /// Comma-separated integer list, e.g. --sizes=64,128,256.
   [[nodiscard]] std::vector<std::int64_t> int_list(
       const std::string& name) const;
@@ -68,5 +73,11 @@ class Cli {
   std::string description_;
   std::vector<Flag> flags_;
 };
+
+/// Parses a human duration into milliseconds: `500ms`, `2s`, `1.5s`,
+/// `1m`, or a bare (possibly fractional) number meaning ms.  Fractions
+/// are rounded to the nearest millisecond.  False on malformed input,
+/// negative values, or overflow; `out` is untouched then.
+bool parse_duration_ms(const std::string& text, std::int64_t& out);
 
 }  // namespace recover::util

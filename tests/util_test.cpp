@@ -105,6 +105,51 @@ TEST(BarChart, HandlesAllZeroValues) {
   EXPECT_NE(chart.find("x  0.000  |\n"), std::string::npos);
 }
 
+TEST(ParseDurationMs, AcceptsUnitsAndBareMilliseconds) {
+  std::int64_t out = -1;
+  ASSERT_TRUE(parse_duration_ms("500ms", out));
+  EXPECT_EQ(out, 500);
+  ASSERT_TRUE(parse_duration_ms("2s", out));
+  EXPECT_EQ(out, 2000);
+  ASSERT_TRUE(parse_duration_ms("1.5s", out));
+  EXPECT_EQ(out, 1500);
+  ASSERT_TRUE(parse_duration_ms("1m", out));
+  EXPECT_EQ(out, 60000);
+  ASSERT_TRUE(parse_duration_ms("0.5m", out));
+  EXPECT_EQ(out, 30000);
+  ASSERT_TRUE(parse_duration_ms("250", out));  // bare number = ms
+  EXPECT_EQ(out, 250);
+  ASSERT_TRUE(parse_duration_ms("0", out));
+  EXPECT_EQ(out, 0);
+  ASSERT_TRUE(parse_duration_ms("0ms", out));
+  EXPECT_EQ(out, 0);
+  // Fractions round to the nearest millisecond.
+  ASSERT_TRUE(parse_duration_ms("1.0004s", out));
+  EXPECT_EQ(out, 1000);
+  ASSERT_TRUE(parse_duration_ms("1.0006s", out));
+  EXPECT_EQ(out, 1001);
+}
+
+TEST(ParseDurationMs, RejectsMalformedNegativeAndOverflow) {
+  std::int64_t out = 77;
+  for (const char* bad :
+       {"", "ms", "s", "m", "abc", "5x", "5 s", "--3s", "1e400", "-1s",
+        "-250", "nan", "inf", "1ss", "2ms3", "999999999999999999999"}) {
+    EXPECT_FALSE(parse_duration_ms(bad, out)) << bad;
+    EXPECT_EQ(out, 77) << bad;  // untouched on failure
+  }
+}
+
+TEST(CliDurationFlag, ParsesThroughTheFlagInterface) {
+  Cli cli("t", "test");
+  cli.flag("duration", "window", "2s");
+  cli.flag("deadline", "budget", "0");
+  const char* argv[] = {"t", "--duration=750ms"};
+  cli.parse(2, argv);
+  EXPECT_EQ(cli.duration_ms("duration"), 750);
+  EXPECT_EQ(cli.duration_ms("deadline"), 0);  // default applies
+}
+
 TEST(Timer, MeasuresNonNegativeTime) {
   Timer timer;
   volatile double sink = 0;
