@@ -8,6 +8,14 @@ namespace recover::obs {
 
 namespace {
 
+/// Nesting cap for arrays/objects.  The reader is recursive descent and
+/// is fed untrusted network bytes (serve wire protocol), so without a
+/// cap a line of a few thousand '[' characters — well under the frame
+/// size cap — would recurse one stack frame per bracket and overflow the
+/// parsing thread's stack.  Nothing the repo emits or accepts on the
+/// wire nests more than a handful of levels deep.
+constexpr std::size_t kMaxDepth = 64;
+
 class JsonReader {
  public:
   explicit JsonReader(const std::string& text) : text_(text) {}
@@ -61,6 +69,43 @@ class JsonReader {
     }
   }
 
+  bool parse_hex4(unsigned& code) {
+    if (pos_ + 4 > text_.size()) return false;
+    code = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char h = text_[pos_++];
+      code <<= 4;
+      if (h >= '0' && h <= '9') {
+        code |= static_cast<unsigned>(h - '0');
+      } else if (h >= 'a' && h <= 'f') {
+        code |= static_cast<unsigned>(h - 'a' + 10);
+      } else if (h >= 'A' && h <= 'F') {
+        code |= static_cast<unsigned>(h - 'A' + 10);
+      } else {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  static void append_utf8(std::string& out, unsigned code) {
+    if (code < 0x80) {
+      out.push_back(static_cast<char>(code));
+    } else if (code < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else if (code < 0x10000) {
+      out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xF0 | (code >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    }
+  }
+
   bool parse_string(std::string& out) {
     if (text_[pos_] != '"') return false;
     ++pos_;
@@ -84,26 +129,26 @@ class JsonReader {
         case 'b': out.push_back('\b'); break;
         case 'f': out.push_back('\f'); break;
         case 'u': {
-          if (pos_ + 4 > text_.size()) return false;
           unsigned code = 0;
-          for (int i = 0; i < 4; ++i) {
-            const char h = text_[pos_++];
-            code <<= 4;
-            if (h >= '0' && h <= '9') {
-              code |= static_cast<unsigned>(h - '0');
-            } else if (h >= 'a' && h <= 'f') {
-              code |= static_cast<unsigned>(h - 'a' + 10);
-            } else if (h >= 'A' && h <= 'F') {
-              code |= static_cast<unsigned>(h - 'A' + 10);
-            } else {
+          if (!parse_hex4(code)) return false;
+          if (code >= 0xDC00 && code <= 0xDFFF) {
+            return false;  // lone low surrogate
+          }
+          if (code >= 0xD800 && code <= 0xDBFF) {
+            // High surrogate: the low half must follow as another
+            // \uXXXX escape (the only JSON spelling of an astral
+            // code point).
+            if (pos_ + 2 > text_.size() || text_[pos_] != '\\' ||
+                text_[pos_ + 1] != 'u') {
               return false;
             }
+            pos_ += 2;
+            unsigned low = 0;
+            if (!parse_hex4(low)) return false;
+            if (low < 0xDC00 || low > 0xDFFF) return false;
+            code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
           }
-          // The repo's writers only emit \u00XX for control bytes;
-          // anything wider is foreign input — reject rather than
-          // mis-decode.
-          if (code > 0xFF) return false;
-          out.push_back(static_cast<char>(code));
+          append_utf8(out, code);
           break;
         }
         default:
@@ -132,10 +177,13 @@ class JsonReader {
 
   bool parse_array(JsonValue& out) {
     out.kind = JsonValue::Kind::kArray;
-    ++pos_;  // '['
+    if (depth_ >= kMaxDepth) return false;
+    ++depth_;  // failure aborts the whole parse, so only unwind on success
+    ++pos_;    // '['
     skip_ws();
     if (pos_ < text_.size() && text_[pos_] == ']') {
       ++pos_;
+      --depth_;
       return true;
     }
     for (;;) {
@@ -151,6 +199,7 @@ class JsonReader {
       }
       if (text_[pos_] == ']') {
         ++pos_;
+        --depth_;
         return true;
       }
       return false;
@@ -159,10 +208,13 @@ class JsonReader {
 
   bool parse_object(JsonValue& out) {
     out.kind = JsonValue::Kind::kObject;
-    ++pos_;  // '{'
+    if (depth_ >= kMaxDepth) return false;
+    ++depth_;  // failure aborts the whole parse, so only unwind on success
+    ++pos_;    // '{'
     skip_ws();
     if (pos_ < text_.size() && text_[pos_] == '}') {
       ++pos_;
+      --depth_;
       return true;
     }
     for (;;) {
@@ -184,6 +236,7 @@ class JsonReader {
       }
       if (text_[pos_] == '}') {
         ++pos_;
+        --depth_;
         return true;
       }
       return false;
@@ -192,6 +245,7 @@ class JsonReader {
 
   const std::string& text_;
   std::size_t pos_ = 0;
+  std::size_t depth_ = 0;
 };
 
 }  // namespace

@@ -5,10 +5,13 @@
 // Scope: the subset the repo's writers emit (objects, arrays, strings
 // with \u00XX-style escapes for control bytes, numbers, booleans, null),
 // but it parses general well-formed JSON so hand-edited checkpoints and
-// hand-typed `nc` requests do not wedge it.  Any syntax error — including
+// hand-typed `nc` requests do not wedge it.  \uXXXX escapes (including
+// surrogate pairs) decode to UTF-8.  Any syntax error — including
 // trailing garbage after the document, which is how a torn checkpoint
 // line or a torn wire frame presents — surfaces as a false return, never
-// as a partial value the caller might trust.
+// as a partial value the caller might trust.  Because the input may be
+// untrusted network bytes, array/object nesting is capped at 64 levels;
+// deeper documents fail to parse rather than recurse without bound.
 #pragma once
 
 #include <string>

@@ -79,9 +79,12 @@ ParseOutcome parse_request(const std::string& line, Request& out) {
     out.params.kind = obs::JsonValue::Kind::kObject;
   }
   if (const auto* deadline = doc.find("deadline_ms"); deadline != nullptr) {
+    // The upper bound must be checked on the double, before the cast:
+    // casting an out-of-range double to int64 is undefined behavior.
     if (!deadline->is_number() || deadline->number < 0 ||
-        deadline->number != std::floor(deadline->number)) {
-      return fail("deadline_ms must be a non-negative integer");
+        deadline->number != std::floor(deadline->number) ||
+        deadline->number > static_cast<double>(kMaxDeadlineMs)) {
+      return fail("deadline_ms must be an integer in [0, 86400000]");
     }
     out.deadline_ms = static_cast<std::int64_t>(deadline->number);
   }

@@ -40,6 +40,13 @@ inline constexpr std::string_view kResponseSchema = "recover.resp/1";
 /// (bounded memory per connection, no matter what the peer sends).
 inline constexpr std::size_t kMaxLineBytes = 64 * 1024;
 
+/// Largest accepted deadline_ms (one day).  A bound is required for
+/// safety, not just sanity: the double→int64 cast on an unbounded value
+/// is undefined behavior, and the server's ms→ns conversion would wrap
+/// for values near 2^64, turning a huge requested deadline into one
+/// that already expired.
+inline constexpr std::int64_t kMaxDeadlineMs = 86'400'000;
+
 enum class ErrorCode {
   kParseError,        // not JSON / not a recover.req/1 / bad field types
   kUnknownMethod,     // method not registered

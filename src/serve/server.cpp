@@ -5,6 +5,7 @@
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -64,6 +65,11 @@ Server::Connection::~Connection() {
 Server::Server(ServerOptions options) : options_(std::move(options)) {
   if (options_.workers < 1) options_.workers = 1;
   if (options_.queue_capacity < 1) options_.queue_capacity = 1;
+  // Same bound the protocol enforces on requests: past it the ms→ns
+  // conversion in handle_line could wrap.
+  if (options_.default_deadline_ms > kMaxDeadlineMs) {
+    options_.default_deadline_ms = kMaxDeadlineMs;
+  }
 }
 
 Server::~Server() { stop(); }
@@ -138,6 +144,17 @@ void Server::accept_loop() {
     }
     const int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    if (options_.send_timeout_ms > 0) {
+      // Bound reply writes: without this a client that sends requests
+      // but never reads replies fills its receive window and blocks the
+      // worker inside send_line forever (queue_capacity such clients
+      // would wedge the whole pool and make drain hang).
+      timeval tv{};
+      tv.tv_sec = options_.send_timeout_ms / 1000;
+      tv.tv_usec =
+          static_cast<suseconds_t>(options_.send_timeout_ms % 1000) * 1000;
+      ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+    }
 
     connections_total_.fetch_add(1, std::memory_order_relaxed);
     connections_open_.fetch_add(1, std::memory_order_relaxed);
@@ -350,7 +367,9 @@ void Server::send_line(const std::shared_ptr<Connection>& conn,
                              MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
-      // Peer gone (EPIPE/ECONNRESET): drop the reply and any later ones.
+      // Peer gone (EPIPE/ECONNRESET) or not reading (EAGAIN after the
+      // SO_SNDTIMEO send timeout): drop the reply and any later ones so
+      // no worker stays blocked on this connection.
       conn->dead.store(true, std::memory_order_release);
       return;
     }

@@ -51,6 +51,10 @@ struct ServerOptions {
                                          // deadline_ms; 0 = unlimited
   std::size_t max_line_bytes = kMaxLineBytes;
   bool cells_parallel = true;  // run_cell replicas on the shared pool
+  int send_timeout_ms = 5000;  // SO_SNDTIMEO on accepted sockets: a reply
+                               // write blocked this long (client stopped
+                               // reading) marks the connection dead
+                               // instead of wedging a worker; ≤0 = none
 };
 
 class Server {

@@ -82,6 +82,62 @@ TEST(Protocol, RejectsBadRequestsButRecoversId) {
   }
 }
 
+TEST(Protocol, BoundsDeadlineMs) {
+  // 86400000 (one day) is the cap; above it the reply must be a parse
+  // error — an unbounded value would hit UB in the double→int64 cast
+  // and wrap the server's ms→ns conversion.
+  Request req;
+  auto outcome = parse_request(
+      "{\"schema\":\"recover.req/1\",\"id\":1,\"method\":\"ping\","
+      "\"deadline_ms\":86400000}",
+      req);
+  ASSERT_TRUE(outcome.ok) << outcome.message;
+  EXPECT_EQ(req.deadline_ms, 86400000);
+  for (const char* bad : {"86400001", "1e300", "1e18"}) {
+    Request rejected;
+    const std::string line =
+        std::string("{\"schema\":\"recover.req/1\",\"id\":1,"
+                    "\"method\":\"ping\",\"deadline_ms\":") +
+        bad + "}";
+    outcome = parse_request(line, rejected);
+    EXPECT_FALSE(outcome.ok) << bad;
+    EXPECT_EQ(outcome.code, ErrorCode::kParseError) << bad;
+  }
+}
+
+TEST(JsonReader, CapsNestingDepth) {
+  // The reader recurses once per bracket; a hostile line of thousands
+  // of '[' (well under the 64 KiB frame cap) must fail the parse, not
+  // overflow the reader thread's stack.
+  obs::JsonValue doc;
+  std::string nested(40, '[');
+  nested += "1";
+  nested += std::string(40, ']');
+  EXPECT_TRUE(obs::parse_json(nested, doc));
+
+  std::string bomb(20000, '[');
+  EXPECT_FALSE(obs::parse_json(bomb, doc));
+  bomb += std::string(20000, ']');
+  EXPECT_FALSE(obs::parse_json(bomb, doc));
+  std::string object_bomb;
+  for (int i = 0; i < 20000; ++i) object_bomb += "{\"k\":";
+  EXPECT_FALSE(obs::parse_json(object_bomb, doc));
+}
+
+TEST(JsonReader, DecodesUnicodeEscapesToUtf8) {
+  obs::JsonValue doc;
+  ASSERT_TRUE(obs::parse_json("\"\\u0041\\u00e9\\u20ac\"", doc));
+  EXPECT_EQ(doc.text, "A\xc3\xa9\xe2\x82\xac");  // "Aé€"
+  // Astral code points arrive as surrogate pairs: U+1F600.
+  ASSERT_TRUE(obs::parse_json("\"\\ud83d\\ude00\"", doc));
+  EXPECT_EQ(doc.text, "\xf0\x9f\x98\x80");
+  // Lone or misordered surrogates are malformed.
+  EXPECT_FALSE(obs::parse_json("\"\\ud83d\"", doc));
+  EXPECT_FALSE(obs::parse_json("\"\\ude00\"", doc));
+  EXPECT_FALSE(obs::parse_json("\"\\ud83dx\"", doc));
+  EXPECT_FALSE(obs::parse_json("\"\\ud83d\\u0041\"", doc));
+}
+
 TEST(Protocol, ResponsesAreSingleLines) {
   const std::string ok = make_result("7", "{\"pong\":true}");
   EXPECT_EQ(ok,
