@@ -14,6 +14,7 @@
 
 #include "src/balls/grand_coupling.hpp"
 #include "src/core/coalescence.hpp"
+#include "src/kernel/kernel.hpp"
 #include "src/obs/run_record.hpp"
 #include "src/rng/engines.hpp"
 #include "src/stats/regression.hpp"
@@ -61,7 +62,7 @@ int main(int argc, char** argv) {
       std::int64_t t = 0;
       std::int64_t met = -1;
       for (std::size_t s = 0; s < mean_dist.size(); ++s) {
-        for (std::int64_t k = 0; k < stride; ++k) c.step(eng);
+        kernel::advance(c, eng, stride);
         t += stride;
         mean_dist[s] += static_cast<double>(c.distance());
         if (met < 0 && c.coalesced()) met = t;

@@ -15,6 +15,7 @@
 #include "src/balls/grand_coupling.hpp"
 #include "src/balls/scenario_a.hpp"
 #include "src/core/coalescence.hpp"
+#include "src/kernel/kernel.hpp"
 #include "src/obs/run_record.hpp"
 #include "src/rng/engines.hpp"
 #include "src/util/cli.hpp"
@@ -29,7 +30,7 @@ double average_probes(const Rule& rule, std::size_t n, std::int64_t m,
   recover::rng::Xoshiro256PlusPlus eng(seed);
   recover::balls::ScenarioAChain<Rule> chain(
       recover::balls::LoadVector::balanced(n, m), rule);
-  for (int t = 0; t < 2000; ++t) chain.step(eng);  // burn-in
+  recover::kernel::advance(chain, eng, 2000);  // burn-in
   std::int64_t probes = 0;
   constexpr int kSamples = 5000;
   for (int t = 0; t < kSamples; ++t) {

@@ -11,6 +11,7 @@
 
 #include "src/core/recovery.hpp"
 #include "src/fluid/fluid_limit.hpp"
+#include "src/kernel/kernel.hpp"
 #include "src/obs/run_record.hpp"
 #include "src/open/relocation.hpp"
 #include "src/rng/engines.hpp"
@@ -68,10 +69,10 @@ int main(int argc, char** argv) {
     open::RelocatingChainA<balls::AbkuRule> chain(
         balls::LoadVector::balanced(n, m), balls::AbkuRule(d),
         static_cast<int>(r));
-    for (int t = 0; t < 20000; ++t) chain.step(eng);
+    kernel::advance(chain, eng, 20000);
     stats::IntHistogram hist;
     for (int s = 0; s < 300; ++s) {
-      for (int t = 0; t < 50; ++t) chain.step(eng);
+      kernel::advance(chain, eng, 50);
       hist.add(chain.state().max_load());
     }
 

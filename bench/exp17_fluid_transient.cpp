@@ -17,6 +17,7 @@
 
 #include "src/balls/scenario_a.hpp"
 #include "src/fluid/fluid_limit.hpp"
+#include "src/kernel/kernel.hpp"
 #include "src/obs/run_record.hpp"
 #include "src/rng/engines.hpp"
 #include "src/util/cli.hpp"
@@ -63,10 +64,8 @@ int main(int argc, char** argv) {
     for (std::size_t k = 0; k < times.size(); ++k) {
       const auto target =
           static_cast<std::int64_t>(times[k] * static_cast<double>(n));
-      while (steps_done < target) {
-        chain.step(eng);
-        ++steps_done;
-      }
+      kernel::advance(chain, eng, target - steps_done);
+      steps_done = target;
       const auto tails = fluid::tail_fractions(chain.state().loads(), levels);
       for (std::size_t i = 0; i < levels; ++i) sim[k][i] += tails[i];
     }

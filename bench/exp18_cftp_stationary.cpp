@@ -19,6 +19,7 @@
 #include "src/balls/scenario_a.hpp"
 #include "src/core/cftp.hpp"
 #include "src/fluid/fluid_limit.hpp"
+#include "src/kernel/kernel.hpp"
 #include "src/obs/run_record.hpp"
 #include "src/rng/engines.hpp"
 #include "src/stats/histogram.hpp"
@@ -120,10 +121,10 @@ int main(int argc, char** argv) {
     rng::Xoshiro256PlusPlus eng(seed + 2);
     balls::ScenarioAChain<balls::AbkuRule> chain(
         balls::LoadVector::balanced(n, m), balls::AbkuRule(d));
-    for (std::int64_t t = 0; t < 50 * m; ++t) chain.step(eng);
+    kernel::advance(chain, eng, 50 * m);
     stats::IntHistogram longrun;
     for (int s2 = 0; s2 < 300; ++s2) {
-      for (std::int64_t t = 0; t < m / 2 + 1; ++t) chain.step(eng);
+      kernel::advance(chain, eng, m / 2 + 1);
       longrun.add(chain.state().max_load());
     }
     fluid::FluidModel model(fluid::Scenario::kA, d, 1.0, 24);

@@ -12,6 +12,7 @@
 
 #include "src/balls/scenario_a.hpp"
 #include "src/fluid/fluid_limit.hpp"
+#include "src/kernel/kernel.hpp"
 #include "src/obs/run_record.hpp"
 #include "src/rng/engines.hpp"
 #include "src/stats/histogram.hpp"
@@ -57,13 +58,13 @@ int main(int argc, char** argv) {
     balls::ScenarioAChain<balls::AdapRule> chain(
         balls::LoadVector::balanced(n, m),
         balls::AdapRule{balls::ThresholdSchedule(sched.x)});
-    for (std::int64_t t = 0; t < 40 * m; ++t) chain.step(eng);
+    kernel::advance(chain, eng, 40 * m);
     stats::IntHistogram maxload;
     std::vector<double> tails(6, 0.0);
     std::int64_t probes = 0;
     constexpr int kSamples = 200;
     for (int s = 0; s < kSamples; ++s) {
-      for (std::int64_t t = 0; t < m / 4; ++t) chain.step(eng);
+      kernel::advance(chain, eng, m / 4);
       maxload.add(chain.state().max_load());
       const auto frac = fluid::tail_fractions(chain.state().loads(), 6);
       for (std::size_t i = 0; i < 6; ++i) tails[i] += frac[i];

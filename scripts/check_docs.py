@@ -1,0 +1,200 @@
+#!/usr/bin/env python3
+"""Markdown link-and-anchor checker for the repository docs.
+
+Validates every inline link in the given markdown files (default: the
+top-level docs plus docs/*.md and bench/README.md):
+
+  * relative file links must resolve to an existing file or directory
+    (relative to the linking file, `/`-rooted links to the repo root);
+  * `#anchor` fragments — bare or after a path — must match a heading
+    in the target file, using GitHub's heading-to-slug rules
+    (lowercase; strip everything but alphanumerics, spaces, hyphens and
+    underscores; spaces to hyphens; duplicate slugs get -1, -2, ...);
+  * http(s)/mailto links are skipped (no network in CI).
+
+Code fences and inline code spans are excluded before link extraction,
+so lambda captures in C++ snippets (`[&](const Cell& cell, ...)`) are
+not misread as links.  Exits 1 on any dangling link or anchor.
+"""
+
+import argparse
+import os
+import re
+import sys
+import unicodedata
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+DEFAULT_FILES = [
+    "README.md",
+    "DESIGN.md",
+    "EXPERIMENTS.md",
+    "ROADMAP.md",
+    "bench/README.md",
+    "docs",  # expanded to docs/*.md
+]
+
+FENCE_RE = re.compile(r"^(```|~~~)")
+INLINE_CODE_RE = re.compile(r"`[^`]*`")
+# Inline links [text](target) — target up to the first unescaped ')';
+# images ![alt](target) match too via the same pattern.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+SKIP_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def strip_code(lines, inline=True):
+    """Returns the lines with fenced blocks (and, by default, inline
+    code spans) blanked out; line count preserved for error positions.
+    Heading collection passes inline=False: GitHub keeps code-span text
+    in anchor slugs (`obs/metrics.hpp` → obsmetricshpp)."""
+    out = []
+    in_fence = False
+    for line in lines:
+        if FENCE_RE.match(line.strip()):
+            in_fence = not in_fence
+            out.append("")
+            continue
+        if in_fence:
+            out.append("")
+        else:
+            out.append(INLINE_CODE_RE.sub("", line) if inline else line)
+    return out
+
+
+def github_slug(heading, seen):
+    """GitHub's anchor slug for a heading, deduplicated via `seen`."""
+    # Drop markdown emphasis/code markers and links inside the heading.
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", heading)
+    text = text.replace("`", "").replace("*", "").replace("_", "_")
+    text = unicodedata.normalize("NFKC", text).lower()
+    text = "".join(
+        c for c in text
+        if c.isalnum() or c in (" ", "-", "_")
+    )
+    slug = text.replace(" ", "-")
+    if slug in seen:
+        n = seen[slug]
+        seen[slug] = n + 1
+        slug = f"{slug}-{n}"
+    else:
+        seen[slug] = 1
+    return slug
+
+
+def anchors_of(path, cache):
+    """Set of valid heading anchors in a markdown file."""
+    if path in cache:
+        return cache[path]
+    anchors = set()
+    try:
+        with open(path, encoding="utf-8") as f:
+            lines = strip_code(f.read().splitlines(), inline=False)
+    except OSError:
+        cache[path] = anchors
+        return anchors
+    seen = {}
+    for line in lines:
+        m = HEADING_RE.match(line)
+        if m:
+            anchors.add(github_slug(m.group(2), seen))
+    # Explicit <a name="..."> / id="..." anchors also count.
+    with open(path, encoding="utf-8") as f:
+        for m in re.finditer(r"<a\s+(?:name|id)=\"([^\"]+)\"", f.read()):
+            anchors.add(m.group(1))
+    cache[path] = anchors
+    return anchors
+
+
+def check_file(md_path, anchor_cache):
+    errors = []
+    with open(md_path, encoding="utf-8") as f:
+        lines = strip_code(f.read().splitlines())
+    for lineno, line in enumerate(lines, start=1):
+        for m in LINK_RE.finditer(line):
+            target = m.group(1)
+            if target.startswith(SKIP_SCHEMES):
+                continue
+            path_part, _, fragment = target.partition("#")
+            if path_part:
+                if path_part.startswith("/"):
+                    resolved = os.path.join(REPO_ROOT, path_part.lstrip("/"))
+                else:
+                    resolved = os.path.join(os.path.dirname(md_path),
+                                            path_part)
+                resolved = os.path.normpath(resolved)
+                if not os.path.exists(resolved):
+                    errors.append((lineno, target,
+                                   f"no such file: {path_part}"))
+                    continue
+            else:
+                resolved = md_path
+            if fragment:
+                if os.path.isdir(resolved):
+                    errors.append((lineno, target,
+                                   "anchor on a directory link"))
+                    continue
+                if not resolved.endswith((".md", ".markdown")):
+                    continue  # anchors into source files: not checkable
+                if fragment.lower() not in anchors_of(resolved, anchor_cache):
+                    errors.append((lineno, target,
+                                   f"no heading for anchor #{fragment} in "
+                                   f"{os.path.relpath(resolved, REPO_ROOT)}"))
+    return errors
+
+
+def expand(items):
+    files = []
+    for item in items:
+        full = item if os.path.isabs(item) else os.path.join(REPO_ROOT, item)
+        if os.path.isdir(full):
+            files.extend(
+                os.path.join(full, n) for n in sorted(os.listdir(full))
+                if n.endswith(".md")
+            )
+        else:
+            files.append(full)
+    return files
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("files", nargs="*",
+                        help="markdown files or directories (default: "
+                             "top-level docs + docs/ + bench/README.md)")
+    args = parser.parse_args()
+
+    files = expand(args.files or DEFAULT_FILES)
+    missing = [f for f in files if not os.path.isfile(f)]
+    if missing:
+        for f in missing:
+            print(f"check_docs: {os.path.relpath(f, REPO_ROOT)}: "
+                  f"file not found", file=sys.stderr)
+        return 1
+
+    anchor_cache = {}
+    total_links = 0
+    ok = True
+    for md in files:
+        errors = check_file(md, anchor_cache)
+        rel = os.path.relpath(md, REPO_ROOT)
+        with open(md, encoding="utf-8") as f:
+            n_links = sum(
+                1 for line in strip_code(f.read().splitlines())
+                for _ in LINK_RE.finditer(line)
+            )
+        total_links += n_links
+        if errors:
+            ok = False
+            for lineno, target, why in errors:
+                print(f"check_docs: {rel}:{lineno}: ({target}) — {why}",
+                      file=sys.stderr)
+        else:
+            print(f"check_docs: {rel}: OK ({n_links} links)")
+    if ok:
+        print(f"check_docs: OK ({len(files)} files, {total_links} links)")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

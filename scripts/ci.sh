@@ -15,6 +15,9 @@ cd "$(dirname "$0")/.."
 
 BUILD_DIR=${BUILD_DIR:-build-ci}
 
+echo "== docs: link and anchor check =="
+python3 scripts/check_docs.py
+
 cmake -B "$BUILD_DIR" -G Ninja -DRECOVERLIB_WERROR=ON
 cmake --build "$BUILD_DIR"
 ctest --test-dir "$BUILD_DIR" -j"$(nproc)" --output-on-failure
@@ -54,6 +57,44 @@ case "$resume_line" in
     ;;
 esac
 python3 scripts/check_bench_json.py --sweep-checkpoint "$SWEEP_CKPT"
+
+echo "== kernel byte-identity gate (RECOVER_KERNEL=scalar vs batched) =="
+# Every smoke cell must produce bit-identical checkpoint records under
+# both kernel modes; only the wall_seconds timing field may differ.
+IDENT_DIR="$BUILD_DIR/kernel-identity"
+rm -rf "$IDENT_DIR"
+mkdir -p "$IDENT_DIR"
+kernel_identity() {
+  exp=$1
+  grid=$2
+  for mode in scalar batched; do
+    RECOVER_KERNEL=$mode "$BUILD_DIR"/bench/sweep_runner --exp "$exp" \
+      --grid "$grid" --checkpoint "$IDENT_DIR/$exp.$mode.jsonl" > /dev/null
+    sed 's/"wall_seconds":[^,}]*//' "$IDENT_DIR/$exp.$mode.jsonl" \
+      > "$IDENT_DIR/$exp.$mode.stripped"
+  done
+  if ! cmp -s "$IDENT_DIR/$exp.scalar.stripped" \
+              "$IDENT_DIR/$exp.batched.stripped"; then
+    echo "ci.sh: $exp results differ between kernel modes" >&2
+    diff "$IDENT_DIR/$exp.scalar.stripped" \
+         "$IDENT_DIR/$exp.batched.stripped" >&2 || true
+    exit 1
+  fi
+  echo "-- $exp: identical across kernel modes"
+}
+kernel_identity exp01 "d=1..2;m=16..32:x2;density=1;replicas=4"
+kernel_identity exp03 "density=1;n=8..16:x2;d=2;replicas=4"
+kernel_identity exp06 "n=8..16:x2;replicas=4"
+kernel_identity exp10 "d=1..2;n=64..128:x2;samples=50"
+
+echo "== kernel perf gate =="
+# Speedup floors (batched vs scalar, same run) are hard; the >20%
+# baseline regression check is soft unless PERF_GATE=hard — shared CI
+# hosts are too noisy for absolute times to block merges by default.
+"$BUILD_DIR"/bench/bench_microbench --json-out="$BUILD_DIR/bench_kernels.json" \
+  --benchmark_filter=BM_Kernel --benchmark_min_time=0.05 \
+  --benchmark_repetitions=3 --benchmark_report_aggregates_only=true > /dev/null
+python3 scripts/perf_gate.py "$BUILD_DIR/bench_kernels.json"
 
 echo "== tracing: record, validate, analyze =="
 # Outside JSON_DIR: the *.json glob below expects recover.run/1 records.

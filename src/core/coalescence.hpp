@@ -16,6 +16,7 @@
 #include <functional>
 #include <vector>
 
+#include "src/kernel/kernel.hpp"
 #include "src/obs/metrics.hpp"
 #include "src/obs/progress.hpp"
 #include "src/obs/trace.hpp"
@@ -91,7 +92,7 @@ std::vector<std::int64_t> run_coalescence_trials(
       if (options.cancelled && options.cancelled()) break;
       const std::int64_t burst =
           std::min(options.check_interval, options.max_steps - t);
-      for (std::int64_t k = 0; k < burst; ++k) coupling.step(eng);
+      kernel::advance(coupling, eng, burst);
       t += burst;
       if (coupling.coalesced()) {
         result = t;

@@ -13,6 +13,7 @@
 #include <functional>
 #include <vector>
 
+#include "src/kernel/kernel.hpp"
 #include "src/obs/metrics.hpp"
 #include "src/obs/progress.hpp"
 #include "src/obs/trace.hpp"
@@ -47,7 +48,7 @@ std::vector<double> record_trajectory(Chain& chain, Observable&& observable,
   while (t < options.max_steps) {
     const std::int64_t burst =
         std::min(options.sample_interval, options.max_steps - t);
-    for (std::int64_t k = 0; k < burst; ++k) chain.step(eng);
+    kernel::advance(chain, eng, burst);
     t += burst;
     series.push_back(observable(chain));
   }
@@ -99,7 +100,7 @@ RecoveryStats measure_recovery(MakeChain&& make_chain, Observable&& observable,
     while (t < options.max_steps) {
       const std::int64_t burst =
           std::min(options.sample_interval, options.max_steps - t);
-      for (std::int64_t k = 0; k < burst; ++k) chain.step(eng);
+      kernel::advance(chain, eng, burst);
       t += burst;
       const double value = observable(chain);
       if (value >= lo && value <= hi) {

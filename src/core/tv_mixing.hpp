@@ -16,6 +16,7 @@
 #include <functional>
 #include <vector>
 
+#include "src/kernel/kernel.hpp"
 #include "src/parallel/thread_pool.hpp"
 #include "src/rng/engines.hpp"
 #include "src/stats/histogram.hpp"
@@ -62,10 +63,8 @@ std::vector<TvCurvePoint> estimate_tv_curve(
       auto run = [&](auto chain) {
         std::int64_t t = 0;
         for (std::size_t k = 0; k < c; ++k) {
-          while (t < checkpoints[k]) {
-            chain.step(eng);
-            ++t;
-          }
+          kernel::advance(chain, eng, checkpoints[k] - t);
+          t = checkpoints[k];
           values[static_cast<std::size_t>(side)][k][rep] = observable(chain);
         }
       };

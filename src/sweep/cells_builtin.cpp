@@ -16,6 +16,7 @@
 #include "src/core/coalescence.hpp"
 #include "src/core/path_coupling.hpp"
 #include "src/fluid/fluid_limit.hpp"
+#include "src/kernel/kernel.hpp"
 #include "src/orient/chain.hpp"
 #include "src/rng/engines.hpp"
 #include "src/stats/autocorr.hpp"
@@ -157,16 +158,16 @@ StationaryEstimate stationary_mean_max_load(Chain& chain, std::int64_t burn_in,
   // Cancellation polls sit on sample boundaries (and every 4096 burn-in
   // steps): cheap relative to a chain step, and a cancelled cell's
   // truncated estimate is discarded by the caller anyway.
-  for (std::int64_t t = 0; t < burn_in; ++t) {
-    if ((t & 4095) == 0 && ctx.cancelled && ctx.cancelled()) break;
-    chain.step(eng);
+  for (std::int64_t t = 0; t < burn_in; t += 4096) {
+    if (ctx.cancelled && ctx.cancelled()) break;
+    kernel::advance(chain, eng, std::min<std::int64_t>(4096, burn_in - t));
   }
   stats::IntHistogram hist;
   std::vector<double> series;
   series.reserve(static_cast<std::size_t>(samples));
   for (std::int64_t s = 0; s < samples; ++s) {
     if (ctx.cancelled && ctx.cancelled()) break;
-    for (std::int64_t t = 0; t < spacing; ++t) chain.step(eng);
+    kernel::advance(chain, eng, spacing);
     hist.add(chain.state().max_load());
     series.push_back(static_cast<double>(chain.state().max_load()));
   }

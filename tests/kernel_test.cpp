@@ -1,0 +1,415 @@
+// Byte-identity and faithfulness tests for the batched kernels
+// (src/kernel/).  The contract under test: RECOVER_KERNEL=scalar and
+// =batched consume the engine word-for-word identically, so every
+// chain/coupling trajectory, experiment record and coalescence trial is
+// byte-identical across modes, batch boundaries, engines and thread
+// counts.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "src/balls/grand_coupling.hpp"
+#include "src/balls/load_vector.hpp"
+#include "src/balls/rules.hpp"
+#include "src/balls/scenario_a.hpp"
+#include "src/balls/scenario_b.hpp"
+#include "src/core/coalescence.hpp"
+#include "src/kernel/choice_block.hpp"
+#include "src/kernel/kernel.hpp"
+#include "src/rng/distributions.hpp"
+#include "src/rng/engines.hpp"
+
+namespace recover::kernel {
+namespace {
+
+using balls::AbkuRule;
+using balls::GrandCouplingA;
+using balls::GrandCouplingB;
+using balls::LoadVector;
+using balls::ScenarioAChain;
+using balls::ScenarioBChain;
+
+/// RAII mode override so a failing test cannot leak its mode into the
+/// rest of the binary.
+class ModeGuard {
+ public:
+  explicit ModeGuard(Mode m) : prev_(set_mode(m)) {}
+  ~ModeGuard() { set_mode(prev_); }
+
+ private:
+  Mode prev_;
+};
+
+TEST(KernelMode, SetModeReturnsPrevious) {
+  const Mode initial = mode();
+  const Mode prev = set_mode(Mode::kScalar);
+  EXPECT_EQ(prev, initial);
+  EXPECT_EQ(mode(), Mode::kScalar);
+  set_mode(Mode::kBatched);
+  EXPECT_EQ(mode(), Mode::kBatched);
+  set_mode(initial);
+}
+
+TEST(KernelMode, ModeNames) {
+  EXPECT_STREQ(mode_name(Mode::kScalar), "scalar");
+  EXPECT_STREQ(mode_name(Mode::kBatched), "batched");
+}
+
+// ---------------------------------------------------------------------------
+// Engine block APIs: fill() and generate_groups() must equal serial
+// operator() draws, including buffered half-consumed Philox blocks and
+// the state left behind for subsequent draws.
+
+template <typename Engine>
+void expect_fill_matches_serial(std::uint64_t seed) {
+  for (const int predraws : {0, 1, 3}) {
+    for (const std::size_t count : {std::size_t{1}, std::size_t{7},
+                                    std::size_t{8}, std::size_t{9},
+                                    std::size_t{64}, std::size_t{257},
+                                    std::size_t{1000}}) {
+      Engine filled(seed);
+      Engine serial(seed);
+      for (int k = 0; k < predraws; ++k) {
+        ASSERT_EQ(filled(), serial());
+      }
+      std::vector<std::uint64_t> out(count);
+      filled.fill(out.data(), count);
+      for (std::size_t i = 0; i < count; ++i) {
+        ASSERT_EQ(out[i], serial()) << "word " << i << " of " << count
+                                    << " after " << predraws << " predraws";
+      }
+      // The engines must also agree on everything drawn afterwards.
+      for (int k = 0; k < 5; ++k) {
+        ASSERT_EQ(filled(), serial());
+      }
+    }
+  }
+}
+
+TEST(EngineFill, XoshiroMatchesSerialDraws) {
+  expect_fill_matches_serial<rng::Xoshiro256PlusPlus>(12345);
+}
+
+TEST(EngineFill, PhiloxMatchesSerialDraws) {
+  // Counts >= 8 exercise the vectorized whole-block path on hosts that
+  // have it; odd counts and predraws exercise the buffered-lane edges.
+  expect_fill_matches_serial<rng::Philox4x32>(0xDEADBEEF);
+}
+
+TEST(EngineFill, XoshiroGenerateGroupsMatchesSerialDraws) {
+  rng::Xoshiro256PlusPlus grouped(99);
+  rng::Xoshiro256PlusPlus serial(99);
+  std::vector<std::uint64_t> words;
+  grouped.generate_groups<3>(
+      100, [&](std::size_t, const std::array<std::uint64_t, 3>& w) {
+        words.insert(words.end(), w.begin(), w.end());
+      });
+  ASSERT_EQ(words.size(), 300u);
+  for (const std::uint64_t w : words) {
+    ASSERT_EQ(w, serial());
+  }
+  for (int k = 0; k < 5; ++k) {
+    ASSERT_EQ(grouped(), serial());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// DChoiceBatch: the precomputed selections must equal what the scalar
+// path computes from the same raw words, with a conservative unsafe
+// flag (a superset of the scalar redraw events).
+
+template <typename Engine>
+void expect_batch_matches_scalar(std::uint64_t seed, std::uint64_t bound,
+                                 int d, std::size_t steps, int leads) {
+  Engine eng(seed);
+  Engine twin(seed);
+  DChoiceBatch batch;
+  batch.fill(eng, bound, d, steps, leads);
+
+  const std::size_t stride =
+      static_cast<std::size_t>(leads) + static_cast<std::size_t>(d);
+  std::vector<std::uint64_t> words(steps * stride);
+  fill_raw(twin, words.data(), words.size());
+  // Both consumed the same word count: subsequent draws agree.
+  ASSERT_EQ(eng(), twin());
+
+  for (std::size_t i = 0; i < steps; ++i) {
+    const std::uint64_t* step_words = words.data() + i * stride;
+    if (leads == 1) {
+      ASSERT_EQ(batch.lead_raw(i), step_words[0]) << "step " << i;
+    }
+    // Recompute the packed selection from first principles.
+    std::uint64_t best = 0;
+    bool any_flagged = false;
+    for (int k = 0; k < d; ++k) {
+      const auto w = step_words[leads + k];
+      const auto m = static_cast<__uint128_t>(w) * bound;
+      best = std::max(best, static_cast<std::uint64_t>(m >> 64));
+      any_flagged |= static_cast<std::uint64_t>(m) < bound;
+      // Conservative flag: every word the scalar path would actually
+      // redraw ((uint64)m below 2^64 mod bound <= bound) is flagged.
+      if (static_cast<std::uint64_t>(m) < (0 - bound) % bound) {
+        ASSERT_TRUE(static_cast<std::uint64_t>(m) < bound);
+      }
+    }
+    ASSERT_EQ(batch.probe_unsafe(i), any_flagged) << "step " << i;
+    if (!any_flagged) {
+      ASSERT_EQ(batch.choice(i), best) << "step " << i;
+      ASSERT_LT(batch.choice(i), bound);
+      // And the scalar reduction over the very same words agrees.
+      Engine unused(seed + 1);
+      ReplayEngine<Engine> replay(unused, step_words + leads,
+                                  static_cast<std::size_t>(d));
+      ASSERT_EQ(batch.choice(i), rng::max_of_d_uniform(replay, bound, d));
+    }
+  }
+}
+
+TEST(DChoiceBatch, MatchesScalarXoshiroFusedPath) {
+  // Xoshiro has generate_groups, so d <= 4 takes the fused loop.
+  for (const int d : {1, 2, 3, 4}) {
+    expect_batch_matches_scalar<rng::Xoshiro256PlusPlus>(7, 1024, d,
+                                                         kBatchSteps, 1);
+    expect_batch_matches_scalar<rng::Xoshiro256PlusPlus>(7, 1024, d, 5, 0);
+  }
+}
+
+TEST(DChoiceBatch, MatchesScalarPhiloxTwoPassPath) {
+  // Philox has no generate_groups: fill_raw + map_pass.
+  for (const int d : {1, 2, 4}) {
+    expect_batch_matches_scalar<rng::Philox4x32>(11, 1 << 14, d, kBatchSteps,
+                                                 1);
+  }
+}
+
+TEST(DChoiceBatch, RuntimeDFallbackMatchesScalar) {
+  // d in (4, kMaxBatchedProbes] takes the runtime-d map pass.
+  for (const int d : {5, 6, 7}) {
+    expect_batch_matches_scalar<rng::Xoshiro256PlusPlus>(13, 4096, d, 100, 1);
+    expect_batch_matches_scalar<rng::Philox4x32>(13, 4096, d, 100, 1);
+  }
+}
+
+TEST(DChoiceBatch, BatchBoundarySizes) {
+  for (const std::size_t steps :
+       {std::size_t{1}, std::size_t{2}, kBatchSteps - 1, kBatchSteps}) {
+    expect_batch_matches_scalar<rng::Xoshiro256PlusPlus>(17, 1024, 2, steps,
+                                                         1);
+  }
+}
+
+TEST(DChoiceBatch, ConservativeFlagFiresOnLargeBounds) {
+  // bound / 2^64 ~ 1/4: among 256 * 2 probe words, flagged steps are
+  // essentially certain, exercising the unsafe path deterministically.
+  const std::uint64_t bound = (std::uint64_t{1} << 62) + 12345;
+  rng::Xoshiro256PlusPlus eng(23);
+  DChoiceBatch batch;
+  batch.fill(eng, bound, 2, kBatchSteps, 1);
+  std::size_t flagged = 0;
+  for (std::size_t i = 0; i < batch.steps(); ++i) {
+    flagged += batch.probe_unsafe(i) ? 1u : 0u;
+  }
+  EXPECT_GT(flagged, 0u);
+  EXPECT_LT(flagged, batch.steps());  // and most steps stay on the fast path
+  expect_batch_matches_scalar<rng::Xoshiro256PlusPlus>(23, bound, 2,
+                                                       kBatchSteps, 1);
+}
+
+TEST(DChoiceBatch, ReplayEngineServesBufferedWordsThenLive) {
+  const std::uint64_t words[] = {5, 6, 7};
+  rng::Xoshiro256PlusPlus live(31);
+  rng::Xoshiro256PlusPlus twin(31);
+  ReplayEngine<rng::Xoshiro256PlusPlus> replay(live, words, 3);
+  EXPECT_EQ(replay(), 5u);
+  EXPECT_EQ(replay(), 6u);
+  EXPECT_EQ(replay(), 7u);
+  EXPECT_EQ(replay(), twin());  // falls through to the live engine
+  EXPECT_EQ(replay(), twin());
+}
+
+TEST(DChoiceBatch, ReplayFromMidBatchYieldsRemainingWords) {
+  rng::Xoshiro256PlusPlus eng(37);
+  rng::Xoshiro256PlusPlus twin(37);
+  DChoiceBatch batch;
+  batch.fill(eng, 1024, 2, 10, 1);  // 30 words
+  std::vector<std::uint64_t> words(30);
+  fill_raw(twin, words.data(), words.size());
+  auto replay = batch.replay_from(eng, 4);  // words 12..29, then live
+  for (std::size_t i = 12; i < 30; ++i) {
+    ASSERT_EQ(replay(), words[i]);
+  }
+  ASSERT_EQ(replay(), twin());
+}
+
+// ---------------------------------------------------------------------------
+// Chain and coupling byte-identity across modes: same seed, same steps
+// => same state AND same next engine output (proving both paths
+// consumed exactly the same number of words).
+
+template <typename Chain, typename Engine>
+void expect_chain_identical_across_modes(Chain scalar_chain,
+                                         Chain batched_chain,
+                                         std::uint64_t seed,
+                                         std::int64_t steps) {
+  Engine scalar_eng(seed);
+  Engine batched_eng(seed);
+  {
+    ModeGuard guard(Mode::kScalar);
+    advance(scalar_chain, scalar_eng, steps);
+  }
+  {
+    ModeGuard guard(Mode::kBatched);
+    advance(batched_chain, batched_eng, steps);
+  }
+  ASSERT_EQ(scalar_chain.state().loads(), batched_chain.state().loads())
+      << "steps=" << steps;
+  ASSERT_EQ(scalar_eng(), batched_eng()) << "steps=" << steps;
+}
+
+TEST(ChainByteIdentity, ScenarioAAcrossModesAndBatchBoundaries) {
+  // 1 and 7 stay scalar (< kMinBatchSteps) even in batched mode; the
+  // rest cross none, one, or several kBatchSteps block boundaries with
+  // partial final blocks.
+  for (const std::int64_t steps :
+       {std::int64_t{1}, std::int64_t{7}, std::int64_t{8},
+        static_cast<std::int64_t>(kBatchSteps) - 1,
+        static_cast<std::int64_t>(kBatchSteps),
+        static_cast<std::int64_t>(kBatchSteps) + 1,
+        2 * static_cast<std::int64_t>(kBatchSteps) + 7}) {
+    expect_chain_identical_across_modes<ScenarioAChain<AbkuRule>,
+                                        rng::Xoshiro256PlusPlus>(
+        {LoadVector::all_in_one(64, 256), AbkuRule(2)},
+        {LoadVector::all_in_one(64, 256), AbkuRule(2)}, 41, steps);
+  }
+}
+
+TEST(ChainByteIdentity, ScenarioBAcrossModes) {
+  for (const std::int64_t steps :
+       {std::int64_t{9}, static_cast<std::int64_t>(kBatchSteps) + 3}) {
+    expect_chain_identical_across_modes<ScenarioBChain<AbkuRule>,
+                                        rng::Xoshiro256PlusPlus>(
+        {LoadVector::all_in_one(32, 100), AbkuRule(3)},
+        {LoadVector::all_in_one(32, 100), AbkuRule(3)}, 43, steps);
+  }
+}
+
+TEST(ChainByteIdentity, ScenarioBSingleBallBoundary) {
+  // m = 1 makes the state-dependent removal bound s = 1 on every step.
+  expect_chain_identical_across_modes<ScenarioBChain<AbkuRule>,
+                                      rng::Xoshiro256PlusPlus>(
+      {LoadVector::all_in_one(4, 1), AbkuRule(2)},
+      {LoadVector::all_in_one(4, 1), AbkuRule(2)}, 47, 500);
+}
+
+TEST(ChainByteIdentity, PhiloxEngineTakesTwoPassPath) {
+  expect_chain_identical_across_modes<ScenarioAChain<AbkuRule>,
+                                      rng::Philox4x32>(
+      {LoadVector::all_in_one(64, 256), AbkuRule(2)},
+      {LoadVector::all_in_one(64, 256), AbkuRule(2)}, 53,
+      static_cast<std::int64_t>(kBatchSteps) + 9);
+}
+
+TEST(ChainByteIdentity, HighDFallsBackToScalarLoop) {
+  // d > kMaxBatchedProbes: step_block itself must take the scalar loop.
+  expect_chain_identical_across_modes<ScenarioAChain<AbkuRule>,
+                                      rng::Xoshiro256PlusPlus>(
+      {LoadVector::all_in_one(64, 256), AbkuRule(kMaxBatchedProbes + 1)},
+      {LoadVector::all_in_one(64, 256), AbkuRule(kMaxBatchedProbes + 1)}, 59,
+      300);
+}
+
+template <typename Coupling, typename Engine>
+void expect_coupling_identical_across_modes(Coupling scalar_c,
+                                            Coupling batched_c,
+                                            std::uint64_t seed,
+                                            std::int64_t steps) {
+  Engine scalar_eng(seed);
+  Engine batched_eng(seed);
+  {
+    ModeGuard guard(Mode::kScalar);
+    advance(scalar_c, scalar_eng, steps);
+  }
+  {
+    ModeGuard guard(Mode::kBatched);
+    advance(batched_c, batched_eng, steps);
+  }
+  ASSERT_EQ(scalar_c.coalesced(), batched_c.coalesced());
+  ASSERT_EQ(scalar_c.distance(), batched_c.distance());
+  ASSERT_EQ(scalar_eng(), batched_eng());
+}
+
+TEST(CouplingByteIdentity, GrandCouplingAAcrossModes) {
+  const auto x = LoadVector::all_in_one(32, 96);
+  const auto y = LoadVector::balanced(32, 96);
+  for (const std::int64_t steps :
+       {std::int64_t{50}, static_cast<std::int64_t>(kBatchSteps) + 11}) {
+    expect_coupling_identical_across_modes<GrandCouplingA<AbkuRule>,
+                                           rng::Xoshiro256PlusPlus>(
+        {x, y, AbkuRule(2)}, {x, y, AbkuRule(2)}, 61, steps);
+  }
+}
+
+TEST(CouplingByteIdentity, GrandCouplingBAcrossModes) {
+  const auto x = LoadVector::all_in_one(32, 96);
+  const auto y = LoadVector::balanced(32, 96);
+  expect_coupling_identical_across_modes<GrandCouplingB<AbkuRule>,
+                                         rng::Xoshiro256PlusPlus>(
+      {x, y, AbkuRule(2)}, {x, y, AbkuRule(2)}, 67,
+      static_cast<std::int64_t>(kBatchSteps) + 13);
+}
+
+TEST(CouplingFaithfulness, EqualCopiesStayEqualUnderBatchedAdvance) {
+  // The grand coupling's defining property: once the copies meet they
+  // share every draw, so they can never separate.  The batched path
+  // must preserve this exactly (it shares one choice block per step).
+  ModeGuard guard(Mode::kBatched);
+  const auto v = LoadVector::all_in_one(16, 48);
+  GrandCouplingA<AbkuRule> coupling(v, v, AbkuRule(2));
+  rng::Xoshiro256PlusPlus eng(71);
+  for (int burst = 0; burst < 8; ++burst) {
+    advance(coupling, eng, 200);
+    ASSERT_TRUE(coupling.coalesced()) << "burst " << burst;
+    ASSERT_EQ(coupling.distance(), 0);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: coalescence trials — the measurement everything above
+// feeds — identical across modes and thread counts.
+
+std::vector<std::int64_t> coalescence_times(Mode m, bool parallel) {
+  ModeGuard guard(m);
+  core::CoalescenceOptions options;
+  options.replicas = 8;
+  options.seed = 404;
+  options.max_steps = 20'000;
+  options.check_interval = 64;
+  options.parallel = parallel;
+  return core::run_coalescence_trials(
+      [](std::uint64_t) {
+        return GrandCouplingA<AbkuRule>(LoadVector::all_in_one(16, 32),
+                                        LoadVector::balanced(16, 32),
+                                        AbkuRule(2));
+      },
+      options);
+}
+
+TEST(CoalescenceByteIdentity, TrialsIdenticalAcrossModesAndThreadCounts) {
+  const auto scalar_serial = coalescence_times(Mode::kScalar, false);
+  const auto scalar_parallel = coalescence_times(Mode::kScalar, true);
+  const auto batched_serial = coalescence_times(Mode::kBatched, false);
+  const auto batched_parallel = coalescence_times(Mode::kBatched, true);
+  EXPECT_EQ(scalar_serial, scalar_parallel);
+  EXPECT_EQ(scalar_serial, batched_serial);
+  EXPECT_EQ(scalar_serial, batched_parallel);
+  // The cell must actually measure something (not all censored).
+  EXPECT_TRUE(std::any_of(scalar_serial.begin(), scalar_serial.end(),
+                          [](std::int64_t t) { return t >= 0; }));
+}
+
+}  // namespace
+}  // namespace recover::kernel
