@@ -28,6 +28,7 @@
 #include <cstdio>
 #include <cstring>
 #include <iostream>
+#include <limits>
 #include <string>
 #include <thread>
 #include <vector>
@@ -201,6 +202,70 @@ double quantile_us(std::vector<double>& sorted, double q) {
   return sorted[idx];
 }
 
+/// One GET against the admin plane: connect, request, read to EOF
+/// (HTTP/1.0 Connection: close framing).  False on any socket failure
+/// or non-200 status.
+bool scrape_once(const sockaddr_in& addr, const std::string& path,
+                 std::string& response) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return false;
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof addr) != 0) {
+    ::close(fd);
+    return false;
+  }
+  const std::string request = "GET " + path + " HTTP/1.0\r\n\r\n";
+  if (!send_all(fd, request)) {
+    ::close(fd);
+    return false;
+  }
+  response.clear();
+  char buf[8192];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n == 0) break;
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return false;
+    }
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response.rfind("HTTP/1.0 200", 0) == 0;
+}
+
+/// Pulls the value of `series` (exact text up to and including the
+/// label set) out of a Prometheus exposition body; NaN when absent.
+double parse_metric(const std::string& body, const std::string& series) {
+  std::size_t pos = 0;
+  while ((pos = body.find(series, pos)) != std::string::npos) {
+    // Series must start its line and be followed by the value.
+    if (pos != 0 && body[pos - 1] != '\n') {
+      pos += series.size();
+      continue;
+    }
+    const std::size_t value_at = pos + series.size();
+    const std::size_t eol = body.find('\n', value_at);
+    try {
+      return std::stod(body.substr(
+          value_at, eol == std::string::npos ? eol : eol - value_at));
+    } catch (const std::exception&) {
+      return std::numeric_limits<double>::quiet_NaN();
+    }
+  }
+  return std::numeric_limits<double>::quiet_NaN();
+}
+
+/// What the concurrent scraper saw: latency of each scrape, failures,
+/// and the server-side windowed p99 from the final successful body.
+struct ScrapeStats {
+  std::uint64_t scrapes = 0;
+  std::uint64_t errors = 0;
+  std::vector<double> latencies_us;
+  double last_window_p99_us = 0.0;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -224,6 +289,13 @@ int main(int argc, char** argv) {
   cli.flag("grace",
            "how long to wait for in-flight replies after the send window",
            "2s");
+  cli.flag("admin-port",
+           "recover_serve admin plane port: scrape GET /metrics "
+           "concurrently with the load and report scrape latency "
+           "(-1 = no scraping)",
+           "-1");
+  cli.flag("admin-host", "admin plane address", "127.0.0.1");
+  cli.flag("scrape-interval", "delay between /metrics scrapes", "500ms");
   obs::register_cli_flags(cli);
   cli.parse(argc, argv);
   obs::Run run(cli);
@@ -298,6 +370,49 @@ int main(int argc, char** argv) {
   const std::uint64_t start_ns = now_ns() + 10'000'000;  // 10ms lead-in
   const double ns_per_request = 1e9 / qps;
 
+  // Concurrent scraper: polls the admin plane's /metrics while the load
+  // runs, so the run record captures scrape latency UNDER load and the
+  // server-side windowed p99 to sanity-check against our own.
+  const std::int64_t admin_port = cli.integer("admin-port");
+  const std::int64_t scrape_interval_ms = cli.duration_ms("scrape-interval");
+  ScrapeStats scrape;
+  std::atomic<bool> stop_scraper{false};
+  std::thread scraper;
+  if (admin_port > 0) {
+    if (scrape_interval_ms <= 0) {
+      std::fprintf(stderr, "serve_loadgen: bad --scrape-interval\n");
+      return 2;
+    }
+    sockaddr_in admin_addr{};
+    admin_addr.sin_family = AF_INET;
+    admin_addr.sin_port = htons(static_cast<std::uint16_t>(admin_port));
+    if (::inet_pton(AF_INET, cli.str("admin-host").c_str(),
+                    &admin_addr.sin_addr) != 1) {
+      std::fprintf(stderr, "serve_loadgen: bad --admin-host\n");
+      return 2;
+    }
+    scraper = std::thread([&scrape, &stop_scraper, admin_addr,
+                           scrape_interval_ms] {
+      std::string body;
+      while (!stop_scraper.load(std::memory_order_acquire)) {
+        const std::uint64_t t0 = now_ns();
+        const bool ok = scrape_once(admin_addr, "/metrics", body);
+        ++scrape.scrapes;
+        if (ok) {
+          scrape.latencies_us.push_back(
+              static_cast<double>(now_ns() - t0) / 1000.0);
+          const double p99 = parse_metric(
+              body, "serve_window_request_us{quantile=\"0.99\"} ");
+          if (!std::isnan(p99)) scrape.last_window_p99_us = p99;
+        } else {
+          ++scrape.errors;
+        }
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(scrape_interval_ms));
+      }
+    });
+  }
+
   for (std::size_t c = 0; c < conns; ++c) {
     Connection& conn = connections[c];
     // Writer: paced open-loop sends.
@@ -371,6 +486,28 @@ int main(int argc, char** argv) {
   for (auto& t : threads) t.join();
   stop_readers.store(true, std::memory_order_release);
   watchdog.join();
+  if (scraper.joinable()) {
+    // One final scrape after the load is fully answered: the rolling
+    // window (~10 s) still covers the run, and this body is the one
+    // whose windowed p99 lands in the run record.
+    stop_scraper.store(true, std::memory_order_release);
+    scraper.join();
+    std::string body;
+    sockaddr_in admin_addr{};
+    admin_addr.sin_family = AF_INET;
+    admin_addr.sin_port = htons(static_cast<std::uint16_t>(admin_port));
+    ::inet_pton(AF_INET, cli.str("admin-host").c_str(),
+                &admin_addr.sin_addr);
+    const std::uint64_t t0 = now_ns();
+    if (scrape_once(admin_addr, "/metrics", body)) {
+      ++scrape.scrapes;
+      scrape.latencies_us.push_back(
+          static_cast<double>(now_ns() - t0) / 1000.0);
+      const double p99 = parse_metric(
+          body, "serve_window_request_us{quantile=\"0.99\"} ");
+      if (!std::isnan(p99)) scrape.last_window_p99_us = p99;
+    }
+  }
   for (auto& conn : connections) ::close(conn.fd);
 
   // Merge tallies.
@@ -424,6 +561,28 @@ int main(int argc, char** argv) {
   run.note("conns", static_cast<double>(conns));
   run.note("duration_ms", static_cast<double>(duration_ms));
   run.note("mix", cli.str("mix"));
+
+  if (admin_port > 0) {
+    std::sort(scrape.latencies_us.begin(), scrape.latencies_us.end());
+    util::Table scrape_table({"scrapes", "errors", "scrape_p50_us",
+                              "scrape_p95_us", "scrape_p99_us",
+                              "window_p99_us"});
+    scrape_table.row()
+        .integer(static_cast<std::int64_t>(scrape.scrapes))
+        .integer(static_cast<std::int64_t>(scrape.errors))
+        .num(quantile_us(scrape.latencies_us, 0.50), 1)
+        .num(quantile_us(scrape.latencies_us, 0.95), 1)
+        .num(quantile_us(scrape.latencies_us, 0.99), 1)
+        .num(scrape.last_window_p99_us, 1);
+    scrape_table.print(std::cout);
+    run.add_table("scrape", scrape_table);
+    std::printf("# loadgen: scrapes=%llu errors=%llu scrape_p99_us=%.1f "
+                "window_p99_us=%.1f\n",
+                static_cast<unsigned long long>(scrape.scrapes),
+                static_cast<unsigned long long>(scrape.errors),
+                quantile_us(scrape.latencies_us, 0.99),
+                scrape.last_window_p99_us);
+  }
 
   std::printf("# loadgen: sent=%llu ok=%llu shed=%llu deadline=%llu "
               "proto_errors=%llu p50_us=%.1f p95_us=%.1f p99_us=%.1f\n",

@@ -1,24 +1,38 @@
 // recover_serve — the networked simulation service (docs/SERVING.md).
 //
 //   recover_serve --port 0 --workers 4 --queue-cap 128 --deadline 10s
+//                 --admin-port 0 --access-log access.jsonl
 //
 // Listens for newline-delimited recover.req/1 JSON requests (ping,
 // list_cells, run_cell, stats, shutdown) and answers on the same
-// connection.  Prints a machine-parseable line once the socket is bound:
+// connection.  Prints machine-parseable lines once the sockets are
+// bound:
 //
 //   # serve: listening on 127.0.0.1:PORT workers=N queue=C
+//   # serve: admin on 127.0.0.1:PORT            (with --admin-port)
 //
-// (scripts/ci.sh reads the PORT when it boots the server on an
-// ephemeral port).  SIGTERM/SIGINT — or a `shutdown` request — starts a
-// graceful drain: stop accepting, finish in-flight requests, flush the
-// obs run record, exit 0.
+// (scripts/ci.sh reads the PORTs when it boots the server on ephemeral
+// ports).  SIGTERM/SIGINT — or a `shutdown` request — starts a graceful
+// drain: stop accepting, finish in-flight requests, hold --drain-grace
+// with /readyz answering 503 (router ejection window), flush the obs
+// run record, exit 0.
+//
+// --admin-port N starts the ops admin plane (docs/OBSERVABILITY.md,
+// "Live telemetry"): GET /metrics (Prometheus text), /healthz, /readyz.
+// It also force-enables metrics so the windowed latency quantiles are
+// live without a separate --metrics flag.
 #include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <iostream>
+#include <memory>
+#include <string>
 #include <thread>
 
+#include "src/obs/metrics.hpp"
 #include "src/obs/run_record.hpp"
+#include "src/ops/admin.hpp"
+#include "src/ops/prometheus.hpp"
 #include "src/serve/server.hpp"
 #include "src/util/cli.hpp"
 #include "src/util/table.hpp"
@@ -53,6 +67,19 @@ int main(int argc, char** argv) {
   cli.flag("serial-cells",
            "run cell replicas serially instead of on the thread pool",
            "false");
+  cli.flag("admin-port",
+           "ops admin plane port (/metrics, /healthz, /readyz; 0 = "
+           "ephemeral, printed at startup; -1 = disabled)",
+           "-1");
+  cli.flag("admin-host", "admin plane listen address", "127.0.0.1");
+  cli.flag("access-log",
+           "append recover.access/1 JSON lines (one per completed "
+           "request) to this file; empty = disabled",
+           "");
+  cli.flag("drain-grace",
+           "after the drain completes, keep running this long with "
+           "/readyz answering 503 (router ejection window) before exit",
+           "0");
   obs::register_cli_flags(cli);
   cli.parse(argc, argv);
   obs::Run run(cli);
@@ -65,9 +92,61 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(cli.integer("queue-cap"));
   options.default_deadline_ms = cli.duration_ms("deadline");
   options.cells_parallel = !cli.boolean("serial-cells");
+  options.access_log_path = cli.str("access-log");
+
+  const std::int64_t admin_port = cli.integer("admin-port");
+  const std::int64_t drain_grace_ms = cli.duration_ms("drain-grace");
+  if (admin_port >= 0) {
+    // Windowed latency quantiles ride the obs histograms; a telemetry
+    // plane with all-zero latencies would be a trap, so the flag implies
+    // metrics.  Enabled before start() so the window baselines are
+    // consistent from the first request.
+    obs::set_metrics_enabled(true);
+  }
 
   serve::Server server(options);
   if (!server.start()) return 2;
+
+  std::unique_ptr<ops::AdminServer> admin;
+  if (admin_port >= 0) {
+    ops::AdminOptions admin_options;
+    admin_options.host = cli.str("admin-host");
+    admin_options.port = static_cast<int>(admin_port);
+    admin = std::make_unique<ops::AdminServer>(
+        admin_options,
+        [&server] {
+          std::string out;
+          ops::render_prometheus(obs::Registry::global().snapshot(), out);
+          const serve::ServerSnapshot snap = server.snapshot();
+          out += "# TYPE serve_window_request_us gauge\n";
+          ops::append_sample(out, "serve_window_request_us", "quantile",
+                             "0.5", snap.window_p50_us);
+          ops::append_sample(out, "serve_window_request_us", "quantile",
+                             "0.95", snap.window_p95_us);
+          ops::append_sample(out, "serve_window_request_us", "quantile",
+                             "0.99", snap.window_p99_us);
+          out += "# TYPE serve_window_qps gauge\n";
+          ops::append_sample(out, "serve_window_qps", snap.window_qps);
+          out += "# TYPE serve_window_shed_ratio gauge\n";
+          ops::append_sample(
+              out, "serve_window_shed_ratio",
+              snap.window_requests > 0
+                  ? static_cast<double>(snap.window_shed) /
+                        static_cast<double>(snap.window_requests)
+                  : 0.0);
+          out += "# TYPE serve_uptime_seconds gauge\n";
+          ops::append_sample(out, "serve_uptime_seconds",
+                             static_cast<double>(snap.uptime_ms) / 1000.0);
+          out += "# TYPE serve_ready gauge\n";
+          ops::append_sample(out, "serve_ready", snap.draining ? 0.0 : 1.0);
+          out += "# TYPE serve_draining gauge\n";
+          ops::append_sample(out, "serve_draining",
+                             snap.draining ? 1.0 : 0.0);
+          return out;
+        },
+        [&server] { return !server.draining(); });
+    if (!admin->start()) return 2;
+  }
 
   std::signal(SIGTERM, on_signal);
   std::signal(SIGINT, on_signal);
@@ -75,6 +154,10 @@ int main(int argc, char** argv) {
   std::printf("# serve: listening on %s:%d workers=%d queue=%zu\n",
               options.host.c_str(), server.port(), options.workers,
               options.queue_capacity);
+  if (admin != nullptr) {
+    std::printf("# serve: admin on %s:%d\n", cli.str("admin-host").c_str(),
+                admin->port());
+  }
   std::fflush(stdout);
 
   // Serve until a signal or a `shutdown` request starts the drain.
@@ -83,6 +166,12 @@ int main(int argc, char** argv) {
   }
   server.request_drain();
   server.wait_drained();
+  if (drain_grace_ms > 0) {
+    // Ejection window: drained, /readyz already 503, admin still
+    // answering — a router tier gets this long to notice before the
+    // process exits (and CI asserts the flip here).
+    std::this_thread::sleep_for(std::chrono::milliseconds(drain_grace_ms));
+  }
   server.stop();
 
   const serve::ServerSnapshot snap = server.snapshot();
@@ -104,5 +193,15 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(snap.shed_total),
               static_cast<unsigned long long>(snap.deadline_exceeded_total),
               static_cast<unsigned long long>(snap.protocol_errors_total));
+  if (admin != nullptr) {
+    std::printf("# serve: admin served %llu requests\n",
+                static_cast<unsigned long long>(admin->requests_served()));
+    admin->stop();
+  }
+  if (!options.access_log_path.empty()) {
+    std::printf("# serve: access log written=%llu dropped=%llu\n",
+                static_cast<unsigned long long>(server.access_log().written()),
+                static_cast<unsigned long long>(server.access_log().dropped()));
+  }
   return 0;
 }

@@ -25,6 +25,14 @@ summary table must hold exactly one row with sent > 0, zero protocol
 errors, and latency quantiles ordered p50 <= p95 <= p99 — the loopback
 CI gate on the recover_serve service.
 
+With --ops, the inputs are validated as serve_loadgen records produced
+with --admin-port/--scrape-interval (docs/OBSERVABILITY.md, "Live
+telemetry"): everything --serve checks, plus a "scrape" table showing
+at least one successful /metrics scrape, zero scrape errors, ordered
+scrape latency quantiles, and a positive windowed server-side p99 that
+stays within a loose factor of the client-observed p99 — the CI gate
+on the recover_serve admin plane.
+
 With --trace, the inputs are instead validated as recover.trace/1
 Chrome trace-event JSON written by --trace=FILE (docs/OBSERVABILITY.md):
 the document must parse, every event must carry a `ph`, every non-
@@ -229,6 +237,60 @@ def check_serve_record(path, doc):
     return True
 
 
+def check_ops_record(path, doc):
+    """Gate on a scraping serve_loadgen record: the admin plane must
+    have answered every scrape, and the windowed server-side p99 must
+    be live and loosely consistent with the client-observed p99."""
+    if not check_serve_record(path, doc):
+        return False
+    scrape = next(
+        (t for t in doc.get("tables", []) if t.get("name") == "scrape"),
+        None,
+    )
+    if scrape is None:
+        return fail(path, "no 'scrape' table — was the loadgen run with "
+                          "--admin-port/--scrape-interval?")
+    if len(scrape.get("rows", [])) != 1:
+        return fail(path, "scrape table must hold exactly one row")
+    row = dict(zip(scrape["columns"], scrape["rows"][0]))
+    for column in ("scrapes", "errors", "scrape_p50_us", "scrape_p95_us",
+                   "scrape_p99_us", "window_p99_us"):
+        value = row.get(column)
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            return fail(path, f"scrape column {column!r} missing or "
+                              f"non-numeric (got {value!r})")
+    if row["scrapes"] <= 0:
+        return fail(path, "scrape.scrapes is 0 — the admin plane was "
+                          "never polled")
+    if row["errors"] != 0:
+        return fail(path, f"{row['errors']} scrape errors — the admin "
+                          f"plane failed under concurrent load")
+    if not row["scrape_p50_us"] <= row["scrape_p95_us"] \
+            <= row["scrape_p99_us"]:
+        return fail(path, f"scrape latency quantiles unordered: "
+                          f"p50={row['scrape_p50_us']} "
+                          f"p95={row['scrape_p95_us']} "
+                          f"p99={row['scrape_p99_us']}")
+    if row["window_p99_us"] <= 0:
+        return fail(path, "window_p99_us is 0 — the rolling window saw "
+                          "no latency mass")
+    summary = next(
+        t for t in doc["tables"] if t.get("name") == "summary"
+    )
+    client_p99 = dict(zip(summary["columns"], summary["rows"][0]))["p99_us"]
+    # The server-side span excludes queue wait and the network, and both
+    # sides bucket by log2, so only a loose consistency bound is honest:
+    # the windowed p99 must not exceed the client p99 by more than the
+    # bucketing error, and must not be implausibly tiny either.
+    if client_p99 > 0 and not (
+        client_p99 / 512.0 <= row["window_p99_us"] <= client_p99 * 8.0
+    ):
+        return fail(path, f"window_p99_us={row['window_p99_us']} is "
+                          f"implausible against client p99="
+                          f"{client_p99} (want within [/512, x8])")
+    return True
+
+
 def summarize(doc):
     run = doc["run"]
     return {
@@ -254,6 +316,12 @@ def main():
         "--sweep-checkpoint",
         action="store_true",
         help="validate inputs as recover.sweep_cell/1 JSONL checkpoints",
+    )
+    parser.add_argument(
+        "--ops",
+        action="store_true",
+        help="additionally gate inputs as scraping serve_loadgen records "
+             "(zero scrape errors, live windowed p99)",
     )
     parser.add_argument(
         "--trace",
@@ -293,6 +361,8 @@ def main():
             continue
         if check_record(path, doc) and (
             not args.serve or check_serve_record(path, doc)
+        ) and (
+            not args.ops or check_ops_record(path, doc)
         ):
             summaries.append(summarize(doc))
             rows = sum(len(t["rows"]) for t in doc["tables"])

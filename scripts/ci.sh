@@ -8,8 +8,9 @@
 # Env hooks:
 #   BUILD_DIR=dir   build directory (default build-ci)
 #   TSAN=1          additionally build parallel_test + obs_test +
-#                   serve_test with -DRECOVERLIB_TSAN=ON and run them
-#                   under ThreadSanitizer (separate build tree build-tsan)
+#                   serve_test + ops_test with -DRECOVERLIB_TSAN=ON and
+#                   run them under ThreadSanitizer (separate build tree
+#                   build-tsan)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -135,6 +136,83 @@ python3 scripts/check_bench_json.py --serve "$JSON_DIR/serve_loadgen.json"
 # The committed baseline must satisfy the same gate.
 python3 scripts/check_bench_json.py --serve BENCH_serve.json
 
+echo "== ops: admin plane, scraping load, readiness drain =="
+# Boot the daemon with the full telemetry plane (docs/OBSERVABILITY.md,
+# "Live telemetry"): probe /metrics + /healthz + /readyz, drive scraping
+# load, then assert /readyz flips to 503 inside the --drain-grace window
+# after SIGTERM and that the access log holds well-formed lines.
+OPS_LOG="$BUILD_DIR/serve_ops_ci.log"
+ACCESS_LOG="$BUILD_DIR/serve_ops_access.jsonl"
+rm -f "$ACCESS_LOG"
+"$BUILD_DIR"/bench/recover_serve --port 0 --workers 4 --admin-port 0 \
+  --access-log "$ACCESS_LOG" --drain-grace 2s > "$OPS_LOG" 2>&1 &
+OPS_PID=$!
+for _ in $(seq 1 100); do
+  grep -q '^# serve: admin on' "$OPS_LOG" 2>/dev/null && break
+  sleep 0.1
+done
+OPS_PORT=$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' "$OPS_LOG")
+ADMIN_PORT=$(sed -n 's/.*admin on 127\.0\.0\.1:\([0-9]*\).*/\1/p' "$OPS_LOG")
+if [ -z "$OPS_PORT" ] || [ -z "$ADMIN_PORT" ]; then
+  echo "ci.sh: recover_serve never reported its ports" >&2
+  kill "$OPS_PID" 2>/dev/null || true
+  exit 1
+fi
+probe() { # probe PATH EXPECTED_STATUS
+  python3 - "$ADMIN_PORT" "$1" "$2" <<'EOF'
+import sys, urllib.error, urllib.request
+port, path, want = sys.argv[1], sys.argv[2], int(sys.argv[3])
+try:
+    with urllib.request.urlopen(f"http://127.0.0.1:{port}{path}",
+                                timeout=5) as resp:
+        got, body = resp.status, resp.read()
+except urllib.error.HTTPError as e:
+    got, body = e.code, e.read()
+if got != want:
+    sys.exit(f"probe {path}: got {got}, want {want}")
+if want == 200 and not body:
+    sys.exit(f"probe {path}: 200 with empty body")
+EOF
+}
+probe /healthz 200
+probe /readyz 200
+probe /metrics 200
+python3 scripts/serve_top.py --addr "127.0.0.1:$ADMIN_PORT" --once \
+  | grep 'READY' > /dev/null || {
+  echo "ci.sh: serve_top did not report READY" >&2
+  exit 1
+}
+OPS_JSON="$BUILD_DIR/serve_loadgen_ops.json"
+"$BUILD_DIR"/bench/serve_loadgen --port "$OPS_PORT" --qps 200 --conns 8 \
+  --duration 2s --mix "ping=3,run_cell=1" --metrics \
+  --admin-port "$ADMIN_PORT" --scrape-interval 200ms \
+  --json-out="$OPS_JSON"
+kill -TERM "$OPS_PID"
+sleep 0.5  # in-flight work drains; the grace window is 2s
+probe /readyz 503  # router ejection: drained but still answering
+if ! wait "$OPS_PID"; then
+  echo "ci.sh: recover_serve did not drain cleanly on SIGTERM" >&2
+  cat "$OPS_LOG" >&2
+  exit 1
+fi
+grep '^# serve: access log written=' "$OPS_LOG"
+python3 - "$ACCESS_LOG" <<'EOF'
+import json, sys
+lines = [l for l in open(sys.argv[1], encoding="utf-8") if l.strip()]
+if not lines:
+    sys.exit("access log is empty")
+for i, line in enumerate(lines, 1):
+    doc = json.loads(line)
+    if doc.get("schema") != "recover.access/1":
+        sys.exit(f"line {i}: schema {doc.get('schema')!r}")
+    if not doc.get("req_id") or not doc.get("method"):
+        sys.exit(f"line {i}: req_id/method missing")
+print(f"ci.sh: access log OK ({len(lines)} lines)")
+EOF
+python3 scripts/check_bench_json.py --ops "$OPS_JSON"
+# The committed baseline must satisfy the same gate.
+python3 scripts/check_bench_json.py --ops BENCH_ops.json
+
 echo "== validating JSON records =="
 python3 scripts/check_bench_json.py "$JSON_DIR"/*.json \
   --aggregate BENCH_smoke.json
@@ -147,13 +225,14 @@ for exe in "$BUILD_DIR"/examples/*; do
 done
 
 if [ "${TSAN:-0}" = "1" ]; then
-  echo "== ThreadSanitizer (parallel_test + obs_test + serve_test) =="
+  echo "== ThreadSanitizer (parallel_test + obs_test + serve_test + ops_test) =="
   cmake -B build-tsan -G Ninja -DRECOVERLIB_TSAN=ON \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
-  cmake --build build-tsan --target parallel_test obs_test serve_test
+  cmake --build build-tsan --target parallel_test obs_test serve_test ops_test
   ./build-tsan/tests/parallel_test
   ./build-tsan/tests/obs_test
   ./build-tsan/tests/serve_test
+  ./build-tsan/tests/ops_test
 fi
 
 echo "CI OK"

@@ -1,0 +1,185 @@
+#!/usr/bin/env python3
+"""serve_top — a small live dashboard for the recover_serve admin plane.
+
+Polls GET /metrics on the ops admin listener (docs/OBSERVABILITY.md,
+"Live telemetry") and renders the serve SLO surface in place: readiness,
+uptime, windowed qps / shed ratio / latency quantiles, cumulative
+counters, and the admin plane's own request count.  Stdlib only.
+
+    python3 scripts/serve_top.py --addr 127.0.0.1:9100
+    python3 scripts/serve_top.py --addr 127.0.0.1:9100 --interval 0.5
+    python3 scripts/serve_top.py --addr 127.0.0.1:9100 --once
+
+Uses curses when stdout is a terminal; otherwise (pipes, CI, --once)
+prints one plain-text frame per poll.  Exit with q or Ctrl-C.
+"""
+
+import argparse
+import sys
+import time
+import urllib.error
+import urllib.request
+
+POLL_TIMEOUT_S = 2.0
+
+
+def scrape(addr):
+    """Fetch /metrics; returns (body, latency_seconds) or raises."""
+    start = time.monotonic()
+    with urllib.request.urlopen(
+        f"http://{addr}/metrics", timeout=POLL_TIMEOUT_S
+    ) as resp:
+        body = resp.read().decode("utf-8", "replace")
+    return body, time.monotonic() - start
+
+
+def parse_metrics(body):
+    """Prometheus text -> {series_with_labels: float}; comments skipped."""
+    out = {}
+    for line in body.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        series, _, value = line.rpartition(" ")
+        if not series:
+            continue
+        try:
+            out[series] = float(value)
+        except ValueError:
+            continue
+    return out
+
+
+def fmt_duration(seconds):
+    seconds = int(seconds)
+    h, rem = divmod(seconds, 3600)
+    m, s = divmod(rem, 60)
+    return f"{h:d}:{m:02d}:{s:02d}"
+
+
+def fmt_us(value):
+    if value >= 1e6:
+        return f"{value / 1e6:8.2f}s "
+    if value >= 1e3:
+        return f"{value / 1e3:8.2f}ms"
+    return f"{value:8.1f}us"
+
+
+def build_frame(addr, metrics, scrape_s, error):
+    """Render one dashboard frame as a list of lines."""
+    g = metrics.get
+    ready = g("serve_ready")
+    if error is not None:
+        state = "UNREACHABLE"
+    elif ready is None:
+        state = "UNKNOWN"
+    elif g("serve_draining", 0.0) > 0:
+        state = "DRAINING"
+    else:
+        state = "READY" if ready > 0 else "NOT READY"
+    lines = [
+        f"serve_top  {addr}  [{state}]"
+        f"  up {fmt_duration(g('serve_uptime_seconds', 0.0))}"
+        f"  scrape {scrape_s * 1e3:.1f}ms",
+        "",
+    ]
+    if error is not None:
+        lines.append(f"  scrape failed: {error}")
+        return lines
+    quantile = 'serve_window_request_us{quantile="%s"}'
+    p50 = fmt_us(g(quantile % "0.5", 0.0))
+    p95 = fmt_us(g(quantile % "0.95", 0.0))
+    p99 = fmt_us(g(quantile % "0.99", 0.0))
+    lines += [
+        "  window (rolling ~10s)",
+        f"    qps        {g('serve_window_qps', 0.0):10.1f}"
+        f"      shed ratio {g('serve_window_shed_ratio', 0.0):7.4f}",
+        f"    p50 {p50}   p95 {p95}   p99 {p99}",
+        "",
+        "  lifetime",
+        f"    requests   {g('serve_requests', 0.0):10.0f}"
+        f"      shed       {g('serve_shed', 0.0):7.0f}",
+        f"    deadline   {g('serve_deadline_exceeded', 0.0):10.0f}"
+        f"      proto_err  {g('serve_protocol_errors', 0.0):7.0f}",
+        f"    queue      {g('serve_queue_depth', 0.0):10.0f}"
+        f"      conns      {g('serve_connections', 0.0):7.0f}",
+        f"    admin hits {g('ops_admin_requests', 0.0):10.0f}",
+    ]
+    count = g("serve_request_ns_count", 0.0)
+    if count > 0:
+        mean_us = g("serve_request_ns_sum", 0.0) / count / 1e3
+        lines.append(f"    mean latency {fmt_us(mean_us)}  over"
+                     f" {count:.0f} requests")
+    return lines
+
+
+def poll(addr):
+    try:
+        body, scrape_s = scrape(addr)
+        return build_frame(addr, parse_metrics(body), scrape_s, None)
+    except (urllib.error.URLError, OSError, TimeoutError) as e:
+        return build_frame(addr, {}, 0.0, e)
+
+
+def run_plain(addr, interval, once):
+    while True:
+        for line in poll(addr):
+            print(line)
+        sys.stdout.flush()
+        if once:
+            return 0
+        print("-" * 64)
+        time.sleep(interval)
+
+
+def run_curses(addr, interval):
+    import curses
+
+    def loop(screen):
+        curses.curs_set(0)
+        screen.nodelay(True)
+        screen.timeout(int(interval * 1000))
+        while True:
+            frame = poll(addr)
+            screen.erase()
+            rows, cols = screen.getmaxyx()
+            for y, line in enumerate(frame[: rows - 1]):
+                screen.addnstr(y, 0, line, cols - 1)
+            screen.refresh()
+            key = screen.getch()  # doubles as the poll sleep
+            if key in (ord("q"), ord("Q")):
+                return 0
+
+    return curses.wrapper(loop)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--addr", default="127.0.0.1:9100",
+                        help="admin plane host:port (default %(default)s)")
+    parser.add_argument("--interval", type=float, default=1.0,
+                        help="poll interval in seconds (default %(default)s)")
+    parser.add_argument("--once", action="store_true",
+                        help="print a single frame and exit (for scripts)")
+    parser.add_argument("--plain", action="store_true",
+                        help="force plain-text frames even on a terminal")
+    args = parser.parse_args()
+
+    use_curses = sys.stdout.isatty() and not args.once and not args.plain
+    if use_curses:
+        try:
+            return run_curses(args.addr, args.interval)
+        except ImportError:
+            pass  # no curses in this python build; fall through
+    try:
+        return run_plain(args.addr, args.interval, args.once)
+    except KeyboardInterrupt:
+        return 0
+    except BrokenPipeError:
+        # Reader (e.g. `... | head`) went away; that's a clean exit.
+        sys.stderr.close()
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -156,15 +156,23 @@ class Histogram {
                               static_cast<double>(count);
     }
 
-    /// Quantile estimate at q ∈ [0, 1]: the midpoint of the log₂ bucket
-    /// containing the ⌈q·count⌉-th smallest sample (bucket 0 — the
-    /// value 0 — reports 0).  Bucketed, so exact to within a factor of
-    /// √2; good enough to separate microseconds from milliseconds in a
-    /// latency dump.
+    /// Quantile estimate at q: the midpoint of the log₂ bucket containing
+    /// the ⌈q·count⌉-th smallest sample (bucket 0 — the value 0 — reports
+    /// 0).  q is clamped to [0, 1]: q ≤ 0 reports the bucket of the
+    /// minimum sample, q ≥ 1 the bucket of the maximum.
+    ///
+    /// Error bound: bucket i ≥ 1 spans [2^(i−1), 2^i − 1] and the midpoint
+    /// is ≈ 1.5·2^(i−1), so the estimate is within a multiplicative factor
+    /// of 1.5 of the true sample (midpoint/lo = 1.5, hi/midpoint < 4/3) —
+    /// good enough to separate microseconds from milliseconds in a latency
+    /// dump, not good enough to compare two values in the same bucket.
     [[nodiscard]] double quantile(double q) const {
       if (count == 0) return 0.0;
       double rank = std::ceil(q * static_cast<double>(count));
       if (rank < 1.0) rank = 1.0;
+      if (rank > static_cast<double>(count)) {
+        rank = static_cast<double>(count);
+      }
       std::uint64_t cumulative = 0;
       for (std::size_t i = 0; i < kBuckets; ++i) {
         cumulative += buckets[i];

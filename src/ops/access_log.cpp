@@ -1,0 +1,118 @@
+#include "src/ops/access_log.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include "src/obs/json_writer.hpp"  // json_escape
+#include "src/obs/trace_buffer.hpp" // trace::set_thread_name
+
+namespace recover::ops {
+
+namespace {
+
+void append_string_field(std::string& out, std::string_view key,
+                         std::string_view value) {
+  out += '"';
+  out += key;
+  out += "\":\"";
+  if (value.size() > AccessLog::kMaxFieldBytes) {
+    value = value.substr(0, AccessLog::kMaxFieldBytes);
+  }
+  out += obs::json_escape(value);
+  out += '"';
+}
+
+void append_uint_field(std::string& out, std::string_view key,
+                       std::uint64_t value) {
+  out += '"';
+  out += key;
+  out += "\":";
+  out += std::to_string(value);
+}
+
+}  // namespace
+
+std::string AccessLog::format_line(const AccessEntry& entry) {
+  std::string out;
+  out.reserve(192);
+  out += "{\"schema\":\"recover.access/1\",";
+  append_string_field(out, "req_id", entry.req_id);
+  out += ',';
+  append_string_field(out, "method", entry.method);
+  out += ',';
+  append_string_field(out, "cell", entry.cell);
+  out += ',';
+  append_string_field(out, "status", entry.status);
+  out += ',';
+  append_string_field(out, "deadline", entry.deadline);
+  out += ',';
+  append_uint_field(out, "queue_ns", entry.queue_ns);
+  out += ',';
+  append_uint_field(out, "run_ns", entry.run_ns);
+  out += '}';
+  return out;
+}
+
+bool AccessLog::open(const std::string& path) {
+  if (file_ != nullptr) return true;
+  std::FILE* f = std::fopen(path.c_str(), "a");
+  if (f == nullptr) {
+    std::fprintf(stderr, "ops.access_log: open %s: %s\n", path.c_str(),
+                 std::strerror(errno));
+    return false;
+  }
+  file_ = f;
+  closing_ = false;
+  writer_ = std::thread([this] {
+    obs::trace::set_thread_name("ops.access_log");
+    writer_loop();
+  });
+  return true;
+}
+
+void AccessLog::log(const AccessEntry& entry) {
+  if (file_ == nullptr) return;
+  std::string line = format_line(entry);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closing_) return;
+    if (queue_.size() >= kQueueCapacity) {
+      queue_.pop_front();  // drop-oldest: the log degrades, serving does not
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+    }
+    queue_.push_back(std::move(line));
+  }
+  cv_.notify_one();
+}
+
+void AccessLog::writer_loop() {
+  for (;;) {
+    std::deque<std::string> batch;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return closing_ || !queue_.empty(); });
+      if (queue_.empty() && closing_) return;
+      batch.swap(queue_);
+    }
+    for (const std::string& line : batch) {
+      std::fwrite(line.data(), 1, line.size(), file_);
+      std::fputc('\n', file_);
+      written_.fetch_add(1, std::memory_order_relaxed);
+    }
+    std::fflush(file_);
+  }
+}
+
+void AccessLog::close() {
+  if (file_ == nullptr) return;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closing_ = true;
+  }
+  cv_.notify_one();
+  if (writer_.joinable()) writer_.join();
+  std::fclose(file_);
+  file_ = nullptr;
+}
+
+}  // namespace recover::ops

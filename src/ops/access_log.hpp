@@ -1,0 +1,99 @@
+// ops::AccessLog — structured JSON access log for the serve daemon:
+// one line per completed request, schema `recover.access/1`
+// (docs/OBSERVABILITY.md, "Live telemetry").
+//
+//   {"schema":"recover.access/1","req_id":"c12-3","method":"run_cell",
+//    "cell":"n=1024,beta=0.5","status":"ok","deadline":"met",
+//    "queue_ns":18342,"run_ns":5120094}
+//
+// Same discipline as the trace ring (src/obs/trace_buffer.hpp):
+//  * Pay nothing when disabled — a null AccessLog pointer at the call
+//    site is the off switch; no atomics, no formatting.
+//  * The request path never blocks on the filesystem.  log() formats the
+//    line (small, bounded — client-sourced fields are escaped and
+//    truncated) and pushes it onto a bounded in-memory queue; a dedicated
+//    writer thread drains the queue to the file.  When the queue is full
+//    the OLDEST line is dropped and `dropped` incremented — under
+//    overload the log degrades, the serve path does not.
+//  * close() drains whatever is queued, then fsync-free flushes; the
+//    final `written`/`dropped` counts are readable afterwards.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdio>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+
+namespace recover::ops {
+
+/// One completed request, as seen by the logger.  String fields are
+/// views into caller storage — log() copies what it needs before
+/// returning.
+struct AccessEntry {
+  std::string_view req_id;
+  std::string_view method;   // wire method, or "?" for pre-parse sheds
+  std::string_view cell;     // run_cell's cell key; empty otherwise
+  std::string_view status;   // "ok", "shed", "deadline", "error", ...
+  std::string_view deadline; // "none", "met", "expired_queued", "expired_running"
+  std::uint64_t queue_ns = 0;
+  std::uint64_t run_ns = 0;
+};
+
+class AccessLog {
+ public:
+  /// Lines held in memory before drop-oldest kicks in.
+  static constexpr std::size_t kQueueCapacity = 4096;
+  /// Cap on any single escaped string field (method, cell, …): a hostile
+  /// client cannot inflate log lines past this.
+  static constexpr std::size_t kMaxFieldBytes = 256;
+
+  AccessLog() = default;
+  ~AccessLog() { close(); }
+
+  AccessLog(const AccessLog&) = delete;
+  AccessLog& operator=(const AccessLog&) = delete;
+
+  /// Opens `path` for append and starts the writer thread.  False (with
+  /// a stderr diagnostic) if the file cannot be opened.
+  bool open(const std::string& path);
+
+  [[nodiscard]] bool is_open() const { return file_ != nullptr; }
+
+  /// Formats and enqueues one line.  Never blocks on I/O; drops the
+  /// oldest queued line when the queue is full.
+  void log(const AccessEntry& entry);
+
+  /// Drains the queue, stops the writer thread, closes the file.
+  /// Idempotent.
+  void close();
+
+  [[nodiscard]] std::uint64_t written() const {
+    return written_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  /// Renders `entry` as one recover.access/1 JSON line (no trailing
+  /// newline).  Exposed for tests.
+  static std::string format_line(const AccessEntry& entry);
+
+ private:
+  void writer_loop();
+
+  std::FILE* file_ = nullptr;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::string> queue_;
+  bool closing_ = false;
+  std::thread writer_;
+  std::atomic<std::uint64_t> written_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+};
+
+}  // namespace recover::ops

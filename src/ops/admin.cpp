@@ -1,0 +1,268 @@
+#include "src/ops/admin.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
+
+namespace recover::ops {
+
+namespace {
+
+/// Poll tick while idle: the latency with which the admin thread
+/// notices stop() (same discipline as the serve accept loop).
+constexpr int kPollTimeoutMs = 100;
+
+obs::Counter& admin_requests_counter() {
+  static obs::Counter& c = obs::Registry::global().counter("ops.admin.requests");
+  return c;
+}
+obs::Histogram& admin_request_ns_histogram() {
+  static obs::Histogram& h =
+      obs::Registry::global().histogram("ops.admin.request_ns");
+  return h;
+}
+
+std::uint64_t now_ms() {
+  return obs::trace::now_ns() / 1'000'000u;
+}
+
+std::string http_response(const char* status, std::string_view content_type,
+                          std::string_view body) {
+  std::string out = "HTTP/1.0 ";
+  out += status;
+  out += "\r\nContent-Type: ";
+  out += content_type;
+  out += "\r\nContent-Length: ";
+  out += std::to_string(body.size());
+  out += "\r\nConnection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+bool send_all(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;  // peer gone or send timeout — drop the rest
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+AdminServer::AdminServer(AdminOptions options, MetricsFn metrics,
+                         ReadyFn ready)
+    : options_(std::move(options)),
+      metrics_(std::move(metrics)),
+      ready_(std::move(ready)) {
+  if (options_.client_timeout_ms < 1) options_.client_timeout_ms = 1;
+  if (options_.max_request_bytes < 64) options_.max_request_bytes = 64;
+}
+
+AdminServer::~AdminServer() { stop(); }
+
+bool AdminServer::start() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    std::fprintf(stderr, "ops.admin: socket: %s\n", std::strerror(errno));
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(options_.port));
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    std::fprintf(stderr, "ops.admin: bad host '%s'\n", options_.host.c_str());
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) != 0) {
+    std::fprintf(stderr, "ops.admin: bind %s:%d: %s\n", options_.host.c_str(),
+                 options_.port, std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  if (::listen(listen_fd_, 16) != 0) {
+    std::fprintf(stderr, "ops.admin: listen: %s\n", std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof bound;
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) == 0) {
+    port_ = static_cast<int>(ntohs(bound.sin_port));
+  }
+  started_ = true;
+  thread_ = std::thread([this] {
+    obs::trace::set_thread_name("ops.admin");
+    loop();
+  });
+  return true;
+}
+
+void AdminServer::loop() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, kPollTimeoutMs);
+    if (ready <= 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == ECONNABORTED) {
+        continue;
+      }
+      break;  // listen socket gone
+    }
+    serve_connection(fd);
+    ::close(fd);
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void AdminServer::serve_connection(int fd) {
+  obs::ScopedSpan span(admin_request_ns_histogram());
+  requests_served_.fetch_add(1, std::memory_order_relaxed);
+  admin_requests_counter().add();
+
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  // SO_SNDTIMEO bounds the response write the same way the poll deadline
+  // below bounds the request read: a stalled peer costs at most
+  // client_timeout_ms, then the connection is dropped.
+  timeval tv{};
+  tv.tv_sec = options_.client_timeout_ms / 1000;
+  tv.tv_usec =
+      static_cast<suseconds_t>(options_.client_timeout_ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+
+  // Read the request (start line + headers) into a bounded buffer under
+  // a wall-clock deadline.  We stop at the header terminator; any body a
+  // confused client attached is ignored (GET has none).
+  std::string request;
+  const std::uint64_t deadline =
+      now_ms() + static_cast<std::uint64_t>(options_.client_timeout_ms);
+  bool complete = false;
+  bool timed_out = false;
+  char buf[2048];
+  while (!stop_.load(std::memory_order_acquire)) {
+    const std::uint64_t now = now_ms();
+    if (now >= deadline) {
+      timed_out = true;
+      break;
+    }
+    pollfd pfd{fd, POLLIN, 0};
+    const int ready =
+        ::poll(&pfd, 1, static_cast<int>(deadline - now));
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    if (ready == 0) {
+      timed_out = true;
+      break;
+    }
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n == 0) break;  // peer closed before finishing the request
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN) continue;
+      return;
+    }
+    request.append(buf, static_cast<std::size_t>(n));
+    if (request.find("\r\n\r\n") != std::string::npos ||
+        request.find("\n\n") != std::string::npos) {
+      complete = true;
+      break;
+    }
+    if (request.size() > options_.max_request_bytes) break;  // oversized
+  }
+
+  if (timed_out) {
+    send_all(fd, http_response("408 Request Timeout", "text/plain",
+                               "request timed out\n"));
+    return;
+  }
+  if (!complete) {
+    send_all(fd, http_response("400 Bad Request", "text/plain",
+                               "malformed or oversized request\n"));
+    return;
+  }
+
+  // Parse the start line: METHOD SP PATH SP VERSION.
+  const std::size_t line_end = request.find_first_of("\r\n");
+  const std::string start_line = request.substr(0, line_end);
+  const std::size_t sp1 = start_line.find(' ');
+  const std::size_t sp2 =
+      sp1 == std::string::npos ? std::string::npos
+                               : start_line.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos) {
+    send_all(fd, http_response("400 Bad Request", "text/plain",
+                               "malformed request line\n"));
+    return;
+  }
+  const std::string method = start_line.substr(0, sp1);
+  std::string path = start_line.substr(sp1 + 1, sp2 - sp1 - 1);
+  if (const std::size_t query = path.find('?'); query != std::string::npos) {
+    path.resize(query);  // probes sometimes append cache-busting queries
+  }
+
+  if (method != "GET" && method != "HEAD") {
+    send_all(fd, http_response("405 Method Not Allowed", "text/plain",
+                               "only GET is supported\n"));
+    return;
+  }
+
+  std::string response;
+  if (path == "/metrics") {
+    const std::string body = metrics_ ? metrics_() : std::string();
+    response = http_response(
+        "200 OK", "text/plain; version=0.0.4; charset=utf-8", body);
+  } else if (path == "/healthz") {
+    response = http_response("200 OK", "text/plain", "ok\n");
+  } else if (path == "/readyz") {
+    const bool is_ready = ready_ && ready_();
+    response = is_ready
+                   ? http_response("200 OK", "text/plain", "ready\n")
+                   : http_response("503 Service Unavailable", "text/plain",
+                                   "not ready\n");
+  } else {
+    response = http_response("404 Not Found", "text/plain",
+                             "unknown path (try /metrics, /healthz, "
+                             "/readyz)\n");
+  }
+  send_all(fd, response);
+}
+
+void AdminServer::stop() {
+  if (!started_) return;
+  stop_.store(true, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();
+  started_ = false;
+}
+
+}  // namespace recover::ops

@@ -1,0 +1,89 @@
+// ops::AdminServer — the daemon's admin plane: a dedicated TCP listener
+// serving three fixed HTTP endpoints (docs/SERVING.md, "Probes and the
+// admin plane"):
+//
+//   GET /metrics  → 200, Prometheus text exposition (the handler builds
+//                   the body from the obs registry + rolling windows)
+//   GET /healthz  → 200 "ok" while the process is alive (liveness)
+//   GET /readyz   → 200 "ready" when the probe says so, 503 "not ready"
+//                   during startup and SIGTERM drain — the signal a
+//                   router tier uses to eject a draining backend
+//
+// Deliberately minimal and hardened the same way the serve wire path is
+// (bounded everything, one reply per request, close after answering):
+//   * HTTP/1.0, Connection: close — one request per connection, served
+//     sequentially on the single admin thread.  Scrape traffic is a few
+//     requests per second; head-of-line blocking across scrapers is a
+//     non-issue and keeps the attack surface tiny.
+//   * The request is read into a fixed-cap buffer (kMaxRequestBytes)
+//     under a poll() deadline; an oversized or slow-trickling request is
+//     answered 400/408 and the connection closed — an admin port exposed
+//     to a confused or hostile client can never hold memory or wedge the
+//     thread (the LineReader discipline from src/serve/protocol.hpp,
+//     applied to HTTP).
+//   * Anything but GET is answered 405; an unknown path 404.  The reply
+//     is always a complete HTTP response with Content-Length.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+
+namespace recover::ops {
+
+struct AdminOptions {
+  std::string host = "127.0.0.1";
+  int port = 0;  // 0 = ephemeral (read back via port())
+  /// Per-connection budget for receiving the request and flushing the
+  /// response; a peer slower than this is cut off (408 where possible).
+  int client_timeout_ms = 2000;
+  /// Request cap (start line + headers): past it, 400 and close.
+  std::size_t max_request_bytes = 8192;
+};
+
+class AdminServer {
+ public:
+  /// Body builder for GET /metrics (called on the admin thread).
+  using MetricsFn = std::function<std::string()>;
+  /// Readiness probe for GET /readyz.
+  using ReadyFn = std::function<bool()>;
+
+  AdminServer(AdminOptions options, MetricsFn metrics, ReadyFn ready);
+  ~AdminServer();  // stop()
+
+  AdminServer(const AdminServer&) = delete;
+  AdminServer& operator=(const AdminServer&) = delete;
+
+  /// Binds, listens, starts the admin thread.  False (with a stderr
+  /// diagnostic) if the socket cannot be set up.
+  bool start();
+
+  /// Bound port (after start(); resolves port 0 to the ephemeral pick).
+  [[nodiscard]] int port() const { return port_; }
+
+  /// Closes the listener and joins the admin thread.  Idempotent.
+  void stop();
+
+  /// Requests served since start (all endpoints, including errors).
+  [[nodiscard]] std::uint64_t requests_served() const {
+    return requests_served_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void loop();
+  void serve_connection(int fd);
+
+  AdminOptions options_;
+  MetricsFn metrics_;
+  ReadyFn ready_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  bool started_ = false;
+  std::atomic<bool> stop_{false};
+  std::atomic<std::uint64_t> requests_served_{0};
+  std::thread thread_;
+};
+
+}  // namespace recover::ops

@@ -1,0 +1,121 @@
+#include "src/ops/prometheus.hpp"
+
+#include <charconv>
+#include <cmath>
+
+namespace recover::ops {
+
+namespace {
+
+void append_double(std::string& out, double value) {
+  if (std::isnan(value)) {
+    out += "NaN";
+    return;
+  }
+  if (std::isinf(value)) {
+    out += value > 0 ? "+Inf" : "-Inf";
+    return;
+  }
+  char buf[32];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, value);
+  if (ec == std::errc()) {
+    out.append(buf, ptr);
+  } else {
+    out += '0';
+  }
+}
+
+void append_uint(std::string& out, std::uint64_t value) {
+  out += std::to_string(value);
+}
+
+void append_type(std::string& out, const std::string& name,
+                 const char* type) {
+  out += "# TYPE ";
+  out += name;
+  out += ' ';
+  out += type;
+  out += '\n';
+}
+
+}  // namespace
+
+std::string prometheus_name(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  if (out.empty() || (out[0] >= '0' && out[0] <= '9')) {
+    out.insert(out.begin(), '_');
+  }
+  return out;
+}
+
+void append_sample(std::string& out, std::string_view name, double value) {
+  out.append(name);
+  out += ' ';
+  append_double(out, value);
+  out += '\n';
+}
+
+void append_sample(std::string& out, std::string_view name,
+                   std::string_view label, std::string_view label_value,
+                   double value) {
+  out.append(name);
+  out += '{';
+  out.append(label);
+  out += "=\"";
+  out.append(label_value);  // callers pass fixed tokens; no escaping needed
+  out += "\"} ";
+  append_double(out, value);
+  out += '\n';
+}
+
+void render_prometheus(const obs::Registry::Snapshot& snapshot,
+                       std::string& out) {
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string prom = prometheus_name(name);
+    append_type(out, prom, "counter");
+    out += prom;
+    out += ' ';
+    append_uint(out, value);
+    out += '\n';
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string prom = prometheus_name(name);
+    append_type(out, prom, "gauge");
+    append_sample(out, prom, value);
+  }
+  for (const auto& [name, hist] : snapshot.histograms) {
+    const std::string prom = prometheus_name(name);
+    append_type(out, prom, "histogram");
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < obs::Histogram::kBuckets; ++i) {
+      if (hist.buckets[i] == 0) continue;
+      cumulative += hist.buckets[i];
+      out += prom;
+      out += "_bucket{le=\"";
+      append_uint(out, obs::Histogram::bucket_upper(i));
+      out += "\"} ";
+      append_uint(out, cumulative);
+      out += '\n';
+    }
+    out += prom;
+    out += "_bucket{le=\"+Inf\"} ";
+    append_uint(out, hist.count);
+    out += '\n';
+    out += prom;
+    out += "_sum ";
+    append_uint(out, hist.sum);
+    out += '\n';
+    out += prom;
+    out += "_count ";
+    append_uint(out, hist.count);
+    out += '\n';
+  }
+}
+
+}  // namespace recover::ops

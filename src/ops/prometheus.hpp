@@ -1,0 +1,45 @@
+// Prometheus text exposition (format version 0.0.4) rendered from the
+// obs metrics registry, served by ops::AdminServer at GET /metrics
+// (docs/OBSERVABILITY.md, "Live telemetry").
+//
+// Mapping:
+//   obs::Counter   → `# TYPE name counter`,  one cumulative sample
+//   obs::Gauge     → `# TYPE name gauge`,    one sample
+//   obs::Histogram → `# TYPE name histogram`: cumulative `_bucket`
+//                    samples labeled with the log₂ buckets' inclusive
+//                    upper bounds (`le="1"`, `le="3"`, `le="7"`, …),
+//                    a final `le="+Inf"`, plus `_sum` and `_count`.
+//                    Only non-empty buckets are emitted — Prometheus
+//                    reconstructs quantiles from any bound subset.
+//
+// Metric names are sanitized to the Prometheus grammar
+// ([a-zA-Z_:][a-zA-Z0-9_:]*): '.' and any other illegal byte become
+// '_' ("serve.request_ns" → "serve_request_ns").
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "src/obs/metrics.hpp"
+
+namespace recover::ops {
+
+/// `name` with every byte outside [a-zA-Z0-9_:] replaced by '_' (and a
+/// leading digit prefixed with '_').
+std::string prometheus_name(std::string_view name);
+
+/// Appends one full exposition of `snapshot` to `out` (TYPE comments +
+/// samples, newline-terminated lines).
+void render_prometheus(const obs::Registry::Snapshot& snapshot,
+                       std::string& out);
+
+/// Appends one sample line: `name value\n` (no labels).  `value` uses
+/// the shortest round-trip double format; non-finite renders as "NaN".
+void append_sample(std::string& out, std::string_view name, double value);
+
+/// Appends one labeled sample line: `name{label="value"} v\n`.
+void append_sample(std::string& out, std::string_view name,
+                   std::string_view label, std::string_view label_value,
+                   double value);
+
+}  // namespace recover::ops

@@ -1,0 +1,104 @@
+#include "src/ops/window.hpp"
+
+#include "src/obs/trace_buffer.hpp"  // trace::now_ns
+
+namespace recover::ops {
+
+namespace {
+
+/// Saturating per-field subtraction: the cumulative source is monotone
+/// per shard, but a relaxed read racing a writer may lag another read,
+/// so clamp instead of wrapping.
+std::uint64_t sat_sub(std::uint64_t a, std::uint64_t b) {
+  return a > b ? a - b : 0;
+}
+
+obs::Histogram::Snapshot snapshot_delta(const obs::Histogram::Snapshot& now,
+                                        const obs::Histogram::Snapshot& then) {
+  obs::Histogram::Snapshot delta;
+  delta.count = sat_sub(now.count, then.count);
+  delta.sum = sat_sub(now.sum, then.sum);
+  for (std::size_t i = 0; i < obs::Histogram::kBuckets; ++i) {
+    delta.buckets[i] = sat_sub(now.buckets[i], then.buckets[i]);
+  }
+  return delta;
+}
+
+void snapshot_accumulate(obs::Histogram::Snapshot& into,
+                         const obs::Histogram::Snapshot& delta) {
+  into.count += delta.count;
+  into.sum += delta.sum;
+  for (std::size_t i = 0; i < obs::Histogram::kBuckets; ++i) {
+    into.buckets[i] += delta.buckets[i];
+  }
+}
+
+}  // namespace
+
+WindowedHistogram::WindowedHistogram(const obs::Histogram& source,
+                                     std::size_t slots)
+    : source_(source), slots_(slots == 0 ? 1 : slots) {
+  last_ = source_.snapshot();
+  last_tick_ns_ = obs::trace::now_ns();
+}
+
+void WindowedHistogram::tick() {
+  const obs::Histogram::Snapshot now = source_.snapshot();
+  const std::uint64_t now_ns = obs::trace::now_ns();
+  std::lock_guard<std::mutex> lock(mutex_);
+  ring_.push_back(Slot{snapshot_delta(now, last_), last_tick_ns_});
+  if (ring_.size() > slots_) ring_.pop_front();
+  last_ = now;
+  last_tick_ns_ = now_ns;
+}
+
+WindowedHistogram::Window WindowedHistogram::window() const {
+  const obs::Histogram::Snapshot now = source_.snapshot();
+  const std::uint64_t now_ns = obs::trace::now_ns();
+  std::lock_guard<std::mutex> lock(mutex_);
+  Window out;
+  std::uint64_t start_ns = last_tick_ns_;
+  for (const Slot& slot : ring_) {
+    snapshot_accumulate(out.merged, slot.delta);
+  }
+  if (!ring_.empty()) start_ns = ring_.front().start_ns;
+  // Live tail: traffic since the last tick is part of the window too, so
+  // a scrape landing mid-interval never misses the newest requests.
+  snapshot_accumulate(out.merged, snapshot_delta(now, last_));
+  out.span_seconds =
+      static_cast<double>(sat_sub(now_ns, start_ns)) / 1e9;
+  return out;
+}
+
+WindowedCounter::WindowedCounter(std::function<std::uint64_t()> sample,
+                                 std::size_t slots)
+    : sample_(std::move(sample)), slots_(slots == 0 ? 1 : slots) {
+  last_ = sample_();
+  last_tick_ns_ = obs::trace::now_ns();
+}
+
+void WindowedCounter::tick() {
+  const std::uint64_t now = sample_();
+  const std::uint64_t now_ns = obs::trace::now_ns();
+  std::lock_guard<std::mutex> lock(mutex_);
+  ring_.push_back(Slot{sat_sub(now, last_), last_tick_ns_});
+  if (ring_.size() > slots_) ring_.pop_front();
+  last_ = now;
+  last_tick_ns_ = now_ns;
+}
+
+WindowedCounter::Window WindowedCounter::window() const {
+  const std::uint64_t now = sample_();
+  const std::uint64_t now_ns = obs::trace::now_ns();
+  std::lock_guard<std::mutex> lock(mutex_);
+  Window out;
+  std::uint64_t start_ns = last_tick_ns_;
+  for (const Slot& slot : ring_) out.delta += slot.delta;
+  if (!ring_.empty()) start_ns = ring_.front().start_ns;
+  out.delta += sat_sub(now, last_);
+  out.span_seconds =
+      static_cast<double>(sat_sub(now_ns, start_ns)) / 1e9;
+  return out;
+}
+
+}  // namespace recover::ops

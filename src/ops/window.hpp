@@ -1,0 +1,107 @@
+// Rolling-window views over the cumulative obs metrics: the piece that
+// turns "since boot" counters and histograms into "over the last ~10 s"
+// rates and quantiles for a long-running daemon (docs/OBSERVABILITY.md,
+// "Live telemetry").
+//
+// Both classes keep a ring of N interval snapshots.  tick() — driven by
+// a ~1 Hz ticker thread — reads the cumulative source, stores the delta
+// since the previous tick, and evicts the oldest slot once the ring is
+// full; window() merges every stored delta PLUS the live delta since the
+// last tick, so a scrape that lands mid-interval still sees the newest
+// traffic.  With 10 slots and a 1 s tick the view covers the last
+// 10–11 s; before the first eviction it simply covers everything since
+// construction (a young process has nothing older to forget).
+//
+// Threading: tick() and window() are mutex-guarded against each other;
+// the underlying metric shards are relaxed atomics written concurrently
+// by any thread (the obs contract), so deltas are computed with
+// saturating subtraction — a shard read racing a writer can only make a
+// delta conservatively small, never negative or corrupt.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+
+#include "src/obs/metrics.hpp"
+
+namespace recover::ops {
+
+/// Rolling window over an obs::Histogram: per-tick deltas of the
+/// cumulative Snapshot, merged on demand.
+class WindowedHistogram {
+ public:
+  /// `source` must outlive the window (Registry references qualify —
+  /// their addresses are stable for the process lifetime).
+  explicit WindowedHistogram(const obs::Histogram& source,
+                             std::size_t slots = 10);
+
+  WindowedHistogram(const WindowedHistogram&) = delete;
+  WindowedHistogram& operator=(const WindowedHistogram&) = delete;
+
+  /// Seals the current interval: stores the delta since the previous
+  /// tick as a slot, evicting the oldest slot when the ring is full.
+  void tick();
+
+  struct Window {
+    obs::Histogram::Snapshot merged;  // stored deltas + live tail
+    double span_seconds = 0.0;        // wall time the window covers
+  };
+
+  /// Merged view over the ring plus the live (not-yet-ticked) interval.
+  [[nodiscard]] Window window() const;
+
+ private:
+  struct Slot {
+    obs::Histogram::Snapshot delta;
+    std::uint64_t start_ns = 0;
+  };
+
+  const obs::Histogram& source_;
+  std::size_t slots_;
+  mutable std::mutex mutex_;
+  obs::Histogram::Snapshot last_;     // cumulative at the last tick
+  std::uint64_t last_tick_ns_ = 0;
+  std::deque<Slot> ring_;
+};
+
+/// Rolling window over any monotone uint64 sampler (an obs::Counter, a
+/// plain atomic total, …): delta and rate over the last N ticks.
+class WindowedCounter {
+ public:
+  explicit WindowedCounter(std::function<std::uint64_t()> sample,
+                           std::size_t slots = 10);
+
+  WindowedCounter(const WindowedCounter&) = delete;
+  WindowedCounter& operator=(const WindowedCounter&) = delete;
+
+  void tick();
+
+  struct Window {
+    std::uint64_t delta = 0;     // events inside the window
+    double span_seconds = 0.0;   // wall time the window covers
+    /// delta / span (0 when the span is degenerate).
+    [[nodiscard]] double rate_per_sec() const {
+      return span_seconds > 1e-9 ? static_cast<double>(delta) / span_seconds
+                                 : 0.0;
+    }
+  };
+
+  [[nodiscard]] Window window() const;
+
+ private:
+  struct Slot {
+    std::uint64_t delta = 0;
+    std::uint64_t start_ns = 0;
+  };
+
+  std::function<std::uint64_t()> sample_;
+  std::size_t slots_;
+  mutable std::mutex mutex_;
+  std::uint64_t last_ = 0;
+  std::uint64_t last_tick_ns_ = 0;
+  std::deque<Slot> ring_;
+};
+
+}  // namespace recover::ops

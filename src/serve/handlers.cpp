@@ -71,6 +71,8 @@ HandlerResult run_cell(const Request& req, const HandlerContext& ctx) {
     cell.params.emplace_back(name, static_cast<std::int64_t>(value.number));
   }
 
+  const std::string cell_key = cell.key();
+
   sweep::CellContext cell_ctx;
   // Pure function of the request content: the cell's canonical key folds
   // the parameters in, so (exp, params, seed) → stream, independent of
@@ -79,6 +81,7 @@ HandlerResult run_cell(const Request& req, const HandlerContext& ctx) {
   cell_ctx.seed = rng::substream(seed, sweep::cell_hash(exp->name, cell));
   cell_ctx.parallel_within_cell = ctx.cells_parallel;
   cell_ctx.cancelled = ctx.cancelled;
+  cell_ctx.req_id = ctx.req_id;
 
   sweep::CellResult values;
   try {
@@ -86,19 +89,24 @@ HandlerResult run_cell(const Request& req, const HandlerContext& ctx) {
   } catch (const std::exception& e) {
     // A cell body that rejects its parameters (bad axis combination)
     // surfaces as invalid_params, never as a dropped connection.
-    return error(ErrorCode::kInvalidParams, e.what());
+    HandlerResult out = error(ErrorCode::kInvalidParams, e.what());
+    out.cell_key = cell_key;
+    return out;
   }
   if (ctx.cancelled && ctx.cancelled()) {
     // The body returned, but only because cancellation truncated it; its
     // values are not the real cell result and must not be sent.
-    return error(ErrorCode::kDeadlineExceeded,
-                 "deadline expired while the cell was running");
+    HandlerResult out =
+        error(ErrorCode::kDeadlineExceeded,
+              "deadline expired while the cell was running");
+    out.cell_key = cell_key;
+    return out;
   }
 
   std::string json = "{\"exp\":\"";
   json += obs::json_escape(exp->name);
   json += "\",\"key\":\"";
-  json += obs::json_escape(cell.key());
+  json += obs::json_escape(cell_key);
   json += "\",\"values\":{";
   // result_columns order (the registry's canonical order), not set()
   // order, so the reply layout is part of the experiment's contract.
@@ -110,7 +118,9 @@ HandlerResult run_cell(const Request& req, const HandlerContext& ctx) {
     json += obs::json_number(values.at(exp->result_columns[i]));
   }
   json += "}}";
-  return result(std::move(json));
+  HandlerResult out = result(std::move(json));
+  out.cell_key = cell_key;
+  return out;
 }
 
 HandlerResult list_cells() {
@@ -152,6 +162,13 @@ HandlerResult stats(const HandlerContext& ctx) {
     json += std::to_string(v);
     if (!last) json += ',';
   };
+  const auto dfield = [&json](const char* name, double v) {
+    json += '"';
+    json += name;
+    json += "\":";
+    json += obs::json_number(v);
+    json += ',';
+  };
   field("connections_total", snap.connections_total);
   field("connections_open", snap.connections_open);
   field("requests_total", snap.requests_total);
@@ -162,7 +179,20 @@ HandlerResult stats(const HandlerContext& ctx) {
   field("queue_depth", snap.queue_depth);
   field("queue_capacity", snap.queue_capacity);
   field("in_flight", snap.in_flight);
-  json += "\"draining\":";
+  field("uptime_ms", snap.uptime_ms);
+  // Rolling-window view (docs/OBSERVABILITY.md, "Live telemetry"):
+  // last ~10 s, not process lifetime.  Latency quantiles are 0 until
+  // metrics are enabled (the daemon enables them with --admin-port).
+  field("window_span_ms", snap.window_span_ms);
+  field("window_requests", snap.window_requests);
+  field("window_shed", snap.window_shed);
+  dfield("window_qps", snap.window_qps);
+  dfield("window_p50_us", snap.window_p50_us);
+  dfield("window_p95_us", snap.window_p95_us);
+  dfield("window_p99_us", snap.window_p99_us);
+  json += "\"version\":\"";
+  json += kServeVersion;
+  json += "\",\"draining\":";
   json += snap.draining ? "true" : "false";
   json += '}';
   return result(std::move(json));

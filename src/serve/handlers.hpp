@@ -21,9 +21,20 @@
 
 namespace recover::serve {
 
+/// Protocol-visible build tag reported by `stats` (bump when the wire
+/// surface changes in a way operators should be able to see remotely).
+inline constexpr const char* kServeVersion = "recover-serve/1.1";
+
 /// Point-in-time server counters, embedded in `stats` replies.  All
 /// fields are maintained unconditionally (plain atomics on the server),
 /// so `stats` works whether or not --metrics is on.
+///
+/// The `window_*` fields describe the rolling window (last ~10 s by
+/// default — see ServerOptions::window_slots × window_tick_ms), not the
+/// process lifetime.  They come from ops::Windowed* sources; the
+/// latency quantiles are only populated when metrics are enabled (the
+/// daemon enables them whenever --admin-port is given), the
+/// count-derived fields (qps, shed) always work.
 struct ServerSnapshot {
   std::uint64_t connections_total = 0;
   std::uint64_t connections_open = 0;
@@ -36,6 +47,14 @@ struct ServerSnapshot {
   std::uint64_t queue_capacity = 0;
   std::uint64_t in_flight = 0;
   bool draining = false;
+  std::uint64_t uptime_ms = 0;
+  std::uint64_t window_span_ms = 0;
+  std::uint64_t window_requests = 0;
+  std::uint64_t window_shed = 0;
+  double window_qps = 0.0;
+  double window_p50_us = 0.0;
+  double window_p95_us = 0.0;
+  double window_p99_us = 0.0;
 };
 
 struct HandlerContext {
@@ -46,6 +65,10 @@ struct HandlerContext {
   /// True: run_cell bodies parallelize replicas on the shared ThreadPool
   /// (byte-identical results for any pool size — the pool contract).
   bool cells_parallel = true;
+  /// Request id assigned by the server ("c<conn>-<seq>"; empty in unit
+  /// tests).  Forwarded into CellContext and the access log; never an
+  /// input to any result.
+  std::string req_id;
 };
 
 struct HandlerResult {
@@ -53,6 +76,9 @@ struct HandlerResult {
   std::string result_json;  // compact JSON value when ok
   ErrorCode code = ErrorCode::kUnknownMethod;
   std::string message;
+  /// run_cell only: the cell's canonical key (for the access log's
+  /// `cell` field); empty for other methods and pre-validation errors.
+  std::string cell_key;
 };
 
 /// Executes `req.method`.  Never throws; anything unusable comes back as

@@ -9,8 +9,10 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <string_view>
 #include <utility>
 
 #include "src/obs/metrics.hpp"
@@ -65,6 +67,8 @@ Server::Connection::~Connection() {
 Server::Server(ServerOptions options) : options_(std::move(options)) {
   if (options_.workers < 1) options_.workers = 1;
   if (options_.queue_capacity < 1) options_.queue_capacity = 1;
+  if (options_.window_slots < 1) options_.window_slots = 1;
+  if (options_.window_tick_ms < 10) options_.window_tick_ms = 10;
   // Same bound the protocol enforces on requests: past it the ms→ns
   // conversion in handle_line could wrap.
   if (options_.default_deadline_ms > kMaxDeadlineMs) {
@@ -113,7 +117,31 @@ bool Server::start() {
     port_ = static_cast<int>(ntohs(bound.sin_port));
   }
 
+  if (!options_.access_log_path.empty() &&
+      !access_log_.open(options_.access_log_path)) {
+    // An operator who asked for an access log gets a hard failure, not a
+    // silently log-less daemon.
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+
+  start_ns_ = obs::trace::now_ns();
+  window_latency_ = std::make_unique<ops::WindowedHistogram>(
+      request_ns_histogram(), options_.window_slots);
+  window_requests_ = std::make_unique<ops::WindowedCounter>(
+      [this] { return requests_total_.load(std::memory_order_relaxed); },
+      options_.window_slots);
+  window_shed_ = std::make_unique<ops::WindowedCounter>(
+      [this] { return shed_total_.load(std::memory_order_relaxed); },
+      options_.window_slots);
+
   started_ = true;
+  ticker_stop_ = false;
+  ticker_ = std::thread([this] {
+    obs::trace::set_thread_name("serve.ticker");
+    ticker_loop();
+  });
   accept_thread_ = std::thread([this] { accept_loop(); });
   workers_.reserve(static_cast<std::size_t>(options_.workers));
   for (int w = 0; w < options_.workers; ++w) {
@@ -123,6 +151,21 @@ bool Server::start() {
     });
   }
   return true;
+}
+
+void Server::ticker_loop() {
+  std::unique_lock<std::mutex> lock(ticker_mutex_);
+  for (;;) {
+    ticker_cv_.wait_for(lock,
+                        std::chrono::milliseconds(options_.window_tick_ms),
+                        [this] { return ticker_stop_; });
+    if (ticker_stop_) return;
+    lock.unlock();
+    window_latency_->tick();
+    window_requests_->tick();
+    window_shed_->tick();
+    lock.lock();
+  }
 }
 
 void Server::accept_loop() {
@@ -156,13 +199,15 @@ void Server::accept_loop() {
       ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
     }
 
-    connections_total_.fetch_add(1, std::memory_order_relaxed);
+    const std::uint64_t serial =
+        connections_total_.fetch_add(1, std::memory_order_relaxed) + 1;
     connections_open_.fetch_add(1, std::memory_order_relaxed);
     connections_gauge().set(
         static_cast<double>(connections_open_.load(std::memory_order_relaxed)));
 
     auto conn = std::make_shared<Connection>();
     conn->fd = fd;
+    conn->serial = serial;
     auto done = std::make_shared<std::atomic<bool>>(false);
     std::lock_guard<std::mutex> lock(readers_mutex_);
     readers_.push_back(Reader{
@@ -238,9 +283,20 @@ void Server::handle_line(const std::shared_ptr<Connection>& conn,
   requests_total_.fetch_add(1, std::memory_order_relaxed);
   requests_counter().add();
 
+  // Deterministic request id: accept order × position on the connection.
+  // Assigned before parsing so even a shed request has one; a protocol
+  // error burns an id (the sequence still identifies wire order).
+  ++conn->req_seq;
+  std::string req_id = "c";
+  req_id += std::to_string(conn->serial);
+  req_id += '-';
+  req_id += std::to_string(conn->req_seq);
+
   Request request;
   const ParseOutcome outcome = parse_request(line, request);
   if (!outcome.ok) {
+    // Not access-logged: an unparsed line has no trustworthy fields to
+    // report (the protocol-error counters still see it).
     protocol_errors_total_.fetch_add(1, std::memory_order_relaxed);
     protocol_error_counter().add();
     send_line(conn, make_error(request.id, outcome.code, outcome.message));
@@ -250,6 +306,10 @@ void Server::handle_line(const std::shared_ptr<Connection>& conn,
   if (request.method == "shutdown") {
     // Reply before draining so the initiator always sees the ack.
     send_line(conn, make_result(request.id, "{\"draining\":true}"));
+    if (access_log_.is_open()) {
+      access_log_.log(ops::AccessEntry{req_id, request.method, {}, "ok",
+                                       "none", 0, 0});
+    }
     request_drain();
     return;
   }
@@ -274,6 +334,10 @@ void Server::handle_line(const std::shared_ptr<Connection>& conn,
       lock.unlock();
       send_line(conn, make_error(request.id, ErrorCode::kShuttingDown,
                                  "server is draining"));
+      if (access_log_.is_open()) {
+        access_log_.log(ops::AccessEntry{req_id, request.method, {},
+                                         "shutting_down", "none", 0, 0});
+      }
       return;
     }
     if (queue_.size() >= options_.queue_capacity) {
@@ -282,9 +346,14 @@ void Server::handle_line(const std::shared_ptr<Connection>& conn,
       shed_counter().add();
       send_line(conn, make_error(request.id, ErrorCode::kOverloaded,
                                  "admission queue is full"));
+      if (access_log_.is_open()) {
+        access_log_.log(ops::AccessEntry{req_id, request.method, {}, "shed",
+                                         "none", 0, 0});
+      }
       return;
     }
-    queue_.push_back(Work{conn, std::move(request), deadline_ns});
+    queue_.push_back(Work{conn, std::move(request), deadline_ns, now,
+                          std::move(req_id)});
     queue_depth_gauge().set(static_cast<double>(queue_.size()));
   }
   queue_cv_.notify_one();
@@ -317,11 +386,27 @@ void Server::worker_loop() {
 
 void Server::process(Work& work) {
   // One span per request: the histogram feeds p50/p95/p99 in run
-  // records, the matching trace span (detail = method) lets
-  // trace_stats.py attribute stragglers to a method.
-  obs::ScopedSpan span(request_ns_histogram(), work.request.method);
+  // records, the matching trace span (detail = "req_id method") lets
+  // trace_stats.py attribute a straggler to the exact request whose
+  // access-log line carries the same req_id.
+  std::string detail = work.req_id;
+  detail += ' ';
+  detail += work.request.method;
+  obs::ScopedSpan span(request_ns_histogram(), detail);
 
-  if (work.deadline_ns != 0 && obs::trace::now_ns() > work.deadline_ns) {
+  const std::uint64_t dequeue_ns = obs::trace::now_ns();
+  const std::uint64_t queue_ns =
+      dequeue_ns > work.enqueue_ns ? dequeue_ns - work.enqueue_ns : 0;
+  const auto log_entry = [&](std::string_view cell, std::string_view status,
+                             std::string_view deadline) {
+    if (!access_log_.is_open()) return;
+    const std::uint64_t end_ns = obs::trace::now_ns();
+    access_log_.log(ops::AccessEntry{
+        work.req_id, work.request.method, cell, status, deadline, queue_ns,
+        end_ns > dequeue_ns ? end_ns - dequeue_ns : 0});
+  };
+
+  if (work.deadline_ns != 0 && dequeue_ns > work.deadline_ns) {
     // Expired while queued: answer without running (the cheap half of
     // deadline enforcement).
     deadline_exceeded_total_.fetch_add(1, std::memory_order_relaxed);
@@ -329,12 +414,14 @@ void Server::process(Work& work) {
     send_line(work.conn, make_error(work.request.id,
                                     ErrorCode::kDeadlineExceeded,
                                     "deadline expired while queued"));
+    log_entry({}, "deadline", "expired_queued");
     return;
   }
 
   HandlerContext ctx;
   ctx.cells_parallel = options_.cells_parallel;
   ctx.snapshot = [this] { return snapshot(); };
+  ctx.req_id = work.req_id;
   if (work.deadline_ns != 0) {
     const std::uint64_t deadline_ns = work.deadline_ns;
     ctx.cancelled = [deadline_ns] {
@@ -346,6 +433,8 @@ void Server::process(Work& work) {
   if (result.ok) {
     responses_ok_.fetch_add(1, std::memory_order_relaxed);
     send_line(work.conn, make_result(work.request.id, result.result_json));
+    log_entry(result.cell_key, "ok",
+              work.deadline_ns == 0 ? "none" : "met");
     return;
   }
   if (result.code == ErrorCode::kDeadlineExceeded) {
@@ -354,6 +443,12 @@ void Server::process(Work& work) {
   }
   send_line(work.conn, make_error(work.request.id, result.code,
                                   result.message));
+  log_entry(result.cell_key,
+            result.code == ErrorCode::kDeadlineExceeded ? "deadline"
+                                                        : "error",
+            result.code == ErrorCode::kDeadlineExceeded
+                ? "expired_running"
+                : (work.deadline_ns == 0 ? "none" : "met"));
 }
 
 void Server::send_line(const std::shared_ptr<Connection>& conn,
@@ -409,6 +504,15 @@ void Server::stop() {
   workers_.clear();
   if (accept_thread_.joinable()) accept_thread_.join();
   reap_readers(/*join_all=*/true);
+  {
+    std::lock_guard<std::mutex> lock(ticker_mutex_);
+    ticker_stop_ = true;
+  }
+  ticker_cv_.notify_one();
+  if (ticker_.joinable()) ticker_.join();
+  // After every worker and reader is gone: nothing can log anymore, so
+  // closing (which drains the queue) loses no lines.
+  access_log_.close();
   started_ = false;
 }
 
@@ -429,6 +533,26 @@ ServerSnapshot Server::snapshot() const {
     std::lock_guard<std::mutex> lock(queue_mutex_);
     snap.queue_depth = queue_.size();
     snap.in_flight = in_flight_;
+  }
+  if (start_ns_ != 0) {
+    const std::uint64_t now = obs::trace::now_ns();
+    snap.uptime_ms = (now > start_ns_ ? now - start_ns_ : 0) / 1'000'000u;
+  }
+  if (window_latency_ != nullptr) {
+    const ops::WindowedHistogram::Window lat = window_latency_->window();
+    snap.window_p50_us = lat.merged.quantile(0.50) / 1000.0;
+    snap.window_p95_us = lat.merged.quantile(0.95) / 1000.0;
+    snap.window_p99_us = lat.merged.quantile(0.99) / 1000.0;
+    snap.window_span_ms =
+        static_cast<std::uint64_t>(lat.span_seconds * 1000.0);
+  }
+  if (window_requests_ != nullptr) {
+    const ops::WindowedCounter::Window req = window_requests_->window();
+    snap.window_requests = req.delta;
+    snap.window_qps = req.rate_per_sec();
+  }
+  if (window_shed_ != nullptr) {
+    snap.window_shed = window_shed_->window().delta;
   }
   return snap;
 }

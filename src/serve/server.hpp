@@ -37,6 +37,8 @@
 #include <thread>
 #include <vector>
 
+#include "src/ops/access_log.hpp"
+#include "src/ops/window.hpp"
 #include "src/serve/handlers.hpp"
 #include "src/serve/protocol.hpp"
 
@@ -55,6 +57,13 @@ struct ServerOptions {
                                // write blocked this long (client stopped
                                // reading) marks the connection dead
                                // instead of wedging a worker; ≤0 = none
+  /// recover.access/1 structured access log (docs/OBSERVABILITY.md);
+  /// empty = disabled (and the request path pays nothing).
+  std::string access_log_path;
+  /// Rolling-window shape for `stats`/`/metrics` quantiles: window span
+  /// ≈ window_slots × window_tick_ms (defaults: ~10 s).
+  std::size_t window_slots = 10;
+  int window_tick_ms = 1000;
 };
 
 class Server {
@@ -92,11 +101,21 @@ class Server {
 
   [[nodiscard]] ServerSnapshot snapshot() const;
 
+  /// The access log sink (open only when options.access_log_path was
+  /// set); exposed so the daemon can report written/dropped at exit.
+  [[nodiscard]] const ops::AccessLog& access_log() const {
+    return access_log_;
+  }
+
  private:
   struct Connection {
     int fd = -1;
     std::mutex write_mutex;
     std::atomic<bool> dead{false};  // peer gone; drop further writes
+    /// 1-based accept order; req_id = "c<serial>-<seq>".  seq is only
+    /// touched by this connection's reader thread, so it is plain.
+    std::uint64_t serial = 0;
+    std::uint64_t req_seq = 0;
 
     ~Connection();
   };
@@ -105,12 +124,15 @@ class Server {
     std::shared_ptr<Connection> conn;
     Request request;
     std::uint64_t deadline_ns = 0;  // steady-clock ns; 0 = none
+    std::uint64_t enqueue_ns = 0;   // admission time (access-log queue_ns)
+    std::string req_id;
   };
 
   void accept_loop();
   void reader_loop(std::shared_ptr<Connection> conn,
                    std::shared_ptr<std::atomic<bool>> done);
   void worker_loop();
+  void ticker_loop();
   void handle_line(const std::shared_ptr<Connection>& conn,
                    const std::string& line);
   void process(Work& work);
@@ -150,6 +172,22 @@ class Server {
   std::atomic<std::uint64_t> shed_total_{0};
   std::atomic<std::uint64_t> deadline_exceeded_total_{0};
   std::atomic<std::uint64_t> protocol_errors_total_{0};
+
+  // Rolling-window telemetry (ops::Windowed*, ticked by ticker_loop):
+  // feeds the window_* fields of snapshot() and thus `stats` and the
+  // admin plane's /metrics.  Latency quantiles ride the obs histogram
+  // (zero unless metrics are enabled); request/shed rates ride the
+  // always-on atomics above.
+  std::uint64_t start_ns_ = 0;
+  std::unique_ptr<ops::WindowedHistogram> window_latency_;
+  std::unique_ptr<ops::WindowedCounter> window_requests_;
+  std::unique_ptr<ops::WindowedCounter> window_shed_;
+  std::thread ticker_;
+  std::mutex ticker_mutex_;
+  std::condition_variable ticker_cv_;
+  bool ticker_stop_ = false;
+
+  ops::AccessLog access_log_;
 };
 
 }  // namespace recover::serve

@@ -39,6 +39,11 @@ struct CellContext {
   /// result is discarded by the caller, so polling can never change the
   /// values of a run that completes.
   std::function<bool()> cancelled;
+  /// Request id of the serve request that triggered this cell (empty
+  /// outside the daemon).  Purely observational — bodies may thread it
+  /// into their own diagnostics; it never influences results (the seed
+  /// above is the only result-bearing input).
+  std::string req_id;
 };
 
 struct CellResult {

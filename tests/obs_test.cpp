@@ -4,6 +4,7 @@
 // progress heartbeat flushing.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <cstdint>
 #include <limits>
@@ -333,6 +334,80 @@ TEST(Histogram, QuantileEdgeCases) {
   zeros.record(0);
   zeros.record(0);
   EXPECT_DOUBLE_EQ(zeros.snapshot().quantile(0.95), 0.0);
+  // The empty histogram stays 0 even for out-of-range q.
+  EXPECT_DOUBLE_EQ(empty.snapshot().quantile(-1.0), 0.0);
+  EXPECT_DOUBLE_EQ(empty.snapshot().quantile(2.0), 0.0);
+}
+
+TEST(Histogram, QuantileClampsQOutsideUnitInterval) {
+  MetricsGuard guard;
+  obs::set_metrics_enabled(true);
+  obs::Histogram h("obs_test.quantile_clamp");
+  for (int i = 0; i < 3; ++i) h.record(1);  // bucket 1, midpoint 1
+  h.record(100);                            // bucket 7: 64..127, mid 95.5
+  const auto snap = h.snapshot();
+  // q ≤ 0 → rank 1 (the minimum's bucket), q ≥ 1 → rank = count (the
+  // maximum's bucket) — q > 1 must not fall off the cumulative scan and
+  // report 0.
+  EXPECT_DOUBLE_EQ(snap.quantile(-0.5), 1.0);
+  EXPECT_DOUBLE_EQ(snap.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(snap.quantile(1.0), 95.5);
+  EXPECT_DOUBLE_EQ(snap.quantile(1.5), 95.5);
+}
+
+TEST(Histogram, QuantileSingleBucketMassIsConstant) {
+  MetricsGuard guard;
+  obs::set_metrics_enabled(true);
+  obs::Histogram h("obs_test.quantile_single_bucket");
+  for (int i = 0; i < 1000; ++i) h.record(10);  // bucket 4: 8..15, mid 11.5
+  const auto snap = h.snapshot();
+  // All mass in one bucket: every quantile reports that bucket's
+  // midpoint (the estimator cannot see inside a bucket).
+  for (const double q : {0.0, 0.01, 0.5, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(snap.quantile(q), 11.5) << "q=" << q;
+  }
+}
+
+TEST(Registry, SnapshotRacesShardWritersCleanly) {
+  // Exercised under TSAN in CI (scripts/ci.sh): merge-on-read over the
+  // relaxed shard atomics must be data-race-free against concurrent
+  // add()/record(), and the merged totals must be exact once writers
+  // stop (addition commutes).
+  MetricsGuard guard;
+  obs::set_metrics_enabled(true);
+  auto& counter = obs::Registry::global().counter("obs_test.race.counter");
+  auto& hist = obs::Registry::global().histogram("obs_test.race.hist");
+  counter.reset();
+  hist.reset();
+
+  constexpr int kWriters = 4;
+  constexpr std::uint64_t kPerWriter = 20'000;
+  std::atomic<bool> go{false};
+  std::vector<std::thread> writers;
+  writers.reserve(kWriters);
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&go, &counter, &hist] {
+      while (!go.load(std::memory_order_acquire)) {}
+      for (std::uint64_t i = 0; i < kPerWriter; ++i) {
+        counter.add();
+        hist.record(i & 0xFFFu);
+      }
+    });
+  }
+  go.store(true, std::memory_order_release);
+  // Scrape while the writers run: values are torn-free and monotone
+  // growth is plausible but unasserted (relaxed reads may lag).
+  for (int i = 0; i < 50; ++i) {
+    const auto snap = obs::Registry::global().snapshot();
+    for (const auto& [name, value] : snap.counters) {
+      if (name == "obs_test.race.counter") {
+        EXPECT_LE(value, kWriters * kPerWriter);
+      }
+    }
+  }
+  for (auto& w : writers) w.join();
+  EXPECT_EQ(counter.value(), kWriters * kPerWriter);
+  EXPECT_EQ(hist.snapshot().count, kWriters * kPerWriter);
 }
 
 TEST(RunRecord, MetricsSectionCarriesQuantiles) {

@@ -1,0 +1,444 @@
+// Tests for the ops telemetry plane (docs/OBSERVABILITY.md, "Live
+// telemetry"): rolling-window histograms/counters, Prometheus text
+// exposition, the recover.access/1 log format and its drop-oldest
+// queue, and the AdminServer's HTTP endpoints over loopback.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/obs/json_reader.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/ops/access_log.hpp"
+#include "src/ops/admin.hpp"
+#include "src/ops/prometheus.hpp"
+#include "src/ops/window.hpp"
+
+namespace {
+
+using namespace recover;
+
+class MetricsGuard {
+ public:
+  MetricsGuard() : was_(obs::metrics_enabled()) {}
+  ~MetricsGuard() { obs::set_metrics_enabled(was_); }
+
+ private:
+  bool was_;
+};
+
+// ---- WindowedHistogram / WindowedCounter ------------------------------
+
+TEST(WindowedHistogram, WindowSeesOnlyRecentTicks) {
+  MetricsGuard guard;
+  obs::set_metrics_enabled(true);
+  obs::Histogram source("ops_test.window.hist");
+  ops::WindowedHistogram window(source, /*slots=*/2);
+
+  source.record(100);
+  source.record(100);
+  window.tick();  // slot A: 2 samples
+  source.record(100);
+  window.tick();  // slot B: 1 sample
+  EXPECT_EQ(window.window().merged.count, 3u);
+
+  // Two more ticks with no traffic evict both loaded slots.
+  window.tick();
+  window.tick();
+  EXPECT_EQ(window.window().merged.count, 0u);
+}
+
+TEST(WindowedHistogram, LiveTailIsIncludedBeforeTick) {
+  MetricsGuard guard;
+  obs::set_metrics_enabled(true);
+  obs::Histogram source("ops_test.window.live");
+  ops::WindowedHistogram window(source, /*slots=*/4);
+  source.record(42);
+  // No tick yet: the un-sealed interval still counts.
+  EXPECT_EQ(window.window().merged.count, 1u);
+}
+
+TEST(WindowedHistogram, PreexistingTrafficIsExcluded) {
+  MetricsGuard guard;
+  obs::set_metrics_enabled(true);
+  obs::Histogram source("ops_test.window.preexisting");
+  source.record(7);
+  source.record(7);
+  ops::WindowedHistogram window(source, /*slots=*/4);
+  // Construction snapshots the cumulative baseline: old traffic is not
+  // part of any window.
+  EXPECT_EQ(window.window().merged.count, 0u);
+  source.record(7);
+  EXPECT_EQ(window.window().merged.count, 1u);
+}
+
+TEST(WindowedHistogram, QuantilesComeFromWindowedMassOnly) {
+  MetricsGuard guard;
+  obs::set_metrics_enabled(true);
+  obs::Histogram source("ops_test.window.quantiles");
+  ops::WindowedHistogram window(source, /*slots=*/1);
+  for (int i = 0; i < 100; ++i) source.record(1'000'000);  // old regime
+  window.tick();
+  window.tick();  // old slot evicted (slots=1 keeps only the last)
+  for (int i = 0; i < 10; ++i) source.record(10);  // new regime
+  const auto merged = window.window().merged;
+  EXPECT_EQ(merged.count, 10u);
+  EXPECT_LT(merged.quantile(0.99), 100.0);  // sees only the new regime
+}
+
+TEST(WindowedCounter, DeltaAndRateOverWindow) {
+  std::atomic<std::uint64_t> events{0};
+  ops::WindowedCounter window(
+      [&events] { return events.load(std::memory_order_relaxed); },
+      /*slots=*/2);
+  events += 10;
+  window.tick();
+  events += 5;
+  const auto w = window.window();
+  EXPECT_EQ(w.delta, 15u);
+  EXPECT_GE(w.span_seconds, 0.0);
+  events += 1;
+  window.tick();
+  window.tick();
+  window.tick();  // the +10 and +5 slots have been evicted
+  EXPECT_EQ(window.window().delta, 0u);
+}
+
+TEST(WindowedCounter, RateIsZeroOnDegenerateSpan) {
+  ops::WindowedCounter::Window w;
+  w.delta = 100;
+  w.span_seconds = 0.0;
+  EXPECT_DOUBLE_EQ(w.rate_per_sec(), 0.0);
+}
+
+TEST(WindowedHistogram, TickAndWindowRaceWritersCleanly) {
+  // TSAN companion to Registry.SnapshotRacesShardWritersCleanly: the
+  // ring mutex plus saturating deltas must hold up against concurrent
+  // record()/tick()/window().
+  MetricsGuard guard;
+  obs::set_metrics_enabled(true);
+  obs::Histogram source("ops_test.window.race");
+  ops::WindowedHistogram window(source, /*slots=*/3);
+  std::atomic<bool> stop{false};
+  std::thread writer([&source, &stop] {
+    std::uint64_t v = 0;
+    while (!stop.load(std::memory_order_acquire)) source.record(v++ & 0xFFu);
+  });
+  std::thread ticker([&window, &stop] {
+    while (!stop.load(std::memory_order_acquire)) window.tick();
+  });
+  for (int i = 0; i < 2000; ++i) {
+    const auto w = window.window();
+    EXPECT_LE(w.merged.count, source.snapshot().count + 1'000'000u);
+  }
+  stop.store(true, std::memory_order_release);
+  writer.join();
+  ticker.join();
+}
+
+// ---- Prometheus exposition --------------------------------------------
+
+TEST(Prometheus, NameSanitization) {
+  EXPECT_EQ(ops::prometheus_name("serve.request_ns"), "serve_request_ns");
+  EXPECT_EQ(ops::prometheus_name("a-b.c d"), "a_b_c_d");
+  EXPECT_EQ(ops::prometheus_name("9lives"), "_9lives");
+  EXPECT_EQ(ops::prometheus_name(""), "_");
+  EXPECT_EQ(ops::prometheus_name("ok_name:sub"), "ok_name:sub");
+}
+
+TEST(Prometheus, RendersCountersGaugesHistograms) {
+  MetricsGuard guard;
+  obs::set_metrics_enabled(true);
+  obs::Registry::Snapshot snap;
+  snap.counters.emplace_back("serve.requests", 42);
+  snap.gauges.emplace_back("serve.queue_depth", 3.5);
+  obs::Histogram::Snapshot h;
+  h.count = 3;
+  h.sum = 6;
+  h.buckets[1] = 2;  // two samples of value 1
+  h.buckets[3] = 1;  // one sample in 4..7
+  snap.histograms.emplace_back("serve.request_ns", h);
+
+  std::string out;
+  ops::render_prometheus(snap, out);
+  EXPECT_NE(out.find("# TYPE serve_requests counter\n"), std::string::npos);
+  EXPECT_NE(out.find("serve_requests 42\n"), std::string::npos);
+  EXPECT_NE(out.find("# TYPE serve_queue_depth gauge\n"), std::string::npos);
+  EXPECT_NE(out.find("serve_queue_depth 3.5\n"), std::string::npos);
+  EXPECT_NE(out.find("# TYPE serve_request_ns histogram\n"),
+            std::string::npos);
+  // Cumulative buckets with inclusive log₂ upper bounds, then +Inf.
+  EXPECT_NE(out.find("serve_request_ns_bucket{le=\"1\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("serve_request_ns_bucket{le=\"7\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("serve_request_ns_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("serve_request_ns_sum 6\n"), std::string::npos);
+  EXPECT_NE(out.find("serve_request_ns_count 3\n"), std::string::npos);
+}
+
+TEST(Prometheus, AppendSampleFormatsDoublesAndLabels) {
+  std::string out;
+  ops::append_sample(out, "x", 1.5);
+  ops::append_sample(out, "y", "quantile", "0.99", 250.0);
+  EXPECT_EQ(out, "x 1.5\ny{quantile=\"0.99\"} 250\n");
+}
+
+// ---- Access log -------------------------------------------------------
+
+TEST(AccessLog, FormatsSchemaLine) {
+  ops::AccessEntry entry;
+  entry.req_id = "c3-7";
+  entry.method = "run_cell";
+  entry.cell = "m=16,d=2";
+  entry.status = "ok";
+  entry.deadline = "met";
+  entry.queue_ns = 1200;
+  entry.run_ns = 99000;
+  const std::string line = ops::AccessLog::format_line(entry);
+  EXPECT_EQ(line,
+            "{\"schema\":\"recover.access/1\",\"req_id\":\"c3-7\","
+            "\"method\":\"run_cell\",\"cell\":\"m=16,d=2\","
+            "\"status\":\"ok\",\"deadline\":\"met\","
+            "\"queue_ns\":1200,\"run_ns\":99000}");
+  // And it parses back as JSON with the fields intact.
+  obs::JsonValue doc;
+  ASSERT_TRUE(obs::parse_json(line, doc));
+  EXPECT_EQ(doc.find("schema")->text, "recover.access/1");
+  EXPECT_EQ(doc.find("req_id")->text, "c3-7");
+  EXPECT_EQ(doc.find("queue_ns")->number, 1200.0);
+}
+
+TEST(AccessLog, EscapesAndTruncatesHostileFields) {
+  ops::AccessEntry entry;
+  entry.req_id = "c1-1";
+  entry.method = "run\"cell\n";  // embedded quote + newline
+  const std::string big(2 * ops::AccessLog::kMaxFieldBytes, 'x');
+  entry.cell = big;
+  entry.status = "error";
+  entry.deadline = "none";
+  const std::string line = ops::AccessLog::format_line(entry);
+  obs::JsonValue doc;
+  ASSERT_TRUE(obs::parse_json(line, doc)) << line;
+  EXPECT_EQ(doc.find("method")->text, "run\"cell\n");
+  EXPECT_EQ(doc.find("cell")->text.size(), ops::AccessLog::kMaxFieldBytes);
+  EXPECT_EQ(line.find('\n'), std::string::npos);  // one line, always
+}
+
+TEST(AccessLog, WritesLinesAndCloseDrains) {
+  const std::string path = ::testing::TempDir() + "/ops_test_access.jsonl";
+  std::remove(path.c_str());
+  ops::AccessLog log;
+  ASSERT_TRUE(log.open(path));
+  for (int i = 0; i < 100; ++i) {
+    ops::AccessEntry entry;
+    const std::string req_id = "c1-" + std::to_string(i);
+    entry.req_id = req_id;
+    entry.method = "ping";
+    entry.status = "ok";
+    entry.deadline = "none";
+    log.log(entry);
+  }
+  log.close();
+  EXPECT_EQ(log.written(), 100u);
+  EXPECT_EQ(log.dropped(), 0u);
+
+  std::ifstream in(path);
+  std::string line;
+  int lines = 0;
+  while (std::getline(in, line)) {
+    obs::JsonValue doc;
+    ASSERT_TRUE(obs::parse_json(line, doc)) << line;
+    EXPECT_EQ(doc.find("schema")->text, "recover.access/1");
+    ++lines;
+  }
+  EXPECT_EQ(lines, 100);
+  std::remove(path.c_str());
+}
+
+TEST(AccessLog, LogAfterCloseIsIgnored) {
+  const std::string path = ::testing::TempDir() + "/ops_test_access2.jsonl";
+  std::remove(path.c_str());
+  ops::AccessLog log;
+  ASSERT_TRUE(log.open(path));
+  log.close();
+  ops::AccessEntry entry;
+  entry.req_id = "c1-1";
+  entry.method = "ping";
+  entry.status = "ok";
+  entry.deadline = "none";
+  log.log(entry);  // must not crash or reopen
+  EXPECT_EQ(log.written(), 0u);
+  std::remove(path.c_str());
+}
+
+// ---- AdminServer over loopback ----------------------------------------
+
+/// Blocking HTTP/1.0 GET against 127.0.0.1:port; returns the full
+/// response (status line + headers + body).
+std::string http_get(int port, const std::string& request_text) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  EXPECT_EQ(
+      ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr),
+      0)
+      << std::strerror(errno);
+  EXPECT_EQ(::send(fd, request_text.data(), request_text.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(request_text.size()));
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n <= 0) break;
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+class AdminFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ops::AdminOptions options;
+    options.port = 0;
+    options.client_timeout_ms = 500;
+    ready_.store(true);
+    admin_ = std::make_unique<ops::AdminServer>(
+        options, [] { return std::string("test_metric 1\n"); },
+        [this] { return ready_.load(); });
+    ASSERT_TRUE(admin_->start());
+    ASSERT_GT(admin_->port(), 0);
+  }
+
+  std::atomic<bool> ready_{true};
+  std::unique_ptr<ops::AdminServer> admin_;
+};
+
+TEST_F(AdminFixture, MetricsEndpointServesBody) {
+  const std::string resp =
+      http_get(admin_->port(), "GET /metrics HTTP/1.0\r\n\r\n");
+  EXPECT_EQ(resp.rfind("HTTP/1.0 200 OK\r\n", 0), 0u) << resp;
+  EXPECT_NE(resp.find("Content-Type: text/plain; version=0.0.4"),
+            std::string::npos);
+  EXPECT_NE(resp.find("\r\n\r\ntest_metric 1\n"), std::string::npos);
+  EXPECT_NE(resp.find("Content-Length: 14\r\n"), std::string::npos);
+}
+
+TEST_F(AdminFixture, HealthzAlwaysOk) {
+  const std::string resp =
+      http_get(admin_->port(), "GET /healthz HTTP/1.0\r\n\r\n");
+  EXPECT_EQ(resp.rfind("HTTP/1.0 200 OK\r\n", 0), 0u);
+}
+
+TEST_F(AdminFixture, ReadyzFollowsProbe) {
+  EXPECT_EQ(http_get(admin_->port(), "GET /readyz HTTP/1.0\r\n\r\n")
+                .rfind("HTTP/1.0 200 OK", 0),
+            0u);
+  ready_.store(false);
+  const std::string resp =
+      http_get(admin_->port(), "GET /readyz HTTP/1.0\r\n\r\n");
+  EXPECT_EQ(resp.rfind("HTTP/1.0 503 Service Unavailable", 0), 0u) << resp;
+  EXPECT_NE(resp.find("not ready"), std::string::npos);
+}
+
+TEST_F(AdminFixture, QueryStringIsStripped) {
+  const std::string resp = http_get(
+      admin_->port(), "GET /healthz?probe=1 HTTP/1.0\r\n\r\n");
+  EXPECT_EQ(resp.rfind("HTTP/1.0 200 OK", 0), 0u);
+}
+
+TEST_F(AdminFixture, UnknownPathIs404) {
+  const std::string resp =
+      http_get(admin_->port(), "GET /nope HTTP/1.0\r\n\r\n");
+  EXPECT_EQ(resp.rfind("HTTP/1.0 404 Not Found", 0), 0u);
+}
+
+TEST_F(AdminFixture, PostIs405) {
+  const std::string resp = http_get(
+      admin_->port(), "POST /metrics HTTP/1.0\r\n\r\nbody");
+  EXPECT_EQ(resp.rfind("HTTP/1.0 405 Method Not Allowed", 0), 0u);
+}
+
+TEST_F(AdminFixture, MalformedStartLineIs400) {
+  const std::string resp = http_get(admin_->port(), "nonsense\r\n\r\n");
+  EXPECT_EQ(resp.rfind("HTTP/1.0 400 Bad Request", 0), 0u);
+}
+
+TEST_F(AdminFixture, OversizedRequestIs400) {
+  std::string request = "GET /metrics HTTP/1.0\r\n";
+  request += "X-Junk: " + std::string(16 * 1024, 'a') + "\r\n\r\n";
+  const std::string resp = http_get(admin_->port(), request);
+  EXPECT_EQ(resp.rfind("HTTP/1.0 400 Bad Request", 0), 0u) << resp;
+}
+
+TEST_F(AdminFixture, SlowTricklerIs408) {
+  // Open a connection, send half a request, and stall past the client
+  // timeout: the server must answer 408 and close rather than wedge.
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(admin_->port()));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  ASSERT_EQ(
+      ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr),
+      0);
+  const char half[] = "GET /metr";
+  ASSERT_EQ(::send(fd, half, sizeof half - 1, MSG_NOSIGNAL),
+            static_cast<ssize_t>(sizeof half - 1));
+  std::string response;
+  char buf[1024];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n <= 0) break;
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  EXPECT_EQ(response.rfind("HTTP/1.0 408 Request Timeout", 0), 0u)
+      << response;
+}
+
+TEST_F(AdminFixture, CountsRequests) {
+  const std::uint64_t before = admin_->requests_served();
+  http_get(admin_->port(), "GET /healthz HTTP/1.0\r\n\r\n");
+  http_get(admin_->port(), "GET /healthz HTTP/1.0\r\n\r\n");
+  EXPECT_EQ(admin_->requests_served(), before + 2);
+}
+
+TEST(AdminServer, StopIsIdempotentAndRestartable) {
+  ops::AdminOptions options;
+  options.port = 0;
+  auto metrics = [] { return std::string(); };
+  auto ready = [] { return true; };
+  ops::AdminServer a(options, metrics, ready);
+  ASSERT_TRUE(a.start());
+  const int port = a.port();
+  EXPECT_GT(port, 0);
+  a.stop();
+  a.stop();  // idempotent
+  // The port is released: a new server can bind it again.
+  ops::AdminOptions reuse = options;
+  reuse.port = port;
+  ops::AdminServer b(reuse, metrics, ready);
+  EXPECT_TRUE(b.start());
+  EXPECT_EQ(b.port(), port);
+  b.stop();
+}
+
+}  // namespace

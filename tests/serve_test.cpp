@@ -12,13 +12,17 @@
 #include <atomic>
 #include <cerrno>
 #include <chrono>
+#include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
 #include "gtest/gtest.h"
 #include "src/obs/json_reader.hpp"
+#include "src/obs/trace_buffer.hpp"
 #include "src/serve/handlers.hpp"
 #include "src/serve/protocol.hpp"
 #include "src/serve/server.hpp"
@@ -619,6 +623,128 @@ TEST(ServeLoopback, StopWithInFlightWorkFinishesIt) {
   EXPECT_TRUE(response_ok(doc));
   server.wait_drained();
   server.stop();
+}
+
+// --- observability: stats window fields, access log, req_id ---------------
+
+TEST(ServeLoopback, StatsReportsVersionUptimeAndWindow) {
+  Server server(loopback_options());
+  ASSERT_TRUE(server.start());
+  Client client(server.port());
+  ASSERT_TRUE(client.connected());
+
+  client.call("{\"schema\":\"recover.req/1\",\"id\":1,\"method\":\"ping\"}");
+  const auto doc = client.call(
+      "{\"schema\":\"recover.req/1\",\"id\":2,\"method\":\"stats\"}");
+  ASSERT_TRUE(response_ok(doc));
+  const auto* result = doc.find("result");
+  ASSERT_NE(result, nullptr);
+
+  // New fields.
+  const auto* version = result->find("version");
+  ASSERT_NE(version, nullptr);
+  EXPECT_EQ(version->text, kServeVersion);
+  const auto* uptime = result->find("uptime_ms");
+  ASSERT_NE(uptime, nullptr);
+  EXPECT_GE(uptime->number, 0.0);
+  const auto* window_requests = result->find("window_requests");
+  ASSERT_NE(window_requests, nullptr);
+  // The live tail makes both requests visible before any tick.
+  EXPECT_GE(window_requests->number, 2.0);
+  for (const char* name : {"window_span_ms", "window_shed", "window_qps",
+                           "window_p50_us", "window_p95_us",
+                           "window_p99_us"}) {
+    EXPECT_NE(result->find(name), nullptr) << name;
+  }
+  // Old fields survive (additive change, not a reshape).
+  for (const char* name :
+       {"connections_total", "requests_total", "responses_ok", "shed_total",
+        "queue_depth", "queue_capacity", "in_flight", "draining"}) {
+    EXPECT_NE(result->find(name), nullptr) << name;
+  }
+  server.stop();
+}
+
+TEST(ServeLoopback, AccessLogHasOneLinePerCompletedRequest) {
+  const std::string path =
+      ::testing::TempDir() + "/serve_test_access.jsonl";
+  std::remove(path.c_str());
+  ServerOptions options = loopback_options();
+  options.access_log_path = path;
+  {
+    Server server(options);
+    ASSERT_TRUE(server.start());
+    Client client(server.port());
+    ASSERT_TRUE(client.connected());
+    EXPECT_TRUE(response_ok(client.call(
+        "{\"schema\":\"recover.req/1\",\"id\":1,\"method\":\"ping\"}")));
+    EXPECT_TRUE(response_ok(client.call(
+        "{\"schema\":\"recover.req/1\",\"id\":2,\"method\":\"run_cell\","
+        "\"params\":{\"exp\":\"exp01\",\"seed\":9,"
+        "\"params\":{\"m\":16,\"d\":2,\"density\":1,\"replicas\":2}}}")));
+    EXPECT_FALSE(response_ok(client.call(
+        "{\"schema\":\"recover.req/1\",\"id\":3,\"method\":\"nope\"}")));
+    server.stop();  // drains the log
+  }
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::vector<obs::JsonValue> lines;
+  std::string text;
+  while (std::getline(in, text)) {
+    obs::JsonValue doc;
+    ASSERT_TRUE(obs::parse_json(text, doc)) << text;
+    lines.push_back(std::move(doc));
+  }
+  ASSERT_EQ(lines.size(), 3u);
+  // One line per request, in completion order on this single connection,
+  // with deterministic req_ids.
+  EXPECT_EQ(lines[0].find("req_id")->text, "c1-1");
+  EXPECT_EQ(lines[0].find("method")->text, "ping");
+  EXPECT_EQ(lines[0].find("status")->text, "ok");
+  EXPECT_EQ(lines[1].find("req_id")->text, "c1-2");
+  EXPECT_EQ(lines[1].find("method")->text, "run_cell");
+  EXPECT_EQ(lines[1].find("cell")->text, "m=16,d=2,density=1,replicas=2");
+  EXPECT_GE(lines[1].find("run_ns")->number, 0.0);
+  EXPECT_EQ(lines[2].find("req_id")->text, "c1-3");
+  EXPECT_EQ(lines[2].find("status")->text, "error");
+  for (const auto& line : lines) {
+    EXPECT_EQ(line.find("schema")->text, "recover.access/1");
+    EXPECT_EQ(line.find("deadline")->text, "none");
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ServeLoopback, ReqIdAppearsOnRequestTraceSpan) {
+  const bool trace_was = obs::trace_enabled();
+  obs::TraceCollector::global().reset_for_tests();
+  obs::set_trace_enabled(true);
+  {
+    Server server(loopback_options());
+    ASSERT_TRUE(server.start());
+    Client client(server.port());
+    ASSERT_TRUE(client.connected());
+    EXPECT_TRUE(response_ok(client.call(
+        "{\"schema\":\"recover.req/1\",\"id\":1,\"method\":\"ping\"}")));
+    server.stop();
+  }
+  obs::set_trace_enabled(false);
+
+  // The per-request span carries "req_id method" in its detail, so a
+  // trace straggler can be joined against its access-log line.
+  bool found = false;
+  for (const auto& thread : obs::TraceCollector::global().collect()) {
+    for (const auto& e : thread.events) {
+      if (e.type == obs::TraceEvent::Type::kBegin &&
+          std::string_view(e.name) == "serve.request_ns" &&
+          std::string_view(e.detail) == "c1-1 ping") {
+        found = true;
+      }
+    }
+  }
+  EXPECT_TRUE(found);
+  obs::TraceCollector::global().reset_for_tests();
+  obs::set_trace_enabled(trace_was);
 }
 
 }  // namespace
