@@ -1,0 +1,355 @@
+// recover_cluster — the front-tier router daemon (docs/SERVING.md,
+// "Cluster mode").
+//
+//   recover_cluster --port 0 --backends 127.0.0.1:9001:9101,127.0.0.1:9002
+//                   --cache-entries 4096 --admin-port 0
+//
+// Speaks recover.req/1 on the front socket exactly like recover_serve —
+// clients cannot tell the tiers apart — but answers run_cell by
+// consistent-hashing the request over the --backends list, with an LRU
+// result cache in front (cache hits never touch a backend and return
+// byte-identical replies).  Each backend entry is host:port or
+// host:port:adminport; with an admin port the router probes /readyz and
+// ejects draining backends before their socket disappears.
+//
+// Prints machine-parseable lines once the sockets are bound:
+//
+//   # cluster: listening on 127.0.0.1:PORT backends=N cache=ENTRIES
+//   # cluster: admin on 127.0.0.1:PORT          (with --admin-port)
+//
+// SIGTERM/SIGINT — or a `shutdown` request — drains exactly like
+// recover_serve: stop accepting, finish in-flight forwards, hold
+// --drain-grace with /readyz answering 503, exit 0.
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/cluster/router.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/run_record.hpp"
+#include "src/ops/admin.hpp"
+#include "src/ops/prometheus.hpp"
+#include "src/util/cli.hpp"
+#include "src/util/table.hpp"
+
+namespace {
+
+volatile std::sig_atomic_t g_shutdown_requested = 0;
+
+void on_signal(int) { g_shutdown_requested = 1; }
+
+/// Parses "host:port[:adminport]" entries out of a comma-separated
+/// list.  False (with a stderr diagnostic) on any malformed entry.
+bool parse_backends(const std::string& spec,
+                    std::vector<recover::cluster::BackendConfig>& out) {
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    std::size_t end = spec.find(',', start);
+    if (end == std::string::npos) end = spec.size();
+    const std::string entry = spec.substr(start, end - start);
+    start = end + 1;
+    if (entry.empty()) continue;
+    recover::cluster::BackendConfig config;
+    const std::size_t colon1 = entry.find(':');
+    if (colon1 == std::string::npos || colon1 == 0) {
+      std::fprintf(stderr, "cluster: bad backend '%s' (want host:port)\n",
+                   entry.c_str());
+      return false;
+    }
+    config.host = entry.substr(0, colon1);
+    const std::size_t colon2 = entry.find(':', colon1 + 1);
+    try {
+      config.port = std::stoi(
+          entry.substr(colon1 + 1, colon2 == std::string::npos
+                                       ? std::string::npos
+                                       : colon2 - colon1 - 1));
+      if (colon2 != std::string::npos) {
+        config.admin_port = std::stoi(entry.substr(colon2 + 1));
+      }
+    } catch (const std::exception&) {
+      std::fprintf(stderr, "cluster: bad backend '%s' (non-numeric port)\n",
+                   entry.c_str());
+      return false;
+    }
+    if (config.port <= 0) {
+      std::fprintf(stderr, "cluster: bad backend '%s' (port must be > 0)\n",
+                   entry.c_str());
+      return false;
+    }
+    out.push_back(std::move(config));
+  }
+  if (out.empty()) {
+    std::fprintf(stderr, "cluster: --backends is required\n");
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace recover;
+
+  util::Cli cli("recover_cluster",
+                "recover.req/1 router: consistent-hashes run_cell over "
+                "recover_serve backends with an LRU result cache");
+  cli.flag("host", "listen address", "127.0.0.1");
+  cli.flag("port", "listen port (0 = ephemeral, printed at startup)", "0");
+  cli.flag("backends",
+           "comma-separated backend list, host:port[:adminport]; an admin "
+           "port enables active /readyz health probes",
+           "");
+  cli.flag("workers", "router forwarding threads", "4");
+  cli.flag("queue-cap",
+           "admission queue bound; excess requests are shed with "
+           "'overloaded'",
+           "128");
+  cli.flag("deadline",
+           "default per-request deadline (500ms/2s/1m; 0 = none), applied "
+           "when a request carries no deadline_ms",
+           "0");
+  cli.flag("cache-entries",
+           "LRU result cache capacity in entries (0 = cache disabled)",
+           "4096");
+  cli.flag("vnodes", "virtual nodes per backend on the hash ring", "64");
+  cli.flag("probe-interval",
+           "backend /readyz probe period (only backends with an admin "
+           "port are probed)",
+           "500ms");
+  cli.flag("eject-cooldown",
+           "how long a transport failure ejects a backend from routing",
+           "1s");
+  cli.flag("call-timeout",
+           "per-forward wall cap when a request carries no deadline",
+           "30s");
+  cli.flag("admin-port",
+           "ops admin plane port (/metrics, /healthz, /readyz; 0 = "
+           "ephemeral, printed at startup; -1 = disabled)",
+           "-1");
+  cli.flag("admin-host", "admin plane listen address", "127.0.0.1");
+  cli.flag("access-log",
+           "append recover.access/1 JSON lines (one per completed "
+           "request) to this file; empty = disabled",
+           "");
+  cli.flag("drain-grace",
+           "after the drain completes, keep running this long with "
+           "/readyz answering 503 (router ejection window) before exit",
+           "0");
+  obs::register_cli_flags(cli);
+  cli.parse(argc, argv);
+  obs::Run run(cli);
+
+  cluster::RouterOptions options;
+  options.server.host = cli.str("host");
+  options.server.port = static_cast<int>(cli.integer("port"));
+  options.server.workers = static_cast<int>(cli.integer("workers"));
+  options.server.queue_capacity =
+      static_cast<std::size_t>(cli.integer("queue-cap"));
+  options.server.default_deadline_ms = cli.duration_ms("deadline");
+  options.server.access_log_path = cli.str("access-log");
+  options.cache_entries =
+      static_cast<std::size_t>(cli.integer("cache-entries"));
+  options.ring_vnodes = static_cast<std::size_t>(cli.integer("vnodes"));
+  options.backend.probe_interval_ms =
+      static_cast<int>(cli.duration_ms("probe-interval"));
+  options.backend.eject_cooldown_ms =
+      static_cast<int>(cli.duration_ms("eject-cooldown"));
+  options.backend.call_timeout_ms =
+      static_cast<int>(cli.duration_ms("call-timeout"));
+  if (!parse_backends(cli.str("backends"), options.backends)) return 2;
+
+  const std::int64_t admin_port = cli.integer("admin-port");
+  const std::int64_t drain_grace_ms = cli.duration_ms("drain-grace");
+  if (admin_port >= 0) {
+    // Same contract as recover_serve: the admin plane implies metrics so
+    // windowed quantiles (router latency, per-backend RTT) are live.
+    obs::set_metrics_enabled(true);
+  }
+
+  cluster::Router router(options);
+  if (!router.start()) return 2;
+
+  std::unique_ptr<ops::AdminServer> admin;
+  if (admin_port >= 0) {
+    ops::AdminOptions admin_options;
+    admin_options.host = cli.str("admin-host");
+    admin_options.port = static_cast<int>(admin_port);
+    admin_options.build_version = cluster::kClusterVersion;
+    admin = std::make_unique<ops::AdminServer>(
+        admin_options,
+        [&router] {
+          std::string out;
+          ops::render_prometheus(obs::Registry::global().snapshot(), out);
+          // Front-door samples, named exactly like recover_serve's so
+          // dashboards and serve_top work against either tier.
+          const serve::ServerSnapshot snap = router.snapshot();
+          out += "# TYPE serve_window_request_us gauge\n";
+          ops::append_sample(out, "serve_window_request_us", "quantile",
+                             "0.5", snap.window_p50_us);
+          ops::append_sample(out, "serve_window_request_us", "quantile",
+                             "0.95", snap.window_p95_us);
+          ops::append_sample(out, "serve_window_request_us", "quantile",
+                             "0.99", snap.window_p99_us);
+          out += "# TYPE serve_window_qps gauge\n";
+          ops::append_sample(out, "serve_window_qps", snap.window_qps);
+          out += "# TYPE serve_window_shed_ratio gauge\n";
+          ops::append_sample(
+              out, "serve_window_shed_ratio",
+              snap.window_requests > 0
+                  ? static_cast<double>(snap.window_shed) /
+                        static_cast<double>(snap.window_requests)
+                  : 0.0);
+          out += "# TYPE serve_uptime_seconds gauge\n";
+          ops::append_sample(out, "serve_uptime_seconds",
+                             static_cast<double>(snap.uptime_ms) / 1000.0);
+          out += "# TYPE serve_ready gauge\n";
+          ops::append_sample(out, "serve_ready", snap.draining ? 0.0 : 1.0);
+          out += "# TYPE serve_draining gauge\n";
+          ops::append_sample(out, "serve_draining",
+                             snap.draining ? 1.0 : 0.0);
+          // Router plane: cache effectiveness and routing behavior.
+          const cluster::RouterStats stats = router.stats();
+          const cluster::ResultCache::Stats cache = router.cache_stats();
+          out += "# TYPE cluster_requests_total counter\n";
+          ops::append_sample(out, "cluster_requests_total",
+                             static_cast<double>(stats.requests));
+          out += "# TYPE cluster_forwards_total counter\n";
+          ops::append_sample(out, "cluster_forwards_total",
+                             static_cast<double>(stats.forwards));
+          out += "# TYPE cluster_failovers_total counter\n";
+          ops::append_sample(out, "cluster_failovers_total",
+                             static_cast<double>(stats.failovers));
+          out += "# TYPE cluster_exhausted_total counter\n";
+          ops::append_sample(out, "cluster_exhausted_total",
+                             static_cast<double>(stats.exhausted));
+          out += "# TYPE cluster_cache_hits_total counter\n";
+          ops::append_sample(out, "cluster_cache_hits_total",
+                             static_cast<double>(cache.hits));
+          out += "# TYPE cluster_cache_misses_total counter\n";
+          ops::append_sample(out, "cluster_cache_misses_total",
+                             static_cast<double>(cache.misses));
+          out += "# TYPE cluster_cache_evictions_total counter\n";
+          ops::append_sample(out, "cluster_cache_evictions_total",
+                             static_cast<double>(cache.evictions));
+          out += "# TYPE cluster_cache_entries gauge\n";
+          ops::append_sample(out, "cluster_cache_entries",
+                             static_cast<double>(cache.entries));
+          out += "# TYPE cluster_cache_bytes gauge\n";
+          ops::append_sample(out, "cluster_cache_bytes",
+                             static_cast<double>(cache.bytes));
+          out += "# TYPE cluster_cache_hit_ratio gauge\n";
+          ops::append_sample(out, "cluster_cache_hit_ratio",
+                             cache.hit_ratio());
+          // Per-backend plane, labeled by backend identity.
+          const auto backends = router.backend_telemetry();
+          double healthy = 0;
+          for (const auto& b : backends) {
+            if (b.healthy) healthy += 1;
+          }
+          out += "# TYPE cluster_backends_healthy gauge\n";
+          ops::append_sample(out, "cluster_backends_healthy", healthy);
+          out += "# TYPE cluster_backend_up gauge\n";
+          for (const auto& b : backends) {
+            ops::append_sample(out, "cluster_backend_up", "backend", b.id,
+                               b.healthy ? 1.0 : 0.0);
+          }
+          out += "# TYPE cluster_backend_requests_total counter\n";
+          for (const auto& b : backends) {
+            ops::append_sample(out, "cluster_backend_requests_total",
+                               "backend", b.id,
+                               static_cast<double>(b.requests));
+          }
+          out += "# TYPE cluster_backend_errors_total counter\n";
+          for (const auto& b : backends) {
+            ops::append_sample(out, "cluster_backend_errors_total",
+                               "backend", b.id,
+                               static_cast<double>(b.errors));
+          }
+          out += "# TYPE cluster_backend_ejections_total counter\n";
+          for (const auto& b : backends) {
+            ops::append_sample(out, "cluster_backend_ejections_total",
+                               "backend", b.id,
+                               static_cast<double>(b.ejections));
+          }
+          out += "# TYPE cluster_backend_qps gauge\n";
+          for (const auto& b : backends) {
+            ops::append_sample(out, "cluster_backend_qps", "backend", b.id,
+                               b.window_qps);
+          }
+          out += "# TYPE cluster_backend_p99_us gauge\n";
+          for (const auto& b : backends) {
+            ops::append_sample(out, "cluster_backend_p99_us", "backend",
+                               b.id, b.window_p99_us);
+          }
+          out += "# TYPE cluster_backend_rtt_ms gauge\n";
+          for (const auto& b : backends) {
+            ops::append_sample(out, "cluster_backend_rtt_ms", "backend",
+                               b.id, b.rtt_ms);
+          }
+          return out;
+        },
+        [&router] { return !router.draining(); });
+    if (!admin->start()) return 2;
+  }
+
+  std::signal(SIGTERM, on_signal);
+  std::signal(SIGINT, on_signal);
+
+  std::printf("# cluster: listening on %s:%d backends=%zu cache=%zu\n",
+              options.server.host.c_str(), router.port(),
+              options.backends.size(), options.cache_entries);
+  if (admin != nullptr) {
+    std::printf("# cluster: admin on %s:%d\n",
+                cli.str("admin-host").c_str(), admin->port());
+  }
+  std::fflush(stdout);
+
+  while (g_shutdown_requested == 0 && !router.draining()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  router.request_drain();
+  router.wait_drained();
+  if (drain_grace_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(drain_grace_ms));
+  }
+  router.stop();
+
+  const serve::ServerSnapshot snap = router.snapshot();
+  const cluster::RouterStats stats = router.stats();
+  const cluster::ResultCache::Stats cache = router.cache_stats();
+  util::Table table({"requests", "ok", "shed", "deadline_exceeded",
+                     "cache_hits", "cache_misses", "failovers",
+                     "exhausted"});
+  table.row()
+      .integer(static_cast<std::int64_t>(snap.requests_total))
+      .integer(static_cast<std::int64_t>(snap.responses_ok))
+      .integer(static_cast<std::int64_t>(snap.shed_total))
+      .integer(static_cast<std::int64_t>(snap.deadline_exceeded_total))
+      .integer(static_cast<std::int64_t>(cache.hits))
+      .integer(static_cast<std::int64_t>(cache.misses))
+      .integer(static_cast<std::int64_t>(stats.failovers))
+      .integer(static_cast<std::int64_t>(stats.exhausted));
+  table.print(std::cout);
+  run.add_table("cluster", table);
+  run.note("cache_hit_ratio", cache.hit_ratio());
+  std::printf("# cluster: drained requests=%llu ok=%llu shed=%llu "
+              "hits=%llu misses=%llu failovers=%llu exhausted=%llu\n",
+              static_cast<unsigned long long>(snap.requests_total),
+              static_cast<unsigned long long>(snap.responses_ok),
+              static_cast<unsigned long long>(snap.shed_total),
+              static_cast<unsigned long long>(cache.hits),
+              static_cast<unsigned long long>(cache.misses),
+              static_cast<unsigned long long>(stats.failovers),
+              static_cast<unsigned long long>(stats.exhausted));
+  if (admin != nullptr) {
+    std::printf("# cluster: admin served %llu requests\n",
+                static_cast<unsigned long long>(admin->requests_served()));
+    admin->stop();
+  }
+  return 0;
+}

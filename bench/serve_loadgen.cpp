@@ -14,6 +14,18 @@
 // parse (a protocol error is a bug, not load).  With --json-out the run
 // record is the committed BENCH_serve.json baseline, validated by
 // scripts/check_bench_json.py --serve.
+//
+// Key distribution: by default every run_cell carries a unique seed
+// (worst case for any cache).  --key-dist zipf:<s> draws the seed from
+// a Zipf(s) distribution over --key-space ranks instead — the standard
+// skewed-popularity model — so a fraction of requests repeat and a
+// result cache (recover_cluster) has something to hit.  The draw is a
+// pure function of --seed and the request index, so reruns replay the
+// identical key sequence.
+//
+// --cluster marks the target as a recover_cluster router: the final
+// /metrics scrape additionally reports the router's cache hit ratio and
+// failover count (the numbers BENCH_cluster.json commits).
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
@@ -83,6 +95,47 @@ bool parse_mix(const std::string& text, Mix& out) {
   }
   return !out.methods.empty();
 }
+
+/// run_cell key (= seed) selection.  Empty cdf ⇒ unique keys (the
+/// pre-cluster behavior); otherwise cdf[r] is the cumulative Zipf mass
+/// of ranks 0..r and the seed is the drawn rank + 1.
+struct KeyDist {
+  std::vector<double> cdf;
+
+  /// "unique" or "zipf:<s>" with s > 0 (the skew exponent; mass of rank
+  /// r ∝ 1/r^s).  False on anything else.
+  static bool parse(const std::string& text, std::size_t key_space,
+                    KeyDist& out) {
+    if (text == "unique") return true;
+    if (text.rfind("zipf:", 0) != 0 || key_space == 0) return false;
+    double s = 0.0;
+    try {
+      s = std::stod(text.substr(5));
+    } catch (const std::exception&) {
+      return false;
+    }
+    if (!(s > 0.0)) return false;
+    out.cdf.resize(key_space);
+    double mass = 0.0;
+    for (std::size_t r = 0; r < key_space; ++r) {
+      mass += 1.0 / std::pow(static_cast<double>(r + 1), s);
+      out.cdf[r] = mass;
+    }
+    for (double& c : out.cdf) c /= mass;
+    return true;
+  }
+
+  /// Seed for request draw `draw` (a substream value): a Zipf rank in
+  /// [1, key_space] when skewed, a unique 53-bit value otherwise.
+  [[nodiscard]] std::uint64_t seed_for(std::uint64_t draw) const {
+    if (cdf.empty()) return (draw >> 8) & ((1ULL << 53) - 1);
+    // 53 high bits → uniform double in [0,1), the rng_guide idiom.
+    const double u =
+        static_cast<double>(draw >> 11) * (1.0 / 9007199254740992.0);
+    const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+    return static_cast<std::uint64_t>(it - cdf.begin()) + 1;
+  }
+};
 
 struct Tally {
   std::uint64_t sent = 0;
@@ -286,6 +339,18 @@ int main(int argc, char** argv) {
            "empty = none)",
            "");
   cli.flag("seed", "seed for the method/cell-seed stream", "1");
+  cli.flag("key-dist",
+           "run_cell key distribution: 'unique' (every request a fresh "
+           "seed) or 'zipf:<s>' (skewed repeats over --key-space ranks, "
+           "deterministic from --seed)",
+           "unique");
+  cli.flag("key-space",
+           "number of distinct run_cell seeds under --key-dist zipf",
+           "64");
+  cli.flag("cluster",
+           "target is a recover_cluster router: report its cache hit "
+           "ratio and failovers from the final /metrics scrape",
+           "false");
   cli.flag("grace",
            "how long to wait for in-flight replies after the send window",
            "2s");
@@ -322,6 +387,14 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "serve_loadgen: bad --qps/--conns/--duration/--mix\n");
     return 2;
   }
+  KeyDist key_dist;
+  if (!KeyDist::parse(cli.str("key-dist"),
+                      static_cast<std::size_t>(cli.integer("key-space")),
+                      key_dist)) {
+    std::fprintf(stderr, "serve_loadgen: bad --key-dist/--key-space\n");
+    return 2;
+  }
+  const bool cluster_mode = cli.boolean("cluster");
 
   const auto total_requests = static_cast<std::uint64_t>(
       qps * static_cast<double>(duration_ms) / 1000.0);
@@ -416,8 +489,8 @@ int main(int argc, char** argv) {
   for (std::size_t c = 0; c < conns; ++c) {
     Connection& conn = connections[c];
     // Writer: paced open-loop sends.
-    threads.emplace_back([&conn, &send_ns, &mix, start_ns, ns_per_request,
-                          seed, deadline_ms] {
+    threads.emplace_back([&conn, &send_ns, &mix, &key_dist, start_ns,
+                          ns_per_request, seed, deadline_ms] {
       for (const std::uint64_t k : conn.request_ids) {
         const std::uint64_t due =
             start_ns + static_cast<std::uint64_t>(
@@ -435,9 +508,8 @@ int main(int argc, char** argv) {
         const std::string& method =
             mix.methods[draw % mix.methods.size()];
         // Seed stays within the protocol's [0, 2^53] integer range.
-        const std::string line = request_line(
-            k, method, /*seed=*/(draw >> 8) & ((1ULL << 53) - 1),
-            deadline_ms);
+        const std::string line =
+            request_line(k, method, key_dist.seed_for(draw), deadline_ms);
         send_ns[k] = now_ns();
         if (!send_all(conn.fd, line)) break;
         ++conn.tally.sent;
@@ -486,25 +558,26 @@ int main(int argc, char** argv) {
   for (auto& t : threads) t.join();
   stop_readers.store(true, std::memory_order_release);
   watchdog.join();
+  std::string final_scrape_body;
   if (scraper.joinable()) {
     // One final scrape after the load is fully answered: the rolling
     // window (~10 s) still covers the run, and this body is the one
-    // whose windowed p99 lands in the run record.
+    // whose windowed p99 (and, under --cluster, cache hit ratio) lands
+    // in the run record.
     stop_scraper.store(true, std::memory_order_release);
     scraper.join();
-    std::string body;
     sockaddr_in admin_addr{};
     admin_addr.sin_family = AF_INET;
     admin_addr.sin_port = htons(static_cast<std::uint16_t>(admin_port));
     ::inet_pton(AF_INET, cli.str("admin-host").c_str(),
                 &admin_addr.sin_addr);
     const std::uint64_t t0 = now_ns();
-    if (scrape_once(admin_addr, "/metrics", body)) {
+    if (scrape_once(admin_addr, "/metrics", final_scrape_body)) {
       ++scrape.scrapes;
       scrape.latencies_us.push_back(
           static_cast<double>(now_ns() - t0) / 1000.0);
       const double p99 = parse_metric(
-          body, "serve_window_request_us{quantile=\"0.99\"} ");
+          final_scrape_body, "serve_window_request_us{quantile=\"0.99\"} ");
       if (!std::isnan(p99)) scrape.last_window_p99_us = p99;
     }
   }
@@ -561,6 +634,35 @@ int main(int argc, char** argv) {
   run.note("conns", static_cast<double>(conns));
   run.note("duration_ms", static_cast<double>(duration_ms));
   run.note("mix", cli.str("mix"));
+  run.note("key_dist", cli.str("key-dist"));
+
+  if (cluster_mode && !final_scrape_body.empty()) {
+    // The router's own view of the run, from the final scrape: these
+    // are the numbers the BENCH_cluster.json gate asserts on.
+    const double hit_ratio =
+        parse_metric(final_scrape_body, "cluster_cache_hit_ratio ");
+    const double failovers =
+        parse_metric(final_scrape_body, "cluster_failovers_total ");
+    const double exhausted =
+        parse_metric(final_scrape_body, "cluster_exhausted_total ");
+    util::Table cluster_table(
+        {"hit_ratio", "failovers", "exhausted"});
+    cluster_table.row()
+        .num(std::isnan(hit_ratio) ? 0.0 : hit_ratio, 4)
+        .integer(static_cast<std::int64_t>(
+            std::isnan(failovers) ? 0.0 : failovers))
+        .integer(static_cast<std::int64_t>(
+            std::isnan(exhausted) ? 0.0 : exhausted));
+    cluster_table.print(std::cout);
+    run.add_table("cluster", cluster_table);
+    run.note("cluster_cache_hit_ratio",
+             std::isnan(hit_ratio) ? 0.0 : hit_ratio);
+    std::printf("# loadgen: cluster hit_ratio=%.4f failovers=%.0f "
+                "exhausted=%.0f\n",
+                std::isnan(hit_ratio) ? 0.0 : hit_ratio,
+                std::isnan(failovers) ? 0.0 : failovers,
+                std::isnan(exhausted) ? 0.0 : exhausted);
+  }
 
   if (admin_port > 0) {
     std::sort(scrape.latencies_us.begin(), scrape.latencies_us.end());

@@ -112,6 +112,7 @@ int main(int argc, char** argv) {
     ops::AdminOptions admin_options;
     admin_options.host = cli.str("admin-host");
     admin_options.port = static_cast<int>(admin_port);
+    admin_options.build_version = serve::kServeVersion;
     admin = std::make_unique<ops::AdminServer>(
         admin_options,
         [&server] {

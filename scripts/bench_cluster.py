@@ -1,0 +1,256 @@
+#!/usr/bin/env python3
+"""Produce BENCH_cluster.json: the recover_cluster scaling record.
+
+Boots recover_serve backends and a recover_cluster router per row,
+drives serve_loadgen --cluster through the router with a Zipf key
+distribution, and composes a recover.run/1 record
+(run.binary == "bench_cluster") with one "scaling" table row per
+topology:
+
+    backends=1 cache=0      the single-backend baseline
+    backends=3 cache=0      sharding only (no win on a one-core host)
+    backends=3 cache=4096   sharding plus the deterministic result cache
+
+Every row must finish with zero protocol errors.  The acceptance
+thresholds (best multi-backend ok_rps >= 1.8x the baseline, cache hit
+ratio >= 0.5) are asserted by scripts/check_bench_json.py --cluster,
+not here: this script measures, the validator judges — so a committed
+BENCH_cluster.json is re-judged by CI without re-running the bench.
+
+The throughput win comes from the cache row: run_cell replies are a
+pure function of (exp, params, seed), so a cache hit skips the backend
+round-trip and the cell computation entirely.  On a multi-core host the
+cache-off row scales too; on the one-core CI host it does not, which is
+why the gate compares the *best* multi-backend row.
+"""
+
+import argparse
+import json
+import os
+import re
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+
+LISTEN_RE = re.compile(r"listening on (\d+\.\d+\.\d+\.\d+):(\d+)")
+ADMIN_RE = re.compile(r"admin on (\d+\.\d+\.\d+\.\d+):(\d+)")
+
+
+class Daemon:
+    """One spawned server process whose stdout is tailed for port lines."""
+
+    def __init__(self, argv):
+        self.log = tempfile.NamedTemporaryFile(
+            mode="w+", prefix="bench_cluster_", suffix=".log", delete=False
+        )
+        self.proc = subprocess.Popen(
+            argv, stdout=self.log, stderr=subprocess.STDOUT
+        )
+
+    def wait_line(self, pattern, timeout_s=10.0):
+        """Polls the log until `pattern` matches; returns the match."""
+        deadline = time.monotonic() + timeout_s
+        while time.monotonic() < deadline:
+            with open(self.log.name, encoding="utf-8") as f:
+                text = f.read()
+            match = pattern.search(text)
+            if match:
+                return match
+            if self.proc.poll() is not None:
+                raise RuntimeError(
+                    f"daemon exited with {self.proc.returncode}:\n{text}"
+                )
+            time.sleep(0.05)
+        raise RuntimeError(f"timed out waiting for {pattern.pattern!r}")
+
+    def stop(self, timeout_s=15.0):
+        if self.proc.poll() is None:
+            self.proc.send_signal(signal.SIGTERM)
+            try:
+                self.proc.wait(timeout=timeout_s)
+            except subprocess.TimeoutExpired:
+                self.proc.kill()
+                self.proc.wait()
+        os.unlink(self.log.name)
+        return self.proc.returncode
+
+
+def wait_ready(host, port, timeout_s=5.0):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        try:
+            with socket.create_connection((host, port), timeout=1.0):
+                return
+        except OSError:
+            time.sleep(0.05)
+    raise RuntimeError(f"{host}:{port} never accepted a connection")
+
+
+def table_row(doc, name):
+    for table in doc.get("tables", []):
+        if table.get("name") == name and table.get("rows"):
+            return dict(zip(table["columns"], table["rows"][0]))
+    return None
+
+
+def run_row(args, backend_ports, cache_entries, label):
+    """Boots a router over `backend_ports`, drives one load run through
+    it, and returns the scaling-table row."""
+    backends = ",".join(f"127.0.0.1:{p}" for p in backend_ports)
+    router = Daemon([
+        os.path.join(args.build_dir, "bench", "recover_cluster"),
+        "--port", "0", "--backends", backends,
+        "--workers", str(args.router_workers),
+        "--cache-entries", str(cache_entries),
+        "--admin-port", "0", "--drain-grace", "1s",
+    ])
+    try:
+        port = int(router.wait_line(LISTEN_RE).group(2))
+        admin = int(router.wait_line(ADMIN_RE).group(2))
+        wait_ready("127.0.0.1", port)
+        record_path = tempfile.mktemp(prefix="bench_cluster_", suffix=".json")
+        loadgen = subprocess.run(
+            [
+                os.path.join(args.build_dir, "bench", "serve_loadgen"),
+                "--port", str(port), "--qps", str(args.qps),
+                "--conns", str(args.conns), "--duration", args.duration,
+                "--mix", "run_cell=1",
+                "--key-dist", args.key_dist,
+                "--key-space", str(args.key_space),
+                "--cluster", "--admin-port", str(admin),
+                "--scrape-interval", "500ms",
+                "--json-out", record_path,
+            ],
+            capture_output=True, text=True,
+        )
+        if loadgen.returncode != 0:
+            raise RuntimeError(
+                f"{label}: loadgen failed ({loadgen.returncode}):\n"
+                f"{loadgen.stdout}\n{loadgen.stderr}"
+            )
+        with open(record_path, encoding="utf-8") as f:
+            record = json.load(f)
+        os.unlink(record_path)
+    finally:
+        rc = router.stop()
+    if rc != 0:
+        raise RuntimeError(f"{label}: router exited with {rc}")
+
+    summary = table_row(record, "summary")
+    cluster = table_row(record, "cluster")
+    if summary is None or cluster is None:
+        raise RuntimeError(f"{label}: loadgen record is missing the "
+                           f"summary or cluster table")
+    duration_s = record["notes"]["duration_ms"] / 1000.0
+    row = {
+        "backends": len(backend_ports),
+        "cache_entries": cache_entries,
+        "key_dist": args.key_dist,
+        "sent": summary["sent"],
+        "ok": summary["ok"],
+        "shed": summary["shed"],
+        "ok_rps": round(summary["ok"] / duration_s, 1),
+        "hit_ratio": cluster["hit_ratio"],
+        "p50_us": summary["p50_us"],
+        "p99_us": summary["p99_us"],
+        "failovers": cluster["failovers"],
+        "protocol_errors": summary["protocol_errors"],
+    }
+    print(f"bench_cluster: {label}: ok_rps={row['ok_rps']:.0f} "
+          f"hit_ratio={row['hit_ratio']:.4f} shed={row['shed']}")
+    return row, record["run"].get("git", "unknown")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", default="build",
+                        help="CMake build tree holding the binaries")
+    parser.add_argument("--out", default="BENCH_cluster.json",
+                        help="output recover.run/1 record")
+    parser.add_argument("--qps", type=int, default=60000,
+                        help="offered load per row (must saturate the "
+                             "single-backend baseline)")
+    parser.add_argument("--duration", default="3s",
+                        help="load duration per row")
+    parser.add_argument("--conns", type=int, default=4)
+    parser.add_argument("--key-dist", default="zipf:1.1",
+                        help="loadgen key distribution for every row")
+    parser.add_argument("--key-space", type=int, default=64)
+    parser.add_argument("--backend-workers", type=int, default=2)
+    parser.add_argument("--router-workers", type=int, default=2)
+    parser.add_argument("--cache-entries", type=int, default=4096,
+                        help="cache size for the cached row")
+    args = parser.parse_args()
+
+    started_unix_ms = int(time.time() * 1000)
+    t0 = time.monotonic()
+    serve_bin = os.path.join(args.build_dir, "bench", "recover_serve")
+    backends = [
+        Daemon([serve_bin, "--port", "0",
+                "--workers", str(args.backend_workers)])
+        for _ in range(3)
+    ]
+    try:
+        ports = [int(b.wait_line(LISTEN_RE).group(2)) for b in backends]
+        for port in ports:
+            wait_ready("127.0.0.1", port)
+        rows = []
+        git = "unknown"
+        for backend_ports, cache, label in (
+            (ports[:1], 0, "1 backend, cache off"),
+            (ports, 0, "3 backends, cache off"),
+            (ports, args.cache_entries, "3 backends, cache on"),
+        ):
+            row, git = run_row(args, backend_ports, cache, label)
+            rows.append(row)
+    finally:
+        for backend in backends:
+            backend.stop()
+
+    columns = list(rows[0].keys())
+    baseline = rows[0]["ok_rps"]
+    best = max(r["ok_rps"] for r in rows if r["backends"] > 1)
+    record = {
+        "schema": "recover.run/1",
+        "run": {
+            "binary": "bench_cluster",
+            "description": "router scaling: consistent hashing + "
+                           "deterministic result cache over recover_serve "
+                           "backends",
+            "started_unix_ms": started_unix_ms,
+            "wall_seconds": round(time.monotonic() - t0, 3),
+            "hostname": socket.gethostname(),
+            "git": git,
+            "flags": {
+                "qps": str(args.qps),
+                "duration": args.duration,
+                "conns": str(args.conns),
+                "key_dist": args.key_dist,
+                "key_space": str(args.key_space),
+                "cache_entries": str(args.cache_entries),
+            },
+        },
+        "tables": [{
+            "name": "scaling",
+            "columns": columns,
+            "rows": [[r[c] for c in columns] for r in rows],
+        }],
+        "notes": {
+            "speedup_best_vs_baseline": round(best / baseline, 3),
+            "host_cores": os.cpu_count() or 0,
+        },
+    }
+    with open(args.out, "w", encoding="utf-8") as f:
+        json.dump(record, f, indent=1)
+        f.write("\n")
+    print(f"bench_cluster: wrote {args.out} "
+          f"(speedup {best / baseline:.2f}x, "
+          f"{record['run']['wall_seconds']:.1f}s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

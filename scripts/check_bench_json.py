@@ -33,6 +33,14 @@ scrape latency quantiles, and a positive windowed server-side p99 that
 stays within a loose factor of the client-observed p99 — the CI gate
 on the recover_serve admin plane.
 
+With --cluster, the inputs are validated as bench_cluster scaling
+records (docs/SERVING.md, "Cluster mode"): run.binary must be
+bench_cluster and the "scaling" table must hold a 1-backend/no-cache
+baseline row plus multi-backend rows, all with traffic and zero
+protocol errors; the best multi-backend row must reach >= 1.8x the
+baseline ok_rps and every cached row must show a hit ratio >= 0.5 —
+the CI acceptance gate on the recover_cluster router.
+
 With --trace, the inputs are instead validated as recover.trace/1
 Chrome trace-event JSON written by --trace=FILE (docs/OBSERVABILITY.md):
 the document must parse, every event must carry a `ph`, every non-
@@ -291,6 +299,74 @@ def check_ops_record(path, doc):
     return True
 
 
+# Acceptance thresholds for the cluster scaling record (ISSUE 7): the
+# best multi-backend row must beat the 1-backend baseline by this
+# factor, and cached rows must actually hit.
+CLUSTER_MIN_SPEEDUP = 1.8
+CLUSTER_MIN_HIT_RATIO = 0.5
+
+
+def check_cluster_record(path, doc):
+    """Gate on a bench_cluster scaling record: a 1-backend baseline, a
+    winning multi-backend row, and a cache that actually hits."""
+    binary = doc.get("run", {}).get("binary")
+    if binary != "bench_cluster":
+        return fail(path, f"run.binary is {binary!r}, want 'bench_cluster'")
+    scaling = next(
+        (t for t in doc.get("tables", []) if t.get("name") == "scaling"),
+        None,
+    )
+    if scaling is None:
+        return fail(path, "no 'scaling' table")
+    rows = [dict(zip(scaling["columns"], r)) for r in scaling.get("rows", [])]
+    if len(rows) < 2:
+        return fail(path, "scaling table needs a baseline row and at "
+                          "least one multi-backend row")
+    for j, row in enumerate(rows):
+        for column in ("backends", "cache_entries", "sent", "ok", "ok_rps",
+                       "hit_ratio", "protocol_errors"):
+            value = row.get(column)
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                return fail(path, f"scaling row {j} column {column!r} "
+                                  f"missing or non-numeric (got {value!r})")
+        if row["sent"] <= 0:
+            return fail(path, f"scaling row {j} sent nothing")
+        if row["protocol_errors"] != 0:
+            return fail(path, f"scaling row {j} saw "
+                              f"{row['protocol_errors']} protocol errors")
+        if not 0.0 <= row["hit_ratio"] <= 1.0:
+            return fail(path, f"scaling row {j} hit_ratio="
+                              f"{row['hit_ratio']} outside [0, 1]")
+        if row["cache_entries"] > 0 \
+                and row["hit_ratio"] < CLUSTER_MIN_HIT_RATIO:
+            return fail(path, f"scaling row {j} cached but hit_ratio="
+                              f"{row['hit_ratio']:.4f} < "
+                              f"{CLUSTER_MIN_HIT_RATIO}")
+    baseline = [r for r in rows if r["backends"] == 1
+                and r["cache_entries"] == 0]
+    if not baseline:
+        return fail(path, "no 1-backend/no-cache baseline row")
+    multi = [r for r in rows if r["backends"] > 1]
+    if not multi:
+        return fail(path, "no multi-backend row")
+    if not any(r["cache_entries"] > 0 for r in multi):
+        return fail(path, "no cached multi-backend row")
+    base_rps = baseline[0]["ok_rps"]
+    best_rps = max(r["ok_rps"] for r in multi)
+    if base_rps <= 0:
+        return fail(path, "baseline ok_rps is 0")
+    speedup = best_rps / base_rps
+    if speedup < CLUSTER_MIN_SPEEDUP:
+        return fail(path, f"best multi-backend ok_rps {best_rps:.0f} is "
+                          f"only {speedup:.2f}x the baseline "
+                          f"{base_rps:.0f} (want >= "
+                          f"{CLUSTER_MIN_SPEEDUP}x)")
+    print(f"check_bench_json: {path}: cluster speedup {speedup:.2f}x, "
+          f"best hit_ratio "
+          f"{max(r['hit_ratio'] for r in rows):.4f}")
+    return True
+
+
 def summarize(doc):
     run = doc["run"]
     return {
@@ -334,6 +410,12 @@ def main():
         help="additionally gate inputs as serve_loadgen records "
              "(zero protocol errors, ordered latency quantiles)",
     )
+    parser.add_argument(
+        "--cluster",
+        action="store_true",
+        help="additionally gate inputs as bench_cluster scaling records "
+             "(>= 1.8x multi-backend speedup, cache hit ratio >= 0.5)",
+    )
     args = parser.parse_args()
 
     if args.trace:
@@ -363,6 +445,8 @@ def main():
             not args.serve or check_serve_record(path, doc)
         ) and (
             not args.ops or check_ops_record(path, doc)
+        ) and (
+            not args.cluster or check_cluster_record(path, doc)
         ):
             summaries.append(summarize(doc))
             rows = sum(len(t["rows"]) for t in doc["tables"])

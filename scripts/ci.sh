@@ -8,9 +8,9 @@
 # Env hooks:
 #   BUILD_DIR=dir   build directory (default build-ci)
 #   TSAN=1          additionally build parallel_test + obs_test +
-#                   serve_test + ops_test with -DRECOVERLIB_TSAN=ON and
-#                   run them under ThreadSanitizer (separate build tree
-#                   build-tsan)
+#                   serve_test + ops_test + cluster_test with
+#                   -DRECOVERLIB_TSAN=ON and run them under
+#                   ThreadSanitizer (separate build tree build-tsan)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -213,6 +213,107 @@ python3 scripts/check_bench_json.py --ops "$OPS_JSON"
 # The committed baseline must satisfy the same gate.
 python3 scripts/check_bench_json.py --ops BENCH_ops.json
 
+echo "== cluster: determinism, failover under fire, committed baseline =="
+# 1. The determinism gate: a fixed trace must produce byte-identical
+#    replies direct, through 1 backend, through 3 backends, and through
+#    3 backends with the cache on (tests/cluster_test.cpp).
+"$BUILD_DIR"/tests/cluster_test \
+  --gtest_filter='ClusterLoopback.ReplyBytesAreTopologyInvariant'
+# 2. The failover drill: router over two backends (with /readyz
+#    probing), Zipf load through the front door, SIGTERM one backend
+#    mid-load.  The loadgen must finish with zero protocol errors
+#    (re-hash is invisible on the wire), the router must record
+#    failovers and mark the dead backend DOWN, and every surviving
+#    process must drain cleanly.  The cache stays off so re-hashed
+#    keys actually travel to the surviving backend.
+CL_B1_LOG="$BUILD_DIR/cluster_b1.log"
+CL_B2_LOG="$BUILD_DIR/cluster_b2.log"
+CL_LOG="$BUILD_DIR/cluster_ci.log"
+"$BUILD_DIR"/bench/recover_serve --port 0 --workers 2 --admin-port 0 \
+  > "$CL_B1_LOG" 2>&1 &
+CL_B1_PID=$!
+"$BUILD_DIR"/bench/recover_serve --port 0 --workers 2 --admin-port 0 \
+  > "$CL_B2_LOG" 2>&1 &
+CL_B2_PID=$!
+for _ in $(seq 1 100); do
+  grep -q '^# serve: admin on' "$CL_B1_LOG" 2>/dev/null \
+    && grep -q '^# serve: admin on' "$CL_B2_LOG" 2>/dev/null && break
+  sleep 0.1
+done
+CL_B1_PORT=$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' "$CL_B1_LOG")
+CL_B2_PORT=$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' "$CL_B2_LOG")
+CL_B1_ADMIN=$(sed -n 's/.*admin on 127\.0\.0\.1:\([0-9]*\).*/\1/p' "$CL_B1_LOG")
+CL_B2_ADMIN=$(sed -n 's/.*admin on 127\.0\.0\.1:\([0-9]*\).*/\1/p' "$CL_B2_LOG")
+if [ -z "$CL_B1_PORT" ] || [ -z "$CL_B2_PORT" ] \
+    || [ -z "$CL_B1_ADMIN" ] || [ -z "$CL_B2_ADMIN" ]; then
+  echo "ci.sh: cluster backends never reported ports" >&2
+  kill "$CL_B1_PID" "$CL_B2_PID" 2>/dev/null || true
+  exit 1
+fi
+"$BUILD_DIR"/bench/recover_cluster --port 0 --workers 2 \
+  --backends "127.0.0.1:$CL_B1_PORT:$CL_B1_ADMIN,127.0.0.1:$CL_B2_PORT:$CL_B2_ADMIN" \
+  --cache-entries 0 --probe-interval 200ms --eject-cooldown 200ms \
+  --admin-port 0 --drain-grace 2s > "$CL_LOG" 2>&1 &
+CL_PID=$!
+for _ in $(seq 1 100); do
+  grep -q '^# cluster: admin on' "$CL_LOG" 2>/dev/null && break
+  sleep 0.1
+done
+CL_PORT=$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' "$CL_LOG")
+CL_ADMIN=$(sed -n 's/.*admin on 127\.0\.0\.1:\([0-9]*\).*/\1/p' "$CL_LOG")
+if [ -z "$CL_PORT" ] || [ -z "$CL_ADMIN" ]; then
+  echo "ci.sh: recover_cluster never reported its ports" >&2
+  kill "$CL_PID" "$CL_B1_PID" "$CL_B2_PID" 2>/dev/null || true
+  exit 1
+fi
+CL_JSON="$JSON_DIR/serve_loadgen_cluster.json"
+CL_LOADGEN_LOG="$BUILD_DIR/cluster_loadgen.log"
+"$BUILD_DIR"/bench/serve_loadgen --port "$CL_PORT" --qps 300 --conns 4 \
+  --duration 3s --mix "run_cell=1" --key-dist zipf:1.1 --key-space 64 \
+  --cluster --admin-port "$CL_ADMIN" --scrape-interval 200ms --metrics \
+  --json-out="$CL_JSON" > "$CL_LOADGEN_LOG" 2>&1 &
+CL_LOADGEN_PID=$!
+sleep 1
+kill -TERM "$CL_B2_PID"  # one backend dies mid-load
+if ! wait "$CL_LOADGEN_PID"; then
+  echo "ci.sh: cluster loadgen failed during the failover drill" >&2
+  cat "$CL_LOADGEN_LOG" >&2
+  exit 1
+fi
+cat "$CL_LOADGEN_LOG"
+if ! wait "$CL_B2_PID"; then
+  echo "ci.sh: killed backend did not drain cleanly on SIGTERM" >&2
+  cat "$CL_B2_LOG" >&2
+  exit 1
+fi
+grep -q ' failovers=[1-9]' "$CL_LOADGEN_LOG" || {
+  echo "ci.sh: router recorded no failovers after the backend died" >&2
+  exit 1
+}
+python3 scripts/serve_top.py --addr "127.0.0.1:$CL_ADMIN" --once \
+  | grep -q 'DOWN' || {
+  echo "ci.sh: serve_top does not show the dead backend as DOWN" >&2
+  exit 1
+}
+kill -TERM "$CL_PID"
+if ! wait "$CL_PID"; then
+  echo "ci.sh: recover_cluster did not drain cleanly on SIGTERM" >&2
+  cat "$CL_LOG" >&2
+  exit 1
+fi
+grep '^# cluster: drained' "$CL_LOG"
+kill -TERM "$CL_B1_PID"
+wait "$CL_B1_PID" || {
+  echo "ci.sh: surviving backend did not drain cleanly" >&2
+  exit 1
+}
+# Zero protocol errors across the drill, byte-exact wire contract.
+python3 scripts/check_bench_json.py --serve "$CL_JSON"
+# 3. The committed scaling baseline must satisfy the acceptance gate
+#    (>= 1.8x multi-backend ok_rps, cache hit ratio >= 0.5).  Re-run
+#    scripts/bench_cluster.py to regenerate it after router changes.
+python3 scripts/check_bench_json.py --cluster BENCH_cluster.json
+
 echo "== validating JSON records =="
 python3 scripts/check_bench_json.py "$JSON_DIR"/*.json \
   --aggregate BENCH_smoke.json
@@ -225,14 +326,16 @@ for exe in "$BUILD_DIR"/examples/*; do
 done
 
 if [ "${TSAN:-0}" = "1" ]; then
-  echo "== ThreadSanitizer (parallel_test + obs_test + serve_test + ops_test) =="
+  echo "== ThreadSanitizer (parallel, obs, serve, ops, cluster tests) =="
   cmake -B build-tsan -G Ninja -DRECOVERLIB_TSAN=ON \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
-  cmake --build build-tsan --target parallel_test obs_test serve_test ops_test
+  cmake --build build-tsan --target parallel_test obs_test serve_test \
+    ops_test cluster_test
   ./build-tsan/tests/parallel_test
   ./build-tsan/tests/obs_test
   ./build-tsan/tests/serve_test
   ./build-tsan/tests/ops_test
+  ./build-tsan/tests/cluster_test
 fi
 
 echo "CI OK"

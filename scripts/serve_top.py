@@ -6,6 +6,12 @@ Polls GET /metrics on the ops admin listener (docs/OBSERVABILITY.md,
 uptime, windowed qps / shed ratio / latency quantiles, cumulative
 counters, and the admin plane's own request count.  Stdlib only.
 
+Pointed at a recover_cluster admin port it additionally renders the
+router view: cache hit ratio and occupancy, forward/failover counters,
+and one row per backend (up, windowed qps, windowed p99, RTT estimate,
+cumulative requests / errors / ejections).  The cluster section is
+auto-detected from the scrape body — no flag needed.
+
     python3 scripts/serve_top.py --addr 127.0.0.1:9100
     python3 scripts/serve_top.py --addr 127.0.0.1:9100 --interval 0.5
     python3 scripts/serve_top.py --addr 127.0.0.1:9100 --once
@@ -65,6 +71,61 @@ def fmt_us(value):
     return f"{value:8.1f}us"
 
 
+BACKEND_SERIES = 'cluster_backend_up{backend="%s"}'
+
+
+def backend_ids(metrics):
+    """Backend label values, in the router's configured order (the
+    exposition emits them in BackendConfig order, but a dict scramble is
+    harmless — sort for a stable display)."""
+    prefix = 'cluster_backend_up{backend="'
+    ids = []
+    for series in metrics:
+        if series.startswith(prefix) and series.endswith('"}'):
+            ids.append(series[len(prefix):-2])
+    return sorted(ids)
+
+
+def cluster_lines(metrics):
+    """The router section of the frame; empty when the scrape body has
+    no cluster series (i.e. the addr is a plain recover_serve)."""
+    g = metrics.get
+    if g("cluster_requests_total") is None:
+        return []
+
+    def backend(name, backend_id, default=0.0):
+        return g(f'cluster_{name}{{backend="{backend_id}"}}', default)
+
+    hits = g("cluster_cache_hits_total", 0.0)
+    misses = g("cluster_cache_misses_total", 0.0)
+    lines = [
+        "",
+        "  cluster",
+        f"    forwards   {g('cluster_forwards_total', 0.0):10.0f}"
+        f"      failovers  {g('cluster_failovers_total', 0.0):7.0f}"
+        f"      exhausted {g('cluster_exhausted_total', 0.0):6.0f}",
+        f"    cache hit  {g('cluster_cache_hit_ratio', 0.0):10.4f}"
+        f"      hits/miss  {hits:.0f}/{misses:.0f}"
+        f"      entries {g('cluster_cache_entries', 0.0):.0f}"
+        f" ({g('cluster_cache_bytes', 0.0) / 1024.0:.0f} KiB)",
+        "",
+        f"    {'backend':<21} {'up':>4} {'qps':>8} {'p99':>10}"
+        f" {'rtt':>8} {'reqs':>8} {'errs':>5} {'ejects':>6}",
+    ]
+    for backend_id in backend_ids(metrics):
+        up = "up" if backend("backend_up", backend_id) > 0 else "DOWN"
+        lines.append(
+            f"    {backend_id:<21} {up:>4}"
+            f" {backend('backend_qps', backend_id):8.1f}"
+            f" {fmt_us(backend('backend_p99_us', backend_id))}"
+            f" {backend('backend_rtt_ms', backend_id):6.2f}ms"
+            f" {backend('backend_requests_total', backend_id):8.0f}"
+            f" {backend('backend_errors_total', backend_id):5.0f}"
+            f" {backend('backend_ejections_total', backend_id):6.0f}"
+        )
+    return lines
+
+
 def build_frame(addr, metrics, scrape_s, error):
     """Render one dashboard frame as a list of lines."""
     g = metrics.get
@@ -110,6 +171,7 @@ def build_frame(addr, metrics, scrape_s, error):
         mean_us = g("serve_request_ns_sum", 0.0) / count / 1e3
         lines.append(f"    mean latency {fmt_us(mean_us)}  over"
                      f" {count:.0f} requests")
+    lines += cluster_lines(metrics)
     return lines
 
 

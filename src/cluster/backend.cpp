@@ -1,0 +1,363 @@
+#include "src/cluster/backend.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+namespace recover::cluster {
+
+namespace {
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Remaining budget in whole milliseconds, clamped to [0, INT_MAX] for
+/// poll(); at least 1 ms while any budget remains so a sub-millisecond
+/// tail is not rounded into an instant timeout.
+int remaining_ms(std::uint64_t deadline_ns) {
+  const std::uint64_t now = now_ns();
+  if (now >= deadline_ns) return 0;
+  const std::uint64_t ns = deadline_ns - now;
+  const std::uint64_t ms = ns / 1000000u;
+  if (ms == 0) return 1;
+  if (ms > 60000u) return 60000;
+  return static_cast<int>(ms);
+}
+
+bool make_addr(const std::string& host, int port, sockaddr_in& addr) {
+  std::memset(&addr, 0, sizeof addr);
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  return ::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) == 1;
+}
+
+bool send_all(int fd, const char* data, std::size_t size) {
+  std::size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Non-blocking connect bounded by `deadline_ns`; returns a blocking fd
+/// or -1.
+int connect_with_deadline(const sockaddr_in& addr,
+                          std::uint64_t deadline_ns) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  const int rc =
+      ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr);
+  if (rc != 0) {
+    if (errno != EINPROGRESS) {
+      ::close(fd);
+      return -1;
+    }
+    pollfd pfd{fd, POLLOUT, 0};
+    const int ready = ::poll(&pfd, 1, remaining_ms(deadline_ns));
+    if (ready <= 0) {
+      ::close(fd);
+      return -1;
+    }
+    int err = 0;
+    socklen_t len = sizeof err;
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0 ||
+        err != 0) {
+      ::close(fd);
+      return -1;
+    }
+  }
+  ::fcntl(fd, F_SETFL, flags);
+  // Request/reply ping-pong over small frames: Nagle plus the peer's
+  // delayed ACK would otherwise stall every forward by ~40 ms.
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return fd;
+}
+
+}  // namespace
+
+Backend::Backend(BackendConfig config, BackendOptions options)
+    : config_(std::move(config)),
+      options_(options),
+      id_(config_.id()),
+      rtt_histogram_(obs::Registry::global().histogram(
+          "cluster.backend." + id_ + ".rtt_ns")) {
+  window_rtt_ = std::make_unique<ops::WindowedHistogram>(
+      rtt_histogram_, options_.window_slots);
+  window_requests_ = std::make_unique<ops::WindowedCounter>(
+      [this] { return requests_total_.load(std::memory_order_relaxed); },
+      options_.window_slots);
+}
+
+Backend::~Backend() { stop(); }
+
+void Backend::start() {
+  if (started_) return;
+  started_ = true;
+  if (config_.admin_port >= 0) {
+    probe_thread_ = std::thread([this] { probe_loop(); });
+  }
+}
+
+void Backend::stop() {
+  if (probe_thread_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(probe_mutex_);
+      probe_stop_ = true;
+    }
+    probe_cv_.notify_all();
+    probe_thread_.join();
+  }
+  std::lock_guard<std::mutex> lock(pool_mutex_);
+  for (const int fd : idle_) ::close(fd);
+  idle_.clear();
+}
+
+bool Backend::healthy() const {
+  if (!admin_ready_.load(std::memory_order_relaxed)) return false;
+  return now_ns() >= ejected_until_ns_.load(std::memory_order_relaxed);
+}
+
+Backend::Conn Backend::acquire(std::uint64_t deadline_ns) {
+  {
+    std::lock_guard<std::mutex> lock(pool_mutex_);
+    if (!idle_.empty()) {
+      const int fd = idle_.back();
+      idle_.pop_back();
+      return Conn{fd, true};
+    }
+  }
+  return Conn{connect_fresh(deadline_ns), false};
+}
+
+void Backend::release(int fd) {
+  {
+    std::lock_guard<std::mutex> lock(pool_mutex_);
+    if (idle_.size() < options_.max_idle_connections) {
+      idle_.push_back(fd);
+      return;
+    }
+  }
+  ::close(fd);
+}
+
+int Backend::connect_fresh(std::uint64_t deadline_ns) {
+  sockaddr_in addr{};
+  if (!make_addr(config_.host, config_.port, addr)) return -1;
+  const std::uint64_t connect_deadline =
+      now_ns() +
+      static_cast<std::uint64_t>(options_.connect_timeout_ms) * 1000000u;
+  return connect_with_deadline(
+      addr, std::min(connect_deadline, deadline_ns));
+}
+
+Backend::CallStatus Backend::call(const std::string& request_line,
+                                  std::uint64_t deadline_ns,
+                                  std::string& reply_line) {
+  const std::uint64_t start = now_ns();
+  std::uint64_t effective =
+      start + static_cast<std::uint64_t>(options_.call_timeout_ms) * 1000000u;
+  if (deadline_ns != 0 && deadline_ns < effective) effective = deadline_ns;
+
+  // One buffer, one send(): splitting the line and its newline across
+  // two segments turns every forward into a write-write-read pattern.
+  std::string wire;
+  wire.reserve(request_line.size() + 1);
+  wire = request_line;
+  wire += '\n';
+
+  Conn conn = acquire(effective);
+  if (conn.fd < 0) {
+    errors_total_.fetch_add(1, std::memory_order_relaxed);
+    eject("connect");
+    return CallStatus::kConnect;
+  }
+  CallStatus status = call_once(conn, wire, effective, reply_line);
+  if (status != CallStatus::kOk && status != CallStatus::kTimeout &&
+      conn.pooled) {
+    // The pooled connection may have gone stale while idle (backend
+    // restart, peer timeout); one fresh connection disambiguates a dead
+    // socket from a dead backend.
+    conn = Conn{connect_fresh(effective), false};
+    if (conn.fd < 0) {
+      status = CallStatus::kConnect;
+    } else {
+      status = call_once(conn, wire, effective, reply_line);
+    }
+  }
+  if (status != CallStatus::kOk) {
+    errors_total_.fetch_add(1, std::memory_order_relaxed);
+    eject(status == CallStatus::kTimeout ? "timeout" : "transport");
+    return status;
+  }
+  const std::uint64_t rtt = now_ns() - start;
+  requests_total_.fetch_add(1, std::memory_order_relaxed);
+  rtt_histogram_.record(rtt);
+  const std::uint64_t prev = rtt_ewma_ns_.load(std::memory_order_relaxed);
+  rtt_ewma_ns_.store(prev == 0 ? rtt : (prev * 7 + rtt) / 8,
+                     std::memory_order_relaxed);
+  return CallStatus::kOk;
+}
+
+Backend::CallStatus Backend::call_once(Conn conn,
+                                       const std::string& wire_line,
+                                       std::uint64_t deadline_ns,
+                                       std::string& reply_line) {
+  // Bound the write the same way serve::Server bounds replies: a peer
+  // that stops reading trips SO_SNDTIMEO instead of wedging the router.
+  timeval tv{};
+  const int budget_ms = remaining_ms(deadline_ns);
+  tv.tv_sec = budget_ms / 1000;
+  tv.tv_usec = (budget_ms % 1000) * 1000;
+  ::setsockopt(conn.fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+
+  if (!send_all(conn.fd, wire_line.data(), wire_line.size())) {
+    ::close(conn.fd);
+    return CallStatus::kSend;
+  }
+
+  reply_line.clear();
+  char buf[8192];
+  for (;;) {
+    const int wait_ms = remaining_ms(deadline_ns);
+    if (wait_ms == 0) {
+      ::close(conn.fd);
+      return CallStatus::kTimeout;
+    }
+    pollfd pfd{conn.fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, wait_ms);
+    if (ready == 0) {
+      ::close(conn.fd);
+      return CallStatus::kTimeout;
+    }
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      ::close(conn.fd);
+      return CallStatus::kRecv;
+    }
+    const ssize_t n = ::recv(conn.fd, buf, sizeof buf, 0);
+    if (n == 0) {
+      ::close(conn.fd);
+      return CallStatus::kRecv;
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(conn.fd);
+      return CallStatus::kRecv;
+    }
+    const std::size_t before = reply_line.size();
+    reply_line.append(buf, static_cast<std::size_t>(n));
+    const std::size_t nl = reply_line.find('\n', before);
+    if (nl == std::string::npos) continue;
+    const bool clean = nl == reply_line.size() - 1;
+    reply_line.resize(nl);
+    if (!reply_line.empty() && reply_line.back() == '\r') {
+      reply_line.pop_back();
+    }
+    if (clean) {
+      release(conn.fd);
+    } else {
+      // Bytes after the newline mean framing we don't understand;
+      // don't let them poison the next pooled request.
+      ::close(conn.fd);
+    }
+    return CallStatus::kOk;
+  }
+}
+
+void Backend::eject(const char* /*why*/) {
+  const bool was_healthy = healthy();
+  ejected_until_ns_.store(
+      now_ns() +
+          static_cast<std::uint64_t>(options_.eject_cooldown_ms) * 1000000u,
+      std::memory_order_relaxed);
+  if (was_healthy) {
+    ejections_total_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void Backend::tick() {
+  window_rtt_->tick();
+  window_requests_->tick();
+}
+
+Backend::Telemetry Backend::telemetry() const {
+  Telemetry t;
+  t.id = id_;
+  t.healthy = healthy();
+  t.requests = requests_total_.load(std::memory_order_relaxed);
+  t.errors = errors_total_.load(std::memory_order_relaxed);
+  t.ejections = ejections_total_.load(std::memory_order_relaxed);
+  const auto qps = window_requests_->window();
+  t.window_qps = qps.rate_per_sec();
+  const auto rtt = window_rtt_->window();
+  t.window_p50_us = rtt.merged.quantile(0.50) / 1000.0;
+  t.window_p99_us = rtt.merged.quantile(0.99) / 1000.0;
+  t.rtt_ms = static_cast<double>(
+                 rtt_ewma_ns_.load(std::memory_order_relaxed)) /
+             1e6;
+  return t;
+}
+
+void Backend::probe_loop() {
+  sockaddr_in addr{};
+  const bool addr_ok = make_addr(config_.host, config_.admin_port, addr);
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(probe_mutex_);
+      probe_cv_.wait_for(
+          lock, std::chrono::milliseconds(options_.probe_interval_ms),
+          [this] { return probe_stop_; });
+      if (probe_stop_) return;
+    }
+    if (!addr_ok) continue;
+    const std::uint64_t probe_deadline = now_ns() + 250u * 1000000u;
+    bool ready = false;
+    const int fd = connect_with_deadline(addr, probe_deadline);
+    if (fd >= 0) {
+      static constexpr char kRequest[] = "GET /readyz HTTP/1.0\r\n\r\n";
+      if (send_all(fd, kRequest, sizeof kRequest - 1)) {
+        std::string response;
+        char buf[1024];
+        for (;;) {
+          pollfd pfd{fd, POLLIN, 0};
+          if (::poll(&pfd, 1, remaining_ms(probe_deadline)) <= 0) break;
+          const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+          if (n <= 0) break;
+          response.append(buf, static_cast<std::size_t>(n));
+        }
+        ready = response.rfind("HTTP/1.0 200", 0) == 0;
+      }
+      ::close(fd);
+    }
+    const bool was_ready = admin_ready_.exchange(
+        ready, std::memory_order_relaxed);
+    if (was_ready && !ready) {
+      ejections_total_.fetch_add(1, std::memory_order_relaxed);
+    } else if (ready && !was_ready) {
+      // A positive probe outranks any passive cooldown still pending.
+      ejected_until_ns_.store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+}  // namespace recover::cluster

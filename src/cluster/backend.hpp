@@ -1,0 +1,162 @@
+// recover::cluster — one routed-to backend: a recover_serve process,
+// its connection pool, its health, and its telemetry
+// (docs/SERVING.md, "Cluster mode").
+//
+// The wire between router and backend is the same recover.req/1
+// protocol clients speak; one pooled TCP connection carries one request
+// at a time, so replies never interleave and matching is trivial.
+// Pooled connections can go stale (the backend restarts or times the
+// socket out), so a call that fails on a pooled connection is retried
+// once on a fresh one before it counts as a backend failure.
+//
+// Health has two inputs, ANDed by healthy():
+//   * active  — a prober thread polls GET /readyz on the backend's
+//     admin plane every probe_interval_ms; a draining backend answers
+//     503 there (--drain-grace holds the window open), which is how a
+//     SIGTERM'd backend is ejected from routing BEFORE its socket goes
+//     away.  Without an admin port the probe is skipped.
+//   * passive — a transport failure (connect/send/recv) ejects the
+//     backend for eject_cooldown_ms, after which it is probed again by
+//     ordinary traffic (half-open).
+//
+// Telemetry mirrors the serve daemon's: always-on atomics plus
+// ops::Windowed* rolling views (ticked by the router), surfaced as
+// labeled cluster_backend_* samples on the router's /metrics.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/obs/metrics.hpp"
+#include "src/ops/window.hpp"
+
+namespace recover::cluster {
+
+struct BackendConfig {
+  std::string host = "127.0.0.1";
+  int port = 0;        // recover.req/1 service port
+  int admin_port = -1; // ops admin plane (/readyz); -1 = passive health only
+
+  /// Stable identity: "host:port".  Names the backend on the ring, in
+  /// metrics labels, and in logs.
+  [[nodiscard]] std::string id() const {
+    return host + ":" + std::to_string(port);
+  }
+};
+
+struct BackendOptions {
+  int connect_timeout_ms = 1000;
+  /// Per-call wall cap when the request carries no deadline.
+  int call_timeout_ms = 30000;
+  int probe_interval_ms = 500;
+  /// Passive ejection window after a transport failure.
+  int eject_cooldown_ms = 1000;
+  std::size_t max_idle_connections = 4;
+  std::size_t window_slots = 10;  // rolling qps/latency view
+};
+
+class Backend {
+ public:
+  Backend(BackendConfig config, BackendOptions options);
+  ~Backend();  // stop()
+
+  Backend(const Backend&) = delete;
+  Backend& operator=(const Backend&) = delete;
+
+  /// Starts the /readyz prober (no-op without an admin port; the
+  /// backend then starts healthy and relies on passive ejection).
+  void start();
+
+  /// Joins the prober and closes every pooled connection.  Idempotent.
+  void stop();
+
+  enum class CallStatus {
+    kOk,       // a complete reply line came back
+    kConnect,  // could not establish a connection
+    kSend,     // the request did not go out
+    kRecv,     // the connection died before a full reply line
+    kTimeout,  // deadline/call cap expired waiting for the reply
+  };
+
+  /// Sends one request line (newline appended here) and reads exactly
+  /// one reply line.  `deadline_ns` (steady clock, 0 = none) bounds the
+  /// whole call together with call_timeout_ms.  kOk means `reply_line`
+  /// holds the backend's bytes verbatim (no trailing newline); every
+  /// other status ejects the backend passively.
+  CallStatus call(const std::string& request_line, std::uint64_t deadline_ns,
+                  std::string& reply_line);
+
+  [[nodiscard]] bool healthy() const;
+  [[nodiscard]] const std::string& id() const { return id_; }
+  [[nodiscard]] const BackendConfig& config() const { return config_; }
+
+  /// Advances the rolling windows (router ticker thread, ~1 Hz).
+  void tick();
+
+  struct Telemetry {
+    std::string id;
+    bool healthy = false;
+    std::uint64_t requests = 0;  // completed calls (kOk)
+    std::uint64_t errors = 0;    // transport failures + timeouts
+    std::uint64_t ejections = 0; // healthy→unhealthy transitions
+    double window_qps = 0.0;
+    double window_p50_us = 0.0;
+    double window_p99_us = 0.0;
+    double rtt_ms = 0.0;  // EWMA over completed calls
+  };
+
+  [[nodiscard]] Telemetry telemetry() const;
+
+  /// EWMA round-trip estimate in ns (0 until the first completed call).
+  /// The router subtracts this from the remaining client budget when it
+  /// sets the forwarded deadline_ms (two-tier deadlines).
+  [[nodiscard]] std::uint64_t rtt_estimate_ns() const {
+    return rtt_ewma_ns_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Conn {
+    int fd = -1;
+    bool pooled = false;  // came from the idle pool (may be stale)
+  };
+
+  Conn acquire(std::uint64_t deadline_ns);
+  void release(int fd);
+  int connect_fresh(std::uint64_t deadline_ns);
+  CallStatus call_once(Conn conn, const std::string& wire_line,
+                       std::uint64_t deadline_ns, std::string& reply_line);
+  void eject(const char* why);
+  void probe_loop();
+
+  BackendConfig config_;
+  BackendOptions options_;
+  std::string id_;
+  bool started_ = false;
+
+  std::mutex pool_mutex_;
+  std::vector<int> idle_;
+
+  std::atomic<bool> admin_ready_{true};
+  std::atomic<std::uint64_t> ejected_until_ns_{0};
+  std::atomic<std::uint64_t> ejections_total_{0};
+
+  std::atomic<std::uint64_t> requests_total_{0};
+  std::atomic<std::uint64_t> errors_total_{0};
+  std::atomic<std::uint64_t> rtt_ewma_ns_{0};
+  obs::Histogram& rtt_histogram_;
+  std::unique_ptr<ops::WindowedHistogram> window_rtt_;
+  std::unique_ptr<ops::WindowedCounter> window_requests_;
+
+  std::thread probe_thread_;
+  std::mutex probe_mutex_;
+  std::condition_variable probe_cv_;
+  bool probe_stop_ = false;
+};
+
+}  // namespace recover::cluster

@@ -1,0 +1,52 @@
+#include "src/cluster/cache.hpp"
+
+namespace recover::cluster {
+
+ResultCache::ResultCache(std::size_t max_entries)
+    : max_entries_(max_entries) {}
+
+bool ResultCache::get(const std::string& key, std::string& result_json) {
+  if (max_entries_ == 0) return false;
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return false;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  result_json = it->second->second;
+  ++stats_.hits;
+  return true;
+}
+
+void ResultCache::put(const std::string& key,
+                      const std::string& result_json) {
+  if (max_entries_ == 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    // Same key ⇒ same bytes (determinism contract): only recency moves.
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.emplace_front(key, result_json);
+  index_.emplace(key, lru_.begin());
+  stats_.bytes += key.size() + result_json.size();
+  ++stats_.insertions;
+  while (lru_.size() > max_entries_) {
+    const Entry& tail = lru_.back();
+    stats_.bytes -= tail.first.size() + tail.second.size();
+    index_.erase(tail.first);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+ResultCache::Stats ResultCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Stats out = stats_;
+  out.entries = lru_.size();
+  return out;
+}
+
+}  // namespace recover::cluster

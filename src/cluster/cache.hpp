@@ -1,0 +1,76 @@
+// recover::cluster — deterministic in-memory result cache
+// (docs/SERVING.md, "Cluster mode").
+//
+// Values are the raw `result` bytes of a run_cell reply, keyed by the
+// collision-free cache_key string (digest.hpp).  Because a run_cell
+// reply is a pure function of its request, the cache needs no TTL, no
+// invalidation, and no coherence protocol: an entry can only ever be
+// replaced by identical bytes.  The only policy is capacity — least
+// recently used entries are evicted when max_entries is exceeded.
+//
+// Thread-safe: one mutex guards the list+index (get() promotes, so even
+// reads mutate LRU order).  Hit/miss/eviction tallies are kept inside
+// the same critical section, making stats() an exact point-in-time
+// view — the hit ratio the bench gate asserts on is never smeared by
+// racing increments.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+namespace recover::cluster {
+
+class ResultCache {
+ public:
+  /// max_entries == 0 disables the cache: get() always misses without
+  /// counting, put() drops.  (The router treats that as "cache off".)
+  explicit ResultCache(std::size_t max_entries);
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  [[nodiscard]] bool enabled() const { return max_entries_ > 0; }
+
+  /// True + fills `result_json` on a hit (promoting the entry to most
+  /// recently used); false on a miss.  Both outcomes are tallied.
+  bool get(const std::string& key, std::string& result_json);
+
+  /// Inserts (or refreshes the recency of) `key`.  Evicts from the LRU
+  /// tail past max_entries.  Values for an existing key are identical
+  /// by the determinism contract, so refresh never rewrites bytes.
+  void put(const std::string& key, const std::string& result_json);
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t evictions = 0;
+    std::size_t entries = 0;
+    std::size_t bytes = 0;  // sum of key + value sizes
+
+    [[nodiscard]] double hit_ratio() const {
+      const std::uint64_t total = hits + misses;
+      return total > 0 ? static_cast<double>(hits) /
+                             static_cast<double>(total)
+                       : 0.0;
+    }
+  };
+
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  using Entry = std::pair<std::string, std::string>;  // key, result bytes
+
+  std::size_t max_entries_;
+  mutable std::mutex mutex_;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  Stats stats_;
+};
+
+}  // namespace recover::cluster

@@ -1,0 +1,21 @@
+#include "src/cluster/digest.hpp"
+
+#include "src/rng/engines.hpp"
+#include "src/sweep/grid.hpp"
+
+namespace recover::cluster {
+
+std::string cache_key(const serve::RunCellRequest& req) {
+  std::string key = req.exp->name;
+  key += '|';
+  key += req.cell.key();
+  key += '|';
+  key += std::to_string(req.seed);
+  return key;
+}
+
+std::uint64_t placement_digest(const serve::RunCellRequest& req) {
+  return rng::substream(req.seed, sweep::cell_hash(req.exp->name, req.cell));
+}
+
+}  // namespace recover::cluster

@@ -1,0 +1,40 @@
+// recover::cluster — the request digest: the one value that makes
+// run_cell traffic shardable and cacheable (docs/SERVING.md, "Cluster
+// mode").
+//
+// A run_cell reply is a pure function of (experiment, cell parameters,
+// seed): handlers.cpp seeds the cell with
+// rng::substream(seed, cell_hash(exp, cell)), so any process running
+// the same build answers the same request with the same bytes.  The
+// digest canonicalizes that input triple:
+//
+//   cache_key = "<exp>|<cell.key()>|<seed>"        (collision-free)
+//   digest    = substream(seed, cell_hash(exp, cell))   (64-bit)
+//
+// The 64-bit digest — exactly the RNG substream root the executing
+// backend will use — places the request on the consistent-hash ring;
+// the full string key indexes the result cache, so cache correctness
+// never rests on a 64-bit hash not colliding.
+//
+// Cell parameter ORDER is part of the key: the serve handler folds
+// params in request order into cell_hash, so "m=16,d=2" and "d=2,m=16"
+// are different cells with different result bytes already — the
+// cluster layer inherits that contract rather than re-canonicalizing.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/serve/handlers.hpp"
+
+namespace recover::cluster {
+
+/// Collision-free cache key for a validated run_cell request.
+std::string cache_key(const serve::RunCellRequest& req);
+
+/// Ring placement digest: the request's RNG substream root
+/// (rng::substream(seed, cell_hash(exp, cell))) — the same value
+/// handlers.cpp derives as the cell seed.
+std::uint64_t placement_digest(const serve::RunCellRequest& req);
+
+}  // namespace recover::cluster

@@ -1,0 +1,73 @@
+#include "src/cluster/ring.hpp"
+
+#include <algorithm>
+
+#include "src/sweep/grid.hpp"
+
+namespace recover::cluster {
+
+HashRing::HashRing(std::size_t vnodes) : vnodes_(vnodes == 0 ? 1 : vnodes) {}
+
+void HashRing::add(std::size_t backend, const std::string& id) {
+  points_.reserve(points_.size() + vnodes_);
+  for (std::size_t v = 0; v < vnodes_; ++v) {
+    const std::uint64_t position =
+        sweep::fnv1a64(id + "#" + std::to_string(v));
+    points_.push_back(Point{position, backend});
+  }
+  std::sort(points_.begin(), points_.end(),
+            [](const Point& a, const Point& b) {
+              // Position ties (fnv collisions across ids) break by
+              // backend index so the ring order stays deterministic.
+              return a.position != b.position ? a.position < b.position
+                                              : a.backend < b.backend;
+            });
+}
+
+void HashRing::remove(std::size_t backend) {
+  points_.erase(std::remove_if(points_.begin(), points_.end(),
+                               [backend](const Point& p) {
+                                 return p.backend == backend;
+                               }),
+                points_.end());
+}
+
+std::vector<std::size_t> HashRing::route(std::uint64_t digest) const {
+  std::vector<std::size_t> order;
+  if (points_.empty()) return order;
+  order.reserve(backend_count());
+  auto it = std::lower_bound(points_.begin(), points_.end(), digest,
+                             [](const Point& p, std::uint64_t d) {
+                               return p.position < d;
+                             });
+  for (std::size_t walked = 0; walked < points_.size(); ++walked) {
+    if (it == points_.end()) it = points_.begin();
+    if (std::find(order.begin(), order.end(), it->backend) == order.end()) {
+      order.push_back(it->backend);
+    }
+    ++it;
+  }
+  return order;
+}
+
+std::size_t HashRing::owner(std::uint64_t digest) const {
+  if (points_.empty()) return static_cast<std::size_t>(-1);
+  auto it = std::lower_bound(points_.begin(), points_.end(), digest,
+                             [](const Point& p, std::uint64_t d) {
+                               return p.position < d;
+                             });
+  if (it == points_.end()) it = points_.begin();
+  return it->backend;
+}
+
+std::size_t HashRing::backend_count() const {
+  std::vector<std::size_t> seen;
+  for (const Point& p : points_) {
+    if (std::find(seen.begin(), seen.end(), p.backend) == seen.end()) {
+      seen.push_back(p.backend);
+    }
+  }
+  return seen.size();
+}
+
+}  // namespace recover::cluster

@@ -1,0 +1,68 @@
+// recover::cluster — consistent-hash ring for backend placement
+// (docs/SERVING.md, "Cluster mode").
+//
+// Each backend contributes `vnodes` points on a 64-bit ring, placed at
+// fnv1a64("<backend-id>#<vnode>") — a pure function of the backend's
+// identity, so every router replica (and every restart) builds the
+// identical ring with no coordination.  A request digest routes to the
+// first point clockwise from it; route() returns ALL backends in that
+// clockwise order (distinct, each once), which doubles as the failover
+// sequence: when the owner is draining or dead the router walks to the
+// next backend, and because run_cell replies are pure functions of the
+// request, re-hashing changes which process answers but never what
+// bytes come back.
+//
+// Adding or removing a backend moves only the keys whose owning arc
+// changed — ~1/N of the keyspace with N backends (the classic
+// consistent-hashing bound, asserted by tests/cluster_test.cpp).
+//
+// Not thread-safe: the router builds the ring once at startup and
+// treats membership as fixed; liveness is handled by skipping unhealthy
+// backends along the route, not by mutating the ring.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace recover::cluster {
+
+class HashRing {
+ public:
+  /// More vnodes = smoother balance, linearly larger ring.  64 keeps
+  /// the per-backend load spread within a few percent for small N.
+  explicit HashRing(std::size_t vnodes = 64);
+
+  /// Adds `backend` (an opaque dense index, typically the position in
+  /// the router's backend vector) under the stable identity `id`
+  /// (e.g. "127.0.0.1:9001").  Aborts-free; duplicate indices are the
+  /// caller's bug and simply double the backend's arc share.
+  void add(std::size_t backend, const std::string& id);
+
+  /// Removes every point of `backend`.  Keys on its arcs fall to their
+  /// clockwise successors; all other placements are untouched.
+  void remove(std::size_t backend);
+
+  /// All live backends in clockwise ring order starting at the owner of
+  /// `digest`: element 0 is the primary, the rest are the failover
+  /// sequence.  Empty when the ring is empty.
+  [[nodiscard]] std::vector<std::size_t> route(std::uint64_t digest) const;
+
+  /// Primary owner only; SIZE_MAX when the ring is empty.
+  [[nodiscard]] std::size_t owner(std::uint64_t digest) const;
+
+  [[nodiscard]] std::size_t backend_count() const;
+  [[nodiscard]] bool empty() const { return points_.empty(); }
+
+ private:
+  struct Point {
+    std::uint64_t position;
+    std::size_t backend;
+  };
+
+  std::size_t vnodes_;
+  std::vector<Point> points_;  // sorted by position
+};
+
+}  // namespace recover::cluster

@@ -1,0 +1,276 @@
+#include "src/cluster/router.hpp"
+
+#include <chrono>
+#include <cstdio>
+
+#include "src/cluster/digest.hpp"
+#include "src/obs/json_reader.hpp"
+#include "src/obs/json_writer.hpp"
+
+namespace recover::cluster {
+
+namespace {
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Maps a wire error code name back to the enum (the closed taxonomy in
+/// protocol.hpp).  False for anything outside it — a reply the router
+/// does not understand is treated as a failed backend, not forwarded.
+bool code_from_name(std::string_view name, serve::ErrorCode& out) {
+  static constexpr serve::ErrorCode kCodes[] = {
+      serve::ErrorCode::kParseError,       serve::ErrorCode::kUnknownMethod,
+      serve::ErrorCode::kInvalidParams,    serve::ErrorCode::kOverloaded,
+      serve::ErrorCode::kDeadlineExceeded, serve::ErrorCode::kShuttingDown,
+  };
+  for (const serve::ErrorCode code : kCodes) {
+    if (serve::error_code_name(code) == name) {
+      out = code;
+      return true;
+    }
+  }
+  return false;
+}
+
+/// The request line the router sends a backend: semantically the
+/// client's run_cell, re-serialized in canonical field order with the
+/// router's own correlation id and the per-hop deadline.  Axis order is
+/// preserved from the client request — it is part of the cell identity.
+std::string forward_request_line(const serve::RunCellRequest& req,
+                                 std::uint64_t id,
+                                 std::int64_t deadline_ms) {
+  std::string line = "{\"schema\":\"recover.req/1\",\"id\":";
+  line += std::to_string(id);
+  line += ",\"method\":\"run_cell\",\"params\":{\"exp\":\"";
+  line += obs::json_escape(req.exp->name);
+  line += "\",\"seed\":";
+  line += std::to_string(req.seed);
+  line += ",\"params\":{";
+  bool first = true;
+  for (const auto& [name, value] : req.cell.params) {
+    if (!first) line += ',';
+    first = false;
+    line += '"';
+    line += obs::json_escape(name);
+    line += "\":";
+    line += std::to_string(value);
+  }
+  line += "}}";
+  if (deadline_ms >= 0) {
+    line += ",\"deadline_ms\":";
+    line += std::to_string(deadline_ms);
+  }
+  line += '}';
+  return line;
+}
+
+serve::HandlerResult error_result(serve::ErrorCode code,
+                                  std::string message,
+                                  std::string cell_key = {}) {
+  serve::HandlerResult r;
+  r.ok = false;
+  r.code = code;
+  r.message = std::move(message);
+  r.cell_key = std::move(cell_key);
+  return r;
+}
+
+}  // namespace
+
+Router::Router(RouterOptions options)
+    : options_(std::move(options)),
+      ring_(options_.ring_vnodes),
+      cache_(options_.cache_entries) {
+  backends_.reserve(options_.backends.size());
+  for (std::size_t i = 0; i < options_.backends.size(); ++i) {
+    backends_.push_back(std::make_unique<Backend>(options_.backends[i],
+                                                  options_.backend));
+    ring_.add(i, backends_.back()->id());
+  }
+  options_.server.dispatcher =
+      [this](const serve::Request& req, const serve::HandlerContext& ctx) {
+        return dispatch(req, ctx);
+      };
+  server_ = std::make_unique<serve::Server>(options_.server);
+}
+
+Router::~Router() { stop(); }
+
+bool Router::start() {
+  if (started_) return true;
+  if (backends_.empty()) {
+    std::fprintf(stderr, "cluster: no backends configured\n");
+    return false;
+  }
+  if (!server_->start()) return false;
+  for (auto& backend : backends_) backend->start();
+  ticker_ = std::thread([this] { ticker_loop(); });
+  started_ = true;
+  return true;
+}
+
+void Router::stop() {
+  server_->stop();
+  if (ticker_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(ticker_mutex_);
+      ticker_stop_ = true;
+    }
+    ticker_cv_.notify_all();
+    ticker_.join();
+  }
+  for (auto& backend : backends_) backend->stop();
+}
+
+RouterStats Router::stats() const {
+  RouterStats s;
+  s.requests = requests_.load(std::memory_order_relaxed);
+  const ResultCache::Stats cache = cache_.stats();
+  s.cache_hits = cache.hits;
+  s.cache_misses = cache.misses;
+  s.forwards = forwards_.load(std::memory_order_relaxed);
+  s.failovers = failovers_.load(std::memory_order_relaxed);
+  s.exhausted = exhausted_.load(std::memory_order_relaxed);
+  return s;
+}
+
+std::vector<Backend::Telemetry> Router::backend_telemetry() const {
+  std::vector<Backend::Telemetry> out;
+  out.reserve(backends_.size());
+  for (const auto& backend : backends_) {
+    out.push_back(backend->telemetry());
+  }
+  return out;
+}
+
+serve::HandlerResult Router::dispatch(const serve::Request& req,
+                                      const serve::HandlerContext& ctx) {
+  if (req.method == "run_cell") return route_run_cell(req, ctx);
+  // ping / list_cells / stats are answered locally: the router links
+  // the same sweep registry, so list_cells is byte-identical to a
+  // backend's reply, and stats reports the router's own snapshot.
+  return serve::dispatch(req, ctx);
+}
+
+serve::HandlerResult Router::route_run_cell(
+    const serve::Request& req, const serve::HandlerContext& ctx) {
+  serve::RunCellRequest parsed;
+  std::string parse_message;
+  if (!serve::parse_run_cell(req.params, parsed, parse_message)) {
+    return error_result(serve::ErrorCode::kInvalidParams,
+                        std::move(parse_message));
+  }
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  const std::string cell_key = parsed.cell.key();
+  const std::string key = cache_key(parsed);
+
+  serve::HandlerResult ok;
+  ok.ok = true;
+  ok.cell_key = cell_key;
+  if (cache_.get(key, ok.result_json)) {
+    return ok;  // cached bytes are the backend's bytes, verbatim
+  }
+
+  const std::vector<std::size_t> order =
+      ring_.route(placement_digest(parsed));
+  std::vector<bool> attempted(backends_.size(), false);
+  bool any_attempt = false;
+  // Pass 0 walks only healthy candidates; pass 1 retries the ejected
+  // ones as a last resort (health is advisory — a stale probe must not
+  // turn a servable request into an error).
+  for (int pass = 0; pass < 2; ++pass) {
+    for (const std::size_t idx : order) {
+      if (attempted[idx]) continue;
+      Backend& backend = *backends_[idx];
+      if (pass == 0 && !backend.healthy()) continue;
+      if (ctx.deadline_ns != 0 && now_ns() >= ctx.deadline_ns) {
+        return error_result(serve::ErrorCode::kDeadlineExceeded,
+                            "deadline expired while routing", cell_key);
+      }
+      attempted[idx] = true;
+      if (any_attempt) failovers_.fetch_add(1, std::memory_order_relaxed);
+      any_attempt = true;
+      forwards_.fetch_add(1, std::memory_order_relaxed);
+
+      // Two-tier deadline: hand the backend what remains of the client
+      // budget minus the round trip we expect to spend talking to it,
+      // so its deadline_exceeded reply still arrives inside ours.
+      std::int64_t forward_deadline_ms = -1;
+      if (ctx.deadline_ns != 0) {
+        const std::uint64_t now = now_ns();
+        const std::uint64_t remaining =
+            ctx.deadline_ns > now ? ctx.deadline_ns - now : 0;
+        const std::uint64_t rtt = backend.rtt_estimate_ns();
+        const std::uint64_t budget = remaining > rtt ? remaining - rtt : 0;
+        forward_deadline_ms =
+            std::max<std::int64_t>(1, static_cast<std::int64_t>(
+                                          budget / 1000000u));
+      }
+      const std::string line = forward_request_line(
+          parsed, forward_id_.fetch_add(1, std::memory_order_relaxed) + 1,
+          forward_deadline_ms);
+      std::string reply;
+      const Backend::CallStatus status =
+          backend.call(line, ctx.deadline_ns, reply);
+      if (status == Backend::CallStatus::kTimeout &&
+          ctx.deadline_ns != 0 && now_ns() >= ctx.deadline_ns) {
+        return error_result(serve::ErrorCode::kDeadlineExceeded,
+                            "deadline expired while forwarded", cell_key);
+      }
+      if (status != Backend::CallStatus::kOk) {
+        continue;  // transport failure: re-hash to the next candidate
+      }
+      if (serve::extract_result(reply, ok.result_json)) {
+        cache_.put(key, ok.result_json);
+        return ok;
+      }
+      // An error reply.  Failover-eligible codes mean "this backend
+      // cannot take the work right now"; everything else is the
+      // request's own answer and is forwarded verbatim.
+      obs::JsonValue doc;
+      serve::ErrorCode code = serve::ErrorCode::kOverloaded;
+      std::string message;
+      if (obs::parse_json(reply, doc) && doc.is_object()) {
+        const obs::JsonValue* error = doc.find("error");
+        const obs::JsonValue* code_field =
+            error != nullptr ? error->find("code") : nullptr;
+        const obs::JsonValue* message_field =
+            error != nullptr ? error->find("message") : nullptr;
+        if (code_field != nullptr && code_field->is_string() &&
+            code_from_name(code_field->text, code)) {
+          if (message_field != nullptr && message_field->is_string()) {
+            message = message_field->text;
+          }
+          if (code == serve::ErrorCode::kOverloaded ||
+              code == serve::ErrorCode::kShuttingDown) {
+            continue;  // backend draining/full: re-hash
+          }
+          return error_result(code, std::move(message), cell_key);
+        }
+      }
+      continue;  // unintelligible reply: treat as a failed backend
+    }
+  }
+  exhausted_.fetch_add(1, std::memory_order_relaxed);
+  return error_result(serve::ErrorCode::kOverloaded,
+                      "no backend available", cell_key);
+}
+
+void Router::ticker_loop() {
+  const auto interval =
+      std::chrono::milliseconds(std::max(1, options_.server.window_tick_ms));
+  std::unique_lock<std::mutex> lock(ticker_mutex_);
+  while (!ticker_stop_) {
+    ticker_cv_.wait_for(lock, interval, [this] { return ticker_stop_; });
+    if (ticker_stop_) return;
+    lock.unlock();
+    for (auto& backend : backends_) backend->tick();
+    lock.lock();
+  }
+}
+
+}  // namespace recover::cluster

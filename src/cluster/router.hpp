@@ -1,0 +1,141 @@
+// recover::cluster — the front-tier router daemon's core
+// (docs/SERVING.md, "Cluster mode").
+//
+// A Router IS a serve::Server with the request-to-result layer swapped
+// out (ServerOptions::dispatcher): same listen socket, bounded
+// admission queue, two-tier deadline enforcement, and graceful drain,
+// but run_cell is answered by consistent-hashing the request over N
+// recover_serve backends instead of running the cell locally.
+//
+// Request path for run_cell:
+//
+//   parse (shared parse_run_cell — router and backend accept and
+//   reject byte-identical inputs)
+//     │
+//     ▼
+//   result cache (LRU, keyed by exp|cell|seed) ── hit ──► reply with
+//     │ miss                                              cached bytes
+//     ▼
+//   hash ring route(digest) ──► forward to the first healthy backend,
+//   walking clockwise on failure: transport errors and
+//   overloaded/shutting_down replies re-hash to the next candidate
+//   (safe — run_cell is pure, any backend computes the same bytes);
+//   deadline_exceeded and invalid_params are the client's answer and
+//   are returned as-is.  All candidates exhausted → `overloaded`.
+//
+// The forwarded deadline is the router's remaining budget minus the
+// backend's EWMA round-trip estimate (two-tier deadlines: the backend
+// gives up early enough for the router's reply to still make it out).
+//
+// Every other method (ping, list_cells, stats) is served locally by
+// serve::dispatch — the router links the same sweep registry, so
+// list_cells is byte-identical to a backend's.  `shutdown` is
+// intercepted by the underlying server and drains the router.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/cluster/backend.hpp"
+#include "src/cluster/cache.hpp"
+#include "src/cluster/ring.hpp"
+#include "src/serve/server.hpp"
+
+namespace recover::cluster {
+
+/// Build tag the router daemon reports via recover_build_info (the
+/// backends report serve::kServeVersion — the version labels are how a
+/// scrape tells the tiers apart).
+inline constexpr const char* kClusterVersion = "recover-cluster/1.0";
+
+struct RouterOptions {
+  /// Listen socket, admission bound, default deadline, drain — the
+  /// router's front door.  `dispatcher` is overwritten by the Router.
+  serve::ServerOptions server;
+  /// Fixed membership, in ring order of their ids.  Liveness is handled
+  /// by health + failover, not by mutating membership at runtime.
+  std::vector<BackendConfig> backends;
+  BackendOptions backend;
+  /// Result cache capacity in entries; 0 disables caching.
+  std::size_t cache_entries = 4096;
+  std::size_t ring_vnodes = 64;
+};
+
+/// Always-on router counters (plain atomics — available with metrics
+/// off, like serve::ServerSnapshot).
+struct RouterStats {
+  std::uint64_t requests = 0;     // run_cell arrivals (post-parse)
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t forwards = 0;     // backend calls attempted
+  std::uint64_t failovers = 0;    // re-hashes past the primary
+  std::uint64_t exhausted = 0;    // every candidate failed → overloaded
+};
+
+class Router {
+ public:
+  explicit Router(RouterOptions options);
+  ~Router();  // stop()
+
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  /// Builds the ring, starts backend health probes, then starts the
+  /// front server.  False (with a stderr diagnostic) when the listen
+  /// socket cannot be set up or no backends were configured.
+  bool start();
+
+  [[nodiscard]] int port() const { return server_->port(); }
+
+  void request_drain() { server_->request_drain(); }
+  [[nodiscard]] bool draining() const { return server_->draining(); }
+  void wait_drained() { server_->wait_drained(); }
+
+  /// Full shutdown: drain the front server, then stop probes and close
+  /// backend pools.  Idempotent.
+  void stop();
+
+  [[nodiscard]] serve::ServerSnapshot snapshot() const {
+    return server_->snapshot();
+  }
+  [[nodiscard]] RouterStats stats() const;
+  [[nodiscard]] ResultCache::Stats cache_stats() const {
+    return cache_.stats();
+  }
+  [[nodiscard]] std::vector<Backend::Telemetry> backend_telemetry() const;
+  [[nodiscard]] const HashRing& ring() const { return ring_; }
+  [[nodiscard]] const serve::Server& server() const { return *server_; }
+
+ private:
+  serve::HandlerResult dispatch(const serve::Request& req,
+                                const serve::HandlerContext& ctx);
+  serve::HandlerResult route_run_cell(const serve::Request& req,
+                                      const serve::HandlerContext& ctx);
+  void ticker_loop();
+
+  RouterOptions options_;
+  std::vector<std::unique_ptr<Backend>> backends_;
+  HashRing ring_;
+  ResultCache cache_;
+  std::unique_ptr<serve::Server> server_;
+  bool started_ = false;
+
+  std::atomic<std::uint64_t> forward_id_{0};
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> forwards_{0};
+  std::atomic<std::uint64_t> failovers_{0};
+  std::atomic<std::uint64_t> exhausted_{0};
+
+  std::thread ticker_;
+  std::mutex ticker_mutex_;
+  std::condition_variable ticker_cv_;
+  bool ticker_stop_ = false;
+};
+
+}  // namespace recover::cluster

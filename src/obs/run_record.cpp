@@ -55,6 +55,8 @@ std::string git_describe() {
 
 }  // namespace
 
+std::string git_revision() { return git_describe(); }
+
 void register_cli_flags(util::Cli& cli) {
   cli.flag("json-out", "write a recover.run/1 JSON record to this path", "");
   cli.flag("metrics", "enable the metrics registry and embed a snapshot",

@@ -40,6 +40,13 @@ namespace recover::obs {
 /// them.
 void register_cli_flags(util::Cli& cli);
 
+/// The source revision baked into the build (`git describe --always
+/// --dirty --tags` at configure time); "unknown" when the build had no
+/// git context.  The same string run records stamp under run.git — also
+/// exposed on the admin plane as the recover_build_info gauge, so an
+/// operator can match a running daemon to a commit without a redeploy.
+std::string git_revision();
+
 class RunRecord {
  public:
   RunRecord(std::string binary, std::string description);

@@ -14,7 +14,9 @@
 #include <utility>
 
 #include "src/obs/metrics.hpp"
+#include "src/obs/run_record.hpp"
 #include "src/obs/trace.hpp"
+#include "src/ops/prometheus.hpp"
 
 namespace recover::ops {
 
@@ -239,7 +241,10 @@ void AdminServer::serve_connection(int fd) {
 
   std::string response;
   if (path == "/metrics") {
-    const std::string body = metrics_ ? metrics_() : std::string();
+    std::string body = metrics_ ? metrics_() : std::string();
+    if (!options_.build_version.empty()) {
+      append_build_info(body, options_.build_version, obs::git_revision());
+    }
     response = http_response(
         "200 OK", "text/plain; version=0.0.4; charset=utf-8", body);
   } else if (path == "/healthz") {

@@ -41,6 +41,11 @@ struct AdminOptions {
   int client_timeout_ms = 2000;
   /// Request cap (start line + headers): past it, 400 and close.
   std::size_t max_request_bytes = 8192;
+  /// When non-empty, every /metrics body gets a trailing
+  /// `recover_build_info{version="<this>",git="<baked revision>"} 1`
+  /// gauge (ops::append_build_info) — the build-identity sample a
+  /// scrape uses to tell cluster tiers apart and catch version skew.
+  std::string build_version;
 };
 
 class AdminServer {

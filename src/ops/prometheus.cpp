@@ -74,6 +74,30 @@ void append_sample(std::string& out, std::string_view name,
   out += '\n';
 }
 
+std::string prometheus_label_value(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+void append_build_info(std::string& out, std::string_view version,
+                       std::string_view git) {
+  out += "# TYPE recover_build_info gauge\n";
+  out += "recover_build_info{version=\"";
+  out += prometheus_label_value(version);
+  out += "\",git=\"";
+  out += prometheus_label_value(git);
+  out += "\"} 1\n";
+}
+
 void render_prometheus(const obs::Registry::Snapshot& snapshot,
                        std::string& out) {
   for (const auto& [name, value] : snapshot.counters) {

@@ -42,4 +42,20 @@ void append_sample(std::string& out, std::string_view name,
                    std::string_view label, std::string_view label_value,
                    double value);
 
+/// Escapes a label value per the exposition format: backslash, double
+/// quote, and newline become \\, \", and \n.
+std::string prometheus_label_value(std::string_view value);
+
+/// Appends the build-identity gauge (constant 1; identity lives in the
+/// labels, the standard Prometheus idiom for build metadata):
+///
+///   # TYPE recover_build_info gauge
+///   recover_build_info{version="recover-serve/1.1",git="abc1234"} 1
+///
+/// Both values are escaped.  In a cluster, the router and each backend
+/// expose their own sample, so a scrape can tell the tiers apart and
+/// catch version skew between them.
+void append_build_info(std::string& out, std::string_view version,
+                       std::string_view git);
+
 }  // namespace recover::ops

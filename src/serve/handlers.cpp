@@ -27,49 +27,15 @@ HandlerResult result(std::string json) {
   return out;
 }
 
-/// Axis count cap for run_cell: bounds the canonical key length (and
-/// thus the reply size) no matter what the peer sends.
-constexpr std::size_t kMaxCellParams = 16;
-
 HandlerResult run_cell(const Request& req, const HandlerContext& ctx) {
-  const auto* exp_field = req.params.find("exp");
-  if (exp_field == nullptr || !exp_field->is_string()) {
-    return error(ErrorCode::kInvalidParams, "params.exp must be a string");
+  RunCellRequest parsed;
+  std::string parse_message;
+  if (!parse_run_cell(req.params, parsed, parse_message)) {
+    return error(ErrorCode::kInvalidParams, std::move(parse_message));
   }
-  const auto* exp = sweep::Registry::global().find(exp_field->text);
-  if (exp == nullptr) {
-    return error(ErrorCode::kInvalidParams,
-                 "unknown experiment '" + exp_field->text +
-                     "' (see list_cells)");
-  }
-  std::uint64_t seed = 1;
-  if (const auto* s = req.params.find("seed"); s != nullptr) {
-    if (!s->is_number() || s->number < 0 ||
-        s->number != std::floor(s->number) || s->number > 9.007199254740992e15) {
-      return error(ErrorCode::kInvalidParams,
-                   "params.seed must be an integer in [0, 2^53]");
-    }
-    seed = static_cast<std::uint64_t>(s->number);
-  }
-  const auto* cell_params = req.params.find("params");
-  if (cell_params == nullptr || !cell_params->is_object() ||
-      cell_params->members.empty()) {
-    return error(ErrorCode::kInvalidParams,
-                 "params.params must be a non-empty object of integer axes");
-  }
-  if (cell_params->members.size() > kMaxCellParams) {
-    return error(ErrorCode::kInvalidParams, "too many cell parameters");
-  }
-  sweep::Cell cell;
-  for (const auto& [name, value] : cell_params->members) {
-    if (name.empty() || !value.is_number() ||
-        value.number != std::floor(value.number) ||
-        std::abs(value.number) > 9.007199254740992e15) {
-      return error(ErrorCode::kInvalidParams,
-                   "cell parameter '" + name + "' must be an integer");
-    }
-    cell.params.emplace_back(name, static_cast<std::int64_t>(value.number));
-  }
+  const auto* exp = parsed.exp;
+  sweep::Cell& cell = parsed.cell;
+  const std::uint64_t seed = parsed.seed;
 
   const std::string cell_key = cell.key();
 
@@ -199,6 +165,56 @@ HandlerResult stats(const HandlerContext& ctx) {
 }
 
 }  // namespace
+
+/// Axis count cap for run_cell: bounds the canonical key length (and
+/// thus the reply size) no matter what the peer sends.
+constexpr std::size_t kMaxCellParams = 16;
+
+bool parse_run_cell(const obs::JsonValue& params, RunCellRequest& out,
+                    std::string& error) {
+  const auto* exp_field = params.find("exp");
+  if (exp_field == nullptr || !exp_field->is_string()) {
+    error = "params.exp must be a string";
+    return false;
+  }
+  out.exp = sweep::Registry::global().find(exp_field->text);
+  if (out.exp == nullptr) {
+    error = "unknown experiment '" + exp_field->text + "' (see list_cells)";
+    return false;
+  }
+  out.seed = 1;
+  if (const auto* s = params.find("seed"); s != nullptr) {
+    if (!s->is_number() || s->number < 0 ||
+        s->number != std::floor(s->number) ||
+        s->number > 9.007199254740992e15) {
+      error = "params.seed must be an integer in [0, 2^53]";
+      return false;
+    }
+    out.seed = static_cast<std::uint64_t>(s->number);
+  }
+  const auto* cell_params = params.find("params");
+  if (cell_params == nullptr || !cell_params->is_object() ||
+      cell_params->members.empty()) {
+    error = "params.params must be a non-empty object of integer axes";
+    return false;
+  }
+  if (cell_params->members.size() > kMaxCellParams) {
+    error = "too many cell parameters";
+    return false;
+  }
+  out.cell = sweep::Cell{};
+  for (const auto& [name, value] : cell_params->members) {
+    if (name.empty() || !value.is_number() ||
+        value.number != std::floor(value.number) ||
+        std::abs(value.number) > 9.007199254740992e15) {
+      error = "cell parameter '" + name + "' must be an integer";
+      return false;
+    }
+    out.cell.params.emplace_back(name,
+                                 static_cast<std::int64_t>(value.number));
+  }
+  return true;
+}
 
 HandlerResult dispatch(const Request& req, const HandlerContext& ctx) {
   if (req.method == "ping") {

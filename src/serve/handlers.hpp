@@ -18,6 +18,8 @@
 #include <string>
 
 #include "src/serve/protocol.hpp"
+#include "src/sweep/grid.hpp"
+#include "src/sweep/registry.hpp"
 
 namespace recover::serve {
 
@@ -60,6 +62,10 @@ struct ServerSnapshot {
 struct HandlerContext {
   /// Deadline check forwarded into cell bodies (empty = no deadline).
   std::function<bool()> cancelled;
+  /// Absolute steady-clock deadline in ns (0 = none).  Redundant with
+  /// `cancelled` for cell bodies; a forwarding dispatcher (the cluster
+  /// router) reads it to compute the remaining budget for the next hop.
+  std::uint64_t deadline_ns = 0;
   /// Provider of the `stats` snapshot; empty = zeros (unit tests).
   std::function<ServerSnapshot()> snapshot;
   /// True: run_cell bodies parallelize replicas on the shared ThreadPool
@@ -85,5 +91,30 @@ struct HandlerResult {
 /// a typed error.  A run that was cancelled mid-cell reports
 /// deadline_exceeded (its truncated values are never sent).
 HandlerResult dispatch(const Request& req, const HandlerContext& ctx);
+
+/// Request dispatch hook: ServerOptions::dispatcher lets another front
+/// end (the cluster router, src/cluster/) reuse the whole serve stack —
+/// sockets, admission, deadlines, drain — while swapping the
+/// request-to-result layer.  Empty = serve::dispatch above.
+using Dispatcher =
+    std::function<HandlerResult(const Request&, const HandlerContext&)>;
+
+/// A validated run_cell request: the registry entry plus the cell and
+/// seed exactly as the local handler would execute them.  The cell's
+/// params keep request order — the canonical key (and thus the RNG
+/// substream and the result bytes) depend on it, so two requests that
+/// list the same axes in different order are different cells by design.
+struct RunCellRequest {
+  const sweep::Experiment* exp = nullptr;
+  sweep::Cell cell;
+  std::uint64_t seed = 1;
+};
+
+/// Validates `params` of a run_cell request (shared by the local
+/// handler and the cluster router, so both reject — and accept — byte
+/// for byte the same inputs).  On failure returns false and fills
+/// `error` with the invalid_params message.
+bool parse_run_cell(const obs::JsonValue& params, RunCellRequest& out,
+                    std::string& error);
 
 }  // namespace recover::serve

@@ -105,6 +105,22 @@ std::string make_result(std::string_view id_token,
   return out;
 }
 
+bool extract_result(const std::string& line, std::string& result_json) {
+  // Format fixed by make_result: result is the last field, so the raw
+  // value runs from the marker to the closing brace of the envelope.
+  static constexpr std::string_view kPrefix = "{\"schema\":\"recover.resp/1\"";
+  static constexpr std::string_view kMarker = ",\"ok\":true,\"result\":";
+  if (line.rfind(kPrefix, 0) != 0 || line.empty() || line.back() != '}') {
+    return false;
+  }
+  const std::size_t at = line.find(kMarker, kPrefix.size());
+  if (at == std::string::npos) return false;
+  const std::size_t begin = at + kMarker.size();
+  if (begin >= line.size() - 1) return false;
+  result_json.assign(line, begin, line.size() - 1 - begin);
+  return true;
+}
+
 std::string make_error(std::string_view id_token, ErrorCode code,
                        std::string_view message) {
   std::string out = "{\"schema\":\"";

@@ -87,6 +87,14 @@ std::string make_result(std::string_view id_token,
 std::string make_error(std::string_view id_token, ErrorCode code,
                        std::string_view message);
 
+/// Extracts the raw `result` bytes of an ok response line produced by
+/// make_result — the exact bytes between `"result":` and the final
+/// closing brace.  False when the line is not an ok recover.resp/1.
+/// The cluster router caches and re-wraps these bytes verbatim;
+/// extraction (never reparse-and-reserialize) is what keeps a cached or
+/// proxied reply byte-identical to a fresh backend's.
+bool extract_result(const std::string& line, std::string& result_json);
+
 /// Incremental newline framer with a line-length cap.  Feed raw bytes as
 /// they arrive; complete lines come out one at a time.  A line that
 /// exceeds the cap is reported once as kOversized and its remainder is

@@ -422,6 +422,7 @@ void Server::process(Work& work) {
   ctx.cells_parallel = options_.cells_parallel;
   ctx.snapshot = [this] { return snapshot(); };
   ctx.req_id = work.req_id;
+  ctx.deadline_ns = work.deadline_ns;
   if (work.deadline_ns != 0) {
     const std::uint64_t deadline_ns = work.deadline_ns;
     ctx.cancelled = [deadline_ns] {
@@ -429,7 +430,9 @@ void Server::process(Work& work) {
     };
   }
 
-  HandlerResult result = dispatch(work.request, ctx);
+  HandlerResult result = options_.dispatcher
+                             ? options_.dispatcher(work.request, ctx)
+                             : dispatch(work.request, ctx);
   if (result.ok) {
     responses_ok_.fetch_add(1, std::memory_order_relaxed);
     send_line(work.conn, make_result(work.request.id, result.result_json));

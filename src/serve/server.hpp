@@ -64,6 +64,11 @@ struct ServerOptions {
   /// ≈ window_slots × window_tick_ms (defaults: ~10 s).
   std::size_t window_slots = 10;
   int window_tick_ms = 1000;
+  /// Request-to-result layer (empty = serve::dispatch).  The cluster
+  /// router (src/cluster/) plugs in here: same sockets, admission queue,
+  /// deadline enforcement, and drain, different method semantics.
+  /// `shutdown` is still intercepted by the server before dispatch.
+  Dispatcher dispatcher;
 };
 
 class Server {

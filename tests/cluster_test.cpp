@@ -1,0 +1,464 @@
+// recover::cluster tests: hash-ring placement properties, result-cache
+// LRU + byte identity, and loopback router integration (real sockets,
+// in-process serve::Server backends) — determinism across topologies,
+// cache hits returning byte-exact replies, failover past draining and
+// dead backends, and the shared run_cell validation surface.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/cluster/cache.hpp"
+#include "src/cluster/digest.hpp"
+#include "src/cluster/ring.hpp"
+#include "src/cluster/router.hpp"
+#include "src/obs/json_reader.hpp"
+#include "src/rng/engines.hpp"
+#include "src/serve/protocol.hpp"
+#include "src/serve/server.hpp"
+#include "src/sweep/grid.hpp"
+
+namespace {
+
+using namespace recover;
+using namespace recover::cluster;
+
+// --- hash ring ------------------------------------------------------------
+
+TEST(HashRing, PlacementIsDeterministic) {
+  HashRing a(64);
+  HashRing b(64);
+  for (std::size_t i = 0; i < 4; ++i) {
+    const std::string id = "127.0.0.1:" + std::to_string(9000 + i);
+    a.add(i, id);
+    b.add(i, id);
+  }
+  for (std::uint64_t k = 0; k < 1000; ++k) {
+    const std::uint64_t digest = rng::substream(42, k);
+    EXPECT_EQ(a.owner(digest), b.owner(digest));
+  }
+}
+
+TEST(HashRing, RouteListsEveryBackendOnceStartingAtOwner) {
+  HashRing ring(64);
+  for (std::size_t i = 0; i < 5; ++i) {
+    ring.add(i, "127.0.0.1:" + std::to_string(9000 + i));
+  }
+  EXPECT_EQ(ring.backend_count(), 5u);
+  for (std::uint64_t k = 0; k < 200; ++k) {
+    const std::uint64_t digest = rng::substream(7, k);
+    const auto order = ring.route(digest);
+    ASSERT_EQ(order.size(), 5u);
+    EXPECT_EQ(order.front(), ring.owner(digest));
+    EXPECT_EQ(std::set<std::size_t>(order.begin(), order.end()).size(), 5u);
+  }
+}
+
+TEST(HashRing, AddingABackendMovesAboutOneNthOfKeys) {
+  constexpr std::size_t kBefore = 4;
+  constexpr std::uint64_t kKeys = 20000;
+  HashRing small(64);
+  HashRing big(64);
+  for (std::size_t i = 0; i < kBefore; ++i) {
+    const std::string id = "127.0.0.1:" + std::to_string(9000 + i);
+    small.add(i, id);
+    big.add(i, id);
+  }
+  big.add(kBefore, "127.0.0.1:9004");
+  std::uint64_t moved = 0;
+  for (std::uint64_t k = 0; k < kKeys; ++k) {
+    const std::uint64_t digest = rng::substream(3, k);
+    const std::size_t before = small.owner(digest);
+    const std::size_t after = big.owner(digest);
+    if (before != after) {
+      ++moved;
+      // Consistent hashing: a key that moves can only move TO the new
+      // backend, never shuffle between survivors.
+      EXPECT_EQ(after, kBefore);
+    }
+  }
+  // Expected share is 1/5 of the keyspace; vnode placement noise gives
+  // it slack but it must be nowhere near the 4/5 a modulo rehash moves.
+  const double share =
+      static_cast<double>(moved) / static_cast<double>(kKeys);
+  EXPECT_GT(share, 0.05);
+  EXPECT_LT(share, 0.45);
+}
+
+TEST(HashRing, RemovingABackendOnlyMovesItsOwnKeys) {
+  constexpr std::uint64_t kKeys = 20000;
+  HashRing full(64);
+  HashRing reduced(64);
+  for (std::size_t i = 0; i < 5; ++i) {
+    const std::string id = "127.0.0.1:" + std::to_string(9000 + i);
+    full.add(i, id);
+    reduced.add(i, id);
+  }
+  reduced.remove(2);
+  for (std::uint64_t k = 0; k < kKeys; ++k) {
+    const std::uint64_t digest = rng::substream(11, k);
+    const std::size_t before = full.owner(digest);
+    const std::size_t after = reduced.owner(digest);
+    if (before != 2) {
+      EXPECT_EQ(after, before);  // survivors keep every key they owned
+    } else {
+      EXPECT_NE(after, 2u);
+    }
+  }
+}
+
+// --- result cache ---------------------------------------------------------
+
+TEST(ResultCache, HitReturnsTheExactBytesPut) {
+  ResultCache cache(8);
+  const std::string value = "{\"T_mean\":27,\"ratio\":0.608636}";
+  cache.put("exp01|m=16|1", value);
+  std::string got;
+  ASSERT_TRUE(cache.get("exp01|m=16|1", got));
+  EXPECT_EQ(got, value);
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 0u);
+  EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(ResultCache, EvictsLeastRecentlyUsed) {
+  ResultCache cache(2);
+  cache.put("a", "1");
+  cache.put("b", "2");
+  std::string got;
+  ASSERT_TRUE(cache.get("a", got));  // promotes a over b
+  cache.put("c", "3");               // evicts b, the LRU entry
+  EXPECT_FALSE(cache.get("b", got));
+  EXPECT_TRUE(cache.get("a", got));
+  EXPECT_TRUE(cache.get("c", got));
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.entries, 2u);
+}
+
+TEST(ResultCache, ZeroCapacityDisablesWithoutCounting) {
+  ResultCache cache(0);
+  EXPECT_FALSE(cache.enabled());
+  cache.put("a", "1");
+  std::string got;
+  EXPECT_FALSE(cache.get("a", got));
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.hits + stats.misses + stats.insertions, 0u);
+}
+
+// --- digest ---------------------------------------------------------------
+
+TEST(Digest, CacheKeyAndPlacementFollowTheCellContract) {
+  const sweep::Experiment* exp = sweep::Registry::global().find("exp01");
+  ASSERT_NE(exp, nullptr);
+  serve::RunCellRequest req;
+  req.exp = exp;
+  req.cell.params = {{"m", 16}, {"d", 2}};
+  req.seed = 7;
+  EXPECT_EQ(cache_key(req), "exp01|m=16,d=2|7");
+  // Placement must equal the run_cell seeding substream: the digest a
+  // request routes by is the same value its result bytes derive from.
+  EXPECT_EQ(placement_digest(req),
+            rng::substream(7, sweep::cell_hash("exp01", req.cell)));
+  // Axis order is part of the identity.
+  serve::RunCellRequest swapped = req;
+  swapped.cell.params = {{"d", 2}, {"m", 16}};
+  EXPECT_NE(cache_key(swapped), cache_key(req));
+  EXPECT_NE(placement_digest(swapped), placement_digest(req));
+}
+
+// --- loopback cluster -----------------------------------------------------
+
+/// Minimal blocking client (same shape as serve_test's): one
+/// connection, synchronous call/response, raw reply lines.
+class Client {
+ public:
+  explicit Client(int port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    connected_ =
+        fd_ >= 0 && ::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                              sizeof addr) == 0;
+    if (connected_) {
+      const int one = 1;
+      ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    }
+  }
+  ~Client() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  [[nodiscard]] bool connected() const { return connected_; }
+
+  /// Sends one request line, returns the raw reply line ("" on EOF).
+  std::string call_raw(const std::string& request_line) {
+    std::string data = request_line + "\n";
+    std::size_t sent = 0;
+    while (sent < data.size()) {
+      const ssize_t n = ::send(fd_, data.data() + sent, data.size() - sent,
+                               MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return "";
+      }
+      sent += static_cast<std::size_t>(n);
+    }
+    std::string line;
+    while (true) {
+      if (framer_.next_line(line) == serve::LineReader::Next::kLine) {
+        return line;
+      }
+      char buf[4096];
+      const ssize_t n = ::recv(fd_, buf, sizeof buf, 0);
+      if (n <= 0) {
+        if (n < 0 && errno == EINTR) continue;
+        return "";
+      }
+      framer_.feed(buf, static_cast<std::size_t>(n));
+    }
+  }
+
+ private:
+  int fd_ = -1;
+  bool connected_ = false;
+  serve::LineReader framer_;
+};
+
+std::string error_code_of(const std::string& line) {
+  obs::JsonValue doc;
+  if (!obs::parse_json(line, doc)) return "";
+  const auto* error = doc.find("error");
+  const auto* code = error != nullptr ? error->find("code") : nullptr;
+  return code != nullptr && code->is_string() ? code->text : "";
+}
+
+/// A router over `n` fresh in-process recover_serve backends (passive
+/// health only — probe threads need an admin plane, which loopback
+/// tests don't carry).
+struct Cluster {
+  std::vector<std::unique_ptr<serve::Server>> servers;
+  std::unique_ptr<Router> router;
+
+  explicit Cluster(std::size_t n, std::size_t cache_entries) {
+    RouterOptions options;
+    for (std::size_t i = 0; i < n; ++i) {
+      serve::ServerOptions backend;
+      backend.workers = 1;
+      servers.push_back(std::make_unique<serve::Server>(backend));
+      EXPECT_TRUE(servers.back()->start());
+      BackendConfig config;
+      config.port = servers.back()->port();
+      options.backends.push_back(config);
+    }
+    options.server.workers = 2;
+    options.cache_entries = cache_entries;
+    options.backend.connect_timeout_ms = 500;
+    options.backend.eject_cooldown_ms = 100;
+    router = std::make_unique<Router>(std::move(options));
+    EXPECT_TRUE(router->start());
+  }
+
+  ~Cluster() {
+    router->stop();
+    for (auto& server : servers) server->stop();
+  }
+};
+
+/// A small fixed request trace: 4 distinct cells, each requested with 2
+/// seeds (ids vary so reply framing differs even when results repeat).
+std::vector<std::string> fixed_trace() {
+  std::vector<std::string> trace;
+  int id = 1;
+  for (const int m : {16, 32}) {
+    for (const int d : {2, 3}) {
+      for (const int seed : {1, 2}) {
+        trace.push_back(
+            "{\"schema\":\"recover.req/1\",\"id\":" + std::to_string(id++) +
+            ",\"method\":\"run_cell\",\"params\":{\"exp\":\"exp01\","
+            "\"seed\":" + std::to_string(seed) +
+            ",\"params\":{\"m\":" + std::to_string(m) +
+            ",\"d\":" + std::to_string(d) +
+            ",\"density\":1,\"replicas\":2}}}");
+      }
+    }
+  }
+  return trace;
+}
+
+/// Runs the trace through a client and returns the extracted result
+/// bytes, one per request; fails the test on any error reply.
+std::vector<std::string> run_trace(int port,
+                                   const std::vector<std::string>& trace) {
+  Client client(port);
+  EXPECT_TRUE(client.connected());
+  std::vector<std::string> results;
+  for (const std::string& request : trace) {
+    const std::string reply = client.call_raw(request);
+    std::string result;
+    EXPECT_TRUE(serve::extract_result(reply, result)) << reply;
+    results.push_back(result);
+  }
+  return results;
+}
+
+TEST(ClusterLoopback, ReplyBytesAreTopologyInvariant) {
+  const auto trace = fixed_trace();
+  // Direct backend, no router at all — the reference bytes.
+  serve::ServerOptions direct_options;
+  direct_options.workers = 1;
+  serve::Server direct(direct_options);
+  ASSERT_TRUE(direct.start());
+  const auto reference = run_trace(direct.port(), trace);
+  direct.stop();
+
+  Cluster one(1, /*cache_entries=*/0);
+  EXPECT_EQ(run_trace(one.router->port(), trace), reference);
+
+  Cluster three(3, /*cache_entries=*/0);
+  EXPECT_EQ(run_trace(three.router->port(), trace), reference);
+
+  // With the cache on, a second pass over the trace is all hits — and
+  // still the same bytes.
+  Cluster cached(3, /*cache_entries=*/128);
+  EXPECT_EQ(run_trace(cached.router->port(), trace), reference);
+  EXPECT_EQ(run_trace(cached.router->port(), trace), reference);
+  const auto stats = cached.router->cache_stats();
+  EXPECT_EQ(stats.hits, trace.size());
+  EXPECT_EQ(stats.misses, trace.size());
+}
+
+TEST(ClusterLoopback, CachedReplyIsByteIdenticalToFreshBackendReply) {
+  Cluster cluster(2, /*cache_entries=*/16);
+  Client client(cluster.router->port());
+  ASSERT_TRUE(client.connected());
+  const std::string request =
+      "{\"schema\":\"recover.req/1\",\"id\":9,\"method\":\"run_cell\","
+      "\"params\":{\"exp\":\"exp01\",\"seed\":5,"
+      "\"params\":{\"m\":16,\"d\":2,\"density\":1,\"replicas\":2}}}";
+  const std::string fresh = client.call_raw(request);
+  const std::string cached = client.call_raw(request);
+  EXPECT_EQ(cached, fresh);  // same id ⇒ the whole line matches
+  std::string fresh_result;
+  ASSERT_TRUE(serve::extract_result(fresh, fresh_result));
+  const auto stats = cluster.router->cache_stats();
+  EXPECT_EQ(stats.hits, 1u);
+  // A different id re-wraps the same cached bytes.
+  const std::string other_id =
+      "{\"schema\":\"recover.req/1\",\"id\":10,\"method\":\"run_cell\","
+      "\"params\":{\"exp\":\"exp01\",\"seed\":5,"
+      "\"params\":{\"m\":16,\"d\":2,\"density\":1,\"replicas\":2}}}";
+  const std::string rewrapped = client.call_raw(other_id);
+  std::string rewrapped_result;
+  ASSERT_TRUE(serve::extract_result(rewrapped, rewrapped_result));
+  EXPECT_EQ(rewrapped_result, fresh_result);
+  EXPECT_EQ(rewrapped, serve::make_result("10", fresh_result));
+}
+
+TEST(ClusterLoopback, FailsOverWhenABackendDrains) {
+  Cluster cluster(3, /*cache_entries=*/0);
+  // Drain all but backend 0: every key whose owner drained must re-hash
+  // to a surviving backend with no client-visible error.
+  cluster.servers[1]->request_drain();
+  cluster.servers[2]->request_drain();
+  const auto trace = fixed_trace();
+  const auto results = run_trace(cluster.router->port(), trace);
+  EXPECT_EQ(results.size(), trace.size());
+  const RouterStats stats = cluster.router->stats();
+  EXPECT_GT(stats.failovers, 0u);
+  EXPECT_EQ(stats.exhausted, 0u);
+}
+
+TEST(ClusterLoopback, FailsOverWhenABackendDies) {
+  Cluster cluster(2, /*cache_entries=*/0);
+  cluster.servers[1]->stop();  // socket gone: connects are refused
+  const auto trace = fixed_trace();
+  const auto results = run_trace(cluster.router->port(), trace);
+  EXPECT_EQ(results.size(), trace.size());
+  EXPECT_EQ(cluster.router->stats().exhausted, 0u);
+}
+
+TEST(ClusterLoopback, AllBackendsGoneAnswersOverloaded) {
+  Cluster cluster(1, /*cache_entries=*/0);
+  cluster.servers[0]->request_drain();
+  Client client(cluster.router->port());
+  ASSERT_TRUE(client.connected());
+  const std::string reply = client.call_raw(
+      "{\"schema\":\"recover.req/1\",\"id\":1,\"method\":\"run_cell\","
+      "\"params\":{\"exp\":\"exp01\",\"seed\":1,"
+      "\"params\":{\"m\":16,\"d\":2,\"density\":1,\"replicas\":2}}}");
+  EXPECT_EQ(error_code_of(reply), "overloaded");
+  EXPECT_EQ(cluster.router->stats().exhausted, 1u);
+}
+
+TEST(ClusterLoopback, ValidationMatchesTheBackendByteForByte) {
+  // The router rejects locally (shared parse_run_cell); the message
+  // must be the one a backend would have produced.
+  Cluster cluster(1, /*cache_entries=*/0);
+  serve::ServerOptions direct_options;
+  direct_options.workers = 1;
+  serve::Server direct(direct_options);
+  ASSERT_TRUE(direct.start());
+  const std::vector<std::string> bad_requests = {
+      "{\"schema\":\"recover.req/1\",\"id\":1,\"method\":\"run_cell\"}",
+      "{\"schema\":\"recover.req/1\",\"id\":2,\"method\":\"run_cell\","
+      "\"params\":{\"exp\":\"nope\",\"params\":{\"m\":8}}}",
+      "{\"schema\":\"recover.req/1\",\"id\":3,\"method\":\"run_cell\","
+      "\"params\":{\"exp\":\"exp01\",\"seed\":-1,\"params\":{\"m\":8}}}",
+      "{\"schema\":\"recover.req/1\",\"id\":4,\"method\":\"run_cell\","
+      "\"params\":{\"exp\":\"exp01\",\"params\":{\"m\":1.5}}}",
+  };
+  Client through_router(cluster.router->port());
+  Client through_backend(direct.port());
+  ASSERT_TRUE(through_router.connected());
+  ASSERT_TRUE(through_backend.connected());
+  for (const std::string& request : bad_requests) {
+    EXPECT_EQ(through_router.call_raw(request),
+              through_backend.call_raw(request));
+  }
+  direct.stop();
+}
+
+TEST(ClusterLoopback, NonRunCellMethodsAreServedLocally) {
+  Cluster cluster(1, /*cache_entries=*/0);
+  cluster.servers[0]->stop();  // backend dead; local methods still work
+  Client client(cluster.router->port());
+  ASSERT_TRUE(client.connected());
+  const std::string reply = client.call_raw(
+      "{\"schema\":\"recover.req/1\",\"id\":1,\"method\":\"ping\"}");
+  EXPECT_EQ(reply, serve::make_result("1", "{\"pong\":true}"));
+}
+
+// --- extract_result -------------------------------------------------------
+
+TEST(ExtractResult, RoundTripsMakeResult) {
+  const std::string line = serve::make_result("42", "{\"pong\":true}");
+  std::string result;
+  ASSERT_TRUE(serve::extract_result(line, result));
+  EXPECT_EQ(result, "{\"pong\":true}");
+  // Error replies and foreign lines don't extract.
+  EXPECT_FALSE(serve::extract_result(
+      serve::make_error("1", serve::ErrorCode::kOverloaded, "full"),
+      result));
+  EXPECT_FALSE(serve::extract_result("{\"ok\":true}", result));
+  // Nested objects keep every byte.
+  const std::string nested = "{\"a\":{\"ok\":true,\"result\":[1,2]},\"b\":3}";
+  const std::string wrapped = serve::make_result("\"x\"", nested);
+  ASSERT_TRUE(serve::extract_result(wrapped, result));
+  EXPECT_EQ(result, nested);
+}
+
+}  // namespace

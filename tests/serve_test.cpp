@@ -589,6 +589,14 @@ TEST(ServeLoopback, ShutdownMethodDrainsGracefully) {
   const auto* draining = doc.find("result")->find("draining");
   ASSERT_NE(draining, nullptr);
   EXPECT_TRUE(draining->boolean);
+  // The ack is written *before* request_drain() (the initiator must
+  // always see it), so the flag can trail the reply by a scheduler
+  // quantum — poll instead of sampling once.
+  const auto give_up =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (!server.draining() && std::chrono::steady_clock::now() < give_up) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
   EXPECT_TRUE(server.draining());
 
   // New work on the same (still open) connection is refused.
