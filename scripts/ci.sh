@@ -8,8 +8,8 @@
 # Env hooks:
 #   BUILD_DIR=dir   build directory (default build-ci)
 #   TSAN=1          additionally build parallel_test + obs_test +
-#                   serve_test + ops_test + cluster_test with
-#                   -DRECOVERLIB_TSAN=ON and run them under
+#                   serve_test + ops_test + cluster_test + certify_test
+#                   with -DRECOVERLIB_TSAN=ON and run them under
 #                   ThreadSanitizer (separate build tree build-tsan)
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -97,6 +97,18 @@ echo "== kernel perf gate =="
   --benchmark_repetitions=3 --benchmark_report_aggregates_only=true > /dev/null
 python3 scripts/perf_gate.py "$BUILD_DIR/bench_kernels.json"
 
+echo "== certify: chain conformance in both kernel modes =="
+# Random instances per registered chain model: exact-vs-sampled law
+# agreement, scalar-vs-batched byte identity, coupling faithfulness,
+# structural invariants (docs/CERTIFICATION.md).  Time-boxed — hitting
+# the budget is a pass, a property failure is not, and every failure
+# prints one CERTIFY FAIL line with a replay command.
+for mode in scalar batched; do
+  echo "-- RECOVER_KERNEL=$mode"
+  RECOVER_KERNEL=$mode "$BUILD_DIR"/bench/certify_runner --suite=chains \
+    --instances=8 --time-budget=60s
+done
+
 echo "== tracing: record, validate, analyze =="
 # Outside JSON_DIR: the *.json glob below expects recover.run/1 records.
 TRACE_FILE="$BUILD_DIR/sweep_exp01.trace.json"
@@ -125,6 +137,12 @@ fi
 "$BUILD_DIR"/bench/serve_loadgen --port "$SERVE_PORT" --qps 200 --conns 8 \
   --duration 2s --mix "ping=3,run_cell=1" --metrics \
   --json-out="$JSON_DIR/serve_loadgen.json"
+# Structure-aware protocol fuzz against the live daemon: 10k mutated
+# frames (truncation, splicing, depth bombs, surrogate abuse, oversized
+# lines) must draw only taxonomy errors — no crash, no hang, no
+# off-taxonomy reply — and the server must still drain cleanly after.
+"$BUILD_DIR"/bench/certify_runner --suite=protocol --port="$SERVE_PORT" \
+  --frames=10000
 kill -TERM "$SERVE_PID"
 if ! wait "$SERVE_PID"; then
   echo "ci.sh: recover_serve did not drain cleanly on SIGTERM" >&2
@@ -326,16 +344,17 @@ for exe in "$BUILD_DIR"/examples/*; do
 done
 
 if [ "${TSAN:-0}" = "1" ]; then
-  echo "== ThreadSanitizer (parallel, obs, serve, ops, cluster tests) =="
+  echo "== ThreadSanitizer (parallel, obs, serve, ops, cluster, certify) =="
   cmake -B build-tsan -G Ninja -DRECOVERLIB_TSAN=ON \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
   cmake --build build-tsan --target parallel_test obs_test serve_test \
-    ops_test cluster_test
+    ops_test cluster_test certify_test
   ./build-tsan/tests/parallel_test
   ./build-tsan/tests/obs_test
   ./build-tsan/tests/serve_test
   ./build-tsan/tests/ops_test
   ./build-tsan/tests/cluster_test
+  ./build-tsan/tests/certify_test
 fi
 
 echo "CI OK"

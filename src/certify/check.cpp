@@ -1,0 +1,21 @@
+#include "src/certify/check.hpp"
+
+#include <cstdlib>
+
+namespace recover::certify {
+
+std::uint64_t test_master_seed(std::uint64_t fallback) {
+  const char* env = std::getenv(kSeedEnvVar);
+  if (env == nullptr || *env == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(env, &end, 0);
+  if (end == env || (end != nullptr && *end != '\0')) return fallback;
+  return static_cast<std::uint64_t>(value);
+}
+
+std::string seed_banner(std::uint64_t seed) {
+  return "master seed " + std::to_string(seed) + " (rerun with " +
+         std::string(kSeedEnvVar) + "=" + std::to_string(seed) + ")";
+}
+
+}  // namespace recover::certify

@@ -1,0 +1,32 @@
+// Reproducible-seed plumbing shared by the certification harness and the
+// repo's randomized tests.
+//
+// Every stochastic check in the tree follows one discipline (the
+// glasgow-constraint-solver test-utils pattern): derive all randomness
+// from ONE master seed, and when something fails, print that seed in a
+// form that can be pasted back to reproduce the failure exactly.  These
+// helpers are that discipline's single implementation — tests wrap
+// seed_banner() in SCOPED_TRACE, the certify_runner prints one
+// "CERTIFY FAIL ... rerun:" line (src/certify/properties.hpp).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace recover::certify {
+
+/// Environment variable consulted by test_master_seed.
+inline constexpr const char* kSeedEnvVar = "RECOVER_TEST_SEED";
+
+/// Master seed for a randomized test: the value of RECOVER_TEST_SEED
+/// (decimal, or hex with a 0x prefix) when set and parseable, otherwise
+/// `fallback`.  Lets a failing seed printed by seed_banner be replayed
+/// without recompiling.
+std::uint64_t test_master_seed(std::uint64_t fallback);
+
+/// One-line banner naming the active master seed and how to rerun with
+/// it.  Tests wrap it in SCOPED_TRACE so any stochastic failure carries
+/// its reproduction recipe.
+std::string seed_banner(std::uint64_t seed);
+
+}  // namespace recover::certify

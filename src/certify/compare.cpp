@@ -1,0 +1,149 @@
+#include "src/certify/compare.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+#include "src/stats/histogram.hpp"
+#include "src/util/assert.hpp"
+
+namespace recover::certify {
+
+std::string LawCheck::describe() const {
+  if (impossible) {
+    return "impossible outcome '" + impossible_key + "' after " +
+           std::to_string(trials) + " trials";
+  }
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "chi2=%.3f df=%d p=%.3g tv=%.4f trials=%lld", chi2, df,
+                pvalue, tv, static_cast<long long>(trials));
+  return buf;
+}
+
+LawCheck law_check_from_counts(const std::vector<std::int64_t>& counts,
+                               const std::vector<double>& probs) {
+  RL_REQUIRE(counts.size() == probs.size());
+  RL_REQUIRE(!counts.empty());
+  LawCheck check;
+  for (const auto c : counts) check.trials += c;
+  RL_REQUIRE(check.trials > 0);
+
+  // A draw landing on a prob-0 bucket is an unconditional failure.
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (probs[i] <= 0.0 && counts[i] > 0) {
+      check.impossible = true;
+      check.impossible_key = "bucket " + std::to_string(i);
+      return check;
+    }
+  }
+
+  check.tv = stats::tv_distance(counts, probs);
+
+  // Cochran pooling: buckets with expected count < 5 merge into one
+  // composite bucket so the χ² approximation holds.
+  const auto total = static_cast<double>(check.trials);
+  std::vector<std::int64_t> pooled_counts;
+  std::vector<double> pooled_probs;
+  std::int64_t pool_count = 0;
+  double pool_prob = 0.0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (probs[i] * total < 5.0) {
+      pool_count += counts[i];
+      pool_prob += probs[i];
+    } else {
+      pooled_counts.push_back(counts[i]);
+      pooled_probs.push_back(probs[i]);
+    }
+  }
+  if (pool_prob > 0.0) {
+    pooled_counts.push_back(pool_count);
+    pooled_probs.push_back(pool_prob);
+  }
+  if (pooled_counts.size() < 2) {
+    // Degenerate after pooling (near-deterministic law): the impossible-
+    // outcome scan above is the whole test.
+    return check;
+  }
+  check.chi2 = stats::chi_square_statistic(pooled_counts, pooled_probs);
+  check.df = static_cast<int>(pooled_counts.size()) - 1;
+  check.pvalue = stats::chi_square_pvalue(check.chi2, check.df);
+  return check;
+}
+
+LawCheck check_sampled_law(const StepLaw& expected,
+                           const std::function<std::string()>& draw,
+                           std::int64_t trials) {
+  RL_REQUIRE(!expected.empty());
+  RL_REQUIRE(trials > 0);
+  std::map<std::string, std::size_t> slot;
+  std::vector<double> probs;
+  for (const auto& [key, p] : expected) {
+    const auto [it, inserted] = slot.emplace(key, probs.size());
+    if (inserted) {
+      probs.push_back(p);
+    } else {
+      probs[it->second] += p;  // tolerate duplicate keys in the law
+    }
+  }
+  std::vector<std::int64_t> counts(probs.size(), 0);
+  for (std::int64_t t = 0; t < trials; ++t) {
+    const std::string key = draw();
+    const auto it = slot.find(key);
+    if (it == slot.end()) {
+      LawCheck check;
+      check.trials = t + 1;
+      check.impossible = true;
+      check.impossible_key = key;
+      return check;
+    }
+    ++counts[it->second];
+  }
+  return law_check_from_counts(counts, probs);
+}
+
+LawCheck check_sampled_index_law(const std::vector<double>& probs,
+                                 const std::function<std::size_t()>& draw,
+                                 std::int64_t trials) {
+  RL_REQUIRE(!probs.empty());
+  RL_REQUIRE(trials > 0);
+  std::vector<std::int64_t> counts(probs.size(), 0);
+  for (std::int64_t t = 0; t < trials; ++t) {
+    const std::size_t i = draw();
+    if (i >= probs.size() || probs[i] <= 0.0) {
+      LawCheck check;
+      check.trials = t + 1;
+      check.impossible = true;
+      check.impossible_key = "index " + std::to_string(i);
+      return check;
+    }
+    ++counts[i];
+  }
+  return law_check_from_counts(counts, probs);
+}
+
+bool MeanCheck::pass() const {
+  return std::abs(mean - expected) <= tolerance;
+}
+
+std::string MeanCheck::describe() const {
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "mean=%.6f expected=%.6f tol=%.6f stderr=%.2g n=%lld", mean,
+                expected, tolerance, stderror,
+                static_cast<long long>(samples));
+  return buf;
+}
+
+MeanCheck check_mc_mean(const stats::Summary& summary, double expected,
+                        double sigmas, double slack) {
+  MeanCheck check;
+  check.mean = summary.mean();
+  check.expected = expected;
+  check.stderror = summary.stderror();
+  check.tolerance = sigmas * check.stderror + slack;
+  check.samples = summary.count();
+  return check;
+}
+
+}  // namespace recover::certify

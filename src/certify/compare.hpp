@@ -1,0 +1,72 @@
+// Law-agreement checks: the statistical core of the certification
+// harness, also reused directly by the repo's exact-vs-sampled tests
+// (tests/exact_chain_test.cpp, tests/exact_coupling_test.cpp).
+//
+// A LawCheck compares empirical counts against an exact pmf with a χ²
+// goodness-of-fit test (buckets pooled to expected count ≥ 5, Cochran's
+// rule) decided by stats::chi_square_pvalue, plus the TV distance as a
+// human-readable effect size.  An outcome of exact probability zero
+// ("impossible state") fails unconditionally — no amount of trials makes
+// a prob-0 event statistically acceptable.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/certify/model.hpp"
+#include "src/stats/summary.hpp"
+
+namespace recover::certify {
+
+struct LawCheck {
+  double chi2 = 0.0;
+  int df = 0;           // after pooling; 0 = χ² skipped (degenerate law)
+  double pvalue = 1.0;  // right tail; decides pass/fail
+  double tv = 0.0;      // ½ Σ |empirical − exact| over the support
+  std::int64_t trials = 0;
+  bool impossible = false;      // a prob-0 outcome was observed
+  std::string impossible_key;   // which one
+
+  [[nodiscard]] bool pass(double alpha) const {
+    return !impossible && pvalue >= alpha;
+  }
+  [[nodiscard]] std::string describe() const;
+};
+
+/// χ²/TV check of raw counts against exact probabilities over the same
+/// (aligned) support.  The shared core of the two samplers below.
+LawCheck law_check_from_counts(const std::vector<std::int64_t>& counts,
+                               const std::vector<double>& probs);
+
+/// Draws `trials` samples via `draw` and checks them against `expected`.
+/// A drawn key outside the expected support marks the check impossible.
+LawCheck check_sampled_law(const StepLaw& expected,
+                           const std::function<std::string()>& draw,
+                           std::int64_t trials);
+
+/// Index-valued variant for laws over 0..probs.size()-1 (placement and
+/// removal pmfs); a draw at a prob-0 index marks the check impossible.
+LawCheck check_sampled_index_law(const std::vector<double>& probs,
+                                 const std::function<std::size_t()>& draw,
+                                 std::int64_t trials);
+
+/// Monte-Carlo-mean vs exact-expectation agreement, the pattern of
+/// tests/exact_coupling_test.cpp: pass iff
+/// |mean − expected| ≤ sigmas · stderror + slack.
+struct MeanCheck {
+  double mean = 0.0;
+  double expected = 0.0;
+  double stderror = 0.0;
+  double tolerance = 0.0;
+  std::int64_t samples = 0;
+
+  [[nodiscard]] bool pass() const;
+  [[nodiscard]] std::string describe() const;
+};
+
+MeanCheck check_mc_mean(const stats::Summary& summary, double expected,
+                        double sigmas = 5.0, double slack = 1e-6);
+
+}  // namespace recover::certify

@@ -1,0 +1,564 @@
+#include "src/certify/fuzz.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <set>
+#include <utility>
+
+#include "src/obs/json_reader.hpp"
+#include "src/rng/distributions.hpp"
+#include "src/rng/engines.hpp"
+#include "src/serve/handlers.hpp"
+#include "src/serve/protocol.hpp"
+
+namespace recover::certify {
+
+namespace {
+
+const std::set<std::string>& taxonomy() {
+  static const std::set<std::string> codes = {
+      "parse_error",       "unknown_method", "invalid_params",
+      "overloaded",        "deadline_exceeded", "shutting_down"};
+  return codes;
+}
+
+/// The wire contract is one frame per line; a mutation that smuggles a
+/// newline in would silently change the frame count, so every generated
+/// frame is scrubbed.
+void strip_newlines(std::string& frame) {
+  for (char& c : frame) {
+    if (c == '\n' || c == '\r') c = ' ';
+  }
+}
+
+using Engine = rng::Xoshiro256PlusPlus;
+
+std::string pick_id(Engine& eng) {
+  switch (rng::uniform_below(eng, 4)) {
+    case 0:
+      return std::to_string(rng::uniform_below(eng, 1000));
+    case 1:
+      return "\"req-" + std::to_string(rng::uniform_below(eng, 1000)) + "\"";
+    case 2:
+      return "null";
+    default: {
+      std::string id = "-";
+      id += std::to_string(rng::uniform_below(eng, 1000));
+      return id;
+    }
+  }
+}
+
+/// A well-formed recover.req/1 frame — the corpus the mutators chew on.
+/// Weighted toward cheap methods; run_cell appears both valid (rarely,
+/// it actually computes) and with unusable params.
+std::string valid_frame(Engine& eng) {
+  const std::string id = pick_id(eng);
+  std::string deadline;
+  if (rng::uniform_below(eng, 4) == 0) {
+    // Sometimes an instantly-expiring or generous deadline.
+    const char* values[] = {"0", "1", "60000", "86400000"};
+    deadline = std::string(",\"deadline_ms\":") +
+               values[rng::uniform_below(eng, 4)];
+  }
+  const std::string head =
+      "{\"schema\":\"recover.req/1\",\"id\":" + id + ",\"method\":";
+  switch (rng::uniform_below(eng, 10)) {
+    case 0:
+    case 1:
+    case 2:
+      return head + "\"ping\"" + deadline + "}";
+    case 3:
+    case 4:
+      return head + "\"stats\"" + deadline + "}";
+    case 5:
+      return head + "\"list_cells\"" + deadline + "}";
+    case 6:  // valid run_cell (small cell, really executes)
+      return head +
+             "\"run_cell\",\"params\":{\"exp\":\"exp01\",\"seed\":" +
+             std::to_string(rng::uniform_below(eng, 64)) +
+             ",\"params\":{\"m\":16,\"d\":1,\"density\":1,\"replicas\":1}}" +
+             deadline + "}";
+    case 7:  // run_cell with unusable params → invalid_params
+      switch (rng::uniform_below(eng, 4)) {
+        case 0:
+          return head + "\"run_cell\",\"params\":{}" + deadline + "}";
+        case 1:
+          return head +
+                 "\"run_cell\",\"params\":{\"exp\":\"no_such_exp\","
+                 "\"params\":{\"m\":16}}" +
+                 deadline + "}";
+        case 2:
+          return head +
+                 "\"run_cell\",\"params\":{\"exp\":\"exp01\","
+                 "\"params\":{\"m\":1.5}}" +
+                 deadline + "}";
+        default:
+          return head +
+                 "\"run_cell\",\"params\":{\"exp\":\"exp01\","
+                 "\"params\":{},\"seed\":-1}" +
+                 deadline + "}";
+      }
+    case 8:  // unknown method
+      return head + "\"no_such_method\"" + deadline + "}";
+    default:  // shutdown-adjacent spelling (must NOT kill the server)
+      return head + "\"Shutdown\"" + deadline + "}";
+  }
+}
+
+std::string depth_bomb(Engine& eng) {
+  // Around the reader's 64-level nesting cap: some frames just under
+  // (parse fine, then fail as invalid params), some far over (must be a
+  // parse_error, not a stack overflow).
+  const std::size_t depth = 40 + rng::uniform_below(eng, 80);
+  std::string params;
+  for (std::size_t i = 0; i < depth; ++i) params += "{\"a\":";
+  params += "1";
+  for (std::size_t i = 0; i < depth; ++i) params += "}";
+  return "{\"schema\":\"recover.req/1\",\"id\":1,\"method\":\"run_cell\","
+         "\"params\":" +
+         params + "}";
+}
+
+std::string surrogate_abuse(Engine& eng) {
+  const char* payloads[] = {
+      "\\uD800",        // lone high surrogate
+      "\\uDC00",        // lone low surrogate
+      "\\uDC00\\uD800", // swapped pair
+      "\\uD83D\\uDE00", // valid pair (must parse, then unknown_method)
+      "\\uD800\\u0041", // high surrogate followed by a plain escape
+  };
+  const std::string payload = payloads[rng::uniform_below(eng, 5)];
+  return "{\"schema\":\"recover.req/1\",\"id\":\"x" + payload +
+         "\",\"method\":\"m" + payload + "\"}";
+}
+
+std::string oversized_frame(Engine& eng) {
+  // Straddle the 64 KiB framing cap.
+  const std::size_t target =
+      serve::kMaxLineBytes - 64 + rng::uniform_below(eng, 256);
+  std::string frame =
+      "{\"schema\":\"recover.req/1\",\"id\":1,\"method\":\"";
+  frame.append(target, 'x');
+  frame += "\"}";
+  return frame;
+}
+
+std::string type_confusion(Engine& eng) {
+  const char* frames[] = {
+      // id as structured values
+      "{\"schema\":\"recover.req/1\",\"id\":{},\"method\":\"ping\"}",
+      "{\"schema\":\"recover.req/1\",\"id\":[1,2],\"method\":\"ping\"}",
+      // method as non-string
+      "{\"schema\":\"recover.req/1\",\"id\":1,\"method\":42}",
+      "{\"schema\":\"recover.req/1\",\"id\":1,\"method\":null}",
+      // params as non-object
+      "{\"schema\":\"recover.req/1\",\"id\":1,\"method\":\"ping\","
+      "\"params\":[1]}",
+      "{\"schema\":\"recover.req/1\",\"id\":1,\"method\":\"ping\","
+      "\"params\":\"x\"}",
+      // deadline abuse
+      "{\"schema\":\"recover.req/1\",\"id\":1,\"method\":\"ping\","
+      "\"deadline_ms\":\"soon\"}",
+      "{\"schema\":\"recover.req/1\",\"id\":1,\"method\":\"ping\","
+      "\"deadline_ms\":-5}",
+      "{\"schema\":\"recover.req/1\",\"id\":1,\"method\":\"ping\","
+      "\"deadline_ms\":1e300}",
+      // schema abuse
+      "{\"schema\":\"recover.req/2\",\"id\":1,\"method\":\"ping\"}",
+      "{\"schema\":42,\"id\":1,\"method\":\"ping\"}",
+      "{\"id\":1,\"method\":\"ping\"}",
+      // duplicate keys
+      "{\"schema\":\"recover.req/1\",\"id\":1,\"id\":2,\"method\":\"ping\"}",
+      // huge numbers in params
+      "{\"schema\":\"recover.req/1\",\"id\":1,\"method\":\"run_cell\","
+      "\"params\":{\"exp\":\"exp01\",\"seed\":99999999999999999999,"
+      "\"params\":{\"m\":16}}}",
+  };
+  return frames[rng::uniform_below(eng, sizeof frames / sizeof frames[0])];
+}
+
+std::string garbage(Engine& eng) {
+  const std::size_t len = 1 + rng::uniform_below(eng, 200);
+  std::string frame;
+  frame.reserve(len);
+  for (std::size_t i = 0; i < len; ++i) {
+    frame += static_cast<char>(rng::uniform_below(eng, 256));
+  }
+  return frame;
+}
+
+std::string truncate_frame(Engine& eng) {
+  const std::string base = valid_frame(eng);
+  const std::size_t keep = rng::uniform_below(eng, base.size());
+  return base.substr(0, keep);
+}
+
+std::string splice_frames(Engine& eng) {
+  const std::string a = valid_frame(eng);
+  const std::string b = valid_frame(eng);
+  const std::size_t cut_a = rng::uniform_below(eng, a.size() + 1);
+  const std::size_t cut_b = rng::uniform_below(eng, b.size() + 1);
+  return a.substr(0, cut_a) + b.substr(cut_b);
+}
+
+std::string flip_bytes(Engine& eng) {
+  std::string frame = valid_frame(eng);
+  const std::size_t flips = 1 + rng::uniform_below(eng, 4);
+  for (std::size_t f = 0; f < flips; ++f) {
+    const std::size_t pos = rng::uniform_below(eng, frame.size());
+    frame[pos] = static_cast<char>(
+        static_cast<unsigned char>(frame[pos]) ^
+        static_cast<unsigned char>(1u << rng::uniform_below(eng, 8)));
+  }
+  return frame;
+}
+
+}  // namespace
+
+std::string fuzz_frame(std::uint64_t seed, std::int64_t index) {
+  Engine eng(rng::substream(seed, static_cast<std::uint64_t>(index)));
+  std::string frame;
+  switch (rng::uniform_below(eng, 16)) {
+    case 0:
+    case 1:
+      frame = valid_frame(eng);
+      break;
+    case 2:
+    case 3:
+      frame = truncate_frame(eng);
+      break;
+    case 4:
+    case 5:
+      frame = splice_frames(eng);
+      break;
+    case 6:
+      frame = depth_bomb(eng);
+      break;
+    case 7:
+    case 8:
+      frame = surrogate_abuse(eng);
+      break;
+    case 9:
+      frame = oversized_frame(eng);
+      break;
+    case 10:
+    case 11:
+      frame = flip_bytes(eng);
+      break;
+    case 12:
+    case 13:
+      frame = type_confusion(eng);
+      break;
+    case 14:
+      frame = garbage(eng);
+      break;
+    default:
+      // Empty / whitespace-only lines.
+      frame = std::string(rng::uniform_below(eng, 4), ' ');
+      break;
+  }
+  strip_newlines(frame);
+  return frame;
+}
+
+std::string validate_reply_line(const std::string& line) {
+  obs::JsonValue doc;
+  if (!obs::parse_json(line, doc)) return "reply is not valid JSON";
+  if (!doc.is_object()) return "reply is not a JSON object";
+  const obs::JsonValue* schema = doc.find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->text != serve::kResponseSchema) {
+    return "reply schema is not recover.resp/1";
+  }
+  if (doc.find("id") == nullptr) return "reply lacks an id";
+  const obs::JsonValue* ok = doc.find("ok");
+  if (ok == nullptr || ok->kind != obs::JsonValue::Kind::kBool) {
+    return "reply lacks a boolean 'ok'";
+  }
+  if (ok->boolean) {
+    if (doc.find("result") == nullptr) return "ok reply lacks 'result'";
+    return "";
+  }
+  const obs::JsonValue* error = doc.find("error");
+  if (error == nullptr || !error->is_object()) {
+    return "error reply lacks an 'error' object";
+  }
+  const obs::JsonValue* code = error->find("code");
+  if (code == nullptr || !code->is_string()) {
+    return "error reply lacks a string 'code'";
+  }
+  if (taxonomy().count(code->text) == 0) {
+    return "error code '" + code->text + "' is outside the taxonomy";
+  }
+  const obs::JsonValue* message = error->find("message");
+  if (message == nullptr || !message->is_string()) {
+    return "error reply lacks a string 'message'";
+  }
+  return "";
+}
+
+std::string reply_error_code(const std::string& line) {
+  obs::JsonValue doc;
+  if (!obs::parse_json(line, doc) || !doc.is_object()) return "";
+  const obs::JsonValue* error = doc.find("error");
+  if (error == nullptr || !error->is_object()) return "";
+  const obs::JsonValue* code = error->find("code");
+  if (code == nullptr || !code->is_string()) return "";
+  return code->text;
+}
+
+namespace {
+
+std::string truncate_for_report(const std::string& frame) {
+  if (frame.size() <= 120) return frame;
+  return frame.substr(0, 120) + "...(" + std::to_string(frame.size()) +
+         " bytes)";
+}
+
+void record_reply(FuzzReport& report, const FuzzOptions&,
+                  std::int64_t frame_index, const std::string& frame,
+                  const std::string& reply) {
+  ++report.replies;
+  const std::string reason = validate_reply_line(reply);
+  if (!reason.empty()) {
+    report.violations.push_back({frame_index, "bad_reply",
+                                 reason + "; reply: " +
+                                     truncate_for_report(reply),
+                                 truncate_for_report(frame)});
+    return;
+  }
+  const std::string code = reply_error_code(reply);
+  if (code.empty()) {
+    ++report.ok_replies;
+  } else {
+    ++report.error_counts[code];
+  }
+}
+
+}  // namespace
+
+FuzzReport fuzz_handlers(const FuzzOptions& options) {
+  FuzzReport report;
+  serve::LineReader reader;
+  serve::HandlerContext ctx;
+  ctx.cells_parallel = false;
+  for (std::int64_t i = 0; i < options.frames; ++i) {
+    const std::string frame = fuzz_frame(options.seed, i);
+    const std::string wire = frame + "\n";
+    reader.feed(wire.data(), wire.size());
+    std::int64_t replies_this_frame = 0;
+    std::string line;
+    for (;;) {
+      const serve::LineReader::Next next = reader.next_line(line);
+      if (next == serve::LineReader::Next::kNeedMore) break;
+      std::string reply;
+      if (next == serve::LineReader::Next::kOversized) {
+        reply = serve::make_error("null", serve::ErrorCode::kParseError,
+                                  "request line exceeds the size cap");
+      } else {
+        serve::Request req;
+        const serve::ParseOutcome outcome = serve::parse_request(line, req);
+        if (!outcome.ok) {
+          reply = serve::make_error(req.id, outcome.code, outcome.message);
+        } else {
+          const serve::HandlerResult result = serve::dispatch(req, ctx);
+          reply = result.ok
+                      ? serve::make_result(req.id, result.result_json)
+                      : serve::make_error(req.id, result.code, result.message);
+        }
+      }
+      ++replies_this_frame;
+      record_reply(report, options, i, frame, reply);
+    }
+    ++report.frames;
+    // The accounting half of the contract: one line in (oversized or
+    // not), exactly one reply out — except a zero-length line, which the
+    // framer swallows as a keep-alive no-op.
+    const std::int64_t expected = frame.empty() ? 0 : 1;
+    if (replies_this_frame != expected) {
+      report.violations.push_back(
+          {i, replies_this_frame < expected ? "no_reply" : "extra_reply",
+           std::to_string(replies_this_frame) + " replies for one frame",
+           truncate_for_report(frame)});
+    }
+  }
+  return report;
+}
+
+namespace {
+
+int connect_to(const std::string& host, int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
+      ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+          0) {
+    ::close(fd);
+    return -1;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return fd;
+}
+
+bool send_all_torn(int fd, const std::string& payload, Engine& eng) {
+  // Random-sized partial writes: the server's framer must reassemble
+  // frames regardless of how the bytes are torn on the wire.
+  std::size_t sent = 0;
+  while (sent < payload.size()) {
+    const std::size_t chunk = std::min<std::size_t>(
+        payload.size() - sent, 1 + rng::uniform_below(eng, 1400));
+    const ssize_t n = ::send(fd, payload.data() + sent, chunk, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+FuzzReport fuzz_server(const std::string& host, int port,
+                       const FuzzOptions& options) {
+  FuzzReport report;
+  const int fd = connect_to(host, port);
+  if (fd < 0) {
+    report.violations.push_back(
+        {-1, "connect_failed",
+         host + ":" + std::to_string(port) + ": " + std::strerror(errno),
+         ""});
+    return report;
+  }
+  Engine tear_eng(rng::substream(options.seed, 0xFEED));
+  // Replies can be larger than requests (list_cells); budget generously
+  // but keep a cap so a reply-side runaway is caught.
+  serve::LineReader reader(1 << 20);
+  const int batch = std::max(options.batch, 1);
+  std::int64_t next_frame = 0;
+  while (next_frame < options.frames && report.ok()) {
+    const std::int64_t batch_begin = next_frame;
+    const std::int64_t batch_end =
+        std::min<std::int64_t>(options.frames, next_frame + batch);
+    std::string payload;
+    std::string first_frame;
+    std::int64_t expected_replies = 0;
+    for (; next_frame < batch_end; ++next_frame) {
+      std::string frame = fuzz_frame(options.seed, next_frame);
+      if (first_frame.empty()) first_frame = frame;
+      // Zero-length lines are keep-alive no-ops on the server; every
+      // other line (oversized included) yields exactly one reply.
+      if (!frame.empty()) ++expected_replies;
+      payload += frame;
+      payload += '\n';
+    }
+    if (!send_all_torn(fd, payload, tear_eng)) {
+      report.violations.push_back(
+          {batch_begin, "connection_lost",
+           std::string("send failed: ") + std::strerror(errno),
+           truncate_for_report(first_frame)});
+      break;
+    }
+    report.frames += batch_end - batch_begin;
+
+    // Collect exactly one reply per non-empty frame of the batch, under
+    // a deadline; silence past it means the server hung or dropped
+    // replies.
+    std::int64_t pending = expected_replies;
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(options.reply_timeout_ms);
+    char buf[8192];
+    while (pending > 0) {
+      std::string line;
+      bool got_line = false;
+      for (;;) {
+        const serve::LineReader::Next next = reader.next_line(line);
+        if (next == serve::LineReader::Next::kLine) {
+          got_line = true;
+          break;
+        }
+        if (next == serve::LineReader::Next::kOversized) {
+          report.violations.push_back({batch_begin, "bad_reply",
+                                       "reply exceeded 1 MiB", ""});
+          got_line = false;
+        }
+        break;
+      }
+      if (got_line) {
+        record_reply(report, options, batch_end - pending, "", line);
+        --pending;
+        continue;
+      }
+      const auto now = std::chrono::steady_clock::now();
+      if (now >= deadline) {
+        report.violations.push_back(
+            {batch_end - pending, "no_reply",
+             std::to_string(pending) + " replies still missing after " +
+                 std::to_string(options.reply_timeout_ms) + "ms",
+             truncate_for_report(first_frame)});
+        break;
+      }
+      pollfd pfd{fd, POLLIN, 0};
+      const auto wait_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                               deadline - now)
+                               .count();
+      const int rc =
+          ::poll(&pfd, 1, static_cast<int>(std::min<long long>(
+                              wait_ms, 1000)));
+      if (rc < 0 && errno != EINTR) {
+        report.violations.push_back({batch_begin, "connection_lost",
+                                     std::string("poll failed: ") +
+                                         std::strerror(errno),
+                                     ""});
+        break;
+      }
+      if (rc > 0 && (pfd.revents & (POLLIN | POLLHUP)) != 0) {
+        const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+        if (n == 0) {
+          report.violations.push_back(
+              {batch_end - pending, "connection_lost",
+               "server closed the connection mid-batch",
+               truncate_for_report(first_frame)});
+          break;
+        }
+        if (n < 0) {
+          if (errno == EINTR) continue;
+          report.violations.push_back({batch_begin, "connection_lost",
+                                       std::string("recv failed: ") +
+                                           std::strerror(errno),
+                                       ""});
+          break;
+        }
+        reader.feed(buf, static_cast<std::size_t>(n));
+      }
+    }
+  }
+  ::close(fd);
+  return report;
+}
+
+std::string fuzz_repro(const FuzzViolation& violation,
+                       const FuzzOptions& options) {
+  return "CERTIFY FAIL suite=protocol frame=" +
+         std::to_string(violation.frame_index) + " kind=" + violation.kind +
+         " detail=" + violation.detail +
+         " | rerun: certify_runner --suite=protocol --seed=" +
+         std::to_string(options.seed) + " --frames=" +
+         std::to_string(options.frames);
+}
+
+}  // namespace recover::certify

@@ -1,0 +1,85 @@
+// Structure-aware protocol fuzzer for recover::serve.
+//
+// The serve wire contract (docs/SERVING.md) is small and closed: one
+// newline-delimited `recover.req/1` frame in, exactly one
+// `recover.resp/1` frame out, errors drawn from a six-code taxonomy.
+// The fuzzer generates deterministic mutated frames — truncations,
+// splices of two valid frames, JSON depth bombs around the 64-level
+// nesting cap, UTF-16 surrogate abuse, oversized lines around the
+// 64 KiB framing cap, byte flips, type confusion on every field, and
+// plain garbage — and asserts the contract held for every single frame:
+// a well-formed reply arrived (no hang, 1:1 accounting) and any error
+// code belongs to the taxonomy.
+//
+// Two drive modes share the generator and the validator:
+//   fuzz_handlers  — loopback through LineReader + parse_request +
+//                    dispatch, no sockets (unit tests, regression corpus)
+//   fuzz_server    — a real TCP client against a live recover_serve
+//                    (the CI gate), with torn writes and a reply deadline
+//
+// Frame `i` of master seed `s` is a pure function of (s, i) via
+// rng::substream, so a failing index reported by certify_runner
+// reproduces exactly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace recover::certify {
+
+struct FuzzOptions {
+  std::uint64_t seed = 1;
+  std::int64_t frames = 10000;
+  /// fuzz_server: max wall-clock wait for a batch of replies before the
+  /// server is declared hung.
+  std::int64_t reply_timeout_ms = 10000;
+  /// fuzz_server: frames pipelined per write burst.
+  int batch = 64;
+};
+
+struct FuzzViolation {
+  std::int64_t frame_index = -1;
+  std::string kind;    // "no_reply" | "bad_reply" | "extra_reply" | ...
+  std::string detail;
+  std::string frame;   // offending input, truncated for reports
+};
+
+struct FuzzReport {
+  std::int64_t frames = 0;
+  std::int64_t replies = 0;
+  std::int64_t ok_replies = 0;
+  /// Error replies bucketed by taxonomy code name.
+  std::map<std::string, std::int64_t> error_counts;
+  std::vector<FuzzViolation> violations;
+
+  [[nodiscard]] bool ok() const { return violations.empty(); }
+};
+
+/// Deterministic mutated frame `index` of master seed `seed` (no
+/// trailing newline; never contains one — 1:1 line accounting is part of
+/// the contract under test).
+std::string fuzz_frame(std::uint64_t seed, std::int64_t index);
+
+/// "" when `line` is a valid recover.resp/1 with a taxonomy-conformant
+/// error (or ok result); otherwise a human-readable reason.
+std::string validate_reply_line(const std::string& line);
+
+/// Taxonomy code name of an error reply ("" for ok replies or
+/// unparseable lines).  For the report's error histogram.
+std::string reply_error_code(const std::string& line);
+
+/// Loopback fuzz: every frame through the framing + parse + dispatch
+/// pipeline in-process.
+FuzzReport fuzz_handlers(const FuzzOptions& options);
+
+/// Live fuzz against a serving recover_serve at host:port.
+FuzzReport fuzz_server(const std::string& host, int port,
+                       const FuzzOptions& options);
+
+/// One-line reproduction recipe for a violation.
+std::string fuzz_repro(const FuzzViolation& violation,
+                       const FuzzOptions& options);
+
+}  // namespace recover::certify

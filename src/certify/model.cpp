@@ -1,0 +1,88 @@
+#include "src/certify/model.hpp"
+
+#include <cstdlib>
+
+#include "src/util/assert.hpp"
+
+namespace recover::certify {
+
+std::string describe(const Instance& instance) {
+  return "n=" + std::to_string(instance.n) + " m=" +
+         std::to_string(instance.m) + " d=" + std::to_string(instance.d) +
+         " seed=" + std::to_string(instance.seed);
+}
+
+namespace {
+
+/// Uniform draw in [lo, hi] from a SplitMix64 word (tiny ranges, modulo
+/// bias is irrelevant for instance selection).
+std::int64_t draw_range(rng::SplitMix64& eng, std::int64_t lo,
+                        std::int64_t hi) {
+  RL_REQUIRE(lo <= hi);
+  const auto span = static_cast<std::uint64_t>(hi - lo + 1);
+  return lo + static_cast<std::int64_t>(eng() % span);
+}
+
+}  // namespace
+
+Instance draw_instance(const ChainModel& model, std::uint64_t seed) {
+  rng::SplitMix64 eng(seed);
+  Instance instance;
+  instance.n = static_cast<std::size_t>(
+      draw_range(eng, static_cast<std::int64_t>(model.n_min),
+                 static_cast<std::int64_t>(model.n_max)));
+  instance.m = draw_range(eng, model.m_min, model.m_max);
+  instance.d =
+      static_cast<int>(draw_range(eng, model.d_min, model.d_max));
+  instance.seed = seed;
+  return instance;
+}
+
+std::string key_of(const std::vector<std::int64_t>& values) {
+  std::string key;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) key += ',';
+    key += std::to_string(values[i]);
+  }
+  return key;
+}
+
+std::vector<std::int64_t> values_of(const std::string& key) {
+  std::vector<std::int64_t> values;
+  const char* p = key.c_str();
+  while (*p != '\0') {
+    char* end = nullptr;
+    const long long v = std::strtoll(p, &end, 10);
+    RL_REQUIRE(end != p);
+    values.push_back(static_cast<std::int64_t>(v));
+    p = end;
+    if (*p == ',') ++p;
+  }
+  RL_REQUIRE(!values.empty());
+  return values;
+}
+
+void ModelRegistry::add(ChainModel model) {
+  RL_REQUIRE(!model.name.empty());
+  RL_REQUIRE(model.starts != nullptr);
+  RL_REQUIRE(find(model.name) == nullptr);
+  models_.push_back(std::move(model));
+}
+
+const ChainModel* ModelRegistry::find(std::string_view name) const {
+  for (const auto& m : models_) {
+    if (m.name == name) return &m;
+  }
+  return nullptr;
+}
+
+ModelRegistry& builtin_registry() {
+  static ModelRegistry registry = [] {
+    ModelRegistry r;
+    register_builtin_models(r);
+    return r;
+  }();
+  return registry;
+}
+
+}  // namespace recover::certify

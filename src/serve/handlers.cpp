@@ -1,5 +1,6 @@
 #include "src/serve/handlers.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <utility>
 
@@ -212,6 +213,17 @@ bool parse_run_cell(const obs::JsonValue& params, RunCellRequest& out,
     }
     out.cell.params.emplace_back(name,
                                  static_cast<std::int64_t>(value.number));
+  }
+  // The body reads its required axes with Cell::at, which aborts on a
+  // missing name — that must stay unreachable from the wire.
+  for (const std::string& name : out.exp->required_params) {
+    const auto present = [&name](const auto& kv) { return kv.first == name; };
+    if (std::none_of(out.cell.params.begin(), out.cell.params.end(),
+                     present)) {
+      error = "experiment '" + out.exp->name +
+              "' requires cell parameter '" + name + "'";
+      return false;
+    }
   }
   return true;
 }

@@ -74,4 +74,22 @@ double tv_distance(const std::vector<double>& p, const std::vector<double>& q) {
   return dist / 2.0;
 }
 
+double tv_distance(const std::vector<std::int64_t>& observed,
+                   const std::vector<double>& expected_probs) {
+  RL_REQUIRE(observed.size() == expected_probs.size());
+  std::int64_t total = 0;
+  for (const auto c : observed) {
+    RL_REQUIRE(c >= 0);
+    total += c;
+  }
+  RL_REQUIRE(total > 0);
+  double dist = 0;
+  for (std::size_t i = 0; i < observed.size(); ++i) {
+    dist += std::abs(static_cast<double>(observed[i]) /
+                         static_cast<double>(total) -
+                     expected_probs[i]);
+  }
+  return dist / 2.0;
+}
+
 }  // namespace recover::stats

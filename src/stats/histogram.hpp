@@ -42,4 +42,12 @@ double tv_distance(const IntHistogram& a, const IntHistogram& b);
 /// TV distance between two explicit probability vectors of equal length.
 double tv_distance(const std::vector<double>& p, const std::vector<double>& q);
 
+/// TV distance between an empirical distribution given as raw counts and
+/// an exact pmf over the same (aligned) support: ½ Σ |cᵢ/N − pᵢ|.  The
+/// diagnostic companion to stats::chi_square_pvalue in the certification
+/// harness — the p-value decides, the TV distance tells a human how far
+/// off the sampled law actually was.
+double tv_distance(const std::vector<std::int64_t>& observed,
+                   const std::vector<double>& expected_probs);
+
 }  // namespace recover::stats

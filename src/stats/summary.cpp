@@ -136,4 +136,63 @@ double chi_square_critical(int df, double tail) {
   return df * base * base * base;
 }
 
+namespace {
+
+// Regularized lower incomplete gamma P(a, x) by its power series
+// (converges quickly for x < a + 1).
+double gamma_p_series(double a, double x) {
+  double term = 1.0 / a;
+  double sum = term;
+  double ap = a;
+  for (int i = 0; i < 500; ++i) {
+    ap += 1.0;
+    term *= x / ap;
+    sum += term;
+    if (std::abs(term) < std::abs(sum) * 1e-15) break;
+  }
+  return sum * std::exp(-x + a * std::log(x) - std::lgamma(a));
+}
+
+// Regularized upper incomplete gamma Q(a, x) by Lentz's continued
+// fraction (converges quickly for x >= a + 1).
+double gamma_q_cf(double a, double x) {
+  constexpr double kTiny = 1e-300;
+  double b = x + 1.0 - a;
+  double c = 1.0 / kTiny;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i <= 500; ++i) {
+    const double an = -i * (i - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::abs(d) < kTiny) d = kTiny;
+    c = b + an / c;
+    if (std::abs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    const double delta = d * c;
+    h *= delta;
+    if (std::abs(delta - 1.0) < 1e-15) break;
+  }
+  return std::exp(-x + a * std::log(x) - std::lgamma(a)) * h;
+}
+
+}  // namespace
+
+double chi_square_pvalue(double stat, int df) {
+  RL_REQUIRE(df >= 1);
+  if (stat <= 0.0) return 1.0;
+  const double a = static_cast<double>(df) / 2.0;
+  const double x = stat / 2.0;
+  const double q =
+      x < a + 1.0 ? 1.0 - gamma_p_series(a, x) : gamma_q_cf(a, x);
+  return std::clamp(q, 0.0, 1.0);
+}
+
+double chi_square_gof_pvalue(const std::vector<std::int64_t>& observed,
+                             const std::vector<double>& expected_probs) {
+  RL_REQUIRE(observed.size() >= 2);
+  const double stat = chi_square_statistic(observed, expected_probs);
+  return chi_square_pvalue(stat, static_cast<int>(observed.size()) - 1);
+}
+
 }  // namespace recover::stats

@@ -51,4 +51,19 @@ double chi_square_statistic(const std::vector<std::int64_t>& observed,
 /// freedom at the given right-tail probability (Wilson–Hilferty).
 double chi_square_critical(int df, double tail);
 
+/// Right-tail p-value of the chi-square distribution: P(X²_df ≥ stat),
+/// computed as the regularized upper incomplete gamma Q(df/2, stat/2)
+/// (series / continued-fraction evaluation, accurate deep into the tail —
+/// unlike the Wilson–Hilferty critical-value approximation above, which
+/// is only meant for fixed common levels).  The certification harness
+/// (src/certify/) compares this against a tiny per-check alpha so a
+/// conformance failure is a genuine law mismatch, not test-count noise.
+double chi_square_pvalue(double stat, int df);
+
+/// Chi-square goodness-of-fit p-value in one call: statistic of
+/// `observed` against `expected_probs` (see chi_square_statistic), then
+/// the right-tail p-value with k−1 degrees of freedom.
+double chi_square_gof_pvalue(const std::vector<std::int64_t>& observed,
+                             const std::vector<double>& expected_probs);
+
 }  // namespace recover::stats

@@ -240,28 +240,32 @@ void register_builtin(Registry& registry) {
       "d=1..3;m=32..512:x2;density=1;replicas=8",
       {"T_mean", "T_ci95", "T_q50", "T_q95", "censored", "ratio_mlnm",
        "thm1_bound"},
-      exp01_cell});
+      exp01_cell,
+      {"m", "d"}});
   registry.add(Experiment{
       "exp03",
       "Claim 5.3: scenario-B grand-coupling coalescence vs m^2 laws",
       "density=1,2;n=8..48:x2;d=2;replicas=8",
       {"T_mean", "T_ci95", "T_q50", "T_q95", "censored", "T_m2", "T_nm",
        "claim53_bound"},
-      exp03_cell});
+      exp03_cell,
+      {"n"}});
   registry.add(Experiment{
       "exp06",
       "Theorem 2: orientation-chain coalescence vs n^2 polylog laws",
       "n=8..64:x2;replicas=8",
       {"T_mean", "T_ci95", "T_q50", "T_q95", "censored", "T_stair_mean",
        "cor64_bound"},
-      exp06_cell});
+      exp06_cell,
+      {"n"}});
   registry.add(Experiment{
       "exp10",
       "Stationary max load of ABKU[d] vs lnln(n)/ln(d) and fluid model",
       "d=1..3;n=64..1024:x4;samples=300",
       {"maxload_A", "maxload_B", "fluid_A", "fluid_B", "law_one_choice",
        "law_d_choice", "ess_A"},
-      exp10_cell});
+      exp10_cell,
+      {"n", "d"}});
 }
 
 }  // namespace detail

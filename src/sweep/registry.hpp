@@ -65,6 +65,12 @@ struct Experiment {
   std::string default_grid;  // used when --grid is omitted
   std::vector<std::string> result_columns;  // order of CellResult values
   CellFn run;
+  /// Axes the body reads with Cell::at (which aborts when absent).  The
+  /// serve/cluster request validator rejects a run_cell that omits one
+  /// as invalid_params BEFORE the body runs — a remote peer must never
+  /// be able to reach that abort.  Axes read with Cell::get defaults
+  /// don't belong here.
+  std::vector<std::string> required_params;
 };
 
 class Registry {

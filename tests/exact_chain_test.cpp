@@ -2,12 +2,14 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <vector>
 
 #include "src/balls/exact_chain.hpp"
 #include "src/balls/scenario_a.hpp"
 #include "src/balls/scenario_b.hpp"
+#include "src/certify/check.hpp"
+#include "src/certify/compare.hpp"
 #include "src/rng/engines.hpp"
-#include "src/stats/histogram.hpp"
 
 namespace recover::balls {
 namespace {
@@ -52,31 +54,34 @@ TEST(ExactChain, RowsAreStochasticAndFinalizeValidates) {
 
 TEST(ExactChain, MatchesSimulatedOneStepLaw) {
   // The exact transition row must match the empirical distribution of
-  // one simulated I_A / I_B step from the same state.
+  // one simulated I_A / I_B step from the same state (χ² via the
+  // certification harness, not per-state tolerances).
+  const std::uint64_t seed = certify::test_master_seed(123);
+  SCOPED_TRACE(certify::seed_banner(seed));
   const PartitionSpace space(4, 6);
   for (const auto removal :
        {RemovalKind::kBallWeighted, RemovalKind::kNonEmptyUniform}) {
     const auto chain = build_exact_chain(space, removal, AbkuRule(2));
     const std::size_t start = space.all_in_one_index();
-    rng::Xoshiro256PlusPlus eng(123);
-    stats::IntHistogram simulated;
-    constexpr int kTrials = 120000;
-    for (int t = 0; t < kTrials; ++t) {
-      if (removal == RemovalKind::kBallWeighted) {
-        ScenarioAChain<AbkuRule> c(space.load_vector(start), AbkuRule(2));
-        c.step(eng);
-        simulated.add(static_cast<std::int64_t>(space.index_of(c.state())));
-      } else {
-        ScenarioBChain<AbkuRule> c(space.load_vector(start), AbkuRule(2));
-        c.step(eng);
-        simulated.add(static_cast<std::int64_t>(space.index_of(c.state())));
-      }
-    }
-    for (const auto& [j, p] : chain.row(start)) {
-      EXPECT_NEAR(simulated.frequency(j), p, 0.01)
-          << "state " << j << " removal "
-          << (removal == RemovalKind::kBallWeighted ? "A" : "B");
-    }
+    std::vector<double> probs(space.size(), 0.0);
+    for (const auto& [j, p] : chain.row(start)) probs[j] = p;
+    rng::Xoshiro256PlusPlus eng(seed);
+    const auto check = certify::check_sampled_index_law(
+        probs,
+        [&] {
+          if (removal == RemovalKind::kBallWeighted) {
+            ScenarioAChain<AbkuRule> c(space.load_vector(start), AbkuRule(2));
+            c.step(eng);
+            return space.index_of(c.state());
+          }
+          ScenarioBChain<AbkuRule> c(space.load_vector(start), AbkuRule(2));
+          c.step(eng);
+          return space.index_of(c.state());
+        },
+        120000);
+    EXPECT_TRUE(check.pass(1e-6))
+        << "removal " << (removal == RemovalKind::kBallWeighted ? "A" : "B")
+        << ": " << check.describe();
   }
 }
 
@@ -148,23 +153,26 @@ TEST(ExactMixing, WorstCaseTvDecreasesAndHitsEpsilon) {
 TEST(ExactChain, AdapPlacementLawMatchesSimulatedSteps) {
   // The general builder with ADAP's exact placement pmf must reproduce
   // the simulated one-step law of I_A-ADAP(x).
+  const std::uint64_t seed = certify::test_master_seed(321);
+  SCOPED_TRACE(certify::seed_banner(seed));
   const PartitionSpace space(4, 6);
   const AdapRule rule{ThresholdSchedule::linear(1, 1, 3)};
   const auto chain = build_exact_chain_general(
       space, RemovalKind::kBallWeighted,
       [&rule](const LoadVector& v) { return rule.placement_pmf(v); });
   const std::size_t start = space.all_in_one_index();
-  rng::Xoshiro256PlusPlus eng(321);
-  stats::IntHistogram simulated;
-  constexpr int kTrials = 120000;
-  for (int t = 0; t < kTrials; ++t) {
-    ScenarioAChain<AdapRule> c(space.load_vector(start), rule);
-    c.step(eng);
-    simulated.add(static_cast<std::int64_t>(space.index_of(c.state())));
-  }
-  for (const auto& [j, p] : chain.row(start)) {
-    EXPECT_NEAR(simulated.frequency(j), p, 0.01) << "state " << j;
-  }
+  std::vector<double> probs(space.size(), 0.0);
+  for (const auto& [j, p] : chain.row(start)) probs[j] = p;
+  rng::Xoshiro256PlusPlus eng(seed);
+  const auto check = certify::check_sampled_index_law(
+      probs,
+      [&] {
+        ScenarioAChain<AdapRule> c(space.load_vector(start), rule);
+        c.step(eng);
+        return space.index_of(c.state());
+      },
+      120000);
+  EXPECT_TRUE(check.pass(1e-6)) << check.describe();
 }
 
 TEST(ExactMixing, Theorem1BoundDominatesExactMixingForAdapToo) {

@@ -9,6 +9,8 @@
 #include "src/balls/coupling_a.hpp"
 #include "src/balls/coupling_b.hpp"
 #include "src/balls/exact_coupling_analysis.hpp"
+#include "src/certify/check.hpp"
+#include "src/certify/compare.hpp"
 #include "src/rng/engines.hpp"
 #include "src/stats/summary.hpp"
 
@@ -72,7 +74,9 @@ TEST(ExactCouplingAnalysis, MatchesMonteCarloScenarioA) {
   const AbkuRule rule(2);
   const auto exact = exact_coupled_step_a(v, u, rule);
 
-  rng::Xoshiro256PlusPlus eng(7);
+  const std::uint64_t seed = certify::test_master_seed(7);
+  SCOPED_TRACE(certify::seed_banner(seed));
+  rng::Xoshiro256PlusPlus eng(seed);
   stats::Summary dist;
   std::int64_t merges = 0;
   constexpr int kTrials = 60000;
@@ -82,8 +86,8 @@ TEST(ExactCouplingAnalysis, MatchesMonteCarloScenarioA) {
     dist.add(static_cast<double>(r.distance_after));
     if (r.distance_after == 0) ++merges;
   }
-  EXPECT_NEAR(dist.mean(), exact.expected_distance,
-              5.0 * dist.stderror() + 1e-6);
+  const auto mean_check = certify::check_mc_mean(dist, exact.expected_distance);
+  EXPECT_TRUE(mean_check.pass()) << mean_check.describe();
   EXPECT_NEAR(static_cast<double>(merges) / kTrials, exact.merge_probability,
               0.01);
 }
@@ -95,7 +99,9 @@ TEST(ExactCouplingAnalysis, MatchesMonteCarloScenarioB) {
   const AbkuRule rule(2);
   const auto exact = exact_coupled_step_b(v, u, rule);
 
-  rng::Xoshiro256PlusPlus eng(9);
+  const std::uint64_t seed = certify::test_master_seed(9);
+  SCOPED_TRACE(certify::seed_banner(seed));
+  rng::Xoshiro256PlusPlus eng(seed);
   stats::Summary dist;
   constexpr int kTrials = 60000;
   for (int t = 0; t < kTrials; ++t) {
@@ -103,8 +109,8 @@ TEST(ExactCouplingAnalysis, MatchesMonteCarloScenarioB) {
     dist.add(static_cast<double>(
         coupled_step_b(a, b, rule, eng).distance_after));
   }
-  EXPECT_NEAR(dist.mean(), exact.expected_distance,
-              5.0 * dist.stderror() + 1e-6);
+  const auto mean_check = certify::check_mc_mean(dist, exact.expected_distance);
+  EXPECT_TRUE(mean_check.pass()) << mean_check.describe();
 }
 
 TEST(EnumerateGammaPairs, CountsAndValidity) {

@@ -5,6 +5,7 @@
 #include "src/balls/random_states.hpp"
 #include "src/balls/scenario_a.hpp"
 #include "src/balls/scenario_b.hpp"
+#include "src/certify/check.hpp"
 #include "src/core/coalescence.hpp"
 #include "src/rng/engines.hpp"
 #include "src/stats/histogram.hpp"
@@ -34,7 +35,9 @@ TEST(GrandCouplingB, EqualCopiesStayEqualForever) {
 }
 
 TEST(GrandCouplingA, ExtremalPairEventuallyCoalesces) {
-  rng::Xoshiro256PlusPlus eng(3);
+  const std::uint64_t seed = certify::test_master_seed(3);
+  SCOPED_TRACE(certify::seed_banner(seed));
+  rng::Xoshiro256PlusPlus eng(seed);
   GrandCouplingA<AbkuRule> c(LoadVector::all_in_one(6, 12),
                              LoadVector::balanced(6, 12), AbkuRule(2));
   std::int64_t t = 0;
@@ -46,7 +49,9 @@ TEST(GrandCouplingA, ExtremalPairEventuallyCoalesces) {
 }
 
 TEST(GrandCouplingB, ExtremalPairEventuallyCoalesces) {
-  rng::Xoshiro256PlusPlus eng(4);
+  const std::uint64_t seed = certify::test_master_seed(4);
+  SCOPED_TRACE(certify::seed_banner(seed));
+  rng::Xoshiro256PlusPlus eng(seed);
   GrandCouplingB<AbkuRule> c(LoadVector::all_in_one(6, 12),
                              LoadVector::balanced(6, 12), AbkuRule(2));
   std::int64_t t = 0;
@@ -59,7 +64,9 @@ TEST(GrandCouplingB, ExtremalPairEventuallyCoalesces) {
 
 TEST(GrandCouplingA, MarginalIsFaithfulCopyOfScenarioA) {
   // One copy of the coupling, observed alone, must follow I_A's law.
-  rng::Xoshiro256PlusPlus eng(5);
+  const std::uint64_t seed = certify::test_master_seed(5);
+  SCOPED_TRACE(certify::seed_banner(seed));
+  rng::Xoshiro256PlusPlus eng(seed);
   const std::size_t n = 5;
   const std::int64_t m = 10;
   const LoadVector x0 = LoadVector::piled(n, m, 2);
@@ -81,7 +88,9 @@ TEST(GrandCouplingA, MarginalIsFaithfulCopyOfScenarioA) {
 }
 
 TEST(GrandCouplingB, MarginalIsFaithfulCopyOfScenarioB) {
-  rng::Xoshiro256PlusPlus eng(6);
+  const std::uint64_t seed = certify::test_master_seed(6);
+  SCOPED_TRACE(certify::seed_banner(seed));
+  rng::Xoshiro256PlusPlus eng(seed);
   const std::size_t n = 5;
   const std::int64_t m = 10;
   const LoadVector x0 = LoadVector::piled(n, m, 2);

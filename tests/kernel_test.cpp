@@ -17,6 +17,7 @@
 #include "src/balls/rules.hpp"
 #include "src/balls/scenario_a.hpp"
 #include "src/balls/scenario_b.hpp"
+#include "src/certify/check.hpp"
 #include "src/core/coalescence.hpp"
 #include "src/kernel/choice_block.hpp"
 #include "src/kernel/kernel.hpp"
@@ -91,13 +92,17 @@ void expect_fill_matches_serial(std::uint64_t seed) {
 }
 
 TEST(EngineFill, XoshiroMatchesSerialDraws) {
-  expect_fill_matches_serial<rng::Xoshiro256PlusPlus>(12345);
+  const std::uint64_t seed = certify::test_master_seed(12345);
+  SCOPED_TRACE(certify::seed_banner(seed));
+  expect_fill_matches_serial<rng::Xoshiro256PlusPlus>(seed);
 }
 
 TEST(EngineFill, PhiloxMatchesSerialDraws) {
   // Counts >= 8 exercise the vectorized whole-block path on hosts that
   // have it; odd counts and predraws exercise the buffered-lane edges.
-  expect_fill_matches_serial<rng::Philox4x32>(0xDEADBEEF);
+  const std::uint64_t seed = certify::test_master_seed(0xDEADBEEF);
+  SCOPED_TRACE(certify::seed_banner(seed));
+  expect_fill_matches_serial<rng::Philox4x32>(seed);
 }
 
 TEST(EngineFill, XoshiroGenerateGroupsMatchesSerialDraws) {
@@ -171,33 +176,42 @@ void expect_batch_matches_scalar(std::uint64_t seed, std::uint64_t bound,
 
 TEST(DChoiceBatch, MatchesScalarXoshiroFusedPath) {
   // Xoshiro has generate_groups, so d <= 4 takes the fused loop.
+  const std::uint64_t seed = certify::test_master_seed(7);
+  SCOPED_TRACE(certify::seed_banner(seed));
   for (const int d : {1, 2, 3, 4}) {
-    expect_batch_matches_scalar<rng::Xoshiro256PlusPlus>(7, 1024, d,
+    expect_batch_matches_scalar<rng::Xoshiro256PlusPlus>(seed, 1024, d,
                                                          kBatchSteps, 1);
-    expect_batch_matches_scalar<rng::Xoshiro256PlusPlus>(7, 1024, d, 5, 0);
+    expect_batch_matches_scalar<rng::Xoshiro256PlusPlus>(seed, 1024, d, 5, 0);
   }
 }
 
 TEST(DChoiceBatch, MatchesScalarPhiloxTwoPassPath) {
   // Philox has no generate_groups: fill_raw + map_pass.
+  const std::uint64_t seed = certify::test_master_seed(11);
+  SCOPED_TRACE(certify::seed_banner(seed));
   for (const int d : {1, 2, 4}) {
-    expect_batch_matches_scalar<rng::Philox4x32>(11, 1 << 14, d, kBatchSteps,
-                                                 1);
+    expect_batch_matches_scalar<rng::Philox4x32>(seed, 1 << 14, d,
+                                                 kBatchSteps, 1);
   }
 }
 
 TEST(DChoiceBatch, RuntimeDFallbackMatchesScalar) {
   // d in (4, kMaxBatchedProbes] takes the runtime-d map pass.
+  const std::uint64_t seed = certify::test_master_seed(13);
+  SCOPED_TRACE(certify::seed_banner(seed));
   for (const int d : {5, 6, 7}) {
-    expect_batch_matches_scalar<rng::Xoshiro256PlusPlus>(13, 4096, d, 100, 1);
-    expect_batch_matches_scalar<rng::Philox4x32>(13, 4096, d, 100, 1);
+    expect_batch_matches_scalar<rng::Xoshiro256PlusPlus>(seed, 4096, d, 100,
+                                                         1);
+    expect_batch_matches_scalar<rng::Philox4x32>(seed, 4096, d, 100, 1);
   }
 }
 
 TEST(DChoiceBatch, BatchBoundarySizes) {
+  const std::uint64_t seed = certify::test_master_seed(17);
+  SCOPED_TRACE(certify::seed_banner(seed));
   for (const std::size_t steps :
        {std::size_t{1}, std::size_t{2}, kBatchSteps - 1, kBatchSteps}) {
-    expect_batch_matches_scalar<rng::Xoshiro256PlusPlus>(17, 1024, 2, steps,
+    expect_batch_matches_scalar<rng::Xoshiro256PlusPlus>(seed, 1024, 2, steps,
                                                          1);
   }
 }
@@ -274,6 +288,8 @@ TEST(ChainByteIdentity, ScenarioAAcrossModesAndBatchBoundaries) {
   // 1 and 7 stay scalar (< kMinBatchSteps) even in batched mode; the
   // rest cross none, one, or several kBatchSteps block boundaries with
   // partial final blocks.
+  const std::uint64_t seed = certify::test_master_seed(41);
+  SCOPED_TRACE(certify::seed_banner(seed));
   for (const std::int64_t steps :
        {std::int64_t{1}, std::int64_t{7}, std::int64_t{8},
         static_cast<std::int64_t>(kBatchSteps) - 1,
@@ -283,43 +299,51 @@ TEST(ChainByteIdentity, ScenarioAAcrossModesAndBatchBoundaries) {
     expect_chain_identical_across_modes<ScenarioAChain<AbkuRule>,
                                         rng::Xoshiro256PlusPlus>(
         {LoadVector::all_in_one(64, 256), AbkuRule(2)},
-        {LoadVector::all_in_one(64, 256), AbkuRule(2)}, 41, steps);
+        {LoadVector::all_in_one(64, 256), AbkuRule(2)}, seed, steps);
   }
 }
 
 TEST(ChainByteIdentity, ScenarioBAcrossModes) {
+  const std::uint64_t seed = certify::test_master_seed(43);
+  SCOPED_TRACE(certify::seed_banner(seed));
   for (const std::int64_t steps :
        {std::int64_t{9}, static_cast<std::int64_t>(kBatchSteps) + 3}) {
     expect_chain_identical_across_modes<ScenarioBChain<AbkuRule>,
                                         rng::Xoshiro256PlusPlus>(
         {LoadVector::all_in_one(32, 100), AbkuRule(3)},
-        {LoadVector::all_in_one(32, 100), AbkuRule(3)}, 43, steps);
+        {LoadVector::all_in_one(32, 100), AbkuRule(3)}, seed, steps);
   }
 }
 
 TEST(ChainByteIdentity, ScenarioBSingleBallBoundary) {
   // m = 1 makes the state-dependent removal bound s = 1 on every step.
+  const std::uint64_t seed = certify::test_master_seed(47);
+  SCOPED_TRACE(certify::seed_banner(seed));
   expect_chain_identical_across_modes<ScenarioBChain<AbkuRule>,
                                       rng::Xoshiro256PlusPlus>(
       {LoadVector::all_in_one(4, 1), AbkuRule(2)},
-      {LoadVector::all_in_one(4, 1), AbkuRule(2)}, 47, 500);
+      {LoadVector::all_in_one(4, 1), AbkuRule(2)}, seed, 500);
 }
 
 TEST(ChainByteIdentity, PhiloxEngineTakesTwoPassPath) {
+  const std::uint64_t seed = certify::test_master_seed(53);
+  SCOPED_TRACE(certify::seed_banner(seed));
   expect_chain_identical_across_modes<ScenarioAChain<AbkuRule>,
                                       rng::Philox4x32>(
       {LoadVector::all_in_one(64, 256), AbkuRule(2)},
-      {LoadVector::all_in_one(64, 256), AbkuRule(2)}, 53,
+      {LoadVector::all_in_one(64, 256), AbkuRule(2)}, seed,
       static_cast<std::int64_t>(kBatchSteps) + 9);
 }
 
 TEST(ChainByteIdentity, HighDFallsBackToScalarLoop) {
   // d > kMaxBatchedProbes: step_block itself must take the scalar loop.
+  const std::uint64_t seed = certify::test_master_seed(59);
+  SCOPED_TRACE(certify::seed_banner(seed));
   expect_chain_identical_across_modes<ScenarioAChain<AbkuRule>,
                                       rng::Xoshiro256PlusPlus>(
       {LoadVector::all_in_one(64, 256), AbkuRule(kMaxBatchedProbes + 1)},
-      {LoadVector::all_in_one(64, 256), AbkuRule(kMaxBatchedProbes + 1)}, 59,
-      300);
+      {LoadVector::all_in_one(64, 256), AbkuRule(kMaxBatchedProbes + 1)},
+      seed, 300);
 }
 
 template <typename Coupling, typename Engine>
@@ -345,20 +369,24 @@ void expect_coupling_identical_across_modes(Coupling scalar_c,
 TEST(CouplingByteIdentity, GrandCouplingAAcrossModes) {
   const auto x = LoadVector::all_in_one(32, 96);
   const auto y = LoadVector::balanced(32, 96);
+  const std::uint64_t seed = certify::test_master_seed(61);
+  SCOPED_TRACE(certify::seed_banner(seed));
   for (const std::int64_t steps :
        {std::int64_t{50}, static_cast<std::int64_t>(kBatchSteps) + 11}) {
     expect_coupling_identical_across_modes<GrandCouplingA<AbkuRule>,
                                            rng::Xoshiro256PlusPlus>(
-        {x, y, AbkuRule(2)}, {x, y, AbkuRule(2)}, 61, steps);
+        {x, y, AbkuRule(2)}, {x, y, AbkuRule(2)}, seed, steps);
   }
 }
 
 TEST(CouplingByteIdentity, GrandCouplingBAcrossModes) {
   const auto x = LoadVector::all_in_one(32, 96);
   const auto y = LoadVector::balanced(32, 96);
+  const std::uint64_t seed = certify::test_master_seed(67);
+  SCOPED_TRACE(certify::seed_banner(seed));
   expect_coupling_identical_across_modes<GrandCouplingB<AbkuRule>,
                                          rng::Xoshiro256PlusPlus>(
-      {x, y, AbkuRule(2)}, {x, y, AbkuRule(2)}, 67,
+      {x, y, AbkuRule(2)}, {x, y, AbkuRule(2)}, seed,
       static_cast<std::int64_t>(kBatchSteps) + 13);
 }
 

@@ -364,7 +364,8 @@ void register_slow_experiment_once() {
           sweep::CellResult out;
           out.set("slept_ms", static_cast<double>(slept));
           return out;
-        }});
+        },
+        {"holds_ms"}});
     return true;
   }();
   (void)done;

@@ -79,6 +79,69 @@ TEST(ChiSquare, CriticalValueSanity) {
   EXPECT_NEAR(chi_square_critical(9, 0.05), 16.92, 0.5);
 }
 
+TEST(ChiSquare, PvalueMatchesTableValues) {
+  // P(X²_1 >= 3.841) ≈ 0.05, P(X²_9 >= 16.92) ≈ 0.05,
+  // P(X²_10 >= 18.31) ≈ 0.05, P(X²_1 >= 6.635) ≈ 0.01.
+  EXPECT_NEAR(chi_square_pvalue(3.841, 1), 0.05, 2e-3);
+  EXPECT_NEAR(chi_square_pvalue(16.92, 9), 0.05, 2e-3);
+  EXPECT_NEAR(chi_square_pvalue(18.31, 10), 0.05, 2e-3);
+  EXPECT_NEAR(chi_square_pvalue(6.635, 1), 0.01, 5e-4);
+}
+
+TEST(ChiSquare, PvalueEdgesAndMonotonicity) {
+  EXPECT_DOUBLE_EQ(chi_square_pvalue(0.0, 5), 1.0);
+  EXPECT_DOUBLE_EQ(chi_square_pvalue(-1.0, 5), 1.0);
+  double prev = 1.0;
+  for (double stat = 0.5; stat < 60.0; stat += 0.5) {
+    const double p = chi_square_pvalue(stat, 7);
+    EXPECT_LT(p, prev);
+    prev = p;
+  }
+  // Deep tail stays finite and positive (no underflow to garbage).
+  const double deep = chi_square_pvalue(300.0, 4);
+  EXPECT_GT(deep, 0.0);
+  EXPECT_LT(deep, 1e-50);
+}
+
+TEST(ChiSquare, PvalueRoundTripsCriticalValue) {
+  // chi_square_critical is Wilson–Hilferty (a few % accurate); inverting
+  // through the exact p-value should land near the requested tail.
+  for (const int df : {2, 5, 9, 20}) {
+    for (const double tail : {0.1, 0.01, 0.001}) {
+      const double crit = chi_square_critical(df, tail);
+      EXPECT_NEAR(chi_square_pvalue(crit, df), tail, tail * 0.25);
+    }
+  }
+}
+
+TEST(ChiSquare, GofPvalueFairDie) {
+  // 600 rolls of a fair die, perfectly uniform counts → statistic 0 → p 1.
+  const std::vector<std::int64_t> uniform(6, 100);
+  const std::vector<double> fair(6, 1.0 / 6.0);
+  EXPECT_DOUBLE_EQ(chi_square_gof_pvalue(uniform, fair), 1.0);
+  // A heavily loaded die must be rejected at any sane alpha.
+  const std::vector<std::int64_t> loaded = {300, 60, 60, 60, 60, 60};
+  EXPECT_LT(chi_square_gof_pvalue(loaded, fair), 1e-12);
+}
+
+TEST(ChiSquare, GofPvalueUniformUnderNull) {
+  // Sampling from the hypothesized law should rarely give tiny p-values.
+  rng::Xoshiro256PlusPlus eng(13);
+  const std::vector<double> probs = {0.5, 0.25, 0.125, 0.125};
+  int tiny = 0;
+  for (int rep = 0; rep < 200; ++rep) {
+    std::vector<std::int64_t> counts(probs.size(), 0);
+    for (int i = 0; i < 2000; ++i) {
+      double u = rng::uniform_real(eng);
+      std::size_t j = 0;
+      while (j + 1 < probs.size() && u >= probs[j]) u -= probs[j++];
+      ++counts[j];
+    }
+    if (chi_square_gof_pvalue(counts, probs) < 1e-4) ++tiny;
+  }
+  EXPECT_LE(tiny, 1);
+}
+
 TEST(IntHistogram, CountsAndQuantiles) {
   IntHistogram h;
   h.add(1, 3);
@@ -108,6 +171,17 @@ TEST(TvDistance, HalfL1OnVectors) {
   const std::vector<double> p = {0.5, 0.5, 0.0};
   const std::vector<double> q = {0.25, 0.25, 0.5};
   EXPECT_DOUBLE_EQ(tv_distance(p, q), 0.5);
+}
+
+TEST(TvDistance, CountsAgainstExactPmf) {
+  // 60 draws split 30/20/10 vs pmf (1/2, 1/3, 1/6):
+  // ½ (|1/2−1/2| + |1/3−1/3| + |1/6−1/6|) = 0.
+  const std::vector<std::int64_t> counts = {30, 20, 10};
+  const std::vector<double> probs = {0.5, 1.0 / 3.0, 1.0 / 6.0};
+  EXPECT_NEAR(tv_distance(counts, probs), 0.0, 1e-12);
+  // All mass on the wrong bucket → TV = expected mass elsewhere.
+  const std::vector<std::int64_t> skew = {0, 0, 10};
+  EXPECT_NEAR(tv_distance(skew, probs), 5.0 / 6.0, 1e-12);
 }
 
 TEST(LinearFit, RecoversExactLine) {

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "src/certify/check.hpp"
 #include "src/parallel/thread_pool.hpp"
 #include "src/sweep/checkpoint.hpp"
 #include "src/sweep/grid.hpp"
@@ -257,7 +258,8 @@ void register_probe_once() {
           out.set("sum", static_cast<double>(cell.at("a") + 10 * cell.at("b")));
           out.set("seed_lo", static_cast<double>(ctx.seed & 0xFFFF));
           return out;
-        }});
+        },
+        {"a", "b"}});
     return true;
   }();
   (void)done;
@@ -334,10 +336,12 @@ TEST(SweepEngine, PartialCheckpointRerunsExactlyTheMissingCells) {
 
 TEST(SweepEngine, ShardsAreDisjointAndMergeToTheFullTable) {
   register_probe_once();
+  const std::uint64_t seed = certify::test_master_seed(7);
+  SCOPED_TRACE(certify::seed_banner(seed));
   const auto grid = GridSpec::parse("a=1..4;b=1,2");
   SweepOptions whole;
   whole.exp = "probe";
-  whole.seed = 7;
+  whole.seed = seed;
   const auto full = run_sweep(grid, whole);
 
   std::set<std::string> rows;
@@ -362,10 +366,12 @@ TEST(SweepEngine, ShardsAreDisjointAndMergeToTheFullTable) {
 
 TEST(SweepEngine, CellSeedDependsOnIndexNotSchedule) {
   register_probe_once();
+  const std::uint64_t seed = certify::test_master_seed(99);
+  SCOPED_TRACE(certify::seed_banner(seed));
   const auto grid = GridSpec::parse("a=1..4;b=1,2");
   SweepOptions options;
   options.exp = "probe";
-  options.seed = 99;
+  options.seed = seed;
   parallel::ThreadPool p1(1);
   parallel::ThreadPool p8(8);
   options.pool = &p1;
@@ -387,11 +393,13 @@ TEST(SweepEngine, RejectsUnknownExperimentAndEmptyGrid) {
 // The headline determinism claim, on a real experiment: a >=24-cell
 // exp01 grid is byte-identical under 1 thread and 8 threads.
 TEST(SweepEngine, Exp01ScheduleIndependenceIsByteExact) {
+  const std::uint64_t seed = certify::test_master_seed(1);
+  SCOPED_TRACE(certify::seed_banner(seed));
   const auto grid = GridSpec::parse("d=1..4;m=4..128:x2;density=1;replicas=2");
   ASSERT_GE(grid.cells(), 24u);
   SweepOptions options;
   options.exp = "exp01";
-  options.seed = 1;
+  options.seed = seed;
   parallel::ThreadPool p1(1);
   parallel::ThreadPool p8(8);
   options.pool = &p1;
