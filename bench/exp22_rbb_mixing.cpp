@@ -1,0 +1,107 @@
+// Experiment E22 — Cancrini–Posta, "Mixing time for the Repeated
+// Balls-into-Bins dynamics": for m = O(n) balls the RBB chain mixes in
+// O(n log n) rounds.
+//
+// We measure the coalescence time of the RBB grand coupling started from
+// the extremal pair (all-in-one-bin vs balanced) for a sweep of n with
+// m = density·n.  Reproduction criterion: the ratio T / (n ln n) is flat
+// in n (constant within noise) and the fitted log-log slope of T vs n is
+// ≈ 1 (the ln factor biases it slightly above 1).  The committed
+// BENCH_rbb.json baseline is a seeded run of this binary, gated by
+// scripts/check_bench_json.py --rbb.
+//
+// The per-point body is the registered "exp22" SweepCell (src/sweep/),
+// shared with bench/sweep_runner: the same grid and --seed produce the
+// same numbers here, under the sweep engine, and from checkpoint resume.
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <map>
+#include <vector>
+
+#include "src/obs/run_record.hpp"
+#include "src/rng/engines.hpp"
+#include "src/stats/regression.hpp"
+#include "src/sweep/registry.hpp"
+#include "src/util/cli.hpp"
+#include "src/util/table.hpp"
+#include "src/util/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace recover;
+
+  util::Cli cli("exp22_rbb_mixing",
+                "E22/Cancrini-Posta: RBB coalescence vs n ln n");
+  cli.flag("sizes", "comma-separated n sweep (m = density*n)", "16,32,64,128");
+  cli.flag("ds", "comma-separated re-placement d values (1 = classical RBB)",
+           "1,2");
+  cli.flag("density", "balls per bin m/n", "2");
+  cli.flag("replicas", "coupling replicas per point", "12");
+  cli.flag("seed", "rng seed", "22");
+  cli.flag("csv", "emit CSV instead of a table", "false");
+  obs::register_cli_flags(cli);
+  cli.parse(argc, argv);
+  obs::Run run(cli);
+
+  const auto density = cli.integer("density");
+  const auto seed = static_cast<std::uint64_t>(cli.integer("seed"));
+
+  // Same axis order as the sweep_runner default grid, so cell indices
+  // (hence per-cell substream seeds) line up with a sweep over this grid.
+  sweep::GridSpec grid;
+  grid.add_axis("d", cli.int_list("ds"));
+  grid.add_axis("n", cli.int_list("sizes"));
+  grid.add_axis("density", {density});
+  grid.add_axis("replicas", {cli.integer("replicas")});
+  const auto* exp = sweep::Registry::global().find("exp22");
+
+  util::Table table({"d", "n", "m", "T_mean", "T_ci95", "T_q95", "n*ln(n)",
+                     "ratio", "censored", "secs"});
+  std::map<std::int64_t, std::pair<std::vector<double>, std::vector<double>>>
+      fits;  // d -> (n, T_mean)
+
+  for (std::uint64_t index = 0; index < grid.cells(); ++index) {
+    const auto cell = grid.cell(index);
+    const std::int64_t n = cell.at("n");
+    const std::int64_t d = cell.at("d");
+    util::Timer timer;
+    sweep::CellContext ctx;
+    ctx.seed = rng::substream(seed, index);
+    ctx.parallel_within_cell = true;  // one cell at a time owns the pool
+    const auto result = exp->run(cell, ctx);
+    const double nlnn =
+        static_cast<double>(n) * std::log(static_cast<double>(n));
+    table.row()
+        .integer(d)
+        .integer(n)
+        .integer(density * n)
+        .num(result.at("T_mean"), 1)
+        .num(result.at("T_ci95"), 1)
+        .num(result.at("T_q95"), 1)
+        .num(nlnn, 1)
+        .num(result.at("ratio_nlnn"), 3)
+        .integer(static_cast<std::int64_t>(result.at("censored")))
+        .num(timer.seconds(), 2);
+    if (result.at("censored") == 0.0) {
+      fits[d].first.push_back(static_cast<double>(n));
+      fits[d].second.push_back(result.at("T_mean"));
+    }
+  }
+
+  for (const auto& [d, xy] : fits) {
+    if (xy.first.size() < 3) continue;
+    const auto fit = stats::loglog_fit(xy.first, xy.second);
+    std::printf("# d=%lld  log-log slope of T vs n: %.3f (R^2 %.4f)\n",
+                static_cast<long long>(d), fit.slope, fit.r_squared);
+    run.note("loglog_slope_d" + std::to_string(d), fit.slope);
+    run.note("loglog_r2_d" + std::to_string(d), fit.r_squared);
+  }
+
+  if (cli.boolean("csv")) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+  run.add_table("mixing_scaling", table);
+  return 0;
+}

@@ -41,6 +41,13 @@ protocol errors; the best multi-backend row must reach >= 1.8x the
 baseline ok_rps and every cached row must show a hit ratio >= 0.5 —
 the CI acceptance gate on the recover_cluster router.
 
+With --rbb, the inputs are validated as exp22_rbb_mixing records
+(EXPERIMENTS.md, E22): run.binary must be exp22_rbb_mixing and the
+"mixing_scaling" table must sweep n with uncensored coalescence
+estimates; every per-d log-log slope note must sit inside the window
+the O(n log n) mixing theorem allows — the CI gate on the committed
+BENCH_rbb.json baseline.
+
 With --trace, the inputs are instead validated as recover.trace/1
 Chrome trace-event JSON written by --trace=FILE (docs/OBSERVABILITY.md):
 the document must parse, every event must carry a `ph`, every non-
@@ -367,6 +374,70 @@ def check_cluster_record(path, doc):
     return True
 
 
+# Acceptance window for the RBB mixing record (ISSUE 10): T = O(n log n)
+# means a log-log slope of T vs n near 1 (the ln factor biases it a bit
+# above); far outside the window means the coupling or the chain broke.
+RBB_SLOPE_MIN = 0.5
+RBB_SLOPE_MAX = 1.7
+RBB_MIN_R2 = 0.9
+
+
+def check_rbb_record(path, doc):
+    """Gate on an exp22_rbb_mixing record: an uncensored n sweep whose
+    fitted growth is compatible with the O(n log n) mixing bound."""
+    binary = doc.get("run", {}).get("binary")
+    if binary != "exp22_rbb_mixing":
+        return fail(path, f"run.binary is {binary!r}, want 'exp22_rbb_mixing'")
+    scaling = next(
+        (t for t in doc.get("tables", [])
+         if t.get("name") == "mixing_scaling"),
+        None,
+    )
+    if scaling is None:
+        return fail(path, "no 'mixing_scaling' table")
+    rows = [dict(zip(scaling["columns"], r)) for r in scaling.get("rows", [])]
+    if len(rows) < 4:
+        return fail(path, f"mixing_scaling holds {len(rows)} rows — too few "
+                          f"for a scaling claim (want >= 4)")
+    for j, row in enumerate(rows):
+        for column in ("d", "n", "m", "T_mean", "T_ci95", "T_q95", "ratio",
+                       "censored"):
+            value = row.get(column)
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                return fail(path, f"mixing_scaling row {j} column {column!r} "
+                                  f"missing or non-numeric (got {value!r})")
+        if row["censored"] != 0:
+            return fail(path, f"mixing_scaling row {j} (n={row['n']}) has "
+                              f"{row['censored']} censored replicas — the "
+                              f"horizon is too short for a baseline")
+        if row["T_mean"] <= 0:
+            return fail(path, f"mixing_scaling row {j} T_mean="
+                              f"{row['T_mean']} is not positive")
+    notes = doc.get("notes", {})
+    slopes = {k: v for k, v in notes.items()
+              if k.startswith("loglog_slope_d")}
+    if not slopes:
+        return fail(path, "no loglog_slope_d* note — the record carries no "
+                          "fitted scaling exponent")
+    for key, slope in slopes.items():
+        if not isinstance(slope, (int, float)) or isinstance(slope, bool):
+            return fail(path, f"note {key!r} is not a number (got {slope!r})")
+        if not RBB_SLOPE_MIN <= slope <= RBB_SLOPE_MAX:
+            return fail(path, f"note {key}={slope:.3f} outside "
+                              f"[{RBB_SLOPE_MIN}, {RBB_SLOPE_MAX}] — "
+                              f"incompatible with T = O(n log n)")
+        r2_key = key.replace("loglog_slope_", "loglog_r2_")
+        r2 = notes.get(r2_key)
+        if isinstance(r2, (int, float)) and not isinstance(r2, bool) \
+                and r2 < RBB_MIN_R2:
+            return fail(path, f"note {r2_key}={r2:.4f} < {RBB_MIN_R2} — "
+                              f"the power-law fit does not hold")
+    summary = ", ".join(f"{k.removeprefix('loglog_slope_')}: {v:.3f}"
+                        for k, v in sorted(slopes.items()))
+    print(f"check_bench_json: {path}: rbb slopes {summary}")
+    return True
+
+
 def summarize(doc):
     run = doc["run"]
     return {
@@ -416,6 +487,13 @@ def main():
         help="additionally gate inputs as bench_cluster scaling records "
              "(>= 1.8x multi-backend speedup, cache hit ratio >= 0.5)",
     )
+    parser.add_argument(
+        "--rbb",
+        action="store_true",
+        help="additionally gate inputs as exp22_rbb_mixing records "
+             "(uncensored n sweep, log-log slope compatible with "
+             "O(n log n) mixing)",
+    )
     args = parser.parse_args()
 
     if args.trace:
@@ -447,6 +525,8 @@ def main():
             not args.ops or check_ops_record(path, doc)
         ) and (
             not args.cluster or check_cluster_record(path, doc)
+        ) and (
+            not args.rbb or check_rbb_record(path, doc)
         ):
             summaries.append(summarize(doc))
             rows = sum(len(t["rows"]) for t in doc["tables"])

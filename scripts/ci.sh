@@ -8,8 +8,8 @@
 # Env hooks:
 #   BUILD_DIR=dir   build directory (default build-ci)
 #   TSAN=1          additionally build parallel_test + obs_test +
-#                   serve_test + ops_test + cluster_test + certify_test
-#                   with -DRECOVERLIB_TSAN=ON and run them under
+#                   serve_test + ops_test + cluster_test + certify_test +
+#                   rbb_test with -DRECOVERLIB_TSAN=ON and run them under
 #                   ThreadSanitizer (separate build tree build-tsan)
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -87,6 +87,29 @@ kernel_identity exp01 "d=1..2;m=16..32:x2;density=1;replicas=4"
 kernel_identity exp03 "density=1;n=8..16:x2;d=2;replicas=4"
 kernel_identity exp06 "n=8..16:x2;replicas=4"
 kernel_identity exp10 "d=1..2;n=64..128:x2;samples=50"
+kernel_identity exp22 "d=1..2;n=8..16:x2;density=2;replicas=4"
+kernel_identity exp23 "d=1;n=8..16:x2;density=2;replicas=4"
+
+echo "== rbb: sweep resume in both kernel modes + committed baseline =="
+# The RBB cells consume engine words per-round (state-dependent round
+# lengths), so resume correctness is checked under BOTH kernel paths.
+RBB_GRID="d=1..2;n=8..16:x2;density=2;replicas=4"
+for mode in scalar batched; do
+  RBB_CKPT="$JSON_DIR/sweep_exp22.$mode.ckpt.jsonl"
+  RECOVER_KERNEL=$mode "$BUILD_DIR"/bench/sweep_runner --exp exp22 \
+    --grid "$RBB_GRID" --checkpoint "$RBB_CKPT" > /dev/null
+  resume_line=$(RECOVER_KERNEL=$mode "$BUILD_DIR"/bench/sweep_runner \
+    --exp exp22 --grid "$RBB_GRID" --checkpoint "$RBB_CKPT" | grep '^# sweep:')
+  echo "-- $mode: $resume_line"
+  case "$resume_line" in
+    *" run=0 "*) ;;
+    *)
+      echo "ci.sh: exp22 resume recomputed cells under $mode: $resume_line" >&2
+      exit 1
+      ;;
+  esac
+done
+python3 scripts/check_bench_json.py --rbb BENCH_rbb.json
 
 echo "== kernel perf gate =="
 # Speedup floors (batched vs scalar, same run) are hard; the >20%
@@ -344,17 +367,18 @@ for exe in "$BUILD_DIR"/examples/*; do
 done
 
 if [ "${TSAN:-0}" = "1" ]; then
-  echo "== ThreadSanitizer (parallel, obs, serve, ops, cluster, certify) =="
+  echo "== ThreadSanitizer (parallel, obs, serve, ops, cluster, certify, rbb) =="
   cmake -B build-tsan -G Ninja -DRECOVERLIB_TSAN=ON \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
   cmake --build build-tsan --target parallel_test obs_test serve_test \
-    ops_test cluster_test certify_test
+    ops_test cluster_test certify_test rbb_test
   ./build-tsan/tests/parallel_test
   ./build-tsan/tests/obs_test
   ./build-tsan/tests/serve_test
   ./build-tsan/tests/ops_test
   ./build-tsan/tests/cluster_test
   ./build-tsan/tests/certify_test
+  ./build-tsan/tests/rbb_test
 fi
 
 echo "CI OK"

@@ -96,6 +96,20 @@ std::size_t LoadVector::remove_at(std::size_t i) {
   return s;
 }
 
+std::size_t LoadVector::eject_one_per_nonempty() {
+  const std::size_t s = nonempty_count();
+  for (std::size_t i = 0; i < s; ++i) --loads_[i];
+  total_ -= static_cast<std::int64_t>(s);
+  // The Fenwick mirror: s point updates cost O(s log n), a rebuild O(n);
+  // RBB's typical regime (m >= n, hence s = Θ(n)) favors the rebuild.
+  if (4 * s >= loads_.size()) {
+    fenwick_ = rng::Fenwick(loads_);
+  } else {
+    for (std::size_t i = 0; i < s; ++i) fenwick_.add(i, -1);
+  }
+  return s;
+}
+
 std::int64_t LoadVector::distance(const LoadVector& other) const {
   RL_REQUIRE(bins() == other.bins());
   RL_REQUIRE(balls() == other.balls());

@@ -61,6 +61,13 @@ class LoadVector {
   /// actually decremented.
   std::size_t remove_at(std::size_t i);
 
+  /// One Repeated-Balls-into-Bins ejection: every non-empty bin loses one
+  /// ball.  Deterministic and symmetric (a function of the load multiset),
+  /// so it stays inside the normalized state space: decrementing every
+  /// positive entry of a non-increasing vector preserves sortedness.
+  /// Returns s, the number of balls ejected (= nonempty_count() before).
+  std::size_t eject_one_per_nonempty();
+
   /// First index of the maximal run with value v_i (the j of Fact 3.2).
   [[nodiscard]] std::size_t run_head(std::size_t i) const;
   /// Last index of the maximal run with value v_i (the s of Fact 3.2).

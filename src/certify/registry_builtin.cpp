@@ -18,6 +18,7 @@
 #include "src/balls/exact_chain.hpp"
 #include "src/balls/grand_coupling.hpp"
 #include "src/balls/labeled.hpp"
+#include "src/balls/rbb.hpp"
 #include "src/balls/scenario_a.hpp"
 #include "src/balls/scenario_b.hpp"
 #include "src/certify/model.hpp"
@@ -152,6 +153,35 @@ bool sandwich_invariant(const Instance& in, std::uint64_t seed,
     }
   }
   return true;
+}
+
+/// Direct exact one-round law of the RBB dynamics: the ejection is a
+/// deterministic map, and each of the s re-placements expands the
+/// support through the state-independent ABKU pmf formula
+/// P(j) = ((j+1)/n)^d − (j/n)^d — independent of the sampler's probe
+/// path, so sampler bugs cannot hide in a shared code path.
+StepLaw rbb_exact_law(const Instance& in, const std::string& start) {
+  LoadVector v = lv_of(start);
+  const std::size_t s = v.eject_one_per_nonempty();
+  const std::vector<double> pmf = AbkuRule(in.d).placement_pmf(in.n);
+  std::map<std::string, double> acc;
+  acc[key_lv(v)] = 1.0;
+  for (std::size_t ball = 0; ball < s; ++ball) {
+    std::map<std::string, double> next_acc;
+    for (const auto& [key, p] : acc) {
+      const LoadVector state = lv_of(key);
+      for (std::size_t j = 0; j < pmf.size(); ++j) {
+        if (pmf[j] <= 0.0) continue;
+        LoadVector next = state;
+        next.add_at(j);
+        next_acc[key_lv(next)] += p * pmf[j];
+      }
+    }
+    acc = std::move(next_acc);
+  }
+  StepLaw law;
+  for (auto& [key, p] : acc) law.emplace_back(key, p);
+  return law;
 }
 
 /// Direct exact one-step law of the open / bounded-open systems.  The
@@ -394,6 +424,31 @@ void register_scenario_models(ModelRegistry& registry) {
     };
     registry.add(std::move(m));
   }
+  {
+    ChainModel m;
+    m.name = "rbb";
+    m.family = "balls";
+    m.has_batched = true;
+    m.starts = balls_starts;
+    m.exact_step = rbb_exact_law;
+    m.sample_step = [](const Instance& in, const std::string& s,
+                       rng::Xoshiro256PlusPlus& eng) {
+      balls::RBBChain<AbkuRule> chain(lv_of(s), AbkuRule(in.d));
+      chain.step(eng);
+      return key_lv(chain.state());
+    };
+    m.run = run_balls_chain<balls::RBBChain<AbkuRule>>;
+    m.invariant_name = "normalized_state";
+    m.invariant_run = [](const Instance& in, std::uint64_t seed,
+                         std::int64_t steps, std::string* diag) {
+      return load_vector_invariant(
+          in, seed, steps, diag,
+          balls::RBBChain<AbkuRule>(LoadVector::all_in_one(in.n, in.m),
+                                    AbkuRule(in.d)),
+          /*fixed_ball_count=*/true, /*capacity=*/-1);
+    };
+    registry.add(std::move(m));
+  }
 }
 
 void register_coupling_models(ModelRegistry& registry) {
@@ -445,6 +500,28 @@ void register_coupling_models(ModelRegistry& registry) {
                                 balls::ScenarioBChain<AbkuRule>>(in, seed,
                                                                  steps, diag);
     };
+    registry.add(std::move(m));
+  }
+  {
+    ChainModel m;
+    m.name = "grand_coupling_rbb";
+    m.family = "coupling";
+    m.has_batched = true;
+    m.starts = balls_starts;
+    m.exact_step = rbb_exact_law;
+    m.coupled_step = [](const Instance& in, const std::string& sx,
+                        const std::string& sy, rng::Xoshiro256PlusPlus& eng) {
+      balls::GrandCouplingRBB<AbkuRule> c(lv_of(sx), lv_of(sy),
+                                          AbkuRule(in.d));
+      c.step(eng);
+      return std::make_pair(key_lv(c.first()), key_lv(c.second()));
+    };
+    m.run = run_balls_coupling<balls::GrandCouplingRBB<AbkuRule>>;
+    // No majorization-sandwich invariant: RBB is famously non-monotone,
+    // and its per-round word consumption depends on the copies' nonempty
+    // counts, so two couplings on one engine stream need not stay in
+    // lockstep.  Absorption + marginal faithfulness are still covered by
+    // the generic coupling properties.
     registry.add(std::move(m));
   }
 }

@@ -11,10 +11,12 @@
 #include <vector>
 
 #include "src/balls/grand_coupling.hpp"
+#include "src/balls/rbb.hpp"
 #include "src/balls/scenario_a.hpp"
 #include "src/balls/scenario_b.hpp"
 #include "src/core/coalescence.hpp"
 #include "src/core/path_coupling.hpp"
+#include "src/core/recovery.hpp"
 #include "src/fluid/fluid_limit.hpp"
 #include "src/kernel/kernel.hpp"
 #include "src/orient/chain.hpp"
@@ -229,6 +231,99 @@ CellResult exp10_cell(const Cell& cell, const CellContext& ctx) {
   return out;
 }
 
+// E22 / Cancrini–Posta: coalescence of the RBB grand coupling from the
+// extremal pair, one (n, density, d) point with m = density * n.  The
+// headline claim is O(n log n) mixing for m = O(n), so the scaling
+// column is T / (n ln n).
+CellResult exp22_cell(const Cell& cell, const CellContext& ctx) {
+  const std::int64_t n = cell.at("n");
+  const std::int64_t density = cell.get("density", 2);
+  const auto d = static_cast<int>(cell.get("d", 1));
+  const auto replicas = static_cast<int>(cell.get("replicas", 8));
+  const std::int64_t m = density * n;
+  const auto ns = static_cast<std::size_t>(n);
+  const double nd = static_cast<double>(n);
+  const double nlnn = nd * std::log(nd);
+  // Rounds, not placements: a round costs Θ(n) placements, and the
+  // coupling needs O(n log n) rounds plus headroom for small n.
+  const auto opts = cell_coalescence_options(
+      ctx, replicas,
+      static_cast<std::int64_t>(400.0 * (nlnn + nd)),
+      std::max<std::int64_t>(1, n / 8));
+  const auto stats = core::measure_coalescence(
+      [&](std::uint64_t) {
+        return balls::GrandCouplingRBB<balls::AbkuRule>(
+            balls::LoadVector::all_in_one(ns, m),
+            balls::LoadVector::balanced(ns, m), balls::AbkuRule(d));
+      },
+      opts);
+  CellResult out;
+  out.set("T_mean", stats.steps.mean());
+  out.set("T_ci95", stats.steps.ci_halfwidth());
+  out.set("T_q50", stats.q50);
+  out.set("T_q95", stats.q95);
+  out.set("censored", static_cast<double>(stats.censored));
+  out.set("ratio_nlnn", stats.steps.mean() / nlnn);
+  return out;
+}
+
+// E23 / Los–Sauerwald: self-stabilization of RBB from the worst-case
+// concentrated start.  The typical max-load band is measured on a
+// burned-in balanced-start copy (Θ(log n) for m = Θ(n)); recovery is the
+// first sustained entry of the crashed copy's max load into that band.
+CellResult exp23_cell(const Cell& cell, const CellContext& ctx) {
+  const std::int64_t n = cell.at("n");
+  const std::int64_t density = cell.get("density", 2);
+  const auto d = static_cast<int>(cell.get("d", 1));
+  const auto replicas = static_cast<int>(cell.get("replicas", 8));
+  const std::int64_t m = density * n;
+  const auto ns = static_cast<std::size_t>(n);
+  const double nd = static_cast<double>(n);
+  const double nlnn = nd * std::log(nd);
+
+  // Typical band: burn a balanced-start chain past the O(n log n) mixing
+  // horizon, then take the max of spaced stationary max-load samples —
+  // an empirical upper edge of the typical band, + 1 of slack.
+  balls::RBBChain<balls::AbkuRule> stationary(
+      balls::LoadVector::balanced(ns, m), balls::AbkuRule(d));
+  rng::Xoshiro256PlusPlus eng(ctx.seed);
+  const auto burn_in = static_cast<std::int64_t>(4.0 * (nlnn + nd));
+  const std::int64_t spacing = std::max<std::int64_t>(1, n / 8);
+  kernel::advance(stationary, eng, burn_in);
+  std::int64_t typical = stationary.state().max_load();
+  for (int sample = 0; sample < 48; ++sample) {
+    if (ctx.cancelled && ctx.cancelled()) break;
+    kernel::advance(stationary, eng, spacing);
+    typical = std::max(typical, stationary.state().max_load());
+  }
+
+  core::TrajectoryOptions opts;
+  opts.sample_interval = spacing;
+  // Draining the worst-case pile takes Θ(m) rounds before mixing even
+  // starts, so the horizon covers both terms with headroom.
+  opts.max_steps = static_cast<std::int64_t>(
+      100.0 * (static_cast<double>(m) + nlnn));
+  const auto stats = core::measure_recovery(
+      [&](int) {
+        return balls::RBBChain<balls::AbkuRule>(
+            balls::LoadVector::all_in_one(ns, m), balls::AbkuRule(d));
+      },
+      [](const auto& chain) {
+        return static_cast<double>(chain.state().max_load());
+      },
+      0.0, static_cast<double>(typical + 1), /*window=*/8, replicas, opts,
+      rng::substream(ctx.seed, 0xEBB));
+  CellResult out;
+  out.set("typical", static_cast<double>(typical));
+  out.set("typical_per_lnn", static_cast<double>(typical) / std::log(nd));
+  out.set("T_mean", stats.hitting_steps.mean());
+  out.set("T_ci95", stats.hitting_steps.ci_halfwidth());
+  out.set("censored", static_cast<double>(stats.censored));
+  out.set("T_nlnn", stats.hitting_steps.mean() / nlnn);
+  out.set("T_m", stats.hitting_steps.mean() / static_cast<double>(m));
+  return out;
+}
+
 }  // namespace
 
 namespace detail {
@@ -266,6 +361,21 @@ void register_builtin(Registry& registry) {
        "law_d_choice", "ess_A"},
       exp10_cell,
       {"n", "d"}});
+  registry.add(Experiment{
+      "exp22",
+      "Cancrini-Posta: RBB grand-coupling coalescence vs n ln n",
+      "d=1;n=16..128:x2;density=2;replicas=8",
+      {"T_mean", "T_ci95", "T_q50", "T_q95", "censored", "ratio_nlnn"},
+      exp22_cell,
+      {"n"}});
+  registry.add(Experiment{
+      "exp23",
+      "Los-Sauerwald: RBB self-stabilization from the worst-case start",
+      "d=1;n=16..128:x2;density=2;replicas=8",
+      {"typical", "typical_per_lnn", "T_mean", "T_ci95", "censored", "T_nlnn",
+       "T_m"},
+      exp23_cell,
+      {"n"}});
 }
 
 }  // namespace detail
